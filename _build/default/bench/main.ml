@@ -1,0 +1,240 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Figures 1, 2, 4, 5, 6, 7; Tables 2, 3, 4), the §3.3.2
+   overhead claim (Bechamel micro-benchmarks) and the DESIGN.md
+   ablations.
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- --quick # trimmed sweeps
+     dune exec bench/main.exe -- fig4 table2 micro ...
+
+   Absolute times come from a simulator, not the authors' testbed; the
+   point of each section is the *shape* (who wins, by what factor). *)
+
+module Experiments = Rm_experiments
+
+let quick = ref false
+let seed = 2020
+
+(* The miniMD and miniFE sweeps back several sections each; memoize so
+   "all" runs them once. *)
+let minimd = lazy (Experiments.Minimd_sweep.run ~quick:!quick ~seed ())
+let minife = lazy (Experiments.Minife_sweep.run ~quick:!quick ~seed:(seed + 1) ())
+let case_study = lazy (Experiments.Case_study.run ~seed:(seed + 2) ())
+
+let section title body =
+  let rule = String.make 72 '=' in
+  Printf.printf "%s\n%s\n%s\n%s\n%!" rule title rule body
+
+(* --- Bechamel micro-benchmarks (§3.3.2: "~1-2 ms, practically nil") --- *)
+
+let micro () =
+  let open Bechamel in
+  let cluster = Rm_cluster.Cluster.iitk_reference () in
+  let world =
+    Rm_workload.World.create ~cluster ~scenario:Rm_workload.Scenario.normal
+      ~seed:99
+  in
+  Rm_workload.World.advance world ~now:3600.0;
+  let snapshot = Rm_monitor.Snapshot.of_truth ~time:3600.0 ~world in
+  let weights = Rm_core.Weights.paper_default in
+  let request = Rm_core.Request.make ~ppn:4 ~alpha:0.3 ~procs:32 () in
+  let loads = Rm_core.Compute_load.of_snapshot snapshot ~weights in
+  let net = Rm_core.Network_load.of_snapshot snapshot ~weights in
+  let pc = Rm_core.Effective_procs.of_snapshot snapshot ~loads in
+  let capacity node =
+    Rm_core.Request.capacity_of request
+      ~effective:(Option.value (List.assoc_opt node pc) ~default:1)
+  in
+  let rng = Rm_stats.Rng.create 7 in
+  let tests =
+    Test.make_grouped ~name:"allocator"
+      [
+        Test.make ~name:"eq1-compute-load"
+          (Staged.stage (fun () ->
+               ignore (Rm_core.Compute_load.of_snapshot snapshot ~weights)));
+        Test.make ~name:"eq2-network-load"
+          (Staged.stage (fun () ->
+               ignore (Rm_core.Network_load.of_snapshot snapshot ~weights)));
+        Test.make ~name:"alg1-one-candidate"
+          (Staged.stage (fun () ->
+               ignore
+                 (Rm_core.Candidate.generate ~start:0 ~loads ~net ~capacity
+                    ~request)));
+        Test.make ~name:"alg1+2-all-candidates"
+          (Staged.stage (fun () ->
+               let candidates =
+                 Rm_core.Candidate.generate_all ~loads ~net ~capacity ~request
+               in
+               ignore (Rm_core.Select.best ~candidates ~loads ~net ~request)));
+        Test.make ~name:"full-allocation-from-snapshot"
+          (Staged.stage (fun () ->
+               ignore
+                 (Rm_core.Policies.allocate
+                    ~policy:Rm_core.Policies.Network_load_aware ~snapshot
+                    ~weights ~request ~rng)));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let buf = Buffer.create 1024 in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (x :: _) -> x
+        | Some [] | None -> nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  let rows =
+    List.sort compare !rows
+    |> List.map (fun (name, ns) -> [ name; Printf.sprintf "%.1f us" (ns /. 1e3) ])
+  in
+  Experiments.Render.table
+    ~header:[ "operation (60-node cluster)"; "time" ]
+    ~rows buf;
+  Buffer.add_string buf
+    "\npaper claim (section 3.3.2): the whole algorithm runs in ~1-2 ms;\n\
+     'full-allocation-from-snapshot' above is the comparable number.\n";
+  Buffer.contents buf
+
+(* --- Sections ----------------------------------------------------------- *)
+
+let sections : (string * (unit -> string)) list =
+  [
+    ( "fig1",
+      fun () ->
+        Experiments.Traces.render
+          (Experiments.Traces.run
+             ~hours:(if !quick then 12.0 else 48.0)
+             ~seed ()) );
+    ( "fig2",
+      fun () ->
+        Experiments.Bandwidth_map.render
+          (Experiments.Bandwidth_map.run
+             ~hours:(if !quick then 6.0 else 24.0)
+             ~seed:(seed + 3) ()) );
+    ("fig4", fun () -> Experiments.Minimd_sweep.render_fig4 (Lazy.force minimd));
+    ("table2", fun () -> Experiments.Minimd_sweep.render_table2 (Lazy.force minimd));
+    ("fig5", fun () -> Experiments.Minimd_sweep.render_fig5 (Lazy.force minimd));
+    ("fig6", fun () -> Experiments.Minife_sweep.render_fig6 (Lazy.force minife));
+    ("table3", fun () -> Experiments.Minife_sweep.render_table3 (Lazy.force minife));
+    ("table4", fun () -> Experiments.Case_study.render_table4 (Lazy.force case_study));
+    ("fig7", fun () -> Experiments.Case_study.render_fig7 (Lazy.force case_study));
+    ("micro", fun () -> micro ());
+    ( "queue",
+      fun () ->
+        Experiments.Queue_study.render
+          (Experiments.Queue_study.run ~job_count:(if !quick then 4 else 10) ()) );
+    ( "interference",
+      fun () ->
+        Experiments.Queue_study.render_interference
+          (Experiments.Queue_study.interference ()) );
+    ( "ablation-alpha",
+      fun () ->
+        Experiments.Ablations.render_alpha_sweep
+          (Experiments.Ablations.alpha_sweep ~reps:(if !quick then 1 else 3) ()) );
+    ( "ablation-netweights",
+      fun () ->
+        Experiments.Ablations.render_net_weight_sweep
+          (Experiments.Ablations.net_weight_sweep
+             ~reps:(if !quick then 1 else 3)
+             ()) );
+    ( "ablation-staleness",
+      fun () ->
+        Experiments.Ablations.render_staleness_sweep
+          (Experiments.Ablations.staleness_sweep
+             ~reps:(if !quick then 1 else 3)
+             ()) );
+    ( "ablation-hierarchical",
+      fun () ->
+        Experiments.Ablations.render_hierarchical_sweep
+          (Experiments.Ablations.hierarchical_sweep ()) );
+    ( "ablation-madm",
+      fun () ->
+        Experiments.Ablations.render_madm (Experiments.Ablations.madm_methods ()) );
+    ( "ablation-mapping",
+      fun () ->
+        Experiments.Ablations.render_rank_mapping
+          (Experiments.Ablations.rank_mapping ()) );
+    ( "ablation-fidelity",
+      fun () ->
+        Experiments.Ablations.render_monitor_fidelity
+          (Experiments.Ablations.monitor_fidelity
+             ~reps:(if !quick then 2 else 4) ()) );
+    ( "ablation-predictive",
+      fun () ->
+        Experiments.Ablations.render_predictive
+          (Experiments.Ablations.predictive ~reps:(if !quick then 2 else 4) ()) );
+    ( "ablation-multicluster",
+      fun () ->
+        Experiments.Ablations.render_multicluster
+          (Experiments.Ablations.multicluster ~reps:(if !quick then 1 else 3) ()) );
+    ( "ablation-optimality",
+      fun () ->
+        Experiments.Ablations.render_optimality
+          (Experiments.Ablations.optimality_gap
+             ~trials:(if !quick then 10 else 40)
+             ()) );
+  ]
+
+(* CSV export: raw data behind the sweep/trace sections, written when
+   --csv DIR is given. *)
+let csv_sections () : (string * string) list =
+  [
+    ("fig1.csv",
+     Experiments.Traces.to_csv
+       (Experiments.Traces.run ~hours:(if !quick then 12.0 else 48.0) ~seed ()));
+    ("fig2.csv",
+     Experiments.Bandwidth_map.to_csv
+       (Experiments.Bandwidth_map.run ~hours:(if !quick then 6.0 else 24.0)
+          ~seed:(seed + 3) ()));
+    ("minimd_runs.csv", Experiments.Sweep.to_csv (Lazy.force minimd));
+    ("minife_runs.csv", Experiments.Sweep.to_csv (Lazy.force minife));
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let csv_dir = ref None in
+  let rec strip = function
+    | [] -> []
+    | "--quick" :: rest ->
+      quick := true;
+      strip rest
+    | "--csv" :: dir :: rest ->
+      csv_dir := Some dir;
+      strip rest
+    | a :: rest -> a :: strip rest
+  in
+  let args = strip args in
+  let wanted = if args = [] then List.map fst sections else args in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f ->
+        let t0 = Unix.gettimeofday () in
+        let body = f () in
+        let dt = Unix.gettimeofday () -. t0 in
+        section (Printf.sprintf "%s  (generated in %.1fs)" name dt) body
+      | None ->
+        Printf.eprintf "unknown section %S; available: %s\n%!" name
+          (String.concat ", " (List.map fst sections));
+        exit 2)
+    wanted;
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    List.iter
+      (fun (file, contents) ->
+        let path = Filename.concat dir file in
+        let oc = open_out path in
+        output_string oc contents;
+        close_out oc;
+        Printf.printf "wrote %s\n%!" path)
+      (csv_sections ())

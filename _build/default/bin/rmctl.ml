@@ -1,0 +1,497 @@
+(* rmctl — command-line front end to the resource manager on a simulated
+   shared cluster.
+
+     rmctl cluster                         describe the reference cluster
+     rmctl snapshot   [opts]               monitor view at a point in time
+     rmctl allocate   [opts]               one allocation decision
+     rmctl compare    [opts]               run one job under all policies
+     rmctl run        [opts]               allocate and execute one job
+     rmctl forecast   [opts]               NWS-style forecaster demo
+     rmctl record     [opts]               record a workload trace to CSV
+     rmctl replay     [opts]               allocate against a recorded trace
+     rmctl sched      JOBS.csv [opts]      run a job file through the scheduler
+
+   Every command simulates from scratch (deterministic in --seed), so
+   invocations are reproducible and independent. *)
+
+open Cmdliner
+
+module Sim = Rm_engine.Sim
+module Cluster = Rm_cluster.Cluster
+module Topology = Rm_cluster.Topology
+module World = Rm_workload.World
+module Scenario = Rm_workload.Scenario
+module System = Rm_monitor.System
+module Snapshot = Rm_monitor.Snapshot
+module Policies = Rm_core.Policies
+module Broker = Rm_core.Broker
+module Request = Rm_core.Request
+module Allocation = Rm_core.Allocation
+module Weights = Rm_core.Weights
+module Compute_load = Rm_core.Compute_load
+module Executor = Rm_mpisim.Executor
+
+(* --- common options -------------------------------------------------- *)
+
+let scenario_arg =
+  let parse s =
+    match Scenario.by_name s with
+    | Some sc -> Ok sc
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown scenario %S (try: %s)" s
+                     (String.concat ", " Scenario.all_names)))
+  in
+  let print ppf (sc : Scenario.t) = Format.fprintf ppf "%s" sc.Scenario.name in
+  Arg.conv (parse, print)
+
+let scenario_t =
+  Arg.(value & opt scenario_arg Scenario.normal
+       & info [ "scenario" ] ~docv:"NAME" ~doc:"Background workload scenario.")
+
+let seed_t =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let time_t =
+  Arg.(value & opt float 1200.0
+       & info [ "time" ] ~docv:"SECONDS"
+           ~doc:"Simulated time at which to act (monitor warm-up is ~960s).")
+
+let procs_t =
+  Arg.(value & opt int 32 & info [ "procs"; "n" ] ~docv:"N" ~doc:"Process count.")
+
+let ppn_t =
+  Arg.(value & opt (some int) (Some 4)
+       & info [ "ppn" ] ~docv:"N" ~doc:"Processes per node (omit to use Eq. 3).")
+
+let alpha_t =
+  Arg.(value & opt float 0.3
+       & info [ "alpha" ] ~docv:"A" ~doc:"Eq. 4 compute weight; beta = 1 - alpha.")
+
+let policy_arg =
+  let parse s =
+    match Policies.of_name s with
+    | Some p -> Ok p
+    | None -> Error (`Msg (Printf.sprintf "unknown policy %S" s))
+  in
+  Arg.conv (parse, fun ppf p -> Format.fprintf ppf "%s" (Policies.name p))
+
+let policy_t =
+  Arg.(value & opt policy_arg Policies.Network_load_aware
+       & info [ "policy" ] ~docv:"NAME"
+           ~doc:"random | sequential | load-aware | network-load-aware.")
+
+let app_t =
+  Arg.(value & opt (enum [ ("minimd", `Md); ("minife", `Fe) ]) `Md
+       & info [ "app" ] ~docv:"APP" ~doc:"minimd or minife.")
+
+let size_t =
+  Arg.(value & opt int 16
+       & info [ "size" ] ~docv:"S" ~doc:"miniMD box edge s, or miniFE nx.")
+
+(* --- environment ------------------------------------------------------ *)
+
+let make_env ~scenario ~seed ~time =
+  let cluster = Cluster.iitk_reference () in
+  let sim = Sim.create () in
+  let world = World.create ~cluster ~scenario ~seed in
+  let rng = Rm_stats.Rng.create (seed + 1) in
+  let monitor = System.start ~sim ~world ~rng ~until:(time +. 86_400.0) () in
+  Sim.run_until sim time;
+  World.advance world ~now:time;
+  (cluster, sim, world, monitor, rng)
+
+let app_of kind size ~ranks =
+  match kind with
+  | `Md -> Rm_apps.Minimd.app ~config:(Rm_apps.Minimd.default_config ~s:size) ~ranks
+  | `Fe -> Rm_apps.Minife.app ~config:(Rm_apps.Minife.default_config ~nx:size) ~ranks
+
+(* --- cluster ----------------------------------------------------------- *)
+
+let cluster_cmd =
+  let run () =
+    let cluster = Cluster.iitk_reference () in
+    Format.printf "%a@.@." Cluster.pp cluster;
+    let topo = Cluster.topology cluster in
+    for s = 0 to Topology.switch_count topo - 1 do
+      let members = Topology.nodes_of_switch topo s in
+      Format.printf "switch %d (%d nodes):@." s (List.length members);
+      List.iter
+        (fun i -> Format.printf "  %a@." Rm_cluster.Node.pp (Cluster.node cluster i))
+        members
+    done
+  in
+  Cmd.v (Cmd.info "cluster" ~doc:"Describe the reference cluster.")
+    Term.(const run $ const ())
+
+(* --- snapshot ------------------------------------------------------------ *)
+
+let snapshot_cmd =
+  let run scenario seed time =
+    let cluster, _sim, _world, monitor, _rng = make_env ~scenario ~seed ~time in
+    let snap = System.snapshot monitor ~time in
+    let loads = Compute_load.of_snapshot snap ~weights:Weights.paper_default in
+    let usable = Compute_load.usable loads in
+    Format.printf "t=%.0fs scenario=%s usable=%d/%d staleness=%.0fs@.@." time
+      scenario.Scenario.name (List.length usable)
+      (Cluster.node_count cluster) (Snapshot.max_staleness snap);
+    let ranked =
+      List.sort
+        (fun a b ->
+          Float.compare (Compute_load.get loads ~node:a) (Compute_load.get loads ~node:b))
+        usable
+    in
+    let show n =
+      match Snapshot.node_info snap n with
+      | Some info ->
+        Format.printf "  %-9s CL=%.4f load1m=%.2f util=%.0f%% nic=%.1fMB/s users=%d@."
+          info.Snapshot.static.Rm_cluster.Node.hostname
+          (Compute_load.get loads ~node:n)
+          info.Snapshot.load.Rm_stats.Running_means.m1
+          info.Snapshot.util_pct.Rm_stats.Running_means.m1
+          info.Snapshot.nic_mb_s.Rm_stats.Running_means.m1 info.Snapshot.users
+      | None -> ()
+    in
+    let rec take k = function [] -> [] | x :: r -> if k = 0 then [] else x :: take (k - 1) r in
+    Format.printf "best nodes by compute load (Eq. 1):@.";
+    List.iter show (take 5 ranked);
+    Format.printf "worst nodes:@.";
+    List.iter show (take 5 (List.rev ranked));
+    Format.printf "@.mean load/core across cluster: %.2f@."
+      (Broker.mean_load_per_core snap ~weights:Weights.paper_default)
+  in
+  Cmd.v (Cmd.info "snapshot" ~doc:"Show the monitor's view of the cluster.")
+    Term.(const run $ scenario_t $ seed_t $ time_t)
+
+(* --- allocate --------------------------------------------------------------- *)
+
+let allocate_cmd =
+  let run scenario seed time procs ppn alpha policy wait =
+    let _cluster, _sim, _world, monitor, rng = make_env ~scenario ~seed ~time in
+    let snap = System.snapshot monitor ~time in
+    let request = Request.make ?ppn ~alpha ~procs () in
+    let config =
+      { Broker.default_config with Broker.policy; wait_threshold = wait }
+    in
+    Format.printf "%a via %s@." Request.pp request (Policies.name policy);
+    match Broker.decide ~config ~snapshot:snap ~request ~rng with
+    | Error e -> Format.printf "error: %a@." Allocation.pp_error e
+    | Ok (Broker.Wait _ as d) -> Format.printf "%a@." Broker.pp_decision d
+    | Ok (Broker.Allocated a) ->
+      Format.printf "%a@.@.machinefile:@.%s@.%s@." Allocation.pp a
+        (Rm_core.Hostfile.machinefile ~allocation:a ~cluster:_cluster)
+        (Rm_core.Hostfile.mpirun_command ~allocation:a ~cluster:_cluster
+           ~program:"./app")
+  in
+  let wait_t =
+    Arg.(value & opt (some float) None
+         & info [ "wait-threshold" ] ~docv:"LOAD"
+             ~doc:"Recommend waiting above this mean load per core.")
+  in
+  Cmd.v (Cmd.info "allocate" ~doc:"Make one allocation decision.")
+    Term.(const run $ scenario_t $ seed_t $ time_t $ procs_t $ ppn_t $ alpha_t
+          $ policy_t $ wait_t)
+
+(* --- run ------------------------------------------------------------------- *)
+
+let run_cmd =
+  let run scenario seed time procs ppn alpha policy app size use_mapping =
+    let _cluster, _sim, world, monitor, rng = make_env ~scenario ~seed ~time in
+    let snap = System.snapshot monitor ~time in
+    let request = Request.make ?ppn ~alpha ~procs () in
+    match
+      Policies.allocate ~policy ~snapshot:snap ~weights:Weights.paper_default
+        ~request ~rng
+    with
+    | Error e -> Format.printf "error: %a@." Allocation.pp_error e
+    | Ok allocation ->
+      Format.printf "%a@." Allocation.pp allocation;
+      let app = app_of app size ~ranks:(Allocation.total_procs allocation) in
+      let placement =
+        if not use_mapping then None
+        else begin
+          let m = Rm_mpisim.Mapping.optimize ~app ~allocation in
+          Format.printf
+            "rank mapping: %.2f -> %.2f inter-node MB/iteration@."
+            (m.Rm_mpisim.Mapping.default_inter_bytes /. 1e6)
+            (m.Rm_mpisim.Mapping.mapped_inter_bytes /. 1e6);
+          Some m.Rm_mpisim.Mapping.placement
+        end
+      in
+      let stats = Executor.run ~world ~allocation ~app ?placement () in
+      Format.printf "%a@." Executor.pp_stats stats
+  in
+  let map_t =
+    Arg.(value & flag
+         & info [ "map" ] ~doc:"Apply Treematch-style rank mapping before running.")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Allocate and execute one MPI job.")
+    Term.(const run $ scenario_t $ seed_t $ time_t $ procs_t $ ppn_t $ alpha_t
+          $ policy_t $ app_t $ size_t $ map_t)
+
+(* --- compare ----------------------------------------------------------------- *)
+
+let compare_cmd =
+  let run scenario seed time procs ppn alpha app size =
+    let _cluster, sim, world, monitor, rng = make_env ~scenario ~seed ~time in
+    Format.printf "%-20s %10s %8s %10s@." "policy" "time (s)" "comm%" "load/core";
+    List.iter
+      (fun policy ->
+        Sim.run_until sim (World.now world);
+        let snap = System.snapshot monitor ~time:(World.now world) in
+        let request = Request.make ?ppn ~alpha ~procs () in
+        match
+          Policies.allocate ~policy ~snapshot:snap
+            ~weights:Weights.paper_default ~request ~rng
+        with
+        | Error e -> Format.printf "%a@." Allocation.pp_error e
+        | Ok allocation ->
+          let app = app_of app size ~ranks:(Allocation.total_procs allocation) in
+          let stats = Executor.run ~world ~allocation ~app () in
+          Format.printf "%-20s %10.3f %8.0f %10.2f@." (Policies.name policy)
+            stats.Executor.total_time_s
+            (100.0 *. stats.Executor.comm_fraction)
+            stats.Executor.mean_load_per_core)
+      Policies.all
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Run the same job under all four policies in sequence.")
+    Term.(const run $ scenario_t $ seed_t $ time_t $ procs_t $ ppn_t $ alpha_t
+          $ app_t $ size_t)
+
+(* --- forecast ----------------------------------------------------------------- *)
+
+let forecast_cmd =
+  let run scenario seed node hours =
+    let cluster = Cluster.iitk_reference () in
+    let world = World.create ~cluster ~scenario ~seed in
+    let forecaster = Rm_forecast.Forecaster.create () in
+    let period = 60.0 in
+    let steps = int_of_float (hours *. 3600.0 /. period) in
+    let abs_err = ref 0.0 and scored = ref 0 in
+    for i = 1 to steps do
+      let now = float_of_int i *. period in
+      (match Rm_forecast.Forecaster.predict forecaster with
+      | Some p ->
+        World.advance world ~now;
+        let truth = World.cpu_load world ~node in
+        abs_err := !abs_err +. Float.abs (p -. truth);
+        incr scored
+      | None -> World.advance world ~now);
+      Rm_forecast.Forecaster.observe forecaster (World.cpu_load world ~node)
+    done;
+    Format.printf "node %d CPU load, %d one-minute samples@." node steps;
+    (match Rm_forecast.Forecaster.best_model forecaster with
+    | Some m ->
+      Format.printf "winning model: %s@." (Rm_forecast.Predictor.name m)
+    | None -> ());
+    Format.printf "adaptive forecaster MAE: %.3f@."
+      (!abs_err /. float_of_int (max 1 !scored));
+    Format.printf "per-model MAE:@.";
+    List.iter
+      (fun (m, e) ->
+        Format.printf "  %-16s %.3f@." (Rm_forecast.Predictor.name m) e)
+      (List.sort
+         (fun (_, a) (_, b) -> Float.compare a b)
+         (Rm_forecast.Forecaster.errors forecaster))
+  in
+  let node_t =
+    Arg.(value & opt int 0 & info [ "node" ] ~docv:"N" ~doc:"Node to forecast.")
+  in
+  let hours_t =
+    Arg.(value & opt float 6.0 & info [ "hours" ] ~docv:"H" ~doc:"Trace length.")
+  in
+  Cmd.v
+    (Cmd.info "forecast"
+       ~doc:"Demo the NWS-style adaptive forecaster on a node's CPU load.")
+    Term.(const run $ scenario_t $ seed_t $ node_t $ hours_t)
+
+(* --- record / replay ---------------------------------------------------------- *)
+
+let record_cmd =
+  let run scenario seed hours period out =
+    let cluster = Cluster.iitk_reference () in
+    let world = World.create ~cluster ~scenario ~seed in
+    let traces = World.record_traces world ~hours ~period_s:period in
+    let csv = Rm_workload.Trace_replay.to_csv traces in
+    (match out with
+    | None -> print_string csv
+    | Some path ->
+      let oc = open_out path in
+      output_string oc csv;
+      close_out oc;
+      Format.printf "wrote %s (%d nodes, %.1f h at %.0f s)@." path
+        (List.length traces) hours period)
+  in
+  let hours_t =
+    Arg.(value & opt float 2.0 & info [ "hours" ] ~docv:"H" ~doc:"Trace length.")
+  in
+  let period_t =
+    Arg.(value & opt float 60.0 & info [ "period" ] ~docv:"S" ~doc:"Sample period.")
+  in
+  let out_t =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output CSV (default stdout).")
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:"Record a node-attribute trace of the simulated cluster to CSV.")
+    Term.(const run $ scenario_t $ seed_t $ hours_t $ period_t $ out_t)
+
+let replay_cmd =
+  let run file time procs ppn alpha policy =
+    let ic = open_in file in
+    let len = in_channel_length ic in
+    let csv = really_input_string ic len in
+    close_in ic;
+    let traces = Rm_workload.Trace_replay.of_csv csv in
+    let cluster = Cluster.iitk_reference () in
+    if List.length traces <> Cluster.node_count cluster then
+      Format.printf
+        "note: trace has %d nodes; the reference cluster has %d - aborting@."
+        (List.length traces) (Cluster.node_count cluster)
+    else begin
+      let world = World.create_replay ~cluster ~traces ~seed:1 () in
+      World.advance world ~now:time;
+      let snap = Snapshot.of_truth ~time ~world in
+      let request = Request.make ?ppn ~alpha ~procs () in
+      match
+        Policies.allocate ~policy ~snapshot:snap ~weights:Weights.paper_default
+          ~request ~rng:(Rm_stats.Rng.create 1)
+      with
+      | Error e -> Format.printf "error: %a@." Allocation.pp_error e
+      | Ok a ->
+        Format.printf "%a@.%s@." Allocation.pp a
+          (Rm_core.Hostfile.machinefile ~allocation:a ~cluster)
+    end
+  in
+  let file_t =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"TRACE.csv" ~doc:"Recorded trace.")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Allocate against a recorded trace instead of the live models.")
+    Term.(const run $ file_t $ time_t $ procs_t $ ppn_t $ alpha_t $ policy_t)
+
+(* --- sched ------------------------------------------------------------------- *)
+
+let sched_cmd =
+  let run file scenario seed policy exclusive =
+    let ic = open_in file in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    (* name,at_s,procs,ppn,alpha,app,size[,priority] — header optional. *)
+    let parse_row lineno row =
+      match String.split_on_char ',' (String.trim row) with
+      | name :: at :: procs :: ppn :: alpha :: app :: size :: rest ->
+        (try
+           let kind =
+             match String.trim app with
+             | "minimd" -> `Md
+             | "minife" -> `Fe
+             | other -> failwith ("unknown app " ^ other)
+           in
+           Some
+             ( String.trim name,
+               float_of_string at,
+               int_of_string procs,
+               int_of_string ppn,
+               float_of_string alpha,
+               kind,
+               int_of_string size,
+               match rest with [ p ] -> int_of_string p | _ -> 0 )
+         with Failure msg ->
+           raise
+             (Failure (Printf.sprintf "%s: line %d: %s" file lineno msg)))
+      | [ "" ] | [] -> None
+      | _ -> raise (Failure (Printf.sprintf "%s: line %d: bad row" file lineno))
+    in
+    let rows =
+      String.split_on_char '\n' text
+      |> List.filteri (fun i l ->
+             not (i = 0 && String.length l >= 4 && String.sub l 0 4 = "name"))
+      |> List.filter (fun l -> String.trim l <> "")
+      |> List.mapi (fun i l -> parse_row (i + 1) l)
+      |> List.filter_map Fun.id
+    in
+    let cluster = Cluster.iitk_reference () in
+    let sim = Sim.create () in
+    let world = World.create ~cluster ~scenario ~seed in
+    let rng = Rm_stats.Rng.create (seed + 2) in
+    let horizon =
+      List.fold_left (fun acc (_, at, _, _, _, _, _, _) -> Float.max acc at)
+        0.0 rows
+      +. 50_000.0
+    in
+    let monitor = System.start ~sim ~world ~rng ~until:horizon () in
+    let config =
+      {
+        Rm_sched.Scheduler.default_config with
+        Rm_sched.Scheduler.broker = { Broker.default_config with Broker.policy };
+        exclusive;
+      }
+    in
+    let sched =
+      Rm_sched.Scheduler.create ~sim ~world ~monitor ~config ~rng ~horizon ()
+    in
+    let warm = System.warm_up_s System.default_cadence in
+    List.iter
+      (fun (name, at, procs, ppn, alpha, kind, size, priority) ->
+        ignore
+          (Rm_sched.Scheduler.submit sched ~name ~at:(warm +. at) ~priority
+             ~request:(Request.make ~ppn ~alpha ~procs ())
+             ~app_of:(app_of kind size)
+             ()))
+      rows;
+    let rec drain () =
+      if
+        List.length (Rm_sched.Scheduler.finished sched) < List.length rows
+        && Sim.now sim < horizon
+      then begin
+        Sim.run_until sim (Sim.now sim +. 600.0);
+        drain ()
+      end
+    in
+    drain ();
+    List.iter
+      (fun (o : Rm_sched.Scheduler.outcome) ->
+        Format.printf "%-12s waited %6.0fs ran %8.2fs on %d nodes@."
+          o.Rm_sched.Scheduler.name
+          (o.Rm_sched.Scheduler.started_at -. o.Rm_sched.Scheduler.submitted_at)
+          (o.Rm_sched.Scheduler.finished_at -. o.Rm_sched.Scheduler.started_at)
+          (List.length o.Rm_sched.Scheduler.nodes))
+      (Rm_sched.Scheduler.finished sched);
+    (try
+       let s = Rm_sched.Scheduler.summary sched in
+       Format.printf
+         "@.finished %d; mean wait %.0fs; mean turnaround %.1fs@.@."
+         s.Rm_sched.Scheduler.jobs_finished s.Rm_sched.Scheduler.mean_wait_s
+         s.Rm_sched.Scheduler.mean_turnaround_s
+     with Invalid_argument _ -> Format.printf "nothing finished@.");
+    print_string (Rm_sched.Scheduler.render_timeline sched ())
+  in
+  let file_t =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"JOBS.csv"
+             ~doc:"Rows: name,at_s,procs,ppn,alpha,app,size[,priority].")
+  in
+  let exclusive_t =
+    Arg.(value & flag
+         & info [ "exclusive" ]
+             ~doc:"Space-share: hide busy nodes from the allocator.")
+  in
+  Cmd.v
+    (Cmd.info "sched" ~doc:"Run a job file through the batch scheduler.")
+    Term.(const run $ file_t $ scenario_t $ seed_t $ policy_t $ exclusive_t)
+
+let () =
+  let info =
+    Cmd.info "rmctl" ~version:"1.0.0"
+      ~doc:"Network and load-aware resource manager for MPI programs (simulated)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ cluster_cmd; snapshot_cmd; allocate_cmd; run_cmd; compare_cmd;
+            forecast_cmd; record_cmd; replay_cmd; sched_cmd ]))

@@ -1,0 +1,1 @@
+examples/monitor_tour.ml: Format List Rm_cluster Rm_engine Rm_monitor Rm_stats Rm_workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Rm_apps Rm_cluster Rm_core Rm_engine Rm_monitor Rm_mpisim Rm_stats Rm_workload

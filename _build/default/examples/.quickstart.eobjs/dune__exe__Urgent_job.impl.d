@@ -1,0 +1,1 @@
+examples/urgent_job.ml: Format Rm_apps Rm_cluster Rm_core Rm_engine Rm_monitor Rm_mpisim Rm_stats Rm_workload

@@ -1,0 +1,1 @@
+examples/urgent_job.mli:

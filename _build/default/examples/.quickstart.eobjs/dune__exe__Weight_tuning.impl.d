@@ -1,0 +1,1 @@
+examples/weight_tuning.ml: Format List Rm_apps Rm_cluster Rm_core Rm_mpisim Rm_workload

@@ -1,0 +1,88 @@
+(* Multi-cluster federation (§6 future work): two departmental clusters
+   joined by a slow campus backbone. The aware allocator keeps jobs
+   inside one site; we then force a cross-site placement to show what
+   the WAN costs, and grow the job until one site cannot hold it.
+
+     dune exec examples/federation.exe *)
+
+module Sim = Rm_engine.Sim
+module Cluster = Rm_cluster.Cluster
+module Topology = Rm_cluster.Topology
+module World = Rm_workload.World
+module Scenario = Rm_workload.Scenario
+module System = Rm_monitor.System
+module Policies = Rm_core.Policies
+module Request = Rm_core.Request
+module Weights = Rm_core.Weights
+module Allocation = Rm_core.Allocation
+module Executor = Rm_mpisim.Executor
+
+let sites_of cluster allocation =
+  let topo = Cluster.topology cluster in
+  Allocation.node_ids allocation
+  |> List.map (Topology.site_of_node topo)
+  |> List.sort_uniq compare
+
+let () =
+  (* Two sites: "cse" (2 switches x 8 nodes) and "ee" (2 x 8). *)
+  let cluster =
+    Cluster.federated ~cores:12 ~freq_ghz:3.4
+      ~sites:[ ("cse", [ 8; 8 ]); ("ee", [ 8; 8 ]) ]
+      ()
+  in
+  Format.printf "federation: %a over %d sites@." Cluster.pp cluster
+    (Topology.site_count (Cluster.topology cluster));
+  let sim = Sim.create () in
+  let world = World.create ~cluster ~scenario:Scenario.normal ~seed:7 in
+  let rng = Rm_stats.Rng.create 9 in
+  let monitor = System.start ~sim ~world ~rng ~until:20_000.0 () in
+  Sim.run_until sim (System.warm_up_s System.default_cadence);
+  let snapshot = System.snapshot monitor ~time:(Sim.now sim) in
+  let weights = Weights.paper_default in
+
+  (* 1. A 32-process job fits in one site; the broker must keep it there. *)
+  let request = Request.make ~ppn:4 ~alpha:0.3 ~procs:32 () in
+  (match
+     Policies.allocate ~policy:Policies.Network_load_aware ~snapshot ~weights
+       ~request ~rng
+   with
+  | Error _ -> Format.printf "allocation failed@."
+  | Ok allocation ->
+    Format.printf "@.32 procs -> sites %s: %a@."
+      (String.concat "," (List.map string_of_int (sites_of cluster allocation)))
+      Allocation.pp allocation;
+    let app ranks =
+      Rm_apps.Minimd.app ~config:(Rm_apps.Minimd.default_config ~s:16) ~ranks
+    in
+    let stats = Executor.run ~world ~allocation ~app:(app 32) () in
+    Format.printf "confined run:   %.3f s@." stats.Executor.total_time_s;
+
+    (* 2. Force a WAN-spanning placement of the same job for contrast. *)
+    let forced =
+      Allocation.make ~policy:"forced-cross-site"
+        ~entries:
+          (List.init 8 (fun i ->
+               (* alternate: 4 nodes of site 0, 4 of site 1 *)
+               let node = if i < 4 then i else 16 + i in
+               { Allocation.node; procs = 4 }))
+    in
+    Format.printf "@.forced cross-site placement -> sites %s@."
+      (String.concat "," (List.map string_of_int (sites_of cluster forced)));
+    let stats = Executor.run ~world ~allocation:forced ~app:(app 32) () in
+    Format.printf "cross-site run: %.3f s (the WAN bill)@."
+      stats.Executor.total_time_s);
+
+  (* 3. A job too big for either site must span — and the broker still
+        minimizes the damage by taking whole sites, not slices. *)
+  Sim.run_until sim (World.now world);
+  let snapshot = System.snapshot monitor ~time:(World.now world) in
+  let big = Request.make ~ppn:4 ~alpha:0.3 ~procs:96 () in
+  match
+    Policies.allocate ~policy:Policies.Network_load_aware ~snapshot ~weights
+      ~request:big ~rng
+  with
+  | Error _ -> Format.printf "big allocation failed@."
+  | Ok allocation ->
+    Format.printf "@.96 procs cannot fit one site -> sites %s (%d nodes)@."
+      (String.concat "," (List.map string_of_int (sites_of cluster allocation)))
+      (Allocation.node_count allocation)

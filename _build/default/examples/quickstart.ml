@@ -1,0 +1,54 @@
+(* Quickstart: stand up a simulated shared cluster with its resource
+   monitor, ask the broker for nodes, and run miniMD on them.
+
+     dune exec examples/quickstart.exe *)
+
+module Sim = Rm_engine.Sim
+module Cluster = Rm_cluster.Cluster
+module World = Rm_workload.World
+module Scenario = Rm_workload.Scenario
+module System = Rm_monitor.System
+module Broker = Rm_core.Broker
+module Request = Rm_core.Request
+module Allocation = Rm_core.Allocation
+module Executor = Rm_mpisim.Executor
+
+let () =
+  (* 1. The cluster of the paper's evaluation: 60 nodes, 4 switches. *)
+  let cluster = Cluster.iitk_reference () in
+  Format.printf "cluster: %a@." Cluster.pp cluster;
+
+  (* 2. A world with background users and traffic, plus the monitor. *)
+  let sim = Sim.create () in
+  let world = World.create ~cluster ~scenario:Scenario.normal ~seed:42 in
+  let rng = Rm_stats.Rng.create 7 in
+  let monitor = System.start ~sim ~world ~rng ~until:7200.0 () in
+
+  (* 3. Let the daemons gather data (bandwidth probes run every 5 min). *)
+  let warm = System.warm_up_s System.default_cadence in
+  Sim.run_until sim warm;
+  Format.printf "monitor warm after %.0f simulated seconds@." warm;
+
+  (* 4. Ask the broker for 32 processes at 4 per node, communication-
+        heavy job (beta = 0.7, the paper's miniMD setting). *)
+  let snapshot = System.snapshot monitor ~time:(Sim.now sim) in
+  let request = Request.make ~ppn:4 ~alpha:0.3 ~procs:32 () in
+  Format.printf "request: %a@." Request.pp request;
+  (match
+     Broker.decide ~config:Broker.default_config ~snapshot ~request ~rng
+   with
+  | Error err -> Format.printf "allocation failed: %a@." Allocation.pp_error err
+  | Ok (Broker.Wait _ as d) -> Format.printf "broker: %a@." Broker.pp_decision d
+  | Ok (Broker.Allocated allocation) ->
+    Format.printf "allocated: %a@." Allocation.pp allocation;
+    List.iter
+      (fun id ->
+        Format.printf "  %a@." Rm_cluster.Node.pp (Cluster.node cluster id))
+      (Allocation.node_ids allocation);
+
+    (* 5. Run miniMD (16K atoms) on the allocation. *)
+    let app =
+      Rm_apps.Minimd.app ~config:(Rm_apps.Minimd.default_config ~s:16) ~ranks:32
+    in
+    let stats = Executor.run ~world ~allocation ~app () in
+    Format.printf "run: %a@." Executor.pp_stats stats)

@@ -1,0 +1,66 @@
+(* Profiling-driven weight selection (§5 / §6).
+
+   The paper sets alpha = 0.3 for miniMD and alpha = 0.4 for miniFE
+   "empirically", after observing 40-80% vs 25-60% communication time.
+   This example runs the profiler on both apps, prints the measured
+   fractions and the alpha/beta and w_lt/w_bw it derives, and checks the
+   result against the paper's hand-tuned values.
+
+     dune exec examples/weight_tuning.exe *)
+
+module Cluster = Rm_cluster.Cluster
+module World = Rm_workload.World
+module Scenario = Rm_workload.Scenario
+module Allocation = Rm_core.Allocation
+module Weights = Rm_core.Weights
+module Profiler = Rm_mpisim.Profiler
+
+(* Reference placement for profiling: 8 quiet nodes, 4 ranks each. *)
+let reference_allocation () =
+  Allocation.make ~policy:"profiling"
+    ~entries:(List.init 8 (fun i -> { Allocation.node = i; procs = 4 }))
+
+let show name (p : Profiler.profile) ~paper_alpha =
+  Format.printf
+    "%-22s comm %4.0f%%  (latency share of comm %4.0f%%)@." name
+    (100.0 *. p.Profiler.comm_fraction)
+    (100.0 *. p.Profiler.latency_fraction_of_comm);
+  Format.printf
+    "%-22s suggested alpha=%.2f beta=%.2f   (paper used alpha=%.2f)@." ""
+    p.Profiler.suggested_alpha
+    (1.0 -. p.Profiler.suggested_alpha)
+    paper_alpha;
+  Format.printf "%-22s suggested w_lt=%.2f w_bw=%.2f (paper used 0.25/0.75)@."
+    "" p.Profiler.suggested_w_lt p.Profiler.suggested_w_bw
+
+let () =
+  let cluster = Cluster.iitk_reference () in
+  let world = World.create ~cluster ~scenario:Scenario.normal ~seed:33 in
+  World.advance world ~now:3600.0;
+  let allocation = reference_allocation () in
+
+  Format.printf "=== profiling on 32 ranks over 8 nodes ===@.@.";
+  let md =
+    Profiler.profile ~world ~allocation
+      ~app:(Rm_apps.Minimd.app ~config:(Rm_apps.Minimd.default_config ~s:16) ~ranks:32)
+      ()
+  in
+  show "miniMD (s=16)" md ~paper_alpha:0.3;
+  Format.printf "@.";
+  let fe =
+    Profiler.profile ~world ~allocation
+      ~app:(Rm_apps.Minife.app ~config:(Rm_apps.Minife.default_config ~nx:144) ~ranks:32)
+      ()
+  in
+  show "miniFE (nx=144)" fe ~paper_alpha:0.4;
+
+  Format.printf "@.=== derived weight sets ===@.";
+  let wmd = Profiler.weights_for md ~base:Weights.paper_default in
+  let wfe = Profiler.weights_for fe ~base:Weights.paper_default in
+  Format.printf "miniMD network weights: w_lt=%.2f w_bw=%.2f@."
+    wmd.Weights.w_lt wmd.Weights.w_bw;
+  Format.printf "miniFE network weights: w_lt=%.2f w_bw=%.2f@."
+    wfe.Weights.w_lt wfe.Weights.w_bw;
+  Format.printf
+    "@.ordering check: miniMD should profile more communication-bound than miniFE: %b@."
+    (md.Profiler.comm_fraction > fe.Profiler.comm_fraction)

@@ -1,0 +1,1 @@
+lib/apps/minife.ml: List Printf Rm_mpisim

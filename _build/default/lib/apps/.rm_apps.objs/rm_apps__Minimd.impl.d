@@ -1,0 +1,1 @@
+lib/apps/minimd.ml: List Printf Rm_mpisim

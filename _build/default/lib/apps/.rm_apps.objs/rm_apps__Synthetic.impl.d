@@ -1,0 +1,1 @@
+lib/apps/synthetic.ml: List Rm_mpisim

@@ -1,0 +1,56 @@
+module App = Rm_mpisim.App
+module Decomp3d = Rm_mpisim.Decomp3d
+
+type config = { nx : int; cg_iterations : int }
+
+let default_config ~nx = { nx; cg_iterations = 200 }
+
+let rows config =
+  let n = config.nx + 1 in
+  n * n * n
+
+(* 27-point stencil SpMV: 2 flops per nonzero; 3 AXPYs and 2 dots add
+   ~10 flops/row. Matrix assembly (first step) is roughly 120 flops/row.
+   A halo face ships one double per boundary row. *)
+let spmv_flops_per_row = 2.0 *. 27.0
+let vector_flops_per_row = 10.0
+let assembly_flops_per_row = 120.0
+let bytes_per_face_row = 8.0
+
+let name config ~ranks = Printf.sprintf "miniFE(nx=%d,p=%d)" config.nx ranks
+
+let app ~config ~ranks =
+  if config.nx <= 0 then invalid_arg "Minife.app: non-positive nx";
+  if config.cg_iterations <= 0 then
+    invalid_arg "Minife.app: non-positive iteration count";
+  let grid = Decomp3d.create ~ranks in
+  let rows_per_rank = float_of_int (rows config) /. float_of_int ranks in
+  let face_rows = rows_per_rank ** (2.0 /. 3.0) in
+  let halo =
+    List.concat
+      (List.init ranks (fun rank ->
+           List.map
+             (fun (neighbor, faces) ->
+               (rank, neighbor, float_of_int faces *. face_rows *. bytes_per_face_row))
+             (Decomp3d.face_counts grid ~rank)))
+  in
+  let phase ~iter =
+    let assembling = iter = 0 in
+    let flops =
+      rows_per_rank
+      *. (spmv_flops_per_row +. vector_flops_per_row
+         +. (if assembling then assembly_flops_per_row else 0.0))
+    in
+    {
+      App.flops_per_rank = (fun _rank -> flops);
+      messages = (if assembling then [] else halo);
+      (* Two 8-byte dot-product reductions per CG iteration. *)
+      allreduce_bytes = (if assembling then 0.0 else 16.0);
+    }
+  in
+  App.make ~name:(name config ~ranks) ~ranks
+    ~iterations:(config.cg_iterations + 1) ~phase
+    ~description:
+      (Printf.sprintf "CG solve on a %d^3-element brick (%d rows), %d iterations"
+         config.nx (rows config) config.cg_iterations)
+    ()

@@ -1,0 +1,21 @@
+(** miniFE proxy: unstructured implicit finite elements (Mantevo).
+
+    Sets up a brick-shaped hexahedral domain of nx×ny×nz elements and
+    runs a conjugate-gradient solve on the resulting 27-point sparse
+    system. Per CG iteration: one SpMV (halo exchange with the 6 face
+    neighbours), two dot products (tiny allreduces) and three AXPYs.
+    More compute-bound than miniMD — the paper profiles 25–60 %
+    communication time. *)
+
+type config = {
+  nx : int;  (** global elements per dimension (ny = nz = nx, §5.2) *)
+  cg_iterations : int;  (** the paper uses the default 200 *)
+}
+
+val default_config : nx:int -> config
+
+val rows : config -> int
+(** (nx+1)³ degrees of freedom. *)
+
+val app : config:config -> ranks:int -> Rm_mpisim.App.t
+val name : config -> ranks:int -> string

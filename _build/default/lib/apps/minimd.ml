@@ -1,0 +1,69 @@
+module App = Rm_mpisim.App
+module Decomp3d = Rm_mpisim.Decomp3d
+
+type config = {
+  s : int;
+  steps : int;
+  reneigh_every : int;
+  thermo_every : int;
+}
+
+let default_config ~s = { s; steps = 100; reneigh_every = 20; thermo_every = 10 }
+
+let atoms config = 4 * config.s * config.s * config.s
+
+(* Cost constants (reduced LJ units, cutoff 2.5σ):
+   ~76 neighbours/atom, half lists → ~1850 flops of force work per atom
+   per step plus integration; a neighbour-list rebuild is ~2500 extra
+   flops per atom. A ghosted atom ships position + force contributions,
+   ~40 bytes; the ghost shell is ~2 atom layers deep. *)
+let force_flops_per_atom = 1850.0
+let integrate_flops_per_atom = 60.0
+let rebuild_flops_per_atom = 2500.0
+let bytes_per_ghost_atom = 40.0
+let ghost_layers = 2.0
+
+let name config ~ranks = Printf.sprintf "miniMD(s=%d,p=%d)" config.s ranks
+
+let app ~config ~ranks =
+  if config.s <= 0 then invalid_arg "Minimd.app: non-positive s";
+  if config.steps <= 0 then invalid_arg "Minimd.app: non-positive steps";
+  if config.reneigh_every <= 0 || config.thermo_every <= 0 then
+    invalid_arg "Minimd.app: non-positive cadence";
+  let grid = Decomp3d.create ~ranks in
+  let atoms_per_rank = float_of_int (atoms config) /. float_of_int ranks in
+  let face_atoms = ghost_layers *. (atoms_per_rank ** (2.0 /. 3.0)) in
+  let halo_messages ~scale =
+    List.concat
+      (List.init ranks (fun rank ->
+           List.map
+             (fun (neighbor, faces) ->
+               ( rank,
+                 neighbor,
+                 scale *. float_of_int faces *. face_atoms *. bytes_per_ghost_atom ))
+             (Decomp3d.face_counts grid ~rank)))
+  in
+  let steady = halo_messages ~scale:1.0 in
+  let rebuild = halo_messages ~scale:3.0 in
+  let phase ~iter =
+    let rebuilding = iter mod config.reneigh_every = 0 in
+    let flops =
+      atoms_per_rank
+      *. (force_flops_per_atom +. integrate_flops_per_atom
+         +. (if rebuilding then rebuild_flops_per_atom else 0.0))
+    in
+    {
+      App.flops_per_rank = (fun _rank -> flops);
+      messages = (if rebuilding then rebuild else steady);
+      allreduce_bytes = (if iter mod config.thermo_every = 0 then 48.0 else 0.0);
+    }
+  in
+  App.make ~name:(name config ~ranks) ~ranks ~iterations:config.steps ~phase
+    ~description:
+      (Printf.sprintf
+         "LJ molecular dynamics, %d atoms on a %s grid, %d timesteps"
+         (atoms config)
+         (let x, y, z = Decomp3d.dims grid in
+          Printf.sprintf "%dx%dx%d" x y z)
+         config.steps)
+    ()

@@ -1,0 +1,28 @@
+(** miniMD proxy: parallel Lennard-Jones molecular dynamics (Mantevo).
+
+    Spatial decomposition over a 3-D process grid. The box is s×s×s FCC
+    unit cells (4 atoms each: "2K–442K atoms" for s = 8..48, §5.1).
+    Every timestep each rank computes LJ forces over its atoms and
+    exchanges ghost-atom positions with its 6 face neighbours; every
+    [reneigh_every] steps the neighbour lists rebuild (a heavier border
+    exchange); every [thermo_every] steps a small allreduce computes
+    thermodynamic output. Communication-heavy by design — the paper
+    profiles 40–80 % communication time. *)
+
+type config = {
+  s : int;  (** box edge in unit cells (problem size of Fig. 4) *)
+  steps : int;  (** timesteps; the paper runs the default 100 *)
+  reneigh_every : int;
+  thermo_every : int;
+}
+
+val default_config : s:int -> config
+(** steps = 100, reneigh_every = 20, thermo_every = 10. *)
+
+val atoms : config -> int
+(** 4·s³. *)
+
+val app : config:config -> ranks:int -> Rm_mpisim.App.t
+(** Requires ranks > 0 and s > 0. *)
+
+val name : config -> ranks:int -> string

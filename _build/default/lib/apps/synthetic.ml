@@ -1,0 +1,77 @@
+module App = Rm_mpisim.App
+
+let constant_phase ~flops ~messages ~allreduce_bytes : App.phase =
+  { App.flops_per_rank = (fun _ -> flops); messages; allreduce_bytes }
+
+let make ~name ~ranks ~iterations ~flops ~messages ~allreduce_bytes =
+  let phase = constant_phase ~flops ~messages ~allreduce_bytes in
+  App.make ~name ~ranks ~iterations ~phase:(fun ~iter:_ -> phase) ()
+
+let ring ~ranks ~iterations ?(flops_per_rank = 1e5) ?(bytes = 65536.0)
+    ?(allreduce_bytes = 0.0) () =
+  let messages =
+    if ranks < 2 then []
+    else List.init ranks (fun r -> (r, (r + 1) mod ranks, bytes))
+  in
+  make ~name:"synthetic-ring" ~ranks ~iterations ~flops:flops_per_rank
+    ~messages ~allreduce_bytes
+
+let nearest_neighbor ~ranks ~iterations ?(flops_per_rank = 1e5)
+    ?(bytes = 256.0) () =
+  let messages =
+    if ranks < 2 then []
+    else
+      List.concat
+        (List.init ranks (fun r ->
+             [ (r, (r + 1) mod ranks, bytes);
+               (r, (r + ranks - 1) mod ranks, bytes) ]))
+  in
+  make ~name:"synthetic-neighbors" ~ranks ~iterations ~flops:flops_per_rank
+    ~messages ~allreduce_bytes:8.0
+
+let stencil2d ~ranks ~iterations ?(flops_per_cell = 10.0)
+    ?(cells_per_rank = 250_000) ?(bytes_per_cell = 8.0) () =
+  if cells_per_rank <= 0 then invalid_arg "Synthetic.stencil2d: no cells";
+  (* Most square px x py grid. *)
+  let px =
+    let best = ref 1 in
+    for d = 1 to ranks do
+      if ranks mod d = 0 && d <= ranks / d then best := d
+    done;
+    !best
+  in
+  let py = ranks / px in
+  let face = sqrt (float_of_int cells_per_rank) *. bytes_per_cell in
+  let coord r = (r mod px, r / px) in
+  let rank_of (x, y) = (((x + px) mod px) + (((y + py) mod py) * px) : int) in
+  let messages =
+    if ranks < 2 then []
+    else
+      List.concat
+        (List.init ranks (fun r ->
+             let x, y = coord r in
+             [ rank_of (x - 1, y); rank_of (x + 1, y); rank_of (x, y - 1);
+               rank_of (x, y + 1) ]
+             |> List.sort_uniq compare
+             |> List.filter (fun n -> n <> r)
+             |> List.map (fun n -> (r, n, face))))
+  in
+  make ~name:"synthetic-stencil2d" ~ranks ~iterations
+    ~flops:(flops_per_cell *. float_of_int cells_per_rank)
+    ~messages ~allreduce_bytes:8.0
+
+let alltoall ~ranks ~iterations ?(flops_per_rank = 1e5)
+    ?(bytes_per_pair = 4096.0) () =
+  let messages =
+    List.concat
+      (List.init ranks (fun r ->
+           List.filter_map
+             (fun d -> if d = r then None else Some (r, d, bytes_per_pair))
+             (List.init ranks (fun d -> d))))
+  in
+  make ~name:"synthetic-alltoall" ~ranks ~iterations ~flops:flops_per_rank
+    ~messages ~allreduce_bytes:0.0
+
+let compute_only ~ranks ~iterations ?(flops_per_rank = 1e8) () =
+  make ~name:"synthetic-compute" ~ranks ~iterations ~flops:flops_per_rank
+    ~messages:[] ~allreduce_bytes:0.0

@@ -1,0 +1,53 @@
+(** Synthetic MPI workloads with controlled communication patterns.
+
+    The evaluation apps (miniMD, miniFE) fix their pattern; these
+    generators isolate one dimension at a time — message size, fan-out,
+    collective pressure — for calibration, ablations (§3.2.2's
+    latency-vs-bandwidth discussion) and tests. *)
+
+val ring :
+  ranks:int ->
+  iterations:int ->
+  ?flops_per_rank:float ->
+  ?bytes:float ->
+  ?allreduce_bytes:float ->
+  unit ->
+  Rm_mpisim.App.t
+(** Each rank sends [bytes] to its successor each step (one directed
+    ring). Defaults: 1e5 flops, 64 KiB messages, no collective. *)
+
+val nearest_neighbor :
+  ranks:int ->
+  iterations:int ->
+  ?flops_per_rank:float ->
+  ?bytes:float ->
+  unit ->
+  Rm_mpisim.App.t
+(** Bidirectional ring (both neighbours each step) — the chatty,
+    latency-bound shape of §3.2.2's discussion when [bytes] is small. *)
+
+val stencil2d :
+  ranks:int ->
+  iterations:int ->
+  ?flops_per_cell:float ->
+  ?cells_per_rank:int ->
+  ?bytes_per_cell:float ->
+  unit ->
+  Rm_mpisim.App.t
+(** 2-D halo exchange over the most square process grid: 4 face
+    neighbours with wrap-around, face size = √cells. An epidemic/
+    wildfire-style urgent workload (§1). *)
+
+val alltoall :
+  ranks:int ->
+  iterations:int ->
+  ?flops_per_rank:float ->
+  ?bytes_per_pair:float ->
+  unit ->
+  Rm_mpisim.App.t
+(** Dense personalized exchange — the worst case for a poorly-connected
+    allocation. *)
+
+val compute_only :
+  ranks:int -> iterations:int -> ?flops_per_rank:float -> unit -> Rm_mpisim.App.t
+(** No communication at all: a pure CPU job (α = 1 territory). *)

@@ -1,0 +1,1 @@
+lib/cluster/cluster.ml: Array Format Hashtbl List Node Printf Topology

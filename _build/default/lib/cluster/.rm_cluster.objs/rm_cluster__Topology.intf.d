@@ -1,0 +1,1 @@
+lib/cluster/topology.mli:

@@ -1,0 +1,130 @@
+type t = { nodes : Node.t array; topology : Topology.t }
+
+let make ~nodes ~topology =
+  let nodes = Array.of_list nodes in
+  let n = Array.length nodes in
+  if n = 0 then invalid_arg "Cluster.make: no nodes";
+  if Topology.node_count topology <> n then
+    invalid_arg "Cluster.make: topology/node count mismatch";
+  let seen = Hashtbl.create n in
+  Array.iteri
+    (fun i (node : Node.t) ->
+      if node.id <> i then invalid_arg "Cluster.make: node ids must be dense";
+      if Hashtbl.mem seen node.hostname then
+        invalid_arg ("Cluster.make: duplicate hostname " ^ node.hostname);
+      Hashtbl.add seen node.hostname ();
+      if Topology.switch_of_node topology i <> node.switch then
+        invalid_arg "Cluster.make: node switch disagrees with topology")
+    nodes;
+  { nodes; topology }
+
+let node_count t = Array.length t.nodes
+let nodes t = t.nodes
+
+let node t i =
+  if i < 0 || i >= node_count t then invalid_arg "Cluster.node: bad index";
+  t.nodes.(i)
+
+let topology t = t.topology
+
+let find_by_hostname t hostname =
+  Array.find_opt (fun (n : Node.t) -> n.hostname = hostname) t.nodes
+
+let total_cores t =
+  Array.fold_left (fun acc (n : Node.t) -> acc + n.cores) 0 t.nodes
+
+let pp ppf t =
+  Format.fprintf ppf "cluster<%d nodes, %d switches, %d cores>" (node_count t)
+    (Topology.switch_count t.topology) (total_cores t)
+
+let homogeneous ?(prefix = "node") ?(cores = 8) ?(freq_ghz = 3.0)
+    ?(mem_gb = 16.0) ~nodes_per_switch () =
+  if nodes_per_switch = [] then invalid_arg "Cluster.homogeneous: no switches";
+  List.iter
+    (fun k -> if k <= 0 then invalid_arg "Cluster.homogeneous: empty switch")
+    nodes_per_switch;
+  let switches = List.length nodes_per_switch in
+  let assignment =
+    List.concat (List.mapi (fun s k -> List.init k (fun _ -> s)) nodes_per_switch)
+  in
+  let node_switch = Array.of_list assignment in
+  let topology = Topology.create ~node_switch ~switches () in
+  let nodes =
+    List.mapi
+      (fun i switch ->
+        Node.make ~id:i
+          ~hostname:(Printf.sprintf "%s%d" prefix (i + 1))
+          ~cores ~freq_ghz ~mem_gb ~switch)
+      assignment
+  in
+  make ~nodes ~topology
+
+let federated ?(cores = 8) ?(freq_ghz = 3.0) ?(mem_gb = 16.0) ?wan_mb_s
+    ?wan_latency_us ~sites () =
+  if sites = [] then invalid_arg "Cluster.federated: no sites";
+  List.iter
+    (fun (_, per_switch) ->
+      if per_switch = [] then invalid_arg "Cluster.federated: empty site";
+      List.iter
+        (fun k -> if k <= 0 then invalid_arg "Cluster.federated: empty switch")
+        per_switch)
+    sites;
+  (* Flatten: switches are numbered site by site; each switch remembers
+     its site; nodes are numbered switch by switch. *)
+  let switch_site =
+    Array.of_list
+      (List.concat
+         (List.mapi
+            (fun site (_, per_switch) -> List.map (fun _ -> site) per_switch)
+            sites))
+  in
+  let node_switch =
+    let next_switch = ref 0 in
+    Array.of_list
+      (List.concat_map
+         (fun (_, per_switch) ->
+           List.concat_map
+             (fun k ->
+               let s = !next_switch in
+               incr next_switch;
+               List.init k (fun _ -> s))
+             per_switch)
+         sites)
+  in
+  let topology =
+    Topology.create ?wan_mb_s ?wan_latency_us ~switch_site ~node_switch
+      ~switches:(Array.length switch_site) ()
+  in
+  (* Hostnames: <prefix><k> within each site. *)
+  let node_site i = Topology.site_of_node topology i in
+  let prefixes = Array.of_list (List.map fst sites) in
+  let counters = Array.make (Array.length prefixes) 0 in
+  let nodes =
+    List.init (Array.length node_switch) (fun i ->
+        let site = node_site i in
+        counters.(site) <- counters.(site) + 1;
+        Node.make ~id:i
+          ~hostname:(Printf.sprintf "%s%d" prefixes.(site) counters.(site))
+          ~cores ~freq_ghz ~mem_gb
+          ~switch:(Topology.switch_of_node topology i))
+  in
+  make ~nodes ~topology
+
+(* §5: 40 × 12-core @ 4.6 GHz and 20 × 8-core @ 2.8 GHz over 4 switches.
+   We place 15 nodes per switch, the last 5 of each being the 8-core
+   machines, so every switch mixes both hardware kinds. *)
+let iitk_reference () =
+  let switches = 4 and per_switch = 15 in
+  let node_switch = Array.init (switches * per_switch) (fun i -> i / per_switch) in
+  let topology = Topology.create ~node_switch ~switches () in
+  let nodes =
+    List.init (switches * per_switch) (fun i ->
+        let within = i mod per_switch in
+        let big = within < 10 in
+        Node.make ~id:i
+          ~hostname:(Printf.sprintf "csews%d" (i + 1))
+          ~cores:(if big then 12 else 8)
+          ~freq_ghz:(if big then 4.6 else 2.8)
+          ~mem_gb:16.0 ~switch:(i / per_switch))
+  in
+  make ~nodes ~topology

@@ -1,0 +1,54 @@
+(** A cluster: typed nodes plus the switch topology connecting them.
+
+    Provides the IIT-Kanpur-like reference cluster the paper evaluates on
+    (§5) and small synthetic builders for tests and the brute-force
+    optimality study. *)
+
+type t
+
+val make : nodes:Node.t list -> topology:Topology.t -> t
+(** Validates that node ids are dense (0..n-1 in order), hostnames are
+    unique, and each node's [switch] matches the topology. *)
+
+val node_count : t -> int
+val nodes : t -> Node.t array
+val node : t -> int -> Node.t
+val topology : t -> Topology.t
+val find_by_hostname : t -> string -> Node.t option
+val total_cores : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+(** {2 Builders} *)
+
+val homogeneous :
+  ?prefix:string ->
+  ?cores:int ->
+  ?freq_ghz:float ->
+  ?mem_gb:float ->
+  nodes_per_switch:int list ->
+  unit ->
+  t
+(** One switch per list element, with the given number of identical nodes
+    on each; hostnames [prefix1], [prefix2], ... in switch order. *)
+
+val federated :
+  ?cores:int ->
+  ?freq_ghz:float ->
+  ?mem_gb:float ->
+  ?wan_mb_s:float ->
+  ?wan_latency_us:float ->
+  sites:(string * int list) list ->
+  unit ->
+  t
+(** Multi-cluster federation (§6): each site is (hostname prefix,
+    nodes per switch); sites are joined over a shared campus backbone
+    with the given WAN capacity/latency. Nodes are identical across
+    sites (heterogeneity can be layered with {!make}). *)
+
+val iitk_reference : unit -> t
+(** The paper's experimental setup (§5): 60 nodes on 4 switches (15
+    each), Gigabit Ethernet; 40 nodes with 12 logical cores at 4.6 GHz
+    and 20 nodes with 8 logical cores at 2.8 GHz, 16 GB each, hostnames
+    csews1..csews60. The 8-core nodes are the last five of each switch,
+    mirroring a mixed lab. *)

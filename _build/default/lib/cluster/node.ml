@@ -1,0 +1,23 @@
+type t = {
+  id : int;
+  hostname : string;
+  cores : int;
+  freq_ghz : float;
+  mem_gb : float;
+  switch : int;
+}
+
+let make ~id ~hostname ~cores ~freq_ghz ~mem_gb ~switch =
+  if id < 0 then invalid_arg "Node.make: negative id";
+  if cores <= 0 then invalid_arg "Node.make: non-positive core count";
+  if freq_ghz <= 0.0 then invalid_arg "Node.make: non-positive frequency";
+  if mem_gb <= 0.0 then invalid_arg "Node.make: non-positive memory";
+  if switch < 0 then invalid_arg "Node.make: negative switch";
+  { id; hostname; cores; freq_ghz; mem_gb; switch }
+
+(* 4 flops/cycle/core: arbitrary but consistent scale for the simulator. *)
+let flops_per_sec t = float_of_int t.cores *. t.freq_ghz *. 1e9 *. 4.0
+
+let pp ppf t =
+  Format.fprintf ppf "%s(#%d %dc @%.1fGHz %.0fGB sw%d)" t.hostname t.id t.cores
+    t.freq_ghz t.mem_gb t.switch

@@ -1,0 +1,30 @@
+(** Static description of one compute node.
+
+    These are the static attributes of Table 1 (core count, CPU frequency,
+    total memory); everything dynamic lives in the workload models and the
+    monitor. *)
+
+type t = {
+  id : int;  (** dense index in the cluster, 0-based *)
+  hostname : string;  (** e.g. "csews12" *)
+  cores : int;  (** logical core count *)
+  freq_ghz : float;  (** nominal clock speed *)
+  mem_gb : float;  (** total physical memory *)
+  switch : int;  (** edge switch the node hangs off *)
+}
+
+val make :
+  id:int ->
+  hostname:string ->
+  cores:int ->
+  freq_ghz:float ->
+  mem_gb:float ->
+  switch:int ->
+  t
+(** Validates positivity of all capacities. *)
+
+val flops_per_sec : t -> float
+(** Crude peak rate used by the MPI cost model: cores × freq × a fixed
+    per-cycle throughput. Only relative magnitudes matter. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,74 @@
+(** Tree network topology: edge switches connected through a root
+    switch, optionally federated across sites.
+
+    Matches the evaluation cluster of §5: "a tree-like hierarchical
+    topology with 4 switches. Each switch connects 10–15 nodes using
+    Gigabit Ethernet." Each node has one access link to its edge switch;
+    each edge switch has one uplink to its site's root. The path between
+    two nodes on the same switch crosses 2 links, otherwise 4 links
+    (their access links plus both uplinks).
+
+    For the §6 multi-cluster extension, switches may be assigned to
+    {e sites} (separate clusters joined by a campus/WAN backbone): a
+    cross-site path additionally crosses both sites' WAN links (6 links
+    total) and pays a large extra base latency. The default is a single
+    site, which reproduces the flat behaviour exactly. *)
+
+type link = {
+  link_id : int;
+  capacity_mb_s : float;  (** payload capacity in MB/s *)
+  label : string;
+}
+
+type t
+
+val create :
+  ?access_mb_s:float ->
+  ?uplink_mb_s:float ->
+  ?switch_site:int array ->
+  ?wan_mb_s:float ->
+  ?wan_latency_us:float ->
+  node_switch:int array ->
+  switches:int ->
+  unit ->
+  t
+(** [node_switch.(i)] is the edge switch of node [i]; switch indices must
+    be in [0, switches). Default capacities model Gigabit Ethernet:
+    118 MB/s of goodput on access links and uplinks.
+
+    [switch_site.(s)] assigns switch [s] to a site (default: all on site
+    0). Sites must be contiguous starting at 0. [wan_mb_s] (default 60,
+    a shared campus backbone) and [wan_latency_us] (default 900) apply
+    per crossed WAN link. *)
+
+val node_count : t -> int
+val switch_count : t -> int
+val switch_of_node : t -> int -> int
+val nodes_of_switch : t -> int -> int list
+
+val link_count : t -> int
+val link : t -> int -> link
+val access_link : t -> node:int -> link
+val uplink : t -> switch:int -> link
+
+val path : t -> int -> int -> link list
+(** Links crossed between two distinct nodes, in order. Empty for a node
+    with itself. *)
+
+val hops : t -> int -> int -> int
+(** Number of links on {!path}: 0, 2, 4, or 6 (cross-site). *)
+
+val same_switch : t -> int -> int -> bool
+
+(** {2 Sites (multi-cluster federation)} *)
+
+val site_count : t -> int
+val site_of_switch : t -> int -> int
+val site_of_node : t -> int -> int
+val same_site : t -> int -> int -> bool
+val wan_link : t -> site:int -> link
+(** Raises [Invalid_argument] for a single-site topology. *)
+
+val base_latency_us : t -> int -> int -> float
+(** Unloaded one-way latency estimate: a per-link store-and-forward cost
+    plus a per-switch forwarding cost. Zero for a node with itself. *)

@@ -1,0 +1,1 @@
+lib/core/allocation.ml: Format Hashtbl List Printf String

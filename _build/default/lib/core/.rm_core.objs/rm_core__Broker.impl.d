@@ -1,0 +1,1 @@
+lib/core/broker.ml: Allocation Compute_load Format List Policies Result Rm_cluster Rm_monitor Weights

@@ -1,0 +1,1 @@
+lib/core/broker.mli: Allocation Format Policies Request Rm_monitor Rm_stats Weights

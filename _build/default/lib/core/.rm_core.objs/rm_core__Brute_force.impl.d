@@ -1,0 +1,1 @@
+lib/core/brute_force.ml: Array Compute_load Network_load Request

@@ -1,0 +1,1 @@
+lib/core/brute_force.mli: Compute_load Network_load Request

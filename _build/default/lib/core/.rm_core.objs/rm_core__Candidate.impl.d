@@ -1,0 +1,1 @@
+lib/core/candidate.ml: Array Compute_load Float List Network_load Request

@@ -1,0 +1,1 @@
+lib/core/candidate.mli: Compute_load Network_load Request

@@ -1,0 +1,1 @@
+lib/core/compute_load.ml: Array Format Hashtbl List Madm Rm_cluster Rm_monitor Rm_stats Saw Weights

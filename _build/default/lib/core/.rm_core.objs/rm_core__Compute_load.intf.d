@@ -1,0 +1,1 @@
+lib/core/compute_load.mli: Format Madm Rm_monitor Weights

@@ -1,0 +1,1 @@
+lib/core/effective_procs.ml: Compute_load Float List Rm_cluster Rm_monitor

@@ -1,0 +1,1 @@
+lib/core/effective_procs.mli: Compute_load Rm_monitor

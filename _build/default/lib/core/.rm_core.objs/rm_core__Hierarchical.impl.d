@@ -1,0 +1,1 @@
+lib/core/hierarchical.ml: Allocation Array Candidate Compute_load Effective_procs Float Hashtbl List Network_load Option Request Rm_cluster Rm_monitor Select

@@ -1,0 +1,1 @@
+lib/core/hierarchical.mli: Allocation Compute_load Network_load Request Rm_monitor Weights

@@ -1,0 +1,1 @@
+lib/core/hostfile.ml: Allocation List Printf Rm_cluster String

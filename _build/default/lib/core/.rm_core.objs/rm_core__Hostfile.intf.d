@@ -1,0 +1,1 @@
+lib/core/hostfile.mli: Allocation Rm_cluster

@@ -1,0 +1,1 @@
+lib/core/madm.ml: Array Float List Saw

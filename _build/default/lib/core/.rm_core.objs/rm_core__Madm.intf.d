@@ -1,0 +1,1 @@
+lib/core/madm.mli: Saw

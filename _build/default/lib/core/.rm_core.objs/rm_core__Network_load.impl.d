@@ -1,0 +1,1 @@
+lib/core/network_load.ml: Array Float Hashtbl List Rm_monitor Rm_stats Weights

@@ -1,0 +1,1 @@
+lib/core/network_load.mli: Rm_monitor Weights

@@ -1,0 +1,1 @@
+lib/core/policies.ml: Allocation Array Candidate Compute_load Effective_procs Float Hierarchical List Network_load Request Rm_monitor Rm_stats Select

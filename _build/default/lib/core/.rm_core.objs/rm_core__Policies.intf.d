@@ -1,0 +1,1 @@
+lib/core/policies.mli: Allocation Request Rm_monitor Rm_stats Weights

@@ -1,0 +1,1 @@
+lib/core/saw.ml: Array Float List Printf

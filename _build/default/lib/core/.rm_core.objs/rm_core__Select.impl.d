@@ -1,0 +1,1 @@
+lib/core/select.ml: Candidate Compute_load List Network_load Request

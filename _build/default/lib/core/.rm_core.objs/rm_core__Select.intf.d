@@ -1,0 +1,1 @@
+lib/core/select.mli: Candidate Compute_load Network_load Request

@@ -1,0 +1,39 @@
+type entry = { node : int; procs : int }
+
+type t = { policy : string; entries : entry list }
+
+let make ~policy ~entries =
+  if entries = [] then invalid_arg "Allocation.make: empty allocation";
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      if e.procs <= 0 then invalid_arg "Allocation.make: non-positive procs";
+      if Hashtbl.mem seen e.node then
+        invalid_arg "Allocation.make: duplicate node";
+      Hashtbl.add seen e.node ())
+    entries;
+  { policy; entries }
+
+let total_procs t = List.fold_left (fun acc e -> acc + e.procs) 0 t.entries
+let node_ids t = List.map (fun e -> e.node) t.entries
+let node_count t = List.length t.entries
+
+let procs_on t ~node =
+  match List.find_opt (fun e -> e.node = node) t.entries with
+  | Some e -> e.procs
+  | None -> 0
+
+let pp ppf t =
+  Format.fprintf ppf "%s:[%s]" t.policy
+    (String.concat "; "
+       (List.map (fun e -> Printf.sprintf "n%d×%d" e.node e.procs) t.entries))
+
+type error =
+  | Insufficient_capacity of { requested : int; available : int }
+  | No_usable_nodes
+
+let pp_error ppf = function
+  | Insufficient_capacity { requested; available } ->
+    Format.fprintf ppf "insufficient capacity: requested %d, available %d"
+      requested available
+  | No_usable_nodes -> Format.fprintf ppf "no usable nodes"

@@ -1,0 +1,25 @@
+(** The result of node allocation: which nodes, how many processes each. *)
+
+type entry = { node : int; procs : int }
+
+type t = private {
+  policy : string;  (** allocating policy name, for reporting *)
+  entries : entry list;  (** in placement order; procs > 0 each *)
+}
+
+val make : policy:string -> entries:entry list -> t
+(** Validates: non-empty, positive process counts, distinct nodes. *)
+
+val total_procs : t -> int
+val node_ids : t -> int list
+val node_count : t -> int
+val procs_on : t -> node:int -> int
+(** 0 when the node is not part of the allocation. *)
+
+val pp : Format.formatter -> t -> unit
+
+type error =
+  | Insufficient_capacity of { requested : int; available : int }
+  | No_usable_nodes
+
+val pp_error : Format.formatter -> error -> unit

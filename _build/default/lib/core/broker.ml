@@ -1,0 +1,59 @@
+module Snapshot = Rm_monitor.Snapshot
+
+type config = {
+  weights : Weights.t;
+  policy : Policies.policy;
+  wait_threshold : float option;
+}
+
+let default_config =
+  {
+    weights = Weights.paper_default;
+    policy = Policies.Network_load_aware;
+    wait_threshold = None;
+  }
+
+type decision =
+  | Allocated of Allocation.t
+  | Wait of { mean_load_per_core : float; threshold : float }
+
+let mean_load_per_core snapshot ~weights =
+  let loads = Compute_load.of_snapshot snapshot ~weights in
+  let usable = Compute_load.usable loads in
+  let total_load, total_cores =
+    List.fold_left
+      (fun (l, c) node ->
+        let info =
+          match Snapshot.node_info snapshot node with
+          | Some i -> i
+          | None -> assert false
+        in
+        ( l +. Compute_load.cpu_load_1m loads ~node,
+          c + info.Snapshot.static.Rm_cluster.Node.cores ))
+      (0.0, 0) usable
+  in
+  if total_cores = 0 then 0.0 else total_load /. float_of_int total_cores
+
+let decide ~config ~snapshot ~request ~rng =
+  let overloaded =
+    match config.wait_threshold with
+    | None -> None
+    | Some threshold ->
+      let m = mean_load_per_core snapshot ~weights:config.weights in
+      if m > threshold then Some (m, threshold) else None
+  in
+  match overloaded with
+  | Some (mean_load_per_core, threshold) ->
+    Ok (Wait { mean_load_per_core; threshold })
+  | None ->
+    Result.map
+      (fun allocation -> Allocated allocation)
+      (Policies.allocate ~policy:config.policy ~snapshot
+         ~weights:config.weights ~request ~rng)
+
+let pp_decision ppf = function
+  | Allocated a -> Allocation.pp ppf a
+  | Wait { mean_load_per_core; threshold } ->
+    Format.fprintf ppf
+      "wait (cluster mean load/core %.2f exceeds threshold %.2f)"
+      mean_load_per_core threshold

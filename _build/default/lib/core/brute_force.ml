@@ -1,0 +1,29 @@
+let objective ~loads ~net ~request ~nodes =
+  (request.Request.alpha *. Compute_load.total loads ~nodes)
+  +. (request.Request.beta *. Network_load.total_edges net ~nodes)
+
+let best_subset ~loads ~net ~capacity ~request ~max_nodes =
+  let usable = Array.of_list (Compute_load.usable loads) in
+  let v = Array.length usable in
+  if v > 20 then invalid_arg "Brute_force.best_subset: too many nodes";
+  let caps = Array.map (fun u -> max 1 (capacity u)) usable in
+  let needed = request.Request.procs in
+  let best = ref None in
+  (* Enumerate subsets as bitmasks. *)
+  for mask = 1 to (1 lsl v) - 1 do
+    let size = ref 0 and cap = ref 0 and nodes = ref [] in
+    for i = v - 1 downto 0 do
+      if mask land (1 lsl i) <> 0 then begin
+        incr size;
+        cap := !cap + caps.(i);
+        nodes := usable.(i) :: !nodes
+      end
+    done;
+    if !size <= max_nodes && !cap >= needed then begin
+      let score = objective ~loads ~net ~request ~nodes:!nodes in
+      match !best with
+      | Some (_, s) when s <= score -> ()
+      | Some _ | None -> best := Some (!nodes, score)
+    end
+  done;
+  !best

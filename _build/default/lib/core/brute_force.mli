@@ -1,0 +1,26 @@
+(** Exhaustive sub-graph search — the optimum the greedy heuristic
+    approximates (§3.3.1 notes brute force "would not scale well";
+    we use it on small clusters to measure the optimality gap). *)
+
+val best_subset :
+  loads:Compute_load.t ->
+  net:Network_load.t ->
+  capacity:(int -> int) ->
+  request:Request.t ->
+  max_nodes:int ->
+  (int list * float) option
+(** Enumerate every subset of usable nodes whose capacity covers the
+    request, score it with Eq. 4's un-normalized objective
+    α·C + β·N (normalization is rank-preserving across a fixed subset
+    universe only when sums are shared, so the raw objective is the
+    honest comparator) and return the minimizing node set with its
+    objective. [None] when no subset of at most [max_nodes] covers the
+    request. Cost is O(2^V) — guarded to V ≤ 20. *)
+
+val objective :
+  loads:Compute_load.t ->
+  net:Network_load.t ->
+  request:Request.t ->
+  nodes:int list ->
+  float
+(** α·ΣCL + β·ΣNL for a node set (un-normalized Eq. 4). *)

@@ -1,0 +1,63 @@
+type t = {
+  start : int;
+  nodes : int list;
+  assignment : (int * int) list;
+}
+
+let addition_cost ~loads ~net ~request ~start u =
+  if u = start then 0.0
+  else begin
+    let alpha = request.Request.alpha and beta = request.Request.beta in
+    (alpha *. Compute_load.get loads ~node:u) +. (beta *. Network_load.get net ~u:start ~v:u)
+  end
+
+let generate ~start ~loads ~net ~capacity ~request =
+  let usable = Compute_load.usable loads in
+  if not (List.mem start usable) then
+    invalid_arg "Candidate.generate: start node not usable";
+  let ranked =
+    (* Start node first (cost 0), others by ascending addition cost;
+       ties break on node id for determinism. *)
+    List.sort
+      (fun (a, ca) (b, cb) ->
+        match Float.compare ca cb with 0 -> compare a b | c -> c)
+      (List.map (fun u -> (u, addition_cost ~loads ~net ~request ~start u)) usable)
+  in
+  let n = request.Request.procs in
+  let rec take acc allocated = function
+    | [] -> (List.rev acc, allocated)
+    | (u, _) :: rest ->
+      if allocated >= n then (List.rev acc, allocated)
+      else begin
+        let cap = max 1 (capacity u) in
+        let procs = min cap (n - allocated) in
+        take ((u, procs) :: acc) (allocated + procs) rest
+      end
+  in
+  let assignment, allocated = take [] 0 ranked in
+  let assignment =
+    if allocated >= n then assignment
+    else begin
+      (* All nodes in, request still unsatisfied: deal the remaining
+         processes round-robin over the selected nodes. *)
+      let arr = Array.of_list assignment in
+      let k = Array.length arr in
+      let remaining = ref (n - allocated) in
+      let i = ref 0 in
+      while !remaining > 0 do
+        let node, procs = arr.(!i) in
+        arr.(!i) <- (node, procs + 1);
+        decr remaining;
+        i := (!i + 1) mod k
+      done;
+      Array.to_list arr
+    end
+  in
+  { start; nodes = List.map fst assignment; assignment }
+
+let total_procs t = List.fold_left (fun acc (_, p) -> acc + p) 0 t.assignment
+
+let generate_all ~loads ~net ~capacity ~request =
+  List.map
+    (fun start -> generate ~start ~loads ~net ~capacity ~request)
+    (Compute_load.usable loads)

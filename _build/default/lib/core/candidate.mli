@@ -1,0 +1,44 @@
+(** Candidate sub-graph generation — Algorithm 1.
+
+    Starting from a node v, other nodes u are ranked by the addition
+    cost A_v(u) = α·CL(u) + β·NL(v,u) (the starting node itself costs
+    0) and greedily added until the requested process count is covered
+    by the nodes' capacities. If every node is in and the request is
+    still unsatisfied, the remaining processes are dealt round-robin
+    over the selected nodes (oversubscription), as in lines 12–13. *)
+
+type t = {
+  start : int;
+  nodes : int list;  (** in addition order, [start] first *)
+  assignment : (int * int) list;  (** (node, procs), same order *)
+}
+
+val generate :
+  start:int ->
+  loads:Compute_load.t ->
+  net:Network_load.t ->
+  capacity:(int -> int) ->
+  request:Request.t ->
+  t
+(** [capacity node] is ppn when pinned, else pc_v (Eq. 3). The start
+    node must be usable. Runs in O(V log V). *)
+
+val addition_cost :
+  loads:Compute_load.t ->
+  net:Network_load.t ->
+  request:Request.t ->
+  start:int ->
+  int ->
+  float
+(** A_v(u); 0 when [u = start]. Exposed for tests. *)
+
+val total_procs : t -> int
+
+val generate_all :
+  loads:Compute_load.t ->
+  net:Network_load.t ->
+  capacity:(int -> int) ->
+  request:Request.t ->
+  t list
+(** One candidate per usable start node — the set C of §3.3.2,
+    O(V² log V) total. *)

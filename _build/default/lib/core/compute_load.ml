@@ -1,0 +1,84 @@
+module Snapshot = Rm_monitor.Snapshot
+module Running_means = Rm_stats.Running_means
+
+type t = {
+  usable : int array;
+  values : (int, float) Hashtbl.t;
+  load_1m : (int, float) Hashtbl.t;
+}
+
+let blend (w : Weights.t) view =
+  Running_means.blend view ~w1:w.blend_m1 ~w5:w.blend_m5 ~w15:w.blend_m15
+
+let usable_infos snapshot =
+  let usable = Array.of_list (Snapshot.usable snapshot) in
+  let infos =
+    Array.map
+      (fun node ->
+        match Snapshot.node_info snapshot node with
+        | Some info -> info
+        | None -> assert false (* usable implies a record *))
+      usable
+  in
+  (usable, infos)
+
+(* Table 1's attribute columns, raw (pre-normalization). *)
+let columns snapshot ~weights =
+  Weights.validate weights;
+  let _, infos = usable_infos snapshot in
+  let col f = Array.map f infos in
+  let static (i : Snapshot.node_info) = i.static in
+  let w = weights in
+  [
+    { Madm.name = "core-count"; criterion = Saw.Maximize; weight = w.Weights.w_core_count;
+      values = col (fun i -> float_of_int (static i).Rm_cluster.Node.cores) };
+    { Madm.name = "cpu-frequency"; criterion = Saw.Maximize; weight = w.w_freq;
+      values = col (fun i -> (static i).Rm_cluster.Node.freq_ghz) };
+    { Madm.name = "total-memory"; criterion = Saw.Maximize; weight = w.w_total_mem;
+      values = col (fun i -> (static i).Rm_cluster.Node.mem_gb) };
+    { Madm.name = "current-users"; criterion = Saw.Minimize; weight = w.w_users;
+      values = col (fun i -> float_of_int i.users) };
+    { Madm.name = "cpu-load"; criterion = Saw.Minimize; weight = w.w_load;
+      values = col (fun i -> blend w i.load) };
+    { Madm.name = "cpu-utilization"; criterion = Saw.Minimize; weight = w.w_util;
+      values = col (fun i -> blend w i.util_pct) };
+    { Madm.name = "data-flow-rate"; criterion = Saw.Minimize; weight = w.w_nic;
+      values = col (fun i -> blend w i.nic_mb_s) };
+    { Madm.name = "available-memory"; criterion = Saw.Maximize; weight = w.w_mem_avail;
+      values = col (fun i -> blend w i.mem_avail_gb) };
+  ]
+
+let of_snapshot snapshot ~weights =
+  Weights.validate weights;
+  let usable, infos = usable_infos snapshot in
+  let combined =
+    if Array.length usable = 0 then [||]
+    else Madm.saw_scores (columns snapshot ~weights)
+  in
+  let values = Hashtbl.create (Array.length usable) in
+  let load_1m = Hashtbl.create (Array.length usable) in
+  Array.iteri
+    (fun k node ->
+      Hashtbl.replace values node combined.(k);
+      Hashtbl.replace load_1m node infos.(k).load.Running_means.m1)
+    usable;
+  { usable; values; load_1m }
+
+let usable t = Array.to_list t.usable
+
+let get t ~node =
+  match Hashtbl.find_opt t.values node with
+  | Some v -> v
+  | None -> invalid_arg "Compute_load.get: node not usable"
+
+let cpu_load_1m t ~node =
+  match Hashtbl.find_opt t.load_1m node with
+  | Some v -> v
+  | None -> invalid_arg "Compute_load.cpu_load_1m: node not usable"
+
+let total t ~nodes = List.fold_left (fun acc n -> acc +. get t ~node:n) 0.0 nodes
+
+let pp ppf t =
+  Array.iter
+    (fun node -> Format.fprintf ppf "n%d=%.4f@ " node (get t ~node))
+    t.usable

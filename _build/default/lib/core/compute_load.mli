@@ -1,0 +1,32 @@
+(** Compute load CL_v — Eq. 1.
+
+    For every usable node of a snapshot, blend each dynamic attribute's
+    1/5/15-minute means into a scalar, run the SAW pipeline over the
+    attribute columns of Table 1, and weight-sum them. Lower is better
+    (all attributes are minimization-directed after {!Saw.prepare}). *)
+
+type t
+
+val of_snapshot : Rm_monitor.Snapshot.t -> weights:Weights.t -> t
+(** Considers exactly [Snapshot.usable] nodes. *)
+
+val columns : Rm_monitor.Snapshot.t -> weights:Weights.t -> Madm.column list
+(** The raw Table 1 attribute columns over the usable nodes (running
+    means blended per [weights]), exposed so alternative MADM methods
+    ({!Madm}) can rank the same data. Column order is Table 1's; values
+    are positionally aligned with [Snapshot.usable]. *)
+
+val usable : t -> int list
+(** Node ids with a compute load, ascending. *)
+
+val get : t -> node:int -> float
+(** Raises [Invalid_argument] for a node outside {!usable}. *)
+
+val cpu_load_1m : t -> node:int -> float
+(** The raw 1-minute CPU load mean, needed by Eq. 3 and by the
+    load-per-core accounting of Fig. 5. *)
+
+val total : t -> nodes:int list -> float
+(** Σ CL over a node set — the C_{G_v} term of Algorithm 2. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,19 @@
+module Snapshot = Rm_monitor.Snapshot
+
+let of_load ~cores ~load =
+  if cores <= 0 then invalid_arg "Effective_procs.of_load: no cores";
+  if load < 0.0 then invalid_arg "Effective_procs.of_load: negative load";
+  cores - (int_of_float (Float.ceil load) mod cores)
+
+let of_snapshot snapshot ~loads =
+  List.map
+    (fun node ->
+      let info =
+        match Snapshot.node_info snapshot node with
+        | Some i -> i
+        | None -> assert false
+      in
+      let cores = info.Snapshot.static.Rm_cluster.Node.cores in
+      let load = Compute_load.cpu_load_1m loads ~node in
+      (node, of_load ~cores ~load))
+    (Compute_load.usable loads)

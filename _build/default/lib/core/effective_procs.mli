@@ -1,0 +1,15 @@
+(** Effective processor count pc_v — Eq. 3.
+
+    pc_v = coreCount_v − ⌈Load_v⌉ mod coreCount_v: the processes worth
+    of capacity left after discounting the runnable processes other
+    users already keep busy. The paper's formula uses the modulo, so a
+    node loaded beyond its core count wraps — we reproduce it verbatim
+    (and test the consequences). Result is always in [1, coreCount]. *)
+
+val of_load : cores:int -> load:float -> int
+(** Requires [cores > 0] and [load >= 0]. *)
+
+val of_snapshot :
+  Rm_monitor.Snapshot.t -> loads:Compute_load.t -> (int * int) list
+(** [(node, pc_v)] for every usable node, using the 1-minute load mean
+    (what `uptime` reports first). *)

@@ -1,0 +1,26 @@
+module Cluster = Rm_cluster.Cluster
+
+let hostname ~cluster node =
+  if node < 0 || node >= Cluster.node_count cluster then
+    invalid_arg "Hostfile: node not in cluster";
+  (Cluster.node cluster node).Rm_cluster.Node.hostname
+
+let machinefile ~allocation ~cluster =
+  String.concat ""
+    (List.map
+       (fun (e : Allocation.entry) ->
+         Printf.sprintf "%s slots=%d\n" (hostname ~cluster e.node) e.procs)
+       allocation.Allocation.entries)
+
+let hydra_hosts ~allocation ~cluster =
+  String.concat ","
+    (List.map
+       (fun (e : Allocation.entry) ->
+         Printf.sprintf "%s:%d" (hostname ~cluster e.node) e.procs)
+       allocation.Allocation.entries)
+
+let mpirun_command ~allocation ~cluster ~program =
+  Printf.sprintf "mpiexec -np %d -hosts %s %s"
+    (Allocation.total_procs allocation)
+    (hydra_hosts ~allocation ~cluster)
+    program

@@ -1,0 +1,23 @@
+(** Render an allocation in the formats MPI launchers consume.
+
+    The paper's broker ultimately hands the user "a list of hostnames"
+    for mpiexec (§1); these helpers produce that list in the common
+    dialects. All raise [Invalid_argument] if an allocated node id is
+    not part of the cluster. *)
+
+val machinefile :
+  allocation:Allocation.t -> cluster:Rm_cluster.Cluster.t -> string
+(** OpenMPI/MPICH machinefile: one "hostname slots=k" line per node, in
+    placement order, newline-terminated. *)
+
+val hydra_hosts :
+  allocation:Allocation.t -> cluster:Rm_cluster.Cluster.t -> string
+(** Hydra / mpiexec [-hosts] argument: ["h1:4,h2:4,…"]. *)
+
+val mpirun_command :
+  allocation:Allocation.t ->
+  cluster:Rm_cluster.Cluster.t ->
+  program:string ->
+  string
+(** A ready-to-paste command line:
+    ["mpiexec -np N -hosts h1:4,h2:4 program"]. *)

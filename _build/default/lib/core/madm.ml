@@ -1,0 +1,133 @@
+type column = {
+  name : string;
+  criterion : Saw.criterion;
+  weight : float;
+  values : float array;
+}
+
+let validate_columns columns =
+  match columns with
+  | [] -> invalid_arg "Madm: no columns"
+  | first :: _ ->
+    let n = Array.length first.values in
+    if n = 0 then invalid_arg "Madm: empty columns";
+    let wsum = ref 0.0 in
+    List.iter
+      (fun c ->
+        if Array.length c.values <> n then invalid_arg "Madm: ragged columns";
+        if c.weight < 0.0 then invalid_arg "Madm: negative weight";
+        wsum := !wsum +. c.weight;
+        Array.iter
+          (fun v ->
+            if not (Float.is_finite v) then invalid_arg "Madm: non-finite value")
+          c.values)
+      columns;
+    if !wsum <= 0.0 then invalid_arg "Madm: zero weights";
+    n
+
+let saw_scores columns =
+  ignore (validate_columns columns);
+  Saw.combine
+    (List.map (fun c -> (c.weight, Saw.prepare c.criterion c.values)) columns)
+
+(* PROMETHEE-II with the usual criterion: alternative i is preferred to
+   j on column c when its value is strictly better in c's direction. *)
+let promethee_net_flows columns =
+  let n = validate_columns columns in
+  let wsum = List.fold_left (fun acc c -> acc +. c.weight) 0.0 columns in
+  let better c i j =
+    match c.criterion with
+    | Saw.Maximize -> c.values.(i) > c.values.(j)
+    | Saw.Minimize -> c.values.(i) < c.values.(j)
+  in
+  let pi i j =
+    List.fold_left
+      (fun acc c -> if better c i j then acc +. c.weight else acc)
+      0.0 columns
+    /. wsum
+  in
+  if n = 1 then [| 0.0 |]
+  else
+    Array.init n (fun i ->
+        let plus = ref 0.0 and minus = ref 0.0 in
+        for j = 0 to n - 1 do
+          if j <> i then begin
+            plus := !plus +. pi i j;
+            minus := !minus +. pi j i
+          end
+        done;
+        (!plus -. !minus) /. float_of_int (n - 1))
+
+let ranking ~scores ~higher_is_better =
+  let idx = List.init (Array.length scores) (fun i -> i) in
+  List.sort
+    (fun a b ->
+      let c =
+        if higher_is_better then Float.compare scores.(b) scores.(a)
+        else Float.compare scores.(a) scores.(b)
+      in
+      if c <> 0 then c else compare a b)
+    idx
+
+let check_comparisons m =
+  let n = Array.length m in
+  if n = 0 then invalid_arg "Madm.ahp: empty matrix";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then invalid_arg "Madm.ahp: not square")
+    m;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if m.(i).(j) <= 0.0 then invalid_arg "Madm.ahp: non-positive entry";
+      let recip = 1.0 /. m.(j).(i) in
+      if Float.abs (m.(i).(j) -. recip) > 0.05 *. m.(i).(j) then
+        invalid_arg "Madm.ahp: not reciprocal"
+    done
+  done;
+  n
+
+let ahp_priorities m =
+  let n = check_comparisons m in
+  let geo =
+    Array.map
+      (fun row ->
+        exp (Array.fold_left (fun acc v -> acc +. log v) 0.0 row /. float_of_int n))
+      m
+  in
+  let total = Array.fold_left ( +. ) 0.0 geo in
+  Array.map (fun g -> g /. total) geo
+
+(* Saaty random-consistency indices for n = 1..10. *)
+let random_index = [| 0.0; 0.0; 0.58; 0.9; 1.12; 1.24; 1.32; 1.41; 1.45; 1.49 |]
+
+let ahp_consistency_ratio m =
+  let n = check_comparisons m in
+  if n <= 2 then 0.0
+  else begin
+    let w = ahp_priorities m in
+    (* lambda_max estimated from (Mw)_i / w_i. *)
+    let lambda =
+      let acc = ref 0.0 in
+      for i = 0 to n - 1 do
+        let mw = ref 0.0 in
+        for j = 0 to n - 1 do
+          mw := !mw +. (m.(i).(j) *. w.(j))
+        done;
+        acc := !acc +. (!mw /. w.(i))
+      done;
+      !acc /. float_of_int n
+    in
+    let ci = (lambda -. float_of_int n) /. float_of_int (n - 1) in
+    let ri =
+      if n - 1 < Array.length random_index then random_index.(n - 1) else 1.49
+    in
+    if ri <= 0.0 then 0.0 else ci /. ri
+  end
+
+let ahp_scores ~comparisons ~columns =
+  let k = List.length columns in
+  if Array.length comparisons <> k then
+    invalid_arg "Madm.ahp_scores: one comparison row per column required";
+  let priorities = ahp_priorities comparisons in
+  saw_scores
+    (List.mapi (fun i c -> { c with weight = priorities.(i) }) columns)

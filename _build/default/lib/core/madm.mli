@@ -1,0 +1,54 @@
+(** Alternative multi-attribute decision methods.
+
+    The paper's compute load uses Simple Additive Weights; its related
+    work (Kaur et al. [12]) ranks resources with PROMETHEE-II and AHP
+    instead. This module implements both so the choice of MADM method
+    can be ablated against SAW on identical attribute columns.
+
+    Conventions: a column carries raw (non-normalized) attribute values
+    per alternative plus its optimization direction; weights need not
+    sum to 1 (normalized internally). *)
+
+type column = {
+  name : string;
+  criterion : Saw.criterion;
+  weight : float;
+  values : float array;
+}
+
+val validate_columns : column list -> int
+(** Returns the number of alternatives; raises [Invalid_argument] on an
+    empty list, ragged columns, negative weights, all-zero weights, or
+    non-finite values. *)
+
+(** {2 SAW (the paper's method, for reference)} *)
+
+val saw_scores : column list -> float array
+(** Per-alternative cost via the paper's pipeline; {e lower is
+    better}. *)
+
+(** {2 PROMETHEE-II} *)
+
+val promethee_net_flows : column list -> float array
+(** Net outranking flow φ = φ⁺ − φ⁻ per alternative using the usual
+    (strict) preference function; {e higher is better}; values lie in
+    [-1, 1]. *)
+
+val ranking : scores:float array -> higher_is_better:bool -> int list
+(** Alternative indices, best first; ties break on index. *)
+
+(** {2 AHP} *)
+
+val ahp_priorities : float array array -> float array
+(** Priority vector of a pairwise-comparison matrix (geometric-mean
+    method), normalized to sum 1. Requires a square, positive,
+    reciprocal matrix (a.(i).(j) ≈ 1 / a.(j).(i), checked within 5 %). *)
+
+val ahp_consistency_ratio : float array array -> float
+(** Saaty's CR = CI / RI; below ~0.1 is conventionally acceptable.
+    Returns 0 for 1x1 and 2x2 matrices (always consistent). *)
+
+val ahp_scores : comparisons:float array array -> columns:column list -> float array
+(** SAW over the same columns but with weights replaced by the priority
+    vector of [comparisons] (one row/column per attribute, in column
+    list order); lower is better. *)

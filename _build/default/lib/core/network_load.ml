@@ -1,0 +1,101 @@
+module Snapshot = Rm_monitor.Snapshot
+module Matrix = Rm_stats.Matrix
+
+type t = {
+  usable : int list;
+  index : (int, int) Hashtbl.t;  (** node id -> dense index *)
+  nl : Matrix.t;  (** dense, over usable nodes *)
+  lat : Matrix.t;
+  bw_comp : Matrix.t;
+}
+
+let of_snapshot snapshot ~weights =
+  Weights.validate weights;
+  let usable = Snapshot.usable snapshot in
+  let k = List.length usable in
+  let index = Hashtbl.create k in
+  List.iteri (fun i node -> Hashtbl.replace index node i) usable;
+  let ids = Array.of_list usable in
+  let lat = Matrix.square (max k 1) ~init:0.0 in
+  let bw_comp = Matrix.square (max k 1) ~init:0.0 in
+  for i = 0 to k - 1 do
+    for j = 0 to k - 1 do
+      if i <> j then begin
+        let u = ids.(i) and v = ids.(j) in
+        Matrix.set lat i j (Matrix.get snapshot.Snapshot.lat_us u v);
+        let peak = Matrix.get snapshot.Snapshot.peak_bw_mb_s u v in
+        let avail = Matrix.get snapshot.Snapshot.bw_mb_s u v in
+        (* Available bandwidth can exceed nominal peak under measurement
+           noise; the complement is clamped at 0 (no negative load). *)
+        let comp =
+          if Float.is_finite peak then Float.max 0.0 (peak -. Float.min peak avail)
+          else 0.0
+        in
+        Matrix.set bw_comp i j comp
+      end
+    done
+  done;
+  (* Normalize by the sum over all (ordered) pairs; symmetric matrices
+     make this equivalent to the unordered-pair sum up to a factor that
+     cancels in rankings. *)
+  let sum m =
+    let acc = ref 0.0 in
+    Matrix.iteri m ~f:(fun ~row ~col v -> if row <> col then acc := !acc +. v);
+    !acc
+  in
+  let lat_sum = sum lat and bw_sum = sum bw_comp in
+  (* Scale commensurability: sum-normalizing CL over V nodes makes a CL
+     entry ~1/V, while sum-normalizing NL over V(V-1) pairs makes an NL
+     entry ~1/V². Algorithm 1's addition cost α·CL(u) + β·NL(v,u) mixes
+     one entry of each, so without rescaling the network term would be
+     V times too weak and the allocator degenerates to load-aware —
+     contradicting the paper's observed network-dominant selection at
+     β = 0.7. We rescale NL by V so both terms live on the same 1/V
+     scale. (Algorithm 2 re-normalizes per candidate set, so this factor
+     is harmless there.) *)
+  let scale = float_of_int (max 1 k) in
+  let nl = Matrix.square (max k 1) ~init:0.0 in
+  for i = 0 to k - 1 do
+    for j = 0 to k - 1 do
+      if i <> j then begin
+        let lt = if lat_sum > 0.0 then Matrix.get lat i j /. lat_sum else 0.0 in
+        let bw = if bw_sum > 0.0 then Matrix.get bw_comp i j /. bw_sum else 0.0 in
+        Matrix.set nl i j
+          (scale *. ((weights.Weights.w_lt *. lt) +. (weights.Weights.w_bw *. bw)))
+      end
+    done
+  done;
+  { usable; index; nl; lat; bw_comp }
+
+let dense t node =
+  match Hashtbl.find_opt t.index node with
+  | Some i -> i
+  | None -> invalid_arg "Network_load: node not usable"
+
+let get t ~u ~v = if u = v then 0.0 else Matrix.get t.nl (dense t u) (dense t v)
+
+let latency_us t ~u ~v =
+  if u = v then 0.0 else Matrix.get t.lat (dense t u) (dense t v)
+
+let bw_complement_mb_s t ~u ~v =
+  if u = v then 0.0 else Matrix.get t.bw_comp (dense t u) (dense t v)
+
+let fold_pairs t ~nodes ~f ~init =
+  let rec outer acc = function
+    | [] -> acc
+    | u :: rest ->
+      let acc = List.fold_left (fun acc v -> f acc u v) acc rest in
+      outer acc rest
+  in
+  ignore t;
+  outer init nodes
+
+let total_edges t ~nodes =
+  fold_pairs t ~nodes ~init:0.0 ~f:(fun acc u v -> acc +. get t ~u ~v)
+
+let mean_edges t ~nodes =
+  let k = List.length nodes in
+  if k < 2 then 0.0
+  else total_edges t ~nodes /. float_of_int (k * (k - 1) / 2)
+
+let usable t = t.usable

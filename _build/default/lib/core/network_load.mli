@@ -1,0 +1,36 @@
+(** Network load NL_(u,v) — Eq. 2.
+
+    NL = w_lt · LT' + w_bw · BW‾', where LT is measured P2P latency, BW‾
+    is the complement of available bandwidth (peak − available, §3.2.2)
+    and both are normalized by their sum over all usable pairs, exactly
+    as the compute-load attributes are. Lower is better.
+
+    One deliberate deviation, documented in DESIGN.md: after sum-
+    normalization an NL entry is ~V× smaller than a CL entry (V² pairs
+    vs V nodes), which would make Algorithm 1's addition cost
+    effectively network-blind; NL is therefore rescaled by the usable
+    node count so α/β weight commensurate quantities. *)
+
+type t
+
+val of_snapshot : Rm_monitor.Snapshot.t -> weights:Weights.t -> t
+
+val get : t -> u:int -> v:int -> float
+(** Symmetric; 0 when [u = v]. Raises [Invalid_argument] when either
+    node is not usable. *)
+
+val total_edges : t -> nodes:int list -> float
+(** Σ NL over all unordered pairs inside the node set — the N_{G_v}
+    term of Algorithm 2 (the candidate sub-graph is fully connected). *)
+
+val mean_edges : t -> nodes:int list -> float
+(** Average NL over unordered pairs — "we take the average of network
+    load between all pairs of nodes to compute the network load of a
+    group" (§3.2.2). 0 for singleton sets. *)
+
+val usable : t -> int list
+
+(** {2 Raw terms (for Table 4 and diagnostics)} *)
+
+val latency_us : t -> u:int -> v:int -> float
+val bw_complement_mb_s : t -> u:int -> v:int -> float

@@ -1,0 +1,107 @@
+module Snapshot = Rm_monitor.Snapshot
+module Rng = Rm_stats.Rng
+
+type policy =
+  | Random
+  | Sequential
+  | Load_aware
+  | Network_load_aware
+  | Hierarchical
+
+let name = function
+  | Random -> "random"
+  | Sequential -> "sequential"
+  | Load_aware -> "load-aware"
+  | Network_load_aware -> "network-load-aware"
+  | Hierarchical -> "hierarchical"
+
+let all = [ Random; Sequential; Load_aware; Network_load_aware ]
+
+let of_name = function
+  | "random" -> Some Random
+  | "sequential" -> Some Sequential
+  | "load-aware" -> Some Load_aware
+  | "network-load-aware" -> Some Network_load_aware
+  | "hierarchical" -> Some Hierarchical
+  | _ -> None
+
+(* Fill an ordered node list with processes: each node takes up to its
+   capacity; leftover demand is dealt round-robin (matching Algorithm 1's
+   overflow behaviour so all policies remain comparable). *)
+let fill ~ordered ~capacity ~procs =
+  let rec take acc allocated = function
+    | [] -> (List.rev acc, allocated)
+    | u :: rest ->
+      if allocated >= procs then (List.rev acc, allocated)
+      else begin
+        let cap = max 1 (capacity u) in
+        let p = min cap (procs - allocated) in
+        take ((u, p) :: acc) (allocated + p) rest
+      end
+  in
+  let assignment, allocated = take [] 0 ordered in
+  if allocated >= procs then assignment
+  else begin
+    let arr = Array.of_list assignment in
+    let k = Array.length arr in
+    let remaining = ref (procs - allocated) in
+    let i = ref 0 in
+    while !remaining > 0 do
+      let node, p = arr.(!i) in
+      arr.(!i) <- (node, p + 1);
+      decr remaining;
+      i := (!i + 1) mod k
+    done;
+    Array.to_list arr
+  end
+
+let to_allocation ~policy assignment =
+  Allocation.make ~policy:(name policy)
+    ~entries:(List.map (fun (node, procs) -> { Allocation.node; procs }) assignment)
+
+let allocate ~policy ~snapshot ~weights ~request ~rng =
+  let loads = Compute_load.of_snapshot snapshot ~weights in
+  let usable = Compute_load.usable loads in
+  if usable = [] then Error Allocation.No_usable_nodes
+  else begin
+    let pc = Effective_procs.of_snapshot snapshot ~loads in
+    let capacity node =
+      let effective =
+        match List.assoc_opt node pc with Some e -> e | None -> 1
+      in
+      Request.capacity_of request ~effective
+    in
+    let procs = request.Request.procs in
+    match policy with
+    | Random ->
+      let arr = Array.of_list usable in
+      Rng.shuffle rng arr;
+      Ok (to_allocation ~policy (fill ~ordered:(Array.to_list arr) ~capacity ~procs))
+    | Sequential ->
+      (* Random start, then ids in ascending order with wrap-around:
+         hostname numbering tracks physical proximity (§1). *)
+      let arr = Array.of_list usable in
+      let k = Array.length arr in
+      let start = Rng.int rng k in
+      let ordered = List.init k (fun i -> arr.((start + i) mod k)) in
+      Ok (to_allocation ~policy (fill ~ordered ~capacity ~procs))
+    | Load_aware ->
+      let ordered =
+        List.sort
+          (fun a b ->
+            match
+              Float.compare (Compute_load.get loads ~node:a)
+                (Compute_load.get loads ~node:b)
+            with
+            | 0 -> compare a b
+            | c -> c)
+          usable
+      in
+      Ok (to_allocation ~policy (fill ~ordered ~capacity ~procs))
+    | Network_load_aware ->
+      let net = Network_load.of_snapshot snapshot ~weights in
+      let candidates = Candidate.generate_all ~loads ~net ~capacity ~request in
+      let best = Select.best ~candidates ~loads ~net ~request in
+      Ok (to_allocation ~policy best.Select.candidate.Candidate.assignment)
+    | Hierarchical -> Hierarchical.allocate ~snapshot ~weights ~request
+  end

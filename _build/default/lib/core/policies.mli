@@ -1,0 +1,42 @@
+(** The four allocation policies of the evaluation (§5).
+
+    - {e Random}: the required number of nodes drawn uniformly from the
+      usable set (a user picking hosts blindly).
+    - {e Sequential}: a random start node, then topologically consecutive
+      hostnames ("users often tend to select consecutive nodes").
+    - {e Load-aware}: the usable nodes with minimal compute load CL.
+    - {e Network-and-load-aware}: the paper's contribution —
+      Algorithm 1 candidates scored by Algorithm 2.
+
+    Every policy fills nodes up to their per-node capacity ({!Request.capacity_of})
+    and falls back to round-robin oversubscription when the whole
+    cluster cannot cover the request, so results stay comparable. *)
+
+type policy =
+  | Random
+  | Sequential
+  | Load_aware
+  | Network_load_aware
+  | Hierarchical
+      (** the §3.3.2/§6 two-level variant; not part of the paper's
+          evaluated four (see {!all}) but selectable everywhere *)
+
+val name : policy -> string
+val all : policy list
+(** The paper's four, in its reporting order: random, sequential,
+    load-aware, network-and-load-aware. [Hierarchical] is deliberately
+    not included so the reproduction tables stay faithful. *)
+
+val of_name : string -> policy option
+
+val allocate :
+  policy:policy ->
+  snapshot:Rm_monitor.Snapshot.t ->
+  weights:Weights.t ->
+  request:Request.t ->
+  rng:Rm_stats.Rng.t ->
+  (Allocation.t, Allocation.error) result
+(** [Error No_usable_nodes] when the snapshot has no usable node;
+    otherwise always succeeds (oversubscribing if needed). Randomized
+    policies draw from [rng]; the two aware policies are deterministic
+    given the snapshot. *)

@@ -1,0 +1,18 @@
+type t = { procs : int; ppn : int option; alpha : float; beta : float }
+
+let make ?ppn ?(alpha = 0.5) ~procs () =
+  if procs <= 0 then invalid_arg "Request.make: procs must be positive";
+  (match ppn with
+  | Some p when p <= 0 -> invalid_arg "Request.make: ppn must be positive"
+  | Some _ | None -> ());
+  if alpha < 0.0 || alpha > 1.0 then
+    invalid_arg "Request.make: alpha must be in [0, 1]";
+  { procs; ppn; alpha; beta = 1.0 -. alpha }
+
+let capacity_of t ~effective =
+  match t.ppn with Some p -> p | None -> effective
+
+let pp ppf t =
+  Format.fprintf ppf "request<%d procs%s α=%.2f β=%.2f>" t.procs
+    (match t.ppn with Some p -> Printf.sprintf " @%d/node" p | None -> "")
+    t.alpha t.beta

@@ -1,0 +1,24 @@
+(** A node-allocation request for an MPI job (§3.3).
+
+    The user specifies the total process count, optionally processes per
+    node, and the compute/communication balance α, β of Eq. 4 (α high
+    for compute-bound jobs, β high for communication-bound ones;
+    α + β = 1). *)
+
+type t = private {
+  procs : int;
+  ppn : int option;
+  alpha : float;
+  beta : float;
+}
+
+val make : ?ppn:int -> ?alpha:float -> procs:int -> unit -> t
+(** [alpha] defaults to 0.5; [beta] is always [1 - alpha]. Raises
+    [Invalid_argument] unless [procs > 0], [ppn > 0] when given, and
+    [0 <= alpha <= 1]. *)
+
+val capacity_of : t -> effective:int -> int
+(** Per-node capacity the request sees: [ppn] when the user pinned it,
+    otherwise the node's effective processor count (Eq. 3). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+type criterion = Maximize | Minimize
+
+(* Rounding slack: sliding-window sums can drift a few ulps below zero
+   after many evictions; treat those as zero but reject real negatives. *)
+let negative_slack = 1e-9
+
+let normalize col =
+  let col =
+    Array.map
+      (fun x ->
+        if not (Float.is_finite x) || x < -.negative_slack then
+          invalid_arg
+            (Printf.sprintf
+               "Saw.normalize: values must be finite and non-negative (got %g)"
+               x)
+        else Float.max 0.0 x)
+      col
+  in
+  let sum = Array.fold_left ( +. ) 0.0 col in
+  if sum <= 0.0 then Array.map (fun _ -> 0.0) col
+  else Array.map (fun x -> x /. sum) col
+
+let directionalize criterion col =
+  match criterion with
+  | Minimize -> Array.copy col
+  | Maximize ->
+    if Array.length col = 0 then [||]
+    else begin
+      let m = Array.fold_left Float.max col.(0) col in
+      Array.map (fun x -> m -. x) col
+    end
+
+let prepare criterion col = directionalize criterion (normalize col)
+
+let combine columns =
+  match columns with
+  | [] -> invalid_arg "Saw.combine: no columns"
+  | (_, first) :: _ ->
+    let n = Array.length first in
+    List.iter
+      (fun (w, col) ->
+        if w < 0.0 then invalid_arg "Saw.combine: negative weight";
+        if Array.length col <> n then invalid_arg "Saw.combine: ragged columns")
+      columns;
+    Array.init n (fun i ->
+        List.fold_left (fun acc (w, col) -> acc +. (w *. col.(i))) 0.0 columns)

@@ -1,0 +1,28 @@
+(** Simple Additive Weights machinery (§3.2.1).
+
+    The paper's recipe, applied per attribute column over the candidate
+    node set:
+    + normalize by dividing each value by the column sum;
+    + make every attribute minimization-directed by complementing
+      maximization attributes with respect to the column maximum;
+    + combine columns as a weighted sum.
+
+    A column whose sum is zero (all nodes identical at 0) normalizes to
+    all-zeros; a constant column contributes equally to every node, so
+    it never changes the ranking — both behaviours are tested. *)
+
+type criterion = Maximize | Minimize
+
+val normalize : float array -> float array
+(** Divide by the column sum. All values must be finite and >= 0. *)
+
+val directionalize : criterion -> float array -> float array
+(** [Minimize] is the identity; [Maximize] maps x to (max - x). *)
+
+val prepare : criterion -> float array -> float array
+(** {!normalize} then {!directionalize}. *)
+
+val combine : (float * float array) list -> float array
+(** [combine [(w_a, col_a); ...]] is the per-row weighted sum
+    Σ_a w_a · col_a (Eq. 1). All columns must share a length; weights
+    must be >= 0. *)

@@ -1,0 +1,42 @@
+type scored = {
+  candidate : Candidate.t;
+  compute_cost : float;
+  network_cost : float;
+  total : float;
+}
+
+let score ~candidates ~loads ~net ~request =
+  if candidates = [] then invalid_arg "Select.score: no candidates";
+  let raw =
+    List.map
+      (fun (c : Candidate.t) ->
+        let compute = Compute_load.total loads ~nodes:c.nodes in
+        let network = Network_load.total_edges net ~nodes:c.nodes in
+        (c, compute, network))
+      candidates
+  in
+  let c_sum = List.fold_left (fun acc (_, c, _) -> acc +. c) 0.0 raw in
+  let n_sum = List.fold_left (fun acc (_, _, n) -> acc +. n) 0.0 raw in
+  let norm sum v = if sum > 0.0 then v /. sum else 0.0 in
+  List.map
+    (fun (candidate, compute_cost, network_cost) ->
+      let total =
+        (request.Request.alpha *. norm c_sum compute_cost)
+        +. (request.Request.beta *. norm n_sum network_cost)
+      in
+      { candidate; compute_cost; network_cost; total })
+    raw
+
+let best ~candidates ~loads ~net ~request =
+  let scored = score ~candidates ~loads ~net ~request in
+  match scored with
+  | [] -> assert false
+  | first :: rest ->
+    List.fold_left
+      (fun acc s ->
+        if
+          s.total < acc.total
+          || (s.total = acc.total && s.candidate.Candidate.start < acc.candidate.Candidate.start)
+        then s
+        else acc)
+      first rest

@@ -1,0 +1,30 @@
+(** Best-candidate selection — Algorithm 2 / Eq. 4.
+
+    For each candidate sub-graph G_v: total compute cost C = Σ_u CL_u,
+    total network cost N = Σ_{(x,y)∈E} NL_(x,y) over all unordered node
+    pairs (the sub-graph is fully connected). Both are normalized by
+    their sums over the candidate set, and the winner minimizes
+    T = α·C̄ + β·N̄. Ties break on start-node id. *)
+
+type scored = {
+  candidate : Candidate.t;
+  compute_cost : float;  (** C_{G_v}, un-normalized *)
+  network_cost : float;  (** N_{G_v}, un-normalized *)
+  total : float;  (** T_{G_v} *)
+}
+
+val score :
+  candidates:Candidate.t list ->
+  loads:Compute_load.t ->
+  net:Network_load.t ->
+  request:Request.t ->
+  scored list
+(** Same order as the input. Raises [Invalid_argument] on an empty
+    candidate list. *)
+
+val best :
+  candidates:Candidate.t list ->
+  loads:Compute_load.t ->
+  net:Network_load.t ->
+  request:Request.t ->
+  scored

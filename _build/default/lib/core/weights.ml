@@ -1,0 +1,68 @@
+type t = {
+  w_core_count : float;
+  w_freq : float;
+  w_total_mem : float;
+  w_users : float;
+  w_load : float;
+  w_util : float;
+  w_nic : float;
+  w_mem_avail : float;
+  blend_m1 : float;
+  blend_m5 : float;
+  blend_m15 : float;
+  w_lt : float;
+  w_bw : float;
+}
+
+let paper_default =
+  {
+    w_core_count = 0.1;
+    w_freq = 0.05;
+    w_total_mem = 0.05;
+    w_users = 0.0;
+    w_load = 0.3;
+    w_util = 0.2;
+    w_nic = 0.2;
+    w_mem_avail = 0.1;
+    blend_m1 = 0.6;
+    blend_m5 = 0.3;
+    blend_m15 = 0.1;
+    w_lt = 0.25;
+    w_bw = 0.75;
+  }
+
+let compute_intensive =
+  { paper_default with w_load = 0.4; w_util = 0.3; w_nic = 0.05; w_mem_avail = 0.05 }
+
+let network_intensive =
+  { paper_default with w_load = 0.2; w_util = 0.1; w_nic = 0.35; w_mem_avail = 0.15 }
+
+let latency_sensitive = { paper_default with w_lt = 0.75; w_bw = 0.25 }
+
+let attribute_weight_sum t =
+  t.w_core_count +. t.w_freq +. t.w_total_mem +. t.w_users +. t.w_load
+  +. t.w_util +. t.w_nic +. t.w_mem_avail
+
+let validate t =
+  let check name w =
+    if w < 0.0 || not (Float.is_finite w) then
+      invalid_arg ("Weights.validate: bad weight " ^ name)
+  in
+  check "core_count" t.w_core_count;
+  check "freq" t.w_freq;
+  check "total_mem" t.w_total_mem;
+  check "users" t.w_users;
+  check "load" t.w_load;
+  check "util" t.w_util;
+  check "nic" t.w_nic;
+  check "mem_avail" t.w_mem_avail;
+  check "blend_m1" t.blend_m1;
+  check "blend_m5" t.blend_m5;
+  check "blend_m15" t.blend_m15;
+  check "lt" t.w_lt;
+  check "bw" t.w_bw;
+  if t.blend_m1 +. t.blend_m5 +. t.blend_m15 <= 0.0 then
+    invalid_arg "Weights.validate: zero blend";
+  if attribute_weight_sum t <= 0.0 then
+    invalid_arg "Weights.validate: zero attribute weights";
+  if t.w_lt +. t.w_bw <= 0.0 then invalid_arg "Weights.validate: zero net weights"

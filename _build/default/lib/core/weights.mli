@@ -1,0 +1,44 @@
+(** Relative weights for node attributes and network terms.
+
+    The attribute weights feed Eq. 1 (compute load), [w_lt]/[w_bw] feed
+    Eq. 2 (network load), and the 1/5/15-minute blend collapses each
+    running-mean triple into the scalar the SAW step consumes. *)
+
+type t = {
+  (* Eq. 1 — attribute weights (Table 1 order) *)
+  w_core_count : float;
+  w_freq : float;
+  w_total_mem : float;
+  w_users : float;
+  w_load : float;
+  w_util : float;
+  w_nic : float;
+  w_mem_avail : float;
+  (* running-mean blend over (1 min, 5 min, 15 min) *)
+  blend_m1 : float;
+  blend_m5 : float;
+  blend_m15 : float;
+  (* Eq. 2 — network-load weights *)
+  w_lt : float;
+  w_bw : float;
+}
+
+val paper_default : t
+(** §5's empirical setting: 0.3 CPU load, 0.2 CPU utilization, 0.2 node
+    data-flow rate, 0.1 available memory, 0.1 logical core count, 0.05
+    clock speed, 0.05 total memory (current-users weight 0);
+    [w_lt = 0.25], [w_bw = 0.75]; blend favouring the 1-minute mean. *)
+
+val compute_intensive : t
+(** Higher weight on CPU load/utilization (§3.2.1). *)
+
+val network_intensive : t
+(** Higher weight on node data-flow rate and available memory. *)
+
+val latency_sensitive : t
+(** [paper_default] with [w_lt] dominating — for chatty jobs with small
+    messages (§3.2.2 discussion). *)
+
+val attribute_weight_sum : t -> float
+val validate : t -> unit
+(** Raises [Invalid_argument] on a negative weight or an all-zero blend. *)

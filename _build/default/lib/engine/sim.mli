@@ -1,0 +1,38 @@
+(** Discrete-event simulation driver: a virtual clock plus an event queue.
+
+    All time is in simulated seconds from the simulation epoch. Callbacks
+    scheduled at the same instant run in scheduling order. The cluster
+    world, monitor daemons and MPI executor all advance on one shared
+    [t]. *)
+
+type t
+
+type task = t -> unit
+(** A callback receiving the simulation (so it can reschedule itself). *)
+
+val create : ?start:float -> unit -> t
+val now : t -> float
+
+val schedule_at : t -> time:float -> task -> Event_queue.handle
+(** Raises [Invalid_argument] when [time] is in the past. *)
+
+val schedule_after : t -> delay:float -> task -> Event_queue.handle
+(** Requires [delay >= 0]. *)
+
+val cancel : t -> Event_queue.handle -> unit
+
+val every :
+  t -> ?jitter:(unit -> float) -> period:float -> until:float -> task -> unit
+(** Run [task] now-ish and then once per [period] until the clock passes
+    [until]. [jitter], when given, is added to each period (e.g. to model
+    daemons that sample "every 3–10 seconds"). Requires [period > 0]. *)
+
+val run_until : t -> float -> unit
+(** Process events in time order until the queue is empty or the next
+    event is after the given horizon; the clock ends at the horizon or
+    the last event time, whichever is later-bounded by the horizon. *)
+
+val step : t -> bool
+(** Process a single event. Returns false when the queue is empty. *)
+
+val pending : t -> int

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Float Harness List Option Printf Render Rm_apps Rm_cluster Rm_core Rm_forecast Rm_monitor Rm_mpisim Rm_stats Rm_workload Unix

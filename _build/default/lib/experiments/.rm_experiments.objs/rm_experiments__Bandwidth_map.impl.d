@@ -1,0 +1,1 @@
+lib/experiments/bandwidth_map.ml: Array Buffer Float List Printf Render Rm_cluster Rm_netsim Rm_stats Rm_workload

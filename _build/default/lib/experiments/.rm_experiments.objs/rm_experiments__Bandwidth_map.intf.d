@@ -1,0 +1,1 @@
+lib/experiments/bandwidth_map.mli: Rm_stats

@@ -1,0 +1,1 @@
+lib/experiments/case_study.ml: Array Buffer Harness List Printf Render Rm_apps Rm_cluster Rm_core Rm_mpisim Rm_stats Rm_workload Seq String

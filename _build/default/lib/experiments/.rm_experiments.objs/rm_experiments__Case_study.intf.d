@@ -1,0 +1,1 @@
+lib/experiments/case_study.mli: Rm_core Rm_stats

@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Float Fmt Format List Option Rm_cluster Rm_core Rm_engine Rm_monitor Rm_mpisim Rm_stats Rm_workload

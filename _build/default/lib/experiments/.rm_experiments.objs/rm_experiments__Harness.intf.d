@@ -1,0 +1,1 @@
+lib/experiments/harness.mli: Format Rm_cluster Rm_core Rm_monitor Rm_mpisim Rm_stats Rm_workload

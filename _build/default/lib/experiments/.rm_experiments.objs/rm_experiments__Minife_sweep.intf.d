@@ -1,0 +1,1 @@
+lib/experiments/minife_sweep.mli: Sweep

@@ -1,0 +1,1 @@
+lib/experiments/minimd_sweep.ml: Rm_apps Rm_core Rm_workload Sweep

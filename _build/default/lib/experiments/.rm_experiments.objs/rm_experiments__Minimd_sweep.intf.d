@@ -1,0 +1,1 @@
+lib/experiments/minimd_sweep.mli: Sweep

@@ -1,0 +1,1 @@
+lib/experiments/queue_study.ml: Array Float Harness List Printf Render Rm_apps Rm_cluster Rm_core Rm_engine Rm_monitor Rm_mpisim Rm_netsim Rm_sched Rm_stats Rm_workload

@@ -1,0 +1,1 @@
+lib/experiments/queue_study.mli: Rm_core Rm_sched

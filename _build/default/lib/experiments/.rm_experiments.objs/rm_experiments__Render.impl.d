@@ -1,0 +1,1 @@
+lib/experiments/render.ml: Array Buffer Float List Printf Rm_stats String

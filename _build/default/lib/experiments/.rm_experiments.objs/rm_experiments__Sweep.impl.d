@@ -1,0 +1,1 @@
+lib/experiments/sweep.ml: Array Buffer Harness List Printf Render Rm_core Rm_mpisim Rm_stats Rm_workload

@@ -1,0 +1,1 @@
+lib/experiments/sweep.mli: Harness Rm_core Rm_mpisim Rm_workload

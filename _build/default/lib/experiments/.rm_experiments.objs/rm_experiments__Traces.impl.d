@@ -1,0 +1,1 @@
+lib/experiments/traces.ml: Buffer List Printf Render Rm_cluster Rm_stats Rm_workload

@@ -1,0 +1,1 @@
+lib/experiments/traces.mli: Rm_stats

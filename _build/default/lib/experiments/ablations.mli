@@ -1,0 +1,129 @@
+(** Ablation studies for the design choices DESIGN.md calls out.
+
+    These go beyond the paper's tables: they probe the knobs the paper
+    sets "empirically" (α/β, w_lt/w_bw), the monitoring cadence (§4's
+    1-min/5-min probe intervals), and the greedy heuristic's distance
+    from the brute-force optimum (§3.3.1). *)
+
+val alpha_sweep :
+  ?seed:int -> ?alphas:float list -> ?reps:int -> unit -> (float * float) list
+(** miniMD (32 procs, s = 16) mean execution time as a function of α
+    (β = 1 − α). Returns (alpha, mean time). *)
+
+val render_alpha_sweep : (float * float) list -> string
+
+type net_weight_point = {
+  w_lt : float;
+  w_bw : float;
+  chatty_time_s : float;  (** latency-bound synthetic app *)
+  bulky_time_s : float;  (** bandwidth-bound synthetic app *)
+}
+
+val net_weight_sweep : ?seed:int -> ?reps:int -> unit -> net_weight_point list
+(** §3.2.2's flexibility claim: a latency-dominated job should do best
+    with high [w_lt], a bulky job with high [w_bw]. *)
+
+val render_net_weight_sweep : net_weight_point list -> string
+
+val staleness_sweep :
+  ?seed:int -> ?periods:float list -> ?reps:int -> unit -> (float * float) list
+(** Gain of network-and-load-aware over random for miniMD (32 procs,
+    s = 16) as the bandwidth-probe period grows (monitor data ages).
+    Returns (probe period s, mean % gain). *)
+
+val render_staleness_sweep : (float * float) list -> string
+
+type hierarchy_point = {
+  nodes : int;
+  flat_ms : float;  (** wall-clock of one flat allocation *)
+  hier_ms : float;  (** wall-clock of one hierarchical allocation *)
+  flat_time_s : float;  (** miniMD execution time on the flat choice *)
+  hier_time_s : float;  (** … on the hierarchical choice *)
+}
+
+val hierarchical_sweep :
+  ?seed:int -> ?cluster_sizes:int list -> unit -> hierarchy_point list
+(** §3.3.2's scalability adaptation: group-level allocation should cost
+    far less wall-clock on big clusters while choosing nodes of
+    comparable quality. Cluster sizes default to 60, 120, 240 (nodes
+    split over size/15 switches). *)
+
+val render_hierarchical_sweep : hierarchy_point list -> string
+
+type multicluster_point = {
+  policy : string;
+  spans_sites : bool;  (** did the allocation cross the WAN? *)
+  time_s : float;
+}
+
+val multicluster :
+  ?seed:int -> ?reps:int -> unit -> multicluster_point list
+(** §6's federation scenario: two 16-node sites joined by a slow campus
+    backbone; a 32-process miniMD fits in either site. The aware
+    allocator should confine the job to one site; random/sequential
+    placements that span the WAN should pay dearly. One entry per
+    policy (spans_sites true if any repetition spanned; time is the
+    mean). *)
+
+val render_multicluster : multicluster_point list -> string
+
+val predictive :
+  ?seed:int -> ?reps:int -> unit -> (string * float) list
+(** Forecast-enhanced allocation (§1/§2's statistical-modelling hint):
+    the allocator sees predicted next-step loads instead of the last
+    measurement. Returns [("reactive", mean time); ("predictive", mean
+    time)] for miniMD (32 procs) on a spiky cluster. *)
+
+val render_predictive : (string * float) list -> string
+
+type mapping_point = {
+  app : string;
+  default_mb_per_iter : float;
+  mapped_mb_per_iter : float;
+  default_time_s : float;
+  mapped_time_s : float;
+}
+
+val rank_mapping : ?seed:int -> unit -> mapping_point list
+(** Treematch-style rank mapping ([11] in the paper's related work) on
+    top of the aware allocation: inter-node traffic per iteration and
+    execution time, block vs affinity-packed placement, for miniMD and
+    miniFE. *)
+
+val render_rank_mapping : mapping_point list -> string
+
+type madm_point = {
+  method_name : string;
+  spearman_vs_saw : float;  (** rank correlation with SAW's node ranking *)
+  top8_overlap : int;  (** of the 8 best nodes, how many SAW also picks *)
+  minimd_time_s : float;  (** runtime when allocating from this ranking *)
+}
+
+val madm_methods : ?seed:int -> unit -> madm_point list
+(** Related work [12] ranks resources with PROMETHEE-II/AHP instead of
+    SAW: compare the three methods' node rankings on one snapshot and
+    the resulting load-aware-style allocations. *)
+
+val render_madm : madm_point list -> string
+
+val monitor_fidelity :
+  ?seed:int -> ?reps:int -> unit -> (string * float) list
+(** How much do sampling noise, probe staleness and running-mean lag
+    cost? Allocate from the real monitor snapshot vs an oracle snapshot
+    taken directly from ground truth, run miniMD on both. Returns
+    [("monitor", t); ("oracle", t)]. *)
+
+val render_monitor_fidelity : (string * float) list -> string
+
+type optimality = {
+  trials : int;
+  mean_ratio : float;  (** greedy objective / optimal objective, ≥ 1 *)
+  max_ratio : float;
+  optimal_found : int;  (** trials where greedy matched the optimum *)
+}
+
+val optimality_gap : ?seed:int -> ?trials:int -> unit -> optimality
+(** 8-node clusters, brute force vs Algorithm 1+2 on Eq. 4's raw
+    objective. *)
+
+val render_optimality : optimality -> string

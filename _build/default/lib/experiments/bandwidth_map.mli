@@ -1,0 +1,25 @@
+(** Figure 2 — P2P bandwidth variation across node pairs and time.
+
+    (a) a 30×30 heatmap of measured P2P bandwidth averaged over 10
+    probe sweeps (§1: light = high available bandwidth; same-switch
+    blocks are visibly lighter); (b) bandwidth of three fixed pairs
+    sampled over a day, fluctuating around their topology-determined
+    base values. *)
+
+type result = {
+  nodes : int;
+  heat : Rm_stats.Matrix.t;  (** mean measured bandwidth, MB/s *)
+  same_switch_mean : float;
+  cross_switch_mean : float;
+  pair_series : ((int * int) * Rm_stats.Timeseries.t) list;
+}
+
+val run :
+  ?nodes:int -> ?sweeps:int -> ?hours:float -> seed:int -> unit -> result
+(** Defaults: 30 nodes, 10 sweeps for the heatmap, 24 h for the pair
+    series. *)
+
+val render : result -> string
+
+val to_csv : result -> string
+(** The Fig. 2(a) matrix in long form: src, dst, mean bandwidth MB/s. *)

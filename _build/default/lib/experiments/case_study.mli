@@ -1,0 +1,31 @@
+(** Table 4 and Figure 7 — resource-allocation analysis (§5.3).
+
+    A single miniMD configuration (32 processes, 4/node, s = 16 → 16K
+    atoms) run on nodes allocated by all four policies, with the state
+    of each chosen group recorded at allocation time: average CPU load,
+    average complement of available bandwidth and average latency over
+    the group's P2P links — plus the Fig. 7 panel: the bandwidth-
+    complement heatmap over the first switches, which nodes each policy
+    picked, and the per-node CPU load row. *)
+
+type row = {
+  policy : Rm_core.Policies.policy;
+  time_s : float;
+  group_load : float;
+  group_bw_complement : float;
+  group_latency_us : float;
+  nodes : int list;
+}
+
+type result = {
+  rows : row list;  (** paper order: random, sequential, load-aware, ours *)
+  heat_nodes : int list;  (** nodes shown in the Fig. 7 heatmap *)
+  bw_complement : Rm_stats.Matrix.t;  (** over [heat_nodes] *)
+  cpu_load : float list;  (** per heat node, at allocation time *)
+  hostnames : string list;
+  switch_of : int list;  (** switch of each heat node *)
+}
+
+val run : ?seed:int -> ?procs:int -> ?s:int -> unit -> result
+val render_table4 : result -> string
+val render_fig7 : result -> string

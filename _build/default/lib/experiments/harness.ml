@@ -1,0 +1,133 @@
+module Sim = Rm_engine.Sim
+module Rng = Rm_stats.Rng
+module Cluster = Rm_cluster.Cluster
+module World = Rm_workload.World
+module System = Rm_monitor.System
+module Snapshot = Rm_monitor.Snapshot
+module Policies = Rm_core.Policies
+module Allocation = Rm_core.Allocation
+module Compute_load = Rm_core.Compute_load
+module Network_load = Rm_core.Network_load
+module Executor = Rm_mpisim.Executor
+
+type env = {
+  sim : Sim.t;
+  world : World.t;
+  monitor : System.t;
+  rng : Rng.t;
+  horizon : float;
+  cadence : System.cadence;
+}
+
+let make_env ?cluster ?cadence ~scenario ~seed ~horizon () =
+  let cluster =
+    match cluster with Some c -> c | None -> Cluster.iitk_reference ()
+  in
+  let sim = Sim.create () in
+  let world = World.create ~cluster ~scenario ~seed in
+  let rng = Rng.create (seed + 7919) in
+  let cadence = Option.value cadence ~default:System.default_cadence in
+  let monitor = System.start ~sim ~world ~rng ~cadence ~until:horizon () in
+  { sim; world; monitor; rng; horizon; cadence }
+
+let world e = e.world
+let cluster e = World.cluster e.world
+let rng e = e.rng
+let monitor e = e.monitor
+
+let warm e =
+  let target = System.warm_up_s e.cadence in
+  Sim.run_until e.sim target;
+  World.advance e.world ~now:target
+
+let idle e ~seconds =
+  let target = Float.max (Sim.now e.sim) (World.now e.world) +. seconds in
+  Sim.run_until e.sim target;
+  World.advance e.world ~now:target
+
+let sync e =
+  Sim.run_until e.sim (World.now e.world)
+
+let snapshot e =
+  System.snapshot e.monitor ~time:(Float.max (Sim.now e.sim) (World.now e.world))
+
+type run_result = {
+  stats : Executor.stats;
+  allocation : Allocation.t;
+  group_load : float;
+  group_bw_complement : float;
+  group_latency_us : float;
+}
+
+(* Table 4 columns: the state of the chosen group at allocation time,
+   read from the same snapshot the allocator used. *)
+let group_metrics ~snap ~weights ~allocation =
+  let loads = Compute_load.of_snapshot snap ~weights in
+  let net = Network_load.of_snapshot snap ~weights in
+  let nodes = Allocation.node_ids allocation in
+  let usable = Compute_load.usable loads in
+  let known = List.filter (fun n -> List.mem n usable) nodes in
+  let load =
+    match known with
+    | [] -> 0.0
+    | _ ->
+      List.fold_left
+        (fun acc n -> acc +. Compute_load.cpu_load_1m loads ~node:n)
+        0.0 known
+      /. float_of_int (List.length known)
+  in
+  let rec pairs acc = function
+    | [] -> acc
+    | u :: rest -> pairs (List.fold_left (fun a v -> (u, v) :: a) acc rest) rest
+  in
+  let ps = pairs [] known in
+  let avg f =
+    match ps with
+    | [] -> 0.0
+    | _ ->
+      List.fold_left (fun acc (u, v) -> acc +. f u v) 0.0 ps
+      /. float_of_int (List.length ps)
+  in
+  ( load,
+    avg (fun u v -> Network_load.bw_complement_mb_s net ~u ~v),
+    avg (fun u v -> Network_load.latency_us net ~u ~v) )
+
+let run_app e ~policy ~weights ~request ~app_of =
+  sync e;
+  let snap = snapshot e in
+  match Policies.allocate ~policy ~snapshot:snap ~weights ~request ~rng:e.rng with
+  | Error err -> Fmt.failwith "allocation failed: %a" Allocation.pp_error err
+  | Ok allocation ->
+    let group_load, group_bw_complement, group_latency_us =
+      group_metrics ~snap ~weights ~allocation
+    in
+    let app = app_of ~ranks:(Allocation.total_procs allocation) in
+    let stats = Executor.run ~world:e.world ~allocation ~app () in
+    sync e;
+    { stats; allocation; group_load; group_bw_complement; group_latency_us }
+
+let compare_policies e ~weights ~request ~app_of ?(gap_s = 20.0) () =
+  List.map
+    (fun policy ->
+      let result = run_app e ~policy ~weights ~request ~app_of in
+      idle e ~seconds:gap_s;
+      (policy, result))
+    Policies.all
+
+type gain_summary = { average : float; median : float; maximum : float }
+
+let gains_vs ~baseline_times ~ours_times =
+  Rm_stats.Descriptive.percent_gain
+    ~baseline:(Rm_stats.Descriptive.mean baseline_times)
+    ~ours:(Rm_stats.Descriptive.mean ours_times)
+
+let summarize_gains gains =
+  {
+    average = Rm_stats.Descriptive.mean gains;
+    median = Rm_stats.Descriptive.median gains;
+    maximum = Rm_stats.Descriptive.max gains;
+  }
+
+let pp_gain_summary ppf g =
+  Format.fprintf ppf "avg %.1f%% / median %.1f%% / max %.1f%%" g.average
+    g.median g.maximum

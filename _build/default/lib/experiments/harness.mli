@@ -1,0 +1,81 @@
+(** Shared experiment machinery: a warmed-up simulated cluster with its
+    monitor, and the paper's measurement protocol (allocate with each
+    policy in sequence, run the job, let the cluster breathe, repeat). *)
+
+type env
+
+val make_env :
+  ?cluster:Rm_cluster.Cluster.t ->
+  ?cadence:Rm_monitor.System.cadence ->
+  scenario:Rm_workload.Scenario.t ->
+  seed:int ->
+  horizon:float ->
+  unit ->
+  env
+(** [cluster] defaults to {!Rm_cluster.Cluster.iitk_reference}; [cadence]
+    to the paper's monitor cadences. [horizon] bounds all daemon
+    scheduling (simulated seconds). *)
+
+val world : env -> Rm_workload.World.t
+val cluster : env -> Rm_cluster.Cluster.t
+val rng : env -> Rm_stats.Rng.t
+val monitor : env -> Rm_monitor.System.t
+
+val warm : env -> unit
+(** Run the simulation until the monitor has full data (one bandwidth
+    sweep + the 15-minute mean horizon). *)
+
+val idle : env -> seconds:float -> unit
+(** Let simulated time pass (daemons keep ticking, workload evolves). *)
+
+val sync : env -> unit
+(** Catch the monitor's clock up to the world clock (after an MPI run
+    advanced the world). *)
+
+val snapshot : env -> Rm_monitor.Snapshot.t
+
+(** {2 Single measured run} *)
+
+type run_result = {
+  stats : Rm_mpisim.Executor.stats;
+  allocation : Rm_core.Allocation.t;
+  group_load : float;
+      (** mean 1-min CPU load over allocated nodes at allocation time
+          (Table 4 column 2) *)
+  group_bw_complement : float;
+      (** mean complement of available bandwidth over the group's P2P
+          links, MB/s (Table 4 column 3) *)
+  group_latency_us : float;  (** mean P2P latency, µs (Table 4 column 4) *)
+}
+
+val run_app :
+  env ->
+  policy:Rm_core.Policies.policy ->
+  weights:Rm_core.Weights.t ->
+  request:Rm_core.Request.t ->
+  app_of:(ranks:int -> Rm_mpisim.App.t) ->
+  run_result
+(** Snapshot → allocate → execute → sync. Raises [Failure] if the policy
+    cannot allocate (no usable nodes). *)
+
+val compare_policies :
+  env ->
+  weights:Rm_core.Weights.t ->
+  request:Rm_core.Request.t ->
+  app_of:(ranks:int -> Rm_mpisim.App.t) ->
+  ?gap_s:float ->
+  unit ->
+  (Rm_core.Policies.policy * run_result) list
+(** The paper's protocol (§5.1): "ran all four approaches in sequence".
+    [gap_s] (default 20 s) of idle time separates consecutive runs. *)
+
+(** {2 Gain accounting (Tables 2 and 3)} *)
+
+type gain_summary = { average : float; median : float; maximum : float }
+
+val gains_vs :
+  baseline_times:float array -> ours_times:float array -> float
+(** Percent gain of the mean of [ours] over the mean of [baseline]. *)
+
+val summarize_gains : float array -> gain_summary
+val pp_gain_summary : Format.formatter -> gain_summary -> unit

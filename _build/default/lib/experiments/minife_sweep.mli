@@ -1,0 +1,9 @@
+(** Figure 6 and Table 3 — miniFE strong scaling (§5.2).
+
+    8–48 processes at 4 processes/node, nx = ny = nz from 48 to 384,
+    α = 0.4 / β = 0.6, five repetitions per configuration. *)
+
+val spec : ?quick:bool -> seed:int -> unit -> Sweep.spec
+val run : ?quick:bool -> seed:int -> unit -> Sweep.result
+val render_fig6 : Sweep.result -> string
+val render_table3 : Sweep.result -> string

@@ -1,0 +1,13 @@
+(** Figure 4, Table 2 and Figure 5 — miniMD strong scaling (§5.1).
+
+    8–64 processes at 4 processes/node, problem size s from 8 to 48 in
+    steps of 8 (2K–442K atoms), α = 0.3 / β = 0.7, five repetitions per
+    configuration. *)
+
+val spec : ?quick:bool -> seed:int -> unit -> Sweep.spec
+(** [quick] trims sizes/reps for CI-speed runs. *)
+
+val run : ?quick:bool -> seed:int -> unit -> Sweep.result
+val render_fig4 : Sweep.result -> string
+val render_table2 : Sweep.result -> string
+val render_fig5 : Sweep.result -> string

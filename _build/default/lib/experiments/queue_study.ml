@@ -1,0 +1,178 @@
+module Sim = Rm_engine.Sim
+module Rng = Rm_stats.Rng
+module Cluster = Rm_cluster.Cluster
+module World = Rm_workload.World
+module Scenario = Rm_workload.Scenario
+module System = Rm_monitor.System
+module Policies = Rm_core.Policies
+module Broker = Rm_core.Broker
+module Request = Rm_core.Request
+module Allocation = Rm_core.Allocation
+module Scheduler = Rm_sched.Scheduler
+module Executor = Rm_mpisim.Executor
+
+type policy_row = { policy : Policies.policy; summary : Scheduler.summary }
+
+(* A deterministic mixed-job afternoon. *)
+let job_mix ~job_count ~warm =
+  List.init job_count (fun i ->
+      let kind = if i mod 2 = 0 then `Md (16 + (8 * (i mod 3))) else `Fe (48 * (1 + (i mod 3))) in
+      let procs = [| 16; 32; 24; 48 |].(i mod 4) in
+      let at = warm +. (float_of_int i *. 600.0) in
+      (Printf.sprintf "job%02d" i, kind, procs, at))
+
+let app_of_kind kind ~ranks =
+  match kind with
+  | `Md s -> Rm_apps.Minimd.app ~config:(Rm_apps.Minimd.default_config ~s) ~ranks
+  | `Fe nx -> Rm_apps.Minife.app ~config:(Rm_apps.Minife.default_config ~nx) ~ranks
+
+let run_policy ~seed ~job_count policy =
+  let sim = Sim.create () in
+  let world =
+    World.create ~cluster:(Cluster.iitk_reference ()) ~scenario:Scenario.normal
+      ~seed
+  in
+  let rng = Rng.create (seed + 5) in
+  let horizon = 100_000.0 in
+  let monitor = System.start ~sim ~world ~rng ~until:horizon () in
+  let config =
+    { Scheduler.default_config with
+      Scheduler.broker = { Broker.default_config with Broker.policy } }
+  in
+  let sched = Scheduler.create ~sim ~world ~monitor ~config ~rng ~horizon () in
+  let warm = System.warm_up_s System.default_cadence in
+  List.iter
+    (fun (name, kind, procs, at) ->
+      ignore
+        (Scheduler.submit sched ~name ~at
+           ~request:(Request.make ~ppn:4 ~alpha:0.35 ~procs ())
+           ~app_of:(app_of_kind kind) ()))
+    (job_mix ~job_count ~warm);
+  (* Advance in slices until the queue drains (simulating all the way to
+     the horizon would run the monitor daemons for nothing). *)
+  let rec drain () =
+    if
+      List.length (Scheduler.finished sched) < job_count
+      && Sim.now sim < horizon
+    then begin
+      Sim.run_until sim (Sim.now sim +. 600.0);
+      drain ()
+    end
+  in
+  drain ();
+  Scheduler.summary sched
+
+let run ?(seed = 83) ?(job_count = 10) () =
+  List.map
+    (fun policy -> { policy; summary = run_policy ~seed ~job_count policy })
+    Policies.all
+
+let render rows =
+  let header =
+    [ "broker policy"; "finished"; "mean wait (s)"; "mean turnaround (s)" ]
+  in
+  let body =
+    List.map
+      (fun r ->
+        [
+          Policies.name r.policy;
+          string_of_int r.summary.Scheduler.jobs_finished;
+          Printf.sprintf "%.0f" r.summary.Scheduler.mean_wait_s;
+          Printf.sprintf "%.1f" r.summary.Scheduler.mean_turnaround_s;
+        ])
+      rows
+  in
+  "Queue study — the same 10-job afternoon scheduled with each broker\n\
+   policy: better placement finishes jobs sooner and frees nodes earlier\n\n"
+  ^ Render.table_str ~header ~rows:body
+
+type interference = {
+  alone_s : float;
+  beside_aware_s : float;
+  beside_random_s : float;
+  aware_overlap : int;
+  random_overlap : int;
+}
+
+let interference ?(seed = 89) () =
+  let fresh () =
+    let env =
+      Harness.make_env ~scenario:Scenario.quiet ~seed ~horizon:50_000.0 ()
+    in
+    Harness.warm env;
+    env
+  in
+  let request = Request.make ~ppn:4 ~alpha:0.3 ~procs:24 () in
+  let weights = Rm_core.Weights.paper_default in
+  let app_b ~ranks =
+    Rm_apps.Minimd.app ~config:(Rm_apps.Minimd.default_config ~s:24) ~ranks
+  in
+  (* Baseline: B alone. *)
+  let env = fresh () in
+  let alone =
+    Harness.run_app env ~policy:Policies.Network_load_aware ~weights ~request
+      ~app_of:app_b
+  in
+  (* B beside a running A, under a given policy for both. *)
+  let beside policy =
+    let env = fresh () in
+    Harness.sync env;
+    let snap = Harness.snapshot env in
+    match
+      Policies.allocate ~policy ~snapshot:snap ~weights ~request
+        ~rng:(Rng.create (seed + 1))
+    with
+    | Error _ -> failwith "interference: A's allocation failed"
+    | Ok alloc_a ->
+      (* Register A as a running job (its load and steady traffic). *)
+      let app_a ~ranks =
+        Rm_apps.Minife.app ~config:(Rm_apps.Minife.default_config ~nx:144) ~ranks
+      in
+      let a = app_a ~ranks:24 in
+      let world = Harness.world env in
+      let duration =
+        Float.max 1.0 (Executor.estimate_duration_s ~world ~allocation:alloc_a ~app:a ())
+      in
+      let load =
+        List.map
+          (fun (e : Allocation.entry) -> (e.Allocation.node, float_of_int e.Allocation.procs))
+          alloc_a.Allocation.entries
+      in
+      let flows =
+        List.map
+          (fun ((src, dst), mb_s) ->
+            (src, Rm_netsim.Flow.Node dst, Float.max 0.01 mb_s))
+          (Executor.mean_pair_rates_mb_s ~allocation:alloc_a ~app:a
+             ~duration_s:duration)
+      in
+      ignore (World.register_job world ~load ~flows);
+      (* Give the monitor a probe cycle to notice A. *)
+      Harness.idle env ~seconds:360.0;
+      let b = Harness.run_app env ~policy ~weights ~request ~app_of:app_b in
+      let overlap =
+        List.length
+          (List.filter
+             (fun n -> List.mem n (Allocation.node_ids alloc_a))
+             (Allocation.node_ids b.Harness.allocation))
+      in
+      (b.Harness.stats.Executor.total_time_s, overlap)
+  in
+  let beside_aware_s, aware_overlap = beside Policies.Network_load_aware in
+  let beside_random_s, random_overlap = beside Policies.Random in
+  {
+    alone_s = alone.Harness.stats.Executor.total_time_s;
+    beside_aware_s;
+    beside_random_s;
+    aware_overlap;
+    random_overlap;
+  }
+
+let render_interference i =
+  Printf.sprintf
+    "Interference study — job B (24-proc miniMD) while job A (24-proc\n\
+     miniFE) runs; placement decides whether they collide:\n\n\
+    \  B alone:                 %.3f s\n\
+    \  B beside A, aware broker: %.3f s (%d shared nodes)\n\
+    \  B beside A, random:       %.3f s (%d shared nodes)\n"
+    i.alone_s i.beside_aware_s i.aware_overlap i.beside_random_s
+    i.random_overlap

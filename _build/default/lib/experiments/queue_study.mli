@@ -1,0 +1,31 @@
+(** Queue-level effect of placement quality (the §6 SLURM-integration
+    motivation, measured): the same job arrival trace runs through the
+    batch scheduler once per broker policy, and queue metrics —
+    wait, turnaround — are compared. Placement quality compounds at the
+    queue level: faster jobs release their nodes sooner.
+
+    Also includes the interference study: does the broker route a
+    second job away from a running one's nodes, and what does that buy? *)
+
+type policy_row = {
+  policy : Rm_core.Policies.policy;
+  summary : Rm_sched.Scheduler.summary;
+}
+
+val run : ?seed:int -> ?job_count:int -> unit -> policy_row list
+(** A synthetic afternoon of [job_count] (default 10) mixed miniMD and
+    miniFE jobs on the reference cluster, per policy. *)
+
+val render : policy_row list -> string
+
+type interference = {
+  alone_s : float;  (** job B's runtime with the cluster to itself *)
+  beside_aware_s : float;
+      (** B's runtime while A runs, both placed by the aware broker *)
+  beside_random_s : float;  (** same but both placed randomly *)
+  aware_overlap : int;  (** nodes shared between A and B under the aware broker *)
+  random_overlap : int;
+}
+
+val interference : ?seed:int -> unit -> interference
+val render_interference : interference -> string

@@ -1,0 +1,141 @@
+module Matrix = Rm_stats.Matrix
+
+let f2 v = Printf.sprintf "%.2f" v
+let f1 v = Printf.sprintf "%.1f" v
+let pct v = Printf.sprintf "%.1f%%" v
+
+let table ~header ~rows buf =
+  let ncols = List.length header in
+  List.iter
+    (fun r ->
+      if List.length r <> ncols then invalid_arg "Render.table: ragged row")
+    rows;
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  measure header;
+  List.iter measure rows;
+  let emit row =
+    List.iteri
+      (fun i cell ->
+        Buffer.add_string buf cell;
+        if i < ncols - 1 then
+          Buffer.add_string buf (String.make (widths.(i) - String.length cell + 2) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit header;
+  Buffer.add_string buf
+    (String.make (Array.fold_left ( + ) 0 widths + (2 * (ncols - 1))) '-');
+  Buffer.add_char buf '\n';
+  List.iter emit rows
+
+let table_str ~header ~rows =
+  let buf = Buffer.create 256 in
+  table ~header ~rows buf;
+  Buffer.contents buf
+
+let csv_field s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let csv ~header ~rows =
+  let ncols = List.length header in
+  List.iter
+    (fun r -> if List.length r <> ncols then invalid_arg "Render.csv: ragged row")
+    rows;
+  let line cells = String.concat "," (List.map csv_field cells) in
+  String.concat "\n" (line header :: List.map line rows) ^ "\n"
+
+let ramp = " .:-=+*#%@"
+
+let shade ~lo ~hi v =
+  if not (Float.is_finite v) then ' '
+  else if hi <= lo then ramp.[0]
+  else begin
+    let t = (v -. lo) /. (hi -. lo) in
+    let idx = int_of_float (t *. float_of_int (String.length ramp - 1)) in
+    ramp.[max 0 (min (String.length ramp - 1) idx)]
+  end
+
+let finite_range m =
+  let lo = ref infinity and hi = ref neg_infinity in
+  Matrix.iteri m ~f:(fun ~row:_ ~col:_ v ->
+      if Float.is_finite v then begin
+        if v < !lo then lo := v;
+        if v > !hi then hi := v
+      end);
+  (!lo, !hi)
+
+let heatmap ?row_labels ?col_labels ~values ?(low_is_light = true) buf =
+  let lo, hi = finite_range values in
+  let label_width =
+    match row_labels with
+    | None -> 0
+    | Some ls -> Array.fold_left (fun acc l -> max acc (String.length l)) 0 ls
+  in
+  (match col_labels with
+  | None -> ()
+  | Some ls ->
+    Buffer.add_string buf (String.make (label_width + 1) ' ');
+    Array.iter
+      (fun l ->
+        Buffer.add_string buf
+          (if String.length l >= 2 then String.sub l (String.length l - 2) 2
+           else Printf.sprintf "%2s" l))
+      ls;
+    Buffer.add_char buf '\n');
+  for i = 0 to Matrix.rows values - 1 do
+    (match row_labels with
+    | Some ls when i < Array.length ls ->
+      Buffer.add_string buf (Printf.sprintf "%*s " label_width ls.(i))
+    | Some _ | None -> if label_width > 0 then
+        Buffer.add_string buf (String.make (label_width + 1) ' '));
+    for j = 0 to Matrix.cols values - 1 do
+      let v = Matrix.get values i j in
+      let v' = if low_is_light || not (Float.is_finite v) then v else lo +. hi -. v in
+      Buffer.add_char buf (shade ~lo ~hi v');
+      Buffer.add_char buf (shade ~lo ~hi v')
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf "scale: '%c'=%.3g .. '%c'=%.3g\n" ramp.[0] lo
+       ramp.[String.length ramp - 1] hi)
+
+let heatmap_str ?row_labels ?col_labels ~values () =
+  let buf = Buffer.create 1024 in
+  heatmap ?row_labels ?col_labels ~values buf;
+  Buffer.contents buf
+
+let sparkline values =
+  if Array.length values = 0 then ""
+  else begin
+    let lo = Array.fold_left Float.min values.(0) values in
+    let hi = Array.fold_left Float.max values.(0) values in
+    String.init (Array.length values) (fun i -> shade ~lo ~hi values.(i))
+  end
+
+let series ~name ~times ~values ?(max_points = 24) buf =
+  let n = Array.length values in
+  if n <> Array.length times then invalid_arg "Render.series: length mismatch";
+  Buffer.add_string buf (Printf.sprintf "%s  [%s]\n" name (sparkline values));
+  if n > 0 then begin
+    let step = max 1 (n / max_points) in
+    let i = ref 0 in
+    while !i < n do
+      Buffer.add_string buf
+        (Printf.sprintf "  t=%-10.0f %s=%.3f\n" times.(!i) name values.(!i));
+      i := !i + step
+    done
+  end

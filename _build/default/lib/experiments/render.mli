@@ -1,0 +1,53 @@
+(** Plain-text rendering for experiment output: aligned tables, ASCII
+    heatmaps and downsampled series — the textual equivalents of the
+    paper's figures, printed by [bench/main.exe]. *)
+
+val table :
+  header:string list -> rows:string list list -> Buffer.t -> unit
+(** Column-aligned table with a rule under the header. Ragged rows are
+    rejected. *)
+
+val table_str : header:string list -> rows:string list list -> string
+
+val heatmap :
+  ?row_labels:string array ->
+  ?col_labels:string array ->
+  values:Rm_stats.Matrix.t ->
+  ?low_is_light:bool ->
+  Buffer.t ->
+  unit
+(** Shade each cell by its value within the matrix's finite range using
+    the ramp [" .:-=+*#%@"] (dark = high unless [low_is_light] is
+    false... i.e. by default light chars = low values). Infinite cells
+    print as ["  "]. *)
+
+val heatmap_str :
+  ?row_labels:string array ->
+  ?col_labels:string array ->
+  values:Rm_stats.Matrix.t ->
+  unit ->
+  string
+
+val series :
+  name:string ->
+  times:float array ->
+  values:float array ->
+  ?max_points:int ->
+  Buffer.t ->
+  unit
+(** One "t=… v=…" row per (down-sampled) point plus a sparkline. *)
+
+val sparkline : float array -> string
+(** Unicode-free sparkline using the heatmap ramp. *)
+
+val csv : header:string list -> rows:string list list -> string
+(** RFC-4180-ish CSV: fields containing commas, quotes or newlines are
+    quoted, quotes doubled. Ragged rows are rejected. *)
+
+val f2 : float -> string
+(** Two-decimal float. *)
+
+val f1 : float -> string
+
+val pct : float -> string
+(** One-decimal percentage with a '%' suffix. *)

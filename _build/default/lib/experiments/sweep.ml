@@ -1,0 +1,202 @@
+module Policies = Rm_core.Policies
+module Request = Rm_core.Request
+module Descriptive = Rm_stats.Descriptive
+
+type spec = {
+  label : string;
+  size_label : string;
+  procs_list : int list;
+  sizes : int list;
+  reps : int;
+  ppn : int;
+  alpha : float;
+  weights : Rm_core.Weights.t;
+  scenario : Rm_workload.Scenario.t;
+  seed : int;
+  app_of : size:int -> ranks:int -> Rm_mpisim.App.t;
+}
+
+type record = {
+  procs : int;
+  size : int;
+  rep : int;
+  policy : Policies.policy;
+  result : Harness.run_result;
+}
+
+type result = { spec : spec; records : record list }
+
+let run spec =
+  let records = ref [] in
+  List.iter
+    (fun procs ->
+      (* One long-lived cluster session per process count: all sizes and
+         repetitions happen back to back on the same evolving cluster,
+         as they did on the real machine. *)
+      let env =
+        Harness.make_env ~scenario:spec.scenario ~seed:(spec.seed + (procs * 101))
+          ~horizon:500_000.0 ()
+      in
+      Harness.warm env;
+      let request = Request.make ~ppn:spec.ppn ~alpha:spec.alpha ~procs () in
+      List.iter
+        (fun size ->
+          for rep = 0 to spec.reps - 1 do
+            let runs =
+              Harness.compare_policies env ~weights:spec.weights ~request
+                ~app_of:(fun ~ranks -> spec.app_of ~size ~ranks)
+                ()
+            in
+            List.iter
+              (fun (policy, result) ->
+                records := { procs; size; rep; policy; result } :: !records)
+              runs
+          done)
+        spec.sizes)
+    spec.procs_list;
+  { spec; records = List.rev !records }
+
+let select result ~f = List.filter f result.records
+
+let cell_times result ~procs ~size ~policy =
+  select result ~f:(fun r -> r.procs = procs && r.size = size && r.policy = policy)
+  |> List.map (fun r -> r.result.Harness.stats.Rm_mpisim.Executor.total_time_s)
+  |> Array.of_list
+
+let mean_time result ~procs ~size ~policy =
+  Descriptive.mean (cell_times result ~procs ~size ~policy)
+
+let gains_over result ~baseline =
+  let cells =
+    List.concat_map
+      (fun procs -> List.map (fun size -> (procs, size)) result.spec.sizes)
+      result.spec.procs_list
+  in
+  cells
+  |> List.map (fun (procs, size) ->
+         Harness.gains_vs
+           ~baseline_times:(cell_times result ~procs ~size ~policy:baseline)
+           ~ours_times:
+             (cell_times result ~procs ~size ~policy:Policies.Network_load_aware))
+  |> Array.of_list
+
+let cov_of_policy result ~policy =
+  let covs =
+    List.concat_map
+      (fun procs ->
+        List.filter_map
+          (fun size ->
+            let times = cell_times result ~procs ~size ~policy in
+            if Array.length times < 2 then None
+            else Some (Descriptive.coefficient_of_variation times))
+          result.spec.sizes)
+      result.spec.procs_list
+  in
+  Descriptive.mean (Array.of_list covs)
+
+let mean_over_runs result ~policy ~f =
+  let values =
+    select result ~f:(fun r -> r.policy = policy) |> List.map f |> Array.of_list
+  in
+  Descriptive.mean values
+
+let mean_load_per_core result ~policy =
+  mean_over_runs result ~policy ~f:(fun r ->
+      r.result.Harness.stats.Rm_mpisim.Executor.mean_load_per_core)
+
+let mean_comm_fraction result ~policy =
+  mean_over_runs result ~policy ~f:(fun r ->
+      r.result.Harness.stats.Rm_mpisim.Executor.comm_fraction)
+
+let to_csv result =
+  let header =
+    [ "procs"; result.spec.size_label; "rep"; "policy"; "time_s";
+      "comm_fraction"; "load_per_core"; "group_load"; "group_bw_complement";
+      "group_latency_us" ]
+  in
+  let rows =
+    List.map
+      (fun r ->
+        let stats = r.result.Harness.stats in
+        [
+          string_of_int r.procs;
+          string_of_int r.size;
+          string_of_int r.rep;
+          Policies.name r.policy;
+          Printf.sprintf "%.6f" stats.Rm_mpisim.Executor.total_time_s;
+          Printf.sprintf "%.4f" stats.Rm_mpisim.Executor.comm_fraction;
+          Printf.sprintf "%.4f" stats.Rm_mpisim.Executor.mean_load_per_core;
+          Printf.sprintf "%.4f" r.result.Harness.group_load;
+          Printf.sprintf "%.4f" r.result.Harness.group_bw_complement;
+          Printf.sprintf "%.2f" r.result.Harness.group_latency_us;
+        ])
+      result.records
+  in
+  Render.csv ~header ~rows
+
+let render_times result ~title =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (title ^ "\n");
+  List.iter
+    (fun procs ->
+      Buffer.add_string buf (Printf.sprintf "\n#procs = %d (execution time, s)\n" procs);
+      let header =
+        result.spec.size_label :: List.map (fun p -> Policies.name p) Policies.all
+      in
+      let rows =
+        List.map
+          (fun size ->
+            string_of_int size
+            :: List.map
+                 (fun policy ->
+                   Printf.sprintf "%.3f" (mean_time result ~procs ~size ~policy))
+                 Policies.all)
+          result.spec.sizes
+      in
+      Render.table ~header ~rows buf)
+    result.spec.procs_list;
+  Buffer.contents buf
+
+let render_gains result ~title =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (title ^ "\n\n");
+  let header = [ "Allocation Policy"; "Average Gain"; "Median Gain"; "Maximum Gain" ] in
+  let baselines = [ Policies.Random; Policies.Sequential; Policies.Load_aware ] in
+  let rows =
+    List.map
+      (fun baseline ->
+        let g = Harness.summarize_gains (gains_over result ~baseline) in
+        [
+          Policies.name baseline;
+          Render.pct g.Harness.average;
+          Render.pct g.Harness.median;
+          Render.pct g.Harness.maximum;
+        ])
+      baselines
+  in
+  Render.table ~header ~rows buf;
+  Buffer.add_string buf "\ncoefficient of variation across repetitions:\n";
+  List.iter
+    (fun policy ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-20s %.3f\n" (Policies.name policy)
+           (cov_of_policy result ~policy)))
+    Policies.all;
+  Buffer.contents buf
+
+let render_load_per_core result ~title =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (title ^ "\n\n");
+  let header = [ "Allocation Policy"; "Avg CPU load / logical core"; "Comm fraction" ] in
+  let rows =
+    List.map
+      (fun policy ->
+        [
+          Policies.name policy;
+          Render.f2 (mean_load_per_core result ~policy);
+          Render.pct (100.0 *. mean_comm_fraction result ~policy);
+        ])
+      Policies.all
+  in
+  Render.table ~header ~rows buf;
+  Buffer.contents buf

@@ -1,0 +1,77 @@
+(** Strong-scaling policy sweeps — the engine behind Figures 4–6 and
+    Tables 2–3.
+
+    For every (process count, problem size) cell, the four policies run
+    in sequence (paper protocol), repeated [reps] times at different
+    cluster epochs; execution times, gains of the network-and-load-aware
+    policy over each baseline, per-policy run-stability (coefficient of
+    variation) and background-load-per-core (Fig. 5) are derived from
+    the recorded runs. *)
+
+type spec = {
+  label : string;  (** e.g. "miniMD" *)
+  size_label : string;  (** e.g. "s" or "nx" *)
+  procs_list : int list;
+  sizes : int list;
+  reps : int;
+  ppn : int;
+  alpha : float;  (** Eq. 4 weight; β = 1 − α *)
+  weights : Rm_core.Weights.t;
+  scenario : Rm_workload.Scenario.t;
+  seed : int;
+  app_of : size:int -> ranks:int -> Rm_mpisim.App.t;
+}
+
+type record = {
+  procs : int;
+  size : int;
+  rep : int;
+  policy : Rm_core.Policies.policy;
+  result : Harness.run_result;
+}
+
+type result = { spec : spec; records : record list }
+
+val run : spec -> result
+
+(** {2 Derived views} *)
+
+val cell_times :
+  result -> procs:int -> size:int -> policy:Rm_core.Policies.policy ->
+  float array
+(** Per-rep execution times, seconds. *)
+
+val mean_time :
+  result -> procs:int -> size:int -> policy:Rm_core.Policies.policy -> float
+
+val gains_over :
+  result -> baseline:Rm_core.Policies.policy -> float array
+(** Per-(procs, size)-cell percent gain of network-and-load-aware over
+    the baseline (mean over reps), across every cell. *)
+
+val cov_of_policy : result -> policy:Rm_core.Policies.policy -> float
+(** Mean over cells of the coefficient of variation across reps. *)
+
+val mean_load_per_core : result -> policy:Rm_core.Policies.policy -> float
+(** Fig. 5: mean background CPU load per logical core on the nodes each
+    policy chose, over all runs. *)
+
+val mean_comm_fraction : result -> policy:Rm_core.Policies.policy -> float
+
+(** {2 Rendering} *)
+
+val render_times : result -> title:string -> string
+(** The Fig. 4 / Fig. 6 panels: one table per process count, sizes as
+    rows, policies as columns. *)
+
+val render_gains : result -> title:string -> string
+(** The Table 2 / Table 3 layout: baseline × (average, median, maximum
+    gain), plus the CoV line from §5.1/§5.2. *)
+
+val render_load_per_core : result -> title:string -> string
+(** Fig. 5. *)
+
+val to_csv : result -> string
+(** One row per recorded run: procs, size, rep, policy, execution time,
+    comm fraction, load/core, group state at allocation — the raw data
+    behind Figures 4/6 and Tables 2/3, for external plotting. *)

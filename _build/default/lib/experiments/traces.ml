@@ -1,0 +1,122 @@
+module Timeseries = Rm_stats.Timeseries
+module Cluster = Rm_cluster.Cluster
+module World = Rm_workload.World
+module Scenario = Rm_workload.Scenario
+
+type result = {
+  hours : float;
+  node_a : int;
+  node_b : int;
+  load_a : Timeseries.t;
+  load_b : Timeseries.t;
+  load_avg : Timeseries.t;
+  nic_a : Timeseries.t;
+  nic_b : Timeseries.t;
+  nic_avg : Timeseries.t;
+  util_avg : Timeseries.t;
+  mem_used_pct_avg : Timeseries.t;
+}
+
+let run ?(hours = 48.0) ?(sample_period_s = 300.0) ?(nodes = 20) ~seed () =
+  if nodes < 2 then invalid_arg "Traces.run: need at least 2 nodes";
+  (* 6-core hyperthreaded i7s (12 logical cores), like Fig. 1's nodes. *)
+  let cluster =
+    Cluster.homogeneous ~prefix:"csews" ~cores:12 ~freq_ghz:3.4 ~mem_gb:16.0
+      ~nodes_per_switch:[ (nodes + 1) / 2; nodes / 2 ]
+      ()
+  in
+  let world = World.create ~cluster ~scenario:Scenario.normal ~seed in
+  let node_a = 0 and node_b = min 7 (nodes - 1) in
+  let mk name = Timeseries.create ~name () in
+  let r =
+    {
+      hours;
+      node_a;
+      node_b;
+      load_a = mk "load(A)";
+      load_b = mk "load(B)";
+      load_avg = mk "load(avg)";
+      nic_a = mk "nic(A)";
+      nic_b = mk "nic(B)";
+      nic_avg = mk "nic(avg)";
+      util_avg = mk "util(avg)";
+      mem_used_pct_avg = mk "mem%(avg)";
+    }
+  in
+  let horizon = hours *. 3600.0 in
+  let t = ref 0.0 in
+  while !t <= horizon do
+    World.advance world ~now:!t;
+    let mean f =
+      let acc = ref 0.0 in
+      for node = 0 to nodes - 1 do
+        acc := !acc +. f node
+      done;
+      !acc /. float_of_int nodes
+    in
+    let app ts v = Timeseries.append ts ~time:!t ~value:v in
+    app r.load_a (World.cpu_load world ~node:node_a);
+    app r.load_b (World.cpu_load world ~node:node_b);
+    app r.load_avg (mean (fun n -> World.cpu_load world ~node:n));
+    app r.nic_a (World.nic_rate_mb_s world ~node:node_a);
+    app r.nic_b (World.nic_rate_mb_s world ~node:node_b);
+    app r.nic_avg (mean (fun n -> World.nic_rate_mb_s world ~node:n));
+    app r.util_avg (mean (fun n -> World.cpu_util_pct world ~node:n));
+    app r.mem_used_pct_avg
+      (mean (fun n ->
+           let total = (Cluster.node cluster n).Rm_cluster.Node.mem_gb in
+           100.0 *. World.mem_used_gb world ~node:n /. total));
+    t := !t +. sample_period_s
+  done;
+  r
+
+let to_csv r =
+  let series =
+    [ r.load_a; r.load_b; r.load_avg; r.nic_a; r.nic_b; r.nic_avg; r.util_avg;
+      r.mem_used_pct_avg ]
+  in
+  let header = "time_s" :: List.map Timeseries.name series in
+  let n = Timeseries.length r.load_a in
+  let rows =
+    List.init n (fun i ->
+        let time, _ = Timeseries.get r.load_a i in
+        Printf.sprintf "%.0f" time
+        :: List.map
+             (fun ts ->
+               let _, v = Timeseries.get ts i in
+               Printf.sprintf "%.4f" v)
+             series)
+  in
+  Render.csv ~header ~rows
+
+let render r =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Figure 1 — node resource usage over %.0f h (nodes A=%d, B=%d)\n\n"
+       r.hours r.node_a r.node_b);
+  let show ts =
+    let s = Timeseries.value_summary ts in
+    Buffer.add_string buf
+      (Printf.sprintf "%-11s [%s] mean=%.2f max=%.2f\n" (Timeseries.name ts)
+         (Render.sparkline (Timeseries.values ts))
+         s.Rm_stats.Descriptive.mean s.Rm_stats.Descriptive.max)
+  in
+  Buffer.add_string buf "(a) CPU load\n";
+  show r.load_a;
+  show r.load_b;
+  show r.load_avg;
+  Buffer.add_string buf "\n(b) network I/O (MB/s at the NIC)\n";
+  show r.nic_a;
+  show r.nic_b;
+  show r.nic_avg;
+  Buffer.add_string buf "\n(c) CPU utilization (%) and memory usage (%)\n";
+  show r.util_avg;
+  show r.mem_used_pct_avg;
+  let util = Timeseries.value_summary r.util_avg in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\npaper check: avg utilization stayed in ~20-35%% (here %.1f-%.1f%%, mean %.1f%%)\n"
+       util.Rm_stats.Descriptive.min util.Rm_stats.Descriptive.max
+       util.Rm_stats.Descriptive.mean);
+  Buffer.contents buf

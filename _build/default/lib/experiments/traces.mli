@@ -1,0 +1,32 @@
+(** Figure 1 — resource-usage variation in a shared cluster.
+
+    Records two days of ground truth on a 20-node cluster at 5-minute
+    samples: (a) CPU load of two fixed nodes (A, B) and the 20-node
+    average; (b) NIC data-flow rate of the same nodes and the average;
+    (c) cluster-average CPU utilization and memory usage. The rendered
+    summary checks the paper's envelopes (load mostly low with
+    occasional spikes; utilization 20–35 %). *)
+
+type result = {
+  hours : float;
+  node_a : int;
+  node_b : int;
+  load_a : Rm_stats.Timeseries.t;
+  load_b : Rm_stats.Timeseries.t;
+  load_avg : Rm_stats.Timeseries.t;
+  nic_a : Rm_stats.Timeseries.t;
+  nic_b : Rm_stats.Timeseries.t;
+  nic_avg : Rm_stats.Timeseries.t;
+  util_avg : Rm_stats.Timeseries.t;
+  mem_used_pct_avg : Rm_stats.Timeseries.t;
+}
+
+val run :
+  ?hours:float -> ?sample_period_s:float -> ?nodes:int -> seed:int -> unit ->
+  result
+(** Defaults: 48 h, 300 s sampling, 20 nodes. *)
+
+val render : result -> string
+
+val to_csv : result -> string
+(** time_s plus every Fig. 1 series, one sample per row. *)

@@ -1,0 +1,1 @@
+lib/forecast/forecaster.ml: Array Float List Option Predictor

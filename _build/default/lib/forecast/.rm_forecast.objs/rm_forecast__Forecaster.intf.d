@@ -1,0 +1,1 @@
+lib/forecast/forecaster.mli: Predictor

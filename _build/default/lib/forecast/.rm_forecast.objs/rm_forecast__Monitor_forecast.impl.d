@@ -1,0 +1,1 @@
+lib/forecast/monitor_forecast.ml: Array Float Forecaster List Option Rm_monitor Rm_stats

@@ -1,0 +1,1 @@
+lib/forecast/monitor_forecast.mli: Rm_monitor

@@ -1,0 +1,1 @@
+lib/forecast/predictor.ml: Array Printf Rm_stats

@@ -1,0 +1,88 @@
+type model_state = {
+  model : Predictor.t;
+  mutable pending : float option;  (** prediction awaiting its truth *)
+  mutable abs_error_sum : float;
+  mutable scored : int;
+}
+
+type t = {
+  capacity : int;
+  mutable history : float array;  (** oldest first *)
+  mutable len : int;
+  models : model_state array;
+}
+
+let create ?(family = Predictor.default_family) ?(capacity = 128) () =
+  if family = [] then invalid_arg "Forecaster.create: empty family";
+  if capacity < 2 then invalid_arg "Forecaster.create: capacity too small";
+  List.iter Predictor.validate family;
+  {
+    capacity;
+    history = Array.make capacity 0.0;
+    len = 0;
+    models =
+      Array.of_list
+        (List.map
+           (fun model -> { model; pending = None; abs_error_sum = 0.0; scored = 0 })
+           family);
+  }
+
+let current_history t = Array.sub t.history 0 t.len
+
+let push_history t y =
+  if t.len = t.capacity then begin
+    Array.blit t.history 1 t.history 0 (t.capacity - 1);
+    t.history.(t.capacity - 1) <- y
+  end
+  else begin
+    t.history.(t.len) <- y;
+    t.len <- t.len + 1
+  end
+
+let observe t y =
+  (* Score the predictions made last round, then refresh them. *)
+  Array.iter
+    (fun ms ->
+      match ms.pending with
+      | Some p ->
+        ms.abs_error_sum <- ms.abs_error_sum +. Float.abs (p -. y);
+        ms.scored <- ms.scored + 1
+      | None -> ())
+    t.models;
+  push_history t y;
+  let history = current_history t in
+  Array.iter
+    (fun ms -> ms.pending <- Predictor.predict ms.model ~history)
+    t.models
+
+let mae ms =
+  if ms.scored = 0 then infinity
+  else ms.abs_error_sum /. float_of_int ms.scored
+
+let best_state t =
+  if t.len = 0 then None
+  else begin
+    let best = ref t.models.(0) in
+    Array.iter (fun ms -> if mae ms < mae !best then best := ms) t.models;
+    if (mae !best) = infinity then None else Some !best
+  end
+
+let best_model t = Option.map (fun ms -> ms.model) (best_state t)
+
+let predict t =
+  if t.len = 0 then None
+  else begin
+    match best_state t with
+    | Some ms -> ms.pending
+    | None ->
+      (* No model scored yet (single observation): fall back to the
+         family's first model. *)
+      t.models.(0).pending
+  end
+
+let errors t =
+  Array.to_list t.models
+  |> List.filter_map (fun ms ->
+         if ms.scored = 0 then None else Some (ms.model, mae ms))
+
+let history_length t = t.len

@@ -1,0 +1,30 @@
+(** Adaptive forecaster: NWS's "use the method with the smallest
+    prediction error for the next forecast" (§2).
+
+    Maintains a bounded history of one signal, keeps every model of the
+    family predicting in parallel, scores each by mean absolute error on
+    the observations it predicted, and answers with the current
+    best-scoring model's forecast. *)
+
+type t
+
+val create : ?family:Predictor.t list -> ?capacity:int -> unit -> t
+(** [capacity] bounds the retained history (default 128 samples).
+    Requires a non-empty family. *)
+
+val observe : t -> float -> unit
+(** Append the next observation (fixed sampling cadence is assumed, as
+    in NWS). Each model's running error is updated against the
+    prediction it made before this observation arrived. *)
+
+val predict : t -> float option
+(** Forecast of the next observation; [None] before any data. *)
+
+val best_model : t -> Predictor.t option
+(** Model currently winning on MAE; [None] before two observations. *)
+
+val errors : t -> (Predictor.t * float) list
+(** Current mean absolute error per model (only models that have made
+    at least one scored prediction). *)
+
+val history_length : t -> int

@@ -1,0 +1,51 @@
+module Snapshot = Rm_monitor.Snapshot
+module Running_means = Rm_stats.Running_means
+
+type t = {
+  forecasters : Forecaster.t array;
+  mutable observations : int;
+}
+
+let create ~node_count =
+  if node_count <= 0 then invalid_arg "Monitor_forecast.create: no nodes";
+  {
+    forecasters = Array.init node_count (fun _ -> Forecaster.create ());
+    observations = 0;
+  }
+
+let observe t snapshot =
+  List.iter
+    (fun node ->
+      match Snapshot.node_info snapshot node with
+      | Some info ->
+        if node < Array.length t.forecasters then
+          Forecaster.observe t.forecasters.(node)
+            info.Snapshot.load.Running_means.m1
+      | None -> ())
+    (Snapshot.usable snapshot);
+  t.observations <- t.observations + 1
+
+let observations t = t.observations
+
+let predicted_load t ~node =
+  if node < 0 || node >= Array.length t.forecasters then None
+  else
+    Option.map (Float.max 0.0) (Forecaster.predict t.forecasters.(node))
+
+let predict_snapshot t snapshot =
+  let nodes =
+    Array.mapi
+      (fun node info ->
+        match info with
+        | None -> None
+        | Some info ->
+          (match predicted_load t ~node with
+          | None -> Some info
+          | Some load ->
+            let view : Running_means.view =
+              { instant = load; m1 = load; m5 = load; m15 = load }
+            in
+            Some { info with Snapshot.load = view }))
+      snapshot.Snapshot.nodes
+  in
+  { snapshot with Snapshot.nodes }

@@ -1,0 +1,28 @@
+(** Forecast-enhanced monitoring: predict node load one sampling step
+    ahead instead of reacting to the last measurement.
+
+    §1 suggests "statistical methods can be used to model variations in
+    system parameters" and §2 adopts NWS's forecasting discipline; this
+    module closes the loop: it watches successive {!Rm_monitor.Snapshot}s,
+    maintains one adaptive {!Forecaster} per node over the 1-minute load
+    mean, and can rewrite a snapshot so the allocator sees the
+    *predicted* next load rather than the stale last one. *)
+
+type t
+
+val create : node_count:int -> t
+
+val observe : t -> Rm_monitor.Snapshot.t -> unit
+(** Feed each usable node's current 1-minute load mean to its
+    forecaster. Call at a fixed cadence (e.g. each monitor sweep). *)
+
+val observations : t -> int
+(** Number of {!observe} calls so far. *)
+
+val predicted_load : t -> node:int -> float option
+(** One-step-ahead load forecast for the node, clamped at 0. *)
+
+val predict_snapshot : t -> Rm_monitor.Snapshot.t -> Rm_monitor.Snapshot.t
+(** A copy of the snapshot where every usable node's load view is
+    replaced (uniformly across the 1/5/15-minute horizons) by its
+    forecast; nodes without enough history keep their measured view. *)

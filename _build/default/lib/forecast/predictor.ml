@@ -1,0 +1,80 @@
+type t =
+  | Last_value
+  | Running_mean of int
+  | Sliding_median of int
+  | Exponential_smoothing of float
+  | Ar1
+
+let name = function
+  | Last_value -> "last-value"
+  | Running_mean k -> Printf.sprintf "mean-%d" k
+  | Sliding_median k -> Printf.sprintf "median-%d" k
+  | Exponential_smoothing g -> Printf.sprintf "expsmooth-%.2f" g
+  | Ar1 -> "ar1"
+
+let default_family =
+  [
+    Last_value;
+    Running_mean 5;
+    Running_mean 20;
+    Sliding_median 5;
+    Sliding_median 20;
+    Exponential_smoothing 0.3;
+    Exponential_smoothing 0.7;
+    Ar1;
+  ]
+
+let validate = function
+  | Last_value | Ar1 -> ()
+  | Running_mean k | Sliding_median k ->
+    if k <= 0 then invalid_arg "Predictor: window must be positive"
+  | Exponential_smoothing g ->
+    if g <= 0.0 || g > 1.0 then
+      invalid_arg "Predictor: gamma must be in (0, 1]"
+
+let tail history k =
+  let n = Array.length history in
+  let k = min k n in
+  Array.sub history (n - k) k
+
+(* Least-squares fit of y_{t+1} = a·y_t + b over the window; falls back
+   to persistence when the window is degenerate (constant series). *)
+let ar1_predict history =
+  let n = Array.length history in
+  if n < 3 then history.(n - 1)
+  else begin
+    let xs = Array.sub history 0 (n - 1) in
+    let ys = Array.sub history 1 (n - 1) in
+    let m = float_of_int (n - 1) in
+    let mx = Array.fold_left ( +. ) 0.0 xs /. m in
+    let my = Array.fold_left ( +. ) 0.0 ys /. m in
+    let sxx = ref 0.0 and sxy = ref 0.0 in
+    Array.iteri
+      (fun i x ->
+        let dx = x -. mx in
+        sxx := !sxx +. (dx *. dx);
+        sxy := !sxy +. (dx *. (ys.(i) -. my)))
+      xs;
+    if !sxx < 1e-12 then history.(n - 1)
+    else begin
+      let a = !sxy /. !sxx in
+      let b = my -. (a *. mx) in
+      (a *. history.(n - 1)) +. b
+    end
+  end
+
+let predict t ~history =
+  validate t;
+  let n = Array.length history in
+  if n = 0 then None
+  else
+    Some
+      (match t with
+      | Last_value -> history.(n - 1)
+      | Running_mean k -> Rm_stats.Descriptive.mean (tail history k)
+      | Sliding_median k -> Rm_stats.Descriptive.median (tail history k)
+      | Exponential_smoothing g ->
+        Array.fold_left
+          (fun acc y -> (g *. y) +. ((1.0 -. g) *. acc))
+          history.(0) history
+      | Ar1 -> ar1_predict history)

@@ -1,0 +1,29 @@
+(** Single-series forecasting models, in the style of the Network
+    Weather Service the paper builds on (§2): each model predicts the
+    next observation of a resource signal (CPU load, available
+    bandwidth) from its history.
+
+    All predictors are pure functions of the trailing history window
+    (most recent last). An empty history yields [None]. *)
+
+type t =
+  | Last_value  (** persistence: ŷ = y_t *)
+  | Running_mean of int  (** mean of the last k observations *)
+  | Sliding_median of int  (** median of the last k observations *)
+  | Exponential_smoothing of float
+      (** ŷ_{t+1} = γ·y_t + (1−γ)·ŷ_t, γ in (0, 1] *)
+  | Ar1
+      (** first-order autoregression, coefficients refit on the window *)
+
+val name : t -> string
+
+val default_family : t list
+(** The mix NWS runs: persistence, means/medians at two horizons,
+    smoothing at two gammas, and AR(1). *)
+
+val predict : t -> history:float array -> float option
+(** [history] is ordered oldest → newest. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on nonsensical parameters (k <= 0, γ
+    outside (0, 1]). *)

@@ -1,0 +1,1 @@
+lib/monitor/central.ml: Array Daemon List Option Printf Rm_engine Rm_stats Rm_workload

@@ -1,0 +1,1 @@
+lib/monitor/central.mli: Daemon Rm_engine Rm_stats Rm_workload

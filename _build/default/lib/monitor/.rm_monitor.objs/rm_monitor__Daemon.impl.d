@@ -1,0 +1,1 @@
+lib/monitor/daemon.ml: Float Rm_engine

@@ -1,0 +1,1 @@
+lib/monitor/daemon.mli: Rm_engine

@@ -1,0 +1,1 @@
+lib/monitor/livehosts_d.ml: Daemon Printf Rm_engine Rm_workload Store

@@ -1,0 +1,1 @@
+lib/monitor/livehosts_d.mli: Daemon Rm_engine Rm_workload Store

@@ -1,0 +1,1 @@
+lib/monitor/node_state_d.ml: Daemon Float Printf Rm_cluster Rm_engine Rm_stats Rm_workload Store

@@ -1,0 +1,1 @@
+lib/monitor/node_state_d.mli: Daemon Rm_engine Rm_stats Rm_workload Store

@@ -1,0 +1,1 @@
+lib/monitor/pair_schedule.mli:

@@ -1,0 +1,1 @@
+lib/monitor/probe_d.ml: Array Daemon Float List Pair_schedule Printf Rm_engine Rm_netsim Rm_stats Rm_workload Store

@@ -1,0 +1,1 @@
+lib/monitor/probe_d.mli: Daemon Rm_engine Rm_stats Rm_workload Store

@@ -1,0 +1,1 @@
+lib/monitor/snapshot.ml: Array Float List Rm_cluster Rm_netsim Rm_stats Rm_workload Store

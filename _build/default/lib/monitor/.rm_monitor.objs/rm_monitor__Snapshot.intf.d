@@ -1,0 +1,1 @@
+lib/monitor/snapshot.mli: Rm_cluster Rm_stats Rm_workload Store

@@ -1,0 +1,1 @@
+lib/monitor/store.ml: Array Buffer List Printf Rm_stats String

@@ -1,0 +1,1 @@
+lib/monitor/store.mli: Rm_stats

@@ -1,0 +1,1 @@
+lib/monitor/system.ml: Central Daemon Float List Livehosts_d Node_state_d Probe_d Rm_cluster Rm_stats Rm_workload Snapshot Store

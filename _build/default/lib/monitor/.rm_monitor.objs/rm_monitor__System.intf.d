@@ -1,0 +1,1 @@
+lib/monitor/system.mli: Central Daemon Rm_engine Rm_stats Rm_workload Snapshot Store

@@ -1,0 +1,122 @@
+module Sim = Rm_engine.Sim
+module Rng = Rm_stats.Rng
+module World = Rm_workload.World
+
+type role = Master | Slave
+
+type instance = { daemon : Daemon.t; mutable role : role }
+
+type t = {
+  world : World.t;
+  rng : Rng.t;
+  supervised : Daemon.t list;
+  period : float;
+  until : float;
+  mutable instances : instance list;
+  mutable relaunches : int;
+  mutable next_id : int;
+}
+
+let healthy t inst =
+  Daemon.is_alive inst.daemon && World.is_up t.world ~node:(Daemon.node inst.daemon)
+
+let find_role t role =
+  List.find_opt (fun i -> i.role = role && healthy t i) t.instances
+
+let pick_node t ~avoid =
+  let up = World.up_nodes t.world in
+  let candidates = List.filter (fun n -> not (List.mem n avoid)) up in
+  match candidates with
+  | [] -> List.nth_opt up 0
+  | _ ->
+    let arr = Array.of_list candidates in
+    Some (Rng.choose t.rng arr)
+
+let occupied t =
+  List.filter_map
+    (fun i -> if healthy t i then Some (Daemon.node i.daemon) else None)
+    t.instances
+
+let prune t = t.instances <- List.filter (fun i -> Daemon.is_alive i.daemon) t.instances
+
+let rec spawn t ~sim ~role ~node =
+  let inst_ref = ref None in
+  let action sim =
+    match !inst_ref with Some inst -> run t inst ~sim | None -> ()
+  in
+  let daemon =
+    Daemon.launch ~sim
+      ~name:(Printf.sprintf "central-%d" t.next_id)
+      ~node ~period:t.period
+      ~host_up:(fun n -> World.is_up t.world ~node:n)
+      ~until:t.until ~action ()
+  in
+  t.next_id <- t.next_id + 1;
+  let inst = { daemon; role } in
+  inst_ref := Some inst;
+  t.instances <- inst :: t.instances;
+  inst
+
+and run t inst ~sim =
+  match inst.role with
+  | Master ->
+    (* Revive crashed monitoring daemons on live nodes. *)
+    List.iter
+      (fun d ->
+        if not (Daemon.is_alive d) then begin
+          match pick_node t ~avoid:[] with
+          | Some node ->
+            Daemon.relaunch d ~sim ~node;
+            t.relaunches <- t.relaunches + 1
+          | None -> ()
+        end)
+      t.supervised;
+    (* Keep a live slave around. *)
+    prune t;
+    if find_role t Slave = None then begin
+      let avoid = occupied t in
+      match pick_node t ~avoid with
+      | Some node -> ignore (spawn t ~sim ~role:Slave ~node)
+      | None -> ()
+    end
+  | Slave ->
+    if find_role t Master = None then begin
+      (* Promote; master duties resume on this instance's next tick. *)
+      inst.role <- Master;
+      run t inst ~sim
+    end
+
+let launch ~sim ~world ~rng ~supervised ?(period = 15.0) ~until () =
+  let t =
+    {
+      world;
+      rng = Rng.split rng;
+      supervised;
+      period;
+      until;
+      instances = [];
+      relaunches = 0;
+      next_id = 0;
+    }
+  in
+  let up = World.up_nodes world in
+  (match up with
+  | a :: rest ->
+    let b = match rest with b :: _ -> b | [] -> a in
+    ignore (spawn t ~sim ~role:Master ~node:a);
+    ignore (spawn t ~sim ~role:Slave ~node:b)
+  | [] -> invalid_arg "Central.launch: no live nodes");
+  t
+
+let master t = Option.map (fun i -> i.daemon) (find_role t Master)
+let slave t = Option.map (fun i -> i.daemon) (find_role t Slave)
+let instance_count t = List.length (List.filter (healthy t) t.instances)
+
+let crash_role t role =
+  match find_role t role with
+  | Some inst -> Daemon.crash inst.daemon
+  | None -> ()
+
+let crash_master t = crash_role t Master
+let crash_slave t = crash_role t Slave
+let relaunches t = t.relaunches

@@ -1,0 +1,38 @@
+(** Central Monitor: master/slave supervision of the daemon fleet (§4).
+
+    The master instance periodically checks every supervised daemon and
+    relaunches crashed ones on a live node; it also revives a dead
+    slave. The slave instance watches the master and *promotes itself*
+    when the master dies, then grows a fresh slave on its next check.
+    If both die simultaneously, the remaining daemons keep running but
+    are no longer restarted — exactly the failure semantics described
+    in the paper. *)
+
+type t
+
+val launch :
+  sim:Rm_engine.Sim.t ->
+  world:Rm_workload.World.t ->
+  rng:Rm_stats.Rng.t ->
+  supervised:Daemon.t list ->
+  ?period:float ->
+  until:float ->
+  unit ->
+  t
+(** [period] defaults to 15 s. Master and slave start on two distinct
+    live nodes. *)
+
+val master : t -> Daemon.t option
+(** The currently-alive master instance, if any. *)
+
+val slave : t -> Daemon.t option
+val instance_count : t -> int
+(** Live central-monitor instances (0, 1, or 2). *)
+
+val crash_master : t -> unit
+(** Failure injection for tests/examples; no-op when already dead. *)
+
+val crash_slave : t -> unit
+
+val relaunches : t -> int
+(** Total number of daemon relaunches performed so far. *)

@@ -1,0 +1,69 @@
+module Sim = Rm_engine.Sim
+
+type t = {
+  name : string;
+  period : float;
+  jitter : (unit -> float) option;
+  host_up : int -> bool;
+  until : float;
+  action : Sim.t -> unit;
+  mutable node : int;
+  mutable alive : bool;
+  mutable generation : int;  (* invalidates in-flight ticks on crash *)
+  mutable ticks : int;
+}
+
+let name t = t.name
+let node t = t.node
+let is_alive t = t.alive
+let tick_count t = t.ticks
+
+let delay t =
+  match t.jitter with
+  | None -> t.period
+  | Some j -> Float.max 1e-9 (t.period +. j ())
+
+let rec schedule t ~sim ~gen ~first =
+  let d = if first then 0.0 else delay t in
+  if Sim.now sim +. d <= t.until then
+    ignore
+      (Sim.schedule_after sim ~delay:d (fun sim ->
+           if t.alive && t.generation = gen then begin
+             if t.host_up t.node then begin
+               t.ticks <- t.ticks + 1;
+               t.action sim
+             end;
+             schedule t ~sim ~gen ~first:false
+           end))
+
+let launch ~sim ~name ~node ~period ?jitter ?(host_up = fun _ -> true) ~until
+    ~action () =
+  if period <= 0.0 then invalid_arg "Daemon.launch: period must be positive";
+  let t =
+    {
+      name;
+      period;
+      jitter;
+      host_up;
+      until;
+      action;
+      node;
+      alive = true;
+      generation = 0;
+      ticks = 0;
+    }
+  in
+  schedule t ~sim ~gen:0 ~first:true;
+  t
+
+let crash t =
+  t.alive <- false;
+  t.generation <- t.generation + 1
+
+let relaunch t ~sim ~node =
+  if not t.alive then begin
+    t.alive <- true;
+    t.node <- node;
+    t.generation <- t.generation + 1;
+    schedule t ~sim ~gen:t.generation ~first:true
+  end

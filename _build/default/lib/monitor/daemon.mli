@@ -1,0 +1,36 @@
+(** Periodic monitoring daemon with crash/relaunch semantics.
+
+    A daemon executes its action on its own cadence (with optional
+    per-tick jitter, like the paper's "every 3–10 seconds" NodeStateD).
+    It can {!crash} — ticks stop until some supervisor {!relaunch}es it,
+    possibly on a different node. A daemon hosted on a node that is
+    currently down skips its ticks but stays alive (the host being
+    unreachable is the LivehostsD's problem, not the daemon's). *)
+
+type t
+
+val launch :
+  sim:Rm_engine.Sim.t ->
+  name:string ->
+  node:int ->
+  period:float ->
+  ?jitter:(unit -> float) ->
+  ?host_up:(int -> bool) ->
+  until:float ->
+  action:(Rm_engine.Sim.t -> unit) ->
+  unit ->
+  t
+(** Starts ticking immediately. [host_up] defaults to always-up. *)
+
+val name : t -> string
+val node : t -> int
+(** Node currently hosting the daemon. *)
+
+val is_alive : t -> bool
+val crash : t -> unit
+val relaunch : t -> sim:Rm_engine.Sim.t -> node:int -> unit
+(** No-op if already alive. *)
+
+val tick_count : t -> int
+(** Number of executed actions — used by tests and the central monitor's
+    health accounting. *)

@@ -1,0 +1,14 @@
+module Sim = Rm_engine.Sim
+module World = Rm_workload.World
+
+let launch ~sim ~world ~store ~node ?(period = 10.0) ~until () =
+  let action sim =
+    let now = Sim.now sim in
+    World.advance world ~now;
+    Store.write_livehosts store ~time:now ~nodes:(World.up_nodes world)
+  in
+  Daemon.launch ~sim
+    ~name:(Printf.sprintf "livehosts-%d" node)
+    ~node ~period
+    ~host_up:(fun n -> World.is_up world ~node:n)
+    ~until ~action ()

@@ -1,0 +1,17 @@
+(** LivehostsD: periodically pings every node and records which are up.
+
+    §4 runs "this daemon on a few selected nodes at different
+    frequencies … to ensure fault tolerance"; launch several instances
+    with distinct periods for the same effect. The most recent write
+    wins, exactly as on the shared filesystem. *)
+
+val launch :
+  sim:Rm_engine.Sim.t ->
+  world:Rm_workload.World.t ->
+  store:Store.t ->
+  node:int ->
+  ?period:float ->
+  until:float ->
+  unit ->
+  Daemon.t
+(** [period] defaults to 10 s. *)

@@ -1,0 +1,52 @@
+module Sim = Rm_engine.Sim
+module Rng = Rm_stats.Rng
+module Running_means = Rm_stats.Running_means
+module World = Rm_workload.World
+module Cluster = Rm_cluster.Cluster
+
+let noisy rng value ~rel =
+  Float.max 0.0 (value *. (1.0 +. Rng.gaussian rng ~mu:0.0 ~sigma:rel))
+
+let launch ~sim ~world ~store ~rng ~node ?(period = 6.0) ~until () =
+  let rng = Rng.split rng in
+  let load = Running_means.create () in
+  let util = Running_means.create () in
+  let nic = Running_means.create () in
+  let mem_avail = Running_means.create () in
+  let total_mem = (Cluster.node (World.cluster world) node).Rm_cluster.Node.mem_gb in
+  let action sim =
+    let now = Sim.now sim in
+    World.advance world ~now;
+    Running_means.push load ~time:now
+      ~value:(noisy rng (World.cpu_load world ~node) ~rel:0.02);
+    Running_means.push util ~time:now
+      ~value:(Float.min 100.0 (noisy rng (World.cpu_util_pct world ~node) ~rel:0.02));
+    Running_means.push nic ~time:now
+      ~value:(noisy rng (World.nic_rate_mb_s world ~node) ~rel:0.05);
+    let avail = Float.max 0.0 (total_mem -. World.mem_used_gb world ~node) in
+    Running_means.push mem_avail ~time:now ~value:(noisy rng avail ~rel:0.01);
+    match
+      ( Running_means.view load,
+        Running_means.view util,
+        Running_means.view nic,
+        Running_means.view mem_avail )
+    with
+    | Some load, Some util_pct, Some nic_mb_s, Some mem_avail_gb ->
+      Store.write_node store
+        {
+          Store.node;
+          written_at = now;
+          users = World.users world ~node;
+          load;
+          util_pct;
+          nic_mb_s;
+          mem_avail_gb;
+        }
+    | None, _, _, _ | _, None, _, _ | _, _, None, _ | _, _, _, None -> ()
+  in
+  let jitter () = Rng.uniform rng ~lo:(-3.0) ~hi:3.0 in
+  Daemon.launch ~sim
+    ~name:(Printf.sprintf "nodestate-%d" node)
+    ~node ~period ~jitter
+    ~host_up:(fun n -> World.is_up world ~node:n)
+    ~until ~action ()

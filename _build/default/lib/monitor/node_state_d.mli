@@ -1,0 +1,20 @@
+(** NodeStateD: per-node daemon sampling dynamic attributes.
+
+    Mirrors §4: runs on each livehost every 3–10 seconds, reads CPU
+    load, CPU utilization, NIC data flow rate, available memory and
+    user count from the node (our {!Rm_workload.World} ground truth plus
+    sensor noise), maintains the 1/5/15-minute running means, and writes
+    a {!Store.node_record}. *)
+
+val launch :
+  sim:Rm_engine.Sim.t ->
+  world:Rm_workload.World.t ->
+  store:Store.t ->
+  rng:Rm_stats.Rng.t ->
+  node:int ->
+  ?period:float ->
+  until:float ->
+  unit ->
+  Daemon.t
+(** [period] defaults to 6 s with ±3 s jitter ("every 3-10 seconds").
+    The daemon skips ticks while its node is down. *)

@@ -1,0 +1,47 @@
+(* Circle method: fix element 0, rotate the rest. With odd n a virtual
+   "bye" (-1) is added and pairs touching it are dropped. *)
+let rounds nodes =
+  let arr = Array.of_list nodes in
+  let n = Array.length arr in
+  if n < 2 then invalid_arg "Pair_schedule.rounds: need at least 2 nodes";
+  let padded = if n mod 2 = 0 then Array.copy arr else Array.append arr [| -1 |] in
+  let m = Array.length padded in
+  let rounds = ref [] in
+  let ring = Array.sub padded 1 (m - 1) in
+  for _round = 0 to m - 2 do
+    let pairs = ref [] in
+    (* Pair the fixed head with the current first ring element. *)
+    let pair a b = if a >= 0 && b >= 0 then pairs := (min a b, max a b) :: !pairs in
+    pair padded.(0) ring.(m - 2);
+    for k = 0 to (m / 2) - 2 do
+      pair ring.(k) ring.(m - 3 - k)
+    done;
+    rounds := List.rev !pairs :: !rounds;
+    (* Rotate the ring. *)
+    let last = ring.(m - 2) in
+    Array.blit ring 0 ring 1 (m - 2);
+    ring.(0) <- last
+  done;
+  List.rev !rounds
+
+let all_pairs_covered nodes =
+  let rs = rounds nodes in
+  let seen = Hashtbl.create 64 in
+  let ok = ref true in
+  List.iter
+    (fun round ->
+      let in_round = Hashtbl.create 16 in
+      List.iter
+        (fun (a, b) ->
+          if Hashtbl.mem seen (a, b) then ok := false;
+          Hashtbl.add seen (a, b) ();
+          if Hashtbl.mem in_round a || Hashtbl.mem in_round b then ok := false;
+          Hashtbl.add in_round a ();
+          Hashtbl.add in_round b ())
+        round)
+    rs;
+  let expected =
+    let n = List.length nodes in
+    n * (n - 1) / 2
+  in
+  !ok && Hashtbl.length seen = expected

@@ -1,0 +1,17 @@
+(** Round-robin tournament schedule for pairwise P2P probes.
+
+    The paper schedules P2P bandwidth/latency measurements "in a few
+    rounds such that one node communicates with only one other node in
+    each round (n/2 distinct pairs of nodes communicate at a time).
+    There are n−1 such rounds" (§4). This is the classic circle-method
+    tournament schedule; with odd n a bye is inserted. *)
+
+val rounds : int list -> (int * int) list list
+(** [rounds nodes] partitions all unordered pairs of [nodes] into
+    rounds; each node appears at most once per round. For [n] nodes
+    there are [n-1] rounds ([n] when [n] is odd), each with ⌊n/2⌋
+    pairs. Raises [Invalid_argument] when fewer than 2 nodes. *)
+
+val all_pairs_covered : int list -> bool
+(** Self-check used by tests: every unordered pair appears exactly
+    once across all rounds. *)

@@ -1,0 +1,60 @@
+module Sim = Rm_engine.Sim
+module Rng = Rm_stats.Rng
+module World = Rm_workload.World
+module Network = Rm_netsim.Network
+
+let live_nodes world store =
+  match Store.read_livehosts store with
+  | Some (_, nodes) -> nodes
+  | None -> World.up_nodes world
+
+let launch_bandwidth ~sim ~world ~store ~rng ~node ?(period = 300.0) ~until () =
+  let rng = Rng.split rng in
+  let action sim =
+    let now = Sim.now sim in
+    World.advance world ~now;
+    let nodes = live_nodes world store in
+    if List.length nodes >= 2 then
+      List.iter
+        (fun round ->
+          (* The whole round measures concurrently: every probe pair
+             gets its fair share against the others and background. *)
+          let pairs = Array.of_list round in
+          let rates = Network.rates_with_extra (World.network world) ~extra:pairs in
+          Array.iteri
+            (fun i (src, dst) ->
+              let noise = 1.0 +. Rng.gaussian rng ~mu:0.0 ~sigma:0.03 in
+              let mb_s = Float.max 0.1 (rates.(i) *. noise) in
+              Store.write_bandwidth store ~time:now ~src ~dst ~mb_s)
+            pairs)
+        (Pair_schedule.rounds nodes)
+  in
+  Daemon.launch ~sim
+    ~name:(Printf.sprintf "bandwidth-%d" node)
+    ~node ~period
+    ~host_up:(fun n -> World.is_up world ~node:n)
+    ~until ~action ()
+
+let launch_latency ~sim ~world ~store ~rng ~node ?(period = 60.0) ~until () =
+  let rng = Rng.split rng in
+  let action sim =
+    let now = Sim.now sim in
+    World.advance world ~now;
+    let nodes = live_nodes world store in
+    if List.length nodes >= 2 then
+      List.iter
+        (fun round ->
+          List.iter
+            (fun (src, dst) ->
+              let truth = Network.latency_us (World.network world) ~src ~dst in
+              let noise = 1.0 +. Rng.gaussian rng ~mu:0.0 ~sigma:0.05 in
+              let us = Float.max 1.0 (truth *. noise) in
+              Store.write_latency store ~time:now ~src ~dst ~us)
+            round)
+        (Pair_schedule.rounds nodes)
+  in
+  Daemon.launch ~sim
+    ~name:(Printf.sprintf "latency-%d" node)
+    ~node ~period
+    ~host_up:(fun n -> World.is_up world ~node:n)
+    ~until ~action ()

@@ -1,0 +1,35 @@
+(** BandwidthD and LatencyD: distributed P2P probing daemons.
+
+    Every tick the daemon probes all pairs of currently-live nodes using
+    the round-robin schedule of {!Pair_schedule}: in each round n/2
+    disjoint pairs measure concurrently (so probe flows of the same
+    round contend on shared uplinks, as they would in the real cluster),
+    and results land in the {!Store}. The paper runs latency probes
+    every 1 minute and bandwidth probes every 5 minutes (§4). *)
+
+val launch_bandwidth :
+  sim:Rm_engine.Sim.t ->
+  world:Rm_workload.World.t ->
+  store:Store.t ->
+  rng:Rm_stats.Rng.t ->
+  node:int ->
+  ?period:float ->
+  until:float ->
+  unit ->
+  Daemon.t
+(** [period] defaults to 300 s. Measured value: the probe pair's max-min
+    fair rate among its round's probes plus background traffic, with 3 %
+    multiplicative sensor noise. *)
+
+val launch_latency :
+  sim:Rm_engine.Sim.t ->
+  world:Rm_workload.World.t ->
+  store:Store.t ->
+  rng:Rm_stats.Rng.t ->
+  node:int ->
+  ?period:float ->
+  until:float ->
+  unit ->
+  Daemon.t
+(** [period] defaults to 60 s. Measured value: current path latency with
+    5 % multiplicative noise. *)

@@ -1,0 +1,207 @@
+module Matrix = Rm_stats.Matrix
+
+type node_record = {
+  node : int;
+  written_at : float;
+  users : int;
+  load : Rm_stats.Running_means.view;
+  util_pct : Rm_stats.Running_means.view;
+  nic_mb_s : Rm_stats.Running_means.view;
+  mem_avail_gb : Rm_stats.Running_means.view;
+}
+
+type cell = { mutable time : float; mutable value : float; mutable set : bool }
+
+type t = {
+  n : int;
+  nodes : node_record option array;
+  livehosts : (float * int list) option ref;
+  bw : cell array array;  (* upper triangle: bw.(min).(max) *)
+  lat : cell array array;
+}
+
+let fresh_cell () = { time = 0.0; value = 0.0; set = false }
+
+let create ~node_count =
+  if node_count <= 0 then invalid_arg "Store.create: no nodes";
+  {
+    n = node_count;
+    nodes = Array.make node_count None;
+    livehosts = ref None;
+    bw = Array.init node_count (fun _ -> Array.init node_count (fun _ -> fresh_cell ()));
+    lat = Array.init node_count (fun _ -> Array.init node_count (fun _ -> fresh_cell ()));
+  }
+
+let node_count t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Store: node index out of range"
+
+let write_node t record =
+  check t record.node;
+  t.nodes.(record.node) <- Some record
+
+let read_node t ~node =
+  check t node;
+  t.nodes.(node)
+
+let write_livehosts t ~time ~nodes =
+  List.iter (check t) nodes;
+  t.livehosts := Some (time, nodes)
+
+let read_livehosts t = !(t.livehosts)
+
+let pair_cell table t src dst =
+  check t src;
+  check t dst;
+  if src = dst then invalid_arg "Store: self pair";
+  let a = min src dst and b = max src dst in
+  table.(a).(b)
+
+let write_pair table t ~time ~src ~dst ~value =
+  let cell = pair_cell table t src dst in
+  cell.time <- time;
+  cell.value <- value;
+  cell.set <- true
+
+let read_pair table t ~src ~dst =
+  let cell = pair_cell table t src dst in
+  if cell.set then Some (cell.time, cell.value) else None
+
+let write_bandwidth t ~time ~src ~dst ~mb_s =
+  write_pair t.bw t ~time ~src ~dst ~value:mb_s
+
+let read_bandwidth t ~src ~dst = read_pair t.bw t ~src ~dst
+
+let write_latency t ~time ~src ~dst ~us =
+  write_pair t.lat t ~time ~src ~dst ~value:us
+
+let read_latency t ~src ~dst = read_pair t.lat t ~src ~dst
+
+let matrix_of table t ~default ~diagonal =
+  let m = Matrix.square t.n ~init:default in
+  for i = 0 to t.n - 1 do
+    Matrix.set m i i diagonal;
+    for j = i + 1 to t.n - 1 do
+      if table.(i).(j).set then begin
+        Matrix.set m i j table.(i).(j).value;
+        Matrix.set m j i table.(i).(j).value
+      end
+    done
+  done;
+  m
+
+let bandwidth_matrix t ~default = matrix_of t.bw t ~default ~diagonal:infinity
+let latency_matrix t ~default = matrix_of t.lat t ~default ~diagonal:0.0
+
+(* --- persistence ---------------------------------------------------- *)
+
+let view_fields (v : Rm_stats.Running_means.view) =
+  Printf.sprintf "%h %h %h %h" v.instant v.m1 v.m5 v.m15
+
+let parse_view = function
+  | [ a; b; c; d ] ->
+    {
+      Rm_stats.Running_means.instant = float_of_string a;
+      m1 = float_of_string b;
+      m5 = float_of_string c;
+      m15 = float_of_string d;
+    }
+  | _ -> failwith "bad view"
+
+let save t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "store v1 %d\n" t.n);
+  (match !(t.livehosts) with
+  | Some (time, nodes) ->
+    Buffer.add_string buf
+      (Printf.sprintf "livehosts %h %s\n" time
+         (String.concat "," (List.map string_of_int nodes)))
+  | None -> ());
+  Array.iter
+    (fun record ->
+      match record with
+      | Some (r : node_record) ->
+        Buffer.add_string buf
+          (Printf.sprintf "node %d %h %d %s %s %s %s\n" r.node r.written_at
+             r.users (view_fields r.load) (view_fields r.util_pct)
+             (view_fields r.nic_mb_s)
+             (view_fields r.mem_avail_gb))
+      | None -> ())
+    t.nodes;
+  let dump_pairs kind table =
+    for i = 0 to t.n - 1 do
+      for j = i + 1 to t.n - 1 do
+        if table.(i).(j).set then
+          Buffer.add_string buf
+            (Printf.sprintf "%s %d %d %h %h\n" kind i j table.(i).(j).time
+               table.(i).(j).value)
+      done
+    done
+  in
+  dump_pairs "bw" t.bw;
+  dump_pairs "lat" t.lat;
+  Buffer.contents buf
+
+let load text =
+  let fail lineno msg = failwith (Printf.sprintf "Store.load: line %d: %s" lineno msg) in
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> failwith "Store.load: empty input"
+  | header :: rest ->
+    let t =
+      match String.split_on_char ' ' header with
+      | [ "store"; "v1"; n ] ->
+        (try create ~node_count:(int_of_string n)
+         with Failure _ | Invalid_argument _ -> fail 1 "bad node count")
+      | _ -> fail 1 "bad header"
+    in
+    List.iteri
+      (fun k line ->
+        let lineno = k + 2 in
+        match String.split_on_char ' ' line with
+        | "livehosts" :: time :: nodes ->
+          let nodes =
+            match nodes with
+            | [] | [ "" ] -> []
+            | [ csv ] ->
+              String.split_on_char ',' csv |> List.map int_of_string
+            | _ -> fail lineno "bad livehosts"
+          in
+          (try write_livehosts t ~time:(float_of_string time) ~nodes
+           with Failure _ | Invalid_argument _ -> fail lineno "bad livehosts")
+        | "node" :: node :: written :: users :: rest when List.length rest = 16 ->
+          (try
+             let take4 l = (parse_view [ List.nth l 0; List.nth l 1; List.nth l 2; List.nth l 3 ],
+                            List.filteri (fun i _ -> i >= 4) l) in
+             let load, rest = take4 rest in
+             let util_pct, rest = take4 rest in
+             let nic_mb_s, rest = take4 rest in
+             let mem_avail_gb, _ = take4 rest in
+             write_node t
+               {
+                 node = int_of_string node;
+                 written_at = float_of_string written;
+                 users = int_of_string users;
+                 load;
+                 util_pct;
+                 nic_mb_s;
+                 mem_avail_gb;
+               }
+           with Failure _ | Invalid_argument _ -> fail lineno "bad node record")
+        | [ "bw"; i; j; time; v ] ->
+          (try
+             write_bandwidth t ~time:(float_of_string time)
+               ~src:(int_of_string i) ~dst:(int_of_string j)
+               ~mb_s:(float_of_string v)
+           with Failure _ | Invalid_argument _ -> fail lineno "bad bw record")
+        | [ "lat"; i; j; time; v ] ->
+          (try
+             write_latency t ~time:(float_of_string time) ~src:(int_of_string i)
+               ~dst:(int_of_string j) ~us:(float_of_string v)
+           with Failure _ | Invalid_argument _ -> fail lineno "bad lat record")
+        | _ -> fail lineno "unknown record")
+      rest;
+    t

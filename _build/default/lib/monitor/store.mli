@@ -1,0 +1,62 @@
+(** Shared data store — the stand-in for the paper's NFS directory.
+
+    Every daemon writes its observations here; the Node Allocator (and
+    nothing else) reads them back. Records carry the virtual timestamp of
+    the write, so consumers can reason about staleness exactly as they
+    would with mtimes on a shared filesystem. *)
+
+type node_record = {
+  node : int;
+  written_at : float;
+  users : int;
+  load : Rm_stats.Running_means.view;
+  util_pct : Rm_stats.Running_means.view;
+  nic_mb_s : Rm_stats.Running_means.view;
+  mem_avail_gb : Rm_stats.Running_means.view;
+}
+
+type t
+
+val create : node_count:int -> t
+val node_count : t -> int
+
+(** {2 Node state (written by NodeStateD)} *)
+
+val write_node : t -> node_record -> unit
+val read_node : t -> node:int -> node_record option
+
+(** {2 Liveness (written by LivehostsD)} *)
+
+val write_livehosts : t -> time:float -> nodes:int list -> unit
+val read_livehosts : t -> (float * int list) option
+(** Most recent livehosts list with its timestamp. *)
+
+(** {2 P2P measurements (written by BandwidthD / LatencyD)} *)
+
+val write_bandwidth : t -> time:float -> src:int -> dst:int -> mb_s:float -> unit
+(** Stored symmetrically (links are full duplex but probes measure the
+    shared path). *)
+
+val read_bandwidth : t -> src:int -> dst:int -> (float * float) option
+(** (written_at, MB/s). *)
+
+val write_latency : t -> time:float -> src:int -> dst:int -> us:float -> unit
+val read_latency : t -> src:int -> dst:int -> (float * float) option
+
+val bandwidth_matrix : t -> default:float -> Rm_stats.Matrix.t
+(** Latest measured bandwidths as a matrix; unmeasured pairs get
+    [default], the diagonal gets [infinity]. *)
+
+val latency_matrix : t -> default:float -> Rm_stats.Matrix.t
+(** Diagonal gets [0]. *)
+
+(** {2 Persistence}
+
+    The paper's daemons write to NFS so monitor state survives any
+    single process; [save]/[load] give the in-memory stand-in the same
+    property (a line-oriented text format, stable across versions of
+    this library). *)
+
+val save : t -> string
+val load : string -> t
+(** Raises [Failure] with a line number on malformed input. *)

@@ -1,0 +1,63 @@
+module Cluster = Rm_cluster.Cluster
+module World = Rm_workload.World
+module Rng = Rm_stats.Rng
+
+type cadence = {
+  node_state_period : float;
+  livehosts_periods : float * float;
+  latency_period : float;
+  bandwidth_period : float;
+}
+
+let default_cadence =
+  {
+    node_state_period = 6.0;
+    livehosts_periods = (5.0, 13.0);
+    latency_period = 60.0;
+    bandwidth_period = 300.0;
+  }
+
+type t = {
+  store : Store.t;
+  central : Central.t;
+  daemons : Daemon.t list;
+  cluster : Cluster.t;
+}
+
+let start ~sim ~world ~rng ?(cadence = default_cadence) ~until () =
+  let cluster = World.cluster world in
+  let n = Cluster.node_count cluster in
+  let store = Store.create ~node_count:n in
+  let node_state =
+    List.init n (fun node ->
+        Node_state_d.launch ~sim ~world ~store ~rng ~node
+          ~period:cadence.node_state_period ~until ())
+  in
+  let lp1, lp2 = cadence.livehosts_periods in
+  let livehosts =
+    [
+      Livehosts_d.launch ~sim ~world ~store ~node:0 ~period:lp1 ~until ();
+      Livehosts_d.launch ~sim ~world ~store ~node:(min 1 (n - 1)) ~period:lp2
+        ~until ();
+    ]
+  in
+  let probes =
+    [
+      Probe_d.launch_bandwidth ~sim ~world ~store ~rng ~node:0
+        ~period:cadence.bandwidth_period ~until ();
+      Probe_d.launch_latency ~sim ~world ~store ~rng ~node:(min 1 (n - 1))
+        ~period:cadence.latency_period ~until ();
+    ]
+  in
+  let daemons = node_state @ livehosts @ probes in
+  let central = Central.launch ~sim ~world ~rng ~supervised:daemons ~until () in
+  { store; central; daemons; cluster }
+
+let store t = t.store
+let central t = t.central
+let daemons t = t.daemons
+
+let snapshot t ~time = Snapshot.capture ~time ~cluster:t.cluster ~store:t.store
+
+let warm_up_s cadence =
+  Float.max 900.0 (cadence.bandwidth_period +. 60.0)

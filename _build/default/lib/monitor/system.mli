@@ -1,0 +1,37 @@
+(** Convenience wiring of the whole Resource Monitor (Figure 3).
+
+    Starts a NodeStateD per node, two LivehostsD instances at different
+    frequencies, one BandwidthD and one LatencyD (which fan the probe
+    work across node pairs), and the master/slave Central Monitor
+    supervising them all. *)
+
+type cadence = {
+  node_state_period : float;  (** default 6 s (±3 s jitter) *)
+  livehosts_periods : float * float;  (** default 5 s and 13 s *)
+  latency_period : float;  (** default 60 s — "1 minute" (§4) *)
+  bandwidth_period : float;  (** default 300 s — "5 minutes" (§4) *)
+}
+
+val default_cadence : cadence
+
+type t
+
+val start :
+  sim:Rm_engine.Sim.t ->
+  world:Rm_workload.World.t ->
+  rng:Rm_stats.Rng.t ->
+  ?cadence:cadence ->
+  until:float ->
+  unit ->
+  t
+
+val store : t -> Store.t
+val central : t -> Central.t
+val daemons : t -> Daemon.t list
+
+val snapshot : t -> time:float -> Snapshot.t
+(** Capture the allocator's view at the given time. *)
+
+val warm_up_s : cadence -> float
+(** Simulated seconds needed before every store field has real data
+    (one bandwidth round plus the 15-minute mean horizon). *)

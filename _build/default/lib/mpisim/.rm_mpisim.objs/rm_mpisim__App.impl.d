@@ -1,0 +1,1 @@
+lib/mpisim/app.ml: List

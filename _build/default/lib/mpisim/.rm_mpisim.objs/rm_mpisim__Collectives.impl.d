@@ -1,0 +1,1 @@
+lib/mpisim/collectives.ml: Cost_model Float List Placement

@@ -1,0 +1,1 @@
+lib/mpisim/cost_model.ml: Float Rm_cluster

@@ -1,0 +1,1 @@
+lib/mpisim/cost_model.mli: Rm_cluster

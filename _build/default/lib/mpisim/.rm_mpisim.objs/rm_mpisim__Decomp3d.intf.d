@@ -1,0 +1,1 @@
+lib/mpisim/decomp3d.mli:

@@ -1,0 +1,1 @@
+lib/mpisim/executor.ml: App Array Collectives Cost_model Float Format Hashtbl List Option Placement Rm_cluster Rm_core Rm_netsim Rm_workload

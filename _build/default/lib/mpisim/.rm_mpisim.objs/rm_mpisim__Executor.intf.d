@@ -1,0 +1,1 @@
+lib/mpisim/executor.mli: App Format Placement Rm_core Rm_workload

@@ -1,0 +1,1 @@
+lib/mpisim/mapping.ml: App Array Float Hashtbl List Option Placement Rm_core

@@ -1,0 +1,1 @@
+lib/mpisim/mapping.mli: App Placement Rm_core

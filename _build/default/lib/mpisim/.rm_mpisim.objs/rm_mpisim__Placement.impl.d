@@ -1,0 +1,1 @@
+lib/mpisim/placement.ml: Array Hashtbl List Option Rm_core

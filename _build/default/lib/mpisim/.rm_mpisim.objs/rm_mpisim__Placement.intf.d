@@ -1,0 +1,1 @@
+lib/mpisim/placement.mli: Rm_core

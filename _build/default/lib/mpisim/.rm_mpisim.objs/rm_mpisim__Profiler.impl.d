@@ -1,0 +1,1 @@
+lib/mpisim/profiler.ml: App Collectives Cost_model Float Hashtbl List Option Placement Rm_cluster Rm_core Rm_netsim Rm_workload

@@ -1,0 +1,1 @@
+lib/mpisim/profiler.mli: App Rm_core Rm_workload

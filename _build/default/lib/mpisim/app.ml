@@ -1,0 +1,29 @@
+type phase = {
+  flops_per_rank : int -> float;
+  messages : (int * int * float) list;
+  allreduce_bytes : float;
+}
+
+type t = {
+  name : string;
+  ranks : int;
+  iterations : int;
+  phase : iter:int -> phase;
+  description : string;
+}
+
+let make ~name ~ranks ~iterations ~phase ?(description = "") () =
+  if ranks <= 0 then invalid_arg "App.make: non-positive ranks";
+  if iterations <= 0 then invalid_arg "App.make: non-positive iterations";
+  { name; ranks; iterations; phase; description }
+
+let validate_phase t phase =
+  if phase.allreduce_bytes < 0.0 then
+    invalid_arg "App.validate_phase: negative allreduce size";
+  List.iter
+    (fun (src, dst, bytes) ->
+      if src < 0 || src >= t.ranks || dst < 0 || dst >= t.ranks then
+        invalid_arg "App.validate_phase: rank out of range";
+      if src = dst then invalid_arg "App.validate_phase: self message";
+      if bytes < 0.0 then invalid_arg "App.validate_phase: negative bytes")
+    phase.messages

@@ -1,0 +1,36 @@
+(** Abstraction of an iterative MPI application.
+
+    An app is a fixed number of ranks executing [iterations] BSP
+    super-steps; each step contributes per-rank computation, point-to-
+    point messages (rank to rank, in bytes) and at most one allreduce.
+    miniMD and miniFE instantiate this in {!Rm_apps}. *)
+
+type phase = {
+  flops_per_rank : int -> float;  (** rank -> useful flops this step *)
+  messages : (int * int * float) list;
+      (** (src_rank, dst_rank, bytes); direction matters only for node
+          mapping — costs are symmetric *)
+  allreduce_bytes : float;  (** 0 when the step has no collective *)
+}
+
+type t = {
+  name : string;
+  ranks : int;
+  iterations : int;
+  phase : iter:int -> phase;
+  description : string;
+}
+
+val make :
+  name:string ->
+  ranks:int ->
+  iterations:int ->
+  phase:(iter:int -> phase) ->
+  ?description:string ->
+  unit ->
+  t
+(** Validates positive ranks/iterations. *)
+
+val validate_phase : t -> phase -> unit
+(** Checks rank indices and non-negative byte counts; used by tests and
+    by the executor in debug runs. *)

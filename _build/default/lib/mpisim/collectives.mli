@@ -1,0 +1,38 @@
+(** Cost models for MPI collectives over a concrete placement.
+
+    Allreduce uses the recursive-doubling estimate: ⌈log₂ p⌉ stages of
+    exchange + reduce, each stage paying the worst current inter-node
+    latency and the tightest available inter-node bandwidth among the
+    allocation's node pairs (pessimistic but placement-sensitive: a
+    poorly connected node set pays in every stage). All-on-one-node
+    jobs pay only shared-memory costs. *)
+
+type link_view = {
+  latency_us : src:int -> dst:int -> float;
+  bandwidth_mb_s : src:int -> dst:int -> float;
+}
+(** How the collective sees the network; the executor feeds it the
+    current simulated state. *)
+
+val allreduce_recursive_doubling_s :
+  placement:Placement.t -> view:link_view -> bytes:float -> float
+(** ⌈log₂ p⌉ stages of pairwise exchange — latency-optimal, each stage
+    moves the full payload. *)
+
+val allreduce_ring_s :
+  placement:Placement.t -> view:link_view -> bytes:float -> float
+(** 2(p−1) steps moving bytes/p each — bandwidth-optimal for large
+    payloads. *)
+
+val allreduce_time_s :
+  placement:Placement.t -> view:link_view -> bytes:float -> float
+(** What a tuned MPI picks: the cheaper of recursive doubling and ring
+    under the current link view. 0-rank-safe: a single-rank
+    "collective" costs nothing. *)
+
+val barrier_time_s : placement:Placement.t -> view:link_view -> float
+(** An allreduce of 8 bytes. *)
+
+val bcast_time_s :
+  placement:Placement.t -> view:link_view -> bytes:float -> float
+(** Binomial tree: ⌈log₂ p⌉ stages of one message each. *)

@@ -1,0 +1,38 @@
+(** Execution cost primitives for the simulated MPI runtime.
+
+    Compute: a rank's step time is its flops divided by the per-core
+    rate of its node, inflated by a time-sharing factor when the node's
+    runnable processes (background load + the job's own ranks on that
+    node) exceed its logical cores. Communication: the Hockney model
+    (latency + bytes/bandwidth); intra-node messages go through shared
+    memory. These are exactly the levers the paper's allocator pulls:
+    loaded nodes slow compute, contended links slow messages. *)
+
+val intra_node_bandwidth_mb_s : float
+(** Shared-memory transport rate (≈ 5 GB/s). *)
+
+val intra_node_latency_us : float
+
+val ht_efficiency : float
+(** Fraction of the logical core count that scales linearly (0.6):
+    hyperthreaded siblings share physical execution resources. *)
+
+val oversubscription_factor :
+  background_load:float -> job_ranks_on_node:int -> cores:int -> float
+(** max(1, (load + ranks) / (ht_efficiency · cores)): the OS time-shares
+    runnable processes over (effectively fewer than logical) cores.
+    Requires cores > 0, others >= 0. *)
+
+val compute_time_s :
+  node:Rm_cluster.Node.t ->
+  background_load:float ->
+  job_ranks_on_node:int ->
+  flops:float ->
+  float
+(** Time one rank needs for [flops] on its (possibly crowded) node. *)
+
+val message_time_s : latency_us:float -> bandwidth_mb_s:float -> bytes:float -> float
+(** Hockney: latency + bytes/bandwidth. Zero-byte messages still pay
+    latency. *)
+
+val intra_node_time_s : bytes:float -> float

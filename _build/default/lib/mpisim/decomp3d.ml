@@ -1,0 +1,62 @@
+type t = { px : int; py : int; pz : int }
+
+(* Most-cubic factorization: enumerate all (px, py, pz) with
+   px <= py <= pz and px py pz = n, keep the one minimizing pz - px
+   (then pz). n is a process count, tiny, so O(n^(2/3)) is nothing. *)
+let create ~ranks =
+  if ranks <= 0 then invalid_arg "Decomp3d.create: non-positive ranks";
+  let best = ref (1, 1, ranks) in
+  let score (a, _, c) = (c - a, c) in
+  for px = 1 to ranks do
+    if ranks mod px = 0 then begin
+      let rest = ranks / px in
+      for py = px to rest do
+        if rest mod py = 0 then begin
+          let pz = rest / py in
+          if pz >= py && score (px, py, pz) < score !best then
+            best := (px, py, pz)
+        end
+      done
+    end
+  done;
+  let px, py, pz = !best in
+  { px; py; pz }
+
+let dims t = (t.px, t.py, t.pz)
+let ranks t = t.px * t.py * t.pz
+
+let coords t ~rank =
+  if rank < 0 || rank >= ranks t then invalid_arg "Decomp3d.coords: bad rank";
+  let x = rank / (t.py * t.pz) in
+  let rem = rank mod (t.py * t.pz) in
+  (x, rem / t.pz, rem mod t.pz)
+
+let rank_of t ~coords:(x, y, z) =
+  if x < 0 || x >= t.px || y < 0 || y >= t.py || z < 0 || z >= t.pz then
+    invalid_arg "Decomp3d.rank_of: bad coords";
+  (x * t.py * t.pz) + (y * t.pz) + z
+
+let wrap v n = ((v mod n) + n) mod n
+
+let face_neighbors t ~rank =
+  let x, y, z = coords t ~rank in
+  [
+    rank_of t ~coords:(wrap (x - 1) t.px, y, z);
+    rank_of t ~coords:(wrap (x + 1) t.px, y, z);
+    rank_of t ~coords:(x, wrap (y - 1) t.py, z);
+    rank_of t ~coords:(x, wrap (y + 1) t.py, z);
+    rank_of t ~coords:(x, y, wrap (z - 1) t.pz);
+    rank_of t ~coords:(x, y, wrap (z + 1) t.pz);
+  ]
+
+let face_counts t ~rank =
+  let counts = Hashtbl.create 6 in
+  List.iter
+    (fun n ->
+      if n <> rank then
+        Hashtbl.replace counts n (1 + Option.value (Hashtbl.find_opt counts n) ~default:0))
+    (face_neighbors t ~rank);
+  Hashtbl.fold (fun n c acc -> (n, c) :: acc) counts []
+  |> List.sort compare
+
+let neighbors t ~rank = List.map fst (face_counts t ~rank)

@@ -1,0 +1,31 @@
+(** 3-D Cartesian process decomposition (MPI_Dims_create flavour).
+
+    Both miniMD (spatial decomposition of the simulation box) and miniFE
+    (brick-shaped problem domain) split their domain over a px×py×pz
+    process grid; this module picks the most cubic factorization and
+    answers neighbour queries with periodic boundaries. *)
+
+type t
+
+val create : ranks:int -> t
+(** Requires [ranks > 0]. Chooses (px, py, pz) with px·py·pz = ranks
+    minimizing the spread between dimensions (surface-minimizing for a
+    cubic domain). *)
+
+val dims : t -> int * int * int
+val ranks : t -> int
+
+val coords : t -> rank:int -> int * int * int
+(** Row-major: rank = x·py·pz + y·pz + z. *)
+
+val rank_of : t -> coords:(int * int * int) -> int
+
+val neighbors : t -> rank:int -> int list
+(** The up-to-6 face neighbours (±x, ±y, ±z) with periodic wrap-around,
+    deduplicated and excluding the rank itself (dimensions of size 1 or
+    2 produce fewer distinct neighbours). *)
+
+val face_counts : t -> rank:int -> (int * int) list
+(** [(neighbor_rank, faces)] — how many of the six faces point at each
+    distinct neighbour (wrapping can make one neighbour receive two
+    faces); used to size halo messages. *)

@@ -1,0 +1,209 @@
+module World = Rm_workload.World
+module Network = Rm_netsim.Network
+module Cluster = Rm_cluster.Cluster
+module Allocation = Rm_core.Allocation
+
+type stats = {
+  app : string;
+  policy : string;
+  total_time_s : float;
+  compute_time_s : float;
+  comm_time_s : float;
+  iterations : int;
+  comm_fraction : float;
+  inter_node_bytes : float;
+  mean_load_per_core : float;
+}
+
+let compute_step ~world ~cluster ~placement ~phase =
+  (* Critical path of the compute part: the slowest rank. *)
+  let ranks = Placement.ranks placement in
+  let worst = ref 0.0 in
+  for rank = 0 to ranks - 1 do
+    let node_id = Placement.node_of_rank placement ~rank in
+    let node = Cluster.node cluster node_id in
+    let t =
+      Cost_model.compute_time_s ~node
+        ~background_load:(World.cpu_load world ~node:node_id)
+        ~job_ranks_on_node:(Placement.ranks_on placement ~node:node_id)
+        ~flops:(phase.App.flops_per_rank rank)
+    in
+    if t > !worst then worst := t
+  done;
+  !worst
+
+(* Aggregate rank-to-rank messages into unordered node-pair volumes plus
+   per-node intra-node traffic. *)
+let aggregate_messages ~placement ~messages =
+  let inter = Hashtbl.create 16 in
+  let intra = ref 0.0 in
+  List.iter
+    (fun (src, dst, bytes) ->
+      let a = Placement.node_of_rank placement ~rank:src in
+      let b = Placement.node_of_rank placement ~rank:dst in
+      if a = b then intra := Float.max !intra bytes
+      else begin
+        let key = (min a b, max a b) in
+        Hashtbl.replace inter key
+          (bytes +. Option.value (Hashtbl.find_opt inter key) ~default:0.0)
+      end)
+    messages;
+  let pairs = Hashtbl.fold (fun k v acc -> (k, v) :: acc) inter [] in
+  (List.sort compare pairs, !intra)
+
+let p2p_step ~network ~pairs ~intra_bytes =
+  let intra_time =
+    if intra_bytes > 0.0 then Cost_model.intra_node_time_s ~bytes:intra_bytes
+    else 0.0
+  in
+  match pairs with
+  | [] -> (intra_time, 0.0)
+  | _ ->
+    let extra = Array.of_list (List.map fst pairs) in
+    let rates = Network.rates_with_extra network ~extra in
+    let bytes_total = List.fold_left (fun acc (_, b) -> acc +. b) 0.0 pairs in
+    let worst =
+      List.fold_left
+        (fun (acc, i) ((u, v), bytes) ->
+          let lat = Network.latency_us network ~src:u ~dst:v in
+          let bw = Float.max 0.1 rates.(i) in
+          let t = Cost_model.message_time_s ~latency_us:lat ~bandwidth_mb_s:bw ~bytes in
+          (Float.max acc t, i + 1))
+        (intra_time, 0) pairs
+    in
+    (fst worst, bytes_total)
+
+let link_view network : Collectives.link_view =
+  {
+    latency_us = (fun ~src ~dst -> Network.latency_us network ~src ~dst);
+    bandwidth_mb_s =
+      (fun ~src ~dst ->
+        let bw = Network.available_bandwidth_mb_s network ~src ~dst in
+        Float.max 0.1 (Float.min bw 1e6));
+  }
+
+(* Fig. 5's metric: runnable processes per logical core on the allocated
+   nodes *during the run* — the job's own ranks count too (4 ranks on 12
+   cores alone give 0.33, the floor the paper's load-aware bar sits on). *)
+let load_per_core ~world ~cluster ~placement =
+  let nodes = Placement.nodes placement in
+  let load, cores =
+    List.fold_left
+      (fun (l, c) node_id ->
+        ( l
+          +. World.cpu_load world ~node:node_id
+          +. float_of_int (Placement.ranks_on placement ~node:node_id),
+          c + (Cluster.node cluster node_id).Rm_cluster.Node.cores ))
+      (0.0, 0) nodes
+  in
+  if cores = 0 then 0.0 else load /. float_of_int cores
+
+let run ~world ~allocation ~app ?placement () =
+  let placement =
+    match placement with
+    | Some p -> p
+    | None -> Placement.of_allocation allocation
+  in
+  if Placement.ranks placement <> app.App.ranks then
+    invalid_arg "Executor.run: allocation size does not match app ranks";
+  let cluster = World.cluster world in
+  let network = World.network world in
+  let start = World.now world in
+  let clock = ref start in
+  let compute_total = ref 0.0 in
+  let comm_total = ref 0.0 in
+  let bytes_total = ref 0.0 in
+  let load_samples = ref 0.0 in
+  for iter = 0 to app.App.iterations - 1 do
+    World.advance world ~now:!clock;
+    let phase = app.App.phase ~iter in
+    let t_comp = compute_step ~world ~cluster ~placement ~phase in
+    let pairs, intra_bytes = aggregate_messages ~placement ~messages:phase.App.messages in
+    let t_p2p, step_bytes = p2p_step ~network ~pairs ~intra_bytes in
+    let t_coll =
+      if phase.App.allreduce_bytes > 0.0 then
+        Collectives.allreduce_time_s ~placement ~view:(link_view network)
+          ~bytes:phase.App.allreduce_bytes
+      else 0.0
+    in
+    compute_total := !compute_total +. t_comp;
+    comm_total := !comm_total +. t_p2p +. t_coll;
+    bytes_total := !bytes_total +. step_bytes;
+    load_samples := !load_samples +. load_per_core ~world ~cluster ~placement;
+    clock := !clock +. t_comp +. t_p2p +. t_coll
+  done;
+  World.advance world ~now:!clock;
+  let total = !clock -. start in
+  {
+    app = app.App.name;
+    policy = allocation.Allocation.policy;
+    total_time_s = total;
+    compute_time_s = !compute_total;
+    comm_time_s = !comm_total;
+    iterations = app.App.iterations;
+    comm_fraction = (if total > 0.0 then !comm_total /. total else 0.0);
+    inter_node_bytes = !bytes_total;
+    mean_load_per_core = !load_samples /. float_of_int app.App.iterations;
+  }
+
+let step_cost ~world ~cluster ~network ~placement ~phase =
+  let t_comp = compute_step ~world ~cluster ~placement ~phase in
+  let pairs, intra_bytes = aggregate_messages ~placement ~messages:phase.App.messages in
+  let t_p2p, _ = p2p_step ~network ~pairs ~intra_bytes in
+  let t_coll =
+    if phase.App.allreduce_bytes > 0.0 then
+      Collectives.allreduce_time_s ~placement ~view:(link_view network)
+        ~bytes:phase.App.allreduce_bytes
+    else 0.0
+  in
+  t_comp +. t_p2p +. t_coll
+
+let estimate_duration_s ~world ~allocation ~app ?sample_iterations () =
+  let placement = Placement.of_allocation allocation in
+  if Placement.ranks placement <> app.App.ranks then
+    invalid_arg "Executor.estimate_duration_s: allocation/app rank mismatch";
+  let cluster = World.cluster world in
+  let network = World.network world in
+  let sample =
+    match sample_iterations with
+    | Some k ->
+      if k <= 0 then invalid_arg "Executor.estimate_duration_s: bad sample";
+      min k app.App.iterations
+    | None -> min 64 app.App.iterations
+  in
+  let cost = ref 0.0 in
+  for iter = 0 to sample - 1 do
+    cost :=
+      !cost
+      +. step_cost ~world ~cluster ~network ~placement ~phase:(app.App.phase ~iter)
+  done;
+  !cost /. float_of_int sample *. float_of_int app.App.iterations
+
+let mean_pair_rates_mb_s ~allocation ~app ~duration_s =
+  if duration_s <= 0.0 then
+    invalid_arg "Executor.mean_pair_rates_mb_s: non-positive duration";
+  let placement = Placement.of_allocation allocation in
+  let totals = Hashtbl.create 16 in
+  let sample = min 64 app.App.iterations in
+  for iter = 0 to sample - 1 do
+    let pairs, _ =
+      aggregate_messages ~placement ~messages:(app.App.phase ~iter).App.messages
+    in
+    List.iter
+      (fun (key, bytes) ->
+        Hashtbl.replace totals key
+          (bytes +. Option.value (Hashtbl.find_opt totals key) ~default:0.0))
+      pairs
+  done;
+  let scale = float_of_int app.App.iterations /. float_of_int sample in
+  Hashtbl.fold
+    (fun key bytes acc -> (key, bytes *. scale /. duration_s /. 1e6) :: acc)
+    totals []
+  |> List.sort compare
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%s/%s: %.3fs (compute %.3fs, comm %.3fs, comm%% %.0f, %.1f MB inter-node)"
+    s.app s.policy s.total_time_s s.compute_time_s s.comm_time_s
+    (100.0 *. s.comm_fraction)
+    (s.inter_node_bytes /. 1e6)

@@ -1,0 +1,62 @@
+(** BSP execution of an {!App} on an allocation, against the live world.
+
+    Each super-step: (1) every rank computes, slowed by its node's
+    current background load and by oversubscription; (2) point-to-point
+    messages fly concurrently — inter-node messages are aggregated per
+    node pair and contend for links under max-min fairness together
+    with the background traffic; (3) the step's collective (if any)
+    runs. Virtual time advances by the step's critical path, and the
+    world keeps evolving underneath — long runs feel the network
+    weather change, which is what makes run-to-run variability (the
+    paper's CoV analysis) emerge. *)
+
+type stats = {
+  app : string;
+  policy : string;
+  total_time_s : float;
+  compute_time_s : float;  (** critical-path compute component *)
+  comm_time_s : float;  (** critical-path communication component *)
+  iterations : int;
+  comm_fraction : float;  (** comm / total *)
+  inter_node_bytes : float;  (** total bytes crossing the network *)
+  mean_load_per_core : float;
+      (** runnable processes (background load + the job's own ranks) per
+          logical core over the allocated nodes, averaged over the run —
+          Fig. 5's metric *)
+}
+
+val run :
+  world:Rm_workload.World.t ->
+  allocation:Rm_core.Allocation.t ->
+  app:App.t ->
+  ?placement:Placement.t ->
+  unit ->
+  stats
+(** Starts at the world's current time and advances it. [placement]
+    (default: block placement over the allocation) lets a {!Mapping}
+    result override who runs where. Raises [Invalid_argument] when the
+    allocation's process count differs from the app's rank count. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val estimate_duration_s :
+  world:Rm_workload.World.t ->
+  allocation:Rm_core.Allocation.t ->
+  app:App.t ->
+  ?sample_iterations:int ->
+  unit ->
+  float
+(** Pure runtime estimate against the world's *current* state: costs the
+    first [sample_iterations] (default: one full cadence cycle, at most
+    64) steps without advancing time and extrapolates linearly. Used by
+    the batch scheduler to model running jobs without executing them;
+    it neither advances nor mutates the world. *)
+
+val mean_pair_rates_mb_s :
+  allocation:Rm_core.Allocation.t ->
+  app:App.t ->
+  duration_s:float ->
+  ((int * int) * float) list
+(** Average inter-node traffic per node pair over the whole run, as
+    steady MB/s — the flow demands a running job contributes to the
+    network while it executes. Requires [duration_s > 0]. *)

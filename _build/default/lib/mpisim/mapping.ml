@@ -1,0 +1,102 @@
+module Allocation = Rm_core.Allocation
+
+type result = {
+  placement : Placement.t;
+  default_inter_bytes : float;
+  mapped_inter_bytes : float;
+}
+
+let traffic ~app ?sample_iterations () =
+  let sample =
+    match sample_iterations with
+    | Some k when k > 0 -> min k app.App.iterations
+    | Some _ -> invalid_arg "Mapping.traffic: bad sample"
+    | None -> min 64 app.App.iterations
+  in
+  let totals = Hashtbl.create 64 in
+  for iter = 0 to sample - 1 do
+    List.iter
+      (fun (src, dst, bytes) ->
+        if src <> dst then begin
+          let key = (min src dst, max src dst) in
+          Hashtbl.replace totals key
+            (bytes +. Option.value (Hashtbl.find_opt totals key) ~default:0.0)
+        end)
+      (app.App.phase ~iter).App.messages
+  done;
+  Hashtbl.fold
+    (fun key bytes acc -> (key, bytes /. float_of_int sample) :: acc)
+    totals []
+  |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+
+let inter_bytes ~node_of ~pairs =
+  List.fold_left
+    (fun acc ((a, b), bytes) ->
+      if node_of.(a) <> node_of.(b) then acc +. bytes else acc)
+    0.0 pairs
+
+let optimize ~app ~allocation =
+  let ranks = app.App.ranks in
+  if Allocation.total_procs allocation <> ranks then
+    invalid_arg "Mapping.optimize: allocation/app rank mismatch";
+  let pairs = traffic ~app () in
+  (* Default block placement for comparison. *)
+  let block = Placement.of_allocation allocation in
+  let block_node_of =
+    Array.init ranks (fun rank -> Placement.node_of_rank block ~rank)
+  in
+  let default_inter_bytes = inter_bytes ~node_of:block_node_of ~pairs in
+  (* Greedy affinity packing into node bins. *)
+  let bins = Array.of_list allocation.Allocation.entries in
+  let free = Array.map (fun (e : Allocation.entry) -> e.Allocation.procs) bins in
+  let assigned = Array.make ranks (-1) in
+  let bin_with_most_free () =
+    let best = ref 0 in
+    Array.iteri (fun i f -> if f > free.(!best) then best := i) free;
+    if free.(!best) > 0 then Some !best else None
+  in
+  let place rank bin =
+    assigned.(rank) <- bin;
+    free.(bin) <- free.(bin) - 1
+  in
+  List.iter
+    (fun ((a, b), _) ->
+      match (assigned.(a), assigned.(b)) with
+      | -1, -1 ->
+        (* Seed a fresh pair in the roomiest bin (needs 2 slots). *)
+        (match bin_with_most_free () with
+        | Some bin when free.(bin) >= 2 ->
+          place a bin;
+          place b bin
+        | Some _ | None -> ())
+      | bin, -1 -> if free.(bin) > 0 then place b bin
+      | -1, bin -> if free.(bin) > 0 then place a bin
+      | _, _ -> ())
+    pairs;
+  (* Leftover ranks (no traffic, or bins were tight) fill free slots. *)
+  let next_bin = ref 0 in
+  Array.iteri
+    (fun rank bin ->
+      if bin = -1 then begin
+        while free.(!next_bin) = 0 do
+          incr next_bin
+        done;
+        place rank !next_bin
+      end)
+    assigned;
+  let node_of =
+    Array.map (fun bin -> bins.(bin).Allocation.node) assigned
+  in
+  let mapped = inter_bytes ~node_of ~pairs in
+  if mapped < default_inter_bytes then
+    {
+      placement = Placement.custom ~allocation ~node_of_rank:node_of;
+      default_inter_bytes;
+      mapped_inter_bytes = mapped;
+    }
+  else
+    {
+      placement = block;
+      default_inter_bytes;
+      mapped_inter_bytes = default_inter_bytes;
+    }

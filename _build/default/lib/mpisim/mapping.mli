@@ -1,0 +1,27 @@
+(** Topology-aware rank-to-node mapping (Treematch-flavoured).
+
+    The paper's related work (Georgiou et al. [11]) "gathers affinity
+    between the processes … then uses the Treematch algorithm for
+    mapping"; this module adds the same capability on top of the
+    allocator: given the application's rank-to-rank traffic, co-locate
+    heavily-communicating ranks on the same node so fewer bytes cross
+    the network at all. The allocator decides *which* nodes; the mapper
+    decides *who goes where* within them. *)
+
+type result = {
+  placement : Placement.t;
+  default_inter_bytes : float;
+      (** bytes/iteration crossing nodes under block placement *)
+  mapped_inter_bytes : float;  (** … under the optimized mapping *)
+}
+
+val traffic : app:App.t -> ?sample_iterations:int -> unit -> ((int * int) * float) list
+(** Mean per-iteration traffic per unordered rank pair, from the first
+    sampled iterations (default: min 64). *)
+
+val optimize : app:App.t -> allocation:Rm_core.Allocation.t -> result
+(** Greedy affinity packing: rank pairs are visited by descending
+    traffic and co-located when a node has room; leftovers fill free
+    slots in rank order. Never worse than block placement in total
+    inter-node bytes is {e not} guaranteed by greedy packing, so the
+    result falls back to block placement when it does not improve. *)

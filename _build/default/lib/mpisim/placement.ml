@@ -1,0 +1,56 @@
+module Allocation = Rm_core.Allocation
+
+type t = { node_of : int array; nodes : int list; per_node : (int, int) Hashtbl.t }
+
+let of_allocation allocation =
+  let entries = allocation.Allocation.entries in
+  let total = Allocation.total_procs allocation in
+  let node_of = Array.make total 0 in
+  let per_node = Hashtbl.create 16 in
+  let rank = ref 0 in
+  List.iter
+    (fun (e : Allocation.entry) ->
+      Hashtbl.replace per_node e.node e.procs;
+      for _ = 1 to e.procs do
+        node_of.(!rank) <- e.node;
+        incr rank
+      done)
+    entries;
+  { node_of; nodes = Allocation.node_ids allocation; per_node }
+
+let custom ~allocation ~node_of_rank =
+  let entries = allocation.Allocation.entries in
+  let total = Allocation.total_procs allocation in
+  if Array.length node_of_rank <> total then
+    invalid_arg "Placement.custom: rank count mismatch";
+  let counts = Hashtbl.create 16 in
+  Array.iter
+    (fun node ->
+      Hashtbl.replace counts node
+        (1 + Option.value (Hashtbl.find_opt counts node) ~default:0))
+    node_of_rank;
+  let per_node = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Allocation.entry) ->
+      if Option.value (Hashtbl.find_opt counts e.node) ~default:0 <> e.procs
+      then invalid_arg "Placement.custom: per-node count mismatch";
+      Hashtbl.replace per_node e.node e.procs)
+    entries;
+  if Hashtbl.length counts <> List.length entries then
+    invalid_arg "Placement.custom: ranks on unallocated nodes";
+  { node_of = Array.copy node_of_rank; nodes = Allocation.node_ids allocation;
+    per_node }
+
+let ranks t = Array.length t.node_of
+
+let node_of_rank t ~rank =
+  if rank < 0 || rank >= ranks t then
+    invalid_arg "Placement.node_of_rank: rank out of range";
+  t.node_of.(rank)
+
+let nodes t = t.nodes
+
+let ranks_on t ~node =
+  match Hashtbl.find_opt t.per_node node with Some k -> k | None -> 0
+
+let same_node t a b = node_of_rank t ~rank:a = node_of_rank t ~rank:b

@@ -1,0 +1,25 @@
+(** Rank-to-node placement derived from an allocation.
+
+    Ranks are laid out block-wise over the allocation's entries, in
+    order — MPI's default host-file semantics: entry (node, procs)
+    receives the next [procs] consecutive ranks. *)
+
+type t
+
+val of_allocation : Rm_core.Allocation.t -> t
+(** Block placement: entry (node, procs) receives the next [procs]
+    consecutive ranks. *)
+
+val custom : allocation:Rm_core.Allocation.t -> node_of_rank:int array -> t
+(** Explicit rank→node map (e.g. from {!Mapping}); validates that each
+    allocated node receives exactly its allocation's process count. *)
+
+val ranks : t -> int
+val node_of_rank : t -> rank:int -> int
+val nodes : t -> int list
+(** Distinct nodes, in placement order. *)
+
+val ranks_on : t -> node:int -> int
+(** Number of ranks placed on the node. *)
+
+val same_node : t -> int -> int -> bool

@@ -1,0 +1,108 @@
+module World = Rm_workload.World
+module Network = Rm_netsim.Network
+module Cluster = Rm_cluster.Cluster
+
+type profile = {
+  compute_fraction : float;
+  comm_fraction : float;
+  latency_fraction_of_comm : float;
+  suggested_alpha : float;
+  suggested_w_lt : float;
+  suggested_w_bw : float;
+}
+
+let clamp lo hi v = Float.max lo (Float.min hi v)
+
+(* Re-cost the phases the way the executor would, but split the comm
+   critical path into a latency part and a byte-transfer part. *)
+let profile ~world ~allocation ~app ?sample_iterations () =
+  let placement = Placement.of_allocation allocation in
+  if Placement.ranks placement <> app.App.ranks then
+    invalid_arg "Profiler.profile: allocation/app rank mismatch";
+  let cluster = World.cluster world in
+  let network = World.network world in
+  let sample =
+    match sample_iterations with
+    | Some k when k > 0 -> min k app.App.iterations
+    | Some _ -> invalid_arg "Profiler.profile: bad sample"
+    | None -> min 64 app.App.iterations
+  in
+  let compute = ref 0.0 and comm = ref 0.0 and latency_part = ref 0.0 in
+  for iter = 0 to sample - 1 do
+    let phase = app.App.phase ~iter in
+    (* Compute critical path. *)
+    let t_comp = ref 0.0 in
+    for rank = 0 to Placement.ranks placement - 1 do
+      let node_id = Placement.node_of_rank placement ~rank in
+      let node = Cluster.node cluster node_id in
+      let t =
+        Cost_model.compute_time_s ~node
+          ~background_load:(World.cpu_load world ~node:node_id)
+          ~job_ranks_on_node:(Placement.ranks_on placement ~node:node_id)
+          ~flops:(phase.App.flops_per_rank rank)
+      in
+      if t > !t_comp then t_comp := t
+    done;
+    (* Communication: cost each inter-node pair, recording how much of
+       the per-pair time is latency. *)
+    let per_pair = Hashtbl.create 8 in
+    List.iter
+      (fun (src, dst, bytes) ->
+        let a = Placement.node_of_rank placement ~rank:src in
+        let b = Placement.node_of_rank placement ~rank:dst in
+        if a <> b then begin
+          let key = (min a b, max a b) in
+          Hashtbl.replace per_pair key
+            (bytes +. Option.value (Hashtbl.find_opt per_pair key) ~default:0.0)
+        end)
+      phase.App.messages;
+    let t_comm = ref 0.0 and t_lat = ref 0.0 in
+    Hashtbl.iter
+      (fun (u, v) bytes ->
+        let lat_s = Network.latency_us network ~src:u ~dst:v *. 1e-6 in
+        let bw =
+          Float.max 0.1 (Network.available_bandwidth_mb_s network ~src:u ~dst:v)
+        in
+        let total = lat_s +. (bytes /. (bw *. 1e6)) in
+        if total > !t_comm then begin
+          t_comm := total;
+          t_lat := lat_s
+        end)
+      per_pair;
+    (* Collectives are latency-dominated at the sizes apps reduce. *)
+    let t_coll =
+      if phase.App.allreduce_bytes > 0.0 then
+        Collectives.allreduce_time_s ~placement
+          ~view:
+            {
+              Collectives.latency_us =
+                (fun ~src ~dst -> Network.latency_us network ~src ~dst);
+              bandwidth_mb_s =
+                (fun ~src ~dst ->
+                  Float.max 0.1
+                    (Float.min 1e6
+                       (Network.available_bandwidth_mb_s network ~src ~dst)));
+            }
+          ~bytes:phase.App.allreduce_bytes
+      else 0.0
+    in
+    compute := !compute +. !t_comp;
+    comm := !comm +. !t_comm +. t_coll;
+    latency_part := !latency_part +. !t_lat +. t_coll
+  done;
+  let total = !compute +. !comm in
+  let comm_fraction = if total > 0.0 then !comm /. total else 0.0 in
+  let latency_fraction_of_comm =
+    if !comm > 0.0 then clamp 0.0 1.0 (!latency_part /. !comm) else 0.0
+  in
+  {
+    compute_fraction = 1.0 -. comm_fraction;
+    comm_fraction;
+    latency_fraction_of_comm;
+    suggested_alpha = clamp 0.1 0.9 (1.0 -. comm_fraction);
+    suggested_w_lt = clamp 0.1 0.9 latency_fraction_of_comm;
+    suggested_w_bw = clamp 0.1 0.9 (1.0 -. latency_fraction_of_comm);
+  }
+
+let weights_for p ~base =
+  { base with Rm_core.Weights.w_lt = p.suggested_w_lt; w_bw = p.suggested_w_bw }

@@ -1,0 +1,35 @@
+(** Application profiling for weight selection.
+
+    §5 sets α/β "empirically … by profiling an application and deciding
+    the relative weights on the basis of the computation and
+    communication times"; §6 plans better profiling tools. This module
+    does exactly that: cost a few iterations of the app on a reference
+    placement, split the critical path into compute vs communication,
+    and map the communication fraction to Eq. 4's α (and to a w_lt/w_bw
+    split based on how latency-bound the messages are). *)
+
+type profile = {
+  compute_fraction : float;
+  comm_fraction : float;
+  latency_fraction_of_comm : float;
+      (** share of communication time attributable to per-message
+          latency rather than byte transfer *)
+  suggested_alpha : float;  (** for Eq. 4; β = 1 − α *)
+  suggested_w_lt : float;  (** for Eq. 2 *)
+  suggested_w_bw : float;
+}
+
+val profile :
+  world:Rm_workload.World.t ->
+  allocation:Rm_core.Allocation.t ->
+  app:App.t ->
+  ?sample_iterations:int ->
+  unit ->
+  profile
+(** Pure (does not advance the world). The paper's calibration acts as
+    the reference: miniMD profiles at 40–80 % communication and gets
+    α = 0.3; miniFE at 25–60 % gets α = 0.4. [suggested_alpha] is
+    1 − comm_fraction clamped to [0.1, 0.9], which reproduces both. *)
+
+val weights_for : profile -> base:Rm_core.Weights.t -> Rm_core.Weights.t
+(** [base] with w_lt/w_bw replaced by the profile's suggestion. *)

@@ -1,0 +1,1 @@
+lib/netsim/fairshare.ml: Array Float

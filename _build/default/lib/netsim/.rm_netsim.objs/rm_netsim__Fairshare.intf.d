@@ -1,0 +1,1 @@
+lib/netsim/fairshare.mli:

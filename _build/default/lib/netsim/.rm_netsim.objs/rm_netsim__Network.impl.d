@@ -1,0 +1,1 @@
+lib/netsim/network.ml: Array Fairshare Float Flow List Rm_cluster Routing

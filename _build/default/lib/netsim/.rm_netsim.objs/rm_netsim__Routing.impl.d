@@ -1,0 +1,1 @@
+lib/netsim/routing.ml: Array Flow List Rm_cluster

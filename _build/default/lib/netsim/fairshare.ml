@@ -1,0 +1,102 @@
+type demand = { path : int array; demand_mb_s : float }
+
+let validate ~capacities ~demands =
+  Array.iter
+    (fun c -> if c <= 0.0 then invalid_arg "Fairshare: non-positive capacity")
+    capacities;
+  Array.iter
+    (fun d ->
+      Array.iter
+        (fun l ->
+          if l < 0 || l >= Array.length capacities then
+            invalid_arg "Fairshare: link id out of range")
+        d.path;
+      if d.demand_mb_s <= 0.0 then
+        invalid_arg "Fairshare: non-positive demand")
+    demands
+
+(* Progressive filling. Each round computes the smallest equal share any
+   still-active flow could get; flows whose demand fits below that share
+   freeze at their demand, otherwise the flows crossing the bottleneck
+   link(s) freeze at the fair share. At least one flow freezes per round,
+   so the loop runs at most [n] times. *)
+let compute ~capacities ~demands =
+  validate ~capacities ~demands;
+  let n = Array.length demands in
+  let nl = Array.length capacities in
+  let rates = Array.make n 0.0 in
+  let frozen = Array.make n false in
+  let remaining = Array.copy capacities in
+  let active_on = Array.make nl 0 in
+  Array.iter (fun d -> Array.iter (fun l -> active_on.(l) <- active_on.(l) + 1) d.path) demands;
+  let freeze i rate =
+    frozen.(i) <- true;
+    rates.(i) <- rate;
+    Array.iter
+      (fun l ->
+        active_on.(l) <- active_on.(l) - 1;
+        remaining.(l) <- Float.max 0.0 (remaining.(l) -. rate))
+      demands.(i).path
+  in
+  (* Flows that cross no link are only bounded by their demand. *)
+  Array.iteri
+    (fun i d -> if Array.length d.path = 0 then freeze i d.demand_mb_s)
+    demands;
+  let active_left () =
+    let k = ref 0 in
+    Array.iter (fun f -> if not f then incr k) frozen;
+    !k
+  in
+  while active_left () > 0 do
+    (* Fair share at the tightest link crossed by an active flow. *)
+    let fair = ref infinity in
+    for l = 0 to nl - 1 do
+      if active_on.(l) > 0 then begin
+        let share = remaining.(l) /. float_of_int active_on.(l) in
+        if share < !fair then fair := share
+      end
+    done;
+    let fair = !fair in
+    (* Freeze demand-limited flows first. *)
+    let froze_any = ref false in
+    Array.iteri
+      (fun i d ->
+        if (not frozen.(i)) && d.demand_mb_s <= fair then begin
+          freeze i d.demand_mb_s;
+          froze_any := true
+        end)
+      demands;
+    if not !froze_any then begin
+      (* Freeze flows crossing a bottleneck link at the fair share. *)
+      let eps = 1e-9 +. (1e-9 *. Float.abs fair) in
+      let bottleneck = Array.make nl false in
+      for l = 0 to nl - 1 do
+        if active_on.(l) > 0 then begin
+          let share = remaining.(l) /. float_of_int active_on.(l) in
+          if share <= fair +. eps then bottleneck.(l) <- true
+        end
+      done;
+      Array.iteri
+        (fun i d ->
+          if (not frozen.(i)) && Array.exists (fun l -> bottleneck.(l)) d.path
+          then freeze i fair)
+        demands
+    end
+  done;
+  rates
+
+let link_loads ~capacities ~demands ~rates =
+  let loads = Array.make (Array.length capacities) 0.0 in
+  Array.iteri
+    (fun i d -> Array.iter (fun l -> loads.(l) <- loads.(l) +. rates.(i)) d.path)
+    demands;
+  loads
+
+let probe_rate ~capacities ~demands ~probe_path =
+  if Array.length probe_path = 0 then infinity
+  else begin
+    let probe = { path = probe_path; demand_mb_s = infinity } in
+    let all = Array.append demands [| probe |] in
+    let rates = compute ~capacities ~demands:all in
+    rates.(Array.length all - 1)
+  end

@@ -1,0 +1,35 @@
+(** Max-min fair bandwidth allocation with demand caps.
+
+    This is the contention model behind the paper's observation that P2P
+    bandwidth "fluctuates around a base value … due to shared network
+    switches and links" (§1, Fig. 2b): every flow crossing a link shares
+    it, and the classic progressive-filling algorithm yields the max-min
+    fair rates.
+
+    Properties (tested): no link is over-subscribed; no flow exceeds its
+    demand; a flow below its demand is bottlenecked on some saturated
+    link where no other flow gets a larger rate (max-min fairness). *)
+
+type demand = {
+  path : int array;  (** link ids crossed; an empty path gets [infinity] *)
+  demand_mb_s : float;  (** may be [infinity] for greedy flows *)
+}
+
+val compute : capacities:float array -> demands:demand array -> float array
+(** [compute ~capacities ~demands] returns the fair rate of each demand,
+    positionally. Runs in O(iterations × total path length); iterations
+    are bounded by the number of links + flows. Raises [Invalid_argument]
+    on a non-positive capacity or an out-of-range link id. *)
+
+val link_loads :
+  capacities:float array -> demands:demand array -> rates:float array ->
+  float array
+(** Total allocated rate per link under the given rates. *)
+
+val probe_rate :
+  capacities:float array -> demands:demand array -> probe_path:int array ->
+  float
+(** Fair rate a new greedy flow on [probe_path] would obtain when added
+    to the existing demand set — the "available bandwidth" a new MPI
+    connection or a bandwidth probe measures. Returns [infinity] for an
+    empty probe path (same node). *)

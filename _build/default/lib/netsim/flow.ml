@@ -1,0 +1,22 @@
+type endpoint = Node of int | External
+
+type t = { id : int; src : int; dst : endpoint; demand_mb_s : float }
+
+let make ~id ~src ~dst ~demand_mb_s =
+  if src < 0 then invalid_arg "Flow.make: negative src";
+  if demand_mb_s <= 0.0 then invalid_arg "Flow.make: non-positive demand";
+  (match dst with
+  | Node d ->
+    if d < 0 then invalid_arg "Flow.make: negative dst";
+    if d = src then invalid_arg "Flow.make: self-loop"
+  | External -> ());
+  { id; src; dst; demand_mb_s }
+
+let is_external t = match t.dst with External -> true | Node _ -> false
+let touches_node t n = t.src = n || (match t.dst with Node d -> d = n | External -> false)
+
+let pp ppf t =
+  match t.dst with
+  | Node d ->
+    Format.fprintf ppf "flow#%d n%d->n%d %.1fMB/s" t.id t.src d t.demand_mb_s
+  | External -> Format.fprintf ppf "flow#%d n%d->ext %.1fMB/s" t.id t.src t.demand_mb_s

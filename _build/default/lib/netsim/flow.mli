@@ -1,0 +1,24 @@
+(** A network flow: a bandwidth demand between two endpoints.
+
+    Background traffic (other users' jobs, video lectures, backups) and
+    the MPI job's own messages are both expressed as flows; the fair-share
+    model then decides what everyone actually gets. *)
+
+type endpoint =
+  | Node of int  (** another cluster node *)
+  | External  (** traffic leaving the cluster (internet, campus) *)
+
+type t = {
+  id : int;
+  src : int;  (** source node id *)
+  dst : endpoint;
+  demand_mb_s : float;  (** offered load; [infinity] = greedy (TCP-like) *)
+}
+
+val make : id:int -> src:int -> dst:endpoint -> demand_mb_s:float -> t
+(** Validates [src >= 0], [demand_mb_s > 0], and that a node flow is not a
+    self-loop. *)
+
+val is_external : t -> bool
+val touches_node : t -> int -> bool
+val pp : Format.formatter -> t -> unit

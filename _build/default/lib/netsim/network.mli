@@ -1,0 +1,43 @@
+(** The network state: topology + current flow population, answering the
+    questions the paper's monitor asks — available P2P bandwidth, P2P
+    latency, and per-node data flow rate.
+
+    All answers derive from a max-min fair allocation of the current
+    flows over the topology's links ({!Fairshare}), recomputed lazily
+    when flows change. *)
+
+type t
+
+val create : Rm_cluster.Topology.t -> t
+val topology : t -> Rm_cluster.Topology.t
+
+val set_flows : t -> Flow.t list -> unit
+val flows : t -> Flow.t list
+val flow_count : t -> int
+
+val available_bandwidth_mb_s : t -> src:int -> dst:int -> float
+(** Rate a new greedy flow between the nodes would obtain right now
+    (the ground truth a bandwidth probe estimates). [infinity] when
+    [src = dst]. *)
+
+val latency_us : t -> src:int -> dst:int -> float
+(** One-way latency: unloaded base plus an M/M/1-style queueing penalty
+    on each loaded link of the path. 0 when [src = dst]. *)
+
+val nic_rate_mb_s : t -> node:int -> float
+(** Sum of allocated rates of flows entering or leaving the node — the
+    paper's "node data flow rate". *)
+
+val link_utilization : t -> link_id:int -> float
+(** Allocated fraction of the link's capacity, in [0, 1]. *)
+
+val peak_bandwidth_mb_s : t -> src:int -> dst:int -> float
+(** Capacity bound of the path with no competing traffic (the "peak
+    bandwidth" whose complement Eq. 2 uses). *)
+
+val rates_with_extra : t -> extra:(int * int) array -> float array
+(** Fair rates that greedy node-to-node flows on the given (src, dst)
+    pairs would obtain when *all added simultaneously* on top of the
+    background population — unlike {!available_bandwidth_mb_s}, the extra
+    flows contend with each other (concurrent MPI messages; a probe round
+    of n/2 disjoint pairs). Pairs with [src = dst] get [infinity]. *)

@@ -1,0 +1,17 @@
+module Topology = Rm_cluster.Topology
+
+let p2p_path topo ~src ~dst =
+  Array.of_list
+    (List.map (fun (l : Topology.link) -> l.link_id) (Topology.path topo src dst))
+
+let flow_path topo (flow : Flow.t) =
+  match flow.dst with
+  | Flow.Node d -> p2p_path topo ~src:flow.src ~dst:d
+  | Flow.External ->
+    let access = Topology.access_link topo ~node:flow.src in
+    let uplink = Topology.uplink topo ~switch:(Topology.switch_of_node topo flow.src) in
+    [| access.link_id; uplink.link_id |]
+
+let capacities topo =
+  Array.init (Topology.link_count topo) (fun i ->
+      (Topology.link topo i).capacity_mb_s)

@@ -1,0 +1,16 @@
+(** Deterministic shortest-path routing over the switch tree.
+
+    Paths are returned as arrays of link ids into the topology's link
+    table (access links first, then uplinks, as defined by
+    {!Rm_cluster.Topology}). *)
+
+val p2p_path : Rm_cluster.Topology.t -> src:int -> dst:int -> int array
+(** Links crossed between two nodes; empty when [src = dst]. *)
+
+val flow_path : Rm_cluster.Topology.t -> Flow.t -> int array
+(** An external flow crosses its source's access link and the source
+    switch's uplink (the campus gateway hangs off the root, which we do
+    not model as a bottleneck). *)
+
+val capacities : Rm_cluster.Topology.t -> float array
+(** Capacity (MB/s) per link id, indexable by the ids in paths. *)

@@ -1,0 +1,1 @@
+lib/sched/scheduler.ml: Buffer Bytes Float Hashtbl List Printf Rm_core Rm_engine Rm_monitor Rm_mpisim Rm_netsim Rm_stats Rm_workload

@@ -1,0 +1,1 @@
+lib/sched/scheduler.mli: Rm_core Rm_engine Rm_monitor Rm_mpisim Rm_stats Rm_workload

@@ -1,0 +1,292 @@
+module Sim = Rm_engine.Sim
+module Rng = Rm_stats.Rng
+module World = Rm_workload.World
+module System = Rm_monitor.System
+module Broker = Rm_core.Broker
+module Request = Rm_core.Request
+module Allocation = Rm_core.Allocation
+module Executor = Rm_mpisim.Executor
+module Flow = Rm_netsim.Flow
+
+type config = {
+  broker : Broker.config;
+  backfill : bool;
+  exclusive : bool;
+  min_dispatch_gap_s : float;
+  retry_s : float;
+}
+
+let default_config =
+  {
+    broker = Broker.default_config;
+    backfill = true;
+    exclusive = false;
+    min_dispatch_gap_s = 15.0;
+    retry_s = 60.0;
+  }
+
+type job_id = int
+
+type outcome = {
+  job : job_id;
+  name : string;
+  submitted_at : float;
+  started_at : float;
+  finished_at : float;
+  nodes : int list;
+  procs : int;
+}
+
+type state =
+  | Queued
+  | Running of { started_at : float; nodes : int list }
+  | Finished of outcome
+  | Rejected of string
+
+type job = {
+  id : job_id;
+  name : string;
+  priority : int;
+  request : Request.t;
+  app_of : ranks:int -> Rm_mpisim.App.t;
+  submitted_at : float;
+  mutable state : state;
+  mutable overlay : World.job_handle option;
+      (** set while running, for cancellation *)
+  mutable completion : Rm_engine.Event_queue.handle option;
+}
+
+type t = {
+  sim : Sim.t;
+  world : World.t;
+  monitor : System.t;
+  config : config;
+  rng : Rng.t;
+  horizon : float;
+  jobs : (job_id, job) Hashtbl.t;
+  mutable queue : job_id list;  (** submission order *)
+  mutable finished_log : outcome list;  (** reverse completion order *)
+  mutable last_dispatch : float;
+  mutable retry_pending : bool;
+  mutable next_id : int;
+}
+
+let create ~sim ~world ~monitor ?(config = default_config) ~rng ~horizon () =
+  {
+    sim;
+    world;
+    monitor;
+    config;
+    rng = Rng.split rng;
+    horizon;
+    jobs = Hashtbl.create 32;
+    queue = [];
+    finished_log = [];
+    last_dispatch = neg_infinity;
+    retry_pending = false;
+    next_id = 0;
+  }
+
+let job t id =
+  match Hashtbl.find_opt t.jobs id with
+  | Some j -> j
+  | None -> invalid_arg "Scheduler: unknown job id"
+
+let state t id = (job t id).state
+
+(* Queued ids in dispatch order: priority descending, then submission
+   (queue) order. List.stable_sort keeps FCFS among equal priorities. *)
+let queued t =
+  List.filter (fun id -> (job t id).state = Queued) t.queue
+  |> List.stable_sort
+       (fun a b -> compare (job t b).priority (job t a).priority)
+
+let running t =
+  List.filter
+    (fun id -> match (job t id).state with Running _ -> true | _ -> false)
+    t.queue
+
+let finished t = List.rev t.finished_log
+
+(* Forward declaration dance: dispatch and completion reference each
+   other through the event queue. *)
+let rec try_dispatch t sim =
+  let now = Sim.now sim in
+  World.advance t.world ~now;
+  if now < t.last_dispatch +. t.config.min_dispatch_gap_s then
+    schedule_retry t ~delay:(t.last_dispatch +. t.config.min_dispatch_gap_s -. now)
+  else begin
+    let candidates =
+      match queued t with
+      | [] -> []
+      | head :: rest -> if t.config.backfill then head :: rest else [ head ]
+    in
+    let started = List.exists (fun id -> attempt t sim id) candidates in
+    if started then t.last_dispatch <- now;
+    if queued t <> [] then schedule_retry t ~delay:t.config.retry_s
+  end
+
+and schedule_retry t ~delay =
+  if (not t.retry_pending) && Sim.now t.sim +. delay <= t.horizon then begin
+    t.retry_pending <- true;
+    ignore
+      (Sim.schedule_after t.sim ~delay (fun sim ->
+           t.retry_pending <- false;
+           try_dispatch t sim))
+  end
+
+and busy_nodes t =
+  List.concat_map
+    (fun id ->
+      match (job t id).state with
+      | Running { nodes; _ } -> nodes
+      | Queued | Finished _ | Rejected _ -> [])
+    t.queue
+
+and attempt t sim id =
+  let j = job t id in
+  let now = Sim.now sim in
+  let snapshot = System.snapshot t.monitor ~time:now in
+  let snapshot =
+    if t.config.exclusive then
+      Rm_monitor.Snapshot.restrict snapshot ~exclude:(busy_nodes t)
+    else snapshot
+  in
+  match
+    Broker.decide ~config:t.config.broker ~snapshot ~request:j.request ~rng:t.rng
+  with
+  | Error _ | Ok (Broker.Wait _) -> false
+  | Ok (Broker.Allocated allocation) ->
+    start_job t sim j allocation;
+    true
+
+and start_job t sim j allocation =
+  let now = Sim.now sim in
+  let app = j.app_of ~ranks:(Allocation.total_procs allocation) in
+  let duration =
+    Float.max 1e-3
+      (Executor.estimate_duration_s ~world:t.world ~allocation ~app ())
+  in
+  let load =
+    List.map
+      (fun (e : Allocation.entry) -> (e.Allocation.node, float_of_int e.Allocation.procs))
+      allocation.Allocation.entries
+  in
+  let flows =
+    List.map
+      (fun ((src, dst), mb_s) -> (src, Flow.Node dst, Float.max 0.01 mb_s))
+      (Executor.mean_pair_rates_mb_s ~allocation ~app ~duration_s:duration)
+  in
+  let handle = World.register_job t.world ~load ~flows in
+  let nodes = Allocation.node_ids allocation in
+  j.state <- Running { started_at = now; nodes };
+  j.overlay <- Some handle;
+  j.completion <-
+    Some
+      (Sim.schedule_after sim ~delay:duration (fun sim ->
+           World.release_job t.world handle;
+           j.overlay <- None;
+           j.completion <- None;
+           let finished_at = Sim.now sim in
+           let outcome =
+             {
+               job = j.id;
+               name = j.name;
+               submitted_at = j.submitted_at;
+               started_at = now;
+               finished_at;
+               nodes;
+               procs = Allocation.total_procs allocation;
+             }
+           in
+           j.state <- Finished outcome;
+           t.finished_log <- outcome :: t.finished_log;
+           try_dispatch t sim))
+
+let submit t ~name ~at ?(priority = 0) ~request ~app_of () =
+  if at < Sim.now t.sim then invalid_arg "Scheduler.submit: time in the past";
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  ignore
+    (Sim.schedule_at t.sim ~time:at (fun sim ->
+         let j =
+           { id; name; priority; request; app_of; submitted_at = at;
+             state = Queued; overlay = None; completion = None }
+         in
+         Hashtbl.replace t.jobs id j;
+         t.queue <- t.queue @ [ id ];
+         try_dispatch t sim));
+  id
+
+let cancel t id =
+  let j = job t id in
+  match j.state with
+  | Finished _ | Rejected _ -> ()
+  | Queued ->
+    j.state <- Rejected "cancelled"
+  | Running _ ->
+    (match j.overlay with
+    | Some handle ->
+      World.release_job t.world handle;
+      j.overlay <- None
+    | None -> ());
+    (match j.completion with
+    | Some handle ->
+      Sim.cancel t.sim handle;
+      j.completion <- None
+    | None -> ());
+    j.state <- Rejected "cancelled";
+    (* Freed nodes may unblock the queue. *)
+    schedule_retry t ~delay:0.0
+
+type summary = {
+  jobs_finished : int;
+  mean_wait_s : float;
+  max_wait_s : float;
+  mean_turnaround_s : float;
+}
+
+let render_timeline t ?(width = 60) () =
+  match finished t with
+  | [] -> ""
+  | outcomes ->
+    let t0 =
+      List.fold_left (fun acc (o : outcome) -> Float.min acc o.submitted_at) infinity outcomes
+    in
+    let t1 =
+      List.fold_left (fun acc (o : outcome) -> Float.max acc o.finished_at) 0.0 outcomes
+    in
+    let span = Float.max 1e-9 (t1 -. t0) in
+    let col time =
+      int_of_float (float_of_int (width - 1) *. (time -. t0) /. span)
+    in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf
+      (Printf.sprintf "timeline: %.0fs .. %.0fs ('.' queued, '#' running)
+" t0 t1);
+    List.iter
+      (fun (o : outcome) ->
+        let row = Bytes.make width ' ' in
+        for c = col o.submitted_at to col o.started_at - 1 do
+          Bytes.set row c '.'
+        done;
+        for c = col o.started_at to col o.finished_at do
+          Bytes.set row c '#'
+        done;
+        Buffer.add_string buf
+          (Printf.sprintf "%-12s|%s|
+" o.name (Bytes.to_string row)))
+      outcomes;
+    Buffer.contents buf
+
+let summary t =
+  let outcomes = finished t in
+  if outcomes = [] then invalid_arg "Scheduler.summary: nothing finished";
+  let waits = List.map (fun o -> o.started_at -. o.submitted_at) outcomes in
+  let turnarounds = List.map (fun o -> o.finished_at -. o.submitted_at) outcomes in
+  {
+    jobs_finished = List.length outcomes;
+    mean_wait_s = Rm_stats.Descriptive.mean_list waits;
+    max_wait_s = List.fold_left Float.max 0.0 waits;
+    mean_turnaround_s = Rm_stats.Descriptive.mean_list turnarounds;
+  }

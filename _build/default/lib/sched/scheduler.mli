@@ -1,0 +1,98 @@
+(** A minimal batch scheduler driving the resource broker — the shape a
+    SLURM/Moab plugin integration (§6) would take.
+
+    Jobs are submitted with a process request and an application model;
+    the scheduler keeps a FCFS queue (with optional opportunistic
+    backfill), asks the {!Rm_core.Broker} for a placement when a job
+    reaches the head, and models each running job as a {!Rm_workload.World}
+    overlay (CPU load on its nodes plus steady flows between them), so
+    the monitor — and therefore later allocations — see it exactly as
+    they would see any other tenant. Durations come from
+    {!Rm_mpisim.Executor.estimate_duration_s} at dispatch time.
+
+    Dispatches are rate-limited ([min_dispatch_gap_s]) so consecutive
+    jobs observe monitor data that already reflects each other — the
+    same staleness discipline a production broker needs. *)
+
+type config = {
+  broker : Rm_core.Broker.config;
+  backfill : bool;  (** try later queued jobs when the head cannot start *)
+  exclusive : bool;
+      (** hide nodes already running one of this scheduler's jobs from
+          the allocator (space sharing instead of time sharing);
+          default false — the paper's broker deliberately time-shares *)
+  min_dispatch_gap_s : float;  (** default 15 s *)
+  retry_s : float;  (** re-examine the queue at least this often *)
+}
+
+val default_config : config
+
+type job_id = int
+
+type outcome = {
+  job : job_id;
+  name : string;
+  submitted_at : float;
+  started_at : float;
+  finished_at : float;
+  nodes : int list;
+  procs : int;
+}
+
+type state =
+  | Queued
+  | Running of { started_at : float; nodes : int list }
+  | Finished of outcome
+  | Rejected of string
+
+type t
+
+val create :
+  sim:Rm_engine.Sim.t ->
+  world:Rm_workload.World.t ->
+  monitor:Rm_monitor.System.t ->
+  ?config:config ->
+  rng:Rm_stats.Rng.t ->
+  horizon:float ->
+  unit ->
+  t
+
+val submit :
+  t ->
+  name:string ->
+  at:float ->
+  ?priority:int ->
+  request:Rm_core.Request.t ->
+  app_of:(ranks:int -> Rm_mpisim.App.t) ->
+  unit ->
+  job_id
+(** Schedules the submission on the sim; raises [Invalid_argument] when
+    [at] is in the past. Higher [priority] (default 0) jobs are examined
+    first; ties go to the earlier submission (FCFS). *)
+
+val cancel : t -> job_id -> unit
+(** Remove a queued job, or kill a running one (its world overlay is
+    released immediately and it never reaches {!finished}). Cancelling a
+    finished or already-cancelled job is a no-op. The job's state
+    becomes [Rejected "cancelled"]. *)
+
+val state : t -> job_id -> state
+val queued : t -> job_id list
+val running : t -> job_id list
+val finished : t -> outcome list
+(** In completion order. *)
+
+type summary = {
+  jobs_finished : int;
+  mean_wait_s : float;
+  max_wait_s : float;
+  mean_turnaround_s : float;
+}
+
+val summary : t -> summary
+(** Raises [Invalid_argument] when nothing has finished. *)
+
+val render_timeline : t -> ?width:int -> unit -> string
+(** ASCII Gantt of finished jobs: one row per job, ['.'] while queued,
+    ['#'] while running, over a shared time axis scaled to [width]
+    (default 60) columns. Empty string when nothing finished. *)

@@ -1,0 +1,125 @@
+let check_nonempty name a =
+  if Array.length a = 0 then invalid_arg (name ^ ": empty input")
+
+let sum a = Array.fold_left ( +. ) 0.0 a
+
+let mean a =
+  check_nonempty "Descriptive.mean" a;
+  sum a /. float_of_int (Array.length a)
+
+let mean_list l =
+  if l = [] then invalid_arg "Descriptive.mean_list: empty input";
+  List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let variance a =
+  check_nonempty "Descriptive.variance" a;
+  let m = mean a in
+  let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 a in
+  acc /. float_of_int (Array.length a)
+
+let stddev a = sqrt (variance a)
+
+let coefficient_of_variation a =
+  let m = mean a in
+  if Float.abs m < 1e-12 then
+    invalid_arg "Descriptive.coefficient_of_variation: zero mean";
+  stddev a /. m
+
+let sorted_copy a =
+  let b = Array.copy a in
+  Array.sort Float.compare b;
+  b
+
+let percentile a ~p =
+  check_nonempty "Descriptive.percentile" a;
+  if p < 0.0 || p > 100.0 then invalid_arg "Descriptive.percentile: p out of range";
+  let b = sorted_copy a in
+  let n = Array.length b in
+  if n = 1 then b.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    b.(lo) +. (frac *. (b.(hi) -. b.(lo)))
+  end
+
+let median a = percentile a ~p:50.0
+
+let min a =
+  check_nonempty "Descriptive.min" a;
+  Array.fold_left Float.min a.(0) a
+
+let max a =
+  check_nonempty "Descriptive.max" a;
+  Array.fold_left Float.max a.(0) a
+
+type summary = {
+  n : int;
+  mean : float;
+  median : float;
+  stddev : float;
+  cv : float;
+  min : float;
+  max : float;
+}
+
+let summarize a =
+  check_nonempty "Descriptive.summarize" a;
+  let m = mean a in
+  let sd = stddev a in
+  {
+    n = Array.length a;
+    mean = m;
+    median = median a;
+    stddev = sd;
+    cv = (if Float.abs m < 1e-12 then 0.0 else sd /. m);
+    min = min a;
+    max = max a;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.4g median=%.4g sd=%.4g cv=%.3f min=%.4g max=%.4g" s.n s.mean
+    s.median s.stddev s.cv s.min s.max
+
+(* Average ranks for ties, then Pearson on the ranks. *)
+let ranks a =
+  let n = Array.length a in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> Float.compare a.(i) a.(j)) order;
+  let r = Array.make n 0.0 in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j + 1 < n && a.(order.(!j + 1)) = a.(order.(!i)) do
+      incr j
+    done;
+    (* positions !i..!j share the same value; average their ranks *)
+    let avg = float_of_int (!i + !j) /. 2.0 +. 1.0 in
+    for k = !i to !j do
+      r.(order.(k)) <- avg
+    done;
+    i := !j + 1
+  done;
+  r
+
+let spearman a b =
+  let n = Array.length a in
+  if n <> Array.length b then invalid_arg "Descriptive.spearman: length mismatch";
+  if n < 2 then invalid_arg "Descriptive.spearman: need at least 2 points";
+  let ra = ranks a and rb = ranks b in
+  let ma = mean ra and mb = mean rb in
+  let num = ref 0.0 and da = ref 0.0 and db = ref 0.0 in
+  for i = 0 to n - 1 do
+    let xa = ra.(i) -. ma and xb = rb.(i) -. mb in
+    num := !num +. (xa *. xb);
+    da := !da +. (xa *. xa);
+    db := !db +. (xb *. xb)
+  done;
+  if !da <= 0.0 || !db <= 0.0 then 0.0 else !num /. sqrt (!da *. !db)
+
+let percent_gain ~baseline ~ours =
+  if Float.abs baseline < 1e-12 then
+    invalid_arg "Descriptive.percent_gain: zero baseline";
+  (baseline -. ours) /. baseline *. 100.0

@@ -1,0 +1,49 @@
+(** Descriptive statistics over float arrays and lists.
+
+    Used throughout the experiment harness to reproduce the paper's
+    summary rows (average / median / maximum gain, coefficient of
+    variation). All functions raise [Invalid_argument] on empty input
+    unless documented otherwise. *)
+
+val mean : float array -> float
+val mean_list : float list -> float
+
+val variance : float array -> float
+(** Population variance. *)
+
+val stddev : float array -> float
+
+val coefficient_of_variation : float array -> float
+(** stddev / mean — the paper's run-stability metric (§5.1, §5.2).
+    Requires a non-zero mean. *)
+
+val median : float array -> float
+(** Median of a copy of the input (input is not modified). *)
+
+val percentile : float array -> p:float -> float
+(** Linear-interpolation percentile, [p] in [0, 100]. *)
+
+val min : float array -> float
+val max : float array -> float
+val sum : float array -> float
+
+type summary = {
+  n : int;
+  mean : float;
+  median : float;
+  stddev : float;
+  cv : float;
+  min : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+val pp_summary : Format.formatter -> summary -> unit
+
+val spearman : float array -> float array -> float
+(** Spearman rank-correlation coefficient (ties get average ranks).
+    Requires equal lengths >= 2; returns a value in [-1, 1]. *)
+
+val percent_gain : baseline:float -> ours:float -> float
+(** [(baseline - ours) / baseline * 100] — the paper's "% gain in
+    performance" of the proposed allocator over a baseline. *)

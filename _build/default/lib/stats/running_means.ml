@@ -1,0 +1,44 @@
+type t = {
+  w1 : Window.t;
+  w5 : Window.t;
+  w15 : Window.t;
+  mutable last : float option;
+}
+
+type view = { instant : float; m1 : float; m5 : float; m15 : float }
+
+let create_spans ~m1 ~m5 ~m15 =
+  { w1 = Window.create ~span:m1;
+    w5 = Window.create ~span:m5;
+    w15 = Window.create ~span:m15;
+    last = None }
+
+let create () = create_spans ~m1:60.0 ~m5:300.0 ~m15:900.0
+
+let push t ~time ~value =
+  Window.push t.w1 ~time ~value;
+  Window.push t.w5 ~time ~value;
+  Window.push t.w15 ~time ~value;
+  t.last <- Some value
+
+let view t =
+  match t.last with
+  | None -> None
+  | Some instant ->
+    Some
+      {
+        instant;
+        m1 = Window.mean_default t.w1 ~default:instant;
+        m5 = Window.mean_default t.w5 ~default:instant;
+        m15 = Window.mean_default t.w15 ~default:instant;
+      }
+
+let view_default t ~default =
+  match view t with
+  | Some v -> v
+  | None -> { instant = default; m1 = default; m5 = default; m15 = default }
+
+let blend v ~w1 ~w5 ~w15 =
+  let total = w1 +. w5 +. w15 in
+  if total <= 0.0 then invalid_arg "Running_means.blend: non-positive weights";
+  ((w1 *. v.m1) +. (w5 *. v.m5) +. (w15 *. v.m15)) /. total

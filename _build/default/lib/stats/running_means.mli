@@ -1,0 +1,31 @@
+(** The 1/5/15-minute running-mean triple used by the monitor.
+
+    Mirrors the Unix load-average convention the paper leans on: every
+    dynamic node attribute is reported together with its trailing 1, 5
+    and 15 minute means (Table 1). *)
+
+type t
+
+type view = {
+  instant : float;  (** most recent sample *)
+  m1 : float;  (** 1-minute mean *)
+  m5 : float;  (** 5-minute mean *)
+  m15 : float;  (** 15-minute mean *)
+}
+
+val create : unit -> t
+
+val create_spans : m1:float -> m5:float -> m15:float -> t
+(** Non-standard spans, used in tests and cadence ablations. *)
+
+val push : t -> time:float -> value:float -> unit
+
+val view : t -> view option
+(** [None] until the first sample has been pushed. *)
+
+val view_default : t -> default:float -> view
+
+val blend : view -> w1:float -> w5:float -> w15:float -> float
+(** Weighted combination of the three horizons; weights need not sum
+    to 1 (they are normalized internally). Used when a single scalar per
+    attribute is needed by the allocator. *)

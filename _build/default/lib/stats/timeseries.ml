@@ -1,0 +1,106 @@
+type t = {
+  name : string;
+  mutable times : float array;
+  mutable values : float array;
+  mutable len : int;
+}
+
+let create ?(name = "") () =
+  { name; times = Array.make 16 0.0; values = Array.make 16 0.0; len = 0 }
+
+let name t = t.name
+let length t = t.len
+
+let ensure_capacity t =
+  if t.len = Array.length t.times then begin
+    let cap = 2 * Array.length t.times in
+    let times = Array.make cap 0.0 and values = Array.make cap 0.0 in
+    Array.blit t.times 0 times 0 t.len;
+    Array.blit t.values 0 values 0 t.len;
+    t.times <- times;
+    t.values <- values
+  end
+
+let append t ~time ~value =
+  if t.len > 0 && time < t.times.(t.len - 1) then
+    invalid_arg "Timeseries.append: time went backwards";
+  ensure_capacity t;
+  t.times.(t.len) <- time;
+  t.values.(t.len) <- value;
+  t.len <- t.len + 1
+
+let times t = Array.sub t.times 0 t.len
+let values t = Array.sub t.values 0 t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Timeseries.get: index out of bounds";
+  (t.times.(i), t.values.(i))
+
+let value_summary t =
+  if t.len = 0 then invalid_arg "Timeseries.value_summary: empty series";
+  Descriptive.summarize (values t)
+
+let iter t ~f =
+  for i = 0 to t.len - 1 do
+    f ~time:t.times.(i) ~value:t.values.(i)
+  done
+
+let resample t ~period =
+  if period <= 0.0 then invalid_arg "Timeseries.resample: period must be positive";
+  let out = create ~name:t.name () in
+  if t.len = 0 then out
+  else begin
+    let origin = t.times.(0) in
+    let bucket_of time = int_of_float ((time -. origin) /. period) in
+    let current = ref (bucket_of t.times.(0)) in
+    let acc = ref 0.0 and count = ref 0 in
+    let flush () =
+      if !count > 0 then begin
+        let mid = origin +. ((float_of_int !current +. 0.5) *. period) in
+        append out ~time:mid ~value:(!acc /. float_of_int !count)
+      end
+    in
+    for i = 0 to t.len - 1 do
+      let b = bucket_of t.times.(i) in
+      if b <> !current then begin
+        flush ();
+        current := b;
+        acc := 0.0;
+        count := 0
+      end;
+      acc := !acc +. t.values.(i);
+      incr count
+    done;
+    flush ();
+    out
+  end
+
+let map_values t ~f =
+  let out = create ~name:t.name () in
+  iter t ~f:(fun ~time ~value -> append out ~time ~value:(f value));
+  out
+
+let average series =
+  match series with
+  | [] -> invalid_arg "Timeseries.average: empty list"
+  | first :: rest ->
+    let n = length first in
+    List.iter
+      (fun s ->
+        if length s <> n then invalid_arg "Timeseries.average: length mismatch")
+      rest;
+    let out = create ~name:"average" () in
+    for i = 0 to n - 1 do
+      let t0, v0 = get first i in
+      let sum =
+        List.fold_left
+          (fun acc s ->
+            let ti, vi = get s i in
+            if Float.abs (ti -. t0) > 1e-9 then
+              invalid_arg "Timeseries.average: time-axis mismatch";
+            acc +. vi)
+          v0 rest
+      in
+      append out ~time:t0 ~value:(sum /. float_of_int (List.length series))
+    done;
+    out

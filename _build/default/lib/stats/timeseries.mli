@@ -1,0 +1,31 @@
+(** Append-only time series used for trace recording (Figures 1 and 2).
+
+    A series is a growing vector of (time, value) points with helpers to
+    resample and summarize. Times must be appended in non-decreasing
+    order. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+val name : t -> string
+val append : t -> time:float -> value:float -> unit
+val length : t -> int
+val times : t -> float array
+val values : t -> float array
+val get : t -> int -> float * float
+
+val value_summary : t -> Descriptive.summary
+(** Raises [Invalid_argument] on an empty series. *)
+
+val resample : t -> period:float -> t
+(** Average into buckets of [period] seconds starting at the first
+    sample's time; empty buckets are skipped. *)
+
+val map_values : t -> f:(float -> float) -> t
+
+val average : t list -> t
+(** Pointwise average of series with identical time axes (the paper's
+    "average across 20 nodes" curves). Raises [Invalid_argument] on
+    length/time mismatch or empty list. *)
+
+val iter : t -> f:(time:float -> value:float -> unit) -> unit

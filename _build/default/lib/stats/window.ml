@@ -1,0 +1,52 @@
+type t = {
+  span : float;
+  samples : (float * float) Queue.t; (* (time, value), oldest first *)
+  mutable sum : float;
+  mutable last_time : float;
+}
+
+let create ~span =
+  if span <= 0.0 then invalid_arg "Window.create: span must be positive";
+  { span; samples = Queue.create (); sum = 0.0; last_time = neg_infinity }
+
+let span t = t.span
+
+let evict t ~now =
+  let cutoff = now -. t.span in
+  let continue = ref true in
+  while !continue && not (Queue.is_empty t.samples) do
+    let time, value = Queue.peek t.samples in
+    if time <= cutoff then begin
+      ignore (Queue.pop t.samples);
+      t.sum <- t.sum -. value
+    end
+    else continue := false
+  done
+
+let push t ~time ~value =
+  if time < t.last_time then invalid_arg "Window.push: time went backwards";
+  t.last_time <- time;
+  Queue.push (time, value) t.samples;
+  t.sum <- t.sum +. value;
+  evict t ~now:time
+
+let length t = Queue.length t.samples
+
+let mean t =
+  let n = Queue.length t.samples in
+  if n = 0 then None else Some (t.sum /. float_of_int n)
+
+let mean_default t ~default = Option.value (mean t) ~default
+
+let latest t =
+  if Queue.is_empty t.samples then None
+  else begin
+    (* Queue has no peek-back; fold to the last element. *)
+    let last = Queue.fold (fun _ x -> Some x) None t.samples in
+    last
+  end
+
+let clear t =
+  Queue.clear t.samples;
+  t.sum <- 0.0;
+  t.last_time <- neg_infinity

@@ -1,0 +1,34 @@
+(** Sliding time-window average of a sampled signal.
+
+    The paper's monitor keeps "the running mean of the last 1, 5, and 15
+    minutes" of each dynamic attribute (§3.2.1, §4). A [t] stores
+    time-stamped samples and answers the mean over the trailing window,
+    evicting anything older. Times are in simulated seconds and must be
+    pushed in non-decreasing order. *)
+
+type t
+
+val create : span:float -> t
+(** [create ~span] keeps samples from the last [span] seconds.
+    Requires [span > 0]. *)
+
+val span : t -> float
+
+val push : t -> time:float -> value:float -> unit
+(** Record a sample. Raises [Invalid_argument] if [time] is earlier than
+    the latest pushed time. *)
+
+val mean : t -> float option
+(** Mean of the samples currently inside the window, or [None] if the
+    window holds no samples. Eviction happens on {!push}; [mean] reflects
+    the window as of the latest pushed sample. *)
+
+val mean_default : t -> default:float -> float
+
+val length : t -> int
+(** Number of retained samples. *)
+
+val latest : t -> (float * float) option
+(** Most recent (time, value), if any. *)
+
+val clear : t -> unit

@@ -1,0 +1,1 @@
+lib/workload/flow_gen.ml: Float List Rm_netsim Rm_stats

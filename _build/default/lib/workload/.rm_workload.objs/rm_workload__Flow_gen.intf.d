@@ -1,0 +1,1 @@
+lib/workload/flow_gen.mli: Rm_netsim Rm_stats

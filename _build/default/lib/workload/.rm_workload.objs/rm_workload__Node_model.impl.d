@@ -1,0 +1,1 @@
+lib/workload/node_model.ml: Float Format Ou_process Rm_cluster Rm_stats Spike_train Stdlib Trace_replay

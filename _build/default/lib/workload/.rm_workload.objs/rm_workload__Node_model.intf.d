@@ -1,0 +1,1 @@
+lib/workload/node_model.mli: Format Rm_cluster Rm_stats Trace_replay

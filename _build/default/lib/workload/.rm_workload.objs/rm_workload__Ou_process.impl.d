@@ -1,0 +1,1 @@
+lib/workload/ou_process.ml: Float Option Rm_stats

@@ -1,0 +1,1 @@
+lib/workload/ou_process.mli: Rm_stats

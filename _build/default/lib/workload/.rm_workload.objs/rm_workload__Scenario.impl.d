@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Flow_gen Node_model Printf Rm_cluster Rm_stats

@@ -1,0 +1,1 @@
+lib/workload/scenario.mli: Flow_gen Node_model Rm_cluster Rm_stats

@@ -1,0 +1,1 @@
+lib/workload/spike_train.ml: List Rm_stats

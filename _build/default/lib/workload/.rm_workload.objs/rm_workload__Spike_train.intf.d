@@ -1,0 +1,1 @@
+lib/workload/spike_train.mli: Rm_stats

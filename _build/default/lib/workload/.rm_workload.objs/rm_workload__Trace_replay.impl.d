@@ -1,0 +1,1 @@
+lib/workload/trace_replay.ml: Array Buffer Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/workload/world.ml: Array Float Flow_gen List Node_model Rm_cluster Rm_engine Rm_netsim Rm_stats Scenario Trace_replay

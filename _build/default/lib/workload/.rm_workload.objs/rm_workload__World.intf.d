@@ -1,0 +1,1 @@
+lib/workload/world.mli: Flow_gen Rm_cluster Rm_engine Rm_netsim Scenario Trace_replay

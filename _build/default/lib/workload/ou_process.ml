@@ -1,0 +1,39 @@
+module Rng = Rm_stats.Rng
+
+type t = {
+  rng : Rng.t;
+  mu : float;
+  tau : float;
+  sigma : float;
+  lo : float;
+  hi : float;
+  mutable value : float;
+}
+
+let create ~rng ~mu ~tau ~sigma ?(lo = neg_infinity) ?(hi = infinity) ?init () =
+  if tau <= 0.0 then invalid_arg "Ou_process.create: tau must be positive";
+  if sigma < 0.0 then invalid_arg "Ou_process.create: negative sigma";
+  if lo > hi then invalid_arg "Ou_process.create: lo > hi";
+  let init =
+    match init with
+    | Some v -> v
+    | None -> Rng.gaussian rng ~mu ~sigma:(sigma /. 2.0)
+  in
+  let value = Float.min hi (Float.max lo init) in
+  { rng; mu; tau; sigma; lo; hi; value }
+
+let value t = t.value
+
+(* Exact OU discretization: x' = mu + (x - mu) e^{-dt/tau} + sigma
+   sqrt(1 - e^{-2 dt/tau}) N(0,1). *)
+let step t ~dt ?mu () =
+  if dt < 0.0 then invalid_arg "Ou_process.step: negative dt";
+  let mu = Option.value mu ~default:t.mu in
+  if dt > 0.0 then begin
+    let decay = exp (-.dt /. t.tau) in
+    let noise_scale = t.sigma *. sqrt (1.0 -. (decay *. decay)) in
+    let noise = Rng.gaussian t.rng ~mu:0.0 ~sigma:1.0 in
+    let v = mu +. ((t.value -. mu) *. decay) +. (noise_scale *. noise) in
+    t.value <- Float.min t.hi (Float.max t.lo v)
+  end;
+  t.value

@@ -1,0 +1,30 @@
+(** Mean-reverting Ornstein–Uhlenbeck process with a time-varying mean.
+
+    The workhorse behind every slowly-varying node attribute (baseline
+    CPU load, CPU utilization, memory usage): values wander around a
+    mean, revert with time constant [tau], and can be stepped with
+    irregular time increments (exact discretization, so step size does
+    not change the distribution). *)
+
+type t
+
+val create :
+  rng:Rm_stats.Rng.t ->
+  mu:float ->
+  tau:float ->
+  sigma:float ->
+  ?lo:float ->
+  ?hi:float ->
+  ?init:float ->
+  unit ->
+  t
+(** [mu] stationary mean, [tau] reversion time constant in seconds,
+    [sigma] stationary standard deviation, [lo]/[hi] clamps (defaults
+    -inf/+inf), [init] starting value (defaults to a draw around [mu]).
+    Requires [tau > 0] and [sigma >= 0]. *)
+
+val value : t -> float
+
+val step : t -> dt:float -> ?mu:float -> unit -> float
+(** Advance by [dt] seconds (>= 0), optionally overriding the mean for
+    this step (diurnal modulation); returns the new value. *)

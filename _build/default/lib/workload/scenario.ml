@@ -1,0 +1,125 @@
+module Rng = Rm_stats.Rng
+
+type t = {
+  name : string;
+  flow_params : Flow_gen.params;
+  sample_profile : Rng.t -> Rm_cluster.Node.t -> Node_model.profile;
+}
+
+(* Per-node heterogeneity: each node draws its own baseline and spike
+   behaviour, so some nodes look like the paper's quiet "node B" and
+   others like the spiky "node A". *)
+let sample_profile ~load_mu_lo ~load_mu_hi ~spike_rate_lo ~spike_rate_hi
+    ~spike_mag_hi ~util_base_lo ~util_base_hi rng (_node : Rm_cluster.Node.t) :
+    Node_model.profile =
+  {
+    load_mu = Rng.uniform rng ~lo:load_mu_lo ~hi:load_mu_hi;
+    load_tau = Rng.uniform rng ~lo:600.0 ~hi:2400.0;
+    load_sigma = Rng.uniform rng ~lo:0.08 ~hi:0.3;
+    spike_rate_per_s = Rng.uniform rng ~lo:spike_rate_lo ~hi:spike_rate_hi;
+    spike_magnitude_lo = 0.5;
+    spike_magnitude_hi = spike_mag_hi;
+    spike_mean_duration_s = Rng.uniform rng ~lo:300.0 ~hi:1800.0;
+    diurnal_amplitude = Rng.uniform rng ~lo:0.2 ~hi:0.6;
+    diurnal_phase_s = Rng.uniform rng ~lo:0.0 ~hi:86_400.0;
+    util_base_pct = Rng.uniform rng ~lo:util_base_lo ~hi:util_base_hi;
+    util_sigma_pct = Rng.uniform rng ~lo:2.0 ~hi:6.0;
+    mem_used_frac_mu = Rng.uniform rng ~lo:0.18 ~hi:0.32;
+    users_mu = Rng.uniform rng ~lo:0.3 ~hi:3.0;
+  }
+
+let quiet =
+  {
+    name = "quiet";
+    flow_params =
+      { Flow_gen.default with arrival_rate_per_s = 0.015; p_elephant = 0.05 };
+    sample_profile =
+      sample_profile ~load_mu_lo:0.02 ~load_mu_hi:0.25 ~spike_rate_lo:2e-5
+        ~spike_rate_hi:1e-4 ~spike_mag_hi:2.0 ~util_base_lo:3.0
+        ~util_base_hi:12.0;
+  }
+
+let normal =
+  {
+    name = "normal";
+    flow_params = Flow_gen.default;
+    sample_profile =
+      sample_profile ~load_mu_lo:0.05 ~load_mu_hi:4.0 ~spike_rate_lo:8e-5
+        ~spike_rate_hi:5e-4 ~spike_mag_hi:8.0 ~util_base_lo:6.0
+        ~util_base_hi:16.0;
+  }
+
+let busy =
+  {
+    name = "busy";
+    flow_params =
+      {
+        Flow_gen.default with
+        arrival_rate_per_s = 0.35;
+        p_elephant = 0.3;
+        demand_pareto_scale_mb_s = 8.0;
+      };
+    sample_profile =
+      sample_profile ~load_mu_lo:1.5 ~load_mu_hi:6.0 ~spike_rate_lo:4e-4
+        ~spike_rate_hi:1.5e-3 ~spike_mag_hi:8.0 ~util_base_lo:35.0
+        ~util_base_hi:65.0;
+  }
+
+let hotspot ~switch =
+  {
+    normal with
+    name = Printf.sprintf "hotspot%d" switch;
+    flow_params =
+      {
+        Flow_gen.default with
+        arrival_rate_per_s = 0.16;
+        hotspot = Some (switch, 0.6);
+      };
+  }
+
+(* Weekend: hardly anyone logged in, light traffic, no diurnal crunch. *)
+let weekend =
+  {
+    name = "weekend";
+    flow_params =
+      { Flow_gen.default with arrival_rate_per_s = 0.02; p_elephant = 0.25 };
+    sample_profile =
+      sample_profile ~load_mu_lo:0.01 ~load_mu_hi:0.4 ~spike_rate_lo:1e-5
+        ~spike_rate_hi:8e-5 ~spike_mag_hi:3.0 ~util_base_lo:2.0
+        ~util_base_hi:10.0;
+  }
+
+(* Nightly: interactive use gone, but batch transfers (backups, dataset
+   syncs) saturate the network while CPU load stays moderate. *)
+let nightly =
+  {
+    name = "nightly";
+    flow_params =
+      {
+        Flow_gen.default with
+        arrival_rate_per_s = 0.1;
+        p_elephant = 0.5;
+        p_external = 0.55;
+        demand_pareto_scale_mb_s = 12.0;
+      };
+    sample_profile =
+      sample_profile ~load_mu_lo:0.2 ~load_mu_hi:2.0 ~spike_rate_lo:2e-5
+        ~spike_rate_hi:1e-4 ~spike_mag_hi:4.0 ~util_base_lo:4.0
+        ~util_base_hi:14.0;
+  }
+
+let all_names =
+  [ "quiet"; "normal"; "busy"; "weekend"; "nightly"; "hotspot0"; "hotspot1";
+    "hotspot2"; "hotspot3" ]
+
+let by_name = function
+  | "quiet" -> Some quiet
+  | "normal" -> Some normal
+  | "busy" -> Some busy
+  | "weekend" -> Some weekend
+  | "nightly" -> Some nightly
+  | "hotspot0" -> Some (hotspot ~switch:0)
+  | "hotspot1" -> Some (hotspot ~switch:1)
+  | "hotspot2" -> Some (hotspot ~switch:2)
+  | "hotspot3" -> Some (hotspot ~switch:3)
+  | _ -> None

@@ -1,0 +1,41 @@
+(** Cluster-wide workload scenarios.
+
+    A scenario bundles the background-traffic parameters with a sampler
+    that draws a heterogeneous per-node profile, reproducing the spread
+    visible in Fig. 1 (node B "typically has quite low CPU load" while
+    others spike; utilization 20–35%; bursty NIC traffic). *)
+
+type t = {
+  name : string;
+  flow_params : Flow_gen.params;
+  sample_profile : Rm_stats.Rng.t -> Rm_cluster.Node.t -> Node_model.profile;
+}
+
+val quiet : t
+(** Nearly idle cluster: low load everywhere, little traffic. *)
+
+val normal : t
+(** The paper's typical shared-cluster day: avg utilization 20–35 %,
+    occasional load spikes, moderate background traffic. *)
+
+val busy : t
+(** Deadline week: most nodes loaded, heavy traffic; the regime where
+    the broker should recommend waiting (§6). *)
+
+val weekend : t
+(** Nearly empty building: minimal load and traffic. *)
+
+val nightly : t
+(** Batch window: little interactive load, heavy elephant transfers —
+    the regime where network awareness matters most relative to load
+    awareness. *)
+
+val hotspot : switch:int -> t
+(** [normal], plus concentrated traffic on one switch — produces the
+    dark bandwidth patches of Fig. 2a. *)
+
+val by_name : string -> t option
+(** Lookup among ["quiet"; "normal"; "busy"; "weekend"; "nightly";
+    "hotspot0".."hotspot3"]. *)
+
+val all_names : string list

@@ -1,0 +1,53 @@
+module Rng = Rm_stats.Rng
+
+type session = { magnitude : float; expires : float }
+
+type t = {
+  rng : Rng.t;
+  rate_per_s : float;
+  magnitude : Rng.t -> float;
+  mean_duration_s : float;
+  mutable next_arrival : float;
+  mutable sessions : session list;
+  mutable last_now : float;
+}
+
+let draw_gap t =
+  if t.rate_per_s <= 0.0 then infinity
+  else Rng.exponential t.rng ~rate:t.rate_per_s
+
+let create ~rng ~rate_per_s ~magnitude ~mean_duration_s () =
+  if rate_per_s < 0.0 then invalid_arg "Spike_train.create: negative rate";
+  if mean_duration_s <= 0.0 then
+    invalid_arg "Spike_train.create: non-positive duration";
+  let t =
+    {
+      rng;
+      rate_per_s;
+      magnitude;
+      mean_duration_s;
+      next_arrival = 0.0;
+      sessions = [];
+      last_now = 0.0;
+    }
+  in
+  t.next_arrival <- draw_gap t;
+  t
+
+let advance t ~now =
+  if now < t.last_now then invalid_arg "Spike_train.advance: time went backwards";
+  t.last_now <- now;
+  while t.next_arrival <= now do
+    let start = t.next_arrival in
+    let duration = Rng.exponential t.rng ~rate:(1.0 /. t.mean_duration_s) in
+    let magnitude = t.magnitude t.rng in
+    (* Only keep it if it is still alive by [now]; either way the arrival
+       consumed randomness, keeping streams stable across tick rates. *)
+    if start +. duration > now then
+      t.sessions <- { magnitude; expires = start +. duration } :: t.sessions;
+    t.next_arrival <- start +. draw_gap t
+  done;
+  t.sessions <- List.filter (fun s -> s.expires > now) t.sessions;
+  List.fold_left (fun acc (s : session) -> acc +. s.magnitude) 0.0 t.sessions
+
+let active t = List.length t.sessions

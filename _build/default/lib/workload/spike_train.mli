@@ -1,0 +1,26 @@
+(** Poisson bursts layered on top of a baseline process.
+
+    Models the occasional CPU-load spikes of Fig. 1a (lab sessions,
+    assignment deadlines): sessions arrive as a Poisson process, each
+    adding a constant magnitude for an exponential duration; the train's
+    value is the sum of active sessions. *)
+
+type t
+
+val create :
+  rng:Rm_stats.Rng.t ->
+  rate_per_s:float ->
+  magnitude:(Rm_stats.Rng.t -> float) ->
+  mean_duration_s:float ->
+  unit ->
+  t
+(** [rate_per_s >= 0]; [rate_per_s = 0] gives a permanently-zero train.
+    [mean_duration_s > 0]. *)
+
+val advance : t -> now:float -> float
+(** Move the train to absolute time [now] (non-decreasing across calls),
+    processing arrivals and expiries, and return the current sum of
+    active spike magnitudes. *)
+
+val active : t -> int
+(** Number of live sessions after the last [advance]. *)

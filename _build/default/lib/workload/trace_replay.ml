@@ -1,0 +1,114 @@
+type series = { times : float array; values : float array }
+
+let series ~times ~values =
+  let n = Array.length times in
+  if n = 0 then invalid_arg "Trace_replay.series: empty";
+  if Array.length values <> n then
+    invalid_arg "Trace_replay.series: length mismatch";
+  for i = 1 to n - 1 do
+    if times.(i) <= times.(i - 1) then
+      invalid_arg "Trace_replay.series: times must be strictly increasing"
+  done;
+  { times = Array.copy times; values = Array.copy values }
+
+(* Largest index with times.(i) <= t, or 0 when t precedes the trace. *)
+let value_at s t =
+  let n = Array.length s.times in
+  if t <= s.times.(0) then s.values.(0)
+  else if t >= s.times.(n - 1) then s.values.(n - 1)
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if s.times.(mid) <= t then lo := mid else hi := mid
+    done;
+    s.values.(!lo)
+  end
+
+let duration s = s.times.(Array.length s.times - 1)
+
+type node_trace = {
+  load : series;
+  util_pct : series;
+  mem_used_gb : series;
+  users : series;
+}
+
+let make_node ~times ~load ~util_pct ~mem_used_gb ~users =
+  {
+    load = series ~times ~values:load;
+    util_pct = series ~times ~values:util_pct;
+    mem_used_gb = series ~times ~values:mem_used_gb;
+    users = series ~times ~values:users;
+  }
+
+let to_csv traces =
+  if traces = [] then invalid_arg "Trace_replay.to_csv: no traces";
+  let times = (List.hd traces).load.times in
+  List.iter
+    (fun tr ->
+      if tr.load.times <> times then
+        invalid_arg "Trace_replay.to_csv: traces must share a time axis")
+    traces;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "time_s,node,load,util_pct,mem_used_gb,users\n";
+  Array.iter
+    (fun t ->
+      List.iteri
+        (fun node tr ->
+          Buffer.add_string buf
+            (Printf.sprintf "%.3f,%d,%.4f,%.4f,%.4f,%.1f\n" t node
+               (value_at tr.load t) (value_at tr.util_pct t)
+               (value_at tr.mem_used_gb t) (value_at tr.users t)))
+        traces)
+    times;
+  Buffer.contents buf
+
+let of_csv text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> failwith "Trace_replay.of_csv: empty input"
+  | header :: rows ->
+    if String.trim header <> "time_s,node,load,util_pct,mem_used_gb,users" then
+      failwith "Trace_replay.of_csv: unexpected header";
+    (* node -> (time, load, util, mem, users) in input order *)
+    let per_node = Hashtbl.create 16 in
+    List.iteri
+      (fun lineno row ->
+        match String.split_on_char ',' row with
+        | [ t; node; load; util; mem; users ] ->
+          (try
+             let node = int_of_string (String.trim node) in
+             let tup =
+               ( float_of_string t, float_of_string load,
+                 float_of_string util, float_of_string mem,
+                 float_of_string users )
+             in
+             Hashtbl.replace per_node node
+               (tup :: Option.value (Hashtbl.find_opt per_node node) ~default:[])
+           with Failure _ ->
+             failwith
+               (Printf.sprintf "Trace_replay.of_csv: bad number on line %d"
+                  (lineno + 2)))
+        | _ ->
+          failwith
+            (Printf.sprintf "Trace_replay.of_csv: bad row on line %d" (lineno + 2)))
+      rows;
+    let node_count = Hashtbl.length per_node in
+    List.init node_count (fun node ->
+        match Hashtbl.find_opt per_node node with
+        | None ->
+          failwith
+            (Printf.sprintf "Trace_replay.of_csv: missing node %d" node)
+        | Some rows ->
+          let rows = Array.of_list (List.rev rows) in
+          let col f = Array.map f rows in
+          make_node
+            ~times:(col (fun (t, _, _, _, _) -> t))
+            ~load:(col (fun (_, l, _, _, _) -> l))
+            ~util_pct:(col (fun (_, _, u, _, _) -> u))
+            ~mem_used_gb:(col (fun (_, _, _, m, _) -> m))
+            ~users:(col (fun (_, _, _, _, us) -> us)))

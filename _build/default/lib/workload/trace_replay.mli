@@ -1,0 +1,44 @@
+(** Recorded node-attribute traces and their replay.
+
+    The paper's Fig. 1 characterizes two days of *measured* cluster
+    behaviour; this module lets the simulator run against such recorded
+    data instead of the stochastic models: capture a trace (from a live
+    {!World} via [World.record_traces], or from a real cluster exported
+    as CSV) and build a replay world from it. Series are step functions
+    — a query returns the most recent sample at or before the query
+    time (the first sample before that). *)
+
+type series
+
+val series : times:float array -> values:float array -> series
+(** Requires equal non-zero lengths and strictly increasing times. *)
+
+val value_at : series -> float -> float
+val duration : series -> float
+(** Time of the last sample. *)
+
+type node_trace = {
+  load : series;
+  util_pct : series;
+  mem_used_gb : series;
+  users : series;
+}
+
+val make_node :
+  times:float array ->
+  load:float array ->
+  util_pct:float array ->
+  mem_used_gb:float array ->
+  users:float array ->
+  node_trace
+(** All attributes share one time axis. *)
+
+(** {2 CSV round-trip}
+
+    Long form with header [time_s,node,load,util_pct,mem_used_gb,users];
+    rows must be grouped by time (all nodes for t₀, then t₁, …) as
+    {!to_csv} produces. *)
+
+val to_csv : node_trace list -> string
+val of_csv : string -> node_trace list
+(** Raises [Failure] with a line number on malformed input. *)

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Hashtbl List Option Rm_apps Rm_mpisim

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Array List Printf QCheck QCheck_alcotest Rm_cluster

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float List Option Printf QCheck QCheck_alcotest Rm_cluster Rm_core Rm_monitor Rm_stats

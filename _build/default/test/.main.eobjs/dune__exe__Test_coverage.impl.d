@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Array Buffer Format List Rm_apps Rm_cluster Rm_core Rm_experiments Rm_mpisim Rm_stats Rm_workload String

@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Array Float List Rm_apps Rm_cluster Rm_core Rm_engine Rm_monitor Rm_mpisim Rm_netsim Rm_stats Rm_workload

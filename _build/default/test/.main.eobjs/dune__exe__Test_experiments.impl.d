@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Float List Rm_apps Rm_cluster Rm_core Rm_experiments Rm_monitor Rm_mpisim Rm_sched Rm_stats Rm_workload String

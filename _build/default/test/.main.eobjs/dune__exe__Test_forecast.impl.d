@@ -1,0 +1,1 @@
+test/test_forecast.ml: Alcotest Array Float List Rm_cluster Rm_forecast Rm_monitor Rm_stats Rm_workload

@@ -1,0 +1,1 @@
+test/test_madm.ml: Alcotest Array List Rm_cluster Rm_core Rm_monitor Rm_stats Rm_workload

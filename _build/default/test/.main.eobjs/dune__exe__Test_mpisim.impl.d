@@ -1,0 +1,1 @@
+test/test_mpisim.ml: Alcotest Float Gen List QCheck QCheck_alcotest Rm_cluster Rm_core Rm_mpisim Rm_workload

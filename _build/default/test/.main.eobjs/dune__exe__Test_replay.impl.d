@@ -1,0 +1,1 @@
+test/test_replay.ml: Alcotest List Printf Rm_cluster Rm_core Rm_monitor Rm_stats Rm_workload

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Float List QCheck QCheck_alcotest Rm_apps Rm_cluster Rm_core Rm_engine Rm_monitor Rm_mpisim Rm_netsim Rm_sched Rm_stats Rm_workload String

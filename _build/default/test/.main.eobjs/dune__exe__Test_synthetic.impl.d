@@ -1,0 +1,1 @@
+test/test_synthetic.ml: Alcotest Float Hashtbl List Option Rm_apps Rm_cluster Rm_core Rm_experiments Rm_mpisim Rm_workload String

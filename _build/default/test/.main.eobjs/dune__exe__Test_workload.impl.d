@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Float List Rm_cluster Rm_engine Rm_netsim Rm_stats Rm_workload

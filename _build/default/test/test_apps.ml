@@ -1,0 +1,150 @@
+(* Tests for rm_apps: miniMD and miniFE proxy models. *)
+
+module App = Rm_mpisim.App
+module Minimd = Rm_apps.Minimd
+module Minife = Rm_apps.Minife
+
+let phase_bytes (phase : App.phase) =
+  List.fold_left (fun acc (_, _, b) -> acc +. b) 0.0 phase.App.messages
+
+(* --- miniMD -------------------------------------------------------------- *)
+
+let test_minimd_atom_count () =
+  (* §5.1: s = 8..48 gives 2K–442K atoms. *)
+  Alcotest.(check int) "s=8" 2048 (Minimd.atoms (Minimd.default_config ~s:8));
+  Alcotest.(check int) "s=48" 442368 (Minimd.atoms (Minimd.default_config ~s:48))
+
+let test_minimd_app_shape () =
+  let app = Minimd.app ~config:(Minimd.default_config ~s:16) ~ranks:8 in
+  Alcotest.(check int) "ranks" 8 app.App.ranks;
+  Alcotest.(check int) "100 steps" 100 app.App.iterations;
+  App.validate_phase app (app.App.phase ~iter:0);
+  App.validate_phase app (app.App.phase ~iter:1)
+
+let test_minimd_rebuild_steps_heavier () =
+  let app = Minimd.app ~config:(Minimd.default_config ~s:16) ~ranks:8 in
+  let rebuild = app.App.phase ~iter:0 in
+  let steady = app.App.phase ~iter:1 in
+  Alcotest.(check bool) "rebuild ships more bytes" true
+    (phase_bytes rebuild > phase_bytes steady);
+  Alcotest.(check bool) "rebuild costs more flops" true
+    (rebuild.App.flops_per_rank 0 > steady.App.flops_per_rank 0)
+
+let test_minimd_thermo_allreduce_cadence () =
+  let app = Minimd.app ~config:(Minimd.default_config ~s:16) ~ranks:8 in
+  let p0 = app.App.phase ~iter:0 in
+  let p5 = app.App.phase ~iter:5 in
+  let p10 = app.App.phase ~iter:10 in
+  Alcotest.(check bool) "thermo at 0" true (p0.App.allreduce_bytes > 0.0);
+  Alcotest.(check (float 1e-9)) "none at 5" 0.0 p5.App.allreduce_bytes;
+  Alcotest.(check bool) "thermo at 10" true (p10.App.allreduce_bytes > 0.0)
+
+let test_minimd_bigger_problem_more_work () =
+  let app_of s = Minimd.app ~config:(Minimd.default_config ~s) ~ranks:8 in
+  let f s = ((app_of s).App.phase ~iter:1).App.flops_per_rank 0 in
+  Alcotest.(check bool) "flops grow with s" true (f 32 > f 16);
+  let b s = phase_bytes ((app_of s).App.phase ~iter:1) in
+  Alcotest.(check bool) "halo grows with s" true (b 32 > b 16);
+  (* Surface-to-volume: bytes grow slower than flops. *)
+  Alcotest.(check bool) "surface scaling" true (b 32 /. b 16 < f 32 /. f 16)
+
+let test_minimd_strong_scaling_splits_work () =
+  let f ranks =
+    let app = Minimd.app ~config:(Minimd.default_config ~s:32) ~ranks in
+    (app.App.phase ~iter:1).App.flops_per_rank 0
+  in
+  Alcotest.(check (float 1.0)) "4x ranks = 1/4 flops" (f 8 /. 4.0) (f 32)
+
+let test_minimd_messages_match_grid () =
+  let app = Minimd.app ~config:(Minimd.default_config ~s:16) ~ranks:8 in
+  let phase = app.App.phase ~iter:1 in
+  (* 2x2x2 grid: every rank has exactly 3 distinct neighbours (each
+     direction wraps onto the same neighbour). *)
+  let per_rank = Hashtbl.create 8 in
+  List.iter
+    (fun (src, _, _) ->
+      Hashtbl.replace per_rank src (1 + Option.value (Hashtbl.find_opt per_rank src) ~default:0))
+    phase.App.messages;
+  Hashtbl.iter (fun _ n -> Alcotest.(check int) "3 neighbours" 3 n) per_rank;
+  Alcotest.(check int) "all ranks send" 8 (Hashtbl.length per_rank)
+
+let test_minimd_validation () =
+  Alcotest.(check bool) "bad s" true
+    (try ignore (Minimd.app ~config:(Minimd.default_config ~s:0) ~ranks:4); false
+     with Invalid_argument _ -> true)
+
+(* --- miniFE -------------------------------------------------------------- *)
+
+let test_minife_rows () =
+  Alcotest.(check int) "nx=48" (49 * 49 * 49) (Minife.rows (Minife.default_config ~nx:48))
+
+let test_minife_app_shape () =
+  let app = Minife.app ~config:(Minife.default_config ~nx:96) ~ranks:8 in
+  Alcotest.(check int) "ranks" 8 app.App.ranks;
+  Alcotest.(check int) "201 steps (assembly + 200 CG)" 201 app.App.iterations;
+  App.validate_phase app (app.App.phase ~iter:0);
+  App.validate_phase app (app.App.phase ~iter:1)
+
+let test_minife_assembly_no_comm () =
+  let app = Minife.app ~config:(Minife.default_config ~nx:96) ~ranks:8 in
+  let assembly = app.App.phase ~iter:0 in
+  let cg = app.App.phase ~iter:1 in
+  Alcotest.(check int) "assembly: no messages" 0 (List.length assembly.App.messages);
+  Alcotest.(check (float 1e-9)) "assembly: no allreduce" 0.0 assembly.App.allreduce_bytes;
+  Alcotest.(check bool) "assembly heavier than CG" true
+    (assembly.App.flops_per_rank 0 > cg.App.flops_per_rank 0);
+  Alcotest.(check bool) "CG has halo" true (List.length cg.App.messages > 0);
+  Alcotest.(check (float 1e-9)) "CG dot products" 16.0 cg.App.allreduce_bytes
+
+let test_minife_scaling () =
+  let f nx =
+    let app = Minife.app ~config:(Minife.default_config ~nx) ~ranks:8 in
+    (app.App.phase ~iter:1).App.flops_per_rank 0
+  in
+  Alcotest.(check bool) "work grows ~cubically" true (f 96 /. f 48 > 6.0)
+
+let test_minife_comm_lighter_than_minimd () =
+  (* The paper profiles miniFE at 25-60% comm vs miniMD 40-80%: per unit
+     of compute, miniFE ships fewer bytes. *)
+  (* At the paper's configurations miniFE problems carry far more
+     elements per rank than miniMD (117k-57M rows vs 2k-442k atoms), so
+     its surface-to-volume ratio is better despite a chattier kernel. *)
+  let md = Minimd.app ~config:(Minimd.default_config ~s:16) ~ranks:8 in
+  let fe = Minife.app ~config:(Minife.default_config ~nx:144) ~ranks:8 in
+  let ratio app iter =
+    let p = app.App.phase ~iter in
+    phase_bytes p /. p.App.flops_per_rank 0
+  in
+  Alcotest.(check bool) "bytes per flop lower for miniFE" true
+    (ratio fe 1 < ratio md 1)
+
+let test_minife_names () =
+  Alcotest.(check string) "name" "miniFE(nx=96,p=8)"
+    (Minife.name (Minife.default_config ~nx:96) ~ranks:8);
+  Alcotest.(check string) "md name" "miniMD(s=16,p=32)"
+    (Minimd.name (Minimd.default_config ~s:16) ~ranks:32)
+
+let suites =
+  [
+    ( "apps.minimd",
+      [
+        Alcotest.test_case "atom count" `Quick test_minimd_atom_count;
+        Alcotest.test_case "app shape" `Quick test_minimd_app_shape;
+        Alcotest.test_case "rebuild heavier" `Quick test_minimd_rebuild_steps_heavier;
+        Alcotest.test_case "thermo cadence" `Quick test_minimd_thermo_allreduce_cadence;
+        Alcotest.test_case "bigger problem" `Quick test_minimd_bigger_problem_more_work;
+        Alcotest.test_case "strong scaling" `Quick test_minimd_strong_scaling_splits_work;
+        Alcotest.test_case "messages match grid" `Quick test_minimd_messages_match_grid;
+        Alcotest.test_case "validation" `Quick test_minimd_validation;
+      ] );
+    ( "apps.minife",
+      [
+        Alcotest.test_case "rows" `Quick test_minife_rows;
+        Alcotest.test_case "app shape" `Quick test_minife_app_shape;
+        Alcotest.test_case "assembly no comm" `Quick test_minife_assembly_no_comm;
+        Alcotest.test_case "scaling" `Quick test_minife_scaling;
+        Alcotest.test_case "lighter comm than miniMD" `Quick
+          test_minife_comm_lighter_than_minimd;
+        Alcotest.test_case "names" `Quick test_minife_names;
+      ] );
+  ]

@@ -1,0 +1,241 @@
+(* Tests for rm_cluster: nodes, topology paths, cluster builders. *)
+
+module Node = Rm_cluster.Node
+module Topology = Rm_cluster.Topology
+module Cluster = Rm_cluster.Cluster
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let small_topo () =
+  (* 2 switches: nodes 0,1 on switch 0; nodes 2,3,4 on switch 1. *)
+  Topology.create ~node_switch:[| 0; 0; 1; 1; 1 |] ~switches:2 ()
+
+(* --- Node ----------------------------------------------------------------- *)
+
+let test_node_make_valid () =
+  let n = Node.make ~id:3 ~hostname:"x" ~cores:8 ~freq_ghz:2.5 ~mem_gb:16.0 ~switch:1 in
+  Alcotest.(check int) "id" 3 n.Node.id;
+  Alcotest.(check bool) "flops positive" true (Node.flops_per_sec n > 0.0)
+
+let test_node_make_invalid () =
+  Alcotest.check_raises "zero cores"
+    (Invalid_argument "Node.make: non-positive core count") (fun () ->
+      ignore (Node.make ~id:0 ~hostname:"x" ~cores:0 ~freq_ghz:1.0 ~mem_gb:1.0 ~switch:0))
+
+(* --- Topology --------------------------------------------------------------- *)
+
+let test_topology_counts () =
+  let t = small_topo () in
+  Alcotest.(check int) "nodes" 5 (Topology.node_count t);
+  Alcotest.(check int) "switches" 2 (Topology.switch_count t);
+  (* 5 access links + 2 uplinks. *)
+  Alcotest.(check int) "links" 7 (Topology.link_count t)
+
+let test_topology_switch_membership () =
+  let t = small_topo () in
+  Alcotest.(check (list int)) "switch 0" [ 0; 1 ] (Topology.nodes_of_switch t 0);
+  Alcotest.(check (list int)) "switch 1" [ 2; 3; 4 ] (Topology.nodes_of_switch t 1);
+  Alcotest.(check int) "node 3 on switch 1" 1 (Topology.switch_of_node t 3)
+
+let test_topology_same_switch_path () =
+  let t = small_topo () in
+  let path = Topology.path t 0 1 in
+  Alcotest.(check int) "2 links" 2 (List.length path);
+  Alcotest.(check int) "2 hops" 2 (Topology.hops t 0 1)
+
+let test_topology_cross_switch_path () =
+  let t = small_topo () in
+  let path = Topology.path t 0 4 in
+  Alcotest.(check int) "4 links" 4 (List.length path);
+  (* access(0), uplink(0), uplink(1), access(4) in order. *)
+  let ids = List.map (fun (l : Topology.link) -> l.Topology.link_id) path in
+  Alcotest.(check (list int)) "link ids" [ 0; 5; 6; 4 ] ids
+
+let test_topology_self_path () =
+  let t = small_topo () in
+  Alcotest.(check int) "empty" 0 (List.length (Topology.path t 2 2));
+  check_float "zero latency" 0.0 (Topology.base_latency_us t 2 2)
+
+let test_topology_latency_monotone () =
+  let t = small_topo () in
+  let same = Topology.base_latency_us t 0 1 in
+  let cross = Topology.base_latency_us t 0 2 in
+  Alcotest.(check bool) "cross > same" true (cross > same);
+  Alcotest.(check bool) "positive" true (same > 0.0)
+
+let test_topology_path_symmetric_length () =
+  let t = small_topo () in
+  Alcotest.(check int) "symmetric hops" (Topology.hops t 1 4) (Topology.hops t 4 1)
+
+let test_topology_validation () =
+  Alcotest.check_raises "bad switch index"
+    (Invalid_argument "Topology.create: switch index out of range") (fun () ->
+      ignore (Topology.create ~node_switch:[| 0; 5 |] ~switches:2 ()))
+
+let test_topology_custom_capacity () =
+  let t =
+    Topology.create ~access_mb_s:50.0 ~uplink_mb_s:200.0
+      ~node_switch:[| 0; 0 |] ~switches:1 ()
+  in
+  check_float "access" 50.0 (Topology.access_link t ~node:0).Topology.capacity_mb_s;
+  check_float "uplink" 200.0 (Topology.uplink t ~switch:0).Topology.capacity_mb_s
+
+(* --- Cluster ------------------------------------------------------------------ *)
+
+let test_cluster_homogeneous () =
+  let c = Cluster.homogeneous ~cores:4 ~nodes_per_switch:[ 2; 3 ] () in
+  Alcotest.(check int) "5 nodes" 5 (Cluster.node_count c);
+  Alcotest.(check int) "20 cores" 20 (Cluster.total_cores c);
+  Alcotest.(check int) "switch of node 4" 1 (Cluster.node c 4).Node.switch
+
+let test_cluster_iitk_shape () =
+  let c = Cluster.iitk_reference () in
+  Alcotest.(check int) "60 nodes" 60 (Cluster.node_count c);
+  Alcotest.(check int) "4 switches" 4
+    (Topology.switch_count (Cluster.topology c));
+  let nodes = Cluster.nodes c in
+  let big = Array.to_list nodes |> List.filter (fun n -> n.Node.cores = 12) in
+  let small = Array.to_list nodes |> List.filter (fun n -> n.Node.cores = 8) in
+  Alcotest.(check int) "40 big nodes" 40 (List.length big);
+  Alcotest.(check int) "20 small nodes" 20 (List.length small);
+  List.iter (fun n -> check_float "big freq" 4.6 n.Node.freq_ghz) big;
+  List.iter (fun n -> check_float "small freq" 2.8 n.Node.freq_ghz) small;
+  (* §5: total = 40*12 + 20*8 = 640 cores. *)
+  Alcotest.(check int) "640 cores" 640 (Cluster.total_cores c)
+
+let test_cluster_iitk_hostnames () =
+  let c = Cluster.iitk_reference () in
+  Alcotest.(check string) "first" "csews1" (Cluster.node c 0).Node.hostname;
+  Alcotest.(check string) "last" "csews60" (Cluster.node c 59).Node.hostname;
+  (match Cluster.find_by_hostname c "csews17" with
+  | Some n -> Alcotest.(check int) "lookup" 16 n.Node.id
+  | None -> Alcotest.fail "csews17 missing");
+  Alcotest.(check bool) "unknown host" true
+    (Cluster.find_by_hostname c "nope" = None)
+
+let test_cluster_every_switch_mixed () =
+  (* Each switch should host both 12-core and 8-core machines. *)
+  let c = Cluster.iitk_reference () in
+  let topo = Cluster.topology c in
+  for s = 0 to 3 do
+    let members = Topology.nodes_of_switch topo s in
+    let cores = List.map (fun i -> (Cluster.node c i).Node.cores) members in
+    Alcotest.(check bool)
+      (Printf.sprintf "switch %d has 12-core" s)
+      true (List.mem 12 cores);
+    Alcotest.(check bool)
+      (Printf.sprintf "switch %d has 8-core" s)
+      true (List.mem 8 cores)
+  done
+
+(* --- Sites / federation (§6 extension) ----------------------------------- *)
+
+let fed () =
+  Cluster.federated ~cores:8 ~sites:[ ("a", [ 2; 2 ]); ("b", [ 3 ]) ] ()
+
+let test_federated_shape () =
+  let c = fed () in
+  Alcotest.(check int) "7 nodes" 7 (Cluster.node_count c);
+  let t = Cluster.topology c in
+  Alcotest.(check int) "3 switches" 3 (Topology.switch_count t);
+  Alcotest.(check int) "2 sites" 2 (Topology.site_count t);
+  Alcotest.(check int) "switch 2 on site 1" 1 (Topology.site_of_switch t 2);
+  Alcotest.(check string) "site-a host" "a1" (Cluster.node c 0).Node.hostname;
+  Alcotest.(check string) "site-b host" "b1" (Cluster.node c 4).Node.hostname
+
+let test_federated_paths () =
+  let t = Cluster.topology (fed ()) in
+  (* same switch: 2; same site, cross switch: 4; cross site: 6. *)
+  Alcotest.(check int) "same switch" 2 (Topology.hops t 0 1);
+  Alcotest.(check int) "same site" 4 (Topology.hops t 0 2);
+  Alcotest.(check int) "cross site" 6 (Topology.hops t 0 5);
+  Alcotest.(check bool) "same site check" true (Topology.same_site t 0 2);
+  Alcotest.(check bool) "cross site check" false (Topology.same_site t 0 5)
+
+let test_federated_wan_latency () =
+  let t = Cluster.topology (fed ()) in
+  let intra = Topology.base_latency_us t 0 2 in
+  let inter = Topology.base_latency_us t 0 5 in
+  Alcotest.(check bool) "WAN dominates" true (inter > intra +. 1000.0)
+
+let test_federated_wan_link () =
+  let t = Cluster.topology (fed ()) in
+  let w = Topology.wan_link t ~site:0 in
+  check_float "wan capacity" 60.0 w.Topology.capacity_mb_s;
+  let path = Topology.path t 1 6 in
+  Alcotest.(check bool) "path crosses wan" true
+    (List.exists (fun (l : Topology.link) -> l.Topology.link_id = w.Topology.link_id) path)
+
+let test_single_site_has_no_wan () =
+  let t = small_topo () in
+  Alcotest.(check int) "one site" 1 (Topology.site_count t);
+  Alcotest.check_raises "no wan"
+    (Invalid_argument "Topology.wan_link: single-site topology") (fun () ->
+      ignore (Topology.wan_link t ~site:0))
+
+let test_site_validation () =
+  Alcotest.check_raises "non-contiguous sites"
+    (Invalid_argument "Topology.create: sites must be contiguous from 0")
+    (fun () ->
+      ignore
+        (Topology.create ~switch_site:[| 0; 2 |] ~node_switch:[| 0; 1 |]
+           ~switches:2 ()))
+
+let test_cluster_validation () =
+  let topo = Topology.create ~node_switch:[| 0 |] ~switches:1 () in
+  let bad =
+    [ Node.make ~id:0 ~hostname:"a" ~cores:1 ~freq_ghz:1.0 ~mem_gb:1.0 ~switch:0;
+      Node.make ~id:1 ~hostname:"b" ~cores:1 ~freq_ghz:1.0 ~mem_gb:1.0 ~switch:0 ]
+  in
+  Alcotest.check_raises "count mismatch"
+    (Invalid_argument "Cluster.make: topology/node count mismatch") (fun () ->
+      ignore (Cluster.make ~nodes:bad ~topology:topo))
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let prop_hops_zero_two_or_four =
+  QCheck.Test.make ~name:"hops are 0, 2 or 4" ~count:100
+    QCheck.(pair (int_bound 59) (int_bound 59))
+    (fun (u, v) ->
+      let c = Cluster.iitk_reference () in
+      let h = Topology.hops (Cluster.topology c) u v in
+      if u = v then h = 0 else h = 2 || h = 4)
+
+let suites =
+  [
+    ( "cluster.node",
+      [
+        Alcotest.test_case "make valid" `Quick test_node_make_valid;
+        Alcotest.test_case "make invalid" `Quick test_node_make_invalid;
+      ] );
+    ( "cluster.topology",
+      [
+        Alcotest.test_case "counts" `Quick test_topology_counts;
+        Alcotest.test_case "switch membership" `Quick test_topology_switch_membership;
+        Alcotest.test_case "same-switch path" `Quick test_topology_same_switch_path;
+        Alcotest.test_case "cross-switch path" `Quick test_topology_cross_switch_path;
+        Alcotest.test_case "self path" `Quick test_topology_self_path;
+        Alcotest.test_case "latency monotone" `Quick test_topology_latency_monotone;
+        Alcotest.test_case "path symmetric" `Quick test_topology_path_symmetric_length;
+        Alcotest.test_case "validation" `Quick test_topology_validation;
+        Alcotest.test_case "custom capacity" `Quick test_topology_custom_capacity;
+        qcheck prop_hops_zero_two_or_four;
+      ] );
+    ( "cluster.federation",
+      [
+        Alcotest.test_case "shape" `Quick test_federated_shape;
+        Alcotest.test_case "paths" `Quick test_federated_paths;
+        Alcotest.test_case "wan latency" `Quick test_federated_wan_latency;
+        Alcotest.test_case "wan link" `Quick test_federated_wan_link;
+        Alcotest.test_case "single site" `Quick test_single_site_has_no_wan;
+        Alcotest.test_case "site validation" `Quick test_site_validation;
+      ] );
+    ( "cluster.cluster",
+      [
+        Alcotest.test_case "homogeneous" `Quick test_cluster_homogeneous;
+        Alcotest.test_case "iitk shape" `Quick test_cluster_iitk_shape;
+        Alcotest.test_case "iitk hostnames" `Quick test_cluster_iitk_hostnames;
+        Alcotest.test_case "switches mixed" `Quick test_cluster_every_switch_mixed;
+        Alcotest.test_case "validation" `Quick test_cluster_validation;
+      ] );
+  ]

@@ -1,0 +1,814 @@
+(* Tests for rm_core: SAW pipeline, Eq. 1-4, Algorithms 1-2, the four
+   policies, brute-force comparison, broker. Fixtures hand-build
+   snapshots so every quantity is exact. *)
+
+module Rng = Rm_stats.Rng
+module Matrix = Rm_stats.Matrix
+module Running_means = Rm_stats.Running_means
+module Node = Rm_cluster.Node
+module Topology = Rm_cluster.Topology
+module Cluster = Rm_cluster.Cluster
+module Snapshot = Rm_monitor.Snapshot
+module Saw = Rm_core.Saw
+module Weights = Rm_core.Weights
+module Request = Rm_core.Request
+module Allocation = Rm_core.Allocation
+module Compute_load = Rm_core.Compute_load
+module Network_load = Rm_core.Network_load
+module Effective_procs = Rm_core.Effective_procs
+module Candidate = Rm_core.Candidate
+module Select = Rm_core.Select
+module Policies = Rm_core.Policies
+module Brute_force = Rm_core.Brute_force
+module Broker = Rm_core.Broker
+
+let check_float = Alcotest.(check (float 1e-9))
+let flat v : Running_means.view = { instant = v; m1 = v; m5 = v; m15 = v }
+
+(* A fixture: [specs] is a list of per-node (cores, load); all on one
+   switch unless [switches] given; uniform bandwidth/latency unless
+   overridden afterwards. *)
+let fixture ?(switches = [||]) ?(bw = 118.0) ?(lat = 70.0) specs : Snapshot.t =
+  let n = List.length specs in
+  let switch_of i = if Array.length switches = 0 then 0 else switches.(i) in
+  let nswitches =
+    if Array.length switches = 0 then 1
+    else 1 + Array.fold_left max 0 switches
+  in
+  let node_switch = Array.init n switch_of in
+  let topology = Topology.create ~node_switch ~switches:nswitches () in
+  let nodes =
+    List.mapi
+      (fun i (cores, _load) ->
+        Node.make ~id:i
+          ~hostname:(Printf.sprintf "n%d" i)
+          ~cores ~freq_ghz:3.0 ~mem_gb:16.0 ~switch:(switch_of i))
+      specs
+  in
+  let cluster = Cluster.make ~nodes ~topology in
+  let infos =
+    Array.of_list
+      (List.mapi
+         (fun i (_, load) ->
+           Some
+             {
+               Snapshot.static = Cluster.node cluster i;
+               users = 1;
+               load = flat load;
+               util_pct = flat 20.0;
+               nic_mb_s = flat 1.0;
+               mem_avail_gb = flat 12.0;
+               written_at = 0.0;
+             })
+         specs)
+  in
+  let mk init diagonal =
+    let m = Matrix.square n ~init in
+    for i = 0 to n - 1 do
+      Matrix.set m i i diagonal
+    done;
+    m
+  in
+  let bw_m = mk bw infinity in
+  let lat_m = mk lat 0.0 in
+  let peak = mk 118.0 infinity in
+  {
+    Snapshot.time = 0.0;
+    cluster;
+    live = List.init n (fun i -> i);
+    nodes = infos;
+    bw_mb_s = bw_m;
+    peak_bw_mb_s = peak;
+    lat_us = lat_m;
+  }
+
+let weights = Weights.paper_default
+
+(* --- Saw --------------------------------------------------------------- *)
+
+let test_saw_normalize_sums_to_one () =
+  let out = Saw.normalize [| 1.0; 2.0; 3.0 |] in
+  check_float "sum 1" 1.0 (Array.fold_left ( +. ) 0.0 out);
+  check_float "proportional" (1.0 /. 6.0) out.(0)
+
+let test_saw_normalize_zero_column () =
+  let out = Saw.normalize [| 0.0; 0.0 |] in
+  Alcotest.(check (array (float 1e-9))) "all zeros" [| 0.0; 0.0 |] out
+
+let test_saw_normalize_tiny_negative_ok () =
+  let out = Saw.normalize [| 1e-16 *. -1.0; 1.0 |] in
+  check_float "clamped" 0.0 out.(0)
+
+let test_saw_normalize_rejects_negative () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Saw.normalize [| -1.0; 1.0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_saw_directionalize () =
+  let out = Saw.directionalize Saw.Maximize [| 1.0; 3.0; 2.0 |] in
+  Alcotest.(check (array (float 1e-9))) "max - x" [| 2.0; 0.0; 1.0 |] out;
+  let id = Saw.directionalize Saw.Minimize [| 1.0; 2.0 |] in
+  Alcotest.(check (array (float 1e-9))) "identity" [| 1.0; 2.0 |] id
+
+let test_saw_combine () =
+  let out = Saw.combine [ (0.5, [| 1.0; 2.0 |]); (2.0, [| 3.0; 1.0 |]) ] in
+  Alcotest.(check (array (float 1e-9))) "weighted sum" [| 6.5; 3.0 |] out
+
+let test_saw_combine_ragged () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Saw.combine: ragged columns")
+    (fun () -> ignore (Saw.combine [ (1.0, [| 1.0 |]); (1.0, [| 1.0; 2.0 |]) ]))
+
+let test_saw_constant_column_neutral () =
+  (* A constant column contributes equally, so rankings are unaffected. *)
+  let base = Saw.combine [ (1.0, Saw.prepare Saw.Minimize [| 1.0; 2.0; 4.0 |]) ] in
+  let with_const =
+    Saw.combine
+      [
+        (1.0, Saw.prepare Saw.Minimize [| 1.0; 2.0; 4.0 |]);
+        (1.0, Saw.prepare Saw.Minimize [| 5.0; 5.0; 5.0 |]);
+      ]
+  in
+  let rank a = List.sort (fun i j -> Float.compare a.(i) a.(j)) [ 0; 1; 2 ] in
+  Alcotest.(check (list int)) "same ranking" (rank base) (rank with_const)
+
+(* --- Weights / Request / Allocation ------------------------------------- *)
+
+let test_weights_paper_sum () =
+  check_float "attribute weights sum to 1" 1.0 (Weights.attribute_weight_sum weights);
+  check_float "net weights" 1.0 (weights.Weights.w_lt +. weights.Weights.w_bw)
+
+let test_weights_validate () =
+  Weights.validate weights;
+  Alcotest.(check bool) "negative rejected" true
+    (try
+       Weights.validate { weights with Weights.w_load = -0.1 };
+       false
+     with Invalid_argument _ -> true)
+
+let test_request_defaults () =
+  let r = Request.make ~procs:16 () in
+  check_float "alpha" 0.5 r.Request.alpha;
+  check_float "beta" 0.5 r.Request.beta;
+  Alcotest.(check int) "capacity uses effective" 7
+    (Request.capacity_of r ~effective:7)
+
+let test_request_ppn_override () =
+  let r = Request.make ~ppn:4 ~alpha:0.3 ~procs:16 () in
+  Alcotest.(check int) "ppn wins" 4 (Request.capacity_of r ~effective:7);
+  check_float "beta" 0.7 r.Request.beta
+
+let test_request_validation () =
+  Alcotest.(check bool) "procs > 0" true
+    (try ignore (Request.make ~procs:0 ()); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "alpha range" true
+    (try ignore (Request.make ~alpha:1.5 ~procs:1 ()); false
+     with Invalid_argument _ -> true)
+
+let test_allocation_accessors () =
+  let a =
+    Allocation.make ~policy:"x"
+      ~entries:[ { Allocation.node = 3; procs = 4 }; { Allocation.node = 1; procs = 2 } ]
+  in
+  Alcotest.(check int) "total" 6 (Allocation.total_procs a);
+  Alcotest.(check (list int)) "nodes" [ 3; 1 ] (Allocation.node_ids a);
+  Alcotest.(check int) "procs_on" 4 (Allocation.procs_on a ~node:3);
+  Alcotest.(check int) "procs_on absent" 0 (Allocation.procs_on a ~node:9)
+
+let test_allocation_validation () =
+  Alcotest.(check bool) "duplicate node" true
+    (try
+       ignore
+         (Allocation.make ~policy:"x"
+            ~entries:
+              [ { Allocation.node = 1; procs = 1 }; { Allocation.node = 1; procs = 1 } ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Compute_load (Eq. 1) ------------------------------------------------- *)
+
+let test_compute_load_orders_by_load () =
+  let snap = fixture [ (8, 0.2); (8, 5.0); (8, 1.0) ] in
+  let cl = Compute_load.of_snapshot snap ~weights in
+  let g n = Compute_load.get cl ~node:n in
+  Alcotest.(check bool) "loaded node costs more" true (g 1 > g 2 && g 2 > g 0)
+
+let test_compute_load_prefers_big_nodes () =
+  (* Equal dynamics; only static attributes differ. *)
+  let snap = fixture [ (12, 1.0); (8, 1.0) ] in
+  let cl = Compute_load.of_snapshot snap ~weights in
+  Alcotest.(check bool) "more cores = lower cost" true
+    (Compute_load.get cl ~node:0 < Compute_load.get cl ~node:1)
+
+let test_compute_load_total () =
+  let snap = fixture [ (8, 1.0); (8, 1.0) ] in
+  let cl = Compute_load.of_snapshot snap ~weights in
+  check_float "total = sum" 
+    (Compute_load.get cl ~node:0 +. Compute_load.get cl ~node:1)
+    (Compute_load.total cl ~nodes:[ 0; 1 ])
+
+let test_compute_load_unusable_rejected () =
+  let snap = fixture [ (8, 1.0); (8, 1.0) ] in
+  let snap = { snap with Snapshot.live = [ 0 ] } in
+  let cl = Compute_load.of_snapshot snap ~weights in
+  Alcotest.(check (list int)) "only live usable" [ 0 ] (Compute_load.usable cl);
+  Alcotest.(check bool) "get on unusable raises" true
+    (try ignore (Compute_load.get cl ~node:1); false
+     with Invalid_argument _ -> true)
+
+let test_compute_load_cpu_load_1m () =
+  let snap = fixture [ (8, 2.5) ] in
+  let cl = Compute_load.of_snapshot snap ~weights in
+  check_float "raw 1m load" 2.5 (Compute_load.cpu_load_1m cl ~node:0)
+
+(* --- Network_load (Eq. 2) -------------------------------------------------- *)
+
+let test_network_load_zero_when_uniform_full_bw () =
+  (* Full bandwidth everywhere: complement = 0; latency uniform: NL equal. *)
+  let snap = fixture [ (8, 1.0); (8, 1.0); (8, 1.0) ] in
+  let nl = Network_load.of_snapshot snap ~weights in
+  let v01 = Network_load.get nl ~u:0 ~v:1 in
+  let v02 = Network_load.get nl ~u:0 ~v:2 in
+  check_float "uniform" v01 v02;
+  check_float "self zero" 0.0 (Network_load.get nl ~u:1 ~v:1)
+
+let test_network_load_prefers_good_links () =
+  let snap = fixture [ (8, 1.0); (8, 1.0); (8, 1.0) ] in
+  (* Pair (0,1) congested: low available bandwidth, high latency. *)
+  Matrix.set snap.Snapshot.bw_mb_s 0 1 10.0;
+  Matrix.set snap.Snapshot.bw_mb_s 1 0 10.0;
+  Matrix.set snap.Snapshot.lat_us 0 1 500.0;
+  Matrix.set snap.Snapshot.lat_us 1 0 500.0;
+  let nl = Network_load.of_snapshot snap ~weights in
+  Alcotest.(check bool) "congested pair costs more" true
+    (Network_load.get nl ~u:0 ~v:1 > Network_load.get nl ~u:0 ~v:2);
+  check_float "raw complement" 108.0 (Network_load.bw_complement_mb_s nl ~u:0 ~v:1);
+  check_float "raw latency" 500.0 (Network_load.latency_us nl ~u:0 ~v:1)
+
+let test_network_load_symmetry () =
+  let snap = fixture [ (8, 1.0); (8, 1.0); (8, 1.0) ] in
+  Matrix.set snap.Snapshot.bw_mb_s 0 2 50.0;
+  Matrix.set snap.Snapshot.bw_mb_s 2 0 50.0;
+  let nl = Network_load.of_snapshot snap ~weights in
+  check_float "symmetric" (Network_load.get nl ~u:0 ~v:2) (Network_load.get nl ~u:2 ~v:0)
+
+let test_network_load_edges_totals () =
+  let snap = fixture [ (8, 1.0); (8, 1.0); (8, 1.0) ] in
+  Matrix.set snap.Snapshot.bw_mb_s 0 1 10.0;
+  Matrix.set snap.Snapshot.bw_mb_s 1 0 10.0;
+  let nl = Network_load.of_snapshot snap ~weights in
+  let total = Network_load.total_edges nl ~nodes:[ 0; 1; 2 ] in
+  let expect =
+    Network_load.get nl ~u:0 ~v:1 +. Network_load.get nl ~u:0 ~v:2
+    +. Network_load.get nl ~u:1 ~v:2
+  in
+  check_float "sum over pairs" expect total;
+  check_float "mean over pairs" (expect /. 3.0)
+    (Network_load.mean_edges nl ~nodes:[ 0; 1; 2 ]);
+  check_float "singleton mean" 0.0 (Network_load.mean_edges nl ~nodes:[ 2 ])
+
+(* --- Effective_procs (Eq. 3) ------------------------------------------------ *)
+
+let test_eq3_idle () = Alcotest.(check int) "idle" 12 (Effective_procs.of_load ~cores:12 ~load:0.0)
+
+let test_eq3_partial () =
+  Alcotest.(check int) "load 2.3 -> 12-3" 9
+    (Effective_procs.of_load ~cores:12 ~load:2.3);
+  Alcotest.(check int) "load 5 -> 7" 7 (Effective_procs.of_load ~cores:12 ~load:5.0)
+
+let test_eq3_modulo_wrap () =
+  (* The paper's formula wraps: load 14 on 12 cores -> 12 - (14 mod 12). *)
+  Alcotest.(check int) "wrap" 10 (Effective_procs.of_load ~cores:12 ~load:14.0);
+  Alcotest.(check int) "exact multiple gives full" 12
+    (Effective_procs.of_load ~cores:12 ~load:12.0)
+
+let test_eq3_bounds () =
+  for load10 = 0 to 300 do
+    let pc = Effective_procs.of_load ~cores:8 ~load:(float_of_int load10 /. 10.0) in
+    Alcotest.(check bool) "in [1, cores]" true (pc >= 1 && pc <= 8)
+  done
+
+let test_eq3_of_snapshot () =
+  let snap = fixture [ (12, 2.3); (8, 0.0) ] in
+  let cl = Compute_load.of_snapshot snap ~weights in
+  let pc = Effective_procs.of_snapshot snap ~loads:cl in
+  Alcotest.(check (list (pair int int))) "per node" [ (0, 9); (1, 8) ] pc
+
+(* --- Candidate (Algorithm 1) ------------------------------------------------- *)
+
+let capacity_of snap request =
+  let cl = Compute_load.of_snapshot snap ~weights in
+  let pc = Effective_procs.of_snapshot snap ~loads:cl in
+  fun node ->
+    Request.capacity_of request
+      ~effective:(Option.value (List.assoc_opt node pc) ~default:1)
+
+let test_candidate_starts_with_start () =
+  let snap = fixture [ (8, 0.1); (8, 3.0); (8, 0.2); (8, 0.3) ] in
+  let cl = Compute_load.of_snapshot snap ~weights in
+  let nl = Network_load.of_snapshot snap ~weights in
+  let request = Request.make ~ppn:4 ~procs:8 () in
+  let c =
+    Candidate.generate ~start:1 ~loads:cl ~net:nl
+      ~capacity:(capacity_of snap request) ~request
+  in
+  Alcotest.(check int) "start first" 1 (List.hd c.Candidate.nodes);
+  Alcotest.(check int) "covers request" 8 (Candidate.total_procs c)
+
+let test_candidate_greedy_prefers_low_cost () =
+  (* Start at 0; node 2 is quiet, node 1 heavily loaded: 2 joins first. *)
+  let snap = fixture [ (8, 0.1); (8, 6.0); (8, 0.1) ] in
+  let cl = Compute_load.of_snapshot snap ~weights in
+  let nl = Network_load.of_snapshot snap ~weights in
+  let request = Request.make ~ppn:4 ~procs:8 () in
+  let c =
+    Candidate.generate ~start:0 ~loads:cl ~net:nl
+      ~capacity:(capacity_of snap request) ~request
+  in
+  Alcotest.(check (list int)) "0 then 2" [ 0; 2 ] c.Candidate.nodes
+
+let test_candidate_network_steers_selection () =
+  (* All equal load; pair (0,1) has poor bandwidth, (0,2) good: starting
+     from 0, node 2 must join before node 1. *)
+  let snap = fixture [ (8, 1.0); (8, 1.0); (8, 1.0) ] in
+  Matrix.set snap.Snapshot.bw_mb_s 0 1 5.0;
+  Matrix.set snap.Snapshot.bw_mb_s 1 0 5.0;
+  let cl = Compute_load.of_snapshot snap ~weights in
+  let nl = Network_load.of_snapshot snap ~weights in
+  let request = Request.make ~ppn:4 ~alpha:0.3 ~procs:8 () in
+  let c =
+    Candidate.generate ~start:0 ~loads:cl ~net:nl
+      ~capacity:(capacity_of snap request) ~request
+  in
+  Alcotest.(check (list int)) "avoids bad link" [ 0; 2 ] c.Candidate.nodes
+
+let test_candidate_round_robin_overflow () =
+  (* 2 nodes x 4 ppn = 8 capacity, but 11 processes requested: the 3
+     extra are dealt round-robin. *)
+  let snap = fixture [ (8, 0.0); (8, 0.0) ] in
+  let cl = Compute_load.of_snapshot snap ~weights in
+  let nl = Network_load.of_snapshot snap ~weights in
+  let request = Request.make ~ppn:4 ~procs:11 () in
+  let c =
+    Candidate.generate ~start:0 ~loads:cl ~net:nl
+      ~capacity:(capacity_of snap request) ~request
+  in
+  Alcotest.(check int) "total procs" 11 (Candidate.total_procs c);
+  let procs = List.map snd c.Candidate.assignment in
+  Alcotest.(check (list int)) "round robin 6,5" [ 6; 5 ] procs
+
+let test_candidate_addition_cost () =
+  let snap = fixture [ (8, 0.0); (8, 4.0) ] in
+  let cl = Compute_load.of_snapshot snap ~weights in
+  let nl = Network_load.of_snapshot snap ~weights in
+  let request = Request.make ~alpha:1.0 ~procs:2 () in
+  check_float "A_v(v) = 0" 0.0
+    (Candidate.addition_cost ~loads:cl ~net:nl ~request ~start:0 0);
+  check_float "alpha=1: pure CL" (Compute_load.get cl ~node:1)
+    (Candidate.addition_cost ~loads:cl ~net:nl ~request ~start:0 1)
+
+let test_candidate_all_count () =
+  let snap = fixture [ (8, 0.0); (8, 0.0); (8, 0.0); (8, 0.0) ] in
+  let cl = Compute_load.of_snapshot snap ~weights in
+  let nl = Network_load.of_snapshot snap ~weights in
+  let request = Request.make ~ppn:2 ~procs:4 () in
+  let cs =
+    Candidate.generate_all ~loads:cl ~net:nl
+      ~capacity:(capacity_of snap request) ~request
+  in
+  Alcotest.(check int) "|V| candidates" 4 (List.length cs);
+  List.iter
+    (fun (c : Candidate.t) ->
+      Alcotest.(check int) "each covers" 4 (Candidate.total_procs c))
+    cs
+
+(* --- Select (Algorithm 2, Eq. 4) ---------------------------------------------- *)
+
+let test_select_minimizes_total () =
+  (* Two switches; switch 1's pair links are degraded. Starting nodes on
+     switch 0 give candidates confined there -> lower network cost. *)
+  let snap =
+    fixture ~switches:[| 0; 0; 1; 1 |]
+      [ (8, 1.0); (8, 1.0); (8, 1.0); (8, 1.0) ]
+  in
+  (* Degrade everything touching switch 1. *)
+  List.iter
+    (fun (i, j) ->
+      Matrix.set snap.Snapshot.bw_mb_s i j 10.0;
+      Matrix.set snap.Snapshot.bw_mb_s j i 10.0)
+    [ (0, 2); (0, 3); (1, 2); (1, 3); (2, 3) ];
+  let cl = Compute_load.of_snapshot snap ~weights in
+  let nl = Network_load.of_snapshot snap ~weights in
+  let request = Request.make ~ppn:4 ~alpha:0.3 ~procs:8 () in
+  let candidates =
+    Candidate.generate_all ~loads:cl ~net:nl
+      ~capacity:(capacity_of snap request) ~request
+  in
+  let best = Select.best ~candidates ~loads:cl ~net:nl ~request in
+  Alcotest.(check (list int)) "confined to switch 0" [ 0; 1 ]
+    (List.sort compare best.Select.candidate.Candidate.nodes)
+
+let test_select_scores_all () =
+  let snap = fixture [ (8, 0.0); (8, 1.0); (8, 2.0) ] in
+  let cl = Compute_load.of_snapshot snap ~weights in
+  let nl = Network_load.of_snapshot snap ~weights in
+  let request = Request.make ~ppn:4 ~procs:8 () in
+  let candidates =
+    Candidate.generate_all ~loads:cl ~net:nl
+      ~capacity:(capacity_of snap request) ~request
+  in
+  let scored = Select.score ~candidates ~loads:cl ~net:nl ~request in
+  Alcotest.(check int) "same count" (List.length candidates) (List.length scored);
+  let best = Select.best ~candidates ~loads:cl ~net:nl ~request in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "best is minimal" true
+        (best.Select.total <= s.Select.total +. 1e-12))
+    scored
+
+let test_select_alpha_one_is_load_only () =
+  (* With alpha=1 the winner must contain the lowest-CL nodes. *)
+  let snap = fixture [ (8, 5.0); (8, 0.1); (8, 0.2); (8, 6.0) ] in
+  let cl = Compute_load.of_snapshot snap ~weights in
+  let nl = Network_load.of_snapshot snap ~weights in
+  let request = Request.make ~ppn:4 ~alpha:1.0 ~procs:8 () in
+  let candidates =
+    Candidate.generate_all ~loads:cl ~net:nl
+      ~capacity:(capacity_of snap request) ~request
+  in
+  let best = Select.best ~candidates ~loads:cl ~net:nl ~request in
+  Alcotest.(check (list int)) "two quiet nodes" [ 1; 2 ]
+    (List.sort compare best.Select.candidate.Candidate.nodes)
+
+(* --- Policies ------------------------------------------------------------------ *)
+
+let busy_snapshot () =
+  let snap =
+    fixture ~switches:[| 0; 0; 0; 1; 1; 1 |]
+      [ (8, 0.1); (8, 4.0); (8, 0.2); (8, 0.1); (8, 5.0); (8, 0.3) ]
+  in
+  snap
+
+let test_policies_satisfy_request () =
+  let snap = busy_snapshot () in
+  let request = Request.make ~ppn:4 ~procs:8 () in
+  let rng = Rng.create 1 in
+  List.iter
+    (fun policy ->
+      match Policies.allocate ~policy ~snapshot:snap ~weights ~request ~rng with
+      | Ok a ->
+        Alcotest.(check int)
+          (Policies.name policy ^ " total")
+          8 (Allocation.total_procs a);
+        Alcotest.(check string) "policy label" (Policies.name policy)
+          a.Allocation.policy
+      | Error _ -> Alcotest.fail "allocation failed")
+    Policies.all
+
+let test_policy_load_aware_picks_quiet () =
+  let snap = busy_snapshot () in
+  let request = Request.make ~ppn:4 ~procs:8 () in
+  let rng = Rng.create 1 in
+  match
+    Policies.allocate ~policy:Policies.Load_aware ~snapshot:snap ~weights
+      ~request ~rng
+  with
+  | Ok a ->
+    let nodes = List.sort compare (Allocation.node_ids a) in
+    Alcotest.(check bool) "avoids loaded nodes 1 and 4" true
+      ((not (List.mem 1 nodes)) && not (List.mem 4 nodes))
+  | Error _ -> Alcotest.fail "allocation failed"
+
+let test_policy_sequential_consecutive () =
+  let snap = busy_snapshot () in
+  let request = Request.make ~ppn:4 ~procs:8 () in
+  let rng = Rng.create 42 in
+  match
+    Policies.allocate ~policy:Policies.Sequential ~snapshot:snap ~weights
+      ~request ~rng
+  with
+  | Ok a ->
+    (match Allocation.node_ids a with
+    | [ a1; a2 ] ->
+      Alcotest.(check bool) "consecutive (mod n)" true
+        (a2 = (a1 + 1) mod 6)
+    | _ -> Alcotest.fail "expected two nodes")
+  | Error _ -> Alcotest.fail "allocation failed"
+
+let test_policy_random_uses_rng () =
+  let snap = busy_snapshot () in
+  let request = Request.make ~ppn:4 ~procs:8 () in
+  let collect seed =
+    let rng = Rng.create seed in
+    match
+      Policies.allocate ~policy:Policies.Random ~snapshot:snap ~weights ~request ~rng
+    with
+    | Ok a -> Allocation.node_ids a
+    | Error _ -> []
+  in
+  let distinct =
+    List.sort_uniq compare (List.init 20 (fun s -> collect s))
+  in
+  Alcotest.(check bool) "different draws differ" true (List.length distinct > 1)
+
+let test_policy_network_aware_deterministic () =
+  let snap = busy_snapshot () in
+  let request = Request.make ~ppn:4 ~alpha:0.3 ~procs:8 () in
+  let run seed =
+    match
+      Policies.allocate ~policy:Policies.Network_load_aware ~snapshot:snap
+        ~weights ~request ~rng:(Rng.create seed)
+    with
+    | Ok a -> Allocation.node_ids a
+    | Error _ -> []
+  in
+  Alcotest.(check (list int)) "rng-independent" (run 1) (run 999)
+
+let test_policy_no_usable_nodes () =
+  let snap = busy_snapshot () in
+  let snap = { snap with Snapshot.live = [] } in
+  let request = Request.make ~procs:4 () in
+  match
+    Policies.allocate ~policy:Policies.Random ~snapshot:snap ~weights ~request
+      ~rng:(Rng.create 1)
+  with
+  | Error Allocation.No_usable_nodes -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected No_usable_nodes"
+
+let test_policy_oversubscribes_when_needed () =
+  let snap = fixture [ (8, 0.0); (8, 0.0) ] in
+  let request = Request.make ~ppn:4 ~procs:20 () in
+  List.iter
+    (fun policy ->
+      match
+        Policies.allocate ~policy ~snapshot:snap ~weights ~request
+          ~rng:(Rng.create 3)
+      with
+      | Ok a ->
+        Alcotest.(check int) (Policies.name policy) 20 (Allocation.total_procs a)
+      | Error _ -> Alcotest.fail "should oversubscribe")
+    Policies.all
+
+let test_policy_hierarchical_via_policies () =
+  let snap = busy_snapshot () in
+  let request = Request.make ~ppn:4 ~procs:8 () in
+  match
+    Policies.allocate ~policy:Policies.Hierarchical ~snapshot:snap ~weights
+      ~request ~rng:(Rng.create 1)
+  with
+  | Ok a ->
+    Alcotest.(check int) "covers" 8 (Allocation.total_procs a);
+    Alcotest.(check string) "label" "hierarchical" a.Allocation.policy
+  | Error _ -> Alcotest.fail "hierarchical policy failed"
+
+let test_policy_names_roundtrip () =
+  List.iter
+    (fun p ->
+      match Policies.of_name (Policies.name p) with
+      | Some p' -> Alcotest.(check bool) "roundtrip" true (p = p')
+      | None -> Alcotest.fail "name not found")
+    Policies.all;
+  Alcotest.(check bool) "unknown" true (Policies.of_name "bogus" = None);
+  Alcotest.(check bool) "hierarchical resolvable" true
+    (Policies.of_name "hierarchical" = Some Policies.Hierarchical);
+  Alcotest.(check bool) "not in the paper's four" false
+    (List.mem Policies.Hierarchical Policies.all)
+
+(* --- Brute force ------------------------------------------------------------------ *)
+
+let test_brute_force_matches_exhaustive_small () =
+  let snap = fixture [ (8, 3.0); (8, 0.1); (8, 0.2); (8, 4.0) ] in
+  let cl = Compute_load.of_snapshot snap ~weights in
+  let nl = Network_load.of_snapshot snap ~weights in
+  let request = Request.make ~ppn:4 ~alpha:1.0 ~procs:8 () in
+  match
+    Brute_force.best_subset ~loads:cl ~net:nl
+      ~capacity:(capacity_of snap request) ~request ~max_nodes:4
+  with
+  | Some (nodes, score) ->
+    Alcotest.(check (list int)) "quietest pair optimal" [ 1; 2 ]
+      (List.sort compare nodes);
+    check_float "objective consistent" score
+      (Brute_force.objective ~loads:cl ~net:nl ~request ~nodes)
+  | None -> Alcotest.fail "no subset found"
+
+let test_greedy_never_better_than_brute_force () =
+  (* Sanity: brute force is a lower bound on the greedy objective. *)
+  for seed = 0 to 9 do
+    let loads = List.init 5 (fun i -> (8, float_of_int ((seed + i) mod 5))) in
+    let snap = fixture loads in
+    let cl = Compute_load.of_snapshot snap ~weights in
+    let nl = Network_load.of_snapshot snap ~weights in
+    let request = Request.make ~ppn:4 ~alpha:0.5 ~procs:10 () in
+    let capacity = capacity_of snap request in
+    let candidates = Candidate.generate_all ~loads:cl ~net:nl ~capacity ~request in
+    let greedy = Select.best ~candidates ~loads:cl ~net:nl ~request in
+    let greedy_obj =
+      Brute_force.objective ~loads:cl ~net:nl ~request
+        ~nodes:greedy.Select.candidate.Candidate.nodes
+    in
+    match Brute_force.best_subset ~loads:cl ~net:nl ~capacity ~request ~max_nodes:5 with
+    | Some (_, opt) ->
+      Alcotest.(check bool) "greedy >= optimal" true (greedy_obj >= opt -. 1e-12)
+    | None -> Alcotest.fail "brute force found nothing"
+  done
+
+let test_brute_force_guard () =
+  let specs = List.init 21 (fun _ -> (8, 0.0)) in
+  let snap = fixture specs in
+  let cl = Compute_load.of_snapshot snap ~weights in
+  let nl = Network_load.of_snapshot snap ~weights in
+  let request = Request.make ~procs:4 () in
+  Alcotest.check_raises "guard"
+    (Invalid_argument "Brute_force.best_subset: too many nodes") (fun () ->
+      ignore
+        (Brute_force.best_subset ~loads:cl ~net:nl
+           ~capacity:(fun _ -> 4)
+           ~request ~max_nodes:21))
+
+(* --- Broker ----------------------------------------------------------------------- *)
+
+let test_broker_allocates_by_default () =
+  let snap = busy_snapshot () in
+  let request = Request.make ~ppn:4 ~procs:8 () in
+  match
+    Broker.decide ~config:Broker.default_config ~snapshot:snap ~request
+      ~rng:(Rng.create 1)
+  with
+  | Ok (Broker.Allocated a) ->
+    Alcotest.(check int) "total" 8 (Allocation.total_procs a)
+  | Ok (Broker.Wait _) -> Alcotest.fail "should not wait by default"
+  | Error _ -> Alcotest.fail "error"
+
+let test_broker_recommends_waiting () =
+  let snap = fixture [ (8, 30.0); (8, 28.0) ] in
+  let config = { Broker.default_config with Broker.wait_threshold = Some 0.9 } in
+  let request = Request.make ~ppn:4 ~procs:8 () in
+  match Broker.decide ~config ~snapshot:snap ~request ~rng:(Rng.create 1) with
+  | Ok (Broker.Wait { mean_load_per_core; threshold }) ->
+    check_float "threshold echoed" 0.9 threshold;
+    Alcotest.(check bool) "load reported" true (mean_load_per_core > 3.0)
+  | Ok (Broker.Allocated _) -> Alcotest.fail "should wait"
+  | Error _ -> Alcotest.fail "error"
+
+let test_broker_threshold_not_exceeded () =
+  let snap = fixture [ (8, 0.1); (8, 0.2) ] in
+  let config = { Broker.default_config with Broker.wait_threshold = Some 0.9 } in
+  let request = Request.make ~ppn:4 ~procs:8 () in
+  match Broker.decide ~config ~snapshot:snap ~request ~rng:(Rng.create 1) with
+  | Ok (Broker.Allocated _) -> ()
+  | Ok (Broker.Wait _) -> Alcotest.fail "quiet cluster should allocate"
+  | Error _ -> Alcotest.fail "error"
+
+let test_broker_mean_load_per_core () =
+  let snap = fixture [ (8, 4.0); (8, 0.0) ] in
+  check_float "mean load/core" (4.0 /. 16.0)
+    (Broker.mean_load_per_core snap ~weights)
+
+(* --- qcheck: allocator invariants ---------------------------------------------- *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let loads_gen = QCheck.Gen.(list_size (return 6) (float_bound_inclusive 8.0))
+
+let prop_nl_aware_covers_any_loads =
+  QCheck.Test.make ~name:"network-load-aware covers request on any loads"
+    ~count:100 (QCheck.make loads_gen)
+    (fun loads ->
+      let snap = fixture (List.map (fun l -> (8, l)) loads) in
+      let request = Request.make ~ppn:4 ~procs:12 () in
+      match
+        Policies.allocate ~policy:Policies.Network_load_aware ~snapshot:snap
+          ~weights ~request ~rng:(Rng.create 0)
+      with
+      | Ok a -> Allocation.total_procs a = 12
+      | Error _ -> false)
+
+let prop_candidate_nodes_distinct =
+  QCheck.Test.make ~name:"candidate nodes are distinct" ~count:100
+    (QCheck.make loads_gen)
+    (fun loads ->
+      let snap = fixture (List.map (fun l -> (8, l)) loads) in
+      let cl = Compute_load.of_snapshot snap ~weights in
+      let nl = Network_load.of_snapshot snap ~weights in
+      let request = Request.make ~ppn:4 ~procs:16 () in
+      let cs =
+        Candidate.generate_all ~loads:cl ~net:nl
+          ~capacity:(capacity_of snap request) ~request
+      in
+      List.for_all
+        (fun (c : Candidate.t) ->
+          let ns = c.Candidate.nodes in
+          List.length ns = List.length (List.sort_uniq compare ns))
+        cs)
+
+let prop_compute_load_nonnegative =
+  QCheck.Test.make ~name:"compute load is non-negative" ~count:100
+    (QCheck.make loads_gen)
+    (fun loads ->
+      let snap = fixture (List.map (fun l -> (8, l)) loads) in
+      let cl = Compute_load.of_snapshot snap ~weights in
+      List.for_all (fun n -> Compute_load.get cl ~node:n >= -1e-12)
+        (Compute_load.usable cl))
+
+let suites =
+  [
+    ( "core.saw",
+      [
+        Alcotest.test_case "normalize sums to one" `Quick test_saw_normalize_sums_to_one;
+        Alcotest.test_case "zero column" `Quick test_saw_normalize_zero_column;
+        Alcotest.test_case "tiny negative ok" `Quick test_saw_normalize_tiny_negative_ok;
+        Alcotest.test_case "rejects negative" `Quick test_saw_normalize_rejects_negative;
+        Alcotest.test_case "directionalize" `Quick test_saw_directionalize;
+        Alcotest.test_case "combine" `Quick test_saw_combine;
+        Alcotest.test_case "ragged rejected" `Quick test_saw_combine_ragged;
+        Alcotest.test_case "constant column neutral" `Quick
+          test_saw_constant_column_neutral;
+      ] );
+    ( "core.weights_request_allocation",
+      [
+        Alcotest.test_case "paper weights sum" `Quick test_weights_paper_sum;
+        Alcotest.test_case "weights validate" `Quick test_weights_validate;
+        Alcotest.test_case "request defaults" `Quick test_request_defaults;
+        Alcotest.test_case "ppn override" `Quick test_request_ppn_override;
+        Alcotest.test_case "request validation" `Quick test_request_validation;
+        Alcotest.test_case "allocation accessors" `Quick test_allocation_accessors;
+        Alcotest.test_case "allocation validation" `Quick test_allocation_validation;
+      ] );
+    ( "core.compute_load",
+      [
+        Alcotest.test_case "orders by load" `Quick test_compute_load_orders_by_load;
+        Alcotest.test_case "prefers big nodes" `Quick test_compute_load_prefers_big_nodes;
+        Alcotest.test_case "total" `Quick test_compute_load_total;
+        Alcotest.test_case "unusable rejected" `Quick test_compute_load_unusable_rejected;
+        Alcotest.test_case "raw 1m load" `Quick test_compute_load_cpu_load_1m;
+        qcheck prop_compute_load_nonnegative;
+      ] );
+    ( "core.network_load",
+      [
+        Alcotest.test_case "uniform" `Quick test_network_load_zero_when_uniform_full_bw;
+        Alcotest.test_case "prefers good links" `Quick test_network_load_prefers_good_links;
+        Alcotest.test_case "symmetry" `Quick test_network_load_symmetry;
+        Alcotest.test_case "edge totals" `Quick test_network_load_edges_totals;
+      ] );
+    ( "core.effective_procs",
+      [
+        Alcotest.test_case "idle" `Quick test_eq3_idle;
+        Alcotest.test_case "partial" `Quick test_eq3_partial;
+        Alcotest.test_case "modulo wrap" `Quick test_eq3_modulo_wrap;
+        Alcotest.test_case "bounds" `Quick test_eq3_bounds;
+        Alcotest.test_case "of snapshot" `Quick test_eq3_of_snapshot;
+      ] );
+    ( "core.candidate",
+      [
+        Alcotest.test_case "starts with start" `Quick test_candidate_starts_with_start;
+        Alcotest.test_case "greedy prefers low cost" `Quick
+          test_candidate_greedy_prefers_low_cost;
+        Alcotest.test_case "network steers selection" `Quick
+          test_candidate_network_steers_selection;
+        Alcotest.test_case "round-robin overflow" `Quick
+          test_candidate_round_robin_overflow;
+        Alcotest.test_case "addition cost" `Quick test_candidate_addition_cost;
+        Alcotest.test_case "generate_all count" `Quick test_candidate_all_count;
+        qcheck prop_candidate_nodes_distinct;
+      ] );
+    ( "core.select",
+      [
+        Alcotest.test_case "minimizes total" `Quick test_select_minimizes_total;
+        Alcotest.test_case "scores all" `Quick test_select_scores_all;
+        Alcotest.test_case "alpha=1 load only" `Quick test_select_alpha_one_is_load_only;
+      ] );
+    ( "core.policies",
+      [
+        Alcotest.test_case "satisfy request" `Quick test_policies_satisfy_request;
+        Alcotest.test_case "load-aware picks quiet" `Quick test_policy_load_aware_picks_quiet;
+        Alcotest.test_case "sequential consecutive" `Quick test_policy_sequential_consecutive;
+        Alcotest.test_case "random uses rng" `Quick test_policy_random_uses_rng;
+        Alcotest.test_case "network-aware deterministic" `Quick
+          test_policy_network_aware_deterministic;
+        Alcotest.test_case "no usable nodes" `Quick test_policy_no_usable_nodes;
+        Alcotest.test_case "oversubscribes" `Quick test_policy_oversubscribes_when_needed;
+        Alcotest.test_case "hierarchical via policies" `Quick
+          test_policy_hierarchical_via_policies;
+        Alcotest.test_case "names roundtrip" `Quick test_policy_names_roundtrip;
+        qcheck prop_nl_aware_covers_any_loads;
+      ] );
+    ( "core.brute_force",
+      [
+        Alcotest.test_case "matches exhaustive" `Quick
+          test_brute_force_matches_exhaustive_small;
+        Alcotest.test_case "greedy >= optimal" `Quick
+          test_greedy_never_better_than_brute_force;
+        Alcotest.test_case "guard" `Quick test_brute_force_guard;
+      ] );
+    ( "core.broker",
+      [
+        Alcotest.test_case "allocates by default" `Quick test_broker_allocates_by_default;
+        Alcotest.test_case "recommends waiting" `Quick test_broker_recommends_waiting;
+        Alcotest.test_case "threshold not exceeded" `Quick
+          test_broker_threshold_not_exceeded;
+        Alcotest.test_case "mean load per core" `Quick test_broker_mean_load_per_core;
+      ] );
+  ]

@@ -1,0 +1,119 @@
+(* Smoke coverage for rendering/pretty-printing surfaces and the
+   experiment generators not exercised elsewhere. *)
+
+module Render = Rm_experiments.Render
+module Timeseries = Rm_stats.Timeseries
+module Window = Rm_stats.Window
+
+let fmt_str pp v = Format.asprintf "%a" pp v
+
+let test_pp_surfaces () =
+  let node =
+    Rm_cluster.Node.make ~id:3 ~hostname:"csews4" ~cores:12 ~freq_ghz:4.6
+      ~mem_gb:16.0 ~switch:0
+  in
+  Alcotest.(check bool) "node pp mentions host" true
+    (String.length (fmt_str Rm_cluster.Node.pp node) > 0);
+  let a =
+    Rm_core.Allocation.make ~policy:"x"
+      ~entries:[ { Rm_core.Allocation.node = 1; procs = 4 } ]
+  in
+  Alcotest.(check string) "allocation pp" "x:[n1×4]"
+    (fmt_str Rm_core.Allocation.pp a);
+  let req = Rm_core.Request.make ~ppn:4 ~alpha:0.25 ~procs:16 () in
+  Alcotest.(check bool) "request pp" true
+    (String.length (fmt_str Rm_core.Request.pp req) > 0);
+  Alcotest.(check bool) "error pp" true
+    (String.length (fmt_str Rm_core.Allocation.pp_error Rm_core.Allocation.No_usable_nodes) > 0)
+
+let test_render_series () =
+  let buf = Buffer.create 256 in
+  Render.series ~name:"x" ~times:(Array.init 100 float_of_int)
+    ~values:(Array.init 100 (fun i -> float_of_int (i mod 7)))
+    ~max_points:5 buf;
+  let s = Buffer.contents buf in
+  Alcotest.(check bool) "has sparkline" true (String.length s > 100);
+  Alcotest.(check bool) "downsampled" true
+    (List.length (String.split_on_char '\n' s) < 20)
+
+let test_render_series_mismatch () =
+  let buf = Buffer.create 16 in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Render.series: length mismatch") (fun () ->
+      Render.series ~name:"x" ~times:[| 1.0 |] ~values:[| 1.0; 2.0 |] buf)
+
+let test_timeseries_map_values () =
+  let ts = Timeseries.create ~name:"t" () in
+  Timeseries.append ts ~time:0.0 ~value:2.0;
+  Timeseries.append ts ~time:1.0 ~value:4.0;
+  let doubled = Timeseries.map_values ts ~f:(fun v -> v *. 2.0) in
+  let _, v = Timeseries.get doubled 1 in
+  Alcotest.(check (float 1e-9)) "mapped" 8.0 v;
+  Alcotest.(check string) "name preserved" "t" (Timeseries.name doubled)
+
+let test_window_span () =
+  Alcotest.(check (float 1e-9)) "span" 42.0 (Window.span (Window.create ~span:42.0))
+
+let test_executor_pp_stats () =
+  let w =
+    Rm_workload.World.create
+      ~cluster:(Rm_cluster.Cluster.homogeneous ~cores:8 ~nodes_per_switch:[ 2 ] ())
+      ~scenario:Rm_workload.Scenario.quiet ~seed:1
+  in
+  let a =
+    Rm_core.Allocation.make ~policy:"t"
+      ~entries:[ { Rm_core.Allocation.node = 0; procs = 2 } ]
+  in
+  let app = Rm_apps.Synthetic.compute_only ~ranks:2 ~iterations:2 () in
+  let stats = Rm_mpisim.Executor.run ~world:w ~allocation:a ~app () in
+  Alcotest.(check bool) "stats pp" true
+    (String.length (fmt_str Rm_mpisim.Executor.pp_stats stats) > 0)
+
+let test_descriptive_pp_summary () =
+  let s = Rm_stats.Descriptive.summarize [| 1.0; 2.0; 3.0 |] in
+  Alcotest.(check bool) "summary pp" true
+    (String.length (fmt_str Rm_stats.Descriptive.pp_summary s) > 0)
+
+(* --- experiment generators (trimmed, Slow) -------------------------------- *)
+
+let test_case_study_smoke () =
+  let r = Rm_experiments.Case_study.run ~seed:11 ~procs:16 ~s:8 () in
+  Alcotest.(check int) "four rows" 4 (List.length r.Rm_experiments.Case_study.rows);
+  let t4 = Rm_experiments.Case_study.render_table4 r in
+  let f7 = Rm_experiments.Case_study.render_fig7 r in
+  Alcotest.(check bool) "table renders" true (String.length t4 > 100);
+  Alcotest.(check bool) "fig renders" true (String.length f7 > 100);
+  List.iter
+    (fun (row : Rm_experiments.Case_study.row) ->
+      Alcotest.(check bool) "time positive" true
+        (row.Rm_experiments.Case_study.time_s > 0.0))
+    r.Rm_experiments.Case_study.rows
+
+let test_minimd_quick_spec () =
+  let spec = Rm_experiments.Minimd_sweep.spec ~quick:true ~seed:1 () in
+  Alcotest.(check bool) "quick trims" true
+    (List.length spec.Rm_experiments.Sweep.sizes < 6
+    && spec.Rm_experiments.Sweep.reps < 5);
+  Alcotest.(check (float 1e-9)) "alpha 0.3" 0.3 spec.Rm_experiments.Sweep.alpha;
+  let fe = Rm_experiments.Minife_sweep.spec ~quick:true ~seed:1 () in
+  Alcotest.(check (float 1e-9)) "miniFE alpha 0.4" 0.4
+    fe.Rm_experiments.Sweep.alpha
+
+let suites =
+  [
+    ( "coverage.pp",
+      [
+        Alcotest.test_case "pp surfaces" `Quick test_pp_surfaces;
+        Alcotest.test_case "render series" `Quick test_render_series;
+        Alcotest.test_case "render series mismatch" `Quick test_render_series_mismatch;
+        Alcotest.test_case "timeseries map" `Quick test_timeseries_map_values;
+        Alcotest.test_case "window span" `Quick test_window_span;
+        Alcotest.test_case "executor pp" `Quick test_executor_pp_stats;
+        Alcotest.test_case "summary pp" `Quick test_descriptive_pp_summary;
+      ] );
+    ( "coverage.experiments",
+      [
+        Alcotest.test_case "case study" `Slow test_case_study_smoke;
+        Alcotest.test_case "sweep specs" `Quick test_minimd_quick_spec;
+      ] );
+  ]

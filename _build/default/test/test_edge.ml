@@ -1,0 +1,256 @@
+(* Cross-library edge cases: boundaries, fallbacks, and less-travelled
+   configuration paths. *)
+
+module Rng = Rm_stats.Rng
+module Running_means = Rm_stats.Running_means
+module Sim = Rm_engine.Sim
+module Cluster = Rm_cluster.Cluster
+module Topology = Rm_cluster.Topology
+module World = Rm_workload.World
+module Scenario = Rm_workload.Scenario
+module Flow_gen = Rm_workload.Flow_gen
+module System = Rm_monitor.System
+module Snapshot = Rm_monitor.Snapshot
+module Request = Rm_core.Request
+module Weights = Rm_core.Weights
+module Policies = Rm_core.Policies
+module Broker = Rm_core.Broker
+module Allocation = Rm_core.Allocation
+module Compute_load = Rm_core.Compute_load
+module Network_load = Rm_core.Network_load
+module Candidate = Rm_core.Candidate
+module Select = Rm_core.Select
+module Executor = Rm_mpisim.Executor
+module Profiler = Rm_mpisim.Profiler
+module Mapping = Rm_mpisim.Mapping
+module Synthetic = Rm_apps.Synthetic
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let small_world ?(scenario = Scenario.quiet) ?(seed = 1) () =
+  let cluster = Cluster.homogeneous ~cores:8 ~nodes_per_switch:[ 3; 3 ] () in
+  World.create ~cluster ~scenario ~seed
+
+let truth world = Snapshot.of_truth ~time:(World.now world) ~world
+
+(* --- Eq. 3 capacity used when ppn omitted -------------------------------- *)
+
+let test_allocate_without_ppn_uses_pc () =
+  let w = small_world () in
+  World.advance w ~now:600.0;
+  let snap = truth w in
+  let request = Request.make ~procs:12 () in
+  match
+    Policies.allocate ~policy:Policies.Network_load_aware ~snapshot:snap
+      ~weights:Weights.paper_default ~request ~rng:(Rng.create 1)
+  with
+  | Error _ -> Alcotest.fail "allocation failed"
+  | Ok a ->
+    Alcotest.(check int) "covers" 12 (Allocation.total_procs a);
+    (* Quiet cluster: pc_v ~ 8, so two nodes suffice. *)
+    Alcotest.(check bool) "used node capacity" true (Allocation.node_count a <= 3)
+
+(* --- Candidate / Select boundaries ----------------------------------------- *)
+
+let test_candidate_single_usable_node () =
+  let w = small_world () in
+  World.advance w ~now:60.0;
+  let snap = { (truth w) with Snapshot.live = [ 2 ] } in
+  let weights = Weights.paper_default in
+  let loads = Compute_load.of_snapshot snap ~weights in
+  let net = Network_load.of_snapshot snap ~weights in
+  let request = Request.make ~ppn:4 ~procs:9 () in
+  let c =
+    Candidate.generate ~start:2 ~loads ~net ~capacity:(fun _ -> 4) ~request
+  in
+  Alcotest.(check (list int)) "only node, oversubscribed" [ 2 ] c.Candidate.nodes;
+  Alcotest.(check int) "all procs on it" 9 (Candidate.total_procs c);
+  let best = Select.best ~candidates:[ c ] ~loads ~net ~request in
+  Alcotest.(check int) "sole candidate wins" 2 best.Select.candidate.Candidate.start
+
+(* --- Broker threshold boundary ---------------------------------------------- *)
+
+let test_broker_boundary_allocates_at_threshold () =
+  let w = small_world () in
+  World.advance w ~now:600.0;
+  let snap = truth w in
+  let m = Broker.mean_load_per_core snap ~weights:Weights.paper_default in
+  (* Threshold exactly at the measured value: paper says wait only when
+     load is extremely high, so the boundary allocates. *)
+  let config =
+    { Broker.default_config with Broker.wait_threshold = Some m }
+  in
+  match
+    Broker.decide ~config ~snapshot:snap
+      ~request:(Request.make ~ppn:4 ~procs:8 ())
+      ~rng:(Rng.create 2)
+  with
+  | Ok (Broker.Allocated _) -> ()
+  | Ok (Broker.Wait _) -> Alcotest.fail "boundary should allocate"
+  | Error _ -> Alcotest.fail "error"
+
+(* --- World misc ------------------------------------------------------------- *)
+
+let test_world_register_job_validation () =
+  let w = small_world () in
+  Alcotest.(check bool) "negative load rejected" true
+    (try ignore (World.register_job w ~load:[ (0, -1.0) ] ~flows:[]); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad node rejected" true
+    (try ignore (World.register_job w ~load:[ (99, 1.0) ] ~flows:[]); false
+     with Invalid_argument _ -> true)
+
+let test_flow_gen_switch_local_bias () =
+  let params =
+    { Flow_gen.default with
+      Flow_gen.arrival_rate_per_s = 1.0;
+      p_external = 0.0;
+      p_same_switch = 1.0 }
+  in
+  let fg = Flow_gen.create ~rng:(Rng.create 4) ~node_count:12 ~params in
+  let switch_of n = n / 6 in
+  Flow_gen.advance fg ~now:600.0 ~switch_of_node:switch_of;
+  List.iter
+    (fun (f : Rm_netsim.Flow.t) ->
+      match f.Rm_netsim.Flow.dst with
+      | Rm_netsim.Flow.Node d ->
+        Alcotest.(check int) "switch-local" (switch_of f.Rm_netsim.Flow.src)
+          (switch_of d)
+      | Rm_netsim.Flow.External -> Alcotest.fail "no external expected")
+    (Flow_gen.active_flows fg)
+
+(* --- Monitor cadence override ------------------------------------------------ *)
+
+let test_cadence_override_probe_freshness () =
+  let sim = Sim.create () in
+  let w = small_world ~scenario:Scenario.normal () in
+  let cadence =
+    { System.default_cadence with System.bandwidth_period = 30.0 }
+  in
+  let sys =
+    System.start ~sim ~world:w ~rng:(Rng.create 5) ~cadence ~until:5000.0 ()
+  in
+  Sim.run_until sim 100.0;
+  let snap = System.snapshot sys ~time:100.0 in
+  (* With 30 s probes, bandwidth must already be measured at t=100. *)
+  let bw = Rm_stats.Matrix.get snap.Snapshot.bw_mb_s 0 5 in
+  Alcotest.(check bool) "already probed" true (Float.is_finite bw && bw > 0.0)
+
+(* --- Running means custom spans ---------------------------------------------- *)
+
+let test_running_means_custom_spans () =
+  let rm = Running_means.create_spans ~m1:10.0 ~m5:20.0 ~m15:40.0 in
+  for i = 0 to 50 do
+    Running_means.push rm ~time:(float_of_int i) ~value:(if i > 45 then 10.0 else 0.0)
+  done;
+  match Running_means.view rm with
+  | Some v ->
+    Alcotest.(check bool) "short window reacts hardest" true
+      (v.Running_means.m1 > v.Running_means.m5
+      && v.Running_means.m5 > v.Running_means.m15)
+  | None -> Alcotest.fail "no view"
+
+(* --- Executor / profiler corner cases ------------------------------------------ *)
+
+let test_executor_compute_only_no_comm () =
+  let w = small_world () in
+  let a =
+    Allocation.make ~policy:"t"
+      ~entries:[ { Allocation.node = 0; procs = 4 } ]
+  in
+  let app = Synthetic.compute_only ~ranks:4 ~iterations:10 () in
+  let stats = Executor.run ~world:w ~allocation:a ~app () in
+  check_float "zero comm" 0.0 stats.Executor.comm_time_s;
+  check_float "zero comm fraction" 0.0 stats.Executor.comm_fraction;
+  check_float "no bytes" 0.0 stats.Executor.inter_node_bytes
+
+let test_profiler_compute_only_suggests_high_alpha () =
+  let w = small_world () in
+  let a =
+    Allocation.make ~policy:"t"
+      ~entries:[ { Allocation.node = 0; procs = 2 }; { Allocation.node = 1; procs = 2 } ]
+  in
+  let p =
+    Profiler.profile ~world:w ~allocation:a
+      ~app:(Synthetic.compute_only ~ranks:4 ~iterations:10 ())
+      ()
+  in
+  check_float "pure compute" 0.0 p.Profiler.comm_fraction;
+  check_float "alpha clamped at 0.9" 0.9 p.Profiler.suggested_alpha
+
+let test_mapping_sample_override () =
+  let app = Synthetic.ring ~ranks:4 ~iterations:100 ~bytes:10.0 () in
+  let t1 = Mapping.traffic ~app ~sample_iterations:1 () in
+  let t64 = Mapping.traffic ~app () in
+  Alcotest.(check int) "same pairs" (List.length t64) (List.length t1);
+  List.iter2
+    (fun (_, a) (_, b) -> check_float "constant app: same mean" a b)
+    t1 t64
+
+(* --- Hierarchical single-switch fallback ----------------------------------------- *)
+
+let test_hierarchical_single_switch_falls_back () =
+  let cluster = Cluster.homogeneous ~cores:8 ~nodes_per_switch:[ 6 ] () in
+  let w = World.create ~cluster ~scenario:Scenario.quiet ~seed:3 in
+  World.advance w ~now:600.0;
+  let snap = truth w in
+  match
+    Rm_core.Hierarchical.allocate ~snapshot:snap ~weights:Weights.paper_default
+      ~request:(Request.make ~ppn:4 ~procs:8 ())
+  with
+  | Ok a ->
+    Alcotest.(check string) "still labelled" "hierarchical" a.Allocation.policy;
+    Alcotest.(check int) "covers" 8 (Allocation.total_procs a)
+  | Error _ -> Alcotest.fail "fallback failed"
+
+(* --- Federated WAN contention ------------------------------------------------------ *)
+
+let test_wan_is_shared_bottleneck () =
+  let cluster =
+    Cluster.federated ~cores:8 ~wan_mb_s:50.0
+      ~sites:[ ("a", [ 3 ]); ("b", [ 3 ]) ]
+      ()
+  in
+  let network = Rm_netsim.Network.create (Cluster.topology cluster) in
+  (* Two cross-site probes simultaneously share the 50 MB/s WAN pair. *)
+  let rates =
+    Rm_netsim.Network.rates_with_extra network ~extra:[| (0, 3); (1, 4) |]
+  in
+  check_float "half each" 25.0 rates.(0);
+  check_float "half each (2)" 25.0 rates.(1)
+
+let suites =
+  [
+    ( "edge.allocation",
+      [
+        Alcotest.test_case "ppn omitted uses Eq.3" `Quick
+          test_allocate_without_ppn_uses_pc;
+        Alcotest.test_case "single usable node" `Quick test_candidate_single_usable_node;
+        Alcotest.test_case "broker boundary" `Quick
+          test_broker_boundary_allocates_at_threshold;
+        Alcotest.test_case "hierarchical fallback" `Quick
+          test_hierarchical_single_switch_falls_back;
+      ] );
+    ( "edge.workload",
+      [
+        Alcotest.test_case "register_job validation" `Quick
+          test_world_register_job_validation;
+        Alcotest.test_case "switch-local flows" `Quick test_flow_gen_switch_local_bias;
+        Alcotest.test_case "running-mean custom spans" `Quick
+          test_running_means_custom_spans;
+      ] );
+    ( "edge.monitor",
+      [
+        Alcotest.test_case "cadence override" `Quick
+          test_cadence_override_probe_freshness;
+      ] );
+    ( "edge.mpisim",
+      [
+        Alcotest.test_case "compute-only no comm" `Quick
+          test_executor_compute_only_no_comm;
+        Alcotest.test_case "profiler high alpha" `Quick
+          test_profiler_compute_only_suggests_high_alpha;
+        Alcotest.test_case "mapping sample override" `Quick test_mapping_sample_override;
+        Alcotest.test_case "wan shared bottleneck" `Quick test_wan_is_shared_bottleneck;
+      ] );
+  ]

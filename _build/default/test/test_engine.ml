@@ -1,0 +1,204 @@
+(* Tests for rm_engine: event queue ordering/cancellation, sim clock. *)
+
+module Eq = Rm_engine.Event_queue
+module Sim = Rm_engine.Sim
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Event_queue ---------------------------------------------------------- *)
+
+let test_queue_orders_by_time () =
+  let q = Eq.create () in
+  ignore (Eq.push q ~time:3.0 "c");
+  ignore (Eq.push q ~time:1.0 "a");
+  ignore (Eq.push q ~time:2.0 "b");
+  let pop () = match Eq.pop q with Some (_, x) -> x | None -> "?" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ]
+    [ first; second; third ]
+
+let test_queue_fifo_at_equal_times () =
+  let q = Eq.create () in
+  ignore (Eq.push q ~time:1.0 "first");
+  ignore (Eq.push q ~time:1.0 "second");
+  ignore (Eq.push q ~time:1.0 "third");
+  let pop () = match Eq.pop q with Some (_, x) -> x | None -> "?" in
+  let a = pop () in
+  let b = pop () in
+  let c = pop () in
+  Alcotest.(check (list string)) "insertion order" [ "first"; "second"; "third" ]
+    [ a; b; c ]
+
+let test_queue_cancel () =
+  let q = Eq.create () in
+  let _a = Eq.push q ~time:1.0 "a" in
+  let b = Eq.push q ~time:2.0 "b" in
+  ignore (Eq.push q ~time:3.0 "c");
+  Eq.cancel q b;
+  Alcotest.(check int) "two live" 2 (Eq.length q);
+  let pop () = match Eq.pop q with Some (_, x) -> x | None -> "?" in
+  let x = pop () in
+  let y = pop () in
+  Alcotest.(check (list string)) "b skipped" [ "a"; "c" ] [ x; y ];
+  Alcotest.(check bool) "now empty" true (Eq.is_empty q)
+
+let test_queue_cancel_idempotent () =
+  let q = Eq.create () in
+  let h = Eq.push q ~time:1.0 () in
+  Eq.cancel q h;
+  Eq.cancel q h;
+  Alcotest.(check int) "still zero" 0 (Eq.length q)
+
+let test_queue_peek_skips_dead () =
+  let q = Eq.create () in
+  let h = Eq.push q ~time:1.0 "dead" in
+  ignore (Eq.push q ~time:2.0 "live");
+  Eq.cancel q h;
+  Alcotest.(check (option (float 1e-9))) "peek live" (Some 2.0) (Eq.peek_time q)
+
+let test_queue_many_events () =
+  let q = Eq.create () in
+  let n = 2000 in
+  (* Push in a scrambled but deterministic order. *)
+  for i = 0 to n - 1 do
+    let t = float_of_int ((i * 7919) mod n) in
+    ignore (Eq.push q ~time:t ())
+  done;
+  let last = ref neg_infinity in
+  let count = ref 0 in
+  let rec drain () =
+    match Eq.pop q with
+    | None -> ()
+    | Some (t, ()) ->
+      Alcotest.(check bool) "non-decreasing" true (t >= !last);
+      last := t;
+      incr count;
+      drain ()
+  in
+  drain ();
+  Alcotest.(check int) "all popped" n !count
+
+(* --- Sim -------------------------------------------------------------------- *)
+
+let test_sim_schedule_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore (Sim.schedule_at sim ~time:2.0 (fun _ -> log := 2 :: !log));
+  ignore (Sim.schedule_at sim ~time:1.0 (fun _ -> log := 1 :: !log));
+  Sim.run_until sim 10.0;
+  Alcotest.(check (list int)) "in time order" [ 1; 2 ] (List.rev !log);
+  check_float "clock at horizon" 10.0 (Sim.now sim)
+
+let test_sim_past_rejected () =
+  let sim = Sim.create ~start:5.0 () in
+  Alcotest.check_raises "past" (Invalid_argument "Sim.schedule_at: time in the past")
+    (fun () -> ignore (Sim.schedule_at sim ~time:1.0 (fun _ -> ())))
+
+let test_sim_horizon_stops () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  ignore (Sim.schedule_at sim ~time:20.0 (fun _ -> fired := true));
+  Sim.run_until sim 10.0;
+  Alcotest.(check bool) "not yet" false !fired;
+  Sim.run_until sim 30.0;
+  Alcotest.(check bool) "now fired" true !fired
+
+let test_sim_reschedule_during_run () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let rec tick s =
+    incr count;
+    if !count < 5 then ignore (Sim.schedule_after s ~delay:1.0 tick)
+  in
+  ignore (Sim.schedule_after sim ~delay:0.0 tick);
+  Sim.run_until sim 100.0;
+  Alcotest.(check int) "self-rescheduling chain" 5 !count
+
+let test_sim_every () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  Sim.every sim ~period:10.0 ~until:35.0 (fun _ -> incr count);
+  Sim.run_until sim 100.0;
+  (* Fires at 0, 10, 20, 30. *)
+  Alcotest.(check int) "4 ticks" 4 !count
+
+let test_sim_every_with_jitter () =
+  let sim = Sim.create () in
+  let times = ref [] in
+  Sim.every sim
+    ~jitter:(fun () -> 2.5)
+    ~period:10.0 ~until:40.0
+    (fun s -> times := Sim.now s :: !times);
+  Sim.run_until sim 100.0;
+  (* Fires at 0, 12.5, 25, 37.5. *)
+  Alcotest.(check int) "jittered ticks" 4 (List.length !times)
+
+let test_sim_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let h = Sim.schedule_at sim ~time:5.0 (fun _ -> fired := true) in
+  Sim.cancel sim h;
+  Sim.run_until sim 10.0;
+  Alcotest.(check bool) "cancelled" false !fired
+
+let test_sim_clock_during_callback () =
+  let sim = Sim.create () in
+  let seen = ref 0.0 in
+  ignore (Sim.schedule_at sim ~time:7.0 (fun s -> seen := Sim.now s));
+  Sim.run_until sim 10.0;
+  check_float "clock is event time inside callback" 7.0 !seen
+
+let test_sim_pending () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule_at sim ~time:1.0 (fun _ -> ()));
+  ignore (Sim.schedule_at sim ~time:2.0 (fun _ -> ()));
+  Alcotest.(check int) "two pending" 2 (Sim.pending sim);
+  ignore (Sim.step sim);
+  Alcotest.(check int) "one pending" 1 (Sim.pending sim)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let prop_queue_pops_sorted =
+  QCheck.Test.make ~name:"event queue pops in non-decreasing time order"
+    ~count:100
+    QCheck.(list_of_size Gen.(0 -- 100) (float_bound_inclusive 1000.0))
+    (fun times ->
+      let q = Eq.create () in
+      List.iter (fun t -> ignore (Eq.push q ~time:t ())) times;
+      let rec drain last n =
+        match Eq.pop q with
+        | None -> n = List.length times
+        | Some (t, ()) -> t >= last && drain t (n + 1)
+      in
+      drain neg_infinity 0)
+
+let suites =
+  [
+    ( "engine.event_queue",
+      [
+        Alcotest.test_case "orders by time" `Quick test_queue_orders_by_time;
+        Alcotest.test_case "fifo at equal times" `Quick
+          test_queue_fifo_at_equal_times;
+        Alcotest.test_case "cancel" `Quick test_queue_cancel;
+        Alcotest.test_case "cancel idempotent" `Quick test_queue_cancel_idempotent;
+        Alcotest.test_case "peek skips dead" `Quick test_queue_peek_skips_dead;
+        Alcotest.test_case "many events" `Quick test_queue_many_events;
+        qcheck prop_queue_pops_sorted;
+      ] );
+    ( "engine.sim",
+      [
+        Alcotest.test_case "schedule order" `Quick test_sim_schedule_order;
+        Alcotest.test_case "past rejected" `Quick test_sim_past_rejected;
+        Alcotest.test_case "horizon stops" `Quick test_sim_horizon_stops;
+        Alcotest.test_case "reschedule during run" `Quick
+          test_sim_reschedule_during_run;
+        Alcotest.test_case "every" `Quick test_sim_every;
+        Alcotest.test_case "every with jitter" `Quick test_sim_every_with_jitter;
+        Alcotest.test_case "cancel" `Quick test_sim_cancel;
+        Alcotest.test_case "clock during callback" `Quick
+          test_sim_clock_during_callback;
+        Alcotest.test_case "pending" `Quick test_sim_pending;
+      ] );
+  ]

@@ -1,0 +1,294 @@
+(* Integration tests for rm_experiments: harness protocol, end-to-end
+   monitor -> allocator -> executor runs, experiment generators. *)
+
+module Harness = Rm_experiments.Harness
+module Sweep = Rm_experiments.Sweep
+module Traces = Rm_experiments.Traces
+module Bandwidth_map = Rm_experiments.Bandwidth_map
+module Render = Rm_experiments.Render
+module Policies = Rm_core.Policies
+module Weights = Rm_core.Weights
+module Request = Rm_core.Request
+module Allocation = Rm_core.Allocation
+module Scenario = Rm_workload.Scenario
+module Cluster = Rm_cluster.Cluster
+module Matrix = Rm_stats.Matrix
+module Timeseries = Rm_stats.Timeseries
+
+let small_cluster () =
+  Cluster.homogeneous ~cores:8 ~freq_ghz:3.0 ~nodes_per_switch:[ 4; 4 ] ()
+
+let small_env ?(scenario = Scenario.normal) ?(seed = 3) () =
+  let env =
+    Harness.make_env ~cluster:(small_cluster ()) ~scenario ~seed
+      ~horizon:50_000.0 ()
+  in
+  Harness.warm env;
+  env
+
+let app_of ~ranks =
+  Rm_apps.Minimd.app
+    ~config:{ (Rm_apps.Minimd.default_config ~s:8) with Rm_apps.Minimd.steps = 20 }
+    ~ranks
+
+(* --- Render -------------------------------------------------------------- *)
+
+let test_render_table_alignment () =
+  let s =
+    Render.table_str ~header:[ "a"; "bb" ]
+      ~rows:[ [ "1"; "2" ]; [ "333"; "4" ] ]
+  in
+  let lines = String.split_on_char '\n' s in
+  (* header + rule + 2 rows + trailing empty fragment. *)
+  Alcotest.(check int) "5 fragments" 5 (List.length lines);
+  Alcotest.(check bool) "has rule" true
+    (String.exists (fun c -> c = '-') (List.nth lines 1))
+
+let test_render_table_ragged () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Render.table: ragged row")
+    (fun () -> ignore (Render.table_str ~header:[ "a" ] ~rows:[ [ "1"; "2" ] ]))
+
+let test_render_sparkline () =
+  Alcotest.(check int) "one char per point" 5
+    (String.length (Render.sparkline [| 1.0; 2.0; 3.0; 2.0; 1.0 |]));
+  Alcotest.(check string) "empty" "" (Render.sparkline [||])
+
+let test_render_heatmap_scale () =
+  let m = Matrix.square 2 ~init:1.0 in
+  Matrix.set m 0 1 5.0;
+  let s = Render.heatmap_str ~values:m () in
+  Alcotest.(check bool) "mentions scale" true
+    (String.length s > 0
+    && String.split_on_char '\n' s
+       |> List.exists (fun l -> String.length l >= 5 && String.sub l 0 5 = "scale"))
+
+(* --- Harness -------------------------------------------------------------- *)
+
+let test_harness_warm_populates_monitor () =
+  let env = small_env () in
+  let snap = Harness.snapshot env in
+  Alcotest.(check int) "8 usable nodes" 8
+    (List.length (Rm_monitor.Snapshot.usable snap))
+
+let test_harness_run_app () =
+  let env = small_env () in
+  let request = Request.make ~ppn:4 ~alpha:0.3 ~procs:8 () in
+  let r =
+    Harness.run_app env ~policy:Policies.Network_load_aware
+      ~weights:Weights.paper_default ~request ~app_of
+  in
+  Alcotest.(check int) "8 procs placed" 8 (Allocation.total_procs r.Harness.allocation);
+  Alcotest.(check bool) "time positive" true
+    (r.Harness.stats.Rm_mpisim.Executor.total_time_s > 0.0);
+  Alcotest.(check bool) "group metrics sane" true
+    (r.Harness.group_latency_us >= 0.0 && r.Harness.group_bw_complement >= 0.0)
+
+let test_harness_compare_runs_all_policies () =
+  let env = small_env () in
+  let request = Request.make ~ppn:4 ~alpha:0.3 ~procs:8 () in
+  let runs =
+    Harness.compare_policies env ~weights:Weights.paper_default ~request ~app_of
+      ~gap_s:5.0 ()
+  in
+  Alcotest.(check int) "four runs" 4 (List.length runs);
+  Alcotest.(check (list string)) "paper order"
+    [ "random"; "sequential"; "load-aware"; "network-load-aware" ]
+    (List.map (fun (p, _) -> Policies.name p) runs)
+
+let test_harness_gains () =
+  let g = Harness.gains_vs ~baseline_times:[| 10.0; 10.0 |] ~ours_times:[| 5.0; 5.0 |] in
+  Alcotest.(check (float 1e-9)) "50%" 50.0 g;
+  let s = Harness.summarize_gains [| 10.0; 20.0; 60.0 |] in
+  Alcotest.(check (float 1e-9)) "avg" 30.0 s.Harness.average;
+  Alcotest.(check (float 1e-9)) "median" 20.0 s.Harness.median;
+  Alcotest.(check (float 1e-9)) "max" 60.0 s.Harness.maximum
+
+let test_harness_time_advances () =
+  let env = small_env () in
+  let w = Harness.world env in
+  let t0 = Rm_workload.World.now w in
+  Harness.idle env ~seconds:100.0;
+  Alcotest.(check bool) "idle advances" true (Rm_workload.World.now w >= t0 +. 100.0)
+
+(* --- End-to-end: ours beats random on a contended cluster ------------------ *)
+
+let test_e2e_nl_aware_beats_random () =
+  (* Averaged over repetitions on a busy cluster, the paper's allocator
+     must beat random allocation. *)
+  let env = small_env ~scenario:Scenario.busy ~seed:11 () in
+  let request = Request.make ~ppn:4 ~alpha:0.3 ~procs:8 () in
+  let total = ref 0.0 and total_random = ref 0.0 in
+  for _ = 1 to 3 do
+    let runs =
+      Harness.compare_policies env ~weights:Weights.paper_default ~request
+        ~app_of ~gap_s:10.0 ()
+    in
+    List.iter
+      (fun (p, (r : Harness.run_result)) ->
+        let t = r.Harness.stats.Rm_mpisim.Executor.total_time_s in
+        match p with
+        | Policies.Network_load_aware -> total := !total +. t
+        | Policies.Random -> total_random := !total_random +. t
+        | Policies.Sequential | Policies.Load_aware
+        | Policies.Hierarchical -> ())
+      runs
+  done;
+  Alcotest.(check bool) "ours faster than random" true (!total < !total_random)
+
+(* --- Sweep ---------------------------------------------------------------- *)
+
+let tiny_spec seed : Sweep.spec =
+  {
+    Sweep.label = "tiny";
+    size_label = "s";
+    procs_list = [ 8 ];
+    sizes = [ 8 ];
+    reps = 2;
+    ppn = 4;
+    alpha = 0.3;
+    weights = Weights.paper_default;
+    scenario = Scenario.normal;
+    seed;
+    app_of =
+      (fun ~size ~ranks ->
+        Rm_apps.Minimd.app
+          ~config:
+            { (Rm_apps.Minimd.default_config ~s:size) with Rm_apps.Minimd.steps = 10 }
+          ~ranks);
+  }
+
+let test_sweep_records_complete () =
+  let result = Sweep.run (tiny_spec 5) in
+  (* 1 procs x 1 size x 2 reps x 4 policies. *)
+  Alcotest.(check int) "8 records" 8 (List.length result.Sweep.records);
+  List.iter
+    (fun policy ->
+      let times = Sweep.cell_times result ~procs:8 ~size:8 ~policy in
+      Alcotest.(check int) (Policies.name policy) 2 (Array.length times))
+    Policies.all
+
+let test_sweep_renders () =
+  let result = Sweep.run (tiny_spec 6) in
+  let times = Sweep.render_times result ~title:"t" in
+  Alcotest.(check bool) "times mentions procs" true
+    (String.length times > 0);
+  let gains = Sweep.render_gains result ~title:"g" in
+  Alcotest.(check bool) "gains mentions load-aware" true
+    (String.length gains > 0);
+  let fig5 = Sweep.render_load_per_core result ~title:"f" in
+  Alcotest.(check bool) "fig5 nonempty" true (String.length fig5 > 0)
+
+let test_sweep_csv () =
+  let result = Sweep.run (tiny_spec 8) in
+  let csv = Sweep.to_csv result in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  (* header + 8 records. *)
+  Alcotest.(check int) "rows" 9 (List.length lines);
+  Alcotest.(check bool) "header fields" true
+    (String.length (List.hd lines) > 0
+    && String.split_on_char ',' (List.hd lines) |> List.length = 10)
+
+let test_render_csv_quoting () =
+  let csv = Render.csv ~header:[ "a"; "b" ] ~rows:[ [ "x,y"; "z\"q" ] ] in
+  Alcotest.(check string) "quoted" "a,b\n\"x,y\",\"z\"\"q\"\n" csv
+
+let test_sweep_gains_finite () =
+  let result = Sweep.run (tiny_spec 7) in
+  List.iter
+    (fun baseline ->
+      Array.iter
+        (fun g -> Alcotest.(check bool) "finite" true (Float.is_finite g))
+        (Sweep.gains_over result ~baseline))
+    [ Policies.Random; Policies.Sequential; Policies.Load_aware ]
+
+(* --- Queue study ------------------------------------------------------------- *)
+
+module Queue_study = Rm_experiments.Queue_study
+
+let test_queue_study_structure () =
+  let rows = Queue_study.run ~seed:7 ~job_count:3 () in
+  Alcotest.(check int) "four policies" 4 (List.length rows);
+  List.iter
+    (fun (r : Queue_study.policy_row) ->
+      Alcotest.(check int) "all jobs finish" 3
+        r.Queue_study.summary.Rm_sched.Scheduler.jobs_finished;
+      Alcotest.(check bool) "turnaround positive" true
+        (r.Queue_study.summary.Rm_sched.Scheduler.mean_turnaround_s > 0.0))
+    rows;
+  Alcotest.(check bool) "renders" true (String.length (Queue_study.render rows) > 0)
+
+let test_interference_structure () =
+  let i = Queue_study.interference ~seed:13 () in
+  Alcotest.(check bool) "alone positive" true (i.Queue_study.alone_s > 0.0);
+  Alcotest.(check bool) "aware at most as much overlap as random... or both small"
+    true
+    (i.Queue_study.aware_overlap >= 0 && i.Queue_study.random_overlap >= 0);
+  Alcotest.(check bool) "aware beside not much worse than alone" true
+    (i.Queue_study.beside_aware_s < 2.0 *. i.Queue_study.alone_s);
+  Alcotest.(check bool) "renders" true
+    (String.length (Queue_study.render_interference i) > 0)
+
+(* --- Trace experiments ------------------------------------------------------- *)
+
+let test_traces_structure () =
+  let r = Traces.run ~hours:2.0 ~sample_period_s:600.0 ~nodes:6 ~seed:1 () in
+  (* 2 h at 10-min samples: 13 points including t=0. *)
+  Alcotest.(check int) "13 samples" 13 (Timeseries.length r.Traces.load_a);
+  Alcotest.(check int) "avg same length" 13 (Timeseries.length r.Traces.load_avg);
+  let util = Timeseries.value_summary r.Traces.util_avg in
+  Alcotest.(check bool) "util in range" true
+    (util.Rm_stats.Descriptive.min >= 0.0 && util.Rm_stats.Descriptive.max <= 100.0);
+  Alcotest.(check bool) "render nonempty" true
+    (String.length (Traces.render r) > 100)
+
+let test_bandwidth_map_structure () =
+  let r = Bandwidth_map.run ~nodes:12 ~sweeps:2 ~hours:0.5 ~seed:2 () in
+  Alcotest.(check int) "12x12 heatmap" 12 (Matrix.rows r.Bandwidth_map.heat);
+  Alcotest.(check bool) "proximity effect" true
+    (r.Bandwidth_map.same_switch_mean > r.Bandwidth_map.cross_switch_mean);
+  Alcotest.(check int) "three pairs" 3 (List.length r.Bandwidth_map.pair_series);
+  Alcotest.(check bool) "render nonempty" true
+    (String.length (Bandwidth_map.render r) > 100)
+
+let suites =
+  [
+    ( "experiments.render",
+      [
+        Alcotest.test_case "table alignment" `Quick test_render_table_alignment;
+        Alcotest.test_case "table ragged" `Quick test_render_table_ragged;
+        Alcotest.test_case "sparkline" `Quick test_render_sparkline;
+        Alcotest.test_case "heatmap scale" `Quick test_render_heatmap_scale;
+      ] );
+    ( "experiments.harness",
+      [
+        Alcotest.test_case "warm populates monitor" `Quick
+          test_harness_warm_populates_monitor;
+        Alcotest.test_case "run app" `Quick test_harness_run_app;
+        Alcotest.test_case "compare runs all" `Quick
+          test_harness_compare_runs_all_policies;
+        Alcotest.test_case "gains math" `Quick test_harness_gains;
+        Alcotest.test_case "time advances" `Quick test_harness_time_advances;
+      ] );
+    ( "experiments.e2e",
+      [
+        Alcotest.test_case "ours beats random" `Slow test_e2e_nl_aware_beats_random;
+      ] );
+    ( "experiments.sweep",
+      [
+        Alcotest.test_case "records complete" `Quick test_sweep_records_complete;
+        Alcotest.test_case "renders" `Quick test_sweep_renders;
+        Alcotest.test_case "gains finite" `Quick test_sweep_gains_finite;
+        Alcotest.test_case "csv export" `Quick test_sweep_csv;
+        Alcotest.test_case "csv quoting" `Quick test_render_csv_quoting;
+      ] );
+    ( "experiments.queue",
+      [
+        Alcotest.test_case "queue study" `Slow test_queue_study_structure;
+        Alcotest.test_case "interference" `Slow test_interference_structure;
+      ] );
+    ( "experiments.figures",
+      [
+        Alcotest.test_case "fig1 traces" `Quick test_traces_structure;
+        Alcotest.test_case "fig2 bandwidth map" `Quick test_bandwidth_map_structure;
+      ] );
+  ]

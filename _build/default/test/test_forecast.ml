@@ -1,0 +1,229 @@
+(* Tests for rm_forecast: predictors and the adaptive forecaster. *)
+
+module P = Rm_forecast.Predictor
+module F = Rm_forecast.Forecaster
+module Rng = Rm_stats.Rng
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let predict_exn model history =
+  match P.predict model ~history with
+  | Some v -> v
+  | None -> Alcotest.fail "expected prediction"
+
+let test_empty_history () =
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) (P.name m) true (P.predict m ~history:[||] = None))
+    P.default_family
+
+let test_last_value () =
+  check_float "persistence" 7.0 (predict_exn P.Last_value [| 1.0; 7.0 |])
+
+let test_running_mean () =
+  check_float "mean-2 over tail" 5.0
+    (predict_exn (P.Running_mean 2) [| 100.0; 4.0; 6.0 |]);
+  check_float "window larger than history" 4.0
+    (predict_exn (P.Running_mean 10) [| 2.0; 6.0 |])
+
+let test_sliding_median () =
+  check_float "median-3" 5.0
+    (predict_exn (P.Sliding_median 3) [| 0.0; 4.0; 5.0; 90.0 |])
+
+let test_exponential_smoothing () =
+  (* gamma=1: pure persistence. *)
+  check_float "gamma 1" 3.0
+    (predict_exn (P.Exponential_smoothing 1.0) [| 9.0; 3.0 |]);
+  (* constant series: prediction equals the constant. *)
+  check_float "constant" 2.0
+    (predict_exn (P.Exponential_smoothing 0.4) [| 2.0; 2.0; 2.0 |])
+
+let test_ar1_linear_trend () =
+  (* y_{t+1} = y_t + 1 is exactly AR(1) with a=1, b=1. *)
+  let history = Array.init 10 (fun i -> float_of_int i) in
+  check_float "extends trend" 10.0 (predict_exn P.Ar1 history)
+
+let test_ar1_constant_fallback () =
+  check_float "constant series" 5.0 (predict_exn P.Ar1 [| 5.0; 5.0; 5.0; 5.0 |])
+
+let test_validate () =
+  Alcotest.(check bool) "bad window" true
+    (try P.validate (P.Running_mean 0); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad gamma" true
+    (try P.validate (P.Exponential_smoothing 1.5); false
+     with Invalid_argument _ -> true)
+
+(* --- Forecaster ----------------------------------------------------------- *)
+
+let test_forecaster_empty () =
+  let f = F.create () in
+  Alcotest.(check bool) "no prediction" true (F.predict f = None);
+  Alcotest.(check bool) "no best model" true (F.best_model f = None)
+
+let test_forecaster_predicts_after_data () =
+  let f = F.create () in
+  F.observe f 1.0;
+  Alcotest.(check bool) "prediction available" true (F.predict f <> None)
+
+let test_forecaster_constant_signal_exact () =
+  let f = F.create () in
+  for _ = 1 to 30 do
+    F.observe f 4.2
+  done;
+  match F.predict f with
+  | Some p -> check_float "constant predicted exactly" 4.2 p
+  | None -> Alcotest.fail "no prediction"
+
+let test_forecaster_picks_persistence_for_trend () =
+  (* On a steep linear ramp, AR(1) (which extrapolates) must beat the
+     wide-window means. *)
+  let f = F.create () in
+  for i = 1 to 60 do
+    F.observe f (float_of_int i *. 2.0)
+  done;
+  match F.best_model f with
+  | Some m ->
+    Alcotest.(check bool)
+      ("winner suits a ramp: " ^ P.name m)
+      true
+      (match m with
+      | P.Ar1 | P.Last_value | P.Exponential_smoothing _ -> true
+      | P.Running_mean k | P.Sliding_median k -> k <= 5)
+  | None -> Alcotest.fail "no winner"
+
+let test_forecaster_adaptive_beats_worst_model () =
+  (* On a noisy mean-reverting signal, the adaptive choice must be at
+     least as good as the worst family member. *)
+  let rng = Rng.create 5 in
+  let f = F.create () in
+  let adaptive_err = ref 0.0 and n = ref 0 in
+  let signal () = 2.0 +. Rng.gaussian rng ~mu:0.0 ~sigma:0.5 in
+  for _ = 1 to 200 do
+    let y = signal () in
+    (match F.predict f with
+    | Some p ->
+      adaptive_err := !adaptive_err +. Float.abs (p -. y);
+      incr n
+    | None -> ());
+    F.observe f y
+  done;
+  let adaptive_mae = !adaptive_err /. float_of_int !n in
+  let worst =
+    List.fold_left (fun acc (_, e) -> Float.max acc e) 0.0 (F.errors f)
+  in
+  Alcotest.(check bool) "adaptive <= worst" true (adaptive_mae <= worst +. 1e-9)
+
+let test_forecaster_history_bounded () =
+  let f = F.create ~capacity:16 () in
+  for i = 1 to 100 do
+    F.observe f (float_of_int i)
+  done;
+  Alcotest.(check int) "bounded" 16 (F.history_length f)
+
+let test_forecaster_errors_populated () =
+  let f = F.create () in
+  for i = 1 to 10 do
+    F.observe f (float_of_int (i mod 3))
+  done;
+  Alcotest.(check int) "every model scored" (List.length P.default_family)
+    (List.length (F.errors f))
+
+(* --- Monitor_forecast -------------------------------------------------------- *)
+
+module MF = Rm_forecast.Monitor_forecast
+module World = Rm_workload.World
+module Snapshot = Rm_monitor.Snapshot
+
+let mf_world () =
+  World.create
+    ~cluster:(Rm_cluster.Cluster.homogeneous ~cores:8 ~nodes_per_switch:[ 3; 3 ] ())
+    ~scenario:Rm_workload.Scenario.normal ~seed:21
+
+let test_mf_predicts_after_training () =
+  let w = mf_world () in
+  let mf = MF.create ~node_count:6 in
+  for i = 1 to 20 do
+    World.advance w ~now:(float_of_int i *. 60.0);
+    MF.observe mf (Snapshot.of_truth ~time:(World.now w) ~world:w)
+  done;
+  Alcotest.(check int) "20 observations" 20 (MF.observations mf);
+  for node = 0 to 5 do
+    match MF.predicted_load mf ~node with
+    | Some p -> Alcotest.(check bool) "non-negative" true (p >= 0.0)
+    | None -> Alcotest.fail "no prediction after training"
+  done
+
+let test_mf_predict_snapshot_rewrites_load () =
+  let w = mf_world () in
+  let mf = MF.create ~node_count:6 in
+  for i = 1 to 20 do
+    World.advance w ~now:(float_of_int i *. 60.0);
+    MF.observe mf (Snapshot.of_truth ~time:(World.now w) ~world:w)
+  done;
+  let snap = Snapshot.of_truth ~time:(World.now w) ~world:w in
+  let predicted = MF.predict_snapshot mf snap in
+  Alcotest.(check int) "same usable set"
+    (List.length (Snapshot.usable snap))
+    (List.length (Snapshot.usable predicted));
+  List.iter
+    (fun node ->
+      match (Snapshot.node_info predicted node, MF.predicted_load mf ~node) with
+      | Some info, Some p ->
+        Alcotest.(check (float 1e-9)) "load replaced by forecast" p
+          info.Snapshot.load.Rm_stats.Running_means.m1
+      | _ -> Alcotest.fail "missing info/prediction")
+    (Snapshot.usable predicted)
+
+let test_mf_untrained_keeps_measured () =
+  let w = mf_world () in
+  World.advance w ~now:60.0;
+  let mf = MF.create ~node_count:6 in
+  let snap = Snapshot.of_truth ~time:60.0 ~world:w in
+  let predicted = MF.predict_snapshot mf snap in
+  List.iter
+    (fun node ->
+      match (Snapshot.node_info snap node, Snapshot.node_info predicted node) with
+      | Some a, Some b ->
+        Alcotest.(check (float 1e-12)) "unchanged"
+          a.Snapshot.load.Rm_stats.Running_means.m1
+          b.Snapshot.load.Rm_stats.Running_means.m1
+      | _ -> Alcotest.fail "missing info")
+    (Snapshot.usable snap)
+
+let suites =
+  [
+    ( "forecast.predictor",
+      [
+        Alcotest.test_case "empty history" `Quick test_empty_history;
+        Alcotest.test_case "last value" `Quick test_last_value;
+        Alcotest.test_case "running mean" `Quick test_running_mean;
+        Alcotest.test_case "sliding median" `Quick test_sliding_median;
+        Alcotest.test_case "exponential smoothing" `Quick test_exponential_smoothing;
+        Alcotest.test_case "ar1 trend" `Quick test_ar1_linear_trend;
+        Alcotest.test_case "ar1 constant" `Quick test_ar1_constant_fallback;
+        Alcotest.test_case "validate" `Quick test_validate;
+      ] );
+    ( "forecast.forecaster",
+      [
+        Alcotest.test_case "empty" `Quick test_forecaster_empty;
+        Alcotest.test_case "predicts after data" `Quick
+          test_forecaster_predicts_after_data;
+        Alcotest.test_case "constant exact" `Quick
+          test_forecaster_constant_signal_exact;
+        Alcotest.test_case "ramp picks extrapolator" `Quick
+          test_forecaster_picks_persistence_for_trend;
+        Alcotest.test_case "adaptive beats worst" `Quick
+          test_forecaster_adaptive_beats_worst_model;
+        Alcotest.test_case "history bounded" `Quick test_forecaster_history_bounded;
+        Alcotest.test_case "errors populated" `Quick test_forecaster_errors_populated;
+      ] );
+    ( "forecast.monitor",
+      [
+        Alcotest.test_case "predicts after training" `Quick
+          test_mf_predicts_after_training;
+        Alcotest.test_case "predict_snapshot rewrites load" `Quick
+          test_mf_predict_snapshot_rewrites_load;
+        Alcotest.test_case "untrained keeps measured" `Quick
+          test_mf_untrained_keeps_measured;
+      ] );
+  ]

@@ -1,0 +1,188 @@
+(* Tests for rm_core.Madm: PROMETHEE-II, AHP, rankings, plus Spearman. *)
+
+module Madm = Rm_core.Madm
+module Saw = Rm_core.Saw
+module D = Rm_stats.Descriptive
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let col ?(name = "c") ?(criterion = Saw.Minimize) ?(weight = 1.0) values =
+  { Madm.name; criterion; weight; values }
+
+(* --- Spearman ------------------------------------------------------------- *)
+
+let test_spearman_perfect () =
+  check_float "identical order" 1.0
+    (D.spearman [| 1.0; 2.0; 3.0 |] [| 10.0; 20.0; 30.0 |]);
+  check_float "reversed order" (-1.0)
+    (D.spearman [| 1.0; 2.0; 3.0 |] [| 3.0; 2.0; 1.0 |])
+
+let test_spearman_ties () =
+  (* With ties the coefficient stays within [-1, 1] and is symmetric. *)
+  let a = [| 1.0; 1.0; 2.0; 3.0 |] and b = [| 2.0; 1.0; 1.0; 3.0 |] in
+  let r1 = D.spearman a b and r2 = D.spearman b a in
+  check_float "symmetric" r1 r2;
+  Alcotest.(check bool) "bounded" true (r1 >= -1.0 && r1 <= 1.0)
+
+let test_spearman_validation () =
+  Alcotest.check_raises "length"
+    (Invalid_argument "Descriptive.spearman: length mismatch") (fun () ->
+      ignore (D.spearman [| 1.0 |] [| 1.0; 2.0 |]))
+
+(* --- SAW vs PROMETHEE consistency ------------------------------------------ *)
+
+let test_promethee_single_column_order () =
+  (* One minimize column: net flows must rank exactly like the values. *)
+  let values = [| 3.0; 1.0; 2.0 |] in
+  let flows = Madm.promethee_net_flows [ col values ] in
+  let rank = Madm.ranking ~scores:flows ~higher_is_better:true in
+  Alcotest.(check (list int)) "best is lowest value" [ 1; 2; 0 ] rank
+
+let test_promethee_flows_sum_zero () =
+  let flows =
+    Madm.promethee_net_flows
+      [ col [| 3.0; 1.0; 2.0; 5.0 |];
+        col ~criterion:Saw.Maximize ~weight:2.0 [| 1.0; 9.0; 4.0; 2.0 |] ]
+  in
+  check_float "net flows sum to 0" 0.0 (Array.fold_left ( +. ) 0.0 flows);
+  Array.iter
+    (fun f -> Alcotest.(check bool) "bounded" true (f >= -1.0 && f <= 1.0))
+    flows
+
+let test_promethee_dominated_alternative_last () =
+  (* Alternative 0 is worst on every column: it must rank last. *)
+  let flows =
+    Madm.promethee_net_flows
+      [ col [| 9.0; 1.0; 2.0 |]; col ~weight:0.5 [| 9.0; 3.0; 1.0 |] ]
+  in
+  let rank = Madm.ranking ~scores:flows ~higher_is_better:true in
+  Alcotest.(check int) "dominated is last" 0 (List.nth rank 2)
+
+let test_saw_vs_promethee_agree_on_clear_data () =
+  (* Widely separated alternatives: both methods give the same order. *)
+  let columns =
+    [ col ~weight:0.6 [| 10.0; 1.0; 5.0 |];
+      col ~criterion:Saw.Maximize ~weight:0.4 [| 1.0; 10.0; 5.0 |] ]
+  in
+  let saw = Madm.ranking ~scores:(Madm.saw_scores columns) ~higher_is_better:false in
+  let pro =
+    Madm.ranking ~scores:(Madm.promethee_net_flows columns) ~higher_is_better:true
+  in
+  Alcotest.(check (list int)) "same ranking" saw pro
+
+let test_single_alternative () =
+  let flows = Madm.promethee_net_flows [ col [| 5.0 |] ] in
+  check_float "lone alternative has zero flow" 0.0 flows.(0)
+
+(* --- AHP --------------------------------------------------------------------- *)
+
+let test_ahp_identity_uniform () =
+  let m = Array.make_matrix 3 3 1.0 in
+  let p = Madm.ahp_priorities m in
+  Array.iter (fun v -> check_float "uniform" (1.0 /. 3.0) v) p;
+  check_float "perfectly consistent" 0.0 (Madm.ahp_consistency_ratio m)
+
+let test_ahp_known_matrix () =
+  (* A consistent matrix built from w = (0.6, 0.3, 0.1). *)
+  let w = [| 0.6; 0.3; 0.1 |] in
+  let m = Array.init 3 (fun i -> Array.init 3 (fun j -> w.(i) /. w.(j))) in
+  let p = Madm.ahp_priorities m in
+  Array.iteri
+    (fun i v -> Alcotest.(check (float 1e-6)) "recovers weights" w.(i) v)
+    p;
+  Alcotest.(check bool) "CR ~ 0" true (Madm.ahp_consistency_ratio m < 1e-6)
+
+let test_ahp_inconsistent_has_cr () =
+  (* Classic mildly-inconsistent 3x3. *)
+  let m =
+    [| [| 1.0; 2.0; 6.0 |]; [| 0.5; 1.0; 2.0 |]; [| 1.0 /. 6.0; 0.5; 1.0 |] |]
+  in
+  let cr = Madm.ahp_consistency_ratio m in
+  Alcotest.(check bool) "positive CR" true (cr > 0.0);
+  Alcotest.(check bool) "acceptably consistent" true (cr < 0.1)
+
+let test_ahp_rejects_non_reciprocal () =
+  let m = [| [| 1.0; 3.0 |]; [| 3.0; 1.0 |] |] in
+  Alcotest.check_raises "reciprocal check"
+    (Invalid_argument "Madm.ahp: not reciprocal") (fun () ->
+      ignore (Madm.ahp_priorities m))
+
+let test_ahp_scores_use_priorities () =
+  let columns = [ col [| 1.0; 2.0 |]; col ~criterion:Saw.Maximize [| 1.0; 2.0 |] ] in
+  (* Comparisons say column 0 is 9x more important. *)
+  let comparisons = [| [| 1.0; 9.0 |]; [| 1.0 /. 9.0; 1.0 |] |] in
+  let scores = Madm.ahp_scores ~comparisons ~columns in
+  (* Column 0 (minimize) prefers alternative 0, so it must win. *)
+  Alcotest.(check bool) "weighted winner" true (scores.(0) < scores.(1))
+
+let test_madm_validation () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Madm: ragged columns")
+    (fun () ->
+      ignore (Madm.saw_scores [ col [| 1.0 |]; col [| 1.0; 2.0 |] ]));
+  Alcotest.check_raises "no columns" (Invalid_argument "Madm: no columns")
+    (fun () -> ignore (Madm.saw_scores []))
+
+(* --- Compute_load.columns bridge ------------------------------------------------ *)
+
+let test_compute_load_columns_shape () =
+  let cluster =
+    Rm_cluster.Cluster.homogeneous ~cores:8 ~nodes_per_switch:[ 3; 3 ] ()
+  in
+  let world =
+    Rm_workload.World.create ~cluster ~scenario:Rm_workload.Scenario.normal ~seed:2
+  in
+  Rm_workload.World.advance world ~now:600.0;
+  let snap = Rm_monitor.Snapshot.of_truth ~time:600.0 ~world in
+  let columns =
+    Rm_core.Compute_load.columns snap ~weights:Rm_core.Weights.paper_default
+  in
+  Alcotest.(check int) "8 attributes (Table 1)" 8 (List.length columns);
+  List.iter
+    (fun (c : Madm.column) ->
+      Alcotest.(check int) "6 nodes" 6 (Array.length c.Madm.values))
+    columns;
+  (* SAW over the exposed columns equals Compute_load itself. *)
+  let cl = Rm_core.Compute_load.of_snapshot snap ~weights:Rm_core.Weights.paper_default in
+  let scores = Madm.saw_scores columns in
+  List.iteri
+    (fun i node ->
+      Alcotest.(check (float 1e-12)) "consistent with Compute_load"
+        (Rm_core.Compute_load.get cl ~node) scores.(i))
+    (Rm_core.Compute_load.usable cl)
+
+let suites =
+  [
+    ( "stats.spearman",
+      [
+        Alcotest.test_case "perfect" `Quick test_spearman_perfect;
+        Alcotest.test_case "ties" `Quick test_spearman_ties;
+        Alcotest.test_case "validation" `Quick test_spearman_validation;
+      ] );
+    ( "core.madm.promethee",
+      [
+        Alcotest.test_case "single column order" `Quick
+          test_promethee_single_column_order;
+        Alcotest.test_case "flows sum zero" `Quick test_promethee_flows_sum_zero;
+        Alcotest.test_case "dominated last" `Quick
+          test_promethee_dominated_alternative_last;
+        Alcotest.test_case "agrees with SAW on clear data" `Quick
+          test_saw_vs_promethee_agree_on_clear_data;
+        Alcotest.test_case "single alternative" `Quick test_single_alternative;
+      ] );
+    ( "core.madm.ahp",
+      [
+        Alcotest.test_case "uniform" `Quick test_ahp_identity_uniform;
+        Alcotest.test_case "known matrix" `Quick test_ahp_known_matrix;
+        Alcotest.test_case "inconsistent CR" `Quick test_ahp_inconsistent_has_cr;
+        Alcotest.test_case "rejects non-reciprocal" `Quick
+          test_ahp_rejects_non_reciprocal;
+        Alcotest.test_case "scores use priorities" `Quick
+          test_ahp_scores_use_priorities;
+        Alcotest.test_case "validation" `Quick test_madm_validation;
+      ] );
+    ( "core.madm.bridge",
+      [
+        Alcotest.test_case "compute_load columns" `Quick
+          test_compute_load_columns_shape;
+      ] );
+  ]

@@ -1,0 +1,484 @@
+(* Tests for rm_monitor: store, daemons, pair schedule, probes, central
+   monitor failover, snapshots. *)
+
+module Rng = Rm_stats.Rng
+module Sim = Rm_engine.Sim
+module Cluster = Rm_cluster.Cluster
+module World = Rm_workload.World
+module Scenario = Rm_workload.Scenario
+module Store = Rm_monitor.Store
+module Daemon = Rm_monitor.Daemon
+module Pair_schedule = Rm_monitor.Pair_schedule
+module Central = Rm_monitor.Central
+module Snapshot = Rm_monitor.Snapshot
+module System = Rm_monitor.System
+module Running_means = Rm_stats.Running_means
+
+let cluster () = Cluster.homogeneous ~cores:8 ~nodes_per_switch:[ 3; 3 ] ()
+
+let world ?(scenario = Scenario.normal) ?(seed = 1) () =
+  World.create ~cluster:(cluster ()) ~scenario ~seed
+
+(* --- Store ------------------------------------------------------------- *)
+
+let view v : Running_means.view = { instant = v; m1 = v; m5 = v; m15 = v }
+
+let record node time load : Store.node_record =
+  {
+    Store.node;
+    written_at = time;
+    users = 1;
+    load = view load;
+    util_pct = view 10.0;
+    nic_mb_s = view 0.0;
+    mem_avail_gb = view 12.0;
+  }
+
+let test_store_node_roundtrip () =
+  let s = Store.create ~node_count:4 in
+  Alcotest.(check bool) "empty" true (Store.read_node s ~node:2 = None);
+  Store.write_node s (record 2 5.0 1.5);
+  (match Store.read_node s ~node:2 with
+  | Some r ->
+    Alcotest.(check (float 1e-9)) "time" 5.0 r.Store.written_at;
+    Alcotest.(check (float 1e-9)) "load" 1.5 r.Store.load.Running_means.m1
+  | None -> Alcotest.fail "record missing");
+  (* Last write wins. *)
+  Store.write_node s (record 2 9.0 3.0);
+  match Store.read_node s ~node:2 with
+  | Some r -> Alcotest.(check (float 1e-9)) "updated" 9.0 r.Store.written_at
+  | None -> Alcotest.fail "record missing"
+
+let test_store_livehosts () =
+  let s = Store.create ~node_count:4 in
+  Alcotest.(check bool) "none yet" true (Store.read_livehosts s = None);
+  Store.write_livehosts s ~time:3.0 ~nodes:[ 0; 2 ];
+  match Store.read_livehosts s with
+  | Some (t, nodes) ->
+    Alcotest.(check (float 1e-9)) "time" 3.0 t;
+    Alcotest.(check (list int)) "nodes" [ 0; 2 ] nodes
+  | None -> Alcotest.fail "livehosts missing"
+
+let test_store_pair_symmetry () =
+  let s = Store.create ~node_count:4 in
+  Store.write_bandwidth s ~time:1.0 ~src:3 ~dst:1 ~mb_s:42.0;
+  (match Store.read_bandwidth s ~src:1 ~dst:3 with
+  | Some (_, bw) -> Alcotest.(check (float 1e-9)) "symmetric read" 42.0 bw
+  | None -> Alcotest.fail "bandwidth missing");
+  Store.write_latency s ~time:2.0 ~src:0 ~dst:2 ~us:100.0;
+  match Store.read_latency s ~src:2 ~dst:0 with
+  | Some (_, us) -> Alcotest.(check (float 1e-9)) "latency symmetric" 100.0 us
+  | None -> Alcotest.fail "latency missing"
+
+let test_store_matrices () =
+  let s = Store.create ~node_count:3 in
+  Store.write_bandwidth s ~time:1.0 ~src:0 ~dst:1 ~mb_s:50.0;
+  let m = Store.bandwidth_matrix s ~default:118.0 in
+  Alcotest.(check (float 1e-9)) "measured" 50.0 (Rm_stats.Matrix.get m 0 1);
+  Alcotest.(check (float 1e-9)) "default" 118.0 (Rm_stats.Matrix.get m 1 2);
+  Alcotest.(check (float 1e-9)) "diagonal" infinity (Rm_stats.Matrix.get m 2 2)
+
+let test_store_self_pair_rejected () =
+  let s = Store.create ~node_count:3 in
+  Alcotest.check_raises "self" (Invalid_argument "Store: self pair") (fun () ->
+      Store.write_bandwidth s ~time:0.0 ~src:1 ~dst:1 ~mb_s:1.0)
+
+let test_store_save_load_roundtrip () =
+  let s = Store.create ~node_count:4 in
+  Store.write_node s (record 1 5.0 1.5);
+  Store.write_node s (record 3 7.5 0.25);
+  Store.write_livehosts s ~time:8.0 ~nodes:[ 0; 1; 3 ];
+  Store.write_bandwidth s ~time:9.0 ~src:0 ~dst:3 ~mb_s:44.5;
+  Store.write_latency s ~time:9.5 ~src:1 ~dst:2 ~us:123.75;
+  let s2 = Store.load (Store.save s) in
+  Alcotest.(check int) "node count" 4 (Store.node_count s2);
+  (match Store.read_node s2 ~node:1 with
+  | Some r ->
+    Alcotest.(check (float 1e-12)) "written_at" 5.0 r.Store.written_at;
+    Alcotest.(check (float 1e-12)) "load" 1.5 r.Store.load.Running_means.m1
+  | None -> Alcotest.fail "node 1 missing");
+  Alcotest.(check bool) "unwritten node stays empty" true
+    (Store.read_node s2 ~node:2 = None);
+  (match Store.read_livehosts s2 with
+  | Some (t, nodes) ->
+    Alcotest.(check (float 1e-12)) "live time" 8.0 t;
+    Alcotest.(check (list int)) "live nodes" [ 0; 1; 3 ] nodes
+  | None -> Alcotest.fail "livehosts missing");
+  (match Store.read_bandwidth s2 ~src:3 ~dst:0 with
+  | Some (t, v) ->
+    Alcotest.(check (float 1e-12)) "bw time" 9.0 t;
+    Alcotest.(check (float 1e-12)) "bw" 44.5 v
+  | None -> Alcotest.fail "bw missing");
+  match Store.read_latency s2 ~src:2 ~dst:1 with
+  | Some (_, v) -> Alcotest.(check (float 1e-12)) "lat" 123.75 v
+  | None -> Alcotest.fail "lat missing"
+
+let test_store_load_rejects_garbage () =
+  Alcotest.(check bool) "bad header" true
+    (try ignore (Store.load "nonsense"); false with Failure _ -> true);
+  Alcotest.(check bool) "bad record" true
+    (try ignore (Store.load "store v1 2\nwhatever"); false
+     with Failure _ -> true)
+
+let test_store_empty_roundtrip () =
+  let s2 = Store.load (Store.save (Store.create ~node_count:3)) in
+  Alcotest.(check int) "count" 3 (Store.node_count s2);
+  Alcotest.(check bool) "no livehosts" true (Store.read_livehosts s2 = None)
+
+(* --- Daemon -------------------------------------------------------------- *)
+
+let test_daemon_ticks () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let d =
+    Daemon.launch ~sim ~name:"d" ~node:0 ~period:10.0 ~until:100.0
+      ~action:(fun _ -> incr count)
+      ()
+  in
+  Sim.run_until sim 100.0;
+  Alcotest.(check bool) "ticked ~11x" true (!count >= 10 && !count <= 11);
+  Alcotest.(check int) "tick_count" !count (Daemon.tick_count d)
+
+let test_daemon_crash_stops_ticks () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let d =
+    Daemon.launch ~sim ~name:"d" ~node:0 ~period:10.0 ~until:1000.0
+      ~action:(fun _ -> incr count)
+      ()
+  in
+  Sim.run_until sim 50.0;
+  let at_crash = !count in
+  Daemon.crash d;
+  Alcotest.(check bool) "dead" false (Daemon.is_alive d);
+  Sim.run_until sim 200.0;
+  Alcotest.(check int) "no more ticks" at_crash !count
+
+let test_daemon_relaunch () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let d =
+    Daemon.launch ~sim ~name:"d" ~node:0 ~period:10.0 ~until:1000.0
+      ~action:(fun _ -> incr count)
+      ()
+  in
+  Sim.run_until sim 30.0;
+  Daemon.crash d;
+  Sim.run_until sim 100.0;
+  let before = !count in
+  Daemon.relaunch d ~sim ~node:3;
+  Sim.run_until sim 200.0;
+  Alcotest.(check bool) "ticks resumed" true (!count > before);
+  Alcotest.(check int) "moved node" 3 (Daemon.node d);
+  Alcotest.(check bool) "alive" true (Daemon.is_alive d)
+
+let test_daemon_skips_down_host () =
+  let sim = Sim.create () in
+  let up = ref true in
+  let count = ref 0 in
+  let _d =
+    Daemon.launch ~sim ~name:"d" ~node:0 ~period:10.0
+      ~host_up:(fun _ -> !up)
+      ~until:1000.0
+      ~action:(fun _ -> incr count)
+      ()
+  in
+  Sim.run_until sim 55.0;
+  let before = !count in
+  up := false;
+  Sim.run_until sim 150.0;
+  Alcotest.(check int) "skipped while down" before !count;
+  up := true;
+  Sim.run_until sim 250.0;
+  Alcotest.(check bool) "resumed when up" true (!count > before)
+
+(* --- Pair_schedule --------------------------------------------------------- *)
+
+let test_pairs_cover_even () =
+  Alcotest.(check bool) "6 nodes" true
+    (Pair_schedule.all_pairs_covered [ 0; 1; 2; 3; 4; 5 ])
+
+let test_pairs_cover_odd () =
+  Alcotest.(check bool) "5 nodes" true (Pair_schedule.all_pairs_covered [ 0; 1; 2; 3; 4 ])
+
+let test_pairs_rounds_structure () =
+  let rounds = Pair_schedule.rounds [ 10; 20; 30; 40 ] in
+  Alcotest.(check int) "n-1 rounds" 3 (List.length rounds);
+  List.iter
+    (fun round -> Alcotest.(check int) "n/2 pairs" 2 (List.length round))
+    rounds
+
+let test_pairs_two_nodes () =
+  let rounds = Pair_schedule.rounds [ 7; 9 ] in
+  Alcotest.(check int) "one round" 1 (List.length rounds);
+  Alcotest.(check (list (pair int int))) "the pair" [ (7, 9) ] (List.hd rounds)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let prop_pairs_always_cover =
+  QCheck.Test.make ~name:"tournament covers all pairs exactly once" ~count:50
+    QCheck.(int_range 2 24)
+    (fun n -> Pair_schedule.all_pairs_covered (List.init n (fun i -> i * 3)))
+
+(* --- System + Snapshot ------------------------------------------------------- *)
+
+let started_system () =
+  let sim = Sim.create () in
+  let w = world () in
+  let rng = Rng.create 5 in
+  let sys = System.start ~sim ~world:w ~rng ~until:10_000.0 () in
+  (sim, w, sys)
+
+let test_system_populates_store () =
+  let sim, _w, sys = started_system () in
+  Sim.run_until sim (System.warm_up_s System.default_cadence);
+  let snap = System.snapshot sys ~time:(Sim.now sim) in
+  Alcotest.(check int) "all nodes usable" 6 (List.length (Snapshot.usable snap));
+  (* Bandwidth measured for at least one pair. *)
+  let bw = Rm_stats.Matrix.get snap.Snapshot.bw_mb_s 0 1 in
+  Alcotest.(check bool) "bandwidth measured" true (Float.is_finite bw && bw > 0.0);
+  let lat = Rm_stats.Matrix.get snap.Snapshot.lat_us 0 5 in
+  Alcotest.(check bool) "latency measured" true (lat > 0.0)
+
+let test_system_running_means_progress () =
+  let sim, _w, sys = started_system () in
+  Sim.run_until sim 1200.0;
+  let snap = System.snapshot sys ~time:1200.0 in
+  match Snapshot.node_info snap 0 with
+  | Some info ->
+    Alcotest.(check bool) "m15 populated" true
+      (info.Snapshot.load.Running_means.m15 >= 0.0);
+    Alcotest.(check bool) "fresh" true (Snapshot.max_staleness snap < 60.0)
+  | None -> Alcotest.fail "node record missing"
+
+let test_snapshot_excludes_down_nodes () =
+  let sim, w, sys = started_system () in
+  Sim.run_until sim 600.0;
+  World.set_down w ~node:4;
+  Sim.run_until sim 700.0;
+  let snap = System.snapshot sys ~time:700.0 in
+  Alcotest.(check bool) "node 4 not live" false
+    (List.mem 4 snap.Snapshot.live)
+
+let test_snapshot_of_truth () =
+  let w = world () in
+  World.advance w ~now:3600.0;
+  let snap = Snapshot.of_truth ~time:3600.0 ~world:w in
+  Alcotest.(check int) "all usable" 6 (List.length (Snapshot.usable snap));
+  Alcotest.(check (float 1e-9)) "no staleness" 0.0 (Snapshot.max_staleness snap);
+  match Snapshot.node_info snap 1 with
+  | Some info ->
+    Alcotest.(check (float 1e-9)) "views flat"
+      info.Snapshot.load.Running_means.m1 info.Snapshot.load.Running_means.m15
+  | None -> Alcotest.fail "missing info"
+
+let test_monitor_tracks_truth () =
+  (* Measured node state must track ground truth within noise + lag. *)
+  let sim, w, sys = started_system () in
+  Sim.run_until sim 1500.0;
+  let snap = System.snapshot sys ~time:1500.0 in
+  List.iter
+    (fun node ->
+      match Snapshot.node_info snap node with
+      | Some info ->
+        let measured = info.Snapshot.load.Running_means.instant in
+        let truth = World.cpu_load w ~node in
+        (* 2% multiplicative noise, plus the world having moved a little
+           since the last 3-10 s sample. *)
+        Alcotest.(check bool)
+          (Printf.sprintf "node %d load measured %.3f vs truth %.3f" node
+             measured truth)
+          true
+          (Float.abs (measured -. truth) <= (0.25 *. truth) +. 0.35)
+      | None -> Alcotest.fail "missing record")
+    (Snapshot.usable snap)
+
+let test_monitor_bandwidth_tracks_truth () =
+  let sim, w, sys = started_system () in
+  Sim.run_until sim 1500.0;
+  let snap = System.snapshot sys ~time:1500.0 in
+  let network = World.network w in
+  (* Bandwidth probes are at most one 5-min period old; background flows
+     churn, so allow a generous band but demand the right magnitude. *)
+  let ok = ref 0 and total = ref 0 in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun v ->
+          if u < v then begin
+            incr total;
+            let measured = Rm_stats.Matrix.get snap.Snapshot.bw_mb_s u v in
+            let truth =
+              Rm_netsim.Network.available_bandwidth_mb_s network ~src:u ~dst:v
+            in
+            if measured > 0.3 *. truth && measured < 3.0 *. truth then incr ok
+          end)
+        (Snapshot.usable snap))
+    (Snapshot.usable snap);
+  Alcotest.(check bool)
+    (Printf.sprintf "%d/%d pairs within 3x of truth" !ok !total)
+    true
+    (float_of_int !ok >= 0.7 *. float_of_int !total)
+
+let test_pipeline_determinism () =
+  (* The entire stack — world, daemons, allocation, execution — must be
+     a pure function of the seed. *)
+  let run () =
+    let sim = Sim.create () in
+    let w = world ~seed:31 () in
+    let rng = Rng.create 77 in
+    let sys = System.start ~sim ~world:w ~rng ~until:5000.0 () in
+    Sim.run_until sim 1200.0;
+    let snap = System.snapshot sys ~time:1200.0 in
+    match
+      Rm_core.Policies.allocate ~policy:Rm_core.Policies.Network_load_aware
+        ~snapshot:snap ~weights:Rm_core.Weights.paper_default
+        ~request:(Rm_core.Request.make ~ppn:2 ~procs:8 ())
+        ~rng
+    with
+    | Error _ -> Alcotest.fail "allocation failed"
+    | Ok allocation ->
+      let app =
+        Rm_apps.Minimd.app ~config:(Rm_apps.Minimd.default_config ~s:8) ~ranks:8
+      in
+      let stats = Rm_mpisim.Executor.run ~world:w ~allocation ~app () in
+      (Rm_core.Allocation.node_ids allocation,
+       stats.Rm_mpisim.Executor.total_time_s)
+  in
+  let nodes1, t1 = run () in
+  let nodes2, t2 = run () in
+  Alcotest.(check (list int)) "same nodes" nodes1 nodes2;
+  Alcotest.(check (float 1e-12)) "same time" t1 t2
+
+let test_daemon_crash_storm () =
+  (* Crash random daemons repeatedly; the central monitor must keep the
+     fleet alive and the store fresh. *)
+  let sim, _w, sys = started_system () in
+  let rng = Rng.create 3 in
+  Sim.run_until sim 1000.0;
+  let daemons = Array.of_list (System.daemons sys) in
+  for round = 1 to 10 do
+    Daemon.crash daemons.(Rng.int rng (Array.length daemons));
+    Daemon.crash daemons.(Rng.int rng (Array.length daemons));
+    Sim.run_until sim (1000.0 +. (float_of_int round *. 100.0))
+  done;
+  Sim.run_until sim 2500.0;
+  let alive = Array.to_list daemons |> List.filter Daemon.is_alive in
+  Alcotest.(check int) "all daemons alive again" (Array.length daemons)
+    (List.length alive);
+  let snap = System.snapshot sys ~time:2500.0 in
+  Alcotest.(check bool) "store fresh" true (Snapshot.max_staleness snap < 120.0)
+
+(* --- Central failover --------------------------------------------------------- *)
+
+let central_setup () =
+  let sim = Sim.create () in
+  let w = world () in
+  let count = ref 0 in
+  let victim =
+    Daemon.launch ~sim ~name:"victim" ~node:2 ~period:5.0 ~until:100_000.0
+      ~action:(fun _ -> incr count)
+      ()
+  in
+  let central =
+    Central.launch ~sim ~world:w ~rng:(Rng.create 9) ~supervised:[ victim ]
+      ~until:100_000.0 ()
+  in
+  (sim, central, victim, count)
+
+let test_central_relaunches_crashed_daemon () =
+  let sim, central, victim, _count = central_setup () in
+  Sim.run_until sim 50.0;
+  Daemon.crash victim;
+  Sim.run_until sim 200.0;
+  Alcotest.(check bool) "relaunched" true (Daemon.is_alive victim);
+  Alcotest.(check bool) "counted" true (Central.relaunches central >= 1)
+
+let test_central_master_failover () =
+  let sim, central, _victim, _count = central_setup () in
+  Sim.run_until sim 50.0;
+  Alcotest.(check int) "two instances" 2 (Central.instance_count central);
+  Central.crash_master central;
+  Sim.run_until sim 300.0;
+  (* Slave promoted and spawned a fresh slave. *)
+  Alcotest.(check bool) "master exists" true (Central.master central <> None);
+  Alcotest.(check int) "two instances again" 2 (Central.instance_count central)
+
+let test_central_survives_slave_crash () =
+  let sim, central, _victim, _count = central_setup () in
+  Sim.run_until sim 50.0;
+  Central.crash_slave central;
+  Sim.run_until sim 300.0;
+  Alcotest.(check int) "slave regrown" 2 (Central.instance_count central)
+
+let test_central_double_crash_daemons_continue () =
+  let sim, central, victim, count = central_setup () in
+  Sim.run_until sim 50.0;
+  Central.crash_master central;
+  Central.crash_slave central;
+  Sim.run_until sim 300.0;
+  Alcotest.(check int) "no central left" 0 (Central.instance_count central);
+  (* The monitoring daemon keeps ticking (paper §4)... *)
+  let before = !count in
+  Sim.run_until sim 400.0;
+  Alcotest.(check bool) "daemon still ticks" true (!count > before);
+  (* ...but a crash is now permanent. *)
+  Daemon.crash victim;
+  Sim.run_until sim 600.0;
+  Alcotest.(check bool) "no relaunch without central" false (Daemon.is_alive victim)
+
+let suites =
+  [
+    ( "monitor.store",
+      [
+        Alcotest.test_case "node roundtrip" `Quick test_store_node_roundtrip;
+        Alcotest.test_case "livehosts" `Quick test_store_livehosts;
+        Alcotest.test_case "pair symmetry" `Quick test_store_pair_symmetry;
+        Alcotest.test_case "matrices" `Quick test_store_matrices;
+        Alcotest.test_case "self pair rejected" `Quick test_store_self_pair_rejected;
+        Alcotest.test_case "save/load roundtrip" `Quick test_store_save_load_roundtrip;
+        Alcotest.test_case "load rejects garbage" `Quick test_store_load_rejects_garbage;
+        Alcotest.test_case "empty roundtrip" `Quick test_store_empty_roundtrip;
+      ] );
+    ( "monitor.daemon",
+      [
+        Alcotest.test_case "ticks" `Quick test_daemon_ticks;
+        Alcotest.test_case "crash stops ticks" `Quick test_daemon_crash_stops_ticks;
+        Alcotest.test_case "relaunch" `Quick test_daemon_relaunch;
+        Alcotest.test_case "skips down host" `Quick test_daemon_skips_down_host;
+      ] );
+    ( "monitor.pair_schedule",
+      [
+        Alcotest.test_case "covers even" `Quick test_pairs_cover_even;
+        Alcotest.test_case "covers odd" `Quick test_pairs_cover_odd;
+        Alcotest.test_case "round structure" `Quick test_pairs_rounds_structure;
+        Alcotest.test_case "two nodes" `Quick test_pairs_two_nodes;
+        qcheck prop_pairs_always_cover;
+      ] );
+    ( "monitor.system",
+      [
+        Alcotest.test_case "populates store" `Quick test_system_populates_store;
+        Alcotest.test_case "running means progress" `Quick
+          test_system_running_means_progress;
+        Alcotest.test_case "snapshot excludes down nodes" `Quick
+          test_snapshot_excludes_down_nodes;
+        Alcotest.test_case "snapshot of truth" `Quick test_snapshot_of_truth;
+      ] );
+    ( "monitor.integration",
+      [
+        Alcotest.test_case "node state tracks truth" `Quick test_monitor_tracks_truth;
+        Alcotest.test_case "bandwidth tracks truth" `Quick
+          test_monitor_bandwidth_tracks_truth;
+        Alcotest.test_case "pipeline determinism" `Quick test_pipeline_determinism;
+        Alcotest.test_case "daemon crash storm" `Quick test_daemon_crash_storm;
+      ] );
+    ( "monitor.central",
+      [
+        Alcotest.test_case "relaunches crashed daemon" `Quick
+          test_central_relaunches_crashed_daemon;
+        Alcotest.test_case "master failover" `Quick test_central_master_failover;
+        Alcotest.test_case "slave crash" `Quick test_central_survives_slave_crash;
+        Alcotest.test_case "double crash" `Quick
+          test_central_double_crash_daemons_continue;
+      ] );
+  ]

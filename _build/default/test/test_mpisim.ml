@@ -1,0 +1,498 @@
+(* Tests for rm_mpisim: placement, 3-D decomposition, cost model,
+   collectives, executor. *)
+
+module Allocation = Rm_core.Allocation
+module Placement = Rm_mpisim.Placement
+module Decomp3d = Rm_mpisim.Decomp3d
+module Cost_model = Rm_mpisim.Cost_model
+module Collectives = Rm_mpisim.Collectives
+module App = Rm_mpisim.App
+module Executor = Rm_mpisim.Executor
+module Cluster = Rm_cluster.Cluster
+module World = Rm_workload.World
+module Scenario = Rm_workload.Scenario
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let alloc entries =
+  Allocation.make ~policy:"test"
+    ~entries:(List.map (fun (node, procs) -> { Allocation.node; procs }) entries)
+
+(* --- Placement ----------------------------------------------------------- *)
+
+let test_placement_block_layout () =
+  let p = Placement.of_allocation (alloc [ (5, 2); (3, 3) ]) in
+  Alcotest.(check int) "ranks" 5 (Placement.ranks p);
+  Alcotest.(check int) "rank 0" 5 (Placement.node_of_rank p ~rank:0);
+  Alcotest.(check int) "rank 1" 5 (Placement.node_of_rank p ~rank:1);
+  Alcotest.(check int) "rank 2" 3 (Placement.node_of_rank p ~rank:2);
+  Alcotest.(check int) "rank 4" 3 (Placement.node_of_rank p ~rank:4);
+  Alcotest.(check (list int)) "nodes in order" [ 5; 3 ] (Placement.nodes p);
+  Alcotest.(check int) "ranks_on 3" 3 (Placement.ranks_on p ~node:3);
+  Alcotest.(check int) "ranks_on absent" 0 (Placement.ranks_on p ~node:7);
+  Alcotest.(check bool) "same node" true (Placement.same_node p 0 1);
+  Alcotest.(check bool) "different nodes" false (Placement.same_node p 1 2)
+
+let test_placement_bounds () =
+  let p = Placement.of_allocation (alloc [ (0, 2) ]) in
+  Alcotest.check_raises "oob"
+    (Invalid_argument "Placement.node_of_rank: rank out of range") (fun () ->
+      ignore (Placement.node_of_rank p ~rank:2))
+
+(* --- Decomp3d --------------------------------------------------------------- *)
+
+let test_decomp_cubic () =
+  let g = Decomp3d.create ~ranks:8 in
+  Alcotest.(check (triple int int int)) "2x2x2" (2, 2, 2) (Decomp3d.dims g);
+  let g64 = Decomp3d.create ~ranks:64 in
+  Alcotest.(check (triple int int int)) "4x4x4" (4, 4, 4) (Decomp3d.dims g64)
+
+let test_decomp_nontrivial () =
+  let g = Decomp3d.create ~ranks:12 in
+  let x, y, z = Decomp3d.dims g in
+  Alcotest.(check int) "product" 12 (x * y * z);
+  Alcotest.(check bool) "sorted" true (x <= y && y <= z);
+  Alcotest.(check (triple int int int)) "2x2x3" (2, 2, 3) (x, y, z)
+
+let test_decomp_prime () =
+  let g = Decomp3d.create ~ranks:7 in
+  Alcotest.(check (triple int int int)) "1x1x7" (1, 1, 7) (Decomp3d.dims g)
+
+let test_decomp_coords_roundtrip () =
+  let g = Decomp3d.create ~ranks:24 in
+  for rank = 0 to 23 do
+    let c = Decomp3d.coords g ~rank in
+    Alcotest.(check int) "roundtrip" rank (Decomp3d.rank_of g ~coords:c)
+  done
+
+let test_decomp_neighbors_valid () =
+  let g = Decomp3d.create ~ranks:16 in
+  for rank = 0 to 15 do
+    let ns = Decomp3d.neighbors g ~rank in
+    Alcotest.(check bool) "no self" false (List.mem rank ns);
+    Alcotest.(check bool) "at most 6" true (List.length ns <= 6);
+    List.iter
+      (fun n -> Alcotest.(check bool) "in range" true (n >= 0 && n < 16))
+      ns
+  done
+
+let test_decomp_neighbors_symmetric () =
+  let g = Decomp3d.create ~ranks:27 in
+  for rank = 0 to 26 do
+    List.iter
+      (fun n ->
+        Alcotest.(check bool) "symmetric" true
+          (List.mem rank (Decomp3d.neighbors g ~rank:n)))
+      (Decomp3d.neighbors g ~rank)
+  done
+
+let test_decomp_face_counts_sum_to_six () =
+  let g = Decomp3d.create ~ranks:8 in
+  for rank = 0 to 7 do
+    let total =
+      List.fold_left (fun acc (_, c) -> acc + c) 0 (Decomp3d.face_counts g ~rank)
+    in
+    Alcotest.(check int) "six faces" 6 total
+  done
+
+let test_decomp_single_rank () =
+  let g = Decomp3d.create ~ranks:1 in
+  Alcotest.(check (list int)) "no neighbors" [] (Decomp3d.neighbors g ~rank:0)
+
+(* --- Cost_model ----------------------------------------------------------------- *)
+
+let node ?(cores = 12) ?(freq = 3.0) () =
+  Rm_cluster.Node.make ~id:0 ~hostname:"n" ~cores ~freq_ghz:freq ~mem_gb:16.0
+    ~switch:0
+
+let test_oversubscription_floor () =
+  check_float "idle node, small job" 1.0
+    (Cost_model.oversubscription_factor ~background_load:0.0
+       ~job_ranks_on_node:4 ~cores:12)
+
+let test_oversubscription_grows () =
+  let f =
+    Cost_model.oversubscription_factor ~background_load:10.0
+      ~job_ranks_on_node:4 ~cores:12
+  in
+  Alcotest.(check bool) "above 1" true (f > 1.0);
+  check_float "formula" (14.0 /. (Cost_model.ht_efficiency *. 12.0)) f
+
+let test_compute_time_scales () =
+  let t1 =
+    Cost_model.compute_time_s ~node:(node ()) ~background_load:0.0
+      ~job_ranks_on_node:1 ~flops:3e9
+  in
+  check_float "1 second at 3 GHz x 1 flop/cycle" 1.0 t1;
+  let t2 =
+    Cost_model.compute_time_s ~node:(node ~freq:6.0 ()) ~background_load:0.0
+      ~job_ranks_on_node:1 ~flops:3e9
+  in
+  check_float "faster clock halves time" 0.5 t2
+
+let test_compute_time_loaded_slower () =
+  let quiet =
+    Cost_model.compute_time_s ~node:(node ()) ~background_load:0.0
+      ~job_ranks_on_node:4 ~flops:1e9
+  in
+  let loaded =
+    Cost_model.compute_time_s ~node:(node ()) ~background_load:10.0
+      ~job_ranks_on_node:4 ~flops:1e9
+  in
+  Alcotest.(check bool) "loaded slower" true (loaded > quiet)
+
+let test_message_time () =
+  check_float "latency only" 200e-6
+    (Cost_model.message_time_s ~latency_us:200.0 ~bandwidth_mb_s:100.0 ~bytes:0.0);
+  check_float "1MB at 100MB/s + latency" (0.01 +. 200e-6)
+    (Cost_model.message_time_s ~latency_us:200.0 ~bandwidth_mb_s:100.0 ~bytes:1e6)
+
+let test_intra_node_fast () =
+  let inter =
+    Cost_model.message_time_s ~latency_us:200.0 ~bandwidth_mb_s:100.0 ~bytes:1e6
+  in
+  let intra = Cost_model.intra_node_time_s ~bytes:1e6 in
+  Alcotest.(check bool) "shared memory much faster" true (intra < inter /. 10.0)
+
+(* --- Collectives ------------------------------------------------------------------ *)
+
+let uniform_view ~lat ~bw : Collectives.link_view =
+  {
+    Collectives.latency_us = (fun ~src:_ ~dst:_ -> lat);
+    bandwidth_mb_s = (fun ~src:_ ~dst:_ -> bw);
+  }
+
+let test_allreduce_single_rank_free () =
+  let p = Placement.of_allocation (alloc [ (0, 1) ]) in
+  check_float "free" 0.0
+    (Collectives.allreduce_time_s ~placement:p
+       ~view:(uniform_view ~lat:100.0 ~bw:100.0)
+       ~bytes:8.0)
+
+let test_allreduce_log_stages () =
+  let mk ranks =
+    (* ranks spread 1/node over [ranks] nodes *)
+    Placement.of_allocation (alloc (List.init ranks (fun i -> (i, 1))))
+  in
+  let view = uniform_view ~lat:100.0 ~bw:100.0 in
+  let t8 = Collectives.allreduce_time_s ~placement:(mk 8) ~view ~bytes:8.0 in
+  let t16 = Collectives.allreduce_time_s ~placement:(mk 16) ~view ~bytes:8.0 in
+  check_float "log2 growth" (4.0 /. 3.0) (t16 /. t8)
+
+let test_allreduce_worse_on_slow_links () =
+  let p = Placement.of_allocation (alloc [ (0, 2); (1, 2) ]) in
+  let fast =
+    Collectives.allreduce_time_s ~placement:p
+      ~view:(uniform_view ~lat:70.0 ~bw:118.0) ~bytes:1e5
+  in
+  let slow =
+    Collectives.allreduce_time_s ~placement:p
+      ~view:(uniform_view ~lat:500.0 ~bw:10.0) ~bytes:1e5
+  in
+  Alcotest.(check bool) "slow links cost more" true (slow > fast)
+
+let test_allreduce_single_node_cheap () =
+  let together = Placement.of_allocation (alloc [ (0, 8) ]) in
+  let spread = Placement.of_allocation (alloc (List.init 8 (fun i -> (i, 1)))) in
+  let view = uniform_view ~lat:200.0 ~bw:50.0 in
+  let t_together = Collectives.allreduce_time_s ~placement:together ~view ~bytes:8.0 in
+  let t_spread = Collectives.allreduce_time_s ~placement:spread ~view ~bytes:8.0 in
+  Alcotest.(check bool) "shared memory wins" true (t_together < t_spread)
+
+let test_allreduce_algorithm_switch () =
+  (* Tiny payloads: recursive doubling (fewer latency terms) wins; huge
+     payloads: ring (bytes/p per step) wins; the dispatcher picks min. *)
+  let p = Placement.of_allocation (alloc (List.init 8 (fun i -> (i, 1)))) in
+  let view = uniform_view ~lat:200.0 ~bw:100.0 in
+  let small = 8.0 and big = 1e8 in
+  let rd b = Collectives.allreduce_recursive_doubling_s ~placement:p ~view ~bytes:b in
+  let ring b = Collectives.allreduce_ring_s ~placement:p ~view ~bytes:b in
+  Alcotest.(check bool) "small: recdbl wins" true (rd small < ring small);
+  Alcotest.(check bool) "big: ring wins" true (ring big < rd big);
+  check_float "dispatcher small" (rd small)
+    (Collectives.allreduce_time_s ~placement:p ~view ~bytes:small);
+  check_float "dispatcher big" (ring big)
+    (Collectives.allreduce_time_s ~placement:p ~view ~bytes:big)
+
+let test_barrier_and_bcast () =
+  let p = Placement.of_allocation (alloc [ (0, 2); (1, 2) ]) in
+  let view = uniform_view ~lat:100.0 ~bw:100.0 in
+  Alcotest.(check bool) "barrier positive" true
+    (Collectives.barrier_time_s ~placement:p ~view > 0.0);
+  let b1 = Collectives.bcast_time_s ~placement:p ~view ~bytes:1e3 in
+  let b2 = Collectives.bcast_time_s ~placement:p ~view ~bytes:1e6 in
+  Alcotest.(check bool) "bigger bcast slower" true (b2 > b1)
+
+(* --- Mapping -------------------------------------------------------------------- *)
+
+module Mapping = Rm_mpisim.Mapping
+
+(* Ranks talk in disjoint heavy pairs (r, r + ranks/2): block placement
+   over two nodes severs every pair; the optimum severs none. *)
+let paired_app ~ranks =
+  let half = ranks / 2 in
+  App.make ~name:"paired" ~ranks ~iterations:10
+    ~phase:(fun ~iter:_ ->
+      {
+        App.flops_per_rank = (fun _ -> 1e5);
+        messages = List.init half (fun r -> (r, r + half, 1e6));
+        allreduce_bytes = 0.0;
+      })
+    ()
+
+let test_mapping_traffic () =
+  let app = paired_app ~ranks:4 in
+  let pairs = Mapping.traffic ~app () in
+  Alcotest.(check int) "two pairs" 2 (List.length pairs);
+  List.iter
+    (fun ((a, b), bytes) ->
+      Alcotest.(check int) "pair structure" (a + 2) b;
+      Alcotest.(check (float 1e-6)) "mean per-iteration bytes" 1e6 bytes)
+    pairs
+
+let test_mapping_colocates_heavy_pairs () =
+  let app = paired_app ~ranks:8 in
+  let allocation = alloc [ (0, 4); (1, 4) ] in
+  let r = Mapping.optimize ~app ~allocation in
+  Alcotest.(check (float 1e-6)) "block severs all pairs" 4e6
+    r.Mapping.default_inter_bytes;
+  Alcotest.(check (float 1e-6)) "mapping severs none" 0.0
+    r.Mapping.mapped_inter_bytes;
+  (* Each pair ends on one node. *)
+  for rank = 0 to 3 do
+    Alcotest.(check bool) "pair co-located" true
+      (Placement.same_node r.Mapping.placement rank (rank + 4))
+  done
+
+let test_mapping_fallback_when_block_optimal () =
+  (* All traffic already intra-node under block placement. *)
+  let app =
+    App.make ~name:"local" ~ranks:8 ~iterations:5
+      ~phase:(fun ~iter:_ ->
+        {
+          App.flops_per_rank = (fun _ -> 1e5);
+          messages = [ (0, 1, 1e6); (4, 5, 1e6) ];
+          allreduce_bytes = 0.0;
+        })
+      ()
+  in
+  let allocation = alloc [ (0, 4); (1, 4) ] in
+  let r = Mapping.optimize ~app ~allocation in
+  Alcotest.(check (float 1e-9)) "block already optimal" 0.0
+    r.Mapping.default_inter_bytes;
+  Alcotest.(check (float 1e-9)) "no regression" 0.0 r.Mapping.mapped_inter_bytes
+
+let test_mapping_speeds_up_execution () =
+  let app = paired_app ~ranks:8 in
+  let allocation = alloc [ (0, 4); (1, 4) ] in
+  let r = Mapping.optimize ~app ~allocation in
+  let run placement =
+    let cluster =
+      Cluster.homogeneous ~cores:8 ~freq_ghz:3.0 ~nodes_per_switch:[ 3; 3 ] ()
+    in
+    let w = World.create ~cluster ~scenario:Scenario.quiet ~seed:7 in
+    (Executor.run ~world:w ~allocation ~app ?placement ()).Executor.total_time_s
+  in
+  let block = run None in
+  let mapped = run (Some r.Mapping.placement) in
+  Alcotest.(check bool) "mapped faster" true (mapped < block)
+
+let test_placement_custom_validation () =
+  let allocation = alloc [ (0, 2); (1, 2) ] in
+  Alcotest.(check bool) "wrong counts rejected" true
+    (try
+       ignore (Placement.custom ~allocation ~node_of_rank:[| 0; 0; 0; 1 |]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "foreign node rejected" true
+    (try
+       ignore (Placement.custom ~allocation ~node_of_rank:[| 0; 0; 7; 7 |]);
+       false
+     with Invalid_argument _ -> true);
+  let p = Placement.custom ~allocation ~node_of_rank:[| 1; 0; 1; 0 |] in
+  Alcotest.(check int) "custom honoured" 1 (Placement.node_of_rank p ~rank:0)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* Random sparse communication patterns: the mapper must never do worse
+   than block placement (it falls back when packing does not help). *)
+let prop_mapping_never_worse =
+  QCheck.Test.make ~name:"mapping never increases inter-node bytes" ~count:60
+    QCheck.(list_of_size Gen.(1 -- 15)
+              (triple (int_bound 7) (int_bound 7) (float_range 1.0 1e6)))
+    (fun msgs ->
+      let messages =
+        List.filter_map
+          (fun (a, b, bytes) -> if a = b then None else Some (a, b, bytes))
+          msgs
+      in
+      QCheck.assume (messages <> []);
+      let app =
+        App.make ~name:"rand" ~ranks:8 ~iterations:4
+          ~phase:(fun ~iter:_ ->
+            { App.flops_per_rank = (fun _ -> 1.0); messages; allreduce_bytes = 0.0 })
+          ()
+      in
+      let allocation = alloc [ (0, 4); (1, 4) ] in
+      let r = Mapping.optimize ~app ~allocation in
+      r.Mapping.mapped_inter_bytes <= r.Mapping.default_inter_bytes +. 1e-6)
+
+(* --- Executor --------------------------------------------------------------------- *)
+
+let world () =
+  let cluster = Cluster.homogeneous ~cores:8 ~freq_ghz:3.0 ~nodes_per_switch:[ 3; 3 ] () in
+  World.create ~cluster ~scenario:Scenario.quiet ~seed:7
+
+let simple_app ~ranks ~iterations ~flops ~bytes =
+  App.make ~name:"t" ~ranks ~iterations
+    ~phase:(fun ~iter:_ ->
+      {
+        App.flops_per_rank = (fun _ -> flops);
+        messages =
+          (if ranks < 2 then []
+           else List.init ranks (fun r -> (r, (r + 1) mod ranks, bytes)));
+        allreduce_bytes = 8.0;
+      })
+    ()
+
+let test_executor_rank_mismatch () =
+  let w = world () in
+  let a = alloc [ (0, 2) ] in
+  let app = simple_app ~ranks:4 ~iterations:1 ~flops:1e6 ~bytes:1e3 in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Executor.run: allocation size does not match app ranks")
+    (fun () -> ignore (Executor.run ~world:w ~allocation:a ~app ()))
+
+let test_executor_accounts_time () =
+  let w = world () in
+  let a = alloc [ (0, 2); (1, 2) ] in
+  let app = simple_app ~ranks:4 ~iterations:10 ~flops:1e7 ~bytes:1e4 in
+  let before = World.now w in
+  let stats = Executor.run ~world:w ~allocation:a ~app () in
+  Alcotest.(check bool) "positive time" true (stats.Executor.total_time_s > 0.0);
+  Alcotest.(check bool) "world advanced" true
+    (World.now w > before +. stats.Executor.total_time_s -. 1e-9);
+  Alcotest.(check int) "iterations" 10 stats.Executor.iterations;
+  Alcotest.(check bool) "components sum" true
+    (Float.abs
+       (stats.Executor.compute_time_s +. stats.Executor.comm_time_s
+       -. stats.Executor.total_time_s)
+    < 1e-6);
+  Alcotest.(check bool) "comm fraction in [0,1]" true
+    (stats.Executor.comm_fraction >= 0.0 && stats.Executor.comm_fraction <= 1.0)
+
+let test_executor_more_flops_longer () =
+  let run flops =
+    let w = world () in
+    let a = alloc [ (0, 2); (1, 2) ] in
+    let app = simple_app ~ranks:4 ~iterations:5 ~flops ~bytes:1e3 in
+    (Executor.run ~world:w ~allocation:a ~app ()).Executor.total_time_s
+  in
+  Alcotest.(check bool) "10x flops longer" true (run 1e8 > run 1e7)
+
+let test_executor_intra_node_cheaper () =
+  let run entries =
+    let w = world () in
+    let app = simple_app ~ranks:4 ~iterations:20 ~flops:1e5 ~bytes:1e5 in
+    (Executor.run ~world:w ~allocation:(alloc entries) ~app ()).Executor.total_time_s
+  in
+  let together = run [ (0, 4) ] in
+  let spread = run [ (0, 1); (1, 1); (2, 1); (3, 1) ] in
+  Alcotest.(check bool) "one node beats four" true (together < spread)
+
+let test_executor_same_switch_cheaper () =
+  let run entries =
+    let w = world () in
+    let app = simple_app ~ranks:4 ~iterations:20 ~flops:1e5 ~bytes:2e5 in
+    (Executor.run ~world:w ~allocation:(alloc entries) ~app ()).Executor.total_time_s
+  in
+  (* Background is quiet, so the cross-switch penalty is pure latency. *)
+  let same_switch = run [ (0, 2); (1, 2) ] in
+  let cross_switch = run [ (0, 2); (3, 2) ] in
+  Alcotest.(check bool) "same switch no slower" true
+    (same_switch <= cross_switch +. 1e-9)
+
+let test_executor_contended_slower () =
+  (* Inject a fat background flow crossing the job's link. *)
+  let cluster = Cluster.homogeneous ~cores:8 ~nodes_per_switch:[ 3; 3 ] () in
+  let quiet_world = World.create ~cluster ~scenario:Scenario.quiet ~seed:1 in
+  let app = simple_app ~ranks:4 ~iterations:20 ~flops:1e5 ~bytes:5e5 in
+  let a = alloc [ (0, 2); (3, 2) ] in
+  let t_quiet =
+    (Executor.run ~world:quiet_world ~allocation:a ~app ()).Executor.total_time_s
+  in
+  let busy_world = World.create ~cluster ~scenario:Scenario.busy ~seed:1 in
+  World.advance busy_world ~now:3600.0;
+  let t_busy =
+    (Executor.run ~world:busy_world ~allocation:a ~app ()).Executor.total_time_s
+  in
+  Alcotest.(check bool) "busy cluster slower" true (t_busy > t_quiet)
+
+let test_executor_load_metric () =
+  let w = world () in
+  let a = alloc [ (0, 4) ] in
+  let app = simple_app ~ranks:4 ~iterations:3 ~flops:1e6 ~bytes:0.0 in
+  let stats = Executor.run ~world:w ~allocation:a ~app () in
+  (* Quiet cluster: at least the job's own 4 ranks / 8 cores. *)
+  Alcotest.(check bool) "load/core >= 0.5" true
+    (stats.Executor.mean_load_per_core >= 0.5 -. 1e-9)
+
+let suites =
+  [
+    ( "mpisim.placement",
+      [
+        Alcotest.test_case "block layout" `Quick test_placement_block_layout;
+        Alcotest.test_case "bounds" `Quick test_placement_bounds;
+      ] );
+    ( "mpisim.decomp3d",
+      [
+        Alcotest.test_case "cubic" `Quick test_decomp_cubic;
+        Alcotest.test_case "non-trivial" `Quick test_decomp_nontrivial;
+        Alcotest.test_case "prime" `Quick test_decomp_prime;
+        Alcotest.test_case "coords roundtrip" `Quick test_decomp_coords_roundtrip;
+        Alcotest.test_case "neighbors valid" `Quick test_decomp_neighbors_valid;
+        Alcotest.test_case "neighbors symmetric" `Quick test_decomp_neighbors_symmetric;
+        Alcotest.test_case "face counts" `Quick test_decomp_face_counts_sum_to_six;
+        Alcotest.test_case "single rank" `Quick test_decomp_single_rank;
+      ] );
+    ( "mpisim.cost_model",
+      [
+        Alcotest.test_case "oversubscription floor" `Quick test_oversubscription_floor;
+        Alcotest.test_case "oversubscription grows" `Quick test_oversubscription_grows;
+        Alcotest.test_case "compute time scales" `Quick test_compute_time_scales;
+        Alcotest.test_case "loaded slower" `Quick test_compute_time_loaded_slower;
+        Alcotest.test_case "message time" `Quick test_message_time;
+        Alcotest.test_case "intra-node fast" `Quick test_intra_node_fast;
+      ] );
+    ( "mpisim.collectives",
+      [
+        Alcotest.test_case "single rank free" `Quick test_allreduce_single_rank_free;
+        Alcotest.test_case "log stages" `Quick test_allreduce_log_stages;
+        Alcotest.test_case "slow links" `Quick test_allreduce_worse_on_slow_links;
+        Alcotest.test_case "single node cheap" `Quick test_allreduce_single_node_cheap;
+        Alcotest.test_case "algorithm switch" `Quick test_allreduce_algorithm_switch;
+        Alcotest.test_case "barrier and bcast" `Quick test_barrier_and_bcast;
+      ] );
+    ( "mpisim.mapping",
+      [
+        Alcotest.test_case "traffic" `Quick test_mapping_traffic;
+        Alcotest.test_case "co-locates heavy pairs" `Quick
+          test_mapping_colocates_heavy_pairs;
+        Alcotest.test_case "fallback" `Quick test_mapping_fallback_when_block_optimal;
+        Alcotest.test_case "speeds up execution" `Quick
+          test_mapping_speeds_up_execution;
+        Alcotest.test_case "custom placement validation" `Quick
+          test_placement_custom_validation;
+        qcheck prop_mapping_never_worse;
+      ] );
+    ( "mpisim.executor",
+      [
+        Alcotest.test_case "rank mismatch" `Quick test_executor_rank_mismatch;
+        Alcotest.test_case "accounts time" `Quick test_executor_accounts_time;
+        Alcotest.test_case "more flops longer" `Quick test_executor_more_flops_longer;
+        Alcotest.test_case "intra-node cheaper" `Quick test_executor_intra_node_cheaper;
+        Alcotest.test_case "same switch cheaper" `Quick test_executor_same_switch_cheaper;
+        Alcotest.test_case "contended slower" `Quick test_executor_contended_slower;
+        Alcotest.test_case "load metric" `Quick test_executor_load_metric;
+      ] );
+  ]

@@ -1,0 +1,168 @@
+(* Tests for Trace_replay, World record/replay round-trip, and Hostfile. *)
+
+module Trace_replay = Rm_workload.Trace_replay
+module World = Rm_workload.World
+module Scenario = Rm_workload.Scenario
+module Cluster = Rm_cluster.Cluster
+module Allocation = Rm_core.Allocation
+module Hostfile = Rm_core.Hostfile
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let cluster () = Cluster.homogeneous ~cores:8 ~nodes_per_switch:[ 2; 2 ] ()
+
+(* --- series -------------------------------------------------------------- *)
+
+let test_series_step_lookup () =
+  let s = Trace_replay.series ~times:[| 0.0; 10.0; 20.0 |] ~values:[| 1.0; 2.0; 3.0 |] in
+  check_float "before start" 1.0 (Trace_replay.value_at s (-5.0));
+  check_float "exact" 2.0 (Trace_replay.value_at s 10.0);
+  check_float "between" 2.0 (Trace_replay.value_at s 15.0);
+  check_float "after end" 3.0 (Trace_replay.value_at s 99.0);
+  check_float "duration" 20.0 (Trace_replay.duration s)
+
+let test_series_validation () =
+  Alcotest.check_raises "unsorted"
+    (Invalid_argument "Trace_replay.series: times must be strictly increasing")
+    (fun () ->
+      ignore (Trace_replay.series ~times:[| 1.0; 1.0 |] ~values:[| 0.0; 0.0 |]));
+  Alcotest.check_raises "empty" (Invalid_argument "Trace_replay.series: empty")
+    (fun () -> ignore (Trace_replay.series ~times:[||] ~values:[||]))
+
+(* --- CSV round-trip --------------------------------------------------------- *)
+
+let sample_traces () =
+  let times = [| 0.0; 300.0; 600.0 |] in
+  [
+    Trace_replay.make_node ~times ~load:[| 0.5; 2.0; 1.0 |]
+      ~util_pct:[| 10.0; 30.0; 20.0 |] ~mem_used_gb:[| 4.0; 5.0; 4.5 |]
+      ~users:[| 1.0; 2.0; 1.0 |];
+    Trace_replay.make_node ~times ~load:[| 0.1; 0.2; 0.3 |]
+      ~util_pct:[| 5.0; 6.0; 7.0 |] ~mem_used_gb:[| 3.0; 3.0; 3.0 |]
+      ~users:[| 0.0; 0.0; 1.0 |];
+  ]
+
+let test_csv_roundtrip () =
+  let traces = sample_traces () in
+  let parsed = Trace_replay.of_csv (Trace_replay.to_csv traces) in
+  Alcotest.(check int) "two nodes" 2 (List.length parsed);
+  List.iter2
+    (fun a b ->
+      List.iter
+        (fun t ->
+          check_float "load" (Trace_replay.value_at a.Trace_replay.load t)
+            (Trace_replay.value_at b.Trace_replay.load t);
+          check_float "util" (Trace_replay.value_at a.Trace_replay.util_pct t)
+            (Trace_replay.value_at b.Trace_replay.util_pct t))
+        [ 0.0; 300.0; 600.0 ])
+    traces parsed
+
+let test_csv_rejects_garbage () =
+  Alcotest.(check bool) "bad header" true
+    (try ignore (Trace_replay.of_csv "nope\n1,2,3"); false
+     with Failure _ -> true);
+  Alcotest.(check bool) "bad row" true
+    (try
+       ignore
+         (Trace_replay.of_csv
+            "time_s,node,load,util_pct,mem_used_gb,users\n1,2,3");
+       false
+     with Failure _ -> true)
+
+(* --- record / replay round-trip ----------------------------------------------- *)
+
+let test_record_replay_roundtrip () =
+  let live = World.create ~cluster:(cluster ()) ~scenario:Scenario.normal ~seed:99 in
+  let traces = World.record_traces live ~hours:1.0 ~period_s:300.0 in
+  Alcotest.(check int) "one trace per node" 4 (List.length traces);
+  (* Record the live values at the sample points... *)
+  let replay = World.create_replay ~cluster:(cluster ()) ~traces ~seed:1 () in
+  List.iter
+    (fun t ->
+      World.advance replay ~now:t;
+      for node = 0 to 3 do
+        let tr = List.nth traces node in
+        Alcotest.(check (float 1e-9))
+          (Printf.sprintf "load node %d at %.0f" node t)
+          (Trace_replay.value_at tr.Trace_replay.load t)
+          (World.cpu_load replay ~node)
+      done)
+    [ 0.0; 300.0; 1500.0; 3600.0 ]
+
+let test_replay_world_usable_by_allocator () =
+  let live = World.create ~cluster:(cluster ()) ~scenario:Scenario.busy ~seed:5 in
+  let traces = World.record_traces live ~hours:0.5 ~period_s:300.0 in
+  let replay = World.create_replay ~cluster:(cluster ()) ~traces ~seed:2 () in
+  World.advance replay ~now:900.0;
+  let snap = Rm_monitor.Snapshot.of_truth ~time:900.0 ~world:replay in
+  match
+    Rm_core.Policies.allocate ~policy:Rm_core.Policies.Network_load_aware
+      ~snapshot:snap ~weights:Rm_core.Weights.paper_default
+      ~request:(Rm_core.Request.make ~ppn:4 ~procs:8 ())
+      ~rng:(Rm_stats.Rng.create 1)
+  with
+  | Ok a -> Alcotest.(check int) "covers" 8 (Allocation.total_procs a)
+  | Error _ -> Alcotest.fail "allocation failed on replay world"
+
+let test_replay_trace_count_mismatch () =
+  let traces = sample_traces () in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "World.create_replay: one trace per node required")
+    (fun () ->
+      ignore (World.create_replay ~cluster:(cluster ()) ~traces ~seed:1 ()))
+
+(* --- Hostfile -------------------------------------------------------------------- *)
+
+let allocation () =
+  Allocation.make ~policy:"x"
+    ~entries:[ { Allocation.node = 2; procs = 4 }; { Allocation.node = 0; procs = 2 } ]
+
+let test_machinefile () =
+  let c = cluster () in
+  Alcotest.(check string) "machinefile" "node3 slots=4\nnode1 slots=2\n"
+    (Hostfile.machinefile ~allocation:(allocation ()) ~cluster:c)
+
+let test_hydra_hosts () =
+  let c = cluster () in
+  Alcotest.(check string) "hosts" "node3:4,node1:2"
+    (Hostfile.hydra_hosts ~allocation:(allocation ()) ~cluster:c)
+
+let test_mpirun_command () =
+  let c = cluster () in
+  Alcotest.(check string) "command"
+    "mpiexec -np 6 -hosts node3:4,node1:2 ./miniMD"
+    (Hostfile.mpirun_command ~allocation:(allocation ()) ~cluster:c
+       ~program:"./miniMD")
+
+let test_hostfile_bad_node () =
+  let c = cluster () in
+  let a =
+    Allocation.make ~policy:"x" ~entries:[ { Allocation.node = 99; procs = 1 } ]
+  in
+  Alcotest.check_raises "bad node"
+    (Invalid_argument "Hostfile: node not in cluster") (fun () ->
+      ignore (Hostfile.machinefile ~allocation:a ~cluster:c))
+
+let suites =
+  [
+    ( "workload.trace_replay",
+      [
+        Alcotest.test_case "step lookup" `Quick test_series_step_lookup;
+        Alcotest.test_case "validation" `Quick test_series_validation;
+        Alcotest.test_case "csv roundtrip" `Quick test_csv_roundtrip;
+        Alcotest.test_case "csv rejects garbage" `Quick test_csv_rejects_garbage;
+        Alcotest.test_case "record/replay roundtrip" `Quick
+          test_record_replay_roundtrip;
+        Alcotest.test_case "allocator on replay world" `Quick
+          test_replay_world_usable_by_allocator;
+        Alcotest.test_case "trace count mismatch" `Quick
+          test_replay_trace_count_mismatch;
+      ] );
+    ( "core.hostfile",
+      [
+        Alcotest.test_case "machinefile" `Quick test_machinefile;
+        Alcotest.test_case "hydra hosts" `Quick test_hydra_hosts;
+        Alcotest.test_case "mpirun command" `Quick test_mpirun_command;
+        Alcotest.test_case "bad node" `Quick test_hostfile_bad_node;
+      ] );
+  ]

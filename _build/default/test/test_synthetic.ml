@@ -1,0 +1,142 @@
+(* Tests for Rm_apps.Synthetic and the ablation harness entry points. *)
+
+module App = Rm_mpisim.App
+module Synthetic = Rm_apps.Synthetic
+
+let phase app = app.App.phase ~iter:0
+
+let count_messages app = List.length (phase app).App.messages
+
+let total_bytes app =
+  List.fold_left (fun acc (_, _, b) -> acc +. b) 0.0 (phase app).App.messages
+
+let test_ring_shape () =
+  let app = Synthetic.ring ~ranks:6 ~iterations:10 ~bytes:100.0 () in
+  Alcotest.(check int) "one message per rank" 6 (count_messages app);
+  Alcotest.(check (float 1e-9)) "bytes" 600.0 (total_bytes app);
+  App.validate_phase app (phase app)
+
+let test_ring_single_rank () =
+  let app = Synthetic.ring ~ranks:1 ~iterations:5 () in
+  Alcotest.(check int) "no self messages" 0 (count_messages app)
+
+let test_nearest_neighbor_shape () =
+  let app = Synthetic.nearest_neighbor ~ranks:5 ~iterations:3 () in
+  Alcotest.(check int) "two messages per rank" 10 (count_messages app);
+  Alcotest.(check bool) "has allreduce" true ((phase app).App.allreduce_bytes > 0.0);
+  App.validate_phase app (phase app)
+
+let test_stencil2d_grid () =
+  (* 12 ranks -> 3x4 grid: every rank has 4 distinct neighbours. *)
+  let app = Synthetic.stencil2d ~ranks:12 ~iterations:2 () in
+  App.validate_phase app (phase app);
+  let per_rank = Hashtbl.create 12 in
+  List.iter
+    (fun (src, _, _) ->
+      Hashtbl.replace per_rank src
+        (1 + Option.value (Hashtbl.find_opt per_rank src) ~default:0))
+    (phase app).App.messages;
+  Hashtbl.iter
+    (fun _ n -> Alcotest.(check int) "4 neighbours" 4 n)
+    per_rank;
+  Alcotest.(check int) "all ranks" 12 (Hashtbl.length per_rank)
+
+let test_stencil2d_small_grids () =
+  (* Degenerate grids (1xN) still validate and dedupe wraps. *)
+  List.iter
+    (fun ranks ->
+      let app = Synthetic.stencil2d ~ranks ~iterations:1 () in
+      App.validate_phase app (phase app))
+    [ 1; 2; 3; 4; 7 ]
+
+let test_alltoall_count () =
+  let app = Synthetic.alltoall ~ranks:5 ~iterations:1 ~bytes_per_pair:10.0 () in
+  Alcotest.(check int) "n(n-1) messages" 20 (count_messages app);
+  Alcotest.(check (float 1e-9)) "bytes" 200.0 (total_bytes app)
+
+let test_compute_only () =
+  let app = Synthetic.compute_only ~ranks:4 ~iterations:1 () in
+  Alcotest.(check int) "silent" 0 (count_messages app);
+  Alcotest.(check (float 1e-9)) "no allreduce" 0.0 (phase app).App.allreduce_bytes
+
+let test_synthetic_runs_on_executor () =
+  let cluster =
+    Rm_cluster.Cluster.homogeneous ~cores:8 ~nodes_per_switch:[ 2; 2 ] ()
+  in
+  let world =
+    Rm_workload.World.create ~cluster ~scenario:Rm_workload.Scenario.quiet ~seed:3
+  in
+  let allocation =
+    Rm_core.Allocation.make ~policy:"t"
+      ~entries:(List.init 4 (fun i -> { Rm_core.Allocation.node = i; procs = 2 }))
+  in
+  List.iter
+    (fun app ->
+      let stats = Rm_mpisim.Executor.run ~world ~allocation ~app () in
+      Alcotest.(check bool) "positive time" true
+        (stats.Rm_mpisim.Executor.total_time_s > 0.0))
+    [
+      Synthetic.ring ~ranks:8 ~iterations:5 ();
+      Synthetic.stencil2d ~ranks:8 ~iterations:5 ();
+      Synthetic.alltoall ~ranks:8 ~iterations:5 ();
+      Synthetic.compute_only ~ranks:8 ~iterations:5 ();
+    ]
+
+(* --- Ablation entry points (smoke, trimmed parameters) -------------------- *)
+
+module Ablations = Rm_experiments.Ablations
+
+let test_ablation_optimality_structure () =
+  let o = Ablations.optimality_gap ~trials:4 () in
+  Alcotest.(check bool) "ran trials" true (o.Ablations.trials > 0);
+  Alcotest.(check bool) "ratios >= 1" true (o.Ablations.mean_ratio >= 1.0 -. 1e-9);
+  Alcotest.(check bool) "max >= mean" true
+    (o.Ablations.max_ratio >= o.Ablations.mean_ratio -. 1e-9);
+  Alcotest.(check bool) "render mentions trials" true
+    (String.length (Ablations.render_optimality o) > 0)
+
+let test_ablation_hierarchical_structure () =
+  let points = Ablations.hierarchical_sweep ~cluster_sizes:[ 30 ] () in
+  Alcotest.(check int) "one point" 1 (List.length points);
+  let p = List.hd points in
+  Alcotest.(check bool) "timings positive" true
+    (p.Ablations.flat_ms > 0.0 && p.Ablations.hier_ms > 0.0);
+  Alcotest.(check bool) "runs finite" true
+    (Float.is_finite p.Ablations.flat_time_s && Float.is_finite p.Ablations.hier_time_s)
+
+let test_ablation_madm_structure () =
+  let points = Ablations.madm_methods () in
+  Alcotest.(check int) "three methods" 3 (List.length points);
+  let saw = List.hd points in
+  Alcotest.(check (float 1e-9)) "SAW correlates with itself" 1.0
+    saw.Ablations.spearman_vs_saw;
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "correlation bounded" true
+        (p.Ablations.spearman_vs_saw >= -1.0 && p.Ablations.spearman_vs_saw <= 1.0);
+      Alcotest.(check bool) "overlap bounded" true
+        (p.Ablations.top8_overlap >= 0 && p.Ablations.top8_overlap <= 8))
+    points
+
+let suites =
+  [
+    ( "apps.synthetic",
+      [
+        Alcotest.test_case "ring shape" `Quick test_ring_shape;
+        Alcotest.test_case "ring single rank" `Quick test_ring_single_rank;
+        Alcotest.test_case "nearest neighbor" `Quick test_nearest_neighbor_shape;
+        Alcotest.test_case "stencil2d grid" `Quick test_stencil2d_grid;
+        Alcotest.test_case "stencil2d small grids" `Quick test_stencil2d_small_grids;
+        Alcotest.test_case "alltoall count" `Quick test_alltoall_count;
+        Alcotest.test_case "compute only" `Quick test_compute_only;
+        Alcotest.test_case "runs on executor" `Quick test_synthetic_runs_on_executor;
+      ] );
+    ( "experiments.ablations",
+      [
+        Alcotest.test_case "optimality structure" `Slow
+          test_ablation_optimality_structure;
+        Alcotest.test_case "hierarchical structure" `Slow
+          test_ablation_hierarchical_structure;
+        Alcotest.test_case "madm structure" `Slow test_ablation_madm_structure;
+      ] );
+  ]

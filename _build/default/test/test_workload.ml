@@ -1,0 +1,316 @@
+(* Tests for rm_workload: OU processes, spike trains, node models, flow
+   generation, world. *)
+
+module Rng = Rm_stats.Rng
+module Ou = Rm_workload.Ou_process
+module Spike = Rm_workload.Spike_train
+module Node_model = Rm_workload.Node_model
+module Flow_gen = Rm_workload.Flow_gen
+module Scenario = Rm_workload.Scenario
+module World = Rm_workload.World
+module Cluster = Rm_cluster.Cluster
+module Flow = Rm_netsim.Flow
+
+let small_cluster () = Cluster.homogeneous ~cores:8 ~nodes_per_switch:[ 3; 3 ] ()
+
+(* --- Ou_process ------------------------------------------------------------ *)
+
+let test_ou_clamps () =
+  let g = Rng.create 1 in
+  let p = Ou.create ~rng:g ~mu:0.5 ~tau:100.0 ~sigma:5.0 ~lo:0.0 ~hi:1.0 () in
+  for _ = 1 to 1000 do
+    let v = Ou.step p ~dt:10.0 () in
+    Alcotest.(check bool) "clamped" true (v >= 0.0 && v <= 1.0)
+  done
+
+let test_ou_reverts_to_mean () =
+  let g = Rng.create 2 in
+  let p = Ou.create ~rng:g ~mu:10.0 ~tau:50.0 ~sigma:0.001 ~init:0.0 () in
+  (* After many time constants with tiny noise, value is near mu. *)
+  ignore (Ou.step p ~dt:5000.0 ());
+  Alcotest.(check bool) "near mu" true (Float.abs (Ou.value p -. 10.0) < 0.1)
+
+let test_ou_zero_dt_no_change () =
+  let g = Rng.create 3 in
+  let p = Ou.create ~rng:g ~mu:1.0 ~tau:10.0 ~sigma:1.0 ~init:0.3 () in
+  let before = Ou.value p in
+  ignore (Ou.step p ~dt:0.0 ());
+  Alcotest.(check (float 1e-12)) "unchanged" before (Ou.value p)
+
+let test_ou_mean_override () =
+  let g = Rng.create 4 in
+  let p = Ou.create ~rng:g ~mu:0.0 ~tau:10.0 ~sigma:0.0001 ~init:0.0 () in
+  ignore (Ou.step p ~dt:1000.0 ~mu:5.0 ());
+  Alcotest.(check bool) "tracked override" true (Float.abs (Ou.value p -. 5.0) < 0.1)
+
+let test_ou_stationary_sd () =
+  let g = Rng.create 5 in
+  let p = Ou.create ~rng:g ~mu:0.0 ~tau:10.0 ~sigma:2.0 ~init:0.0 () in
+  let n = 20_000 in
+  let xs = Array.init n (fun _ -> Ou.step p ~dt:30.0 ()) in
+  (* dt >> tau: samples are nearly independent N(0, sigma). *)
+  let sd = Rm_stats.Descriptive.stddev xs in
+  Alcotest.(check bool) "stationary sd ~2" true (Float.abs (sd -. 2.0) < 0.15)
+
+(* --- Spike_train ----------------------------------------------------------- *)
+
+let test_spike_zero_rate () =
+  let g = Rng.create 6 in
+  let s = Spike.create ~rng:g ~rate_per_s:0.0 ~magnitude:(fun _ -> 1.0)
+      ~mean_duration_s:10.0 () in
+  Alcotest.(check (float 1e-9)) "always zero" 0.0 (Spike.advance s ~now:1e6);
+  Alcotest.(check int) "no sessions" 0 (Spike.active s)
+
+let test_spike_arrivals_and_expiry () =
+  let g = Rng.create 7 in
+  let s = Spike.create ~rng:g ~rate_per_s:0.1 ~magnitude:(fun _ -> 2.0)
+      ~mean_duration_s:100.0 () in
+  let v = Spike.advance s ~now:1000.0 in
+  Alcotest.(check bool) "some spikes arrived" true (v > 0.0);
+  (* Far in the future every session has expired (rate still active, but
+     check value is sum of live magnitudes only). *)
+  let v2 = Spike.advance s ~now:1001.0 in
+  Alcotest.(check bool) "value is multiple of magnitude" true
+    (Float.rem v2 2.0 < 1e-9)
+
+let test_spike_monotonic_time () =
+  let g = Rng.create 8 in
+  let s = Spike.create ~rng:g ~rate_per_s:0.1 ~magnitude:(fun _ -> 1.0)
+      ~mean_duration_s:10.0 () in
+  ignore (Spike.advance s ~now:100.0);
+  Alcotest.check_raises "backwards"
+    (Invalid_argument "Spike_train.advance: time went backwards") (fun () ->
+      ignore (Spike.advance s ~now:50.0))
+
+let test_spike_long_horizon_mean () =
+  (* M/G/inf: mean active sessions = rate * mean duration. *)
+  let g = Rng.create 9 in
+  let s = Spike.create ~rng:g ~rate_per_s:0.01 ~magnitude:(fun _ -> 1.0)
+      ~mean_duration_s:200.0 () in
+  let samples = ref [] in
+  for i = 1 to 3000 do
+    ignore (Spike.advance s ~now:(float_of_int i *. 60.0));
+    samples := float_of_int (Spike.active s) :: !samples
+  done;
+  let mean = Rm_stats.Descriptive.mean_list !samples in
+  Alcotest.(check bool) "mean active ~2" true (Float.abs (mean -. 2.0) < 0.4)
+
+(* --- Node_model ------------------------------------------------------------- *)
+
+let profile : Node_model.profile =
+  {
+    load_mu = 0.5;
+    load_tau = 600.0;
+    load_sigma = 0.2;
+    spike_rate_per_s = 1e-4;
+    spike_magnitude_lo = 0.5;
+    spike_magnitude_hi = 3.0;
+    spike_mean_duration_s = 600.0;
+    diurnal_amplitude = 0.5;
+    diurnal_phase_s = 0.0;
+    util_base_pct = 20.0;
+    util_sigma_pct = 4.0;
+    mem_used_frac_mu = 0.25;
+    users_mu = 1.5;
+  }
+
+let node () =
+  Rm_cluster.Node.make ~id:0 ~hostname:"n1" ~cores:12 ~freq_ghz:3.0
+    ~mem_gb:16.0 ~switch:0
+
+let test_node_model_ranges () =
+  let m = Node_model.create ~rng:(Rng.create 10) ~node:(node ()) ~profile in
+  for i = 1 to 2000 do
+    Node_model.advance m ~now:(float_of_int i *. 30.0);
+    Alcotest.(check bool) "load >= 0" true (Node_model.cpu_load m >= 0.0);
+    let u = Node_model.cpu_util_pct m in
+    Alcotest.(check bool) "util in [0,100]" true (u >= 0.0 && u <= 100.0);
+    let mem = Node_model.mem_used_gb m in
+    Alcotest.(check bool) "mem within node" true (mem >= 0.0 && mem <= 16.0);
+    Alcotest.(check bool) "users >= 0" true (Node_model.users m >= 0)
+  done
+
+let test_node_model_util_couples_to_load () =
+  (* A model with huge load should show higher utilization than idle. *)
+  let loaded = { profile with load_mu = 20.0; util_base_pct = 10.0 } in
+  let idle = { profile with load_mu = 0.0; load_sigma = 0.0; util_base_pct = 10.0;
+               spike_rate_per_s = 0.0 } in
+  let ml = Node_model.create ~rng:(Rng.create 11) ~node:(node ()) ~profile:loaded in
+  let mi = Node_model.create ~rng:(Rng.create 11) ~node:(node ()) ~profile:idle in
+  Node_model.advance ml ~now:10_000.0;
+  Node_model.advance mi ~now:10_000.0;
+  Alcotest.(check bool) "loaded util > idle util" true
+    (Node_model.cpu_util_pct ml > Node_model.cpu_util_pct mi)
+
+(* --- Flow_gen ----------------------------------------------------------------- *)
+
+let test_flow_gen_population () =
+  let params = { Flow_gen.default with arrival_rate_per_s = 0.5 } in
+  let fg = Flow_gen.create ~rng:(Rng.create 12) ~node_count:6 ~params in
+  Flow_gen.advance fg ~now:600.0 ~switch_of_node:(fun n -> n / 3);
+  Alcotest.(check bool) "population present" true (Flow_gen.active_count fg > 0);
+  List.iter
+    (fun (f : Flow.t) ->
+      Alcotest.(check bool) "src valid" true (f.Flow.src >= 0 && f.Flow.src < 6);
+      Alcotest.(check bool) "demand positive" true (f.Flow.demand_mb_s > 0.0);
+      Alcotest.(check bool) "demand capped" true
+        (f.Flow.demand_mb_s <= params.Flow_gen.demand_cap_mb_s))
+    (Flow_gen.active_flows fg)
+
+let test_flow_gen_hotspot_bias () =
+  let params =
+    { Flow_gen.default with
+      arrival_rate_per_s = 1.0;
+      hotspot = Some (1, 0.9);
+      p_external = 1.0 }
+  in
+  let fg = Flow_gen.create ~rng:(Rng.create 13) ~node_count:10 ~params in
+  Flow_gen.advance fg ~now:2000.0 ~switch_of_node:(fun n -> n / 5);
+  let flows = Flow_gen.active_flows fg in
+  let on_hotspot =
+    List.length (List.filter (fun (f : Flow.t) -> f.Flow.src >= 5) flows)
+  in
+  Alcotest.(check bool) "most sources on hotspot switch" true
+    (float_of_int on_hotspot > 0.6 *. float_of_int (List.length flows))
+
+let test_flow_gen_turnover () =
+  let params =
+    { Flow_gen.default with arrival_rate_per_s = 0.5; p_elephant = 0.0;
+      short_mean_duration_s = 10.0 }
+  in
+  let fg = Flow_gen.create ~rng:(Rng.create 14) ~node_count:4 ~params in
+  Flow_gen.advance fg ~now:1000.0 ~switch_of_node:(fun _ -> 0);
+  let a = Flow_gen.active_flows fg in
+  Flow_gen.advance fg ~now:2000.0 ~switch_of_node:(fun _ -> 0);
+  let b = Flow_gen.active_flows fg in
+  (* Short flows: populations 1000 s apart share nothing. *)
+  let ids fs = List.map (fun (f : Flow.t) -> f.Flow.id) fs in
+  List.iter
+    (fun id -> Alcotest.(check bool) "no survivor" false (List.mem id (ids b)))
+    (ids a)
+
+(* --- Scenario -------------------------------------------------------------------- *)
+
+let test_scenario_presets_distinct () =
+  (* Weekend must be quieter than nightly in traffic, nightly quieter
+     than busy in CPU load. *)
+  let mean_of scenario f =
+    let w = World.create ~cluster:(small_cluster ()) ~scenario ~seed:42 in
+    World.advance w ~now:7200.0;
+    Rm_stats.Descriptive.mean_list (List.init 6 (fun n -> f w n))
+  in
+  let load s = mean_of s (fun w n -> World.cpu_load w ~node:n) in
+  Alcotest.(check bool) "weekend < busy load" true
+    (load Scenario.weekend < load Scenario.busy);
+  Alcotest.(check bool) "nightly < busy load" true
+    (load Scenario.nightly < load Scenario.busy)
+
+let test_scenario_lookup () =
+  Alcotest.(check bool) "normal" true (Scenario.by_name "normal" <> None);
+  Alcotest.(check bool) "hotspot2" true (Scenario.by_name "hotspot2" <> None);
+  Alcotest.(check bool) "unknown" true (Scenario.by_name "nope" = None);
+  List.iter
+    (fun n -> Alcotest.(check bool) n true (Scenario.by_name n <> None))
+    Scenario.all_names
+
+(* --- World ---------------------------------------------------------------------- *)
+
+let test_world_determinism () =
+  let mk () =
+    let w = World.create ~cluster:(small_cluster ()) ~scenario:Scenario.normal ~seed:77 in
+    World.advance w ~now:3600.0;
+    List.init 6 (fun n -> World.cpu_load w ~node:n)
+  in
+  let a = mk () and b = mk () in
+  List.iter2 (fun x y -> Alcotest.(check (float 1e-12)) "same" x y) a b
+
+let test_world_seed_changes_world () =
+  let w1 = World.create ~cluster:(small_cluster ()) ~scenario:Scenario.normal ~seed:1 in
+  let w2 = World.create ~cluster:(small_cluster ()) ~scenario:Scenario.normal ~seed:2 in
+  World.advance w1 ~now:3600.0;
+  World.advance w2 ~now:3600.0;
+  let l1 = List.init 6 (fun n -> World.cpu_load w1 ~node:n) in
+  let l2 = List.init 6 (fun n -> World.cpu_load w2 ~node:n) in
+  Alcotest.(check bool) "different" true (l1 <> l2)
+
+let test_world_advance_lenient () =
+  let w = World.create ~cluster:(small_cluster ()) ~scenario:Scenario.normal ~seed:3 in
+  World.advance w ~now:100.0;
+  let before = World.cpu_load w ~node:0 in
+  World.advance w ~now:50.0;
+  (* no-op *)
+  Alcotest.(check (float 1e-12)) "no change" before (World.cpu_load w ~node:0);
+  Alcotest.(check (float 1e-12)) "clock kept" 100.0 (World.now w)
+
+let test_world_liveness () =
+  let w = World.create ~cluster:(small_cluster ()) ~scenario:Scenario.quiet ~seed:4 in
+  Alcotest.(check int) "all up" 6 (List.length (World.up_nodes w));
+  World.set_down w ~node:2;
+  Alcotest.(check bool) "down" false (World.is_up w ~node:2);
+  Alcotest.(check int) "five up" 5 (List.length (World.up_nodes w));
+  World.set_up w ~node:2;
+  Alcotest.(check int) "back up" 6 (List.length (World.up_nodes w))
+
+let test_world_attach_ticks () =
+  let sim = Rm_engine.Sim.create () in
+  let w = World.create ~cluster:(small_cluster ()) ~scenario:Scenario.normal ~seed:5 in
+  World.attach w ~sim ~period:10.0 ~until:100.0;
+  Rm_engine.Sim.run_until sim 100.0;
+  Alcotest.(check bool) "world advanced" true (World.now w >= 90.0)
+
+let test_world_busy_loaded () =
+  let w = World.create ~cluster:(small_cluster ()) ~scenario:Scenario.busy ~seed:6 in
+  World.advance w ~now:7200.0;
+  let loads = List.init 6 (fun n -> World.cpu_load w ~node:n) in
+  let mean = Rm_stats.Descriptive.mean_list loads in
+  let wq = World.create ~cluster:(small_cluster ()) ~scenario:Scenario.quiet ~seed:6 in
+  World.advance wq ~now:7200.0;
+  let quiet_mean =
+    Rm_stats.Descriptive.mean_list (List.init 6 (fun n -> World.cpu_load wq ~node:n))
+  in
+  Alcotest.(check bool) "busy >> quiet" true (mean > quiet_mean +. 0.5)
+
+let suites =
+  [
+    ( "workload.ou",
+      [
+        Alcotest.test_case "clamps" `Quick test_ou_clamps;
+        Alcotest.test_case "mean reversion" `Quick test_ou_reverts_to_mean;
+        Alcotest.test_case "zero dt" `Quick test_ou_zero_dt_no_change;
+        Alcotest.test_case "mean override" `Quick test_ou_mean_override;
+        Alcotest.test_case "stationary sd" `Quick test_ou_stationary_sd;
+      ] );
+    ( "workload.spikes",
+      [
+        Alcotest.test_case "zero rate" `Quick test_spike_zero_rate;
+        Alcotest.test_case "arrivals and expiry" `Quick test_spike_arrivals_and_expiry;
+        Alcotest.test_case "monotonic time" `Quick test_spike_monotonic_time;
+        Alcotest.test_case "long-horizon mean" `Quick test_spike_long_horizon_mean;
+      ] );
+    ( "workload.node_model",
+      [
+        Alcotest.test_case "ranges" `Quick test_node_model_ranges;
+        Alcotest.test_case "util couples to load" `Quick
+          test_node_model_util_couples_to_load;
+      ] );
+    ( "workload.flow_gen",
+      [
+        Alcotest.test_case "population" `Quick test_flow_gen_population;
+        Alcotest.test_case "hotspot bias" `Quick test_flow_gen_hotspot_bias;
+        Alcotest.test_case "turnover" `Quick test_flow_gen_turnover;
+      ] );
+    ( "workload.scenario",
+      [
+        Alcotest.test_case "lookup" `Quick test_scenario_lookup;
+        Alcotest.test_case "presets distinct" `Quick test_scenario_presets_distinct;
+      ] );
+    ( "workload.world",
+      [
+        Alcotest.test_case "determinism" `Quick test_world_determinism;
+        Alcotest.test_case "seed sensitivity" `Quick test_world_seed_changes_world;
+        Alcotest.test_case "lenient advance" `Quick test_world_advance_lenient;
+        Alcotest.test_case "liveness" `Quick test_world_liveness;
+        Alcotest.test_case "attach ticks" `Quick test_world_attach_ticks;
+        Alcotest.test_case "busy vs quiet" `Quick test_world_busy_loaded;
+      ] );
+  ]
