@@ -46,6 +46,30 @@ let micro () =
       ~effective:(Option.value (List.assoc_opt node pc) ~default:1)
   in
   let rng = Rm_stats.Rng.create 7 in
+  let measure tests =
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) () in
+    let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+    let ols =
+      Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+    in
+    let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+    let rows = ref [] in
+    Hashtbl.iter
+      (fun name ols_result ->
+        let ns =
+          match Analyze.OLS.estimates ols_result with
+          | Some (x :: _) -> x
+          | Some [] | None -> nan
+        in
+        rows := (name, ns) :: !rows)
+      results;
+    List.sort compare !rows
+  in
+  let full_allocation () =
+    ignore
+      (Rm_core.Policies.allocate ~policy:Rm_core.Policies.Network_load_aware
+         ~snapshot ~weights ~request ~rng)
+  in
   let tests =
     Test.make_grouped ~name:"allocator"
       [
@@ -67,40 +91,61 @@ let micro () =
                in
                ignore (Rm_core.Select.best ~candidates ~loads ~net ~request)));
         Test.make ~name:"full-allocation-from-snapshot"
-          (Staged.stage (fun () ->
-               ignore
-                 (Rm_core.Policies.allocate
-                    ~policy:Rm_core.Policies.Network_load_aware ~snapshot
-                    ~weights ~request ~rng)));
+          (Staged.stage full_allocation);
+        Test.make ~name:"telemetry-disabled-counter-op"
+          (Staged.stage
+             (let c = Rm_telemetry.Metrics.counter "bench.disabled_op" in
+              fun () -> Rm_telemetry.Metrics.incr c));
       ]
   in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) () in
-  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
-  let ols =
-    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  (* The instrumented allocator with the telemetry switch off is the
+     shipping default; run it again with the switch on (metrics + audit
+     ring recording) to price the instrumentation itself. *)
+  assert (not (Rm_telemetry.Runtime.is_enabled ()));
+  let rows_off = measure tests in
+  Rm_telemetry.Runtime.enable ();
+  let rows_on =
+    measure
+      (Test.make_grouped ~name:"allocator"
+         [
+           Test.make ~name:"full-allocation-telemetry-on"
+             (Staged.stage full_allocation);
+         ])
   in
-  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Rm_telemetry.Runtime.disable ();
+  Rm_telemetry.Metrics.reset ();
+  Rm_telemetry.Audit.clear ();
+  let rows = rows_off @ rows_on in
   let buf = Buffer.create 1024 in
-  let rows = ref [] in
-  Hashtbl.iter
-    (fun name ols_result ->
-      let ns =
-        match Analyze.OLS.estimates ols_result with
-        | Some (x :: _) -> x
-        | Some [] | None -> nan
-      in
-      rows := (name, ns) :: !rows)
-    results;
-  let rows =
-    List.sort compare !rows
-    |> List.map (fun (name, ns) -> [ name; Printf.sprintf "%.1f us" (ns /. 1e3) ])
-  in
   Experiments.Render.table
     ~header:[ "operation (60-node cluster)"; "time" ]
-    ~rows buf;
+    ~rows:
+      (List.map
+         (fun (name, ns) -> [ name; Printf.sprintf "%.1f us" (ns /. 1e3) ])
+         rows)
+    buf;
   Buffer.add_string buf
     "\npaper claim (section 3.3.2): the whole algorithm runs in ~1-2 ms;\n\
      'full-allocation-from-snapshot' above is the comparable number.\n";
+  (match
+     ( List.assoc_opt "allocator/full-allocation-from-snapshot" rows,
+       List.assoc_opt "allocator/full-allocation-telemetry-on" rows,
+       List.assoc_opt "allocator/telemetry-disabled-counter-op" rows )
+   with
+  | Some off, Some on, Some op when Float.is_finite off && off > 0.0 ->
+    (* The disabled hot path performs a handful of boolean checks; bound
+       it by 8 disabled metric ops per allocation. *)
+    let disabled_pct = 100.0 *. (8.0 *. op) /. off in
+    let enabled_pct = 100.0 *. (on -. off) /. off in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "\n\
+          rm_telemetry overhead on the allocator hot path:\n\
+         \  disabled (shipping default): ~%.3f%% (8 gated sites x %.1f ns \
+          per no-op, budget < 5%%)\n\
+         \  enabled (metrics + decision audit): %+.1f%%\n"
+         disabled_pct op enabled_pct)
+  | _ -> ());
   Buffer.contents buf
 
 (* --- Sections ----------------------------------------------------------- *)

@@ -10,6 +10,8 @@
      rmctl record     [opts]               record a workload trace to CSV
      rmctl replay     [opts]               allocate against a recorded trace
      rmctl sched      JOBS.csv [opts]      run a job file through the scheduler
+     rmctl explain    [opts]               audit one allocation decision
+     rmctl metrics    [opts]               run a job with telemetry on, dump metrics
 
    Every command simulates from scratch (deterministic in --seed), so
    invocations are reproducible and independent. *)
@@ -30,6 +32,7 @@ module Allocation = Rm_core.Allocation
 module Weights = Rm_core.Weights
 module Compute_load = Rm_core.Compute_load
 module Executor = Rm_mpisim.Executor
+module Telemetry = Rm_telemetry
 
 (* --- common options -------------------------------------------------- *)
 
@@ -373,6 +376,86 @@ let replay_cmd =
        ~doc:"Allocate against a recorded trace instead of the live models.")
     Term.(const run $ file_t $ time_t $ procs_t $ ppn_t $ alpha_t $ policy_t)
 
+(* --- explain ----------------------------------------------------------------- *)
+
+let explain_cmd =
+  let run scenario seed time procs ppn alpha policy wait json =
+    Telemetry.Runtime.enable ();
+    let _cluster, _sim, _world, monitor, rng = make_env ~scenario ~seed ~time in
+    let snap = System.snapshot monitor ~time in
+    let request = Request.make ?ppn ~alpha ~procs () in
+    let config =
+      { Broker.default_config with Broker.policy; wait_threshold = wait }
+    in
+    (match Broker.decide ~config ~snapshot:snap ~request ~rng with
+    | Error e -> Format.printf "error: %a@." Allocation.pp_error e
+    | Ok d -> Format.printf "%a@.@." Broker.pp_decision d);
+    match Telemetry.Audit.last () with
+    | None -> Format.printf "no audit record captured@."
+    | Some a ->
+      if json then print_endline (Telemetry.Audit.to_json a)
+      else Format.printf "%a" Telemetry.Audit.pp_explain a
+  in
+  let wait_t =
+    Arg.(value & opt (some float) None
+         & info [ "wait-threshold" ] ~docv:"LOAD"
+             ~doc:"Recommend waiting above this mean load per core.")
+  in
+  let json_t =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the raw audit record as one JSON line.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Make one allocation decision and explain it: per-node CL/pc, every \
+          candidate's Eq. 4 score, and the chosen sub-graph's Algorithm 1 \
+          growth order.")
+    Term.(const run $ scenario_t $ seed_t $ time_t $ procs_t $ ppn_t $ alpha_t
+          $ policy_t $ wait_t $ json_t)
+
+(* --- metrics ----------------------------------------------------------------- *)
+
+let metrics_cmd =
+  let run scenario seed time procs ppn alpha policy app size trace_out =
+    Telemetry.Runtime.enable ();
+    let _cluster, _sim, world, monitor, rng = make_env ~scenario ~seed ~time in
+    let snap = System.snapshot monitor ~time in
+    let request = Request.make ?ppn ~alpha ~procs () in
+    (match
+       Policies.allocate ~policy ~snapshot:snap ~weights:Weights.paper_default
+         ~request ~rng
+     with
+    | Error e -> Format.printf "error: %a@." Allocation.pp_error e
+    | Ok allocation ->
+      Format.printf "%a@." Allocation.pp allocation;
+      let app = app_of app size ~ranks:(Allocation.total_procs allocation) in
+      let stats = Executor.run ~world ~allocation ~app () in
+      Format.printf "%a@." Executor.pp_stats stats);
+    Format.printf "@.=== metrics ===@.%s" (Rm_telemetry.Metrics.render ());
+    Format.printf "@.=== trace ===@.%d events in buffer@."
+      (Telemetry.Trace.length ());
+    match trace_out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Telemetry.Trace.to_jsonl ());
+      close_out oc;
+      Format.printf "wrote %s@." path
+  in
+  let trace_out_t =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Write the virtual-time trace as JSONL.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run one job end to end with telemetry enabled, then dump the \
+          metrics registry and trace-buffer summary.")
+    Term.(const run $ scenario_t $ seed_t $ time_t $ procs_t $ ppn_t $ alpha_t
+          $ policy_t $ app_t $ size_t $ trace_out_t)
+
 (* --- sched ------------------------------------------------------------------- *)
 
 let sched_cmd =
@@ -494,4 +577,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ cluster_cmd; snapshot_cmd; allocate_cmd; run_cmd; compare_cmd;
-            forecast_cmd; record_cmd; replay_cmd; sched_cmd ]))
+            forecast_cmd; record_cmd; replay_cmd; sched_cmd; explain_cmd;
+            metrics_cmd ]))

@@ -1,4 +1,5 @@
 module Snapshot = Rm_monitor.Snapshot
+module Telemetry = Rm_telemetry
 
 type config = {
   weights : Weights.t;
@@ -34,6 +35,10 @@ let mean_load_per_core snapshot ~weights =
   in
   if total_cores = 0 then 0.0 else total_load /. float_of_int total_cores
 
+let m_wait = Telemetry.Metrics.counter "core.broker.wait"
+let m_allocated = Telemetry.Metrics.counter "core.broker.allocated"
+let m_errors = Telemetry.Metrics.counter "core.broker.errors"
+
 let decide ~config ~snapshot ~request ~rng =
   let overloaded =
     match config.wait_threshold with
@@ -44,12 +49,37 @@ let decide ~config ~snapshot ~request ~rng =
   in
   match overloaded with
   | Some (mean_load_per_core, threshold) ->
+    if Telemetry.Runtime.is_enabled () then begin
+      Telemetry.Metrics.incr m_wait;
+      Telemetry.Audit.record
+        {
+          Telemetry.Audit.time = snapshot.Snapshot.time;
+          policy = Policies.name config.policy;
+          procs = request.Request.procs;
+          ppn = request.Request.ppn;
+          alpha = request.Request.alpha;
+          beta = request.Request.beta;
+          staleness_s = Snapshot.max_staleness snapshot;
+          usable = List.length (Snapshot.usable snapshot);
+          nodes = [];
+          candidates = [];
+          chosen = None;
+          decision = Telemetry.Audit.Wait { mean_load_per_core; threshold };
+        }
+    end;
     Ok (Wait { mean_load_per_core; threshold })
   | None ->
-    Result.map
-      (fun allocation -> Allocated allocation)
-      (Policies.allocate ~policy:config.policy ~snapshot
-         ~weights:config.weights ~request ~rng)
+    let result =
+      Result.map
+        (fun allocation -> Allocated allocation)
+        (Policies.allocate ~policy:config.policy ~snapshot
+           ~weights:config.weights ~request ~rng)
+    in
+    (match result with
+    | Ok (Allocated _) -> Telemetry.Metrics.incr m_allocated
+    | Ok (Wait _) -> ()
+    | Error _ -> Telemetry.Metrics.incr m_errors);
+    result
 
 let pp_decision ppf = function
   | Allocated a -> Allocation.pp ppf a

@@ -1,5 +1,6 @@
 module Snapshot = Rm_monitor.Snapshot
 module Rng = Rm_stats.Rng
+module Telemetry = Rm_telemetry
 
 type policy =
   | Random
@@ -59,10 +60,80 @@ let to_allocation ~policy assignment =
   Allocation.make ~policy:(name policy)
     ~entries:(List.map (fun (node, procs) -> { Allocation.node; procs }) assignment)
 
+(* --- instrumentation (active only under Rm_telemetry.Runtime) --------- *)
+
+let m_errors = Telemetry.Metrics.counter "core.allocate.errors"
+let m_wall_s = Telemetry.Metrics.histogram "core.allocate.wall_s"
+let m_staleness = Telemetry.Metrics.histogram "core.snapshot.staleness_s"
+let m_candidates = Telemetry.Metrics.counter "core.candidates.generated"
+
+let audit_candidate ~loads ~net ~request (s : Select.scored) =
+  let c = s.Select.candidate in
+  {
+    Telemetry.Audit.start = c.Candidate.start;
+    steps =
+      List.map
+        (fun (node, procs) ->
+          {
+            Telemetry.Audit.node;
+            procs;
+            cost =
+              Candidate.addition_cost ~loads ~net ~request
+                ~start:c.Candidate.start node;
+          })
+        c.Candidate.assignment;
+    compute_cost = s.Select.compute_cost;
+    network_cost = s.Select.network_cost;
+    total = s.Select.total;
+  }
+
+let record_audit ~snapshot ~policy ~request ~loads ~pc ~scored ~chosen ~result =
+  let module A = Telemetry.Audit in
+  let nodes =
+    List.map
+      (fun node ->
+        {
+          A.node;
+          cl = Compute_load.get loads ~node;
+          pc = (match List.assoc_opt node pc with Some e -> e | None -> 1);
+          load_1m = Compute_load.cpu_load_1m loads ~node;
+        })
+      (Compute_load.usable loads)
+  in
+  let decision =
+    match result with
+    | Ok (a : Allocation.t) ->
+      A.Allocated
+        (List.map
+           (fun (e : Allocation.entry) -> (e.Allocation.node, e.Allocation.procs))
+           a.Allocation.entries)
+    | Error e -> A.Rejected (Format.asprintf "%a" Allocation.pp_error e)
+  in
+  A.record
+    {
+      A.time = snapshot.Snapshot.time;
+      policy = name policy;
+      procs = request.Request.procs;
+      ppn = request.Request.ppn;
+      alpha = request.Request.alpha;
+      beta = request.Request.beta;
+      staleness_s = Snapshot.max_staleness snapshot;
+      usable = List.length nodes;
+      nodes;
+      candidates = scored;
+      chosen;
+      decision;
+    }
+
 let allocate ~policy ~snapshot ~weights ~request ~rng =
+  let instrumented = Telemetry.Runtime.is_enabled () in
+  let wall0 = if instrumented then Sys.time () else 0.0 in
   let loads = Compute_load.of_snapshot snapshot ~weights in
   let usable = Compute_load.usable loads in
-  if usable = [] then Error Allocation.No_usable_nodes
+  if usable = [] then begin
+    Telemetry.Metrics.incr m_errors;
+    Error Allocation.No_usable_nodes
+  end
   else begin
     let pc = Effective_procs.of_snapshot snapshot ~loads in
     let capacity node =
@@ -72,36 +143,60 @@ let allocate ~policy ~snapshot ~weights ~request ~rng =
       Request.capacity_of request ~effective
     in
     let procs = request.Request.procs in
-    match policy with
-    | Random ->
-      let arr = Array.of_list usable in
-      Rng.shuffle rng arr;
-      Ok (to_allocation ~policy (fill ~ordered:(Array.to_list arr) ~capacity ~procs))
-    | Sequential ->
-      (* Random start, then ids in ascending order with wrap-around:
-         hostname numbering tracks physical proximity (§1). *)
-      let arr = Array.of_list usable in
-      let k = Array.length arr in
-      let start = Rng.int rng k in
-      let ordered = List.init k (fun i -> arr.((start + i) mod k)) in
-      Ok (to_allocation ~policy (fill ~ordered ~capacity ~procs))
-    | Load_aware ->
-      let ordered =
-        List.sort
-          (fun a b ->
-            match
-              Float.compare (Compute_load.get loads ~node:a)
-                (Compute_load.get loads ~node:b)
-            with
-            | 0 -> compare a b
-            | c -> c)
-          usable
-      in
-      Ok (to_allocation ~policy (fill ~ordered ~capacity ~procs))
-    | Network_load_aware ->
-      let net = Network_load.of_snapshot snapshot ~weights in
-      let candidates = Candidate.generate_all ~loads ~net ~capacity ~request in
-      let best = Select.best ~candidates ~loads ~net ~request in
-      Ok (to_allocation ~policy best.Select.candidate.Candidate.assignment)
-    | Hierarchical -> Hierarchical.allocate ~snapshot ~weights ~request
+    let result, scored, chosen =
+      match policy with
+      | Random ->
+        let arr = Array.of_list usable in
+        Rng.shuffle rng arr;
+        ( Ok (to_allocation ~policy (fill ~ordered:(Array.to_list arr) ~capacity ~procs)),
+          [], None )
+      | Sequential ->
+        (* Random start, then ids in ascending order with wrap-around:
+           hostname numbering tracks physical proximity (§1). *)
+        let arr = Array.of_list usable in
+        let k = Array.length arr in
+        let start = Rng.int rng k in
+        let ordered = List.init k (fun i -> arr.((start + i) mod k)) in
+        (Ok (to_allocation ~policy (fill ~ordered ~capacity ~procs)), [], None)
+      | Load_aware ->
+        let ordered =
+          List.sort
+            (fun a b ->
+              match
+                Float.compare (Compute_load.get loads ~node:a)
+                  (Compute_load.get loads ~node:b)
+              with
+              | 0 -> compare a b
+              | c -> c)
+            usable
+        in
+        (Ok (to_allocation ~policy (fill ~ordered ~capacity ~procs)), [], None)
+      | Network_load_aware ->
+        let net = Network_load.of_snapshot snapshot ~weights in
+        let candidates = Candidate.generate_all ~loads ~net ~capacity ~request in
+        let scored = Select.score ~candidates ~loads ~net ~request in
+        let best = Select.best_scored scored in
+        let audit_scored =
+          if instrumented then
+            List.map (audit_candidate ~loads ~net ~request) scored
+          else []
+        in
+        ( Ok (to_allocation ~policy best.Select.candidate.Candidate.assignment),
+          audit_scored,
+          Some best.Select.candidate.Candidate.start )
+      | Hierarchical -> (Hierarchical.allocate ~snapshot ~weights ~request, [], None)
+    in
+    if instrumented then begin
+      Telemetry.Metrics.incr
+        (Telemetry.Metrics.counter "core.allocations"
+           ~labels:[ ("policy", name policy) ]);
+      Telemetry.Metrics.add m_candidates (float_of_int (List.length scored));
+      Telemetry.Metrics.observe m_staleness (Snapshot.max_staleness snapshot);
+      (match result with
+      | Error _ -> Telemetry.Metrics.incr m_errors
+      | Ok _ -> ());
+      record_audit ~snapshot ~policy ~request ~loads ~pc ~scored ~chosen ~result;
+      Telemetry.Metrics.observe m_wall_s (Sys.time () -. wall0)
+    end;
+    result
   end

@@ -27,10 +27,9 @@ let score ~candidates ~loads ~net ~request =
       { candidate; compute_cost; network_cost; total })
     raw
 
-let best ~candidates ~loads ~net ~request =
-  let scored = score ~candidates ~loads ~net ~request in
+let best_scored scored =
   match scored with
-  | [] -> assert false
+  | [] -> invalid_arg "Select.best_scored: no candidates"
   | first :: rest ->
     List.fold_left
       (fun acc s ->
@@ -40,3 +39,6 @@ let best ~candidates ~loads ~net ~request =
         then s
         else acc)
       first rest
+
+let best ~candidates ~loads ~net ~request =
+  best_scored (score ~candidates ~loads ~net ~request)

@@ -28,3 +28,8 @@ val best :
   net:Network_load.t ->
   request:Request.t ->
   scored
+
+val best_scored : scored list -> scored
+(** Algorithm 2's argmin over an already-scored candidate set — lets a
+    caller that needs the full score table (e.g. the decision audit
+    log) avoid scoring twice. Raises [Invalid_argument] on []. *)

@@ -1,6 +1,10 @@
 module Sim = Rm_engine.Sim
 module Rng = Rm_stats.Rng
 module World = Rm_workload.World
+module Telemetry = Rm_telemetry
+
+let m_relaunches = Telemetry.Metrics.counter "monitor.central.relaunches"
+let m_promotions = Telemetry.Metrics.counter "monitor.central.promotions"
 
 type role = Master | Slave
 
@@ -67,7 +71,8 @@ and run t inst ~sim =
           match pick_node t ~avoid:[] with
           | Some node ->
             Daemon.relaunch d ~sim ~node;
-            t.relaunches <- t.relaunches + 1
+            t.relaunches <- t.relaunches + 1;
+            Telemetry.Metrics.incr m_relaunches
           | None -> ()
         end)
       t.supervised;
@@ -83,6 +88,10 @@ and run t inst ~sim =
     if find_role t Master = None then begin
       (* Promote; master duties resume on this instance's next tick. *)
       inst.role <- Master;
+      Telemetry.Metrics.incr m_promotions;
+      Telemetry.Trace.instant ~time:(Sim.now sim)
+        ~attrs:[ ("daemon", Daemon.name inst.daemon) ]
+        "central.promote";
       run t inst ~sim
     end
 

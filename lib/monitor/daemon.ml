@@ -1,4 +1,5 @@
 module Sim = Rm_engine.Sim
+module Telemetry = Rm_telemetry
 
 type t = {
   name : string;
@@ -7,11 +8,22 @@ type t = {
   host_up : int -> bool;
   until : float;
   action : Sim.t -> unit;
+  tick_metric : Telemetry.Metrics.t;
   mutable node : int;
   mutable alive : bool;
   mutable generation : int;  (* invalidates in-flight ticks on crash *)
   mutable ticks : int;
 }
+
+(* One counter family per daemon kind ("nodestate-17" -> "nodestate"),
+   not per instance, so the registry stays small on big clusters. *)
+let family name =
+  match String.index_opt name '-' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+let m_crashes = Telemetry.Metrics.counter "monitor.daemon.crashes"
+let m_relaunches = Telemetry.Metrics.counter "monitor.daemon.relaunches"
 
 let name t = t.name
 let node t = t.node
@@ -31,6 +43,7 @@ let rec schedule t ~sim ~gen ~first =
            if t.alive && t.generation = gen then begin
              if t.host_up t.node then begin
                t.ticks <- t.ticks + 1;
+               Telemetry.Metrics.incr t.tick_metric;
                t.action sim
              end;
              schedule t ~sim ~gen ~first:false
@@ -47,6 +60,9 @@ let launch ~sim ~name ~node ~period ?jitter ?(host_up = fun _ -> true) ~until
       host_up;
       until;
       action;
+      tick_metric =
+        Telemetry.Metrics.counter "monitor.daemon.ticks"
+          ~labels:[ ("daemon", family name) ];
       node;
       alive = true;
       generation = 0;
@@ -58,12 +74,17 @@ let launch ~sim ~name ~node ~period ?jitter ?(host_up = fun _ -> true) ~until
 
 let crash t =
   t.alive <- false;
-  t.generation <- t.generation + 1
+  t.generation <- t.generation + 1;
+  Telemetry.Metrics.incr m_crashes
 
 let relaunch t ~sim ~node =
   if not t.alive then begin
     t.alive <- true;
     t.node <- node;
     t.generation <- t.generation + 1;
+    Telemetry.Metrics.incr m_relaunches;
+    Telemetry.Trace.instant ~time:(Sim.now sim)
+      ~attrs:[ ("daemon", t.name); ("node", string_of_int node) ]
+      "monitor.daemon.relaunch";
     schedule t ~sim ~gen:t.generation ~first:true
   end

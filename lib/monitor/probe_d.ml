@@ -2,6 +2,14 @@ module Sim = Rm_engine.Sim
 module Rng = Rm_stats.Rng
 module World = Rm_workload.World
 module Network = Rm_netsim.Network
+module Telemetry = Rm_telemetry
+
+let m_bw_rounds =
+  Telemetry.Metrics.counter "monitor.probe.rounds"
+    ~labels:[ ("kind", "bandwidth") ]
+
+let m_lat_rounds =
+  Telemetry.Metrics.counter "monitor.probe.rounds" ~labels:[ ("kind", "latency") ]
 
 let live_nodes world store =
   match Store.read_livehosts store with
@@ -19,6 +27,10 @@ let launch_bandwidth ~sim ~world ~store ~rng ~node ?(period = 300.0) ~until () =
         (fun round ->
           (* The whole round measures concurrently: every probe pair
              gets its fair share against the others and background. *)
+          Telemetry.Metrics.incr m_bw_rounds;
+          Telemetry.Trace.instant ~time:now
+            ~attrs:[ ("pairs", string_of_int (List.length round)) ]
+            "probe.bandwidth.round";
           let pairs = Array.of_list round in
           let rates = Network.rates_with_extra (World.network world) ~extra:pairs in
           Array.iteri
@@ -44,6 +56,10 @@ let launch_latency ~sim ~world ~store ~rng ~node ?(period = 60.0) ~until () =
     if List.length nodes >= 2 then
       List.iter
         (fun round ->
+          Telemetry.Metrics.incr m_lat_rounds;
+          Telemetry.Trace.instant ~time:now
+            ~attrs:[ ("pairs", string_of_int (List.length round)) ]
+            "probe.latency.round";
           List.iter
             (fun (src, dst) ->
               let truth = Network.latency_us (World.network world) ~src ~dst in

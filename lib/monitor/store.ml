@@ -1,4 +1,11 @@
 module Matrix = Rm_stats.Matrix
+module Telemetry = Rm_telemetry
+
+let m_node_writes = Telemetry.Metrics.counter "monitor.store.node_writes"
+let m_node_reads = Telemetry.Metrics.counter "monitor.store.node_reads"
+let m_livehosts_writes = Telemetry.Metrics.counter "monitor.store.livehosts_writes"
+let m_pair_writes = Telemetry.Metrics.counter "monitor.store.pair_writes"
+let m_pair_reads = Telemetry.Metrics.counter "monitor.store.pair_reads"
 
 type node_record = {
   node : int;
@@ -39,14 +46,17 @@ let check t i =
 
 let write_node t record =
   check t record.node;
+  Telemetry.Metrics.incr m_node_writes;
   t.nodes.(record.node) <- Some record
 
 let read_node t ~node =
   check t node;
+  Telemetry.Metrics.incr m_node_reads;
   t.nodes.(node)
 
 let write_livehosts t ~time ~nodes =
   List.iter (check t) nodes;
+  Telemetry.Metrics.incr m_livehosts_writes;
   t.livehosts := Some (time, nodes)
 
 let read_livehosts t = !(t.livehosts)
@@ -60,12 +70,14 @@ let pair_cell table t src dst =
 
 let write_pair table t ~time ~src ~dst ~value =
   let cell = pair_cell table t src dst in
+  Telemetry.Metrics.incr m_pair_writes;
   cell.time <- time;
   cell.value <- value;
   cell.set <- true
 
 let read_pair table t ~src ~dst =
   let cell = pair_cell table t src dst in
+  Telemetry.Metrics.incr m_pair_reads;
   if cell.set then Some (cell.time, cell.value) else None
 
 let write_bandwidth t ~time ~src ~dst ~mb_s =

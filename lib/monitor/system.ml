@@ -57,7 +57,16 @@ let store t = t.store
 let central t = t.central
 let daemons t = t.daemons
 
-let snapshot t ~time = Snapshot.capture ~time ~cluster:t.cluster ~store:t.store
+let m_captures = Rm_telemetry.Metrics.counter "monitor.snapshot.captures"
+let m_staleness = Rm_telemetry.Metrics.histogram "monitor.snapshot.staleness_s"
+
+let snapshot t ~time =
+  let snap = Snapshot.capture ~time ~cluster:t.cluster ~store:t.store in
+  if Rm_telemetry.Runtime.is_enabled () then begin
+    Rm_telemetry.Metrics.incr m_captures;
+    Rm_telemetry.Metrics.observe m_staleness (Snapshot.max_staleness snap)
+  end;
+  snap
 
 let warm_up_s cadence =
   Float.max 900.0 (cadence.bandwidth_period +. 60.0)

@@ -2,6 +2,15 @@ module World = Rm_workload.World
 module Network = Rm_netsim.Network
 module Cluster = Rm_cluster.Cluster
 module Allocation = Rm_core.Allocation
+module Telemetry = Rm_telemetry
+
+let m_runs = Telemetry.Metrics.counter "mpisim.runs"
+let m_iterations = Telemetry.Metrics.counter "mpisim.iterations"
+let m_iter_compute_s = Telemetry.Metrics.histogram "mpisim.iter.compute_s"
+let m_iter_comm_s = Telemetry.Metrics.histogram "mpisim.iter.comm_s"
+let m_compute_s_total = Telemetry.Metrics.counter "mpisim.compute_s_total"
+let m_comm_s_total = Telemetry.Metrics.counter "mpisim.comm_s_total"
+let m_inter_node_bytes = Telemetry.Metrics.counter "mpisim.inter_node_bytes"
 
 type stats = {
   app : string;
@@ -109,6 +118,22 @@ let run ~world ~allocation ~app ?placement () =
   let cluster = World.cluster world in
   let network = World.network world in
   let start = World.now world in
+  let instrumented = Telemetry.Runtime.is_enabled () in
+  let span =
+    if instrumented then begin
+      Telemetry.Metrics.incr m_runs;
+      Some
+        (Telemetry.Trace.span_begin ~time:start
+           ~attrs:
+             [
+               ("app", app.App.name);
+               ("ranks", string_of_int app.App.ranks);
+               ("policy", allocation.Allocation.policy);
+             ]
+           "mpisim.run")
+    end
+    else None
+  in
   let clock = ref start in
   let compute_total = ref 0.0 in
   let comm_total = ref 0.0 in
@@ -126,6 +151,11 @@ let run ~world ~allocation ~app ?placement () =
           ~bytes:phase.App.allreduce_bytes
       else 0.0
     in
+    if instrumented then begin
+      Telemetry.Metrics.incr m_iterations;
+      Telemetry.Metrics.observe m_iter_compute_s t_comp;
+      Telemetry.Metrics.observe m_iter_comm_s (t_p2p +. t_coll)
+    end;
     compute_total := !compute_total +. t_comp;
     comm_total := !comm_total +. t_p2p +. t_coll;
     bytes_total := !bytes_total +. step_bytes;
@@ -133,6 +163,13 @@ let run ~world ~allocation ~app ?placement () =
     clock := !clock +. t_comp +. t_p2p +. t_coll
   done;
   World.advance world ~now:!clock;
+  (match span with
+  | Some span ->
+    Telemetry.Metrics.add m_compute_s_total !compute_total;
+    Telemetry.Metrics.add m_comm_s_total !comm_total;
+    Telemetry.Metrics.add m_inter_node_bytes !bytes_total;
+    Telemetry.Trace.span_end ~time:!clock span
+  | None -> ());
   let total = !clock -. start in
   {
     app = app.App.name;

@@ -7,6 +7,20 @@ module Request = Rm_core.Request
 module Allocation = Rm_core.Allocation
 module Executor = Rm_mpisim.Executor
 module Flow = Rm_netsim.Flow
+module Telemetry = Rm_telemetry
+
+let m_submitted = Telemetry.Metrics.counter "sched.jobs_submitted"
+let m_dispatched = Telemetry.Metrics.counter "sched.jobs_dispatched"
+let m_completed = Telemetry.Metrics.counter "sched.jobs_completed"
+let m_cancelled = Telemetry.Metrics.counter "sched.jobs_cancelled"
+let m_backfill = Telemetry.Metrics.counter "sched.backfill_hits"
+let m_queue_depth = Telemetry.Metrics.gauge "sched.queue_depth"
+
+(* Virtual seconds between submission and dispatch; jobs on a busy
+   cluster can queue for hours, hence the wide buckets. *)
+let m_wait_s =
+  Telemetry.Metrics.histogram "sched.dispatch_wait_s"
+    ~buckets:[| 1.0; 10.0; 60.0; 300.0; 1800.0; 7200.0; 43200.0 |]
 
 type config = {
   broker : Broker.config;
@@ -54,6 +68,7 @@ type job = {
   mutable overlay : World.job_handle option;
       (** set while running, for cancellation *)
   mutable completion : Rm_engine.Event_queue.handle option;
+  mutable span : Telemetry.Trace.span option;  (** open while running *)
 }
 
 type t = {
@@ -108,6 +123,10 @@ let running t =
 
 let finished t = List.rev t.finished_log
 
+let sync_queue_gauge t =
+  if Telemetry.Runtime.is_enabled () then
+    Telemetry.Metrics.set m_queue_depth (float_of_int (List.length (queued t)))
+
 (* Forward declaration dance: dispatch and completion reference each
    other through the event queue. *)
 let rec try_dispatch t sim =
@@ -121,8 +140,20 @@ let rec try_dispatch t sim =
       | [] -> []
       | head :: rest -> if t.config.backfill then head :: rest else [ head ]
     in
-    let started = List.exists (fun id -> attempt t sim id) candidates in
+    (* A job starting from any position but the head is a backfill hit:
+       the queue head could not be placed but a later job could. *)
+    let rec attempt_each pos = function
+      | [] -> false
+      | id :: rest ->
+        if attempt t sim id then begin
+          if pos > 0 then Telemetry.Metrics.incr m_backfill;
+          true
+        end
+        else attempt_each (pos + 1) rest
+    in
+    let started = attempt_each 0 candidates in
     if started then t.last_dispatch <- now;
+    sync_queue_gauge t;
     if queued t <> [] then schedule_retry t ~delay:t.config.retry_s
   end
 
@@ -181,6 +212,20 @@ and start_job t sim j allocation =
   let nodes = Allocation.node_ids allocation in
   j.state <- Running { started_at = now; nodes };
   j.overlay <- Some handle;
+  if Telemetry.Runtime.is_enabled () then begin
+    Telemetry.Metrics.incr m_dispatched;
+    Telemetry.Metrics.observe m_wait_s (now -. j.submitted_at);
+    j.span <-
+      Some
+        (Telemetry.Trace.span_begin ~time:now
+           ~attrs:
+             [
+               ("job", j.name);
+               ("nodes", string_of_int (List.length nodes));
+               ("procs", string_of_int (Allocation.total_procs allocation));
+             ]
+           "sched.job")
+  end;
   j.completion <-
     Some
       (Sim.schedule_after sim ~delay:duration (fun sim ->
@@ -201,6 +246,12 @@ and start_job t sim j allocation =
            in
            j.state <- Finished outcome;
            t.finished_log <- outcome :: t.finished_log;
+           Telemetry.Metrics.incr m_completed;
+           (match j.span with
+           | Some span ->
+             Telemetry.Trace.span_end ~time:finished_at span;
+             j.span <- None
+           | None -> ());
            try_dispatch t sim))
 
 let submit t ~name ~at ?(priority = 0) ~request ~app_of () =
@@ -211,10 +262,11 @@ let submit t ~name ~at ?(priority = 0) ~request ~app_of () =
     (Sim.schedule_at t.sim ~time:at (fun sim ->
          let j =
            { id; name; priority; request; app_of; submitted_at = at;
-             state = Queued; overlay = None; completion = None }
+             state = Queued; overlay = None; completion = None; span = None }
          in
          Hashtbl.replace t.jobs id j;
          t.queue <- t.queue @ [ id ];
+         Telemetry.Metrics.incr m_submitted;
          try_dispatch t sim));
   id
 
@@ -223,7 +275,9 @@ let cancel t id =
   match j.state with
   | Finished _ | Rejected _ -> ()
   | Queued ->
-    j.state <- Rejected "cancelled"
+    j.state <- Rejected "cancelled";
+    Telemetry.Metrics.incr m_cancelled;
+    sync_queue_gauge t
   | Running _ ->
     (match j.overlay with
     | Some handle ->
@@ -235,7 +289,13 @@ let cancel t id =
       Sim.cancel t.sim handle;
       j.completion <- None
     | None -> ());
+    (match j.span with
+    | Some span ->
+      Telemetry.Trace.span_end ~time:(Sim.now t.sim) span;
+      j.span <- None
+    | None -> ());
     j.state <- Rejected "cancelled";
+    Telemetry.Metrics.incr m_cancelled;
     (* Freed nodes may unblock the queue. *)
     schedule_retry t ~delay:0.0
 

@@ -1,0 +1,272 @@
+type node_stat = { node : int; cl : float; pc : int; load_1m : float }
+
+type step = { node : int; cost : float; procs : int }
+
+type candidate = {
+  start : int;
+  steps : step list;
+  compute_cost : float;
+  network_cost : float;
+  total : float;
+}
+
+type decision =
+  | Allocated of (int * int) list
+  | Wait of { mean_load_per_core : float; threshold : float }
+  | Rejected of string
+
+type t = {
+  time : float;
+  policy : string;
+  procs : int;
+  ppn : int option;
+  alpha : float;
+  beta : float;
+  staleness_s : float;
+  usable : int;
+  nodes : node_stat list;
+  candidates : candidate list;
+  chosen : int option;
+  decision : decision;
+}
+
+(* --- sink ------------------------------------------------------------ *)
+
+let capacity = ref 256
+let buffer : t list ref = ref []  (* newest first, length ≤ capacity *)
+let buffered = ref 0
+
+let rec truncate n = function
+  | [] -> []
+  | _ when n = 0 -> []
+  | x :: rest -> x :: truncate (n - 1) rest
+
+let record r =
+  if Runtime.is_enabled () then begin
+    buffer := r :: truncate (!capacity - 1) !buffer;
+    buffered := min !capacity (!buffered + 1)
+  end
+
+let last () = match !buffer with [] -> None | r :: _ -> Some r
+
+let recent ?n () =
+  let all = List.rev !buffer in
+  match n with
+  | None -> all
+  | Some n ->
+    let len = List.length all in
+    List.filteri (fun i _ -> i >= len - n) all
+
+let clear () =
+  buffer := [];
+  buffered := 0
+
+let set_capacity n =
+  if n <= 0 then invalid_arg "Audit.set_capacity: capacity must be positive";
+  capacity := n;
+  clear ()
+
+(* --- JSON ------------------------------------------------------------ *)
+
+let json_of_node (s : node_stat) =
+  Json.Obj
+    [
+      ("node", Json.Num (float_of_int s.node));
+      ("cl", Json.Num s.cl);
+      ("pc", Json.Num (float_of_int s.pc));
+      ("load_1m", Json.Num s.load_1m);
+    ]
+
+let json_of_step (s : step) =
+  Json.Obj
+    [
+      ("node", Json.Num (float_of_int s.node));
+      ("cost", Json.Num s.cost);
+      ("procs", Json.Num (float_of_int s.procs));
+    ]
+
+let json_of_candidate (c : candidate) =
+  Json.Obj
+    [
+      ("start", Json.Num (float_of_int c.start));
+      ("steps", Json.Arr (List.map json_of_step c.steps));
+      ("compute_cost", Json.Num c.compute_cost);
+      ("network_cost", Json.Num c.network_cost);
+      ("total", Json.Num c.total);
+    ]
+
+let json_of_decision = function
+  | Allocated entries ->
+    Json.Obj
+      [
+        ("kind", Json.Str "allocated");
+        ( "entries",
+          Json.Arr
+            (List.map
+               (fun (node, procs) ->
+                 Json.Arr
+                   [ Json.Num (float_of_int node); Json.Num (float_of_int procs) ])
+               entries) );
+      ]
+  | Wait { mean_load_per_core; threshold } ->
+    Json.Obj
+      [
+        ("kind", Json.Str "wait");
+        ("mean_load_per_core", Json.Num mean_load_per_core);
+        ("threshold", Json.Num threshold);
+      ]
+  | Rejected reason ->
+    Json.Obj [ ("kind", Json.Str "rejected"); ("reason", Json.Str reason) ]
+
+let to_json r =
+  Json.to_string
+    (Json.Obj
+       [
+         ("time", Json.Num r.time);
+         ("policy", Json.Str r.policy);
+         ("procs", Json.Num (float_of_int r.procs));
+         ( "ppn",
+           match r.ppn with
+           | Some p -> Json.Num (float_of_int p)
+           | None -> Json.Null );
+         ("alpha", Json.Num r.alpha);
+         ("beta", Json.Num r.beta);
+         ("staleness_s", Json.Num r.staleness_s);
+         ("usable", Json.Num (float_of_int r.usable));
+         ("nodes", Json.Arr (List.map json_of_node r.nodes));
+         ("candidates", Json.Arr (List.map json_of_candidate r.candidates));
+         ( "chosen",
+           match r.chosen with
+           | Some s -> Json.Num (float_of_int s)
+           | None -> Json.Null );
+         ("decision", json_of_decision r.decision);
+       ])
+
+let node_of_json j =
+  {
+    node = Json.to_int (Json.member "node" j);
+    cl = Json.to_float (Json.member "cl" j);
+    pc = Json.to_int (Json.member "pc" j);
+    load_1m = Json.to_float (Json.member "load_1m" j);
+  }
+
+let step_of_json j =
+  {
+    node = Json.to_int (Json.member "node" j);
+    cost = Json.to_float (Json.member "cost" j);
+    procs = Json.to_int (Json.member "procs" j);
+  }
+
+let candidate_of_json j =
+  {
+    start = Json.to_int (Json.member "start" j);
+    steps = List.map step_of_json (Json.to_list (Json.member "steps" j));
+    compute_cost = Json.to_float (Json.member "compute_cost" j);
+    network_cost = Json.to_float (Json.member "network_cost" j);
+    total = Json.to_float (Json.member "total" j);
+  }
+
+let decision_of_json j =
+  match Json.to_str (Json.member "kind" j) with
+  | "allocated" ->
+    Allocated
+      (List.map
+         (fun pair ->
+           match Json.to_list pair with
+           | [ n; p ] -> (Json.to_int n, Json.to_int p)
+           | _ -> failwith "Audit.of_json: bad entry")
+         (Json.to_list (Json.member "entries" j)))
+  | "wait" ->
+    Wait
+      {
+        mean_load_per_core = Json.to_float (Json.member "mean_load_per_core" j);
+        threshold = Json.to_float (Json.member "threshold" j);
+      }
+  | "rejected" -> Rejected (Json.to_str (Json.member "reason" j))
+  | other -> failwith ("Audit.of_json: unknown decision kind " ^ other)
+
+let of_json line =
+  let j = Json.of_string line in
+  {
+    time = Json.to_float (Json.member "time" j);
+    policy = Json.to_str (Json.member "policy" j);
+    procs = Json.to_int (Json.member "procs" j);
+    ppn =
+      (match Json.member "ppn" j with
+      | Json.Null -> None
+      | v -> Some (Json.to_int v));
+    alpha = Json.to_float (Json.member "alpha" j);
+    beta = Json.to_float (Json.member "beta" j);
+    staleness_s = Json.to_float (Json.member "staleness_s" j);
+    usable = Json.to_int (Json.member "usable" j);
+    nodes = List.map node_of_json (Json.to_list (Json.member "nodes" j));
+    candidates =
+      List.map candidate_of_json (Json.to_list (Json.member "candidates" j));
+    chosen =
+      (match Json.member "chosen" j with
+      | Json.Null -> None
+      | v -> Some (Json.to_int v));
+    decision = decision_of_json (Json.member "decision" j);
+  }
+
+let to_jsonl records =
+  String.concat "" (List.map (fun r -> to_json r ^ "\n") records)
+
+let of_jsonl text =
+  String.split_on_char '\n' text
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.map of_json
+
+(* --- explain rendering ------------------------------------------------ *)
+
+let pp_explain ppf r =
+  Format.fprintf ppf
+    "allocation at t=%.0fs policy=%s procs=%d%s α=%.2f β=%.2f@." r.time
+    r.policy r.procs
+    (match r.ppn with Some p -> Printf.sprintf " ppn=%d" p | None -> "")
+    r.alpha r.beta;
+  Format.fprintf ppf "snapshot: %d usable nodes, staleness %.1fs@."
+    r.usable r.staleness_s;
+  (match r.decision with
+  | Wait { mean_load_per_core; threshold } ->
+    Format.fprintf ppf
+      "decision: WAIT (mean load/core %.2f exceeds threshold %.2f)@."
+      mean_load_per_core threshold
+  | Rejected reason -> Format.fprintf ppf "decision: REJECTED (%s)@." reason
+  | Allocated entries ->
+    Format.fprintf ppf "decision: allocated [%s]@."
+      (String.concat "; "
+         (List.map (fun (n, p) -> Printf.sprintf "n%d×%d" n p) entries)));
+  if r.nodes <> [] then begin
+    Format.fprintf ppf "@.per-node state (Eq. 1 / Eq. 3):@.";
+    Format.fprintf ppf "  %6s %10s %6s %9s@." "node" "CL_v" "pc_v" "load1m";
+    List.iter
+      (fun (s : node_stat) ->
+        Format.fprintf ppf "  %6d %10.5f %6d %9.2f@." s.node s.cl s.pc
+          s.load_1m)
+      r.nodes
+  end;
+  if r.candidates <> [] then begin
+    Format.fprintf ppf "@.candidates (Eq. 4, lower total wins):@.";
+    Format.fprintf ppf "  %6s %12s %12s %12s  %s@." "start" "C_G" "N_G"
+      "T" "";
+    List.iter
+      (fun (c : candidate) ->
+        Format.fprintf ppf "  %6d %12.5f %12.5f %12.5f  %s@." c.start
+          c.compute_cost c.network_cost c.total
+          (if r.chosen = Some c.start then "<- chosen" else ""))
+      (List.sort (fun a b -> Float.compare a.total b.total) r.candidates);
+    match
+      List.find_opt (fun c -> r.chosen = Some c.start) r.candidates
+    with
+    | None -> ()
+    | Some c ->
+      Format.fprintf ppf
+        "@.chosen sub-graph growth order (Algorithm 1, A_v(u)):@.";
+      List.iteri
+        (fun i (s : step) ->
+          Format.fprintf ppf "  %2d. node %-4d cost %.6f  +%d procs%s@."
+            (i + 1) s.node s.cost s.procs
+            (if i = 0 then "  (start)" else ""))
+        c.steps
+  end

@@ -1,0 +1,82 @@
+(** The allocation decision audit log.
+
+    For every broker decision the instrumented allocator records what
+    Algorithm 2 actually saw and did: the snapshot's staleness, every
+    usable node's compute load CL_v and effective processor count pc_v,
+    each candidate sub-graph's Algorithm 1 growth order with addition
+    costs A_v(u), the final Eq. 4 scores, and the outcome — enough to
+    replay and explain a placement node by node ([rmctl explain]).
+
+    Records are plain data (ints, floats, strings) so this library
+    stays below [rm_core] in the layering; the allocator fills them in.
+    Recording is a no-op while {!Runtime.is_enabled} is false. Records
+    live in a bounded ring (newest kept) and round-trip through JSONL. *)
+
+type node_stat = {
+  node : int;
+  cl : float;  (** compute load CL_v, Eq. 1 *)
+  pc : int;  (** effective processor count pc_v, Eq. 3 *)
+  load_1m : float;  (** raw 1-minute load mean behind pc_v *)
+}
+
+type step = {
+  node : int;
+  cost : float;  (** addition cost A_v(u); 0 for the start node *)
+  procs : int;  (** processes Algorithm 1 placed there *)
+}
+
+type candidate = {
+  start : int;
+  steps : step list;  (** Algorithm 1 growth order, start first *)
+  compute_cost : float;  (** C_{G_v}, un-normalized *)
+  network_cost : float;  (** N_{G_v}, un-normalized *)
+  total : float;  (** T_{G_v}, Eq. 4 *)
+}
+
+type decision =
+  | Allocated of (int * int) list  (** (node, procs) *)
+  | Wait of { mean_load_per_core : float; threshold : float }
+  | Rejected of string
+
+type t = {
+  time : float;  (** snapshot capture time (virtual seconds) *)
+  policy : string;
+  procs : int;
+  ppn : int option;
+  alpha : float;
+  beta : float;
+  staleness_s : float;  (** oldest usable node record's age *)
+  usable : int;
+  nodes : node_stat list;
+  candidates : candidate list;  (** empty for non-Algorithm-2 policies *)
+  chosen : int option;  (** winning candidate's start node *)
+  decision : decision;
+}
+
+val record : t -> unit
+val last : unit -> t option
+
+val recent : ?n:int -> unit -> t list
+(** Up to [n] (default all buffered) most recent records, oldest
+    first. *)
+
+val clear : unit -> unit
+
+val set_capacity : int -> unit
+(** Bound on buffered records (default 256); resizing clears. *)
+
+(** {2 JSONL round-trip} *)
+
+val to_json : t -> string
+(** One line, no trailing newline. *)
+
+val of_json : string -> t
+(** Raises [Failure] on malformed input. *)
+
+val to_jsonl : t list -> string
+val of_jsonl : string -> t list
+
+val pp_explain : Format.formatter -> t -> unit
+(** The [rmctl explain] rendering: request and snapshot header, the
+    per-node CL_v/pc_v table, every candidate's Eq. 4 scores, and the
+    chosen sub-graph's growth order with addition costs. *)

@@ -1,0 +1,79 @@
+(** A process-wide metrics registry: named counters, gauges and
+    fixed-bucket histograms with label families.
+
+    Designed for hot paths: handles are registered once (typically at
+    module initialization) and every mutation first checks
+    {!Runtime.is_enabled}, so disabled instrumentation costs one
+    boolean load per site. Metrics measure *this process* — counts and
+    wall-clock timings — never simulated results, so leaving them on or
+    off cannot change an experiment's outcome.
+
+    A metric's identity is its name plus its (sorted) label set:
+    [counter "core.allocations" ~labels:[("policy", "random")]] and the
+    same name with [("policy", "load-aware")] are two members of one
+    family. Registering the same identity twice returns the same
+    handle; re-registering it as a different kind raises
+    [Invalid_argument]. *)
+
+type t
+(** A handle to one registered metric. *)
+
+val counter : ?labels:(string * string) list -> string -> t
+(** Monotonically increasing value; {!incr} and {!add} apply. *)
+
+val gauge : ?labels:(string * string) list -> string -> t
+(** A value that goes up and down; {!set} and {!add} apply. *)
+
+val histogram :
+  ?labels:(string * string) list -> ?buckets:float array -> string -> t
+(** Fixed cumulative-style buckets given as strictly increasing upper
+    bounds; an implicit overflow bucket catches the rest. The default
+    buckets suit durations in seconds (1 µs … 1000 s). [buckets] is
+    only consulted on first registration. *)
+
+val default_buckets : float array
+
+(** {2 Mutation} — all no-ops while telemetry is disabled. Raises
+    [Invalid_argument] when the operation does not fit the metric's
+    kind (counter: incr/add with non-negative delta; gauge: set/add;
+    histogram: observe). *)
+
+val incr : t -> unit
+val add : t -> float -> unit
+val set : t -> float -> unit
+val observe : t -> float -> unit
+
+(** {2 Reading} *)
+
+val value : t -> float
+(** Counter total or current gauge value; histogram sum. *)
+
+val count : t -> int
+(** Histogram observation count; 0 for other kinds. *)
+
+val bucket_counts : t -> (float * int) list
+(** Histogram [(upper_bound, count)] pairs, the overflow bucket last as
+    [(infinity, n)]. Empty for other kinds. *)
+
+type kind = Counter | Gauge | Histogram
+
+type view = {
+  name : string;
+  labels : (string * string) list;
+  kind : kind;
+  value : float;  (** counter/gauge value; histogram sum *)
+  count : int;  (** histogram observations *)
+  buckets : (float * int) list;
+}
+
+val snapshot : unit -> view list
+(** Every registered metric, sorted by name then labels. *)
+
+val find : ?labels:(string * string) list -> string -> t option
+
+val reset : unit -> unit
+(** Zero every metric, keeping registrations (handles stay valid). *)
+
+val render : unit -> string
+(** Human-readable dump of the whole registry, one metric per line,
+    zero-valued metrics included. *)

@@ -1,0 +1,17 @@
+(** The master instrumentation switch.
+
+    All of [rm_telemetry] is disabled by default so instrumented hot
+    paths (the allocator, the MPI executor's iteration loop, daemon
+    ticks) pay only one boolean load per site. Front ends ([rmctl
+    metrics], [rmctl explain], tests) enable it for the duration of a
+    run. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+
+val is_enabled : unit -> bool
+(** False at program start. *)
+
+val with_enabled : (unit -> 'a) -> 'a
+(** Run with telemetry on, restoring the previous state afterwards
+    (also on exceptions). *)

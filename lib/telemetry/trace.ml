@@ -1,0 +1,110 @@
+type kind = Span_begin | Span_end | Instant
+
+type event = {
+  seq : int;
+  time : float;
+  name : string;
+  kind : kind;
+  depth : int;
+  attrs : (string * string) list;
+}
+
+type span = {
+  span_name : string;
+  span_attrs : (string * string) list;
+  mutable open_ : bool;
+}
+
+(* Ring buffer: [next] is the write position, [count] the number of
+   valid entries (≤ capacity). *)
+let capacity = ref 4096
+let ring : event option array ref = ref (Array.make !capacity None)
+let next = ref 0
+let count = ref 0
+let seq = ref 0
+let depth = ref 0
+
+let clear () =
+  Array.fill !ring 0 (Array.length !ring) None;
+  next := 0;
+  count := 0;
+  seq := 0;
+  depth := 0
+
+let set_capacity n =
+  if n <= 0 then invalid_arg "Trace.set_capacity: capacity must be positive";
+  capacity := n;
+  ring := Array.make n None;
+  next := 0;
+  count := 0
+
+let push e =
+  !ring.(!next) <- Some e;
+  next := (!next + 1) mod !capacity;
+  if !count < !capacity then incr count
+
+let emit ~time ~name ~kind ~attrs =
+  push { seq = !seq; time; name; kind; depth = !depth; attrs };
+  incr seq
+
+let instant ~time ?(attrs = []) name =
+  if Runtime.is_enabled () then emit ~time ~name ~kind:Instant ~attrs
+
+let span_begin ~time ?(attrs = []) name =
+  if Runtime.is_enabled () then begin
+    emit ~time ~name ~kind:Span_begin ~attrs;
+    incr depth;
+    { span_name = name; span_attrs = attrs; open_ = true }
+  end
+  else { span_name = name; span_attrs = attrs; open_ = false }
+
+let span_end ~time span =
+  if Runtime.is_enabled () && span.open_ then begin
+    span.open_ <- false;
+    depth := max 0 (!depth - 1);
+    emit ~time ~name:span.span_name ~kind:Span_end ~attrs:span.span_attrs
+  end
+
+let events () =
+  let cap = !capacity in
+  let start = (!next - !count + cap) mod cap in
+  List.init !count (fun i ->
+      match !ring.((start + i) mod cap) with
+      | Some e -> e
+      | None -> assert false)
+
+let length () = !count
+
+let kind_letter = function Span_begin -> "B" | Span_end -> "E" | Instant -> "I"
+
+let to_jsonl () =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Json.to_string
+           (Json.Obj
+              [
+                ("seq", Json.Num (float_of_int e.seq));
+                ("t", Json.Num e.time);
+                ("name", Json.Str e.name);
+                ("kind", Json.Str (kind_letter e.kind));
+                ("depth", Json.Num (float_of_int e.depth));
+                ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) e.attrs));
+              ]));
+      Buffer.add_char buf '\n')
+    (events ());
+  Buffer.contents buf
+
+let to_csv () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "seq,time,kind,depth,name,attrs\n";
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%.6f,%s,%d,%s,%s\n" e.seq e.time
+           (kind_letter e.kind) e.depth e.name
+           (String.concat ";"
+              (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) e.attrs))))
+    (events ());
+  Buffer.contents buf

@@ -1,0 +1,54 @@
+(** A virtual-time tracer: spans and instant events stamped with the
+    simulation clock, collected in a bounded ring buffer.
+
+    Timestamps are supplied by the caller (always [Rm_engine.Sim.now]
+    or a snapshot's capture time), never wall clock, so two runs with
+    the same seed produce byte-identical traces — determinism the
+    test-suite asserts. When the buffer is full the oldest events are
+    overwritten; [seq] stays globally increasing so truncation is
+    detectable.
+
+    All recording functions are no-ops while {!Runtime.is_enabled} is
+    false. *)
+
+type kind = Span_begin | Span_end | Instant
+
+type event = {
+  seq : int;  (** global emission order, 0-based *)
+  time : float;  (** virtual seconds *)
+  name : string;
+  kind : kind;
+  depth : int;  (** open-span nesting depth at emission *)
+  attrs : (string * string) list;
+}
+
+type span
+(** A handle returned by {!span_begin}, consumed by {!span_end}. *)
+
+val instant : time:float -> ?attrs:(string * string) list -> string -> unit
+
+val span_begin :
+  time:float -> ?attrs:(string * string) list -> string -> span
+
+val span_end : time:float -> span -> unit
+(** Emits the matching [Span_end] event (same name and attrs as the
+    begin). Ending a span twice, or a span begun while telemetry was
+    disabled, is a silent no-op. *)
+
+val events : unit -> event list
+(** Buffered events, oldest first. *)
+
+val length : unit -> int
+val clear : unit -> unit
+
+val set_capacity : int -> unit
+(** Resize the ring buffer, discarding current contents. Requires a
+    positive capacity. Default 4096. *)
+
+val to_jsonl : unit -> string
+(** One JSON object per line:
+    [{"seq":..,"t":..,"name":..,"kind":"B|E|I","depth":..,"attrs":{..}}]. *)
+
+val to_csv : unit -> string
+(** Header [seq,time,kind,depth,name,attrs]; attrs rendered as
+    [k=v] pairs joined with [;]. *)

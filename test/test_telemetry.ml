@@ -1,0 +1,440 @@
+(* Tests for rm_telemetry: metrics registry semantics, span nesting and
+   ring eviction, trace determinism under a fixed seed, audit JSONL
+   round-trips, and the JSON codec underneath them. *)
+
+module Telemetry = Rm_telemetry
+module Runtime = Telemetry.Runtime
+module Metrics = Telemetry.Metrics
+module Trace = Telemetry.Trace
+module Audit = Telemetry.Audit
+module Json = Telemetry.Json
+module Rng = Rm_stats.Rng
+module Sim = Rm_engine.Sim
+module Cluster = Rm_cluster.Cluster
+module World = Rm_workload.World
+module Scenario = Rm_workload.Scenario
+module System = Rm_monitor.System
+module Snapshot = Rm_monitor.Snapshot
+module Broker = Rm_core.Broker
+module Request = Rm_core.Request
+
+(* The registry, trace buffer and audit ring are process-global; every
+   test runs against clean state and leaves telemetry disabled. *)
+let scrub () =
+  Runtime.disable ();
+  Metrics.reset ();
+  Trace.clear ();
+  Audit.clear ()
+
+let with_telemetry f =
+  scrub ();
+  Runtime.enable ();
+  Fun.protect ~finally:scrub f
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Metrics ----------------------------------------------------------- *)
+
+let test_disabled_ops_are_noops () =
+  scrub ();
+  let c = Metrics.counter "t.disabled.c" in
+  let g = Metrics.gauge "t.disabled.g" in
+  let h = Metrics.histogram "t.disabled.h" in
+  Metrics.incr c;
+  Metrics.add c 5.0;
+  Metrics.set g 3.0;
+  Metrics.observe h 0.5;
+  check_float "counter untouched" 0.0 (Metrics.value c);
+  check_float "gauge untouched" 0.0 (Metrics.value g);
+  Alcotest.(check int) "histogram untouched" 0 (Metrics.count h)
+
+let test_counter_semantics () =
+  with_telemetry (fun () ->
+      let c = Metrics.counter "t.counter" in
+      Metrics.incr c;
+      Metrics.incr c;
+      Metrics.add c 2.5;
+      check_float "accumulates" 4.5 (Metrics.value c);
+      Alcotest.check_raises "negative delta"
+        (Invalid_argument "Metrics.add: negative counter delta") (fun () ->
+          Metrics.add c (-1.0));
+      Alcotest.check_raises "set on counter"
+        (Invalid_argument "Metrics.set: not a gauge") (fun () ->
+          Metrics.set c 1.0))
+
+let test_gauge_semantics () =
+  with_telemetry (fun () ->
+      let g = Metrics.gauge "t.gauge" in
+      Metrics.set g 7.0;
+      Metrics.add g (-2.5);
+      check_float "set then add" 4.5 (Metrics.value g);
+      Alcotest.check_raises "incr on gauge"
+        (Invalid_argument "Metrics.incr: not a counter") (fun () ->
+          Metrics.incr g))
+
+let test_histogram_semantics () =
+  with_telemetry (fun () ->
+      let h = Metrics.histogram ~buckets:[| 1.0; 10.0; 100.0 |] "t.hist" in
+      List.iter (Metrics.observe h) [ 0.5; 1.0; 5.0; 50.0; 5000.0 ];
+      Alcotest.(check int) "count" 5 (Metrics.count h);
+      check_float "sum" 5056.5 (Metrics.value h);
+      Alcotest.(check (list (pair (float 1e-9) int)))
+        "per-bucket counts"
+        [ (1.0, 2); (10.0, 1); (100.0, 1); (infinity, 1) ]
+        (Metrics.bucket_counts h))
+
+let test_label_families_and_identity () =
+  with_telemetry (fun () ->
+      let a = Metrics.counter ~labels:[ ("policy", "random") ] "t.family" in
+      let b = Metrics.counter ~labels:[ ("policy", "nla") ] "t.family" in
+      Metrics.incr a;
+      check_float "members are distinct" 0.0 (Metrics.value b);
+      (* Same identity (labels in any order) returns the same handle. *)
+      let a' = Metrics.counter ~labels:[ ("policy", "random") ] "t.family" in
+      Metrics.incr a';
+      check_float "same handle" 2.0 (Metrics.value a);
+      Alcotest.(check bool)
+        "find locates the member" true
+        (Metrics.find ~labels:[ ("policy", "nla") ] "t.family" <> None);
+      Alcotest.check_raises "kind clash"
+        (Invalid_argument "Metrics: t.family re-registered as a different kind")
+        (fun () -> ignore (Metrics.gauge ~labels:[ ("policy", "nla") ] "t.family")))
+
+let test_reset_keeps_handles () =
+  with_telemetry (fun () ->
+      let c = Metrics.counter "t.reset" in
+      Metrics.incr c;
+      Metrics.reset ();
+      check_float "zeroed" 0.0 (Metrics.value c);
+      Metrics.incr c;
+      check_float "handle still live" 1.0 (Metrics.value c))
+
+let test_render_mentions_nonzero () =
+  with_telemetry (fun () ->
+      let c = Metrics.counter "t.render.hits" in
+      Metrics.add c 3.0;
+      let dump = Metrics.render () in
+      let contains hay needle =
+        let h = String.length hay and n = String.length needle in
+        let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "named" true (contains dump "t.render.hits");
+      Alcotest.(check bool) "valued" true (contains dump " 3"))
+
+let prop_bucket_counts_sum =
+  QCheck.Test.make ~count:100 ~name:"histogram bucket counts sum to observations"
+    QCheck.(list (float_range (-10.0) 1e4))
+    (fun xs ->
+      with_telemetry (fun () ->
+          let h = Metrics.histogram "t.prop.hist" in
+          List.iter (Metrics.observe h) xs;
+          let total =
+            List.fold_left (fun acc (_, n) -> acc + n) 0 (Metrics.bucket_counts h)
+          in
+          total = List.length xs && Metrics.count h = List.length xs))
+
+(* --- Trace ------------------------------------------------------------- *)
+
+let test_span_nesting_depth () =
+  with_telemetry (fun () ->
+      let outer = Trace.span_begin ~time:10.0 "outer" in
+      let inner = Trace.span_begin ~time:11.0 "inner" in
+      Trace.instant ~time:11.5 ~attrs:[ ("k", "v") ] "tick";
+      Trace.span_end ~time:12.0 inner;
+      Trace.span_end ~time:13.0 outer;
+      match Trace.events () with
+      | [ b0; b1; i; e1; e0 ] ->
+        Alcotest.(check (list int))
+          "depths" [ 0; 1; 2; 1; 0 ]
+          (List.map (fun (e : Trace.event) -> e.depth) [ b0; b1; i; e1; e0 ]);
+        Alcotest.(check (list int))
+          "seqs increase" [ 0; 1; 2; 3; 4 ]
+          (List.map (fun (e : Trace.event) -> e.seq) [ b0; b1; i; e1; e0 ]);
+        Alcotest.(check string) "end matches begin" b1.name e1.name;
+        Alcotest.(check bool) "end keeps attrs" true (e0.attrs = b0.attrs)
+      | evs -> Alcotest.failf "expected 5 events, got %d" (List.length evs))
+
+let test_span_end_idempotent () =
+  with_telemetry (fun () ->
+      let s = Trace.span_begin ~time:1.0 "once" in
+      Trace.span_end ~time:2.0 s;
+      Trace.span_end ~time:3.0 s;
+      Alcotest.(check int) "double end is a no-op" 2 (Trace.length ()))
+
+let test_disabled_span_is_inert () =
+  scrub ();
+  let s = Trace.span_begin ~time:1.0 "ghost" in
+  Runtime.enable ();
+  Trace.span_end ~time:2.0 s;
+  Alcotest.(check int) "no events at all" 0 (Trace.length ());
+  scrub ()
+
+let test_ring_eviction_keeps_seq () =
+  with_telemetry (fun () ->
+      Trace.set_capacity 4;
+      Fun.protect
+        ~finally:(fun () -> Trace.set_capacity 4096)
+        (fun () ->
+          for i = 0 to 6 do
+            Trace.instant ~time:(float_of_int i) "e"
+          done;
+          Alcotest.(check int) "bounded" 4 (Trace.length ());
+          match Trace.events () with
+          | first :: _ ->
+            Alcotest.(check int) "oldest seq shows truncation" 3 first.seq
+          | [] -> Alcotest.fail "buffer empty"))
+
+let test_trace_exporters () =
+  with_telemetry (fun () ->
+      Trace.instant ~time:1.5 ~attrs:[ ("node", "3") ] "probe";
+      let jsonl = Trace.to_jsonl () in
+      let j = Json.of_string (String.trim jsonl) in
+      Alcotest.(check string) "name" "probe" Json.(to_str (member "name" j));
+      Alcotest.(check string) "kind" "I" Json.(to_str (member "kind" j));
+      check_float "time" 1.5 Json.(to_float (member "t" j));
+      Alcotest.(check string)
+        "attr" "3"
+        Json.(to_str (member "node" (member "attrs" j)));
+      let csv = Trace.to_csv () in
+      match String.split_on_char '\n' csv with
+      | header :: row :: _ ->
+        Alcotest.(check string) "csv header" "seq,time,kind,depth,name,attrs" header;
+        Alcotest.(check string) "csv row" "0,1.500000,I,0,probe,node=3" row
+      | _ -> Alcotest.fail "csv too short")
+
+(* Two monitor runs with identical seeds must produce byte-identical
+   traces: every timestamp comes from the virtual clock. *)
+let monitored_trace ~seed =
+  let sim = Sim.create () in
+  let cluster = Cluster.homogeneous ~cores:8 ~nodes_per_switch:[ 3; 3 ] () in
+  let world = World.create ~cluster ~scenario:Scenario.normal ~seed in
+  let rng = Rng.create (seed + 17) in
+  let sys = System.start ~sim ~world ~rng ~until:900.0 () in
+  Sim.run_until sim 900.0;
+  ignore (System.snapshot sys ~time:(Sim.now sim));
+  Trace.events ()
+
+let test_trace_determinism_under_seed () =
+  let run () =
+    with_telemetry (fun () -> monitored_trace ~seed:42)
+  in
+  let first = run () in
+  let second = run () in
+  Alcotest.(check bool) "trace is non-trivial" true (List.length first > 10);
+  Alcotest.(check bool) "identical event lists" true (first = second)
+
+(* --- Audit ------------------------------------------------------------- *)
+
+let decide_with_audit ~wait_threshold =
+  let cluster = Cluster.homogeneous ~cores:8 ~nodes_per_switch:[ 3; 3 ] () in
+  let world = World.create ~cluster ~scenario:Scenario.normal ~seed:5 in
+  World.advance world ~now:1800.0;
+  let snapshot = Snapshot.of_truth ~time:1800.0 ~world in
+  let config = { Broker.default_config with Broker.wait_threshold } in
+  let request = Request.make ~ppn:4 ~procs:8 () in
+  ignore (Broker.decide ~config ~snapshot ~request ~rng:(Rng.create 3));
+  match Audit.last () with
+  | Some r -> r
+  | None -> Alcotest.fail "Broker.decide recorded no audit entry"
+
+let test_audit_roundtrip_real_decision () =
+  with_telemetry (fun () ->
+      let r = decide_with_audit ~wait_threshold:None in
+      Alcotest.(check bool) "nodes recorded" true (r.Audit.nodes <> []);
+      Alcotest.(check bool) "candidates recorded" true (r.Audit.candidates <> []);
+      Alcotest.(check bool) "a winner" true (r.Audit.chosen <> None);
+      (match r.Audit.decision with
+      | Audit.Allocated entries ->
+        Alcotest.(check int) "procs placed" 8
+          (List.fold_left (fun acc (_, p) -> acc + p) 0 entries)
+      | _ -> Alcotest.fail "expected an Allocated decision");
+      let back = Audit.of_json (Audit.to_json r) in
+      Alcotest.(check bool) "exact round-trip" true (back = r))
+
+let test_audit_wait_roundtrip () =
+  with_telemetry (fun () ->
+      let r = decide_with_audit ~wait_threshold:(Some 0.0) in
+      (match r.Audit.decision with
+      | Audit.Wait { threshold; _ } -> check_float "threshold" 0.0 threshold
+      | _ -> Alcotest.fail "expected a Wait decision");
+      let back = Audit.of_json (Audit.to_json r) in
+      Alcotest.(check bool) "round-trip" true (back = r))
+
+let test_audit_ring_and_jsonl () =
+  with_telemetry (fun () ->
+      Audit.set_capacity 3;
+      Fun.protect
+        ~finally:(fun () -> Audit.set_capacity 256)
+        (fun () ->
+          for i = 1 to 5 do
+            Audit.record
+              {
+                Audit.time = float_of_int i;
+                policy = "test";
+                procs = i;
+                ppn = None;
+                alpha = 0.3;
+                beta = 0.7;
+                staleness_s = 0.0;
+                usable = 0;
+                nodes = [];
+                candidates = [];
+                chosen = None;
+                decision = Audit.Rejected "synthetic";
+              }
+          done;
+          let kept = Audit.recent () in
+          Alcotest.(check (list int))
+            "newest three, oldest first" [ 3; 4; 5 ]
+            (List.map (fun (r : Audit.t) -> r.Audit.procs) kept);
+          let back = Audit.of_jsonl (Audit.to_jsonl kept) in
+          Alcotest.(check bool) "jsonl round-trip" true (back = kept)))
+
+let arbitrary_audit : Audit.t QCheck.arbitrary =
+  let open QCheck.Gen in
+  let fin = float_range (-1e6) 1e6 in
+  let node_stat =
+    map
+      (fun (node, cl, pc, load_1m) -> { Audit.node; cl; pc; load_1m })
+      (quad (int_bound 63) fin (int_bound 16) fin)
+  in
+  let step =
+    map
+      (fun (node, cost, procs) -> { Audit.node; cost; procs })
+      (triple (int_bound 63) fin (int_bound 8))
+  in
+  let candidate =
+    map
+      (fun (start, steps, (compute_cost, network_cost, total)) ->
+        { Audit.start; steps; compute_cost; network_cost; total })
+      (triple (int_bound 63) (list_size (int_range 1 4) step)
+         (triple fin fin fin))
+  in
+  let decision =
+    oneof
+      [
+        map
+          (fun entries -> Audit.Allocated entries)
+          (list_size (int_range 0 4) (pair (int_bound 63) (int_range 1 8)));
+        map
+          (fun (m, t) -> Audit.Wait { mean_load_per_core = m; threshold = t })
+          (pair fin fin);
+        map (fun s -> Audit.Rejected s) (string_size ~gen:printable (int_bound 20));
+      ]
+  in
+  let record =
+    map
+      (fun ((time, policy, procs, ppn), (alpha, beta, staleness_s, usable),
+            (nodes, candidates, chosen, decision)) ->
+        {
+          Audit.time;
+          policy;
+          procs;
+          ppn;
+          alpha;
+          beta;
+          staleness_s;
+          usable;
+          nodes;
+          candidates;
+          chosen;
+          decision;
+        })
+      (triple
+         (quad fin
+            (string_size ~gen:printable (int_bound 12))
+            (int_bound 512)
+            (opt (int_range 1 16)))
+         (quad fin fin fin (int_bound 64))
+         (quad
+            (list_size (int_bound 5) node_stat)
+            (list_size (int_bound 3) candidate)
+            (opt (int_bound 63))
+            decision))
+  in
+  QCheck.make ~print:Audit.to_json record
+
+let prop_audit_json_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"audit records round-trip through JSON"
+    arbitrary_audit (fun r -> Audit.of_json (Audit.to_json r) = r)
+
+(* --- JSON codec -------------------------------------------------------- *)
+
+let test_json_escapes_and_nesting () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.Str "a\"b\\c\nd\tе");
+        ("arr", Json.Arr [ Json.Null; Json.Bool true; Json.Num 3.0 ]);
+        ("nested", Json.Obj [ ("x", Json.Num (-0.125)) ]);
+      ]
+  in
+  Alcotest.(check bool) "round-trip" true (Json.of_string (Json.to_string v) = v)
+
+let test_json_nonfinite_is_null () =
+  Alcotest.(check string) "nan" "null" (Json.to_string (Json.Num nan));
+  Alcotest.(check string)
+    "inf in array" "[null]"
+    (Json.to_string (Json.Arr [ Json.Num infinity ]))
+
+let prop_json_float_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"finite floats round-trip exactly"
+    QCheck.float (fun f ->
+      QCheck.assume (Float.is_finite f);
+      match Json.of_string (Json.to_string (Json.Num f)) with
+      | Json.Num f' -> Float.equal f f' || (f = 0.0 && f' = 0.0)
+      | _ -> false)
+
+(* ----------------------------------------------------------------------- *)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suites =
+  [
+    ( "telemetry.metrics",
+      [
+        Alcotest.test_case "disabled ops are no-ops" `Quick
+          test_disabled_ops_are_noops;
+        Alcotest.test_case "counter semantics" `Quick test_counter_semantics;
+        Alcotest.test_case "gauge semantics" `Quick test_gauge_semantics;
+        Alcotest.test_case "histogram semantics" `Quick test_histogram_semantics;
+        Alcotest.test_case "label families and identity" `Quick
+          test_label_families_and_identity;
+        Alcotest.test_case "reset keeps handles" `Quick test_reset_keeps_handles;
+        Alcotest.test_case "render mentions non-zero metrics" `Quick
+          test_render_mentions_nonzero;
+      ]
+      @ qsuite [ prop_bucket_counts_sum ] );
+    ( "telemetry.trace",
+      [
+        Alcotest.test_case "span nesting depth" `Quick test_span_nesting_depth;
+        Alcotest.test_case "span end is idempotent" `Quick
+          test_span_end_idempotent;
+        Alcotest.test_case "disabled span is inert" `Quick
+          test_disabled_span_is_inert;
+        Alcotest.test_case "ring eviction keeps global seq" `Quick
+          test_ring_eviction_keeps_seq;
+        Alcotest.test_case "jsonl and csv exporters" `Quick test_trace_exporters;
+        Alcotest.test_case "deterministic under a fixed seed" `Quick
+          test_trace_determinism_under_seed;
+      ] );
+    ( "telemetry.audit",
+      [
+        Alcotest.test_case "round-trips a real decision" `Quick
+          test_audit_roundtrip_real_decision;
+        Alcotest.test_case "round-trips a wait decision" `Quick
+          test_audit_wait_roundtrip;
+        Alcotest.test_case "bounded ring and jsonl" `Quick
+          test_audit_ring_and_jsonl;
+      ]
+      @ qsuite [ prop_audit_json_roundtrip ] );
+    ( "telemetry.json",
+      [
+        Alcotest.test_case "escapes and nesting" `Quick
+          test_json_escapes_and_nesting;
+        Alcotest.test_case "non-finite numbers become null" `Quick
+          test_json_nonfinite_is_null;
+      ]
+      @ qsuite [ prop_json_float_roundtrip ] );
+  ]
