@@ -43,7 +43,7 @@ let micro () =
   let pc = Rm_core.Effective_procs.of_snapshot snapshot ~loads in
   let capacity node =
     Rm_core.Request.capacity_of request
-      ~effective:(Option.value (List.assoc_opt node pc) ~default:1)
+      ~effective:(Rm_core.Effective_procs.get pc ~node)
   in
   let rng = Rm_stats.Rng.create 7 in
   let measure tests =
@@ -144,8 +144,293 @@ let micro () =
          \  disabled (shipping default): ~%.3f%% (8 gated sites x %.1f ns \
           per no-op, budget < 5%%)\n\
          \  enabled (metrics + decision audit): %+.1f%%\n"
-         disabled_pct op enabled_pct)
+         disabled_pct op enabled_pct);
+    (* The 5% budget is a shipping requirement (atomic cells must not
+       change it); fail the bench run outright if it is blown. *)
+    if disabled_pct >= 5.0 then
+      failwith
+        (Printf.sprintf
+           "telemetry disabled-path overhead %.3f%% blew the 5%% budget"
+           disabled_pct)
   | _ -> ());
+  Buffer.contents buf
+
+(* --- Allocator scaling sweep (ISSUE: dense fast path + model cache) -----
+
+   Sweeps synthetic snapshots of V nodes and reports allocations/sec per
+   policy for three engines:
+     naive      - Policies.allocate_naive (models rebuilt per call,
+                  Candidate/Select list kernels): the pre-fast-path code
+     dense-cold - Policies.allocate with the model cache cleared before
+                  every call (prices the dense kernels alone)
+     dense-warm - Policies.allocate against a warm cache (the steady
+                  state inside a scheduler tick)
+   Results go to stdout and BENCH_allocator.json; --baseline FILE
+   compares the dense-warm/naive speedup per (V, policy) against a
+   committed run and fails on a >2x regression. Speedup ratios, not raw
+   rates, keep the check machine-portable. *)
+
+module Json = Rm_telemetry.Json
+module Matrix = Rm_stats.Matrix
+
+let baseline_file : string option ref = ref None
+
+(* A monitored view of a busy V-node cluster without simulating one:
+   per-node congestion scalars drive both the load views and the
+   pairwise bandwidth/latency matrices, so construction is O(V^2) for
+   the matrices and O(V) for everything else. *)
+let synthetic_snapshot ~v =
+  let per_switch = 16 in
+  let switches = (v + per_switch - 1) / per_switch in
+  let nodes_per_switch =
+    List.init switches (fun s ->
+        if s = switches - 1 then v - (per_switch * (switches - 1))
+        else per_switch)
+  in
+  let cluster = Rm_cluster.Cluster.homogeneous ~cores:8 ~nodes_per_switch () in
+  let rng = Rm_stats.Rng.create (9000 + v) in
+  let congestion =
+    Array.init v (fun _ -> Rm_stats.Rng.uniform rng ~lo:0.0 ~hi:0.8)
+  in
+  let time = 3600.0 in
+  let mk_view x =
+    { Rm_stats.Running_means.instant = x; m1 = x; m5 = 0.9 *. x; m15 = 0.8 *. x }
+  in
+  let nodes =
+    Array.init v (fun i ->
+        let load = 8.0 *. congestion.(i) in
+        Some
+          {
+            Rm_monitor.Snapshot.static = Rm_cluster.Cluster.node cluster i;
+            users = 1 + (i mod 3);
+            load = mk_view load;
+            util_pct = mk_view (12.5 *. load);
+            nic_mb_s = mk_view (60.0 *. congestion.(i));
+            mem_avail_gb = mk_view (15.0 -. (10.0 *. congestion.(i)));
+            written_at = time;
+          })
+  in
+  let peak = 125.0 in
+  let bw = Matrix.square v ~init:peak in
+  let lat = Matrix.square v ~init:50.0 in
+  for i = 0 to v - 1 do
+    for j = 0 to v - 1 do
+      if i <> j then begin
+        let c = 0.5 *. (congestion.(i) +. congestion.(j)) in
+        Matrix.set bw i j (peak *. (1.0 -. c));
+        Matrix.set lat i j (50.0 +. (200.0 *. c))
+      end
+    done
+  done;
+  {
+    Rm_monitor.Snapshot.time;
+    cluster;
+    live = List.init v (fun i -> i);
+    nodes;
+    bw_mb_s = bw;
+    peak_bw_mb_s = Matrix.square v ~init:peak;
+    lat_us = lat;
+  }
+
+type scale_engine = Naive | Dense_cold | Dense_warm
+
+let scale_engines = [ Naive; Dense_cold; Dense_warm ]
+
+let engine_name = function
+  | Naive -> "naive"
+  | Dense_cold -> "dense-cold"
+  | Dense_warm -> "dense-warm"
+
+type scale_row = {
+  v : int;
+  policy : string;
+  engine : string;
+  rate : float;  (** allocations per second *)
+  reps : int;
+}
+
+let measure_cell ~budget_s ~snapshot ~weights ~request ~policy engine =
+  let rng = Rm_stats.Rng.create 42 in
+  let run () =
+    ignore
+      (match engine with
+      | Naive ->
+        Rm_core.Policies.allocate_naive ~policy ~snapshot ~weights ~request ~rng
+      | Dense_cold ->
+        Rm_core.Model_cache.clear ();
+        Rm_core.Policies.allocate ~policy ~snapshot ~weights ~request ~rng
+      | Dense_warm ->
+        Rm_core.Policies.allocate ~policy ~snapshot ~weights ~request ~rng)
+  in
+  (* Warm the cache outside the timed loop for the warm engine; the
+     other engines pay their full cost per call by design. *)
+  (match engine with Dense_warm -> run () | Naive | Dense_cold -> ());
+  let t0 = Unix.gettimeofday () in
+  let rec loop reps =
+    run ();
+    let reps = reps + 1 in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    if elapsed >= budget_s || reps >= 500_000 then (reps, elapsed)
+    else loop reps
+  in
+  let reps, elapsed = loop 0 in
+  (float_of_int reps /. Float.max elapsed 1e-9, reps)
+
+(* dense-warm / naive per (v, policy); the headline number. *)
+let scale_speedups rows =
+  List.filter_map
+    (fun r ->
+      if r.engine <> "dense-warm" then None
+      else
+        List.find_opt
+          (fun r' -> r'.v = r.v && r'.policy = r.policy && r'.engine = "naive")
+          rows
+        |> Option.map (fun naive -> ((r.v, r.policy), r.rate /. naive.rate)))
+    rows
+
+let scale_rows_of_json j =
+  Json.to_list (Json.member "rows" j)
+  |> List.map (fun row ->
+         {
+           v = Json.to_int (Json.member "v" row);
+           policy = Json.to_str (Json.member "policy" row);
+           engine = Json.to_str (Json.member "engine" row);
+           rate = Json.to_float (Json.member "allocs_per_sec" row);
+           reps = Json.to_int (Json.member "reps" row);
+         })
+
+let scale () =
+  let sizes = if !quick then [ 60; 240 ] else [ 60; 240; 1024; 4096 ] in
+  let budget_s = if !quick then 0.2 else 1.0 in
+  let weights = Rm_core.Weights.paper_default in
+  let request = Rm_core.Request.make ~ppn:4 ~alpha:0.5 ~procs:48 () in
+  let rows = ref [] in
+  List.iter
+    (fun v ->
+      let snapshot = synthetic_snapshot ~v in
+      List.iter
+        (fun policy ->
+          List.iter
+            (fun engine ->
+              let rate, reps =
+                measure_cell ~budget_s ~snapshot ~weights ~request ~policy
+                  engine
+              in
+              rows :=
+                {
+                  v;
+                  policy = Rm_core.Policies.name policy;
+                  engine = engine_name engine;
+                  rate;
+                  reps;
+                }
+                :: !rows)
+            scale_engines)
+        Rm_core.Policies.all;
+      (* Drop the snapshot's cached models before the next (larger)
+         size; at V=4096 each retained model is hundreds of MB. *)
+      Rm_core.Model_cache.clear ())
+    sizes;
+  let rows = List.rev !rows in
+  let speedups = scale_speedups rows in
+  let rate_of v policy engine =
+    List.find_opt
+      (fun r -> r.v = v && r.policy = policy && r.engine = engine)
+      rows
+    |> Option.fold ~none:nan ~some:(fun r -> r.rate)
+  in
+  let buf = Buffer.create 1024 in
+  Experiments.Render.table
+    ~header:
+      [ "V"; "policy"; "naive/s"; "dense-cold/s"; "dense-warm/s"; "speedup" ]
+    ~rows:
+      (List.concat_map
+         (fun v ->
+           List.map
+             (fun policy ->
+               let p = Rm_core.Policies.name policy in
+               [
+                 string_of_int v;
+                 p;
+                 Printf.sprintf "%.1f" (rate_of v p "naive");
+                 Printf.sprintf "%.1f" (rate_of v p "dense-cold");
+                 Printf.sprintf "%.1f" (rate_of v p "dense-warm");
+                 Printf.sprintf "%.1fx"
+                   (Option.value ~default:nan
+                      (List.assoc_opt (v, p) speedups));
+               ])
+             Rm_core.Policies.all)
+         sizes)
+    buf;
+  let json =
+    Json.Obj
+      [
+        ("schema", Json.Str "rm-bench-allocator/v1");
+        ("quick", Json.Bool !quick);
+        ( "request",
+          Json.Obj
+            [
+              ("procs", Json.Num 48.0);
+              ("ppn", Json.Num 4.0);
+              ("alpha", Json.Num 0.5);
+            ] );
+        ( "rows",
+          Json.Arr
+            (List.map
+               (fun r ->
+                 Json.Obj
+                   [
+                     ("v", Json.Num (float_of_int r.v));
+                     ("policy", Json.Str r.policy);
+                     ("engine", Json.Str r.engine);
+                     ("allocs_per_sec", Json.Num r.rate);
+                     ("reps", Json.Num (float_of_int r.reps));
+                   ])
+               rows) );
+      ]
+  in
+  let oc = open_out "BENCH_allocator.json" in
+  output_string oc (Json.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Buffer.add_string buf "\nwrote BENCH_allocator.json\n";
+  (match !baseline_file with
+  | None -> ()
+  | Some file ->
+    let contents =
+      let ic = open_in file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    let base_speedups = scale_speedups (scale_rows_of_json (Json.of_string contents)) in
+    let regressions =
+      List.filter_map
+        (fun (key, base) ->
+          match List.assoc_opt key speedups with
+          | Some cur when Float.is_finite base && base > 0.0 && cur < base /. 2.0
+            ->
+            Some (key, base, cur)
+          | _ -> None)
+        base_speedups
+    in
+    if regressions = [] then
+      Buffer.add_string buf
+        (Printf.sprintf "baseline %s: no policy regressed >2x in speedup\n"
+           file)
+    else begin
+      List.iter
+        (fun ((v, p), base, cur) ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "REGRESSION: V=%d %s dense-warm/naive speedup %.1fx < half of \
+                baseline %.1fx\n"
+               v p cur base))
+        regressions;
+      print_string (Buffer.contents buf);
+      failwith "bench scale: speedup regression against baseline"
+    end);
   Buffer.contents buf
 
 (* --- Sections ----------------------------------------------------------- *)
@@ -172,6 +457,7 @@ let sections : (string * (unit -> string)) list =
     ("table4", fun () -> Experiments.Case_study.render_table4 (Lazy.force case_study));
     ("fig7", fun () -> Experiments.Case_study.render_fig7 (Lazy.force case_study));
     ("micro", fun () -> micro ());
+    ("scale", fun () -> scale ());
     ( "queue",
       fun () ->
         Experiments.Queue_study.render
@@ -253,6 +539,9 @@ let () =
       strip rest
     | "--csv" :: dir :: rest ->
       csv_dir := Some dir;
+      strip rest
+    | "--baseline" :: file :: rest ->
+      baseline_file := Some file;
       strip rest
     | a :: rest -> a :: strip rest
   in

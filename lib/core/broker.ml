@@ -18,22 +18,27 @@ type decision =
   | Allocated of Allocation.t
   | Wait of { mean_load_per_core : float; threshold : float }
 
+(* Reads Compute_load through Model_cache: when a wait threshold is set,
+   the subsequent Policies.allocate for the same snapshot reuses the
+   model instead of rebuilding it (previously two full Eq. 1 builds per
+   decision). *)
 let mean_load_per_core snapshot ~weights =
-  let loads = Compute_load.of_snapshot snapshot ~weights in
-  let usable = Compute_load.usable loads in
-  let total_load, total_cores =
-    List.fold_left
-      (fun (l, c) node ->
-        let info =
-          match Snapshot.node_info snapshot node with
-          | Some i -> i
-          | None -> assert false
-        in
-        ( l +. Compute_load.cpu_load_1m loads ~node,
-          c + info.Snapshot.static.Rm_cluster.Node.cores ))
-      (0.0, 0) usable
-  in
-  if total_cores = 0 then 0.0 else total_load /. float_of_int total_cores
+  let loads = Model_cache.loads (Model_cache.get snapshot ~weights) in
+  let ids = Compute_load.dense_ids loads in
+  let load_1m = Compute_load.dense_load_1m loads in
+  let total_load = ref 0.0 and total_cores = ref 0 in
+  Array.iteri
+    (fun i node ->
+      let info =
+        match Snapshot.node_info snapshot node with
+        | Some i -> i
+        | None -> assert false
+      in
+      total_load := !total_load +. load_1m.(i);
+      total_cores := !total_cores + info.Snapshot.static.Rm_cluster.Node.cores)
+    ids;
+  if !total_cores = 0 then 0.0
+  else !total_load /. float_of_int !total_cores
 
 let m_wait = Telemetry.Metrics.counter "core.broker.wait"
 let m_allocated = Telemetry.Metrics.counter "core.broker.allocated"

@@ -3,6 +3,8 @@ module Running_means = Rm_stats.Running_means
 
 type t = {
   usable : int array;
+  values_arr : float array;  (* aligned with usable *)
+  load_1m_arr : float array;  (* aligned with usable *)
   values : (int, float) Hashtbl.t;
   load_1m : (int, float) Hashtbl.t;
 }
@@ -55,16 +57,23 @@ let of_snapshot snapshot ~weights =
     if Array.length usable = 0 then [||]
     else Madm.saw_scores (columns snapshot ~weights)
   in
+  let load_1m_arr =
+    Array.map (fun (i : Snapshot.node_info) -> i.load.Running_means.m1) infos
+  in
   let values = Hashtbl.create (Array.length usable) in
   let load_1m = Hashtbl.create (Array.length usable) in
   Array.iteri
     (fun k node ->
       Hashtbl.replace values node combined.(k);
-      Hashtbl.replace load_1m node infos.(k).load.Running_means.m1)
+      Hashtbl.replace load_1m node load_1m_arr.(k))
     usable;
-  { usable; values; load_1m }
+  { usable; values_arr = combined; load_1m_arr; values; load_1m }
 
 let usable t = Array.to_list t.usable
+
+let dense_ids t = t.usable
+let dense_values t = t.values_arr
+let dense_load_1m t = t.load_1m_arr
 
 let get t ~node =
   match Hashtbl.find_opt t.values node with

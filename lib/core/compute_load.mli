@@ -19,6 +19,19 @@ val columns : Rm_monitor.Snapshot.t -> weights:Weights.t -> Madm.column list
 val usable : t -> int list
 (** Node ids with a compute load, ascending. *)
 
+(** {2 Dense views} — for the allocator fast path ({!Dense_alloc}).
+    All three arrays are positionally aligned: index [i] describes the
+    [i]-th usable node in ascending-id order (the same order
+    {!Network_load} uses, both being derived from [Snapshot.usable]).
+    Callers must treat them as read-only. *)
+
+val dense_ids : t -> int array
+val dense_values : t -> float array
+(** CL_v per node, aligned with {!dense_ids}. *)
+
+val dense_load_1m : t -> float array
+(** Raw 1-minute load means, aligned with {!dense_ids}. *)
+
 val get : t -> node:int -> float
 (** Raises [Invalid_argument] for a node outside {!usable}. *)
 

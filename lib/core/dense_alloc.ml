@@ -1,0 +1,149 @@
+(* Dense-array fast path for Algorithm 1 + Algorithm 2.
+
+   The naive pipeline (Candidate.generate_all + Select.score) pays two
+   hashtable lookups behind every NL(v,u)/CL(u) read, a full
+   O(V log V) sort per start node, and re-walks the k² node pairs of
+   each candidate through Network_load.get — O(V² log V) total with
+   heavy constant factors. This module computes the identical scored
+   candidate set from flat float arrays:
+
+   - node ids are mapped to dense indices once (the ascending usable
+     order shared by Compute_load and Network_load);
+   - the α·CL(u) vector and per-node capacities are precomputed and
+     shared across all V starts;
+   - the per-start full sort is replaced by heap-based partial
+     selection — only the prefix actually covering [procs] processes is
+     ever popped, so a start costs O(V + k log V) instead of
+     O(V log V);
+   - Eq. 4 candidate totals accumulate over dense matrix reads instead
+     of hashtable-indexed pair walks.
+
+   Equivalence is bit-exact, not just semantic: every float expression
+   below reproduces the naive code's operation order (same operands,
+   same association), so candidate costs, Eq. 4 totals and therefore
+   the argmin — including ties broken on start id — are byte-identical.
+   test_core.ml holds a qcheck property against the retained naive
+   reference. *)
+
+module Matrix = Rm_stats.Matrix
+
+(* Binary min-heap over dense indices ordered by (cost, id). Dense
+   order is ascending node id, so comparing indices breaks cost ties
+   exactly like the naive sort's (cost, node id) comparator. *)
+let heap_less cost a b = cost.(a) < cost.(b) || (cost.(a) = cost.(b) && a < b)
+
+let sift_down cost heap size i =
+  let i = ref i in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < size && heap_less cost heap.(l) heap.(!smallest) then smallest := l;
+    if r < size && heap_less cost heap.(r) heap.(!smallest) then smallest := r;
+    if !smallest = !i then continue := false
+    else begin
+      let tmp = heap.(!i) in
+      heap.(!i) <- heap.(!smallest);
+      heap.(!smallest) <- tmp;
+      i := !smallest
+    end
+  done
+
+let scored_all ~loads ~net ~capacity ~request =
+  let ids = Compute_load.dense_ids loads in
+  let v = Array.length ids in
+  if v = 0 then invalid_arg "Dense_alloc.scored_all: no usable nodes";
+  (* Both models come from one snapshot, so their dense orders coincide;
+     verify once instead of translating ids on every matrix read. *)
+  let net_usable = Network_load.usable net in
+  if List.length net_usable <> v then
+    invalid_arg "Dense_alloc.scored_all: loads/net usable sets differ";
+  List.iteri
+    (fun i n ->
+      if i >= v || ids.(i) <> n then
+        invalid_arg "Dense_alloc.scored_all: loads/net usable sets differ")
+    net_usable;
+  let cl = Compute_load.dense_values loads in
+  let nl = Network_load.nl_matrix net in
+  let alpha = request.Request.alpha and beta = request.Request.beta in
+  let alpha_cl = Array.map (fun c -> alpha *. c) cl in
+  let caps = Array.map (fun node -> max 1 (capacity node)) ids in
+  let procs = request.Request.procs in
+  (* Buffers reused across starts. *)
+  let cost = Array.make v 0.0 in
+  let heap = Array.make v 0 in
+  let sel = Array.make v 0 in
+  let sel_procs = Array.make v 0 in
+  let one_start s =
+    (* A_s(u) = α·CL(u) + β·NL(s,u); the start itself costs 0. *)
+    for i = 0 to v - 1 do
+      cost.(i) <- alpha_cl.(i) +. (beta *. Matrix.get nl s i);
+      heap.(i) <- i
+    done;
+    cost.(s) <- 0.0;
+    for i = (v / 2) - 1 downto 0 do
+      sift_down cost heap v i
+    done;
+    (* Partial selection: pop ranked nodes only until the request is
+       covered — the tail of the ranking is never materialized. *)
+    let size = ref v and allocated = ref 0 and k = ref 0 in
+    while !allocated < procs && !size > 0 do
+      let i = heap.(0) in
+      decr size;
+      heap.(0) <- heap.(!size);
+      sift_down cost heap !size 0;
+      let cap = caps.(i) in
+      let p = min cap (procs - !allocated) in
+      sel.(!k) <- i;
+      sel_procs.(!k) <- p;
+      allocated := !allocated + p;
+      incr k
+    done;
+    let k = !k in
+    (* Whole cluster in, request still unsatisfied: deal the remaining
+       processes round-robin over the selected nodes (Alg. 1 ll. 12-13). *)
+    if !allocated < procs then begin
+      let remaining = ref (procs - !allocated) in
+      let i = ref 0 in
+      while !remaining > 0 do
+        sel_procs.(!i) <- sel_procs.(!i) + 1;
+        decr remaining;
+        i := (!i + 1) mod k
+      done
+    end;
+    (* Eq. 4 raw totals, dense. Accumulation order matches
+       Compute_load.total / Network_load.total_edges exactly. *)
+    let compute = ref 0.0 in
+    for a = 0 to k - 1 do
+      compute := !compute +. cl.(sel.(a))
+    done;
+    let network = ref 0.0 in
+    for a = 0 to k - 1 do
+      for b = a + 1 to k - 1 do
+        network := !network +. Matrix.get nl sel.(a) sel.(b)
+      done
+    done;
+    let assignment =
+      List.init k (fun a -> (ids.(sel.(a)), sel_procs.(a)))
+    in
+    let candidate =
+      { Candidate.start = ids.(s); nodes = List.map fst assignment; assignment }
+    in
+    (candidate, !compute, !network)
+  in
+  let raw = List.init v one_start in
+  (* Algorithm 2's per-candidate-set normalization, verbatim from
+     Select.score so totals stay bit-identical. *)
+  let c_sum = List.fold_left (fun acc (_, c, _) -> acc +. c) 0.0 raw in
+  let n_sum = List.fold_left (fun acc (_, _, n) -> acc +. n) 0.0 raw in
+  let norm sum x = if sum > 0.0 then x /. sum else 0.0 in
+  List.map
+    (fun (candidate, compute_cost, network_cost) ->
+      let total =
+        (alpha *. norm c_sum compute_cost) +. (beta *. norm n_sum network_cost)
+      in
+      { Select.candidate; compute_cost; network_cost; total })
+    raw
+
+let best ~loads ~net ~capacity ~request =
+  Select.best_scored (scored_all ~loads ~net ~capacity ~request)

@@ -1,0 +1,34 @@
+(** Dense-array fast path for Algorithm 1 + Algorithm 2.
+
+    Produces exactly what [Select.score] over [Candidate.generate_all]
+    produces — same candidates in the same (ascending start id) order,
+    bit-identical costs and Eq. 4 totals, hence the identical chosen
+    allocation — but from flat float arrays: the α·CL vector and
+    per-node capacities are computed once and shared across all V
+    starts, each start's ranking uses heap-based partial selection (only
+    the prefix covering the request is popped) and Eq. 4 totals read the
+    dense NL matrix directly instead of going through two hashtable
+    lookups per pair. O(V·(V + k log V)) instead of O(V² log V), with
+    far smaller constants.
+
+    The naive pipeline is retained as the reference implementation; a
+    qcheck property in test_core.ml asserts equivalence across random
+    snapshots, weights and requests. *)
+
+val scored_all :
+  loads:Compute_load.t ->
+  net:Network_load.t ->
+  capacity:(int -> int) ->
+  request:Request.t ->
+  Select.scored list
+(** [loads] and [net] must come from the same snapshot (their usable
+    sets must coincide). Raises [Invalid_argument] when no node is
+    usable or the models disagree. *)
+
+val best :
+  loads:Compute_load.t ->
+  net:Network_load.t ->
+  capacity:(int -> int) ->
+  request:Request.t ->
+  Select.scored
+(** [Select.best_scored] over {!scored_all}. *)

@@ -5,15 +5,33 @@ let of_load ~cores ~load =
   if load < 0.0 then invalid_arg "Effective_procs.of_load: negative load";
   cores - (int_of_float (Float.ceil load) mod cores)
 
+type t = {
+  order : int array;  (** usable node ids, ascending *)
+  procs : int array;  (** pc_v, aligned with [order] *)
+  table : (int, int) Hashtbl.t;
+}
+
 let of_snapshot snapshot ~loads =
-  List.map
-    (fun node ->
-      let info =
-        match Snapshot.node_info snapshot node with
-        | Some i -> i
-        | None -> assert false
-      in
-      let cores = info.Snapshot.static.Rm_cluster.Node.cores in
-      let load = Compute_load.cpu_load_1m loads ~node in
-      (node, of_load ~cores ~load))
-    (Compute_load.usable loads)
+  let order = Array.of_list (Compute_load.usable loads) in
+  let procs =
+    Array.map
+      (fun node ->
+        let info =
+          match Snapshot.node_info snapshot node with
+          | Some i -> i
+          | None -> assert false
+        in
+        let cores = info.Snapshot.static.Rm_cluster.Node.cores in
+        let load = Compute_load.cpu_load_1m loads ~node in
+        of_load ~cores ~load)
+      order
+  in
+  let table = Hashtbl.create (max 1 (Array.length order)) in
+  Array.iteri (fun i node -> Hashtbl.replace table node procs.(i)) order;
+  { order; procs; table }
+
+let get t ~node =
+  match Hashtbl.find_opt t.table node with Some p -> p | None -> 1
+
+let to_list t =
+  Array.to_list (Array.mapi (fun i node -> (node, t.procs.(i))) t.order)

@@ -9,7 +9,20 @@
 val of_load : cores:int -> load:float -> int
 (** Requires [cores > 0] and [load >= 0]. *)
 
-val of_snapshot :
-  Rm_monitor.Snapshot.t -> loads:Compute_load.t -> (int * int) list
-(** [(node, pc_v)] for every usable node, using the 1-minute load mean
-    (what `uptime` reports first). *)
+type t
+(** pc_v for every usable node of one snapshot, with O(1) lookup. The
+    allocator's capacity closure reads this once per visited node per
+    candidate, so the former assoc-list representation put an O(V) scan
+    behind every read on the hot path. *)
+
+val of_snapshot : Rm_monitor.Snapshot.t -> loads:Compute_load.t -> t
+(** One pc_v per usable node, using the 1-minute load mean (what
+    `uptime` reports first). *)
+
+val get : t -> node:int -> int
+(** O(1). Defaults to 1 for a node outside the usable set, matching the
+    allocator's historical fallback for unknown nodes. *)
+
+val to_list : t -> (int * int) list
+(** [(node, pc_v)] in ascending node order — for audit records, tables
+    and tests. *)

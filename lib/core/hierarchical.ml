@@ -114,24 +114,44 @@ let group_score ~gnl ~request selected =
   in
   (alpha *. compute) +. (beta *. network)
 
-let allocate ~snapshot ~weights ~request =
-  let loads = Compute_load.of_snapshot snapshot ~weights in
+let allocate ?(dense = true) ~snapshot ~weights ~request () =
+  let models = if dense then Some (Model_cache.get snapshot ~weights) else None in
+  let loads =
+    match models with
+    | Some m -> Model_cache.loads m
+    | None -> Compute_load.of_snapshot snapshot ~weights
+  in
   let usable = Compute_load.usable loads in
   if usable = [] then Error Allocation.No_usable_nodes
   else begin
-    let net = Network_load.of_snapshot snapshot ~weights in
-    let pc = Effective_procs.of_snapshot snapshot ~loads in
+    let net =
+      match models with
+      | Some m -> Model_cache.net m
+      | None -> Network_load.of_snapshot snapshot ~weights
+    in
+    let pc =
+      match models with
+      | Some m -> Model_cache.pc m
+      | None -> Effective_procs.of_snapshot snapshot ~loads
+    in
     let capacity node =
-      Request.capacity_of request
-        ~effective:(Option.value (List.assoc_opt node pc) ~default:1)
+      Request.capacity_of request ~effective:(Effective_procs.get pc ~node)
     in
     let all_groups = groups ~snapshot ~loads ~capacity in
     let flat_within members =
+      (* Restricted snapshots are one-shot derivations; build their
+         models directly rather than churning the cache slots. *)
       let restricted = { snapshot with Snapshot.live = members } in
       let loads = Compute_load.of_snapshot restricted ~weights in
       let net = Network_load.of_snapshot restricted ~weights in
-      let candidates = Candidate.generate_all ~loads ~net ~capacity ~request in
-      let best = Select.best ~candidates ~loads ~net ~request in
+      let best =
+        if dense then Dense_alloc.best ~loads ~net ~capacity ~request
+        else
+          let candidates =
+            Candidate.generate_all ~loads ~net ~capacity ~request
+          in
+          Select.best ~candidates ~loads ~net ~request
+      in
       Ok
         (Allocation.make ~policy:"hierarchical"
            ~entries:

@@ -30,10 +30,17 @@ val group_network_load : Network_load.t -> group -> group -> float
     its internal pairs (0 for singletons). *)
 
 val allocate :
+  ?dense:bool ->
   snapshot:Rm_monitor.Snapshot.t ->
   weights:Weights.t ->
   request:Request.t ->
+  unit ->
   (Allocation.t, Allocation.error) result
 (** Group-level Algorithm 1+2 to choose switches, then the flat
     allocator restricted to their members. Falls back to the flat
-    algorithm when the cluster has a single switch. *)
+    algorithm when the cluster has a single switch.
+
+    [dense] (default true) routes the top-level models through
+    {!Model_cache} and the flat stage through the {!Dense_alloc}
+    kernels; [~dense:false] is the retained naive reference. Both paths
+    return identical allocations. *)

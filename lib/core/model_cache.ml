@@ -1,0 +1,86 @@
+(* Memoized Eq. 1/Eq. 2/Eq. 3 models.
+
+   Every Broker.decide used to rebuild Compute_load (O(V) SAW pipeline),
+   Network_load (O(V²) matrix construction) and Effective_procs from
+   scratch — and a broker with a wait threshold built Compute_load
+   twice per decision. The cache shares one model bundle per
+   (snapshot, weights) pair across Broker.mean_load_per_core,
+   Policies.allocate, Hierarchical.allocate and every pending job scored
+   against the same snapshot in one scheduler tick.
+
+   Keying: a snapshot is matched physically (the same record), which
+   subsumes the documented identity (time + usable set) because
+   Snapshot.t's fields are immutable — deriving a snapshot with a new
+   time or live set allocates a new record and therefore misses.
+   Weights are compared structurally (a flat float record). The models
+   are pure functions of (snapshot, weights), so hits are observably
+   identical to rebuilding.
+
+   Like the rest of rm_core, the cache assumes a single domain and that
+   snapshots are not mutated in place after first being scored. *)
+
+module Snapshot = Rm_monitor.Snapshot
+module Telemetry = Rm_telemetry
+
+type t = {
+  snapshot : Snapshot.t;
+  weights : Weights.t;
+  loads : Compute_load.t Lazy.t;
+  net : Network_load.t Lazy.t;
+  pc : Effective_procs.t Lazy.t;
+}
+
+(* A handful of slots, replaced round-robin: a scheduler tick touches
+   one or two snapshots (shared + exclusive-restricted), sweeps a few
+   weight settings at most. *)
+let slot_count = 8
+
+let slots : t option array = Array.make slot_count None
+let next = ref 0
+let hit_count = ref 0
+let miss_count = ref 0
+
+let m_hits = Telemetry.Metrics.counter "core.model_cache.hits"
+let m_misses = Telemetry.Metrics.counter "core.model_cache.misses"
+
+let build snapshot ~weights =
+  let loads = lazy (Compute_load.of_snapshot snapshot ~weights) in
+  {
+    snapshot;
+    weights;
+    loads;
+    net = lazy (Network_load.of_snapshot snapshot ~weights);
+    pc = lazy (Effective_procs.of_snapshot snapshot ~loads:(Lazy.force loads));
+  }
+
+let get snapshot ~weights =
+  let found = ref None in
+  for i = 0 to slot_count - 1 do
+    match slots.(i) with
+    | Some e when e.snapshot == snapshot && e.weights = weights ->
+      found := Some e
+    | Some _ | None -> ()
+  done;
+  match !found with
+  | Some e ->
+    incr hit_count;
+    Telemetry.Metrics.incr m_hits;
+    e
+  | None ->
+    incr miss_count;
+    Telemetry.Metrics.incr m_misses;
+    let e = build snapshot ~weights in
+    slots.(!next) <- Some e;
+    next := (!next + 1) mod slot_count;
+    e
+
+let loads t = Lazy.force t.loads
+let net t = Lazy.force t.net
+let pc t = Lazy.force t.pc
+
+let hits () = !hit_count
+let misses () = !miss_count
+
+let clear () =
+  Array.fill slots 0 slot_count None;
+  next := 0

@@ -1,0 +1,31 @@
+(** Memoized allocation models — one Eq. 1/Eq. 2/Eq. 3 bundle per
+    (snapshot, weights) pair.
+
+    [get] returns a cached bundle when called again with the {e same}
+    snapshot record and equal weights; the broker's wait check, every
+    policy and all jobs scored against one snapshot in a scheduler tick
+    then share a single model build instead of each reconstructing the
+    O(V²) matrices. Deriving a snapshot with a different time or live
+    set yields a new record and therefore a cache miss, so staleness
+    can never leak across monitor updates. Models build lazily: a
+    policy that never reads Network_load never pays for it. *)
+
+type t
+
+val get : Rm_monitor.Snapshot.t -> weights:Weights.t -> t
+(** Cached bundle for this exact snapshot record (a few most recent
+    pairs are retained). The models are pure in (snapshot, weights), so
+    a hit is observably identical to rebuilding. *)
+
+val loads : t -> Compute_load.t
+val net : t -> Network_load.t
+val pc : t -> Effective_procs.t
+
+val hits : unit -> int
+(** Process-wide hit counter (monotone; compare deltas in tests). *)
+
+val misses : unit -> int
+
+val clear : unit -> unit
+(** Drop all cached bundles — used by benchmarks to control warmth and
+    release the snapshots the slots keep alive. *)

@@ -72,6 +72,9 @@ let dense t node =
   | Some i -> i
   | None -> invalid_arg "Network_load: node not usable"
 
+let dense_index t ~node = dense t node
+let nl_matrix t = t.nl
+
 let get t ~u ~v = if u = v then 0.0 else Matrix.get t.nl (dense t u) (dense t v)
 
 let latency_us t ~u ~v =

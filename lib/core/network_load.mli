@@ -30,6 +30,16 @@ val mean_edges : t -> nodes:int list -> float
 
 val usable : t -> int list
 
+(** {2 Dense views} — for the allocator fast path ({!Dense_alloc}).
+    Dense index [i] is the [i]-th usable node in ascending-id order,
+    matching [Compute_load.dense_ids] for the same snapshot. *)
+
+val dense_index : t -> node:int -> int
+(** Raises [Invalid_argument] when the node is not usable. *)
+
+val nl_matrix : t -> Rm_stats.Matrix.t
+(** The NL matrix over dense indices (0 on the diagonal). Read-only. *)
+
 (** {2 Raw terms (for Table 4 and diagnostics)} *)
 
 val latency_us : t -> u:int -> v:int -> float

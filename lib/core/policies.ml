@@ -95,7 +95,7 @@ let record_audit ~snapshot ~policy ~request ~loads ~pc ~scored ~chosen ~result =
         {
           A.node;
           cl = Compute_load.get loads ~node;
-          pc = (match List.assoc_opt node pc with Some e -> e | None -> 1);
+          pc = Effective_procs.get pc ~node;
           load_1m = Compute_load.cpu_load_1m loads ~node;
         })
       (Compute_load.usable loads)
@@ -125,22 +125,28 @@ let record_audit ~snapshot ~policy ~request ~loads ~pc ~scored ~chosen ~result =
       decision;
     }
 
-let allocate ~policy ~snapshot ~weights ~request ~rng =
+let allocate_impl ~dense ~policy ~snapshot ~weights ~request ~rng =
   let instrumented = Telemetry.Runtime.is_enabled () in
   let wall0 = if instrumented then Sys.time () else 0.0 in
-  let loads = Compute_load.of_snapshot snapshot ~weights in
+  let models = if dense then Some (Model_cache.get snapshot ~weights) else None in
+  let loads =
+    match models with
+    | Some m -> Model_cache.loads m
+    | None -> Compute_load.of_snapshot snapshot ~weights
+  in
   let usable = Compute_load.usable loads in
   if usable = [] then begin
     Telemetry.Metrics.incr m_errors;
     Error Allocation.No_usable_nodes
   end
   else begin
-    let pc = Effective_procs.of_snapshot snapshot ~loads in
+    let pc =
+      match models with
+      | Some m -> Model_cache.pc m
+      | None -> Effective_procs.of_snapshot snapshot ~loads
+    in
     let capacity node =
-      let effective =
-        match List.assoc_opt node pc with Some e -> e | None -> 1
-      in
-      Request.capacity_of request ~effective
+      Request.capacity_of request ~effective:(Effective_procs.get pc ~node)
     in
     let procs = request.Request.procs in
     let result, scored, chosen =
@@ -172,9 +178,19 @@ let allocate ~policy ~snapshot ~weights ~request ~rng =
         in
         (Ok (to_allocation ~policy (fill ~ordered ~capacity ~procs)), [], None)
       | Network_load_aware ->
-        let net = Network_load.of_snapshot snapshot ~weights in
-        let candidates = Candidate.generate_all ~loads ~net ~capacity ~request in
-        let scored = Select.score ~candidates ~loads ~net ~request in
+        let net =
+          match models with
+          | Some m -> Model_cache.net m
+          | None -> Network_load.of_snapshot snapshot ~weights
+        in
+        let scored =
+          if dense then Dense_alloc.scored_all ~loads ~net ~capacity ~request
+          else
+            let candidates =
+              Candidate.generate_all ~loads ~net ~capacity ~request
+            in
+            Select.score ~candidates ~loads ~net ~request
+        in
         let best = Select.best_scored scored in
         let audit_scored =
           if instrumented then
@@ -184,7 +200,8 @@ let allocate ~policy ~snapshot ~weights ~request ~rng =
         ( Ok (to_allocation ~policy best.Select.candidate.Candidate.assignment),
           audit_scored,
           Some best.Select.candidate.Candidate.start )
-      | Hierarchical -> (Hierarchical.allocate ~snapshot ~weights ~request, [], None)
+      | Hierarchical ->
+        (Hierarchical.allocate ~dense ~snapshot ~weights ~request (), [], None)
     in
     if instrumented then begin
       Telemetry.Metrics.incr
@@ -200,3 +217,9 @@ let allocate ~policy ~snapshot ~weights ~request ~rng =
     end;
     result
   end
+
+let allocate ~policy ~snapshot ~weights ~request ~rng =
+  allocate_impl ~dense:true ~policy ~snapshot ~weights ~request ~rng
+
+let allocate_naive ~policy ~snapshot ~weights ~request ~rng =
+  allocate_impl ~dense:false ~policy ~snapshot ~weights ~request ~rng

@@ -39,4 +39,22 @@ val allocate :
 (** [Error No_usable_nodes] when the snapshot has no usable node;
     otherwise always succeeds (oversubscribing if needed). Randomized
     policies draw from [rng]; the two aware policies are deterministic
-    given the snapshot. *)
+    given the snapshot.
+
+    Models (Eq. 1/2/3) come from {!Model_cache} — repeated calls
+    against the same snapshot and weights share one build — and the
+    network-and-load-aware policy runs on the {!Dense_alloc} kernels.
+    Output is byte-identical to {!allocate_naive}. *)
+
+val allocate_naive :
+  policy:policy ->
+  snapshot:Rm_monitor.Snapshot.t ->
+  weights:Weights.t ->
+  request:Request.t ->
+  rng:Rm_stats.Rng.t ->
+  (Allocation.t, Allocation.error) result
+(** The pre-fast-path reference implementation: models rebuilt from the
+    snapshot on every call, Algorithm 1/2 via [Candidate.generate_all]
+    and [Select.score]. Retained for the equivalence property test and
+    the before/after rows of [bench scale]; allocations are identical
+    to {!allocate} by construction (and by test). *)

@@ -204,7 +204,7 @@ let hierarchical_sweep ?(seed = 19) ?(cluster_sizes = [ 60; 120; 240; 480 ]) () 
       in
       let hier_alloc, hier_ms =
         wall_ms (fun () ->
-            Rm_core.Hierarchical.allocate ~snapshot ~weights ~request)
+            Rm_core.Hierarchical.allocate ~snapshot ~weights ~request ())
       in
       let run alloc =
         match alloc with
@@ -641,7 +641,7 @@ let optimality_gap ?(seed = 5) ?(trials = 40) () =
     let pc = Effective_procs.of_snapshot snap ~loads in
     let capacity node =
       Request.capacity_of request
-        ~effective:(Option.value (List.assoc_opt node pc) ~default:1)
+        ~effective:(Rm_core.Effective_procs.get pc ~node)
     in
     let candidates = Candidate.generate_all ~loads ~net ~capacity ~request in
     let greedy = Select.best ~candidates ~loads ~net ~request in

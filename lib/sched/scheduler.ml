@@ -140,12 +140,28 @@ let rec try_dispatch t sim =
       | [] -> []
       | head :: rest -> if t.config.backfill then head :: rest else [ head ]
     in
+    (* One snapshot per tick, shared by every attempt: the monitor state
+       cannot change between attempts at the same virtual time, and the
+       busy set only changes when an attempt succeeds (which ends the
+       tick) — so all queued jobs are scored against the same snapshot
+       record and the broker's model cache turns V²-sized model builds
+       into one build per tick. *)
+    let snapshot =
+      match candidates with
+      | [] -> None
+      | _ :: _ ->
+        let s = System.snapshot t.monitor ~time:now in
+        Some
+          (if t.config.exclusive then
+             Rm_monitor.Snapshot.restrict s ~exclude:(busy_nodes t)
+           else s)
+    in
     (* A job starting from any position but the head is a backfill hit:
        the queue head could not be placed but a later job could. *)
     let rec attempt_each pos = function
       | [] -> false
       | id :: rest ->
-        if attempt t sim id then begin
+        if attempt t sim snapshot id then begin
           if pos > 0 then Telemetry.Metrics.incr m_backfill;
           true
         end
@@ -174,14 +190,12 @@ and busy_nodes t =
       | Queued | Finished _ | Rejected _ -> [])
     t.queue
 
-and attempt t sim id =
+and attempt t sim snapshot id =
   let j = job t id in
-  let now = Sim.now sim in
-  let snapshot = System.snapshot t.monitor ~time:now in
   let snapshot =
-    if t.config.exclusive then
-      Rm_monitor.Snapshot.restrict snapshot ~exclude:(busy_nodes t)
-    else snapshot
+    match snapshot with
+    | Some s -> s
+    | None -> System.snapshot t.monitor ~time:(Sim.now sim)
   in
   match
     Broker.decide ~config:t.config.broker ~snapshot ~request:j.request ~rng:t.rng

@@ -1,13 +1,18 @@
 type kind = Counter | Gauge | Histogram
 
+(* Cells are [Atomic.t] and the registry is mutex-guarded so metrics
+   stay coherent when future code mutates them from several domains
+   (ROADMAP: domain-parallel sweeps). Contended float adds go through a
+   CAS loop on the boxed value; the disabled path is still a single
+   [Runtime.is_enabled] load per site. *)
 type t = {
   name : string;
   labels : (string * string) list;  (* sorted *)
   kind : kind;
   buckets : float array;  (* upper bounds, strictly increasing *)
-  counts : int array;  (* length = Array.length buckets + 1 *)
-  mutable value : float;
-  mutable observations : int;
+  counts : int Atomic.t array;  (* length = Array.length buckets + 1 *)
+  value : float Atomic.t;
+  observations : int Atomic.t;
 }
 
 let default_buckets =
@@ -16,35 +21,51 @@ let default_buckets =
 let registry : (string * (string * string) list, t) Hashtbl.t =
   Hashtbl.create 64
 
+let registry_mutex = Mutex.create ()
+
+let with_registry f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
+(* Retry until no concurrent writer slipped in between the read and the
+   CAS; the CAS compares the boxed float physically, so re-reading the
+   same box guarantees progress detection. *)
+let rec atomic_add_float cell delta =
+  let old = Atomic.get cell in
+  if not (Atomic.compare_and_set cell old (old +. delta)) then
+    atomic_add_float cell delta
+
 let normalize_labels labels =
   List.sort (fun (a, _) (b, _) -> compare a b) labels
 
 let register ~name ~labels ~kind ~buckets =
   let labels = normalize_labels labels in
   let key = (name, labels) in
-  match Hashtbl.find_opt registry key with
-  | Some m ->
-    if m.kind <> kind then
-      invalid_arg
-        (Printf.sprintf "Metrics: %s re-registered as a different kind" name);
-    m
-  | None ->
-    let m =
-      {
-        name;
-        labels;
-        kind;
-        buckets;
-        counts =
-          (match kind with
-          | Histogram -> Array.make (Array.length buckets + 1) 0
-          | Counter | Gauge -> [||]);
-        value = 0.0;
-        observations = 0;
-      }
-    in
-    Hashtbl.replace registry key m;
-    m
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry key with
+      | Some m ->
+        if m.kind <> kind then
+          invalid_arg
+            (Printf.sprintf "Metrics: %s re-registered as a different kind" name);
+        m
+      | None ->
+        let m =
+          {
+            name;
+            labels;
+            kind;
+            buckets;
+            counts =
+              (match kind with
+              | Histogram ->
+                Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0)
+              | Counter | Gauge -> [||]);
+            value = Atomic.make 0.0;
+            observations = Atomic.make 0;
+          }
+        in
+        Hashtbl.replace registry key m;
+        m)
 
 let counter ?(labels = []) name =
   register ~name ~labels ~kind:Counter ~buckets:[||]
@@ -64,7 +85,7 @@ let histogram ?(labels = []) ?(buckets = default_buckets) name =
 let incr m =
   if Runtime.is_enabled () then begin
     match m.kind with
-    | Counter -> m.value <- m.value +. 1.0
+    | Counter -> atomic_add_float m.value 1.0
     | Gauge | Histogram -> invalid_arg "Metrics.incr: not a counter"
   end
 
@@ -73,15 +94,15 @@ let add m delta =
     match m.kind with
     | Counter ->
       if delta < 0.0 then invalid_arg "Metrics.add: negative counter delta";
-      m.value <- m.value +. delta
-    | Gauge -> m.value <- m.value +. delta
+      atomic_add_float m.value delta
+    | Gauge -> atomic_add_float m.value delta
     | Histogram -> invalid_arg "Metrics.add: not a counter or gauge"
   end
 
 let set m v =
   if Runtime.is_enabled () then begin
     match m.kind with
-    | Gauge -> m.value <- v
+    | Gauge -> Atomic.set m.value v
     | Counter | Histogram -> invalid_arg "Metrics.set: not a gauge"
   end
 
@@ -92,14 +113,14 @@ let observe m v =
       let k = Array.length m.buckets in
       let rec slot i = if i >= k || v <= m.buckets.(i) then i else slot (i + 1) in
       let i = slot 0 in
-      m.counts.(i) <- m.counts.(i) + 1;
-      m.value <- m.value +. v;
-      m.observations <- m.observations + 1
+      Atomic.incr m.counts.(i);
+      atomic_add_float m.value v;
+      Atomic.incr m.observations
     | Counter | Gauge -> invalid_arg "Metrics.observe: not a histogram"
   end
 
-let value m = m.value
-let count m = m.observations
+let value m = Atomic.get m.value
+let count m = Atomic.get m.observations
 
 let bucket_counts m =
   match m.kind with
@@ -108,7 +129,7 @@ let bucket_counts m =
       (Array.length m.counts)
       (fun i ->
         ( (if i < Array.length m.buckets then m.buckets.(i) else infinity),
-          m.counts.(i) ))
+          Atomic.get m.counts.(i) ))
   | Counter | Gauge -> []
 
 type view = {
@@ -121,33 +142,36 @@ type view = {
 }
 
 let snapshot () =
-  Hashtbl.fold
-    (fun _ (m : t) acc ->
-      {
-        name = m.name;
-        labels = m.labels;
-        kind = m.kind;
-        value = m.value;
-        count = m.observations;
-        buckets = bucket_counts m;
-      }
-      :: acc)
-    registry []
+  with_registry (fun () ->
+      Hashtbl.fold
+        (fun _ (m : t) acc ->
+          {
+            name = m.name;
+            labels = m.labels;
+            kind = m.kind;
+            value = Atomic.get m.value;
+            count = Atomic.get m.observations;
+            buckets = bucket_counts m;
+          }
+          :: acc)
+        registry [])
   |> List.sort (fun a b ->
          match compare a.name b.name with
          | 0 -> compare a.labels b.labels
          | c -> c)
 
 let find ?(labels = []) name =
-  Hashtbl.find_opt registry (name, normalize_labels labels)
+  with_registry (fun () ->
+      Hashtbl.find_opt registry (name, normalize_labels labels))
 
 let reset () =
-  Hashtbl.iter
-    (fun _ (m : t) ->
-      m.value <- 0.0;
-      m.observations <- 0;
-      Array.fill m.counts 0 (Array.length m.counts) 0)
-    registry
+  with_registry (fun () ->
+      Hashtbl.iter
+        (fun _ (m : t) ->
+          Atomic.set m.value 0.0;
+          Atomic.set m.observations 0;
+          Array.iter (fun c -> Atomic.set c 0) m.counts)
+        registry)
 
 let label_string labels =
   if labels = [] then ""

@@ -8,6 +8,13 @@
     wall-clock timings — never simulated results, so leaving them on or
     off cannot change an experiment's outcome.
 
+    The registry is safe to use from multiple domains: registration and
+    whole-registry operations ({!snapshot}, {!find}, {!reset}) are
+    mutex-guarded, and every cell is an [Atomic.t] (float adds use a
+    CAS retry loop), so concurrent {!incr}/{!add}/{!observe} never lose
+    updates. Reads are lock-free and see a consistent per-cell value;
+    {!snapshot} is not a point-in-time cut across metrics.
+
     A metric's identity is its name plus its (sorted) label set:
     [counter "core.allocations" ~labels:[("policy", "random")]] and the
     same name with [("policy", "load-aware")] are two members of one

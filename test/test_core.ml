@@ -21,6 +21,8 @@ module Select = Rm_core.Select
 module Policies = Rm_core.Policies
 module Brute_force = Rm_core.Brute_force
 module Broker = Rm_core.Broker
+module Dense_alloc = Rm_core.Dense_alloc
+module Model_cache = Rm_core.Model_cache
 
 let check_float = Alcotest.(check (float 1e-9))
 let flat v : Running_means.view = { instant = v; m1 = v; m5 = v; m15 = v }
@@ -294,7 +296,11 @@ let test_eq3_of_snapshot () =
   let snap = fixture [ (12, 2.3); (8, 0.0) ] in
   let cl = Compute_load.of_snapshot snap ~weights in
   let pc = Effective_procs.of_snapshot snap ~loads:cl in
-  Alcotest.(check (list (pair int int))) "per node" [ (0, 9); (1, 8) ] pc
+  Alcotest.(check (list (pair int int)))
+    "per node" [ (0, 9); (1, 8) ]
+    (Effective_procs.to_list pc);
+  Alcotest.(check int) "O(1) lookup" 9 (Effective_procs.get pc ~node:0);
+  Alcotest.(check int) "absent defaults to 1" 1 (Effective_procs.get pc ~node:42)
 
 (* --- Candidate (Algorithm 1) ------------------------------------------------- *)
 
@@ -302,8 +308,7 @@ let capacity_of snap request =
   let cl = Compute_load.of_snapshot snap ~weights in
   let pc = Effective_procs.of_snapshot snap ~loads:cl in
   fun node ->
-    Request.capacity_of request
-      ~effective:(Option.value (List.assoc_opt node pc) ~default:1)
+    Request.capacity_of request ~effective:(Effective_procs.get pc ~node)
 
 let test_candidate_starts_with_start () =
   let snap = fixture [ (8, 0.1); (8, 3.0); (8, 0.2); (8, 0.3) ] in
@@ -704,6 +709,145 @@ let prop_candidate_nodes_distinct =
           List.length ns = List.length (List.sort_uniq compare ns))
         cs)
 
+(* --- Dense fast path == naive reference ------------------------------------ *)
+
+(* A randomized fixture driven by one PRNG stream: node count, core
+   mix, loads, switch layout and per-pair link degradations all vary,
+   so the dense/naive comparison sees asymmetric topologies, cost ties
+   and oversubscription. *)
+let random_fixture rng =
+  let n = 3 + Rng.int rng 6 in
+  let nswitches = 1 + Rng.int rng 2 in
+  let switches = Array.init n (fun i -> i mod nswitches) in
+  let specs =
+    List.init n (fun _ ->
+        ( (if Rng.bool rng then 8 else 12),
+          Rng.uniform rng ~lo:0.0 ~hi:8.0 ))
+  in
+  let snap = fixture ~switches specs in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Rng.bernoulli rng ~p:0.3 then begin
+        let bw = Rng.uniform rng ~lo:5.0 ~hi:118.0 in
+        let lat = Rng.uniform rng ~lo:70.0 ~hi:500.0 in
+        Matrix.set snap.Snapshot.bw_mb_s i j bw;
+        Matrix.set snap.Snapshot.bw_mb_s j i bw;
+        Matrix.set snap.Snapshot.lat_us i j lat;
+        Matrix.set snap.Snapshot.lat_us j i lat
+      end
+    done
+  done;
+  snap
+
+let random_request rng =
+  (* alpha hits the 0.0 and 1.0 boundaries; procs ranges from trivially
+     satisfiable to cluster-wide oversubscription. *)
+  let alpha = 0.1 *. float_of_int (Rng.int rng 11) in
+  let procs = 1 + Rng.int rng 40 in
+  let ppn = if Rng.bool rng then Some (1 + Rng.int rng 8) else None in
+  Request.make ?ppn ~alpha ~procs ()
+
+let prop_dense_matches_naive =
+  QCheck.Test.make
+    ~name:"dense fast path returns identical allocations to naive (all policies)"
+    ~count:150
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Rng.create seed in
+      let snap = random_fixture rng in
+      let request = random_request rng in
+      List.for_all
+        (fun policy ->
+          Model_cache.clear ();
+          let fast =
+            Policies.allocate ~policy ~snapshot:snap ~weights ~request
+              ~rng:(Rng.create (seed + 1))
+          in
+          let naive =
+            Policies.allocate_naive ~policy ~snapshot:snap ~weights ~request
+              ~rng:(Rng.create (seed + 1))
+          in
+          fast = naive)
+        (Policies.all @ [ Policies.Hierarchical ]))
+
+(* Stronger than allocation equality: the whole scored table must match
+   bit-for-bit (costs, totals, candidate order), so ties keep breaking
+   the same way no matter how close two totals are. *)
+let prop_dense_scored_table_bit_identical =
+  QCheck.Test.make
+    ~name:"dense scored table is bit-identical to Candidate+Select"
+    ~count:150
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Rng.create seed in
+      let snap = random_fixture rng in
+      let request = random_request rng in
+      let cl = Compute_load.of_snapshot snap ~weights in
+      let nl = Network_load.of_snapshot snap ~weights in
+      let capacity = capacity_of snap request in
+      let dense = Dense_alloc.scored_all ~loads:cl ~net:nl ~capacity ~request in
+      let naive =
+        Select.score
+          ~candidates:
+            (Candidate.generate_all ~loads:cl ~net:nl ~capacity ~request)
+          ~loads:cl ~net:nl ~request
+      in
+      List.length dense = List.length naive
+      && List.for_all2
+           (fun (d : Select.scored) (s : Select.scored) ->
+             d.Select.candidate = s.Select.candidate
+             && Float.equal d.Select.compute_cost s.Select.compute_cost
+             && Float.equal d.Select.network_cost s.Select.network_cost
+             && Float.equal d.Select.total s.Select.total)
+           dense naive)
+
+(* --- Model cache ------------------------------------------------------------- *)
+
+let test_model_cache_hit_and_invalidation () =
+  let snap = fixture [ (8, 1.0); (8, 2.0); (12, 0.5) ] in
+  Model_cache.clear ();
+  let h0 = Model_cache.hits () and m0 = Model_cache.misses () in
+  let b1 = Model_cache.get snap ~weights in
+  Alcotest.(check int) "first get misses" (m0 + 1) (Model_cache.misses ());
+  let b2 = Model_cache.get snap ~weights in
+  Alcotest.(check int) "second get hits" (h0 + 1) (Model_cache.hits ());
+  Alcotest.(check bool) "one shared model build" true
+    (Model_cache.loads b1 == Model_cache.loads b2);
+  (* A later monitor update produces a new record: miss. *)
+  let snap_t = { snap with Snapshot.time = snap.Snapshot.time +. 30.0 } in
+  ignore (Model_cache.get snap_t ~weights);
+  Alcotest.(check int) "time change misses" (m0 + 2) (Model_cache.misses ());
+  (* Restricting the usable set produces a new record: miss. *)
+  let snap_u = Snapshot.restrict snap ~exclude:[ 2 ] in
+  ignore (Model_cache.get snap_u ~weights);
+  Alcotest.(check int) "usable-set change misses" (m0 + 3)
+    (Model_cache.misses ());
+  (* Same record, different weights: miss. *)
+  ignore (Model_cache.get snap ~weights:Weights.network_intensive);
+  Alcotest.(check int) "weights change misses" (m0 + 4)
+    (Model_cache.misses ());
+  (* The original pair is still resident after all those misses. *)
+  ignore (Model_cache.get snap ~weights);
+  Alcotest.(check int) "original still cached" (h0 + 2) (Model_cache.hits ())
+
+let test_model_cache_models_match_direct_build () =
+  let snap = fixture [ (8, 3.0); (12, 1.0); (8, 0.0) ] in
+  Model_cache.clear ();
+  let b = Model_cache.get snap ~weights in
+  let direct_cl = Compute_load.of_snapshot snap ~weights in
+  List.iter
+    (fun node ->
+      check_float
+        (Printf.sprintf "CL(%d)" node)
+        (Compute_load.get direct_cl ~node)
+        (Compute_load.get (Model_cache.loads b) ~node))
+    (Compute_load.usable direct_cl);
+  Alcotest.(check (list (pair int int)))
+    "pc matches direct build"
+    (Effective_procs.to_list
+       (Effective_procs.of_snapshot snap ~loads:direct_cl))
+    (Effective_procs.to_list (Model_cache.pc b))
+
 let prop_compute_load_nonnegative =
   QCheck.Test.make ~name:"compute load is non-negative" ~count:100
     (QCheck.make loads_gen)
@@ -794,6 +938,18 @@ let suites =
           test_policy_hierarchical_via_policies;
         Alcotest.test_case "names roundtrip" `Quick test_policy_names_roundtrip;
         qcheck prop_nl_aware_covers_any_loads;
+      ] );
+    ( "core.dense_alloc",
+      [
+        qcheck prop_dense_matches_naive;
+        qcheck prop_dense_scored_table_bit_identical;
+      ] );
+    ( "core.model_cache",
+      [
+        Alcotest.test_case "hit and invalidation" `Quick
+          test_model_cache_hit_and_invalidation;
+        Alcotest.test_case "models match direct build" `Quick
+          test_model_cache_models_match_direct_build;
       ] );
     ( "core.brute_force",
       [

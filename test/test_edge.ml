@@ -196,7 +196,7 @@ let test_hierarchical_single_switch_falls_back () =
   let snap = truth w in
   match
     Rm_core.Hierarchical.allocate ~snapshot:snap ~weights:Weights.paper_default
-      ~request:(Request.make ~ppn:4 ~procs:8 ())
+      ~request:(Request.make ~ppn:4 ~procs:8 ()) ()
   with
   | Ok a ->
     Alcotest.(check string) "still labelled" "hierarchical" a.Allocation.policy;

@@ -171,7 +171,7 @@ let test_hierarchical_allocates () =
   World.advance w ~now:600.0;
   let snap = truth_snapshot w in
   let request = Request.make ~ppn:4 ~alpha:0.3 ~procs:12 () in
-  match Hierarchical.allocate ~snapshot:snap ~weights:Weights.paper_default ~request with
+  match Hierarchical.allocate ~snapshot:snap ~weights:Weights.paper_default ~request () with
   | Ok a ->
     Alcotest.(check int) "covers request" 12 (Allocation.total_procs a);
     Alcotest.(check string) "labelled" "hierarchical" a.Allocation.policy
@@ -188,7 +188,7 @@ let test_hierarchical_prefers_quiet_switch () =
   World.advance w ~now:600.0;
   let snap = truth_snapshot w in
   let request = Request.make ~ppn:4 ~alpha:0.5 ~procs:8 () in
-  match Hierarchical.allocate ~snapshot:snap ~weights:Weights.paper_default ~request with
+  match Hierarchical.allocate ~snapshot:snap ~weights:Weights.paper_default ~request () with
   | Ok a ->
     List.iter
       (fun n -> Alcotest.(check bool) "on switch 1" true (n >= 4))
@@ -204,7 +204,7 @@ let test_hierarchical_matches_flat_scale () =
   World.advance w ~now:3600.0;
   let snap = truth_snapshot w in
   let request = Request.make ~ppn:4 ~alpha:0.3 ~procs:32 () in
-  match Hierarchical.allocate ~snapshot:snap ~weights:Weights.paper_default ~request with
+  match Hierarchical.allocate ~snapshot:snap ~weights:Weights.paper_default ~request () with
   | Ok a ->
     Alcotest.(check int) "32 procs" 32 (Allocation.total_procs a);
     let nodes = Allocation.node_ids a in
@@ -264,7 +264,7 @@ let prop_hierarchical_covers =
       let snap = Snapshot.of_truth ~time:600.0 ~world:w in
       match
         Hierarchical.allocate ~snapshot:snap ~weights:Weights.paper_default
-          ~request:(Request.make ~ppn:4 ~procs ())
+          ~request:(Request.make ~ppn:4 ~procs ()) ()
       with
       | Ok a -> Allocation.total_procs a = procs
       | Error _ -> false)

@@ -122,6 +122,56 @@ let test_render_mentions_nonzero () =
       Alcotest.(check bool) "named" true (contains dump "t.render.hits");
       Alcotest.(check bool) "valued" true (contains dump " 3"))
 
+(* Four domains hammering the same handles: every update must land.
+   Sums are exact because counter increments are integral and histogram
+   observations use one CAS-looped add per value. *)
+let test_parallel_updates_lose_nothing () =
+  with_telemetry (fun () ->
+      let c = Metrics.counter "t.par.counter" in
+      let g = Metrics.gauge "t.par.gauge" in
+      let h = Metrics.histogram ~buckets:[| 10.0; 100.0 |] "t.par.hist" in
+      let domains = 4 and per_domain = 25_000 in
+      let worker () =
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              Metrics.incr c;
+              Metrics.add g 1.0;
+              Metrics.observe h (float_of_int (i mod 3))
+            done)
+      in
+      let spawned = List.init domains (fun _ -> worker ()) in
+      List.iter Domain.join spawned;
+      let total = domains * per_domain in
+      check_float "no lost counter increments" (float_of_int total)
+        (Metrics.value c);
+      check_float "no lost gauge adds" (float_of_int total) (Metrics.value g);
+      Alcotest.(check int) "no lost observations" total (Metrics.count h);
+      let bucket_total =
+        List.fold_left (fun acc (_, n) -> acc + n) 0 (Metrics.bucket_counts h)
+      in
+      Alcotest.(check int) "bucket counts consistent" total bucket_total)
+
+(* Concurrent registration of one identity must yield a single shared
+   cell, never two handles that split the updates. *)
+let test_parallel_registration_single_handle () =
+  with_telemetry (fun () ->
+      let domains = 4 and per_domain = 5_000 in
+      let worker () =
+        Domain.spawn (fun () ->
+            let c = Metrics.counter ~labels:[ ("d", "x") ] "t.par.register" in
+            for _ = 1 to per_domain do
+              Metrics.incr c
+            done)
+      in
+      let spawned = List.init domains (fun _ -> worker ()) in
+      List.iter Domain.join spawned;
+      match Metrics.find ~labels:[ ("d", "x") ] "t.par.register" with
+      | None -> Alcotest.fail "metric not registered"
+      | Some c ->
+        check_float "all domains hit one cell"
+          (float_of_int (domains * per_domain))
+          (Metrics.value c))
+
 let prop_bucket_counts_sum =
   QCheck.Test.make ~count:100 ~name:"histogram bucket counts sum to observations"
     QCheck.(list (float_range (-10.0) 1e4))
@@ -404,6 +454,10 @@ let suites =
         Alcotest.test_case "reset keeps handles" `Quick test_reset_keeps_handles;
         Alcotest.test_case "render mentions non-zero metrics" `Quick
           test_render_mentions_nonzero;
+        Alcotest.test_case "parallel updates lose nothing" `Quick
+          test_parallel_updates_lose_nothing;
+        Alcotest.test_case "parallel registration shares one handle" `Quick
+          test_parallel_registration_single_handle;
       ]
       @ qsuite [ prop_bucket_counts_sum ] );
     ( "telemetry.trace",
