@@ -15,6 +15,13 @@ module Experiments = Rm_experiments
 let quick = ref false
 let seed = 2020
 
+(* --trace-out / --metrics-out: run every requested section with
+   telemetry on and export the accumulated trace / metric registry at
+   the end. *)
+let trace_out : string option ref = ref None
+let metrics_out : string option ref = ref None
+let exporting () = !trace_out <> None || !metrics_out <> None
+
 (* The miniMD and miniFE sweeps back several sections each; memoize so
    "all" runs them once. *)
 let minimd = lazy (Experiments.Minimd_sweep.run ~quick:!quick ~seed ())
@@ -100,8 +107,11 @@ let micro () =
   in
   (* The instrumented allocator with the telemetry switch off is the
      shipping default; run it again with the switch on (metrics + audit
-     ring recording) to price the instrumentation itself. *)
-  assert (not (Rm_telemetry.Runtime.is_enabled ()));
+     ring recording) to price the instrumentation itself. Exports force
+     the switch on for the whole run, so save and restore it rather
+     than assuming it is off. *)
+  let was_enabled = Rm_telemetry.Runtime.is_enabled () in
+  Rm_telemetry.Runtime.disable ();
   let rows_off = measure tests in
   Rm_telemetry.Runtime.enable ();
   let rows_on =
@@ -112,9 +122,14 @@ let micro () =
              (Staged.stage full_allocation);
          ])
   in
-  Rm_telemetry.Runtime.disable ();
-  Rm_telemetry.Metrics.reset ();
-  Rm_telemetry.Audit.clear ();
+  if not was_enabled then Rm_telemetry.Runtime.disable ();
+  (* Millions of timed-loop reps pollute the registry; drop them unless
+     the run is exporting (where a wiped registry would lose the other
+     sections' metrics too). *)
+  if not (exporting ()) then begin
+    Rm_telemetry.Metrics.reset ();
+    Rm_telemetry.Audit.clear ()
+  end;
   let rows = rows_off @ rows_on in
   let buf = Buffer.create 1024 in
   Experiments.Render.table
@@ -462,6 +477,12 @@ let sections : (string * (unit -> string)) list =
       fun () ->
         Experiments.Queue_study.render
           (Experiments.Queue_study.run ~job_count:(if !quick then 4 else 10) ()) );
+    ( "slo",
+      fun () ->
+        Rm_sched.Slo.render
+          (Experiments.Queue_study.run_slo
+             ~job_count:(if !quick then 4 else 10)
+             ()) );
     ( "interference",
       fun () ->
         Experiments.Queue_study.render_interference
@@ -543,10 +564,21 @@ let () =
     | "--baseline" :: file :: rest ->
       baseline_file := Some file;
       strip rest
+    | "--trace-out" :: file :: rest ->
+      trace_out := Some file;
+      strip rest
+    | "--metrics-out" :: file :: rest ->
+      metrics_out := Some file;
+      strip rest
     | a :: rest -> a :: strip rest
   in
   let args = strip args in
   let wanted = if args = [] then List.map fst sections else args in
+  if exporting () then begin
+    Rm_telemetry.Runtime.enable ();
+    Rm_telemetry.Metrics.reset ();
+    Rm_telemetry.Trace.clear ()
+  end;
   List.iter
     (fun name ->
       match List.assoc_opt name sections with
@@ -560,6 +592,14 @@ let () =
           (String.concat ", " (List.map fst sections));
         exit 2)
     wanted;
+  if exporting () then begin
+    Experiments.Harness.dump_telemetry ?trace_out:!trace_out
+      ?metrics_out:!metrics_out ();
+    Option.iter (Printf.printf "wrote %s (chrome trace_event)\n%!") !trace_out;
+    Option.iter
+      (Printf.printf "wrote %s (prometheus exposition)\n%!")
+      !metrics_out
+  end;
   match !csv_dir with
   | None -> ()
   | Some dir ->

@@ -12,6 +12,9 @@
      rmctl sched      JOBS.csv [opts]      run a job file through the scheduler
      rmctl explain    [opts]               audit one allocation decision
      rmctl metrics    [opts]               run a job with telemetry on, dump metrics
+     rmctl serve-metrics [opts]            write Prometheus expositions on an interval
+     rmctl slo        [opts]               per-policy scheduler SLO comparison
+     rmctl check-export [opts]             validate exported trace / metrics files
 
    Every command simulates from scratch (deterministic in --seed), so
    invocations are reproducible and independent. *)
@@ -378,23 +381,47 @@ let replay_cmd =
 
 (* --- explain ----------------------------------------------------------------- *)
 
+let read_whole_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
 let explain_cmd =
-  let run scenario seed time procs ppn alpha policy wait json =
-    Telemetry.Runtime.enable ();
-    let _cluster, _sim, _world, monitor, rng = make_env ~scenario ~seed ~time in
-    let snap = System.snapshot monitor ~time in
-    let request = Request.make ?ppn ~alpha ~procs () in
-    let config =
-      { Broker.default_config with Broker.policy; wait_threshold = wait }
-    in
-    (match Broker.decide ~config ~snapshot:snap ~request ~rng with
-    | Error e -> Format.printf "error: %a@." Allocation.pp_error e
-    | Ok d -> Format.printf "%a@.@." Broker.pp_decision d);
-    match Telemetry.Audit.last () with
-    | None -> Format.printf "no audit record captured@."
-    | Some a ->
-      if json then print_endline (Telemetry.Audit.to_json a)
-      else Format.printf "%a" Telemetry.Audit.pp_explain a
+  let run scenario seed time procs ppn alpha beta policy wait json replay =
+    let beta = match beta with Some b -> b | None -> 1.0 -. alpha in
+    match replay with
+    | Some file ->
+      (* What-if replay: re-score saved audit candidates under new
+         weights — no simulation at all. *)
+      let records = Telemetry.Audit.of_jsonl (read_whole_file file) in
+      if records = [] then begin
+        Format.printf "%s: no audit records@." file;
+        exit 1
+      end;
+      List.iteri
+        (fun i record ->
+          if i > 0 then Format.printf "@.";
+          Format.printf "%a"
+            Telemetry.Audit.pp_rescore
+            (Telemetry.Audit.rescore record ~alpha ~beta))
+        records
+    | None ->
+      Telemetry.Runtime.enable ();
+      let _cluster, _sim, _world, monitor, rng = make_env ~scenario ~seed ~time in
+      let snap = System.snapshot monitor ~time in
+      let request = Request.make ?ppn ~alpha ~procs () in
+      let config =
+        { Broker.default_config with Broker.policy; wait_threshold = wait }
+      in
+      (match Broker.decide ~config ~snapshot:snap ~request ~rng with
+      | Error e -> Format.printf "error: %a@." Allocation.pp_error e
+      | Ok d -> Format.printf "%a@.@." Broker.pp_decision d);
+      (match Telemetry.Audit.last () with
+      | None -> Format.printf "no audit record captured@."
+      | Some a ->
+        if json then print_endline (Telemetry.Audit.to_json a)
+        else Format.printf "%a" Telemetry.Audit.pp_explain a)
   in
   let wait_t =
     Arg.(value & opt (some float) None
@@ -405,19 +432,39 @@ let explain_cmd =
     Arg.(value & flag
          & info [ "json" ] ~doc:"Emit the raw audit record as one JSON line.")
   in
+  let beta_t =
+    Arg.(value & opt (some float) None
+         & info [ "beta" ] ~docv:"B"
+             ~doc:"Eq. 4 network weight for --replay (default 1 - alpha).")
+  in
+  let replay_t =
+    Arg.(value & opt (some file) None
+         & info [ "replay" ] ~docv:"AUDIT.jsonl"
+             ~doc:"Re-score the saved audit records (as written by --json) \
+                   under --alpha/--beta instead of simulating; prints an \
+                   old-vs-new Eq. 4 table per record.")
+  in
   Cmd.v
     (Cmd.info "explain"
        ~doc:
          "Make one allocation decision and explain it: per-node CL/pc, every \
           candidate's Eq. 4 score, and the chosen sub-graph's Algorithm 1 \
-          growth order.")
+          growth order. With --replay, re-score a saved decision under new \
+          Eq. 4 weights instead.")
     Term.(const run $ scenario_t $ seed_t $ time_t $ procs_t $ ppn_t $ alpha_t
-          $ policy_t $ wait_t $ json_t)
+          $ beta_t $ policy_t $ wait_t $ json_t $ replay_t)
 
 (* --- metrics ----------------------------------------------------------------- *)
 
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
 let metrics_cmd =
-  let run scenario seed time procs ppn alpha policy app size trace_out =
+  let run scenario seed time procs ppn alpha policy app size trace_out
+      trace_format metrics_out =
     Telemetry.Runtime.enable ();
     let _cluster, _sim, world, monitor, rng = make_env ~scenario ~seed ~time in
     let snap = System.snapshot monitor ~time in
@@ -435,18 +482,37 @@ let metrics_cmd =
     Format.printf "@.=== metrics ===@.%s" (Rm_telemetry.Metrics.render ());
     Format.printf "@.=== trace ===@.%d events in buffer@."
       (Telemetry.Trace.length ());
-    match trace_out with
+    (match trace_out with
     | None -> ()
     | Some path ->
-      let oc = open_out path in
-      output_string oc (Telemetry.Trace.to_jsonl ());
-      close_out oc;
+      let contents =
+        match trace_format with
+        | `Jsonl -> Telemetry.Trace.to_jsonl ()
+        | `Chrome -> Telemetry.Trace_event.export_buffer ()
+      in
+      write_file path contents;
+      Format.printf "wrote %s@." path);
+    match metrics_out with
+    | None -> ()
+    | Some path ->
+      write_file path (Telemetry.Prometheus.render_registry ());
       Format.printf "wrote %s@." path
   in
   let trace_out_t =
     Arg.(value & opt (some string) None
          & info [ "trace-out" ] ~docv:"FILE"
-             ~doc:"Write the virtual-time trace as JSONL.")
+             ~doc:"Write the virtual-time trace (see --trace-format).")
+  in
+  let trace_format_t =
+    Arg.(value & opt (enum [ ("jsonl", `Jsonl); ("chrome", `Chrome) ]) `Jsonl
+         & info [ "trace-format" ] ~docv:"FMT"
+             ~doc:"Trace file format: jsonl (one event per line) or chrome \
+                   (trace_event JSON array, opens in Perfetto).")
+  in
+  let metrics_out_t =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Write the metric registry as a Prometheus text exposition.")
   in
   Cmd.v
     (Cmd.info "metrics"
@@ -454,7 +520,173 @@ let metrics_cmd =
          "Run one job end to end with telemetry enabled, then dump the \
           metrics registry and trace-buffer summary.")
     Term.(const run $ scenario_t $ seed_t $ time_t $ procs_t $ ppn_t $ alpha_t
-          $ policy_t $ app_t $ size_t $ trace_out_t)
+          $ policy_t $ app_t $ size_t $ trace_out_t $ trace_format_t
+          $ metrics_out_t)
+
+(* --- serve-metrics ------------------------------------------------------------ *)
+
+let serve_metrics_cmd =
+  let run scenario seed time procs ppn alpha policy app size interval count out =
+    Telemetry.Runtime.enable ();
+    let _cluster, sim, world, monitor, rng = make_env ~scenario ~seed ~time in
+    let snap = System.snapshot monitor ~time in
+    let request = Request.make ?ppn ~alpha ~procs () in
+    (match
+       Policies.allocate ~policy ~snapshot:snap ~weights:Weights.paper_default
+         ~request ~rng
+     with
+    | Error e -> Format.printf "error: %a@." Allocation.pp_error e
+    | Ok allocation ->
+      let app = app_of app size ~ranks:(Allocation.total_procs allocation) in
+      ignore (Executor.run ~world ~allocation ~app ()));
+    (* One exposition per interval of virtual time; the file is
+       overwritten in place each round, like a scrape target. *)
+    for i = 1 to count do
+      let exposition = Telemetry.Prometheus.render_registry () in
+      (match out with
+      | Some path ->
+        write_file path exposition;
+        Format.printf "t=%.0fs wrote %s (%d bytes)@." (Sim.now sim) path
+          (String.length exposition)
+      | None ->
+        Format.printf "# t=%.0fs virtual@.%s" (Sim.now sim) exposition);
+      if i < count then begin
+        let target = Float.max (Sim.now sim) (World.now world) +. interval in
+        Sim.run_until sim target;
+        World.advance world ~now:target
+      end
+    done
+  in
+  let interval_t =
+    Arg.(value & opt float 300.0
+         & info [ "interval" ] ~docv:"SECONDS"
+             ~doc:"Virtual seconds between expositions.")
+  in
+  let count_t =
+    Arg.(value & opt int 1
+         & info [ "count" ] ~docv:"N"
+             ~doc:"Expositions to write (1 = one-shot).")
+  in
+  let out_t =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Exposition file, overwritten each interval (default \
+                   stdout).")
+  in
+  Cmd.v
+    (Cmd.info "serve-metrics"
+       ~doc:
+         "Run one job with telemetry on, then write the metric registry as \
+          a Prometheus text exposition every --interval virtual seconds, \
+          --count times, to a file or stdout.")
+    Term.(const run $ scenario_t $ seed_t $ time_t $ procs_t $ ppn_t $ alpha_t
+          $ policy_t $ app_t $ size_t $ interval_t $ count_t $ out_t)
+
+(* --- slo ---------------------------------------------------------------------- *)
+
+let slo_cmd =
+  let run seed jobs =
+    let reports = Rm_experiments.Queue_study.run_slo ~seed ~job_count:jobs () in
+    print_string (Rm_sched.Slo.render reports)
+  in
+  let jobs_t =
+    Arg.(value & opt int 10
+         & info [ "jobs" ] ~docv:"N" ~doc:"Jobs in the synthetic afternoon.")
+  in
+  Cmd.v
+    (Cmd.info "slo"
+       ~doc:
+         "Scheduler service levels per broker policy: the same job arrival \
+          trace runs once per policy, and dispatch-wait p50/p90/p99 (from \
+          the sched.dispatch_wait_s histogram) plus queue-depth statistics \
+          are compared side by side.")
+    Term.(const run $ seed_t $ jobs_t)
+
+(* --- check-export ------------------------------------------------------------- *)
+
+let check_export_cmd =
+  let check_trace path =
+    let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+    match Telemetry.Json.of_string (read_whole_file path) with
+    | exception Failure m -> fail "%s: not valid JSON: %s" path m
+    | Telemetry.Json.Arr entries ->
+      let metadata = ref 0 and events = ref 0 in
+      let check_entry i entry =
+        let str field =
+          match Telemetry.Json.member field entry with
+          | Telemetry.Json.Str s -> s
+          | _ -> failwith (Printf.sprintf "entry %d: missing %s" i field)
+        in
+        let num field =
+          match Telemetry.Json.member field entry with
+          | Telemetry.Json.Num n -> n
+          | _ -> failwith (Printf.sprintf "entry %d: missing %s" i field)
+        in
+        ignore (str "name");
+        ignore (num "pid");
+        match str "ph" with
+        | "M" -> incr metadata
+        | "B" | "E" | "i" ->
+          ignore (num "ts");
+          ignore (num "tid");
+          incr events
+        | ph -> failwith (Printf.sprintf "entry %d: unknown phase %S" i ph)
+      in
+      (try
+         List.iteri check_entry entries;
+         Ok (Printf.sprintf "%s: valid trace_event JSON (%d events, %d lanes)"
+               path !events !metadata)
+       with Failure m -> fail "%s: %s" path m)
+    | _ -> fail "%s: top level is not a JSON array" path
+  in
+  let check_metrics path =
+    match Telemetry.Prometheus.parse (read_whole_file path) with
+    | exception Failure m -> Error (Printf.sprintf "%s: %s" path m)
+    | [] -> Error (Printf.sprintf "%s: exposition has no samples" path)
+    | samples ->
+      Ok (Printf.sprintf "%s: valid exposition (%d samples)" path
+            (List.length samples))
+  in
+  let run trace metrics =
+    if trace = None && metrics = None then begin
+      prerr_endline "check-export: nothing to check (need --trace/--metrics)";
+      exit 2
+    end;
+    let results =
+      List.filter_map Fun.id
+        [
+          Option.map check_trace trace;
+          Option.map check_metrics metrics;
+        ]
+    in
+    let failed = ref false in
+    List.iter
+      (function
+        | Ok m -> print_endline m
+        | Error m ->
+          failed := true;
+          prerr_endline ("check-export: " ^ m))
+      results;
+    if !failed then exit 1
+  in
+  let trace_t =
+    Arg.(value & opt (some file) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Chrome trace_event JSON file to validate.")
+  in
+  let metrics_t =
+    Arg.(value & opt (some file) None
+         & info [ "metrics" ] ~docv:"FILE"
+             ~doc:"Prometheus text exposition to validate.")
+  in
+  Cmd.v
+    (Cmd.info "check-export"
+       ~doc:
+         "Validate exported telemetry: --trace must be a trace_event JSON \
+          array whose entries carry name/ph/ts/pid, --metrics must parse \
+          as a Prometheus exposition with at least one sample. Exits \
+          non-zero on any failure (used by CI).")
+    Term.(const run $ trace_t $ metrics_t)
 
 (* --- sched ------------------------------------------------------------------- *)
 
@@ -578,4 +810,4 @@ let () =
        (Cmd.group info
           [ cluster_cmd; snapshot_cmd; allocate_cmd; run_cmd; compare_cmd;
             forecast_cmd; record_cmd; replay_cmd; sched_cmd; explain_cmd;
-            metrics_cmd ]))
+            metrics_cmd; serve_metrics_cmd; slo_cmd; check_export_cmd ]))

@@ -106,6 +106,20 @@ let run_app e ~policy ~weights ~request ~app_of =
     sync e;
     { stats; allocation; group_load; group_bw_complement; group_latency_us }
 
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let dump_telemetry ?trace_out ?metrics_out () =
+  Option.iter
+    (fun path -> write_file path (Rm_telemetry.Trace_event.export_buffer ()))
+    trace_out;
+  Option.iter
+    (fun path -> write_file path (Rm_telemetry.Prometheus.render_registry ()))
+    metrics_out
+
 let compare_policies e ~weights ~request ~app_of ?(gap_s = 20.0) () =
   List.map
     (fun policy ->

@@ -58,6 +58,14 @@ val run_app :
 (** Snapshot → allocate → execute → sync. Raises [Failure] if the policy
     cannot allocate (no usable nodes). *)
 
+val dump_telemetry : ?trace_out:string -> ?metrics_out:string -> unit -> unit
+(** Write the telemetry accumulated so far: [trace_out] gets the trace
+    ring as Chrome [trace_event] JSON ({!Rm_telemetry.Trace_event},
+    loadable in Perfetto), [metrics_out] a Prometheus text exposition of
+    the metric registry ({!Rm_telemetry.Prometheus}). Either may be
+    omitted. Useful only when the run happened with
+    {!Rm_telemetry.Runtime} enabled. *)
+
 val compare_policies :
   env ->
   weights:Rm_core.Weights.t ->

@@ -26,7 +26,7 @@ let app_of_kind kind ~ranks =
   | `Md s -> Rm_apps.Minimd.app ~config:(Rm_apps.Minimd.default_config ~s) ~ranks
   | `Fe nx -> Rm_apps.Minife.app ~config:(Rm_apps.Minife.default_config ~nx) ~ranks
 
-let run_policy ~seed ~job_count policy =
+let run_policy_sched ~seed ~job_count policy =
   let sim = Sim.create () in
   let world =
     World.create ~cluster:(Cluster.iitk_reference ()) ~scenario:Scenario.normal
@@ -60,12 +60,26 @@ let run_policy ~seed ~job_count policy =
     end
   in
   drain ();
-  Scheduler.summary sched
+  sched
+
+let run_policy ~seed ~job_count policy =
+  Scheduler.summary (run_policy_sched ~seed ~job_count policy)
 
 let run ?(seed = 83) ?(job_count = 10) () =
   List.map
     (fun policy -> { policy; summary = run_policy ~seed ~job_count policy })
     Policies.all
+
+let run_slo ?(seed = 83) ?(job_count = 10) () =
+  Rm_telemetry.Runtime.with_enabled (fun () ->
+      List.map
+        (fun policy ->
+          (* Fresh metrics per policy so the dispatch-wait histogram only
+             holds this policy's observations. *)
+          Rm_telemetry.Metrics.reset ();
+          let sched = run_policy_sched ~seed ~job_count policy in
+          Rm_sched.Slo.report ~sched ~policy:(Policies.name policy))
+        Policies.all)
 
 let render rows =
   let header =

@@ -18,6 +18,13 @@ val run : ?seed:int -> ?job_count:int -> unit -> policy_row list
 
 val render : policy_row list -> string
 
+val run_slo :
+  ?seed:int -> ?job_count:int -> unit -> Rm_sched.Slo.report list
+(** The same afternoon as {!run}, but with telemetry enabled and metrics
+    reset per policy, so each policy gets a full SLO report — dispatch
+    wait p50/p90/p99 from the [sched.dispatch_wait_s] histogram plus
+    queue-depth statistics. Render with {!Rm_sched.Slo.render}. *)
+
 type interference = {
   alone_s : float;  (** job B's runtime with the cluster to itself *)
   beside_aware_s : float;

@@ -26,7 +26,14 @@ type record = {
 
 type result = { spec : spec; records : record list }
 
-let run spec =
+let run ?trace_out ?metrics_out spec =
+  let exporting = trace_out <> None || metrics_out <> None in
+  let was_enabled = Rm_telemetry.Runtime.is_enabled () in
+  if exporting then begin
+    Rm_telemetry.Runtime.enable ();
+    Rm_telemetry.Metrics.reset ();
+    Rm_telemetry.Trace.clear ()
+  end;
   let records = ref [] in
   List.iter
     (fun procs ->
@@ -54,6 +61,10 @@ let run spec =
           done)
         spec.sizes)
     spec.procs_list;
+  if exporting then begin
+    Harness.dump_telemetry ?trace_out ?metrics_out ();
+    if not was_enabled then Rm_telemetry.Runtime.disable ()
+  end;
   { spec; records = List.rev !records }
 
 let select result ~f = List.filter f result.records

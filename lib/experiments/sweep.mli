@@ -32,7 +32,12 @@ type record = {
 
 type result = { spec : spec; records : record list }
 
-val run : spec -> result
+val run : ?trace_out:string -> ?metrics_out:string -> spec -> result
+(** When either output path is given, telemetry is enabled (and metrics
+    plus trace buffer reset) for the duration of the sweep, and the
+    accumulated trace / metric registry are written via
+    {!Harness.dump_telemetry} before returning. Without them the sweep
+    runs with telemetry in whatever state the caller left it. *)
 
 (** {2 Derived views} *)
 

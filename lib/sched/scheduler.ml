@@ -84,6 +84,8 @@ type t = {
   mutable last_dispatch : float;
   mutable retry_pending : bool;
   mutable next_id : int;
+  depth_series : Rm_stats.Timeseries.t;
+      (** queue depth sampled at every dispatch tick (virtual time) *)
 }
 
 let create ~sim ~world ~monitor ?(config = default_config) ~rng ~horizon () =
@@ -100,6 +102,7 @@ let create ~sim ~world ~monitor ?(config = default_config) ~rng ~horizon () =
     last_dispatch = neg_infinity;
     retry_pending = false;
     next_id = 0;
+    depth_series = Rm_stats.Timeseries.create ~name:"sched.queue_depth" ();
   }
 
 let job t id =
@@ -127,13 +130,24 @@ let sync_queue_gauge t =
   if Telemetry.Runtime.is_enabled () then
     Telemetry.Metrics.set m_queue_depth (float_of_int (List.length (queued t)))
 
+(* The depth series is scheduler state, not telemetry: it is sampled
+   unconditionally (one append per dispatch tick) so SLO views work
+   without the telemetry switch and cannot perturb the simulation. *)
+let sample_queue_depth t ~now =
+  Rm_stats.Timeseries.append t.depth_series ~time:now
+    ~value:(float_of_int (List.length (queued t)))
+
+let queue_depth_series t = t.depth_series
+
 (* Forward declaration dance: dispatch and completion reference each
    other through the event queue. *)
 let rec try_dispatch t sim =
   let now = Sim.now sim in
   World.advance t.world ~now;
-  if now < t.last_dispatch +. t.config.min_dispatch_gap_s then
+  if now < t.last_dispatch +. t.config.min_dispatch_gap_s then begin
+    sample_queue_depth t ~now;
     schedule_retry t ~delay:(t.last_dispatch +. t.config.min_dispatch_gap_s -. now)
+  end
   else begin
     let candidates =
       match queued t with
@@ -170,6 +184,7 @@ let rec try_dispatch t sim =
     let started = attempt_each 0 candidates in
     if started then t.last_dispatch <- now;
     sync_queue_gauge t;
+    sample_queue_depth t ~now;
     if queued t <> [] then schedule_retry t ~delay:t.config.retry_s
   end
 

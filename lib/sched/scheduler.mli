@@ -82,6 +82,12 @@ val running : t -> job_id list
 val finished : t -> outcome list
 (** In completion order. *)
 
+val queue_depth_series : t -> Rm_stats.Timeseries.t
+(** Queue depth over virtual time, one sample per dispatch tick
+    (submission, retry, completion). Sampled unconditionally — it is
+    scheduler state, not gated telemetry — so SLO views work without
+    enabling the telemetry runtime. *)
+
 type summary = {
   jobs_finished : int;
   mean_wait_s : float;

@@ -1,0 +1,95 @@
+module Metrics = Rm_telemetry.Metrics
+module Timeseries = Rm_stats.Timeseries
+
+type percentiles = { p50 : float; p90 : float; p99 : float }
+
+let percentile_of_buckets buckets ~p =
+  if p < 0.0 || p > 100.0 then
+    invalid_arg "Slo.percentile_of_buckets: p out of [0, 100]";
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 buckets in
+  if total = 0 then invalid_arg "Slo.percentile_of_buckets: empty histogram";
+  (* Target rank in [0, total]; walk the cumulative counts and
+     interpolate inside the bucket that crosses it. *)
+  let rank = p /. 100.0 *. float_of_int total in
+  let rec walk lower cumulative last_finite = function
+    | [] -> last_finite
+    | (ub, n) :: rest ->
+      let cumulative' = cumulative + n in
+      if float_of_int cumulative' >= rank && n > 0 then
+        if Float.is_finite ub then
+          lower
+          +. ((ub -. lower)
+              *. ((rank -. float_of_int cumulative) /. float_of_int n))
+        else last_finite  (* overflow bucket: clamp to the last bound *)
+      else
+        walk
+          (if Float.is_finite ub then ub else lower)
+          cumulative'
+          (if Float.is_finite ub then ub else last_finite)
+          rest
+  in
+  walk 0.0 0 0.0 buckets
+
+let percentiles_of_buckets buckets =
+  {
+    p50 = percentile_of_buckets buckets ~p:50.0;
+    p90 = percentile_of_buckets buckets ~p:90.0;
+    p99 = percentile_of_buckets buckets ~p:99.0;
+  }
+
+let wait_percentiles () =
+  match Metrics.find "sched.dispatch_wait_s" with
+  | None -> None
+  | Some m ->
+    if Metrics.count m = 0 then None
+    else Some (percentiles_of_buckets (Metrics.bucket_counts m))
+
+type report = {
+  policy : string;
+  jobs_finished : int;
+  wait : percentiles;
+  mean_wait_s : float;
+  max_queue_depth : int;
+  mean_queue_depth : float;
+}
+
+let report ~sched ~policy =
+  let summary = Scheduler.summary sched in
+  let wait =
+    match wait_percentiles () with
+    | Some p -> p
+    | None ->
+      invalid_arg
+        "Slo.report: no sched.dispatch_wait_s observations (telemetry off?)"
+  in
+  let depths = Timeseries.values (Scheduler.queue_depth_series sched) in
+  let max_depth, mean_depth =
+    if Array.length depths = 0 then (0, 0.0)
+    else
+      ( int_of_float (Rm_stats.Descriptive.max depths),
+        Rm_stats.Descriptive.mean depths )
+  in
+  {
+    policy;
+    jobs_finished = summary.Scheduler.jobs_finished;
+    wait;
+    mean_wait_s = summary.Scheduler.mean_wait_s;
+    max_queue_depth = max_depth;
+    mean_queue_depth = mean_depth;
+  }
+
+let render reports =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-20s %6s %9s %9s %9s %9s %7s %7s\n" "policy" "jobs"
+       "p50 wait" "p90 wait" "p99 wait" "mean" "max qd" "mean qd");
+  Buffer.add_string buf (String.make 82 '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-20s %6d %8.0fs %8.0fs %8.0fs %8.0fs %7d %7.2f\n"
+           r.policy r.jobs_finished r.wait.p50 r.wait.p90 r.wait.p99
+           r.mean_wait_s r.max_queue_depth r.mean_queue_depth))
+    reports;
+  Buffer.contents buf

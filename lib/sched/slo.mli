@@ -1,0 +1,48 @@
+(** Scheduler service-level objectives derived from the telemetry the
+    scheduler already records: dispatch-wait percentiles from the
+    [sched.dispatch_wait_s] histogram and queue-depth statistics from
+    {!Scheduler.queue_depth_series}.
+
+    Histogram percentiles are estimates — the true sample positions
+    inside a bucket are unknown, so values are linearly interpolated
+    within the bucket that crosses the target rank (the same estimate
+    Prometheus's [histogram_quantile] makes). The error is bounded by
+    the bucket width; the tests check the estimate against
+    {!Rm_stats.Descriptive.percentile} on the raw samples. *)
+
+type percentiles = { p50 : float; p90 : float; p99 : float }
+
+val percentile_of_buckets : (float * int) list -> p:float -> float
+(** [p] in [0, 100] over histogram [(upper_bound, count)] pairs as
+    {!Rm_telemetry.Metrics.bucket_counts} returns them (per-bucket
+    counts, overflow last as [(infinity, n)]). The first bucket
+    interpolates from 0; a rank landing in the overflow bucket returns
+    the last finite bound (the histogram cannot see past it). Raises
+    [Invalid_argument] when the histogram is empty or [p] is out of
+    range. *)
+
+val wait_percentiles : unit -> percentiles option
+(** p50/p90/p99 of the [sched.dispatch_wait_s] histogram, [None] when
+    the metric does not exist or has no observations. *)
+
+(** {2 Per-policy reports} *)
+
+type report = {
+  policy : string;
+  jobs_finished : int;
+  wait : percentiles;  (** seconds, from the dispatch-wait histogram *)
+  mean_wait_s : float;
+  max_queue_depth : int;
+  mean_queue_depth : float;
+}
+
+val report : sched:Scheduler.t -> policy:string -> report
+(** Reads the wait histogram (so the caller must have run [sched] with
+    telemetry enabled, and reset metrics between policies for
+    per-policy numbers) and the scheduler's queue-depth series. Raises
+    [Invalid_argument] when nothing finished or no waits were
+    observed. *)
+
+val render : report list -> string
+(** Side-by-side table, one row per policy: p50/p90/p99 wait, mean
+    wait, max and mean queue depth. *)

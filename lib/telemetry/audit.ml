@@ -213,9 +213,104 @@ let to_jsonl records =
   String.concat "" (List.map (fun r -> to_json r ^ "\n") records)
 
 let of_jsonl text =
+  (* `rmctl explain --json` prints a one-line human summary before the
+     record, so a redirected capture is not pure JSONL; keep only the
+     object lines. *)
   String.split_on_char '\n' text
-  |> List.filter (fun l -> String.trim l <> "")
-  |> List.map of_json
+  |> List.filter_map (fun l ->
+         let l = String.trim l in
+         if String.length l > 0 && l.[0] = '{' then Some (of_json l) else None)
+
+(* --- what-if replay --------------------------------------------------- *)
+
+type rescored_candidate = {
+  cand : candidate;
+  old_total : float;
+  new_total : float;
+}
+
+type rescored = {
+  original : t;
+  new_alpha : float;
+  new_beta : float;
+  rescored : rescored_candidate list;
+  new_chosen : int option;
+}
+
+(* Eq. 4 over the saved un-normalized costs: the record carries each
+   candidate's C_{G_v} and N_{G_v}, and normalization is by the sums
+   across candidates (mirroring Select.score), so new weights re-rank
+   the same decision without re-running the monitor or Algorithm 1. *)
+let rescore r ~alpha ~beta =
+  let c_sum = List.fold_left (fun acc c -> acc +. c.compute_cost) 0.0 r.candidates in
+  let n_sum = List.fold_left (fun acc c -> acc +. c.network_cost) 0.0 r.candidates in
+  let norm sum v = if sum > 0.0 then v /. sum else 0.0 in
+  let rescored =
+    List.map
+      (fun c ->
+        {
+          cand = c;
+          old_total = c.total;
+          new_total =
+            (alpha *. norm c_sum c.compute_cost)
+            +. (beta *. norm n_sum c.network_cost);
+        })
+      r.candidates
+  in
+  let new_chosen =
+    match rescored with
+    | [] -> None
+    | first :: rest ->
+      (* Same tie-break as Select.best_scored: lower start wins. *)
+      let best =
+        List.fold_left
+          (fun acc s ->
+            if
+              s.new_total < acc.new_total
+              || (s.new_total = acc.new_total && s.cand.start < acc.cand.start)
+            then s
+            else acc)
+          first rest
+      in
+      Some best.cand.start
+  in
+  { original = r; new_alpha = alpha; new_beta = beta; rescored; new_chosen }
+
+let pp_rescore ppf r =
+  let o = r.original in
+  Format.fprintf ppf
+    "what-if replay of allocation at t=%.0fs policy=%s procs=%d@." o.time
+    o.policy o.procs;
+  Format.fprintf ppf "weights: α=%.2f β=%.2f  ->  α=%.2f β=%.2f@." o.alpha
+    o.beta r.new_alpha r.new_beta;
+  if r.rescored = [] then
+    Format.fprintf ppf
+      "no candidates in the record (non-Algorithm-2 policy); nothing to \
+       re-score@."
+  else begin
+    Format.fprintf ppf "@.candidates (Eq. 4, lower total wins):@.";
+    Format.fprintf ppf "  %6s %12s %12s %12s %12s  %s@." "start" "C_G" "N_G"
+      "old T" "new T" "";
+    List.iter
+      (fun s ->
+        let marks =
+          (if o.chosen = Some s.cand.start then [ "old choice" ] else [])
+          @ if r.new_chosen = Some s.cand.start then [ "<- new choice" ] else []
+        in
+        Format.fprintf ppf "  %6d %12.5f %12.5f %12.5f %12.5f  %s@."
+          s.cand.start s.cand.compute_cost s.cand.network_cost s.old_total
+          s.new_total
+          (String.concat ", " marks))
+      (List.sort (fun a b -> Float.compare a.new_total b.new_total) r.rescored);
+    match (o.chosen, r.new_chosen) with
+    | Some old_start, Some new_start when old_start <> new_start ->
+      Format.fprintf ppf
+        "@.the new weights flip the decision: node %d -> node %d@." old_start
+        new_start
+    | Some _, Some _ ->
+      Format.fprintf ppf "@.the decision is unchanged under the new weights@."
+    | _ -> ()
+  end
 
 (* --- explain rendering ------------------------------------------------ *)
 

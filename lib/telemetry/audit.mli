@@ -74,7 +74,39 @@ val of_json : string -> t
 (** Raises [Failure] on malformed input. *)
 
 val to_jsonl : t list -> string
+
 val of_jsonl : string -> t list
+(** Non-object lines (e.g. the summary line [rmctl explain --json]
+    prints before the record) are skipped. *)
+
+(** {2 What-if replay}
+
+    A saved record carries every candidate's un-normalized C_{G_v} and
+    N_{G_v}, so Eq. 4 can be re-evaluated under different weights
+    without re-running the monitor or Algorithm 1 — the
+    [rmctl explain --replay] what-if analysis. *)
+
+type rescored_candidate = {
+  cand : candidate;
+  old_total : float;  (** T_{G_v} as recorded *)
+  new_total : float;  (** T_{G_v} under the new weights *)
+}
+
+type rescored = {
+  original : t;
+  new_alpha : float;
+  new_beta : float;
+  rescored : rescored_candidate list;
+  new_chosen : int option;
+      (** winner under the new weights (Select's tie-break: lower
+          start); [None] when the record has no candidates *)
+}
+
+val rescore : t -> alpha:float -> beta:float -> rescored
+
+val pp_rescore : Format.formatter -> rescored -> unit
+(** Old-vs-new Eq. 4 table, sorted by new total, with both winners
+    marked and a closing line saying whether the decision flips. *)
 
 val pp_explain : Format.formatter -> t -> unit
 (** The [rmctl explain] rendering: request and snapshot header, the

@@ -141,20 +141,39 @@ type view = {
   buckets : (float * int) list;
 }
 
-let snapshot () =
+let view_of (m : t) =
+  {
+    name = m.name;
+    labels = m.labels;
+    kind = m.kind;
+    value = Atomic.get m.value;
+    count = Atomic.get m.observations;
+    buckets = bucket_counts m;
+  }
+
+(* A histogram's sum, count and buckets are separate atomics; a writer
+   can land between any two reads. Re-read until the observation count
+   is stable across the whole view (bounded retries — under sustained
+   contention the last attempt wins, which is no worse than the
+   one-shot read). *)
+let consistent_view_of (m : t) =
+  match m.kind with
+  | Counter | Gauge -> view_of m
+  | Histogram ->
+    let rec go tries =
+      let before = Atomic.get m.observations in
+      let v = view_of m in
+      if
+        (v.count = before && Atomic.get m.observations = before) || tries >= 8
+      then v
+      else go (tries + 1)
+    in
+    go 0
+
+let snapshot ?(consistent = false) () =
+  let read = if consistent then consistent_view_of else view_of in
   with_registry (fun () ->
-      Hashtbl.fold
-        (fun _ (m : t) acc ->
-          {
-            name = m.name;
-            labels = m.labels;
-            kind = m.kind;
-            value = Atomic.get m.value;
-            count = Atomic.get m.observations;
-            buckets = bucket_counts m;
-          }
-          :: acc)
-        registry [])
+      Hashtbl.fold (fun _ (m : t) acc -> read m :: acc) registry [])
   |> List.sort (fun a b ->
          match compare a.name b.name with
          | 0 -> compare a.labels b.labels

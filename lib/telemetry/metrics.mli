@@ -13,7 +13,8 @@
     mutex-guarded, and every cell is an [Atomic.t] (float adds use a
     CAS retry loop), so concurrent {!incr}/{!add}/{!observe} never lose
     updates. Reads are lock-free and see a consistent per-cell value;
-    {!snapshot} is not a point-in-time cut across metrics.
+    {!snapshot} is not a point-in-time cut across metrics (its
+    [~consistent] flag makes each histogram internally coherent).
 
     A metric's identity is its name plus its (sorted) label set:
     [counter "core.allocations" ~labels:[("policy", "random")]] and the
@@ -73,8 +74,14 @@ type view = {
   buckets : (float * int) list;
 }
 
-val snapshot : unit -> view list
-(** Every registered metric, sorted by name then labels. *)
+val snapshot : ?consistent:bool -> unit -> view list
+(** Every registered metric, sorted by name then labels. The default
+    read is lock-free per cell but not a point-in-time cut: a
+    histogram's sum, count and buckets are separate atomics, so a
+    concurrent observe can land between them. [~consistent:true]
+    re-reads each histogram until its observation count is stable
+    across the whole view (bounded retries), so exported series are
+    internally coherent — the exporters use this. *)
 
 val find : ?labels:(string * string) list -> string -> t option
 

@@ -1,0 +1,228 @@
+type sample = {
+  sample_name : string;
+  sample_labels : (string * string) list;
+  sample_value : float;
+}
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = ':'
+
+let metric_name name =
+  let buf = Buffer.create (String.length name + 1) in
+  String.iteri
+    (fun i c ->
+      if i = 0 && c >= '0' && c <= '9' then Buffer.add_char buf '_';
+      Buffer.add_char buf (if is_name_char c then c else '_'))
+    name;
+  Buffer.contents buf
+
+(* Same emission policy as Json.add_num so finite values round-trip
+   exactly, but with Prometheus's spellings for the non-finite ones. *)
+let value_string x =
+  if Float.is_nan x then "NaN"
+  else if x = infinity then "+Inf"
+  else if x = neg_infinity then "-Inf"
+  else if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.17g" x
+
+let escape_label_value v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let label_block labels =
+  if labels = [] then ""
+  else
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) ->
+             Printf.sprintf "%s=\"%s\"" (metric_name k) (escape_label_value v))
+           labels)
+    ^ "}"
+
+let add_sample buf name labels value =
+  Buffer.add_string buf name;
+  Buffer.add_string buf (label_block labels);
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (value_string value);
+  Buffer.add_char buf '\n'
+
+let type_string = function
+  | Metrics.Counter -> "counter"
+  | Metrics.Gauge -> "gauge"
+  | Metrics.Histogram -> "histogram"
+
+let add_view buf (v : Metrics.view) =
+  let name = metric_name v.name in
+  match v.kind with
+  | Metrics.Counter | Metrics.Gauge -> add_sample buf name v.labels v.value
+  | Metrics.Histogram ->
+    (* Prometheus buckets are cumulative; ours are per-bucket counts
+       with the overflow bucket last as (infinity, n). *)
+    let cumulative = ref 0 in
+    List.iter
+      (fun (ub, n) ->
+        cumulative := !cumulative + n;
+        let le =
+          if Float.is_finite ub then value_string ub else "+Inf"
+        in
+        add_sample buf (name ^ "_bucket")
+          (v.labels @ [ ("le", le) ])
+          (float_of_int !cumulative))
+      v.buckets;
+    add_sample buf (name ^ "_sum") v.labels v.value;
+    add_sample buf (name ^ "_count") v.labels (float_of_int v.count)
+
+let render views =
+  let buf = Buffer.create 1024 in
+  let last_family = ref "" in
+  List.iter
+    (fun (v : Metrics.view) ->
+      let name = metric_name v.name in
+      (* One TYPE line per family; members differing only in labels
+         share it (views arrive sorted by name). *)
+      if name <> !last_family then begin
+        last_family := name;
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s %s\n" name (type_string v.kind))
+      end;
+      add_view buf v)
+    views;
+  Buffer.contents buf
+
+let render_registry () = render (Metrics.snapshot ~consistent:true ())
+
+(* --- golden parser ---------------------------------------------------- *)
+
+let fail lineno msg =
+  failwith (Printf.sprintf "Prometheus.parse: line %d: %s" lineno msg)
+
+let parse_value lineno text =
+  match text with
+  | "+Inf" -> infinity
+  | "-Inf" -> neg_infinity
+  | "NaN" -> nan
+  | _ -> (
+    match float_of_string_opt text with
+    | Some x -> x
+    | None -> fail lineno ("bad value " ^ text))
+
+(* Label block: comma-separated key=value pairs, values double-quoted
+   with backslash escapes for backslash, quote and newline. *)
+let parse_labels lineno text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let expect c =
+    if peek () = Some c then incr pos
+    else fail lineno (Printf.sprintf "expected %c in label block" c)
+  in
+  let name () =
+    let start = !pos in
+    while !pos < n && is_name_char text.[!pos] do
+      incr pos
+    done;
+    if !pos = start then fail lineno "expected label name";
+    String.sub text start (!pos - start)
+  in
+  let quoted () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail lineno "unterminated label value"
+      | Some '"' -> incr pos
+      | Some '\\' ->
+        incr pos;
+        (match peek () with
+        | Some '\\' -> Buffer.add_char buf '\\'
+        | Some '"' -> Buffer.add_char buf '"'
+        | Some 'n' -> Buffer.add_char buf '\n'
+        | _ -> fail lineno "bad escape in label value");
+        incr pos;
+        go ()
+      | Some c ->
+        Buffer.add_char buf c;
+        incr pos;
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let rec pairs acc =
+    let k = name () in
+    expect '=';
+    let v = quoted () in
+    match peek () with
+    | Some ',' ->
+      incr pos;
+      pairs ((k, v) :: acc)
+    | Some '}' ->
+      incr pos;
+      if !pos <> n then fail lineno "trailing input after label block";
+      List.rev ((k, v) :: acc)
+    | _ -> fail lineno "expected , or } in label block"
+  in
+  expect '{';
+  if peek () = Some '}' then []
+  else pairs []
+
+let parse_line lineno line =
+  match String.index_opt line ' ' with
+  | None -> fail lineno "expected 'name value'"
+  | Some _ ->
+    (* The name may carry a label block containing spaces inside quoted
+       values; split at the first space outside quotes instead. *)
+    let n = String.length line in
+    let rec split i in_quotes =
+      if i >= n then fail lineno "expected 'name value'"
+      else
+        match line.[i] with
+        | '"' -> split (i + 1) (not in_quotes)
+        | '\\' when in_quotes -> split (i + 2) in_quotes
+        | ' ' when not in_quotes -> i
+        | _ -> split (i + 1) in_quotes
+    in
+    let cut = split 0 false in
+    let head = String.sub line 0 cut in
+    let value =
+      String.trim (String.sub line (cut + 1) (n - cut - 1))
+    in
+    let name, labels =
+      match String.index_opt head '{' with
+      | None ->
+        if head = "" || not (String.for_all is_name_char head) then
+          fail lineno ("bad metric name " ^ head);
+        (head, [])
+      | Some brace ->
+        let name = String.sub head 0 brace in
+        if name = "" || not (String.for_all is_name_char name) then
+          fail lineno ("bad metric name " ^ name);
+        ( name,
+          parse_labels lineno
+            (String.sub head brace (String.length head - brace)) )
+    in
+    {
+      sample_name = name;
+      sample_labels = List.sort (fun (a, _) (b, _) -> compare a b) labels;
+      sample_value = parse_value lineno value;
+    }
+
+let parse text =
+  String.split_on_char '\n' text
+  |> List.mapi (fun i line -> (i + 1, line))
+  |> List.filter_map (fun (lineno, line) ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else Some (parse_line lineno line))

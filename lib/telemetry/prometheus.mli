@@ -1,0 +1,39 @@
+(** Prometheus text exposition (format version 0.0.4) over
+    {!Metrics.view} lists.
+
+    Pure functions: render a registry snapshot to the scrapeable text
+    format, and parse that format back into samples for validation.
+    Metric names are sanitized ([.] and other illegal characters become
+    [_]); each histogram becomes the conventional
+    [_bucket{le="..."}] / [_sum] / [_count] family with cumulative
+    bucket counts and an explicit [le="+Inf"] bucket.
+
+    The parser accepts exactly what the renderer emits (plus blank
+    lines and arbitrary comments) — it is the golden check that an
+    exposition round-trips, used by the tests and [rmctl check-export],
+    not a general Prometheus client. *)
+
+type sample = {
+  sample_name : string;  (** sanitized, with any [_bucket]/[_sum]/[_count] suffix *)
+  sample_labels : (string * string) list;  (** sorted by key *)
+  sample_value : float;
+}
+
+val metric_name : string -> string
+(** Sanitize to [[a-zA-Z_:][a-zA-Z0-9_:]*]: every other character
+    (notably the [.] separating registry components) becomes [_]; a
+    leading digit gets a [_] prefix. *)
+
+val render : Metrics.view list -> string
+(** One [# TYPE] comment per metric family followed by its samples,
+    families in snapshot order. Counters and gauges are one sample
+    each; histograms follow the [_bucket]/[_sum]/[_count] convention.
+    Finite values round-trip exactly; infinities render as [+Inf] /
+    [-Inf] and NaN as [NaN]. *)
+
+val render_registry : unit -> string
+(** [render (Metrics.snapshot ~consistent:true ())]. *)
+
+val parse : string -> sample list
+(** Samples in file order, comments and blank lines skipped. Raises
+    [Failure] with a line number on anything malformed. *)

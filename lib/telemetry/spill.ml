@@ -1,0 +1,126 @@
+type t = {
+  dir : string;
+  events_per_segment : int;
+  max_segments : int;
+  mutable oc : out_channel option;  (** open segment; None after close *)
+  mutable current_path : string;
+  mutable current_events : int;
+  mutable next_index : int;
+  mutable live : string list;  (** closed + open segment paths, oldest first *)
+  mutable closed : bool;
+}
+
+let segment_prefix = "trace-"
+let segment_suffix = ".jsonl"
+
+let is_segment name =
+  String.length name > String.length segment_prefix + String.length segment_suffix
+  && String.sub name 0 (String.length segment_prefix) = segment_prefix
+  && Filename.check_suffix name segment_suffix
+
+let segment_files dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter is_segment
+    |> List.sort compare  (* zero-padded indices: lexicographic = numeric *)
+    |> List.map (Filename.concat dir)
+
+let segment_path dir index =
+  Filename.concat dir (Printf.sprintf "%s%06d%s" segment_prefix index segment_suffix)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
+  end
+
+let open_segment t =
+  let path = segment_path t.dir t.next_index in
+  t.next_index <- t.next_index + 1;
+  t.oc <- Some (open_out path);
+  t.current_path <- path;
+  t.current_events <- 0;
+  t.live <- t.live @ [ path ];
+  (* Newest-N retention: drop oldest segments beyond the cap. *)
+  let excess = List.length t.live - t.max_segments in
+  if excess > 0 then begin
+    let rec split n = function
+      | x :: rest when n > 0 ->
+        let dropped, kept = split (n - 1) rest in
+        (x :: dropped, kept)
+      | rest -> ([], rest)
+    in
+    let dropped, kept = split excess t.live in
+    List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) dropped;
+    t.live <- kept
+  end
+
+let create ?(events_per_segment = 65536) ?(max_segments = 8) ~dir () =
+  if events_per_segment <= 0 then
+    invalid_arg "Spill.create: events_per_segment must be positive";
+  if max_segments <= 0 then
+    invalid_arg "Spill.create: max_segments must be positive";
+  mkdir_p dir;
+  List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) (segment_files dir);
+  let t =
+    {
+      dir;
+      events_per_segment;
+      max_segments;
+      oc = None;
+      current_path = "";
+      current_events = 0;
+      next_index = 0;
+      live = [];
+      closed = false;
+    }
+  in
+  open_segment t;
+  t
+
+let rotate t =
+  (match t.oc with
+  | Some oc ->
+    flush oc;
+    close_out oc;
+    t.oc <- None
+  | None -> ());
+  open_segment t
+
+let append t e =
+  if t.closed then invalid_arg "Spill.append: sink is closed";
+  if t.current_events >= t.events_per_segment then rotate t;
+  match t.oc with
+  | None -> assert false
+  | Some oc ->
+    output_string oc (Json.to_string (Trace.event_to_json e));
+    output_char oc '\n';
+    t.current_events <- t.current_events + 1
+
+let flush t = match t.oc with Some oc -> flush oc | None -> ()
+
+let close t =
+  if not t.closed then begin
+    (match t.oc with
+    | Some oc ->
+      flush t;
+      close_out oc;
+      t.oc <- None
+    | None -> ());
+    t.closed <- true
+  end
+
+let segments t = t.live
+
+let install t = Trace.set_sink (Some (append t))
+let uninstall () = Trace.set_sink None
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  Trace.of_jsonl text
+
+let read_dir dir = List.concat_map read_file (segment_files dir)

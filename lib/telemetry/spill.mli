@@ -1,0 +1,51 @@
+(** Bounded spill-to-disk sink for the tracer: size-capped JSONL
+    segment files with newest-N retention, so long simulations no
+    longer truncate at the in-memory ring's capacity.
+
+    A sink owns a directory and writes events to numbered segment
+    files ([trace-000000.jsonl], [trace-000001.jsonl], ...), one JSON
+    object per line in {!Trace.to_jsonl} format. When a segment
+    reaches [events_per_segment] events it is closed and a new one
+    starts; when more than [max_segments] exist the oldest files are
+    deleted, so the directory holds at most
+    [max_segments * events_per_segment] events — the newest ones, a
+    much longer tail than the ring, at a hard disk-space bound.
+
+    {!install} wires the sink into {!Trace.set_sink}; from then on
+    every emitted event lands in both the ring and the segments. The
+    sink itself never checks {!Runtime.is_enabled} — gating happens at
+    the recording call sites, so an installed sink on a disabled
+    runtime costs nothing. *)
+
+type t
+
+val create :
+  ?events_per_segment:int -> ?max_segments:int -> dir:string -> unit -> t
+(** Opens a sink over [dir] (created if missing). Pre-existing
+    [trace-*.jsonl] files in [dir] are deleted so a run's segments are
+    self-consistent. [events_per_segment] defaults to 65536,
+    [max_segments] to 8; both must be positive. *)
+
+val append : t -> Trace.event -> unit
+(** Write one event, rotating and pruning as needed. Raises
+    [Invalid_argument] on a closed sink. *)
+
+val flush : t -> unit
+
+val close : t -> unit
+(** Flush and close the current segment. Idempotent. Appending after
+    close raises. *)
+
+val segments : t -> string list
+(** Paths of live segment files, oldest first (the open one last). *)
+
+val install : t -> unit
+(** [Trace.set_sink (Some (append t))]. *)
+
+val uninstall : unit -> unit
+(** [Trace.set_sink None]. *)
+
+val read_dir : string -> Trace.event list
+(** Read every [trace-*.jsonl] segment in [dir] in segment order and
+    concatenate the events — the spill counterpart of
+    {!Trace.events}. Raises [Failure] on malformed segment contents. *)

@@ -43,8 +43,18 @@ let push e =
   next := (!next + 1) mod !capacity;
   if !count < !capacity then incr count
 
+(* An optional tap on the event stream (the spill-to-disk sink): every
+   emitted event is offered to the sink as well as the ring, so a long
+   simulation keeps its full history on disk while the ring stays a
+   cheap in-memory tail. *)
+let sink : (event -> unit) option ref = ref None
+
+let set_sink f = sink := f
+
 let emit ~time ~name ~kind ~attrs =
-  push { seq = !seq; time; name; kind; depth = !depth; attrs };
+  let e = { seq = !seq; time; name; kind; depth = !depth; attrs } in
+  push e;
+  (match !sink with Some f -> f e | None -> ());
   incr seq
 
 let instant ~time ?(attrs = []) name =
@@ -77,24 +87,49 @@ let length () = !count
 
 let kind_letter = function Span_begin -> "B" | Span_end -> "E" | Instant -> "I"
 
+let kind_of_letter = function
+  | "B" -> Span_begin
+  | "E" -> Span_end
+  | "I" -> Instant
+  | other -> failwith ("Trace.kind_of_letter: unknown kind " ^ other)
+
+let event_to_json e =
+  Json.Obj
+    [
+      ("seq", Json.Num (float_of_int e.seq));
+      ("t", Json.Num e.time);
+      ("name", Json.Str e.name);
+      ("kind", Json.Str (kind_letter e.kind));
+      ("depth", Json.Num (float_of_int e.depth));
+      ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) e.attrs));
+    ]
+
+let event_of_json j =
+  {
+    seq = Json.to_int (Json.member "seq" j);
+    time = Json.to_float (Json.member "t" j);
+    name = Json.to_str (Json.member "name" j);
+    kind = kind_of_letter (Json.to_str (Json.member "kind" j));
+    depth = Json.to_int (Json.member "depth" j);
+    attrs =
+      (match Json.member "attrs" j with
+      | Json.Obj fields -> List.map (fun (k, v) -> (k, Json.to_str v)) fields
+      | _ -> failwith "Trace.event_of_json: attrs not an object");
+  }
+
 let to_jsonl () =
   let buf = Buffer.create 1024 in
   List.iter
     (fun e ->
-      Buffer.add_string buf
-        (Json.to_string
-           (Json.Obj
-              [
-                ("seq", Json.Num (float_of_int e.seq));
-                ("t", Json.Num e.time);
-                ("name", Json.Str e.name);
-                ("kind", Json.Str (kind_letter e.kind));
-                ("depth", Json.Num (float_of_int e.depth));
-                ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) e.attrs));
-              ]));
+      Buffer.add_string buf (Json.to_string (event_to_json e));
       Buffer.add_char buf '\n')
     (events ());
   Buffer.contents buf
+
+let of_jsonl text =
+  String.split_on_char '\n' text
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.map (fun l -> event_of_json (Json.of_string l))
 
 let to_csv () =
   let buf = Buffer.create 1024 in

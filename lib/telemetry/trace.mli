@@ -45,9 +45,23 @@ val set_capacity : int -> unit
 (** Resize the ring buffer, discarding current contents. Requires a
     positive capacity. Default 4096. *)
 
+val set_sink : (event -> unit) option -> unit
+(** Install (or clear) a tap that receives every emitted event in
+    addition to the ring — the hook {!Spill} uses to keep the full
+    history of a long simulation on disk while the ring holds only the
+    newest [capacity] events. The sink must not record events itself
+    (it would recurse). *)
+
 val to_jsonl : unit -> string
 (** One JSON object per line:
     [{"seq":..,"t":..,"name":..,"kind":"B|E|I","depth":..,"attrs":{..}}]. *)
+
+val of_jsonl : string -> event list
+(** Parse {!to_jsonl} output (blank lines skipped). Raises [Failure]
+    on malformed input. *)
+
+val event_to_json : event -> Json.t
+val event_of_json : Json.t -> event
 
 val to_csv : unit -> string
 (** Header [seq,time,kind,depth,name,attrs]; attrs rendered as

@@ -1,0 +1,67 @@
+let pid = 1
+
+let component_of (e : Trace.event) =
+  match String.index_opt e.name '.' with
+  | Some i -> String.sub e.name 0 i
+  | None -> e.name
+
+let components events =
+  List.fold_left
+    (fun acc e ->
+      let c = component_of e in
+      if List.mem c acc then acc else c :: acc)
+    [] events
+  |> List.rev
+
+let phase (e : Trace.event) =
+  match e.kind with
+  | Trace.Span_begin -> "B"
+  | Trace.Span_end -> "E"
+  | Trace.Instant -> "i"
+
+let thread_name_record ~tid name =
+  Json.Obj
+    [
+      ("name", Json.Str "thread_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Num (float_of_int pid));
+      ("tid", Json.Num (float_of_int tid));
+      ("args", Json.Obj [ ("name", Json.Str name) ]);
+    ]
+
+let event_record ~tid (e : Trace.event) =
+  let base =
+    [
+      ("name", Json.Str e.name);
+      ("ph", Json.Str (phase e));
+      ("ts", Json.Num (e.time *. 1e6));
+      ("pid", Json.Num (float_of_int pid));
+      ("tid", Json.Num (float_of_int tid));
+    ]
+  in
+  let scope =
+    match e.kind with Trace.Instant -> [ ("s", Json.Str "t") ] | _ -> []
+  in
+  let args =
+    ("seq", Json.Num (float_of_int e.seq))
+    :: List.map (fun (k, v) -> (k, Json.Str v)) e.attrs
+  in
+  Json.Obj (base @ scope @ [ ("args", Json.Obj args) ])
+
+let to_json events =
+  let lanes = components events in
+  let tid_of c =
+    let rec find i = function
+      | [] -> 1
+      | x :: _ when x = c -> i
+      | _ :: rest -> find (i + 1) rest
+    in
+    find 1 lanes
+  in
+  Json.Arr
+    (List.mapi (fun i c -> thread_name_record ~tid:(i + 1) c) lanes
+    @ List.map (fun e -> event_record ~tid:(tid_of (component_of e)) e) events)
+
+let to_string events = Json.to_string (to_json events) ^ "\n"
+
+let export_buffer () = to_string (Trace.events ())

@@ -1,0 +1,31 @@
+(** Chrome [trace_event] JSON export for {!Trace} events, so any
+    simulation trace opens in Perfetto / [chrome://tracing].
+
+    The export is a pure function over an event list. Virtual time maps
+    to the format's microsecond [ts] ([ts = time * 1e6]); every event
+    shares one [pid] (the simulated resource manager) and is laned into
+    a [tid] per component, where an event's component is its name up to
+    the first ['.'] ([sched.job] → [sched]). A [thread_name] metadata
+    record per component makes the lanes readable in the UI.
+
+    Span begin/end become phase ["B"]/["E"]; instants become phase
+    ["i"] with thread scope. Event attrs are carried in [args], plus
+    the global [seq] so truncation stays detectable after export. *)
+
+val pid : int
+(** The single process id used for all lanes (1). *)
+
+val components : Trace.event list -> string list
+(** Distinct components in first-appearance order — the lane (tid)
+    assignment: component [i] gets [tid = i + 1]. *)
+
+val to_json : Trace.event list -> Json.t
+(** A JSON array: one [thread_name] metadata object per component
+    followed by one object per event with fields
+    [name]/[ph]/[ts]/[pid]/[tid]/[args]. *)
+
+val to_string : Trace.event list -> string
+(** [Json.to_string] of {!to_json} plus a trailing newline. *)
+
+val export_buffer : unit -> string
+(** {!to_string} of the current ring contents ([Trace.events ()]). *)

@@ -475,6 +475,91 @@ let test_scheduler_submit_past_rejected () =
     (Invalid_argument "Scheduler.submit: time in the past") (fun () ->
       ignore (submit_ring sched ~name:"x" ~at:10.0 ~procs:4))
 
+(* --- Scheduler SLO views ------------------------------------------------ *)
+
+module Slo = Rm_sched.Slo
+module Descriptive = Rm_stats.Descriptive
+module Timeseries = Rm_stats.Timeseries
+
+(* A histogram estimate can only be off by the width of the bucket the
+   rank lands in; check the interpolation against the exact sample
+   percentile under that tolerance. *)
+let test_slo_percentile_sanity () =
+  let samples = Array.init 100 (fun i -> float_of_int i +. 0.5) in
+  let bounds = List.init 10 (fun i -> float_of_int ((i + 1) * 10)) in
+  let buckets =
+    List.map
+      (fun ub ->
+        ( ub,
+          Array.to_list samples
+          |> List.filter (fun x -> x <= ub && x > ub -. 10.0)
+          |> List.length ))
+      bounds
+    @ [ (infinity, 0) ]
+  in
+  List.iter
+    (fun p ->
+      let exact = Descriptive.percentile samples ~p in
+      let estimate = Slo.percentile_of_buckets buckets ~p in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%.0f estimate %.1f within a bucket of exact %.1f" p
+           estimate exact)
+        true
+        (Float.abs (estimate -. exact) <= 10.0))
+    [ 50.0; 90.0; 99.0 ]
+
+let test_slo_percentile_edges () =
+  (* A rank landing in the overflow bucket clamps to the last finite
+     bound — the histogram cannot see past it. *)
+  Alcotest.(check (float 1e-9))
+    "overflow clamps" 1.0
+    (Slo.percentile_of_buckets [ (1.0, 1); (infinity, 9) ] ~p:99.0);
+  Alcotest.check_raises "empty histogram"
+    (Invalid_argument "Slo.percentile_of_buckets: empty histogram") (fun () ->
+      ignore (Slo.percentile_of_buckets [ (1.0, 0); (infinity, 0) ] ~p:50.0));
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Slo.percentile_of_buckets: p out of [0, 100]") (fun () ->
+      ignore (Slo.percentile_of_buckets [ (1.0, 1) ] ~p:101.0))
+
+let test_queue_depth_series_sampled () =
+  let sim, _world, sched = sched_setup () in
+  ignore (submit_ring sched ~name:"a" ~at:1000.0 ~procs:8);
+  ignore (submit_ring sched ~name:"b" ~at:1000.0 ~procs:8);
+  Sim.run_until sim 30_000.0;
+  let depths = Timeseries.values (Scheduler.queue_depth_series sched) in
+  Alcotest.(check bool) "series non-empty" true (Array.length depths > 0);
+  (* Two simultaneous submissions with a dispatch gap: the second job
+     must have been observed waiting at least once. *)
+  Alcotest.(check bool) "depth 1 observed" true
+    (Array.exists (fun d -> d >= 1.0) depths);
+  Alcotest.(check (float 1e-9)) "drains to zero" 0.0
+    depths.(Array.length depths - 1)
+
+let test_slo_report () =
+  Rm_telemetry.Runtime.enable ();
+  Rm_telemetry.Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Rm_telemetry.Runtime.disable ();
+      Rm_telemetry.Metrics.reset ())
+    (fun () ->
+      let sim, _world, sched = sched_setup () in
+      ignore (submit_ring sched ~name:"a" ~at:1000.0 ~procs:8);
+      ignore (submit_ring sched ~name:"b" ~at:1000.0 ~procs:8);
+      Sim.run_until sim 30_000.0;
+      let r = Slo.report ~sched ~policy:"test" in
+      Alcotest.(check int) "jobs" 2 r.Slo.jobs_finished;
+      Alcotest.(check bool) "percentiles ordered" true
+        (r.Slo.wait.Slo.p50 <= r.Slo.wait.Slo.p90
+        && r.Slo.wait.Slo.p90 <= r.Slo.wait.Slo.p99);
+      Alcotest.(check bool) "saw the queue" true (r.Slo.max_queue_depth >= 1);
+      let rendered = Slo.render [ r ] in
+      Alcotest.(check bool) "render mentions policy" true
+        (let hay = rendered and needle = "test" in
+         let h = String.length hay and n = String.length needle in
+         let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+         go 0))
+
 let suites =
   [
     ( "world.jobs",
@@ -512,6 +597,16 @@ let suites =
       ] );
     ( "core.hierarchical.props",
       [ qcheck prop_hierarchical_covers ] );
+    ( "sched.slo",
+      [
+        Alcotest.test_case "percentile sanity vs descriptive" `Quick
+          test_slo_percentile_sanity;
+        Alcotest.test_case "percentile edge cases" `Quick
+          test_slo_percentile_edges;
+        Alcotest.test_case "queue depth series sampled" `Quick
+          test_queue_depth_series_sampled;
+        Alcotest.test_case "full report from a run" `Quick test_slo_report;
+      ] );
     ( "sched.scheduler",
       [
         Alcotest.test_case "runs one job" `Quick test_scheduler_runs_one_job;

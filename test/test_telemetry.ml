@@ -436,6 +436,253 @@ let prop_json_float_roundtrip =
       | Json.Num f' -> Float.equal f f' || (f = 0.0 && f' = 0.0)
       | _ -> false)
 
+(* --- Prometheus exposition -------------------------------------------- *)
+
+module Prometheus = Telemetry.Prometheus
+
+(* The registry keeps handles registered across resets, so exposition
+   tests render hand-filtered views rather than the whole snapshot. *)
+let prom_views prefix =
+  List.filter
+    (fun (v : Metrics.view) ->
+      String.length v.Metrics.name >= String.length prefix
+      && String.sub v.Metrics.name 0 (String.length prefix) = prefix)
+    (Metrics.snapshot ~consistent:true ())
+
+let test_prometheus_golden () =
+  with_telemetry (fun () ->
+      let c = Metrics.counter "t.prom.hits" in
+      Metrics.add c 3.0;
+      let g = Metrics.gauge ~labels:[ ("policy", "net-aware") ] "t.prom.load" in
+      Metrics.set g 2.5;
+      let h = Metrics.histogram ~buckets:[| 1.0; 10.0 |] "t.prom.wait" in
+      List.iter (Metrics.observe h) [ 0.5; 5.0; 50.0 ];
+      let golden =
+        "# TYPE t_prom_hits counter\n\
+         t_prom_hits 3\n\
+         # TYPE t_prom_load gauge\n\
+         t_prom_load{policy=\"net-aware\"} 2.5\n\
+         # TYPE t_prom_wait histogram\n\
+         t_prom_wait_bucket{le=\"1\"} 1\n\
+         t_prom_wait_bucket{le=\"10\"} 2\n\
+         t_prom_wait_bucket{le=\"+Inf\"} 3\n\
+         t_prom_wait_sum 55.5\n\
+         t_prom_wait_count 3\n"
+      in
+      Alcotest.(check string)
+        "exposition matches golden" golden
+        (Prometheus.render (prom_views "t.prom.")))
+
+let test_prometheus_parse_roundtrip () =
+  with_telemetry (fun () ->
+      let c = Metrics.counter ~labels:[ ("app", "minimd") ] "t.promrt.runs" in
+      Metrics.add c 7.0;
+      let h = Metrics.histogram ~buckets:[| 0.5 |] "t.promrt.wait" in
+      Metrics.observe h 0.25;
+      let samples = Prometheus.parse (Prometheus.render (prom_views "t.promrt.")) in
+      Alcotest.(check int) "sample count" 5 (List.length samples)
+        (* 1 counter + 2 buckets + sum + count *);
+      let find name =
+        List.find (fun s -> s.Prometheus.sample_name = name) samples
+      in
+      check_float "counter value" 7.0 (find "t_promrt_runs").Prometheus.sample_value;
+      Alcotest.(check (list (pair string string)))
+        "counter labels" [ ("app", "minimd") ]
+        (find "t_promrt_runs").Prometheus.sample_labels;
+      check_float "inf bucket cumulative" 1.0
+        (List.find
+           (fun s ->
+             s.Prometheus.sample_name = "t_promrt_wait_bucket"
+             && s.Prometheus.sample_labels = [ ("le", "+Inf") ])
+           samples)
+          .Prometheus.sample_value)
+
+let test_prometheus_label_escaping () =
+  with_telemetry (fun () ->
+      let tricky = "a\\b\"c\nd" in
+      let g = Metrics.gauge ~labels:[ ("path", tricky) ] "t.promesc.g" in
+      Metrics.set g 1.0;
+      match Prometheus.parse (Prometheus.render (prom_views "t.promesc.")) with
+      | [ s ] ->
+        Alcotest.(check (list (pair string string)))
+          "escaped label round-trips" [ ("path", tricky) ]
+          s.Prometheus.sample_labels
+      | samples -> Alcotest.failf "expected 1 sample, got %d" (List.length samples))
+
+let test_prometheus_name_sanitization () =
+  Alcotest.(check string) "dots" "sched_dispatch_wait_s"
+    (Prometheus.metric_name "sched.dispatch_wait_s");
+  Alcotest.(check string) "leading digit" "_5xx_total"
+    (Prometheus.metric_name "5xx-total")
+
+let test_consistent_snapshot_quiescent () =
+  with_telemetry (fun () ->
+      let h = Metrics.histogram ~buckets:[| 1.0 |] "t.consist.h" in
+      List.iter (Metrics.observe h) [ 0.5; 2.0 ];
+      let plain = prom_views "t.consist." in
+      Runtime.enable ();
+      let consistent =
+        List.filter
+          (fun (v : Metrics.view) ->
+            String.length v.Metrics.name >= 10
+            && String.sub v.Metrics.name 0 10 = "t.consist.")
+          (Metrics.snapshot ~consistent:true ())
+      in
+      Alcotest.(check bool) "quiescent views agree" true (plain = consistent);
+      List.iter
+        (fun (v : Metrics.view) ->
+          let bucket_total =
+            List.fold_left (fun acc (_, n) -> acc + n) 0 v.Metrics.buckets
+          in
+          Alcotest.(check int) "buckets sum to count" v.Metrics.count
+            bucket_total)
+        consistent)
+
+(* --- Chrome trace_event export ----------------------------------------- *)
+
+module Trace_event = Telemetry.Trace_event
+
+let test_trace_event_export () =
+  with_telemetry (fun () ->
+      let s = Trace.span_begin ~time:1.0 ~attrs:[ ("job", "j1") ] "sched.job" in
+      Trace.instant ~time:1.5 "alloc.pick";
+      Trace.span_end ~time:2.0 s;
+      let str field j = Json.(to_str (member field j)) in
+      let num field j = Json.(to_float (member field j)) in
+      match Json.of_string (String.trim (Trace_event.export_buffer ())) with
+      | Json.Arr [ m1; m2; b; i; e ] ->
+        (* Two components, metadata lanes first. *)
+        Alcotest.(check string) "metadata phase" "M" (str "ph" m1);
+        Alcotest.(check string) "lane 1 names sched" "sched"
+          (str "name" (Json.member "args" m1));
+        Alcotest.(check string) "lane 2 names alloc" "alloc"
+          (str "name" (Json.member "args" m2));
+        (* Span begin. *)
+        Alcotest.(check string) "begin name" "sched.job" (str "name" b);
+        Alcotest.(check string) "begin phase" "B" (str "ph" b);
+        check_float "ts is microseconds" 1e6 (num "ts" b);
+        Alcotest.(check int) "pid" Trace_event.pid
+          (int_of_float (num "pid" b));
+        Alcotest.(check int) "sched lane" 1 (int_of_float (num "tid" b));
+        Alcotest.(check string) "attr carried" "j1"
+          (str "job" (Json.member "args" b));
+        (* Instant. *)
+        Alcotest.(check string) "instant phase" "i" (str "ph" i);
+        Alcotest.(check string) "instant scope" "t" (str "s" i);
+        Alcotest.(check int) "alloc lane" 2 (int_of_float (num "tid" i));
+        check_float "instant ts" 1.5e6 (num "ts" i);
+        (* Span end. *)
+        Alcotest.(check string) "end phase" "E" (str "ph" e);
+        check_float "end ts" 2e6 (num "ts" e)
+      | Json.Arr entries ->
+        Alcotest.failf "expected 5 records, got %d" (List.length entries)
+      | _ -> Alcotest.fail "export is not a JSON array")
+
+let test_trace_event_lane_assignment () =
+  with_telemetry (fun () ->
+      Trace.instant ~time:1.0 "mon.probe";
+      Trace.instant ~time:2.0 "sched.tick";
+      Trace.instant ~time:3.0 "mon.sweep";
+      Alcotest.(check (list string))
+        "components in first-appearance order" [ "mon"; "sched" ]
+        (Trace_event.components (Trace.events ())))
+
+(* --- Spill-to-disk sink ------------------------------------------------ *)
+
+module Spill = Telemetry.Spill
+
+let fresh_spill_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rm-spill-test-%d-%d" !counter (Hashtbl.hash Sys.argv))
+
+let rm_rf_dir dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let with_spill_dir f =
+  let dir = fresh_spill_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf_dir dir) (fun () -> f dir)
+
+let test_spill_mirrors_ring () =
+  with_telemetry (fun () ->
+      with_spill_dir (fun dir ->
+          let spill = Spill.create ~events_per_segment:8 ~dir () in
+          Spill.install spill;
+          Fun.protect
+            ~finally:(fun () -> Spill.uninstall ())
+            (fun () ->
+              for i = 0 to 19 do
+                Trace.instant ~time:(float_of_int i)
+                  ~attrs:[ ("i", string_of_int i) ]
+                  "spill.e"
+              done;
+              Spill.close spill;
+              Alcotest.(check int) "three segments" 3
+                (List.length (Spill.segments spill));
+              Alcotest.(check bool) "disk equals ring" true
+                (Spill.read_dir dir = Trace.events ()))))
+
+let synthetic_event i =
+  {
+    Trace.seq = i;
+    time = float_of_int i *. 0.5;
+    name = "syn.e";
+    kind = Trace.Instant;
+    depth = 0;
+    attrs = [ ("i", string_of_int i) ];
+  }
+
+let test_spill_retention () =
+  with_spill_dir (fun dir ->
+      let spill = Spill.create ~events_per_segment:4 ~max_segments:2 ~dir () in
+      for i = 0 to 19 do
+        Spill.append spill (synthetic_event i)
+      done;
+      Spill.close spill;
+      Alcotest.(check bool) "at most 2 segments" true
+        (List.length (Spill.segments spill) <= 2);
+      Alcotest.(check (list int))
+        "newest events survive"
+        [ 12; 13; 14; 15; 16; 17; 18; 19 ]
+        (List.map (fun (e : Trace.event) -> e.Trace.seq) (Spill.read_dir dir));
+      match Spill.append spill (synthetic_event 20) with
+      | () -> Alcotest.fail "append after close should raise"
+      | exception Invalid_argument _ -> ())
+
+let arbitrary_trace_event : Trace.event QCheck.arbitrary =
+  let open QCheck.Gen in
+  let printable_str = string_size ~gen:printable (int_bound 12) in
+  let gen =
+    map
+      (fun ((seq, time, name), (kind, depth, attrs)) ->
+        { Trace.seq; time; name; kind; depth; attrs })
+      (pair
+         (triple (int_bound 100_000) (float_range (-1e6) 1e6) printable_str)
+         (triple
+            (oneofl [ Trace.Span_begin; Trace.Span_end; Trace.Instant ])
+            (int_bound 16)
+            (list_size (int_bound 3) (pair printable_str printable_str))))
+  in
+  QCheck.make ~print:(fun e -> Json.to_string (Trace.event_to_json e)) gen
+
+let prop_spill_roundtrip =
+  QCheck.Test.make ~count:50 ~name:"spill segments round-trip any event list"
+    QCheck.(list_of_size (QCheck.Gen.int_bound 40) arbitrary_trace_event)
+    (fun events ->
+      with_spill_dir (fun dir ->
+          let spill = Spill.create ~events_per_segment:7 ~dir () in
+          List.iter (Spill.append spill) events;
+          Spill.close spill;
+          Spill.read_dir dir = events))
+
 (* ----------------------------------------------------------------------- *)
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
@@ -491,4 +738,27 @@ let suites =
           test_json_nonfinite_is_null;
       ]
       @ qsuite [ prop_json_float_roundtrip ] );
+    ( "telemetry.prometheus",
+      [
+        Alcotest.test_case "golden exposition" `Quick test_prometheus_golden;
+        Alcotest.test_case "parse round-trip" `Quick
+          test_prometheus_parse_roundtrip;
+        Alcotest.test_case "label escaping" `Quick test_prometheus_label_escaping;
+        Alcotest.test_case "name sanitization" `Quick
+          test_prometheus_name_sanitization;
+        Alcotest.test_case "consistent snapshot" `Quick
+          test_consistent_snapshot_quiescent;
+      ] );
+    ( "telemetry.trace_event",
+      [
+        Alcotest.test_case "chrome export fields" `Quick test_trace_event_export;
+        Alcotest.test_case "lane assignment" `Quick
+          test_trace_event_lane_assignment;
+      ] );
+    ( "telemetry.spill",
+      [
+        Alcotest.test_case "mirrors the ring" `Quick test_spill_mirrors_ring;
+        Alcotest.test_case "newest-N retention" `Quick test_spill_retention;
+      ]
+      @ qsuite [ prop_spill_roundtrip ] );
   ]
