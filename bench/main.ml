@@ -487,6 +487,15 @@ let sections : (string * (unit -> string)) list =
       fun () ->
         Experiments.Queue_study.render_interference
           (Experiments.Queue_study.interference ()) );
+    ( "chaos",
+      fun () ->
+        Experiments.Chaos_study.render
+          (Experiments.Chaos_study.run
+             ~job_count:(if !quick then 4 else 10)
+             ~intensities:
+               (if !quick then Experiments.Chaos_study.[ Off; Heavy ]
+                else Experiments.Chaos_study.[ Off; Light; Heavy ])
+             ()) );
     ( "ablation-alpha",
       fun () ->
         Experiments.Ablations.render_alpha_sweep

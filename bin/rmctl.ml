@@ -10,6 +10,7 @@
      rmctl record     [opts]               record a workload trace to CSV
      rmctl replay     [opts]               allocate against a recorded trace
      rmctl sched      JOBS.csv [opts]      run a job file through the scheduler
+     rmctl chaos      [opts]               scheduler vs. a fault plan (node churn, outages)
      rmctl explain    [opts]               audit one allocation decision
      rmctl metrics    [opts]               run a job with telemetry on, dump metrics
      rmctl serve-metrics [opts]            write Prometheus expositions on an interval
@@ -688,6 +689,150 @@ let check_export_cmd =
           non-zero on any failure (used by CI).")
     Term.(const run $ trace_t $ metrics_t)
 
+(* --- chaos ------------------------------------------------------------------- *)
+
+let chaos_cmd =
+  let module Chaos = Rm_experiments.Chaos_study in
+  let module Scheduler = Rm_sched.Scheduler in
+  let run plan_file intensity policy minutes seed jobs check show_log trace_out
+      metrics_out =
+    if trace_out <> None || metrics_out <> None then Telemetry.Runtime.enable ();
+    let cluster = Cluster.iitk_reference () in
+    let warm = System.warm_up_s System.default_cadence in
+    let window = float_of_int minutes *. 60.0 in
+    (* [--minutes] bounds the arrival/fault window; the drain slack lets
+       requeue backoffs and repairs play out so jobs reach a terminal
+       state instead of being cut off mid-recovery. *)
+    let horizon = warm +. window +. 7200.0 in
+    let job_count =
+      match jobs with Some j -> j | None -> max 1 (minutes * 60 / 600)
+    in
+    let plan =
+      match plan_file with
+      | Some file ->
+        let p = Rm_faults.Fault_plan.of_json (read_whole_file file) in
+        Rm_faults.Fault_plan.validate ~cluster p;
+        Some p
+      | None ->
+        Chaos.plan_of_intensity ~cluster ~first_after_s:warm ~seed:(seed + 17)
+          intensity
+    in
+    (match plan with
+    | Some p -> Format.printf "%a@." Rm_faults.Fault_plan.pp p
+    | None -> Format.printf "no faults (intensity off)@.");
+    let sched, injector = Chaos.run_sched ~seed ~job_count ~horizon ?plan ~policy () in
+    let finished = Scheduler.finished sched in
+    List.iter
+      (fun (o : Scheduler.outcome) ->
+        Format.printf "%-12s waited %6.0fs ran %8.2fs on %d nodes, %d requeue(s)@."
+          o.Scheduler.name
+          (o.Scheduler.started_at -. o.Scheduler.submitted_at)
+          (o.Scheduler.finished_at -. o.Scheduler.started_at)
+          (List.length o.Scheduler.nodes) o.Scheduler.requeues)
+      finished;
+    List.iter
+      (fun id ->
+        match Scheduler.state sched id with
+        | Scheduler.Rejected reason ->
+          Format.printf "job %d rejected: %s@." id reason
+        | _ -> ())
+      (Scheduler.rejected sched);
+    (match injector with
+    | Some i when show_log -> Format.printf "@.%a@." Rm_faults.Injector.pp_log i
+    | _ -> ());
+    Format.printf
+      "@.finished %d  rejected %d  requeues %d  wasted %.0f node-s  faults \
+       %d injected / %d recovered@."
+      (List.length finished)
+      (List.length (Scheduler.rejected sched))
+      (Scheduler.requeue_count sched)
+      (Scheduler.wasted_node_seconds sched)
+      (match injector with Some i -> Rm_faults.Injector.injected i | None -> 0)
+      (match injector with Some i -> Rm_faults.Injector.recovered i | None -> 0);
+    (match trace_out with
+    | None -> ()
+    | Some path ->
+      write_file path (Telemetry.Trace_event.export_buffer ());
+      Format.printf "wrote %s@." path);
+    (match metrics_out with
+    | None -> ()
+    | Some path ->
+      write_file path (Telemetry.Prometheus.render_registry ());
+      Format.printf "wrote %s@." path);
+    if check then begin
+      let hung =
+        Scheduler.queued sched @ Scheduler.running sched
+        @ Scheduler.failed sched
+      in
+      if hung <> [] then begin
+        Printf.eprintf "chaos: %d job(s) never reached a terminal state: %s\n%!"
+          (List.length hung)
+          (String.concat ", " (List.map string_of_int hung));
+        exit 1
+      end;
+      Format.printf "chaos: all %d job(s) reached a terminal state@." job_count
+    end
+  in
+  let intensity_arg =
+    let parse s =
+      match Chaos.intensity_of_name s with
+      | Some i -> Ok i
+      | None -> Error (`Msg (Printf.sprintf "unknown intensity %S" s))
+    in
+    Arg.conv (parse, fun ppf i -> Format.fprintf ppf "%s" (Chaos.intensity_name i))
+  in
+  let plan_t =
+    Arg.(value & opt (some file) None
+         & info [ "plan" ] ~docv:"PLAN.json"
+             ~doc:"Fault plan to execute (overrides --intensity).")
+  in
+  let intensity_t =
+    Arg.(value & opt intensity_arg Chaos.Heavy
+         & info [ "intensity" ] ~docv:"LEVEL"
+             ~doc:"Built-in plan when no --plan: off, light or heavy.")
+  in
+  let minutes_t =
+    Arg.(value & opt int 30
+         & info [ "minutes" ] ~docv:"N"
+             ~doc:"Virtual minutes of job arrivals and faults after monitor \
+                   warm-up (the run then drains until every job is terminal).")
+  in
+  let jobs_t =
+    Arg.(value & opt (some int) None
+         & info [ "jobs" ] ~docv:"N"
+             ~doc:"Jobs to submit (default: one per 600s of --minutes).")
+  in
+  let check_t =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Exit non-zero unless every job finished or was rejected \
+                   (no job left queued, running or failed).")
+  in
+  let log_t =
+    Arg.(value & flag
+         & info [ "log" ] ~doc:"Print the chronological fault occurrence log.")
+  in
+  let trace_out_t =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Write the run's Chrome trace_event JSON (enables telemetry).")
+  in
+  let metrics_out_t =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Write the metric registry as a Prometheus text exposition \
+                   (enables telemetry).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the scheduler's job mix under a fault plan — node churn, \
+          switch outages, NIC degradation, daemon kills — with failure \
+          detection, requeue backoff and virtual checkpointing enabled, \
+          then report what the faults cost.")
+    Term.(const run $ plan_t $ intensity_t $ policy_t $ minutes_t $ seed_t
+          $ jobs_t $ check_t $ log_t $ trace_out_t $ metrics_out_t)
+
 (* --- sched ------------------------------------------------------------------- *)
 
 let sched_cmd =
@@ -809,5 +954,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ cluster_cmd; snapshot_cmd; allocate_cmd; run_cmd; compare_cmd;
-            forecast_cmd; record_cmd; replay_cmd; sched_cmd; explain_cmd;
-            metrics_cmd; serve_metrics_cmd; slo_cmd; check_export_cmd ]))
+            forecast_cmd; record_cmd; replay_cmd; sched_cmd; chaos_cmd;
+            explain_cmd; metrics_cmd; serve_metrics_cmd; slo_cmd;
+            check_export_cmd ]))

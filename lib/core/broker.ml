@@ -5,6 +5,7 @@ type config = {
   weights : Weights.t;
   policy : Policies.policy;
   wait_threshold : float option;
+  max_staleness_s : float;
 }
 
 let default_config =
@@ -12,6 +13,7 @@ let default_config =
     weights = Weights.paper_default;
     policy = Policies.Network_load_aware;
     wait_threshold = None;
+    max_staleness_s = infinity;
   }
 
 type decision =
@@ -43,8 +45,28 @@ let mean_load_per_core snapshot ~weights =
 let m_wait = Telemetry.Metrics.counter "core.broker.wait"
 let m_allocated = Telemetry.Metrics.counter "core.broker.allocated"
 let m_errors = Telemetry.Metrics.counter "core.broker.errors"
+let m_stale = Telemetry.Metrics.counter "core.broker.stale_excluded"
+
+(* Nodes whose record is older than the gate allows: dead-daemon hosts,
+   store-outage victims — anything the monitor has stopped refreshing. *)
+let stale_nodes snapshot ~max_staleness_s =
+  if max_staleness_s = infinity then []
+  else
+    List.filter
+      (fun node ->
+        match Snapshot.node_info snapshot node with
+        | None -> false
+        | Some info ->
+          snapshot.Snapshot.time -. info.Snapshot.written_at > max_staleness_s)
+      (Snapshot.usable snapshot)
 
 let decide ~config ~snapshot ~request ~rng =
+  let stale = stale_nodes snapshot ~max_staleness_s:config.max_staleness_s in
+  let snapshot =
+    if stale = [] then snapshot else Snapshot.restrict snapshot ~exclude:stale
+  in
+  if stale <> [] && Telemetry.Runtime.is_enabled () then
+    Telemetry.Metrics.add m_stale (float_of_int (List.length stale));
   let overloaded =
     match config.wait_threshold with
     | None -> None
@@ -66,6 +88,7 @@ let decide ~config ~snapshot ~request ~rng =
           beta = request.Request.beta;
           staleness_s = Snapshot.max_staleness snapshot;
           usable = List.length (Snapshot.usable snapshot);
+          stale_excluded = stale;
           nodes = [];
           candidates = [];
           chosen = None;
@@ -77,8 +100,8 @@ let decide ~config ~snapshot ~request ~rng =
     let result =
       Result.map
         (fun allocation -> Allocated allocation)
-        (Policies.allocate ~policy:config.policy ~snapshot
-           ~weights:config.weights ~request ~rng)
+        (Policies.allocate_audited ~stale_excluded:stale ~policy:config.policy
+           ~snapshot ~weights:config.weights ~request ~rng)
     in
     (match result with
     | Ok (Allocated _) -> Telemetry.Metrics.incr m_allocated

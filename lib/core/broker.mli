@@ -12,6 +12,12 @@ type config = {
   wait_threshold : float option;
       (** mean load per core above which the broker recommends waiting;
           [None] (default) always allocates, like the paper's evaluation *)
+  max_staleness_s : float;
+      (** drop usable nodes whose store record is older than this before
+          deciding — a node the monitor stopped refreshing is probably
+          dead or partitioned. Excluded nodes are counted in
+          [core.broker.stale_excluded] and listed in the audit record.
+          [infinity] (default) keeps the historical behavior *)
 }
 
 val default_config : config

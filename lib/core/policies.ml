@@ -87,7 +87,8 @@ let audit_candidate ~loads ~net ~request (s : Select.scored) =
     total = s.Select.total;
   }
 
-let record_audit ~snapshot ~policy ~request ~loads ~pc ~scored ~chosen ~result =
+let record_audit ~snapshot ~policy ~request ~loads ~pc ~scored ~chosen ~result
+    ~stale_excluded =
   let module A = Telemetry.Audit in
   let nodes =
     List.map
@@ -119,13 +120,15 @@ let record_audit ~snapshot ~policy ~request ~loads ~pc ~scored ~chosen ~result =
       beta = request.Request.beta;
       staleness_s = Snapshot.max_staleness snapshot;
       usable = List.length nodes;
+      stale_excluded;
       nodes;
       candidates = scored;
       chosen;
       decision;
     }
 
-let allocate_impl ~dense ~policy ~snapshot ~weights ~request ~rng =
+let allocate_impl ?(stale_excluded = []) ~dense ~policy ~snapshot ~weights
+    ~request ~rng () =
   let instrumented = Telemetry.Runtime.is_enabled () in
   let wall0 = if instrumented then Sys.time () else 0.0 in
   let models = if dense then Some (Model_cache.get snapshot ~weights) else None in
@@ -212,14 +215,19 @@ let allocate_impl ~dense ~policy ~snapshot ~weights ~request ~rng =
       (match result with
       | Error _ -> Telemetry.Metrics.incr m_errors
       | Ok _ -> ());
-      record_audit ~snapshot ~policy ~request ~loads ~pc ~scored ~chosen ~result;
+      record_audit ~snapshot ~policy ~request ~loads ~pc ~scored ~chosen ~result
+        ~stale_excluded;
       Telemetry.Metrics.observe m_wall_s (Sys.time () -. wall0)
     end;
     result
   end
 
+let allocate_audited ~stale_excluded ~policy ~snapshot ~weights ~request ~rng =
+  allocate_impl ~stale_excluded ~dense:true ~policy ~snapshot ~weights ~request
+    ~rng ()
+
 let allocate ~policy ~snapshot ~weights ~request ~rng =
-  allocate_impl ~dense:true ~policy ~snapshot ~weights ~request ~rng
+  allocate_impl ~dense:true ~policy ~snapshot ~weights ~request ~rng ()
 
 let allocate_naive ~policy ~snapshot ~weights ~request ~rng =
-  allocate_impl ~dense:false ~policy ~snapshot ~weights ~request ~rng
+  allocate_impl ~dense:false ~policy ~snapshot ~weights ~request ~rng ()

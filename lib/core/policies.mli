@@ -46,6 +46,18 @@ val allocate :
     network-and-load-aware policy runs on the {!Dense_alloc} kernels.
     Output is byte-identical to {!allocate_naive}. *)
 
+val allocate_audited :
+  stale_excluded:int list ->
+  policy:policy ->
+  snapshot:Rm_monitor.Snapshot.t ->
+  weights:Weights.t ->
+  request:Request.t ->
+  rng:Rm_stats.Rng.t ->
+  (Allocation.t, Allocation.error) result
+(** {!allocate}, with the audit record annotated: when the broker has
+    already dropped stale nodes from the snapshot it passes their ids
+    here so [rmctl explain] can say why they are missing. *)
+
 val allocate_naive :
   policy:policy ->
   snapshot:Rm_monitor.Snapshot.t ->

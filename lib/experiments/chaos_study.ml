@@ -1,0 +1,199 @@
+module Sim = Rm_engine.Sim
+module Rng = Rm_stats.Rng
+module Cluster = Rm_cluster.Cluster
+module World = Rm_workload.World
+module Scenario = Rm_workload.Scenario
+module System = Rm_monitor.System
+module Policies = Rm_core.Policies
+module Broker = Rm_core.Broker
+module Request = Rm_core.Request
+module Scheduler = Rm_sched.Scheduler
+module Fault_plan = Rm_faults.Fault_plan
+module Injector = Rm_faults.Injector
+
+type intensity = Off | Light | Heavy
+
+let intensity_name = function Off -> "off" | Light -> "light" | Heavy -> "heavy"
+
+let intensity_of_name = function
+  | "off" | "none" -> Some Off
+  | "light" -> Some Light
+  | "heavy" -> Some Heavy
+  | _ -> None
+
+let plan_of_intensity ~cluster ~first_after_s ~seed intensity =
+  let n = Cluster.node_count cluster in
+  let every k = List.filter (fun i -> i mod k = 0) (List.init n Fun.id) in
+  match intensity with
+  | Off -> None
+  | Light ->
+    Some
+      (Fault_plan.node_churn ~nodes:(every 4) ~mtbf_s:7200.0 ~mttr_s:300.0
+         ~first_after_s ~seed "light-churn")
+  | Heavy ->
+    (* Node churn alone rarely lands mid-run (the queue's duty cycle is
+       tiny: seconds of work every 600 s), so heavy adds a switch-outage
+       storm aligned with the arrival cadence — each outage opens just
+       after a job dispatches and out-lives its run, forcing the
+       detection → requeue → restart path the study is measuring. *)
+    let sw = Rm_cluster.Topology.switch_count (Cluster.topology cluster) in
+    let storms =
+      List.init 8 (fun i ->
+          let i = i + 1 in
+          Fault_plan.one_shot
+            ~label:(Printf.sprintf "storm-%d" i)
+            ~at:(first_after_s +. (600.0 *. float_of_int i) +. 0.5)
+            ~duration_s:10.0
+            (Fault_plan.Switch_outage { switch = i mod sw }))
+    in
+    let churn =
+      Fault_plan.node_churn ~nodes:(every 2) ~mtbf_s:2400.0 ~mttr_s:600.0
+        ~first_after_s ~seed "heavy-churn"
+    in
+    Some { churn with Fault_plan.events = churn.Fault_plan.events @ storms }
+
+let resilient_config policy =
+  {
+    Scheduler.default_config with
+    Scheduler.broker =
+      { Broker.default_config with Broker.policy; max_staleness_s = 120.0 };
+    node_check_period_s = Some 30.0;
+    max_requeues = 3;
+    backoff_base_s = 30.0;
+    backoff_cap_s = 1800.0;
+    checkpoint_interval_s = Some 600.0;
+    restart_overhead_s = 60.0;
+  }
+
+(* Same substrate and job mix as Queue_study.run_policy_sched, so the
+   no-plan run is its bit-for-bit twin (the liveness poll and the
+   resilience knobs only act when a fault actually fires). *)
+let run_sched ?(seed = 83) ?(job_count = 10) ?(horizon = 100_000.0) ?plan
+    ~policy () =
+  let sim = Sim.create () in
+  let world =
+    World.create ~cluster:(Cluster.iitk_reference ()) ~scenario:Scenario.normal
+      ~seed
+  in
+  let rng = Rng.create (seed + 5) in
+  let monitor = System.start ~sim ~world ~rng ~until:horizon () in
+  let config = resilient_config policy in
+  let sched = Scheduler.create ~sim ~world ~monitor ~config ~rng ~horizon () in
+  let injector =
+    Option.map
+      (fun plan -> Injector.inject ~sim ~world ~system:monitor ~until:horizon plan)
+      plan
+  in
+  let warm = System.warm_up_s System.default_cadence in
+  let ids =
+    List.map
+      (fun (name, kind, procs, at) ->
+        Scheduler.submit sched ~name ~at
+          ~request:(Request.make ~ppn:4 ~alpha:0.35 ~procs ())
+          ~app_of:(Queue_study.app_of_kind kind) ())
+      (Queue_study.job_mix ~job_count ~warm)
+  in
+  let terminal id =
+    match Scheduler.state sched id with
+    (* the submission event has not fired yet *)
+    | exception Invalid_argument _ -> false
+    | Scheduler.Finished _ | Scheduler.Rejected _ -> true
+    | Scheduler.Queued | Scheduler.Running _ | Scheduler.Failed _ -> false
+  in
+  let rec drain () =
+    if (not (List.for_all terminal ids)) && Sim.now sim < horizon then begin
+      Sim.run_until sim (Sim.now sim +. 600.0);
+      drain ()
+    end
+  in
+  drain ();
+  (sched, injector)
+
+type row = {
+  policy : Policies.policy;
+  intensity : intensity;
+  finished : int;
+  rejected : int;
+  requeues : int;
+  faults_injected : int;
+  wasted_node_s : float;
+  goodput : float;
+  mean_turnaround_s : float;
+}
+
+let row_of ~policy ~intensity ~sched ~injector =
+  let outcomes = Scheduler.finished sched in
+  let useful_node_s =
+    List.fold_left
+      (fun acc (o : Scheduler.outcome) ->
+        acc
+        +. ((o.Scheduler.finished_at -. o.Scheduler.started_at)
+           *. float_of_int (List.length o.Scheduler.nodes)))
+      0.0 outcomes
+  in
+  let wasted = Scheduler.wasted_node_seconds sched in
+  {
+    policy;
+    intensity;
+    finished = List.length outcomes;
+    rejected = List.length (Scheduler.rejected sched);
+    requeues = Scheduler.requeue_count sched;
+    faults_injected =
+      (match injector with Some i -> Injector.injected i | None -> 0);
+    wasted_node_s = wasted;
+    goodput =
+      (if useful_node_s +. wasted <= 0.0 then 1.0
+       else useful_node_s /. (useful_node_s +. wasted));
+    mean_turnaround_s =
+      (if outcomes = [] then 0.0
+       else
+         List.fold_left
+           (fun acc (o : Scheduler.outcome) ->
+             acc +. (o.Scheduler.finished_at -. o.Scheduler.submitted_at))
+           0.0 outcomes
+         /. float_of_int (List.length outcomes));
+  }
+
+let run ?(seed = 83) ?(job_count = 10) ?(intensities = [ Off; Light; Heavy ])
+    () =
+  List.concat_map
+    (fun intensity ->
+      List.map
+        (fun policy ->
+          let plan =
+            plan_of_intensity ~cluster:(Cluster.iitk_reference ())
+              ~first_after_s:(System.warm_up_s System.default_cadence)
+              ~seed:(seed + 17) intensity
+          in
+          let sched, injector = run_sched ~seed ~job_count ?plan ~policy () in
+          row_of ~policy ~intensity ~sched ~injector)
+        Policies.all)
+    intensities
+
+let render rows =
+  let header =
+    [
+      "intensity"; "broker policy"; "finished"; "rejected"; "requeues";
+      "faults"; "wasted node-s"; "goodput"; "turnaround (s)";
+    ]
+  in
+  let body =
+    List.map
+      (fun r ->
+        [
+          intensity_name r.intensity;
+          Policies.name r.policy;
+          string_of_int r.finished;
+          string_of_int r.rejected;
+          string_of_int r.requeues;
+          string_of_int r.faults_injected;
+          Printf.sprintf "%.0f" r.wasted_node_s;
+          Printf.sprintf "%.3f" r.goodput;
+          Printf.sprintf "%.1f" r.mean_turnaround_s;
+        ])
+      rows
+  in
+  "Chaos study — the queue-study job mix under seeded node churn: failure\n\
+   detection requeues jobs that lose a node; goodput is useful node-seconds\n\
+   over useful plus wasted\n\n"
+  ^ Render.table_str ~header ~rows:body

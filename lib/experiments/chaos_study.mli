@@ -1,0 +1,68 @@
+(** Resilience study: fault intensity × allocation policy.
+
+    Replays the {!Queue_study} job mix under a seeded node-churn fault
+    plan while the scheduler runs with failure detection, requeue
+    backoff and virtual checkpointing enabled, and reports what the
+    churn cost: finished/rejected counts, requeues, wasted
+    node-seconds and goodput (useful node-seconds over useful+wasted).
+
+    The fault RNG is the plan's own ({!Rm_faults.Injector}); the
+    workload and scheduler draw exactly the same streams as the
+    baseline, so an [Off]-intensity run reproduces
+    {!Queue_study.run_policy_sched} outcomes bit-for-bit. *)
+
+type intensity = Off | Light | Heavy
+
+val intensity_of_name : string -> intensity option
+val intensity_name : intensity -> string
+
+val plan_of_intensity :
+  cluster:Rm_cluster.Cluster.t ->
+  first_after_s:float ->
+  seed:int ->
+  intensity ->
+  Rm_faults.Fault_plan.t option
+(** [Off] is [None]. [Light] crash-loops a quarter of the nodes with a
+    2-hour MTBF; [Heavy] half the nodes with a 40-minute MTBF. Faults
+    start after [first_after_s] (the monitor warm-up, typically). *)
+
+val resilient_config : Rm_core.Policies.policy -> Rm_sched.Scheduler.config
+(** The scheduler configuration the study runs with: 30 s liveness
+    polling, 3 requeues with 30 s → 1800 s backoff, 600 s virtual
+    checkpoints, 60 s restart overhead. *)
+
+val run_sched :
+  ?seed:int ->
+  ?job_count:int ->
+  ?horizon:float ->
+  ?plan:Rm_faults.Fault_plan.t ->
+  policy:Rm_core.Policies.policy ->
+  unit ->
+  Rm_sched.Scheduler.t * Rm_faults.Injector.t option
+(** One policy under one (optional) fault plan: runs the simulation
+    until every submitted job is [Finished] or [Rejected] (or the
+    horizon passes) and returns the drained scheduler plus the
+    injector's occurrence log. *)
+
+type row = {
+  policy : Rm_core.Policies.policy;
+  intensity : intensity;
+  finished : int;
+  rejected : int;
+  requeues : int;
+  faults_injected : int;
+  wasted_node_s : float;
+  goodput : float;  (** useful node-seconds / (useful + wasted); 1 without faults *)
+  mean_turnaround_s : float;
+}
+
+val run :
+  ?seed:int ->
+  ?job_count:int ->
+  ?intensities:intensity list ->
+  unit ->
+  row list
+(** The full sweep (default intensities: [Off; Light; Heavy]) over
+    {!Rm_core.Policies.all}. *)
+
+val render : row list -> string

@@ -7,6 +7,19 @@
     Also includes the interference study: does the broker route a
     second job away from a running one's nodes, and what does that buy? *)
 
+val job_mix :
+  job_count:int ->
+  warm:float ->
+  (string * [ `Md of int | `Fe of int ] * int * float) list
+(** [(name, kind, procs, submit_at)] rows — the synthetic afternoon's
+    arrival trace, alternating miniMD and miniFE. Exposed so
+    {!Chaos_study} can replay the identical mix under faults. *)
+
+val app_of_kind :
+  [ `Md of int | `Fe of int ] -> ranks:int -> Rm_mpisim.App.t
+(** [`Md s] → miniMD at problem size [s]; [`Fe nx] → miniFE at mesh
+    size [nx], at the given rank count. *)
+
 type policy_row = {
   policy : Rm_core.Policies.policy;
   summary : Rm_sched.Scheduler.summary;

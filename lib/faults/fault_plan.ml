@@ -1,0 +1,223 @@
+module Json = Rm_telemetry.Json
+module Cluster = Rm_cluster.Cluster
+module Topology = Rm_cluster.Topology
+
+type action =
+  | Node_crash of { node : int }
+  | Nic_degrade of { node : int; factor : float }
+  | Switch_outage of { switch : int }
+  | Daemon_kill of { name : string }
+  | Store_outage
+
+type schedule =
+  | One_shot of { at : float; duration_s : float option }
+  | Recurring of { mtbf_s : float; mttr_s : float; first_after_s : float }
+
+type event = { label : string; action : action; schedule : schedule }
+
+type t = { name : string; seed : int; events : event list }
+
+let action_label = function
+  | Node_crash { node } -> Printf.sprintf "node-crash:%d" node
+  | Nic_degrade { node; factor } ->
+    Printf.sprintf "nic-degrade:%d@%.2f" node factor
+  | Switch_outage { switch } -> Printf.sprintf "switch-outage:%d" switch
+  | Daemon_kill { name } -> Printf.sprintf "daemon-kill:%s" name
+  | Store_outage -> "store-outage"
+
+let one_shot ?label ~at ?duration_s action =
+  let label = match label with Some l -> l | None -> action_label action in
+  { label; action; schedule = One_shot { at; duration_s } }
+
+let recurring ?label ~mtbf_s ~mttr_s ?(first_after_s = 0.0) action =
+  let label = match label with Some l -> l | None -> action_label action in
+  { label; action; schedule = Recurring { mtbf_s; mttr_s; first_after_s } }
+
+let node_churn ~nodes ~mtbf_s ~mttr_s ?(first_after_s = 0.0) ?(seed = 0) name =
+  {
+    name;
+    seed;
+    events =
+      List.map
+        (fun node -> recurring ~mtbf_s ~mttr_s ~first_after_s (Node_crash { node }))
+        nodes;
+  }
+
+(* --- validation ----------------------------------------------------- *)
+
+let validate ~cluster t =
+  let node_count = Cluster.node_count cluster in
+  let switch_count = Topology.switch_count (Cluster.topology cluster) in
+  let bad ev msg = invalid_arg (Printf.sprintf "Fault_plan %s: %s" ev.label msg) in
+  List.iter
+    (fun ev ->
+      (match ev.action with
+      | Node_crash { node } | Nic_degrade { node; _ } ->
+        if node < 0 || node >= node_count then
+          bad ev
+            (Printf.sprintf "node %d out of range (cluster has nodes 0..%d)"
+               node (node_count - 1))
+      | Switch_outage { switch } ->
+        if switch < 0 || switch >= switch_count then
+          bad ev
+            (Printf.sprintf
+               "switch %d out of range (topology has switches 0..%d)" switch
+               (switch_count - 1))
+      | Daemon_kill { name } ->
+        if String.trim name = "" then bad ev "empty daemon name"
+      | Store_outage -> ());
+      (match ev.action with
+      | Nic_degrade { factor; _ } ->
+        if not (Float.is_finite factor) || factor < 0.0 || factor > 1.0 then
+          bad ev "factor must be in [0, 1]"
+      | _ -> ());
+      match ev.schedule with
+      | One_shot { at; duration_s } ->
+        if not (Float.is_finite at) || at < 0.0 then bad ev "negative time";
+        (match duration_s with
+        | Some d when (not (Float.is_finite d)) || d < 0.0 ->
+          bad ev "negative duration"
+        | _ -> ())
+      | Recurring { mtbf_s; mttr_s; first_after_s } ->
+        if (not (Float.is_finite mtbf_s)) || mtbf_s <= 0.0 then
+          bad ev "mtbf must be positive";
+        if (not (Float.is_finite mttr_s)) || mttr_s < 0.0 then
+          bad ev "negative mttr";
+        if (not (Float.is_finite first_after_s)) || first_after_s < 0.0 then
+          bad ev "negative first-failure offset")
+    t.events
+
+(* --- JSON ----------------------------------------------------------- *)
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+let float_field j key =
+  match Json.member key j with
+  | Json.Null -> fail "Fault_plan.of_json: missing %S" key
+  | v -> Json.to_float v
+
+let opt_float_field j key =
+  match Json.member key j with Json.Null -> None | v -> Some (Json.to_float v)
+
+let int_field j key =
+  match Json.member key j with
+  | Json.Null -> fail "Fault_plan.of_json: missing %S" key
+  | v -> Json.to_int v
+
+let action_of_json j =
+  match Json.member "action" j with
+  | Json.Null -> fail "Fault_plan.of_json: event without \"action\""
+  | v -> (
+    match Json.to_str v with
+    | "node-crash" -> Node_crash { node = int_field j "node" }
+    | "nic-degrade" ->
+      Nic_degrade { node = int_field j "node"; factor = float_field j "factor" }
+    | "switch-outage" -> Switch_outage { switch = int_field j "switch" }
+    | "daemon-kill" -> (
+      match Json.member "daemon" j with
+      | Json.Null -> fail "Fault_plan.of_json: daemon-kill without \"daemon\""
+      | d -> Daemon_kill { name = Json.to_str d })
+    | "store-outage" -> Store_outage
+    | other -> fail "Fault_plan.of_json: unknown action %S" other)
+
+let schedule_of_json j =
+  match opt_float_field j "mtbf" with
+  | Some mtbf_s ->
+    let mttr_s =
+      match opt_float_field j "mttr" with
+      | Some m -> m
+      | None -> fail "Fault_plan.of_json: recurring event without \"mttr\""
+    in
+    let first_after_s =
+      match opt_float_field j "after" with Some a -> a | None -> 0.0
+    in
+    Recurring { mtbf_s; mttr_s; first_after_s }
+  | None ->
+    One_shot { at = float_field j "at"; duration_s = opt_float_field j "duration" }
+
+let event_of_json j =
+  let action = action_of_json j in
+  let schedule = schedule_of_json j in
+  let label =
+    match Json.member "label" j with
+    | Json.Null -> action_label action
+    | v -> Json.to_str v
+  in
+  { label; action; schedule }
+
+let of_json text =
+  let j = Json.of_string text in
+  let name =
+    match Json.member "name" j with Json.Null -> "unnamed" | v -> Json.to_str v
+  in
+  let seed =
+    match Json.member "seed" j with Json.Null -> 0 | v -> Json.to_int v
+  in
+  let events =
+    match Json.member "events" j with
+    | Json.Null -> fail "Fault_plan.of_json: missing \"events\""
+    | v -> List.map event_of_json (Json.to_list v)
+  in
+  { name; seed; events }
+
+let action_to_fields = function
+  | Node_crash { node } ->
+    [ ("action", Json.Str "node-crash"); ("node", Json.Num (float_of_int node)) ]
+  | Nic_degrade { node; factor } ->
+    [
+      ("action", Json.Str "nic-degrade");
+      ("node", Json.Num (float_of_int node));
+      ("factor", Json.Num factor);
+    ]
+  | Switch_outage { switch } ->
+    [
+      ("action", Json.Str "switch-outage");
+      ("switch", Json.Num (float_of_int switch));
+    ]
+  | Daemon_kill { name } ->
+    [ ("action", Json.Str "daemon-kill"); ("daemon", Json.Str name) ]
+  | Store_outage -> [ ("action", Json.Str "store-outage") ]
+
+let schedule_to_fields = function
+  | One_shot { at; duration_s } -> (
+    ("at", Json.Num at)
+    ::
+    (match duration_s with
+    | Some d -> [ ("duration", Json.Num d) ]
+    | None -> []))
+  | Recurring { mtbf_s; mttr_s; first_after_s } ->
+    [ ("mtbf", Json.Num mtbf_s); ("mttr", Json.Num mttr_s) ]
+    @ (if first_after_s <> 0.0 then [ ("after", Json.Num first_after_s) ] else [])
+
+let event_to_json ev =
+  Json.Obj
+    (("label", Json.Str ev.label)
+    :: (action_to_fields ev.action @ schedule_to_fields ev.schedule))
+
+let to_json t =
+  Json.to_string
+    (Json.Obj
+       [
+         ("name", Json.Str t.name);
+         ("seed", Json.Num (float_of_int t.seed));
+         ("events", Json.Arr (List.map event_to_json t.events));
+       ])
+
+let pp ppf t =
+  Format.fprintf ppf "fault plan %s (seed %d, %d events)@." t.name t.seed
+    (List.length t.events);
+  List.iter
+    (fun ev ->
+      match ev.schedule with
+      | One_shot { at; duration_s } ->
+        Format.fprintf ppf "  %-28s at %8.1fs%s@." ev.label at
+          (match duration_s with
+          | Some d -> Printf.sprintf " for %.1fs" d
+          | None -> " (permanent)")
+      | Recurring { mtbf_s; mttr_s; first_after_s } ->
+        Format.fprintf ppf "  %-28s mtbf %.0fs mttr %.0fs%s@." ev.label mtbf_s
+          mttr_s
+          (if first_after_s > 0.0 then
+             Printf.sprintf " after %.0fs" first_after_s
+           else ""))
+    t.events

@@ -1,0 +1,82 @@
+(** Declarative fault plans.
+
+    A plan is a named, optionally seeded list of fault events. Each
+    event pairs an {!action} (what breaks) with a {!schedule} (when,
+    for how long, how often). Plans are plain data: they parse from and
+    render to a small JSON spec, validate against a concrete cluster,
+    and are executed by {!Injector}, which pre-computes every
+    occurrence deterministically from the plan's seed — the workload's
+    own RNG streams are never touched, so a run with an empty plan is
+    bit-identical to a run with no injector at all. *)
+
+type action =
+  | Node_crash of { node : int }
+      (** The node drops out of ground truth ({!Rm_workload.World.set_down}):
+          LivehostsD stops seeing it, running jobs on it die. *)
+  | Nic_degrade of { node : int; factor : float }
+      (** The node's access link runs at [factor × nominal] capacity,
+          [factor ∈ [0, 1]] — a flaky NIC or cable. Probes observe the
+          degraded bandwidth, so Eq. 2 steers the allocator away. *)
+  | Switch_outage of { switch : int }
+      (** Every node under the switch goes down at once — a partition
+          as LivehostsD perceives it. *)
+  | Daemon_kill of { name : string }
+      (** Crash the named monitor daemon ({!Rm_monitor.Daemon.crash});
+          recovery is the Central Monitor's job, not the plan's, so any
+          duration on the event is ignored. *)
+  | Store_outage
+      (** The shared store drops all writes (NFS outage): records keep
+          their old timestamps and readers see growing staleness. *)
+
+type schedule =
+  | One_shot of { at : float; duration_s : float option }
+      (** Fire once at [at] seconds after the injection origin;
+          [duration_s = None] means the fault is permanent. *)
+  | Recurring of { mtbf_s : float; mttr_s : float; first_after_s : float }
+      (** Fail–repair renewal process: time-to-failure is exponential
+          with mean [mtbf_s] (drawn from the plan's seed), each outage
+          lasts [mttr_s], repeating until the injection horizon. *)
+
+type event = { label : string; action : action; schedule : schedule }
+
+type t = { name : string; seed : int; events : event list }
+
+val validate : cluster:Rm_cluster.Cluster.t -> t -> unit
+(** Raises [Invalid_argument] naming the offending event when a node or
+    switch index is out of range for the cluster, a degradation factor
+    is outside [0, 1], or a schedule has a non-positive MTBF, negative
+    time, or negative duration. *)
+
+(** {2 Constructors} *)
+
+val one_shot : ?label:string -> at:float -> ?duration_s:float -> action -> event
+val recurring :
+  ?label:string -> mtbf_s:float -> mttr_s:float -> ?first_after_s:float ->
+  action -> event
+
+val node_churn :
+  nodes:int list -> mtbf_s:float -> mttr_s:float -> ?first_after_s:float ->
+  ?seed:int -> string -> t
+(** A plan that crash-loops each listed node independently (one
+    recurring event per node) — the chaos-study workhorse. *)
+
+(** {2 JSON spec}
+
+    [{"name": "demo", "seed": 7, "events": [
+       {"action": "node-crash", "node": 3, "at": 600, "duration": 120},
+       {"action": "nic-degrade", "node": 1, "factor": 0.25, "at": 300},
+       {"action": "switch-outage", "switch": 1, "mtbf": 1800, "mttr": 120},
+       {"action": "daemon-kill", "daemon": "livehosts-0", "at": 700},
+       {"action": "store-outage", "at": 400, "duration": 300}]}]
+
+    An event with an ["mtbf"] field is recurring (["mttr"] required,
+    ["after"] optional); otherwise ["at"] is required and ["duration"]
+    optional. ["label"] defaults to a rendering of the action. *)
+
+val of_json : string -> t
+(** Raises [Failure] on malformed input. *)
+
+val to_json : t -> string
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable event table. *)

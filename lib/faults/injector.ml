@@ -1,0 +1,196 @@
+module Sim = Rm_engine.Sim
+module World = Rm_workload.World
+module Cluster = Rm_cluster.Cluster
+module Topology = Rm_cluster.Topology
+module System = Rm_monitor.System
+module Daemon = Rm_monitor.Daemon
+module Store = Rm_monitor.Store
+module Rng = Rm_stats.Rng
+module Telemetry = Rm_telemetry
+
+let m_injected = Telemetry.Metrics.counter "faults.injected"
+let m_recovered = Telemetry.Metrics.counter "faults.recovered"
+let m_active = Telemetry.Metrics.gauge "faults.active"
+
+type phase = Begin | End
+
+type t = {
+  world : World.t;
+  system : System.t option;
+  (* per-node down refcount: a node is up iff its count is 0 *)
+  down_refs : int array;
+  (* per-node stack of active NIC degradation factors (product applies) *)
+  nic_factors : float list array;
+  mutable store_refs : int;
+  mutable injected : int;
+  mutable recovered : int;
+  mutable active : int;
+  mutable scheduled : int;
+  mutable log_rev : (float * string * phase) list;
+}
+
+let note t ~time ~label phase =
+  t.log_rev <- (time, label, phase) :: t.log_rev;
+  (match phase with
+  | Begin ->
+    t.injected <- t.injected + 1;
+    t.active <- t.active + 1
+  | End ->
+    t.recovered <- t.recovered + 1;
+    t.active <- t.active - 1);
+  if Telemetry.Runtime.is_enabled () then begin
+    Telemetry.Metrics.incr (match phase with Begin -> m_injected | End -> m_recovered);
+    Telemetry.Metrics.set m_active (float_of_int t.active);
+    Telemetry.Trace.instant ~time
+      ~attrs:[ ("fault", label) ]
+      (match phase with Begin -> "fault.begin" | End -> "fault.end")
+  end
+
+let down_node t node =
+  t.down_refs.(node) <- t.down_refs.(node) + 1;
+  if t.down_refs.(node) = 1 then World.set_down t.world ~node
+
+let restore_node t node =
+  if t.down_refs.(node) > 0 then begin
+    t.down_refs.(node) <- t.down_refs.(node) - 1;
+    if t.down_refs.(node) = 0 then World.set_up t.world ~node
+  end
+
+let apply_nic t node =
+  let product = List.fold_left ( *. ) 1.0 t.nic_factors.(node) in
+  World.set_nic_scale t.world ~node product
+
+(* Remove one instance of [factor] from the node's active stack. *)
+let remove_factor t node factor =
+  let rec drop = function
+    | [] -> []
+    | f :: rest -> if f = factor then rest else f :: drop rest
+  in
+  t.nic_factors.(node) <- drop t.nic_factors.(node)
+
+let switch_members t switch =
+  Topology.nodes_of_switch (Cluster.topology (World.cluster t.world)) switch
+
+let the_system t label =
+  match t.system with
+  | Some s -> s
+  | None ->
+    invalid_arg
+      (Printf.sprintf
+         "Injector: event %s needs a monitor system but none was given" label)
+
+let apply t sim label phase (action : Fault_plan.action) =
+  let time = Sim.now sim in
+  (match (action, phase) with
+  | Node_crash { node }, Begin -> down_node t node
+  | Node_crash { node }, End -> restore_node t node
+  | Nic_degrade { node; factor }, Begin ->
+    t.nic_factors.(node) <- factor :: t.nic_factors.(node);
+    apply_nic t node
+  | Nic_degrade { node; factor }, End ->
+    remove_factor t node factor;
+    apply_nic t node
+  | Switch_outage { switch }, Begin ->
+    List.iter (down_node t) (switch_members t switch)
+  | Switch_outage { switch }, End ->
+    List.iter (restore_node t) (switch_members t switch)
+  | Daemon_kill { name }, Begin ->
+    let system = the_system t label in
+    (match
+       List.find_opt (fun d -> Daemon.name d = name) (System.daemons system)
+     with
+    | Some d -> Daemon.crash d
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Injector: no daemon named %S (have: %s)" name
+           (String.concat ", "
+              (List.map Daemon.name (System.daemons system)))))
+  | Daemon_kill _, End -> ()  (* recovery belongs to the Central Monitor *)
+  | Store_outage, Begin ->
+    let system = the_system t label in
+    t.store_refs <- t.store_refs + 1;
+    if t.store_refs = 1 then Store.set_write_loss (System.store system) true
+  | Store_outage, End ->
+    let system = the_system t label in
+    if t.store_refs > 0 then begin
+      t.store_refs <- t.store_refs - 1;
+      if t.store_refs = 0 then Store.set_write_loss (System.store system) false
+    end);
+  note t ~time ~label phase
+
+(* Expand an event into (begin, end option) occurrence times relative to
+   [origin], entirely from [rng] — deterministic at inject time. *)
+let occurrences ~origin ~until rng (ev : Fault_plan.event) =
+  match ev.schedule with
+  | One_shot { at; duration_s } ->
+    let b = origin +. at in
+    if b > until then []
+    else [ (b, Option.map (fun d -> b +. d) duration_s) ]
+  | Recurring { mtbf_s; mttr_s; first_after_s } ->
+    let rec go acc from =
+      let fail_at = from +. Rng.exponential rng ~rate:(1.0 /. mtbf_s) in
+      if fail_at > until then List.rev acc
+      else
+        let repair_at = fail_at +. mttr_s in
+        go ((fail_at, Some repair_at) :: acc) repair_at
+    in
+    go [] (origin +. first_after_s)
+
+let inject ~sim ~world ?system ~until (plan : Fault_plan.t) =
+  Fault_plan.validate ~cluster:(World.cluster world) plan;
+  let n = Cluster.node_count (World.cluster world) in
+  let t =
+    {
+      world;
+      system;
+      down_refs = Array.make n 0;
+      nic_factors = Array.make n [];
+      store_refs = 0;
+      injected = 0;
+      recovered = 0;
+      active = 0;
+      scheduled = 0;
+      log_rev = [];
+    }
+  in
+  (* Fail fast on a plan that needs the monitor when none was wired. *)
+  List.iter
+    (fun (ev : Fault_plan.event) ->
+      match ev.action with
+      | Daemon_kill _ | Store_outage -> ignore (the_system t ev.label)
+      | _ -> ())
+    plan.events;
+  let origin = Sim.now sim in
+  let rng = Rng.create plan.seed in
+  List.iter
+    (fun (ev : Fault_plan.event) ->
+      let ev_rng = Rng.split rng in
+      List.iter
+        (fun (b, e) ->
+          t.scheduled <- t.scheduled + 1;
+          ignore
+            (Sim.schedule_at sim ~time:(Float.max b (Sim.now sim))
+               (fun sim -> apply t sim ev.label Begin ev.action));
+          match e with
+          | None -> ()
+          | Some e ->
+            ignore
+              (Sim.schedule_at sim ~time:(Float.max e (Sim.now sim)) (fun sim ->
+                   apply t sim ev.label End ev.action)))
+        (occurrences ~origin ~until ev_rng ev))
+    plan.events;
+  t
+
+let log t = List.rev t.log_rev
+let injected t = t.injected
+let recovered t = t.recovered
+let active t = t.active
+let scheduled t = t.scheduled
+
+let pp_log ppf t =
+  List.iter
+    (fun (time, label, phase) ->
+      Format.fprintf ppf "%10.1fs  %-5s %s@." time
+        (match phase with Begin -> "BEGIN" | End -> "END")
+        label)
+    (log t)

@@ -1,0 +1,45 @@
+(** Executes a {!Fault_plan} against a simulated cluster.
+
+    All occurrences (failure and repair times) are pre-computed at
+    {!inject} time from the plan's own seeded RNG, then scheduled on the
+    simulation — the workload's RNG streams are never consumed, so
+    adding an injector with an empty plan leaves a run bit-identical.
+
+    Overlapping faults compose: node liveness is reference-counted (a
+    node downed by both a switch outage and its own crash comes back
+    only when both end), NIC degradations multiply, and store outages
+    nest. Daemon kills have no repair action of their own — bringing
+    the daemon back is the Central Monitor's job, which is exactly the
+    resilience path the plan is meant to exercise. *)
+
+type t
+
+val inject :
+  sim:Rm_engine.Sim.t ->
+  world:Rm_workload.World.t ->
+  ?system:Rm_monitor.System.t ->
+  until:float ->
+  Fault_plan.t ->
+  t
+(** Validates the plan against the world's cluster and schedules every
+    occurrence with a begin time at or before [until] (repairs may land
+    after). Raises [Invalid_argument] if the plan fails validation, or
+    if it contains [Daemon_kill]/[Store_outage] events and no [system]
+    was given. Occurrence times are relative to the simulation clock at
+    the moment of injection. *)
+
+type phase = Begin | End
+
+val log : t -> (float * string * phase) list
+(** Chronological record of every occurrence executed so far. *)
+
+val injected : t -> int
+val recovered : t -> int
+
+val active : t -> int
+(** Faults currently in effect. *)
+
+val scheduled : t -> int
+(** Total occurrences (begin events) the plan expanded to. *)
+
+val pp_log : Format.formatter -> t -> unit

@@ -25,6 +25,7 @@ type t = {
   livehosts : (float * int list) option ref;
   bw : cell array array;  (* upper triangle: bw.(min).(max) *)
   lat : cell array array;
+  mutable write_loss : bool;  (* NFS outage: drop writes, keep reads *)
 }
 
 let fresh_cell () = { time = 0.0; value = 0.0; set = false }
@@ -37,17 +38,22 @@ let create ~node_count =
     livehosts = ref None;
     bw = Array.init node_count (fun _ -> Array.init node_count (fun _ -> fresh_cell ()));
     lat = Array.init node_count (fun _ -> Array.init node_count (fun _ -> fresh_cell ()));
+    write_loss = false;
   }
 
 let node_count t = t.n
+let set_write_loss t flag = t.write_loss <- flag
+let write_loss t = t.write_loss
 
 let check t i =
   if i < 0 || i >= t.n then invalid_arg "Store: node index out of range"
 
 let write_node t record =
   check t record.node;
-  Telemetry.Metrics.incr m_node_writes;
-  t.nodes.(record.node) <- Some record
+  if not t.write_loss then begin
+    Telemetry.Metrics.incr m_node_writes;
+    t.nodes.(record.node) <- Some record
+  end
 
 let read_node t ~node =
   check t node;
@@ -56,8 +62,10 @@ let read_node t ~node =
 
 let write_livehosts t ~time ~nodes =
   List.iter (check t) nodes;
-  Telemetry.Metrics.incr m_livehosts_writes;
-  t.livehosts := Some (time, nodes)
+  if not t.write_loss then begin
+    Telemetry.Metrics.incr m_livehosts_writes;
+    t.livehosts := Some (time, nodes)
+  end
 
 let read_livehosts t = !(t.livehosts)
 
@@ -70,10 +78,12 @@ let pair_cell table t src dst =
 
 let write_pair table t ~time ~src ~dst ~value =
   let cell = pair_cell table t src dst in
-  Telemetry.Metrics.incr m_pair_writes;
-  cell.time <- time;
-  cell.value <- value;
-  cell.set <- true
+  if not t.write_loss then begin
+    Telemetry.Metrics.incr m_pair_writes;
+    cell.time <- time;
+    cell.value <- value;
+    cell.set <- true
+  end
 
 let read_pair table t ~src ~dst =
   let cell = pair_cell table t src dst in

@@ -20,6 +20,14 @@ type t
 val create : node_count:int -> t
 val node_count : t -> int
 
+val set_write_loss : t -> bool -> unit
+(** While set, every write is silently dropped — the NFS outage the
+    paper's daemons must survive. Existing records keep their old
+    timestamps, so readers see a growing staleness window. Reads are
+    unaffected. *)
+
+val write_loss : t -> bool
+
 (** {2 Node state (written by NodeStateD)} *)
 
 val write_node : t -> node_record -> unit

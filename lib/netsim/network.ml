@@ -8,15 +8,39 @@ type cache = {
 
 type t = {
   topology : Topology.t;
-  capacities : float array;
+  base_capacities : float array;  (** nominal, from the topology *)
+  capacities : float array;  (** effective = base × degradation scale *)
+  scales : float array;
   mutable flows : Flow.t list;
   mutable cache : cache option;
 }
 
 let create topology =
-  { topology; capacities = Routing.capacities topology; flows = []; cache = None }
+  let base = Routing.capacities topology in
+  {
+    topology;
+    base_capacities = base;
+    capacities = Array.copy base;
+    scales = Array.make (Array.length base) 1.0;
+    flows = [];
+    cache = None;
+  }
 
 let topology t = t.topology
+
+let set_capacity_scale t ~link_id scale =
+  if link_id < 0 || link_id >= Array.length t.capacities then
+    invalid_arg "Network.set_capacity_scale: bad link id";
+  if not (Float.is_finite scale) || scale < 0.0 || scale > 1.0 then
+    invalid_arg "Network.set_capacity_scale: scale must be in [0, 1]";
+  t.scales.(link_id) <- scale;
+  t.capacities.(link_id) <- t.base_capacities.(link_id) *. scale;
+  t.cache <- None
+
+let capacity_scale t ~link_id =
+  if link_id < 0 || link_id >= Array.length t.scales then
+    invalid_arg "Network.capacity_scale: bad link id";
+  t.scales.(link_id)
 
 let set_flows t flows =
   t.flows <- flows;

@@ -11,6 +11,15 @@ type t
 val create : Rm_cluster.Topology.t -> t
 val topology : t -> Rm_cluster.Topology.t
 
+val set_capacity_scale : t -> link_id:int -> float -> unit
+(** Degrade (or restore) a link: effective capacity becomes
+    [nominal × scale], [scale ∈ [0, 1]]. Used by fault injection to
+    model flaky NICs and congested uplinks; [1.0] restores the nominal
+    capacity. Invalidates the fair-share cache. *)
+
+val capacity_scale : t -> link_id:int -> float
+(** Current degradation scale of the link (1.0 when healthy). *)
+
 val set_flows : t -> Flow.t list -> unit
 val flows : t -> Flow.t list
 val flow_count : t -> int

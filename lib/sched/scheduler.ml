@@ -15,6 +15,9 @@ let m_completed = Telemetry.Metrics.counter "sched.jobs_completed"
 let m_cancelled = Telemetry.Metrics.counter "sched.jobs_cancelled"
 let m_backfill = Telemetry.Metrics.counter "sched.backfill_hits"
 let m_queue_depth = Telemetry.Metrics.gauge "sched.queue_depth"
+let m_failed = Telemetry.Metrics.counter "sched.jobs_failed"
+let m_requeues = Telemetry.Metrics.counter "sched.requeues"
+let m_wasted = Telemetry.Metrics.counter "sched.wasted_node_s"
 
 (* Virtual seconds between submission and dispatch; jobs on a busy
    cluster can queue for hours, hence the wide buckets. *)
@@ -28,6 +31,12 @@ type config = {
   exclusive : bool;
   min_dispatch_gap_s : float;
   retry_s : float;
+  node_check_period_s : float option;
+  max_requeues : int;
+  backoff_base_s : float;
+  backoff_cap_s : float;
+  checkpoint_interval_s : float option;
+  restart_overhead_s : float;
 }
 
 let default_config =
@@ -37,6 +46,12 @@ let default_config =
     exclusive = false;
     min_dispatch_gap_s = 15.0;
     retry_s = 60.0;
+    node_check_period_s = None;
+    max_requeues = 3;
+    backoff_base_s = 30.0;
+    backoff_cap_s = 1800.0;
+    checkpoint_interval_s = None;
+    restart_overhead_s = 0.0;
   }
 
 type job_id = int
@@ -49,11 +64,13 @@ type outcome = {
   finished_at : float;
   nodes : int list;
   procs : int;
+  requeues : int;
 }
 
 type state =
   | Queued
   | Running of { started_at : float; nodes : int list }
+  | Failed of { at : float; reason : string; requeues : int }
   | Finished of outcome
   | Rejected of string
 
@@ -68,7 +85,12 @@ type job = {
   mutable overlay : World.job_handle option;
       (** set while running, for cancellation *)
   mutable completion : Rm_engine.Event_queue.handle option;
+  mutable requeue_event : Rm_engine.Event_queue.handle option;
+      (** pending Failed → Queued transition, for cancellation *)
   mutable span : Telemetry.Trace.span option;  (** open while running *)
+  mutable requeues : int;
+  mutable preserved_s : float;
+      (** virtual work saved at checkpoints, deducted from the next run *)
 }
 
 type t = {
@@ -84,26 +106,13 @@ type t = {
   mutable last_dispatch : float;
   mutable retry_pending : bool;
   mutable next_id : int;
+  mutable wasted_node_s : float;
+      (** node-seconds of work lost to node failures (since the last
+          checkpoint, per failure) *)
+  mutable requeues_total : int;  (** Failed → Queued transitions *)
   depth_series : Rm_stats.Timeseries.t;
       (** queue depth sampled at every dispatch tick (virtual time) *)
 }
-
-let create ~sim ~world ~monitor ?(config = default_config) ~rng ~horizon () =
-  {
-    sim;
-    world;
-    monitor;
-    config;
-    rng = Rng.split rng;
-    horizon;
-    jobs = Hashtbl.create 32;
-    queue = [];
-    finished_log = [];
-    last_dispatch = neg_infinity;
-    retry_pending = false;
-    next_id = 0;
-    depth_series = Rm_stats.Timeseries.create ~name:"sched.queue_depth" ();
-  }
 
 let job t id =
   match Hashtbl.find_opt t.jobs id with
@@ -125,6 +134,19 @@ let running t =
     t.queue
 
 let finished t = List.rev t.finished_log
+
+let failed t =
+  List.filter
+    (fun id -> match (job t id).state with Failed _ -> true | _ -> false)
+    t.queue
+
+let rejected t =
+  List.filter
+    (fun id -> match (job t id).state with Rejected _ -> true | _ -> false)
+    t.queue
+
+let requeue_count t = t.requeues_total
+let wasted_node_seconds t = t.wasted_node_s
 
 let sync_queue_gauge t =
   if Telemetry.Runtime.is_enabled () then
@@ -202,7 +224,7 @@ and busy_nodes t =
     (fun id ->
       match (job t id).state with
       | Running { nodes; _ } -> nodes
-      | Queued | Finished _ | Rejected _ -> [])
+      | Queued | Failed _ | Finished _ | Rejected _ -> [])
     t.queue
 
 and attempt t sim snapshot id =
@@ -224,8 +246,12 @@ and start_job t sim j allocation =
   let now = Sim.now sim in
   let app = j.app_of ~ranks:(Allocation.total_procs allocation) in
   let duration =
+    (* Checkpointed work survives a failure; a restarted job pays a
+       restart overhead and re-runs only the unpreserved remainder. *)
     Float.max 1e-3
-      (Executor.estimate_duration_s ~world:t.world ~allocation ~app ())
+      (Executor.estimate_duration_s ~world:t.world ~allocation ~app ()
+      -. j.preserved_s
+      +. (if j.requeues > 0 then t.config.restart_overhead_s else 0.0))
   in
   let load =
     List.map
@@ -258,30 +284,156 @@ and start_job t sim j allocation =
   j.completion <-
     Some
       (Sim.schedule_after sim ~delay:duration (fun sim ->
-           World.release_job t.world handle;
-           j.overlay <- None;
            j.completion <- None;
-           let finished_at = Sim.now sim in
-           let outcome =
-             {
-               job = j.id;
-               name = j.name;
-               submitted_at = j.submitted_at;
-               started_at = now;
-               finished_at;
-               nodes;
-               procs = Allocation.total_procs allocation;
-             }
+           (* With failure detection on, a completion on a node that is
+              currently down is a death the poll has not seen yet. *)
+           let dead =
+             if t.config.node_check_period_s = None then None
+             else
+               List.find_opt (fun n -> not (World.is_up t.world ~node:n)) nodes
            in
-           j.state <- Finished outcome;
-           t.finished_log <- outcome :: t.finished_log;
-           Telemetry.Metrics.incr m_completed;
-           (match j.span with
-           | Some span ->
-             Telemetry.Trace.span_end ~time:finished_at span;
-             j.span <- None
-           | None -> ());
-           try_dispatch t sim))
+           match dead with
+           | Some node ->
+             fail_job t sim j ~reason:(Printf.sprintf "node %d died" node)
+           | None ->
+             World.release_job t.world handle;
+             j.overlay <- None;
+             let finished_at = Sim.now sim in
+             let outcome =
+               {
+                 job = j.id;
+                 name = j.name;
+                 submitted_at = j.submitted_at;
+                 started_at = now;
+                 finished_at;
+                 nodes;
+                 procs = Allocation.total_procs allocation;
+                 requeues = j.requeues;
+               }
+             in
+             j.state <- Finished outcome;
+             t.finished_log <- outcome :: t.finished_log;
+             Telemetry.Metrics.incr m_completed;
+             (match j.span with
+             | Some span ->
+               Telemetry.Trace.span_end ~time:finished_at span;
+               j.span <- None
+             | None -> ());
+             try_dispatch t sim))
+
+(* A running job lost a node. Account the work lost since the last
+   virtual checkpoint, then either requeue with capped exponential
+   backoff or give up after [max_requeues] attempts. *)
+and fail_job t sim j ~reason =
+  match j.state with
+  | Queued | Failed _ | Finished _ | Rejected _ -> ()
+  | Running { started_at; nodes } ->
+    let now = Sim.now sim in
+    (match j.overlay with
+    | Some handle ->
+      World.release_job t.world handle;
+      j.overlay <- None
+    | None -> ());
+    (match j.completion with
+    | Some handle ->
+      Sim.cancel t.sim handle;
+      j.completion <- None
+    | None -> ());
+    (match j.span with
+    | Some span ->
+      Telemetry.Trace.span_end ~time:now span;
+      j.span <- None
+    | None -> ());
+    let elapsed = Float.max 0.0 (now -. started_at) in
+    let preserved_delta =
+      match t.config.checkpoint_interval_s with
+      | Some c when c > 0.0 -> Float.of_int (int_of_float (elapsed /. c)) *. c
+      | _ -> 0.0
+    in
+    let lost_node_s =
+      (elapsed -. preserved_delta) *. float_of_int (List.length nodes)
+    in
+    j.preserved_s <- j.preserved_s +. preserved_delta;
+    t.wasted_node_s <- t.wasted_node_s +. lost_node_s;
+    j.requeues <- j.requeues + 1;
+    Telemetry.Metrics.incr m_failed;
+    if Telemetry.Runtime.is_enabled () then begin
+      Telemetry.Metrics.add m_wasted lost_node_s;
+      Telemetry.Trace.instant ~time:now
+        ~attrs:[ ("job", j.name); ("reason", reason) ]
+        "sched.job_failed"
+    end;
+    if j.requeues > t.config.max_requeues then begin
+      j.state <-
+        Rejected
+          (Printf.sprintf "%s; gave up after %d requeues" reason
+             t.config.max_requeues);
+      sync_queue_gauge t
+    end
+    else begin
+      j.state <- Failed { at = now; reason; requeues = j.requeues };
+      let backoff =
+        Float.min t.config.backoff_cap_s
+          (t.config.backoff_base_s *. (2.0 ** float_of_int (j.requeues - 1)))
+      in
+      j.requeue_event <-
+        Some
+          (Sim.schedule_after t.sim ~delay:backoff (fun sim ->
+               j.requeue_event <- None;
+               j.state <- Queued;
+               t.requeues_total <- t.requeues_total + 1;
+               Telemetry.Metrics.incr m_requeues;
+               sync_queue_gauge t;
+               (* Record the re-entry before the dispatch attempt, so the
+                  requeue shows in the depth series even when the job is
+                  re-placed within the same tick. *)
+               sample_queue_depth t ~now:(Sim.now sim);
+               try_dispatch t sim))
+    end
+
+(* Poll allocated-node liveness for every running job — reads only
+   [World.is_up], never advances the world or draws randomness, so a
+   run without faults is bit-identical with or without the check. *)
+and check_failures t sim =
+  List.iter
+    (fun id ->
+      let j = job t id in
+      match j.state with
+      | Running { nodes; _ } -> (
+        match
+          List.find_opt (fun n -> not (World.is_up t.world ~node:n)) nodes
+        with
+        | Some node ->
+          fail_job t sim j ~reason:(Printf.sprintf "node %d died" node)
+        | None -> ())
+      | Queued | Failed _ | Finished _ | Rejected _ -> ())
+    t.queue
+
+let create ~sim ~world ~monitor ?(config = default_config) ~rng ~horizon () =
+  let t =
+    {
+      sim;
+      world;
+      monitor;
+      config;
+      rng = Rng.split rng;
+      horizon;
+      jobs = Hashtbl.create 32;
+      queue = [];
+      finished_log = [];
+      last_dispatch = neg_infinity;
+      retry_pending = false;
+      next_id = 0;
+      wasted_node_s = 0.0;
+      requeues_total = 0;
+      depth_series = Rm_stats.Timeseries.create ~name:"sched.queue_depth" ();
+    }
+  in
+  (match config.node_check_period_s with
+  | Some period ->
+    Sim.every sim ~period ~until:horizon (fun sim -> check_failures t sim)
+  | None -> ());
+  t
 
 let submit t ~name ~at ?(priority = 0) ~request ~app_of () =
   if at < Sim.now t.sim then invalid_arg "Scheduler.submit: time in the past";
@@ -291,7 +443,9 @@ let submit t ~name ~at ?(priority = 0) ~request ~app_of () =
     (Sim.schedule_at t.sim ~time:at (fun sim ->
          let j =
            { id; name; priority; request; app_of; submitted_at = at;
-             state = Queued; overlay = None; completion = None; span = None }
+             state = Queued; overlay = None; completion = None;
+             requeue_event = None; span = None; requeues = 0;
+             preserved_s = 0.0 }
          in
          Hashtbl.replace t.jobs id j;
          t.queue <- t.queue @ [ id ];
@@ -307,6 +461,14 @@ let cancel t id =
     j.state <- Rejected "cancelled";
     Telemetry.Metrics.incr m_cancelled;
     sync_queue_gauge t
+  | Failed _ ->
+    (match j.requeue_event with
+    | Some handle ->
+      Sim.cancel t.sim handle;
+      j.requeue_event <- None
+    | None -> ());
+    j.state <- Rejected "cancelled";
+    Telemetry.Metrics.incr m_cancelled
   | Running _ ->
     (match j.overlay with
     | Some handle ->

@@ -23,6 +23,25 @@ type config = {
           default false — the paper's broker deliberately time-shares *)
   min_dispatch_gap_s : float;  (** default 15 s *)
   retry_s : float;  (** re-examine the queue at least this often *)
+  node_check_period_s : float option;
+      (** poll allocated-node liveness this often and fail running jobs
+          that lost a node; [None] (default) disables failure detection
+          entirely, preserving the historical behavior. The poll reads
+          only {!Rm_workload.World.is_up} — no world advance, no RNG —
+          so enabling it does not perturb a fault-free run *)
+  max_requeues : int;
+      (** failures tolerated per job before it is [Rejected]; default 3 *)
+  backoff_base_s : float;
+      (** requeue delay after the first failure, doubling per subsequent
+          failure; default 30 s *)
+  backoff_cap_s : float;  (** backoff ceiling; default 1800 s *)
+  checkpoint_interval_s : float option;
+      (** virtual checkpoint cadence: on failure only the work since the
+          last multiple of this is lost and re-run. [None] (default)
+          means no checkpoints — a failed job restarts from scratch *)
+  restart_overhead_s : float;
+      (** extra run time added to every post-failure restart (checkpoint
+          load, launch); default 0 *)
 }
 
 val default_config : config
@@ -37,11 +56,14 @@ type outcome = {
   finished_at : float;
   nodes : int list;
   procs : int;
+  requeues : int;  (** failures survived on the way to finishing *)
 }
 
 type state =
   | Queued
   | Running of { started_at : float; nodes : int list }
+  | Failed of { at : float; reason : string; requeues : int }
+      (** lost a node mid-run; will re-enter the queue after backoff *)
   | Finished of outcome
   | Rejected of string
 
@@ -79,8 +101,21 @@ val cancel : t -> job_id -> unit
 val state : t -> job_id -> state
 val queued : t -> job_id list
 val running : t -> job_id list
+val failed : t -> job_id list
+(** Jobs waiting out their requeue backoff. *)
+
+val rejected : t -> job_id list
+(** Jobs that were cancelled or gave up after [max_requeues]. *)
+
 val finished : t -> outcome list
 (** In completion order. *)
+
+val requeue_count : t -> int
+(** Total [Failed] → [Queued] transitions so far. *)
+
+val wasted_node_seconds : t -> float
+(** Node-seconds of work lost to node failures (work since the last
+    virtual checkpoint × nodes, summed over failures). *)
 
 val queue_depth_series : t -> Rm_stats.Timeseries.t
 (** Queue depth over virtual time, one sample per dispatch tick

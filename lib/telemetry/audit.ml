@@ -24,6 +24,7 @@ type t = {
   beta : float;
   staleness_s : float;
   usable : int;
+  stale_excluded : int list;
   nodes : node_stat list;
   candidates : candidate list;
   chosen : int option;
@@ -133,6 +134,9 @@ let to_json r =
          ("beta", Json.Num r.beta);
          ("staleness_s", Json.Num r.staleness_s);
          ("usable", Json.Num (float_of_int r.usable));
+         ( "stale_excluded",
+           Json.Arr
+             (List.map (fun n -> Json.Num (float_of_int n)) r.stale_excluded) );
          ("nodes", Json.Arr (List.map json_of_node r.nodes));
          ("candidates", Json.Arr (List.map json_of_candidate r.candidates));
          ( "chosen",
@@ -199,6 +203,11 @@ let of_json line =
     beta = Json.to_float (Json.member "beta" j);
     staleness_s = Json.to_float (Json.member "staleness_s" j);
     usable = Json.to_int (Json.member "usable" j);
+    stale_excluded =
+      (* Absent in records written before the staleness gate existed. *)
+      (match Json.member "stale_excluded" j with
+      | Json.Null -> []
+      | v -> List.map Json.to_int (Json.to_list v));
     nodes = List.map node_of_json (Json.to_list (Json.member "nodes" j));
     candidates =
       List.map candidate_of_json (Json.to_list (Json.member "candidates" j));
@@ -322,6 +331,9 @@ let pp_explain ppf r =
     r.alpha r.beta;
   Format.fprintf ppf "snapshot: %d usable nodes, staleness %.1fs@."
     r.usable r.staleness_s;
+  if r.stale_excluded <> [] then
+    Format.fprintf ppf "excluded as stale: [%s]@."
+      (String.concat "; " (List.map string_of_int r.stale_excluded));
   (match r.decision with
   | Wait { mean_load_per_core; threshold } ->
     Format.fprintf ppf

@@ -47,6 +47,9 @@ type t = {
   beta : float;
   staleness_s : float;  (** oldest usable node record's age *)
   usable : int;
+  stale_excluded : int list;
+      (** nodes the broker dropped because their records were older than
+          its [max_staleness_s] gate (empty when the gate is off) *)
   nodes : node_stat list;
   candidates : candidate list;  (** empty for non-Algorithm-2 policies *)
   chosen : int option;  (** winning candidate's start node *)

@@ -108,18 +108,30 @@ let nightly =
         ~util_base_hi:14.0;
   }
 
-let all_names =
-  [ "quiet"; "normal"; "busy"; "weekend"; "nightly"; "hotspot0"; "hotspot1";
-    "hotspot2"; "hotspot3" ]
+(* Every name here resolves via [by_name]; "hotspot0" stands in for the
+   whole hotspot<N> family (any switch index the topology can validate). *)
+let all_names = [ "quiet"; "normal"; "busy"; "weekend"; "nightly"; "hotspot0" ]
 
-let by_name = function
+let hotspot_prefix = "hotspot"
+
+let parse_hotspot name =
+  let plen = String.length hotspot_prefix in
+  if String.length name <= plen then None
+  else if not (String.starts_with ~prefix:hotspot_prefix name) then None
+  else
+    let digits = String.sub name plen (String.length name - plen) in
+    if String.for_all (fun c -> c >= '0' && c <= '9') digits then
+      int_of_string_opt digits
+    else None
+
+let by_name name =
+  match name with
   | "quiet" -> Some quiet
   | "normal" -> Some normal
   | "busy" -> Some busy
   | "weekend" -> Some weekend
   | "nightly" -> Some nightly
-  | "hotspot0" -> Some (hotspot ~switch:0)
-  | "hotspot1" -> Some (hotspot ~switch:1)
-  | "hotspot2" -> Some (hotspot ~switch:2)
-  | "hotspot3" -> Some (hotspot ~switch:3)
-  | _ -> None
+  | _ -> (
+    match parse_hotspot name with
+    | Some switch -> Some (hotspot ~switch)
+    | None -> None)

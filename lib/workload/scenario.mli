@@ -35,7 +35,12 @@ val hotspot : switch:int -> t
     dark bandwidth patches of Fig. 2a. *)
 
 val by_name : string -> t option
-(** Lookup among ["quiet"; "normal"; "busy"; "weekend"; "nightly";
-    "hotspot0".."hotspot3"]. *)
+(** Lookup among ["quiet"; "normal"; "busy"; "weekend"; "nightly"] and
+    ["hotspot<N>"] for any non-negative [N] (e.g. ["hotspot7"]). The
+    switch index is validated against the actual topology when the
+    scenario is instantiated ({!World.create} raises
+    [Invalid_argument] with the valid range). *)
 
 val all_names : string list
+(** Every listed name resolves via {!by_name}; ["hotspot0"] represents
+    the [hotspot<N>] family. *)

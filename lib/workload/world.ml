@@ -44,7 +44,20 @@ let assemble ~cluster ~scenario ~models ~flows =
   Network.set_flows network (Flow_gen.active_flows flows);
   t
 
+let check_hotspot ~cluster (scenario : Scenario.t) =
+  match scenario.flow_params.hotspot with
+  | None -> ()
+  | Some (switch, _) ->
+    let count = Topology.switch_count (Cluster.topology cluster) in
+    if switch < 0 || switch >= count then
+      invalid_arg
+        (Printf.sprintf
+           "World.create: scenario %s targets switch %d but the topology has \
+            switches 0..%d"
+           scenario.name switch (count - 1))
+
 let create ~cluster ~scenario ~seed =
+  check_hotspot ~cluster scenario;
   let rng = Rng.create seed in
   let models =
     Array.map
@@ -181,6 +194,16 @@ let set_down t ~node =
 let set_up t ~node =
   check_node t node;
   t.up.(node) <- true
+
+let set_nic_scale t ~node scale =
+  check_node t node;
+  let link = Topology.access_link (Cluster.topology t.cluster) ~node in
+  Network.set_capacity_scale t.network ~link_id:link.Topology.link_id scale
+
+let nic_scale t ~node =
+  check_node t node;
+  let link = Topology.access_link (Cluster.topology t.cluster) ~node in
+  Network.capacity_scale t.network ~link_id:link.Topology.link_id
 
 let up_nodes t =
   let acc = ref [] in

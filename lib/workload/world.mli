@@ -10,6 +10,8 @@ type t
 
 val create :
   cluster:Rm_cluster.Cluster.t -> scenario:Scenario.t -> seed:int -> t
+(** Raises [Invalid_argument] when the scenario targets a hotspot
+    switch the topology does not have. *)
 
 val create_replay :
   ?flow_params:Flow_gen.params ->
@@ -79,3 +81,10 @@ val is_up : t -> node:int -> bool
 val set_down : t -> node:int -> unit
 val set_up : t -> node:int -> unit
 val up_nodes : t -> int list
+
+val set_nic_scale : t -> node:int -> float -> unit
+(** Degrade (or restore, with [1.0]) the node's access-link capacity to
+    [scale × nominal] — the flaky-NIC fault. Probes and the fair-share
+    model see the reduced capacity immediately. *)
+
+val nic_scale : t -> node:int -> float

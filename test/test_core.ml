@@ -672,6 +672,91 @@ let test_broker_mean_load_per_core () =
   check_float "mean load/core" (4.0 /. 16.0)
     (Broker.mean_load_per_core snap ~weights)
 
+(* [age] some node records, leaving the rest freshly written. *)
+let aged_snapshot ~now ~stale specs =
+  let snap = { (fixture specs) with Snapshot.time = now } in
+  Array.iteri
+    (fun i info ->
+      match info with
+      | Some info ->
+        let written_at = if List.mem i stale then 0.0 else now in
+        snap.Snapshot.nodes.(i) <- Some { info with Snapshot.written_at }
+      | None -> ())
+    snap.Snapshot.nodes;
+  snap
+
+let test_broker_excludes_stale_records () =
+  (* Nodes 0 and 1 are idle but their records are 1000 s old; 2 and 3
+     are loaded but fresh. With the gate on, the allocation must land on
+     the fresh pair despite the worse scores. *)
+  let snap =
+    aged_snapshot ~now:1000.0 ~stale:[ 0; 1 ]
+      [ (8, 0.0); (8, 0.0); (8, 4.0); (8, 4.0) ]
+  in
+  let request = Request.make ~ppn:4 ~procs:8 () in
+  let config = { Broker.default_config with Broker.max_staleness_s = 120.0 } in
+  (match Broker.decide ~config ~snapshot:snap ~request ~rng:(Rng.create 1) with
+  | Ok (Broker.Allocated a) ->
+    List.iter
+      (fun (e : Allocation.entry) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "node %d is fresh" e.Allocation.node)
+          true
+          (e.Allocation.node >= 2))
+      a.Allocation.entries
+  | Ok (Broker.Wait _) -> Alcotest.fail "should allocate"
+  | Error _ -> Alcotest.fail "fresh nodes should suffice");
+  (* Default config (infinite staleness budget): the idle stale pair
+     wins, proving the gate is what shrank the eligible set. *)
+  match
+    Broker.decide ~config:Broker.default_config ~snapshot:snap ~request
+      ~rng:(Rng.create 1)
+  with
+  | Ok (Broker.Allocated a) ->
+    Alcotest.(check bool) "stale-but-idle nodes used without the gate" true
+      (List.exists (fun (e : Allocation.entry) -> e.Allocation.node <= 1)
+         a.Allocation.entries)
+  | _ -> Alcotest.fail "ungated decision failed"
+
+let test_broker_all_stale_is_an_error () =
+  let snap =
+    aged_snapshot ~now:1000.0 ~stale:[ 0; 1; 2; 3 ]
+      [ (8, 0.0); (8, 0.0); (8, 0.0); (8, 0.0) ]
+  in
+  let config = { Broker.default_config with Broker.max_staleness_s = 60.0 } in
+  let request = Request.make ~ppn:4 ~procs:8 () in
+  match Broker.decide ~config ~snapshot:snap ~request ~rng:(Rng.create 1) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "every record is stale; nothing is eligible"
+
+let test_broker_stale_exclusions_audited () =
+  Rm_telemetry.Runtime.enable ();
+  Rm_telemetry.Audit.clear ();
+  let snap =
+    aged_snapshot ~now:1000.0 ~stale:[ 1 ]
+      [ (8, 0.0); (8, 0.0); (8, 0.0); (8, 0.0) ]
+  in
+  let config = { Broker.default_config with Broker.max_staleness_s = 120.0 } in
+  let request = Request.make ~ppn:4 ~procs:8 () in
+  (match Broker.decide ~config ~snapshot:snap ~request ~rng:(Rng.create 1) with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "decision failed");
+  let record =
+    match Rm_telemetry.Audit.last () with
+    | Some r -> r
+    | None -> Alcotest.fail "no audit record"
+  in
+  Rm_telemetry.Runtime.disable ();
+  Rm_telemetry.Audit.clear ();
+  Alcotest.(check (list int)) "stale nodes reported" [ 1 ]
+    record.Rm_telemetry.Audit.stale_excluded;
+  Alcotest.(check bool) "explanation mentions staleness" true
+    (let hay = Format.asprintf "%a" Rm_telemetry.Audit.pp_explain record in
+     let needle = "stale" in
+     let h = String.length hay and n = String.length needle in
+     let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+     go 0)
+
 (* --- qcheck: allocator invariants ---------------------------------------------- *)
 
 let qcheck = QCheck_alcotest.to_alcotest
@@ -966,5 +1051,11 @@ let suites =
         Alcotest.test_case "threshold not exceeded" `Quick
           test_broker_threshold_not_exceeded;
         Alcotest.test_case "mean load per core" `Quick test_broker_mean_load_per_core;
+        Alcotest.test_case "excludes stale records" `Quick
+          test_broker_excludes_stale_records;
+        Alcotest.test_case "all stale is an error" `Quick
+          test_broker_all_stale_is_an_error;
+        Alcotest.test_case "stale exclusions audited" `Quick
+          test_broker_stale_exclusions_audited;
       ] );
   ]

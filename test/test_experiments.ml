@@ -217,6 +217,82 @@ let test_queue_study_structure () =
     rows;
   Alcotest.(check bool) "renders" true (String.length (Queue_study.render rows) > 0)
 
+(* --- Chaos study -------------------------------------------------------- *)
+
+module Chaos_study = Rm_experiments.Chaos_study
+module Scheduler = Rm_sched.Scheduler
+
+let test_chaos_off_matches_baseline () =
+  (* The chaos harness with no plan must be the queue study bit for bit:
+     same outcomes, same timestamps. The resilience knobs (liveness
+     poll, staleness gate, checkpointing) only act when a fault fires. *)
+  let policy = Rm_core.Policies.Network_load_aware in
+  let baseline =
+    List.find
+      (fun (r : Queue_study.policy_row) -> r.Queue_study.policy = policy)
+      (Queue_study.run ~seed:83 ~job_count:3 ())
+  in
+  let sched, injector = Chaos_study.run_sched ~seed:83 ~job_count:3 ~policy () in
+  Alcotest.(check bool) "no injector" true (injector = None);
+  let s = Scheduler.summary sched in
+  let b = baseline.Queue_study.summary in
+  Alcotest.(check int) "same finished" b.Scheduler.jobs_finished
+    s.Scheduler.jobs_finished;
+  Alcotest.(check (float 0.0)) "same mean wait" b.Scheduler.mean_wait_s
+    s.Scheduler.mean_wait_s;
+  Alcotest.(check (float 0.0)) "same mean turnaround" b.Scheduler.mean_turnaround_s
+    s.Scheduler.mean_turnaround_s;
+  Alcotest.(check (float 0.0)) "same max wait" b.Scheduler.max_wait_s
+    s.Scheduler.max_wait_s
+
+let test_chaos_heavy_terminates_every_job () =
+  (* Under the heavy plan no job may be left hanging: every submission
+     ends Finished or Rejected. *)
+  let policy = Rm_core.Policies.Load_aware in
+  let cluster = Rm_cluster.Cluster.iitk_reference () in
+  let plan =
+    match
+      Chaos_study.plan_of_intensity ~cluster
+        ~first_after_s:
+          (Rm_monitor.System.warm_up_s Rm_monitor.System.default_cadence)
+        ~seed:100 Chaos_study.Heavy
+    with
+    | Some p -> p
+    | None -> Alcotest.fail "heavy plan missing"
+  in
+  let sched, injector = Chaos_study.run_sched ~seed:83 ~job_count:4 ~plan ~policy () in
+  let injector = match injector with Some i -> i | None -> Alcotest.fail "no injector" in
+  Alcotest.(check bool) "faults fired" true (Rm_faults.Injector.injected injector > 0);
+  Alcotest.(check int) "nothing queued" 0 (List.length (Scheduler.queued sched));
+  Alcotest.(check int) "nothing running" 0 (List.length (Scheduler.running sched));
+  Alcotest.(check int) "nothing failed-pending" 0
+    (List.length (Scheduler.failed sched));
+  Alcotest.(check int) "all jobs accounted for" 4
+    (List.length (Scheduler.finished sched)
+    + List.length (Scheduler.rejected sched))
+
+let test_chaos_rows_and_render () =
+  let rows =
+    Chaos_study.run ~seed:83 ~job_count:2
+      ~intensities:[ Chaos_study.Off; Chaos_study.Light ] ()
+  in
+  Alcotest.(check int) "intensities x policies" 8 (List.length rows);
+  List.iter
+    (fun (r : Chaos_study.row) ->
+      Alcotest.(check bool) "goodput in [0,1]" true
+        (r.Chaos_study.goodput >= 0.0 && r.Chaos_study.goodput <= 1.0);
+      Alcotest.(check bool) "jobs accounted" true
+        (r.Chaos_study.finished + r.Chaos_study.rejected = 2);
+      if r.Chaos_study.intensity = Chaos_study.Off then begin
+        Alcotest.(check int) "off: no faults" 0 r.Chaos_study.faults_injected;
+        Alcotest.(check int) "off: no requeues" 0 r.Chaos_study.requeues;
+        Alcotest.(check (float 0.0)) "off: nothing wasted" 0.0
+          r.Chaos_study.wasted_node_s
+      end)
+    rows;
+  Alcotest.(check bool) "renders" true
+    (String.length (Chaos_study.render rows) > 0)
+
 let test_interference_structure () =
   let i = Queue_study.interference ~seed:13 () in
   Alcotest.(check bool) "alone positive" true (i.Queue_study.alone_s > 0.0);
@@ -285,6 +361,14 @@ let suites =
       [
         Alcotest.test_case "queue study" `Slow test_queue_study_structure;
         Alcotest.test_case "interference" `Slow test_interference_structure;
+      ] );
+    ( "experiments.chaos",
+      [
+        Alcotest.test_case "off matches baseline" `Slow
+          test_chaos_off_matches_baseline;
+        Alcotest.test_case "heavy terminates every job" `Slow
+          test_chaos_heavy_terminates_every_job;
+        Alcotest.test_case "rows and render" `Slow test_chaos_rows_and_render;
       ] );
     ( "experiments.figures",
       [

@@ -1,0 +1,323 @@
+(* Tests for rm_faults: the fault-plan DSL (JSON round-trip, validation)
+   and the injector's effect on ground truth and the monitor — crash /
+   recover, NIC degradation, switch partitions, daemon kills handed back
+   to the Central Monitor, store write-loss, and the bit-for-bit
+   determinism guarantees the chaos study relies on. *)
+
+module Sim = Rm_engine.Sim
+module Rng = Rm_stats.Rng
+module Cluster = Rm_cluster.Cluster
+module Topology = Rm_cluster.Topology
+module World = Rm_workload.World
+module Scenario = Rm_workload.Scenario
+module System = Rm_monitor.System
+module Snapshot = Rm_monitor.Snapshot
+module Daemon = Rm_monitor.Daemon
+module Fault_plan = Rm_faults.Fault_plan
+module Injector = Rm_faults.Injector
+
+let cluster () =
+  Cluster.homogeneous ~cores:8 ~freq_ghz:3.0 ~nodes_per_switch:[ 4; 4 ] ()
+
+let world ?(seed = 7) () =
+  World.create ~cluster:(cluster ()) ~scenario:Scenario.quiet ~seed
+
+let setup ?seed () =
+  let sim = Sim.create () in
+  let w = world ?seed () in
+  (sim, w)
+
+(* --- Fault_plan ------------------------------------------------------------- *)
+
+let sample_plan () =
+  {
+    Fault_plan.name = "sample";
+    seed = 11;
+    events =
+      [
+        Fault_plan.one_shot ~at:600.0 ~duration_s:120.0
+          (Fault_plan.Node_crash { node = 3 });
+        Fault_plan.one_shot ~label:"flaky-nic" ~at:300.0
+          (Fault_plan.Nic_degrade { node = 1; factor = 0.25 });
+        Fault_plan.recurring ~mtbf_s:1800.0 ~mttr_s:120.0
+          (Fault_plan.Switch_outage { switch = 1 });
+        Fault_plan.one_shot ~at:700.0 (Fault_plan.Daemon_kill { name = "livehosts-0" });
+        Fault_plan.one_shot ~at:400.0 ~duration_s:300.0 Fault_plan.Store_outage;
+      ];
+  }
+
+let test_plan_json_round_trip () =
+  let plan = sample_plan () in
+  let back = Fault_plan.of_json (Fault_plan.to_json plan) in
+  Alcotest.(check bool) "round trip" true (back = plan)
+
+let test_plan_of_json_literal () =
+  let plan =
+    Fault_plan.of_json
+      {|{"name": "demo", "seed": 7, "events": [
+          {"action": "node-crash", "node": 3, "at": 600, "duration": 120},
+          {"action": "switch-outage", "switch": 1, "mtbf": 1800, "mttr": 120},
+          {"action": "store-outage", "at": 400}]}|}
+  in
+  Alcotest.(check string) "name" "demo" plan.Fault_plan.name;
+  Alcotest.(check int) "seed" 7 plan.Fault_plan.seed;
+  Alcotest.(check int) "events" 3 (List.length plan.Fault_plan.events);
+  match (List.nth plan.Fault_plan.events 1).Fault_plan.schedule with
+  | Fault_plan.Recurring { mtbf_s; mttr_s; first_after_s } ->
+    Alcotest.(check (float 1e-9)) "mtbf" 1800.0 mtbf_s;
+    Alcotest.(check (float 1e-9)) "mttr" 120.0 mttr_s;
+    Alcotest.(check (float 1e-9)) "after" 0.0 first_after_s
+  | _ -> Alcotest.fail "expected recurring schedule"
+
+let test_plan_of_json_malformed () =
+  let rejects s =
+    match Fault_plan.of_json s with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.fail ("accepted malformed plan: " ^ s)
+  in
+  rejects "not json";
+  rejects {|{"name": "x"}|};
+  (* no events *)
+  rejects {|{"events": [{"action": "node-crash", "node": 1}]}|};
+  (* no schedule *)
+  rejects {|{"events": [{"action": "frobnicate", "at": 1}]}|};
+  rejects {|{"events": [{"action": "node-crash", "at": 1}]}|}
+(* no node *)
+
+let test_plan_validate () =
+  let c = cluster () in
+  let ok plan = Fault_plan.validate ~cluster:c plan in
+  ok (sample_plan ());
+  let rejects events =
+    let plan = { Fault_plan.name = "bad"; seed = 0; events } in
+    match Fault_plan.validate ~cluster:c plan with
+    | exception Invalid_argument _ -> ()
+    | () -> Alcotest.fail "validated a bad plan"
+  in
+  rejects [ Fault_plan.one_shot ~at:1.0 (Fault_plan.Node_crash { node = 99 }) ];
+  rejects [ Fault_plan.one_shot ~at:1.0 (Fault_plan.Switch_outage { switch = 5 }) ];
+  rejects
+    [ Fault_plan.one_shot ~at:1.0 (Fault_plan.Nic_degrade { node = 0; factor = 1.5 }) ];
+  rejects [ Fault_plan.one_shot ~at:(-5.0) (Fault_plan.Node_crash { node = 0 }) ];
+  rejects
+    [
+      Fault_plan.recurring ~mtbf_s:0.0 ~mttr_s:10.0
+        (Fault_plan.Node_crash { node = 0 });
+    ]
+
+let test_node_churn_constructor () =
+  let plan = Fault_plan.node_churn ~nodes:[ 0; 2; 4 ] ~mtbf_s:600.0 ~mttr_s:60.0 "churn" in
+  Alcotest.(check int) "one event per node" 3 (List.length plan.Fault_plan.events);
+  Fault_plan.validate ~cluster:(cluster ()) plan
+
+(* --- Injector: world faults --------------------------------------------------- *)
+
+let one_event ?duration_s ~at action =
+  { Fault_plan.name = "t"; seed = 1; events = [ Fault_plan.one_shot ~at ?duration_s action ] }
+
+let test_injector_node_crash_recover () =
+  let sim, w = setup () in
+  let inj =
+    Injector.inject ~sim ~world:w ~until:10_000.0
+      (one_event ~at:100.0 ~duration_s:50.0 (Fault_plan.Node_crash { node = 3 }))
+  in
+  Alcotest.(check int) "one occurrence scheduled" 1 (Injector.scheduled inj);
+  Sim.run_until sim 120.0;
+  Alcotest.(check bool) "down during fault" false (World.is_up w ~node:3);
+  Alcotest.(check int) "active" 1 (Injector.active inj);
+  Sim.run_until sim 200.0;
+  Alcotest.(check bool) "back up after repair" true (World.is_up w ~node:3);
+  Alcotest.(check int) "injected" 1 (Injector.injected inj);
+  Alcotest.(check int) "recovered" 1 (Injector.recovered inj);
+  Alcotest.(check int) "nothing active" 0 (Injector.active inj)
+
+let test_injector_permanent_crash () =
+  let sim, w = setup () in
+  let inj =
+    Injector.inject ~sim ~world:w ~until:10_000.0
+      (one_event ~at:100.0 (Fault_plan.Node_crash { node = 3 }))
+  in
+  Sim.run_until sim 9_000.0;
+  Alcotest.(check bool) "still down" false (World.is_up w ~node:3);
+  Alcotest.(check int) "never recovered" 0 (Injector.recovered inj)
+
+let test_injector_nic_degrade () =
+  let sim, w = setup () in
+  ignore
+    (Injector.inject ~sim ~world:w ~until:10_000.0
+       (one_event ~at:100.0 ~duration_s:100.0
+          (Fault_plan.Nic_degrade { node = 1; factor = 0.25 })));
+  Alcotest.(check (float 1e-9)) "nominal before" 1.0 (World.nic_scale w ~node:1);
+  Sim.run_until sim 150.0;
+  Alcotest.(check (float 1e-9)) "degraded" 0.25 (World.nic_scale w ~node:1);
+  Sim.run_until sim 300.0;
+  Alcotest.(check (float 1e-9)) "restored" 1.0 (World.nic_scale w ~node:1)
+
+let test_injector_switch_outage () =
+  let sim, w = setup () in
+  let members = Topology.nodes_of_switch (Cluster.topology (cluster ())) 1 in
+  Alcotest.(check bool) "switch has nodes" true (members <> []);
+  ignore
+    (Injector.inject ~sim ~world:w ~until:10_000.0
+       (one_event ~at:100.0 ~duration_s:50.0 (Fault_plan.Switch_outage { switch = 1 })));
+  Sim.run_until sim 120.0;
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (Printf.sprintf "node %d partitioned" n) false
+        (World.is_up w ~node:n))
+    members;
+  Alcotest.(check bool) "other switch untouched" true (World.is_up w ~node:0);
+  Sim.run_until sim 200.0;
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (Printf.sprintf "node %d healed" n) true
+        (World.is_up w ~node:n))
+    members
+
+let test_injector_overlapping_downs_refcount () =
+  (* A node downed by both its own crash and a switch outage comes back
+     only when the longer of the two ends. *)
+  let sim, w = setup () in
+  let victim = List.hd (Topology.nodes_of_switch (Cluster.topology (cluster ())) 1) in
+  let plan =
+    {
+      Fault_plan.name = "overlap";
+      seed = 1;
+      events =
+        [
+          Fault_plan.one_shot ~at:100.0 ~duration_s:200.0
+            (Fault_plan.Node_crash { node = victim });
+          Fault_plan.one_shot ~at:150.0 ~duration_s:50.0
+            (Fault_plan.Switch_outage { switch = 1 });
+        ];
+    }
+  in
+  ignore (Injector.inject ~sim ~world:w ~until:10_000.0 plan);
+  Sim.run_until sim 250.0;
+  (* switch outage over, node crash still active *)
+  Alcotest.(check bool) "still down after first repair" false
+    (World.is_up w ~node:victim);
+  Sim.run_until sim 400.0;
+  Alcotest.(check bool) "up after both" true (World.is_up w ~node:victim)
+
+let test_injector_recurring_deterministic () =
+  let run () =
+    let sim, w = setup () in
+    let plan =
+      Fault_plan.node_churn ~nodes:[ 1; 5 ] ~mtbf_s:500.0 ~mttr_s:50.0 ~seed:21
+        "churn"
+    in
+    let inj = Injector.inject ~sim ~world:w ~until:5_000.0 plan in
+    Sim.run_until sim 6_000.0;
+    Injector.log inj
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "same seed, same occurrence log" true (a = b);
+  Alcotest.(check bool) "churn fired" true (a <> [])
+
+let test_injector_empty_plan_bit_identical () =
+  (* Injecting an empty plan must not perturb the workload's streams. *)
+  let probe with_injector =
+    let sim, w = setup () in
+    if with_injector then
+      ignore
+        (Injector.inject ~sim ~world:w ~until:5_000.0
+           { Fault_plan.name = "empty"; seed = 99; events = [] });
+    Sim.run_until sim 4_000.0;
+    World.advance w ~now:4_000.0;
+    let snap = Snapshot.of_truth ~time:4_000.0 ~world:w in
+    List.map
+      (fun n ->
+        match Snapshot.node_info snap n with
+        | Some i -> i.Snapshot.load.Rm_stats.Running_means.instant
+        | None -> nan)
+      (Snapshot.usable snap)
+  in
+  Alcotest.(check bool) "bit-identical" true (probe false = probe true)
+
+(* --- Injector: monitor faults ------------------------------------------------- *)
+
+let monitored_setup () =
+  let sim, w = setup () in
+  let rng = Rng.create 13 in
+  let sys = System.start ~sim ~world:w ~rng ~until:50_000.0 () in
+  (sim, w, sys)
+
+let test_injector_daemon_kill_central_relaunches () =
+  let sim, w, sys = monitored_setup () in
+  let warm = System.warm_up_s System.default_cadence in
+  ignore
+    (Injector.inject ~sim ~world:w ~system:sys ~until:50_000.0
+       (one_event ~at:(warm +. 100.0) (Fault_plan.Daemon_kill { name = "livehosts-0" })));
+  Sim.run_until sim (warm +. 101.0);
+  let livehosts () =
+    List.find (fun d -> Daemon.name d = "livehosts-0") (System.daemons sys)
+  in
+  Alcotest.(check bool) "killed" false (Daemon.is_alive (livehosts ()));
+  (* The Central Monitor's supervision loop is the repair path. *)
+  Sim.run_until sim (warm +. 400.0);
+  Alcotest.(check bool) "relaunched by central" true (Daemon.is_alive (livehosts ()));
+  Alcotest.(check bool) "relaunch counted" true
+    (Rm_monitor.Central.relaunches (System.central sys) >= 1)
+
+let test_injector_daemon_kill_requires_system () =
+  let sim, w = setup () in
+  match
+    Injector.inject ~sim ~world:w ~until:1_000.0
+      (one_event ~at:10.0 (Fault_plan.Daemon_kill { name = "livehosts-0" }))
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "daemon kill without a system should be rejected"
+
+let test_injector_store_outage_staleness () =
+  let sim, w, sys = monitored_setup () in
+  let warm = System.warm_up_s System.default_cadence in
+  ignore
+    (Injector.inject ~sim ~world:w ~system:sys ~until:50_000.0
+       (one_event ~at:(warm +. 60.0) ~duration_s:600.0 Fault_plan.Store_outage));
+  Sim.run_until sim warm;
+  let fresh = Snapshot.max_staleness (System.snapshot sys ~time:warm) in
+  Sim.run_until sim (warm +. 620.0);
+  let during =
+    Snapshot.max_staleness (System.snapshot sys ~time:(warm +. 620.0))
+  in
+  Alcotest.(check bool) "staleness grows during outage" true
+    (during > fresh +. 400.0);
+  (* Writes resume after the outage; within a couple of cadences the
+     records are fresh again. *)
+  Sim.run_until sim (warm +. 2_000.0);
+  let after =
+    Snapshot.max_staleness (System.snapshot sys ~time:(warm +. 2_000.0))
+  in
+  Alcotest.(check bool) "staleness recovers" true (after < during)
+
+let suites =
+  [
+    ( "faults.plan",
+      [
+        Alcotest.test_case "json round trip" `Quick test_plan_json_round_trip;
+        Alcotest.test_case "json literal" `Quick test_plan_of_json_literal;
+        Alcotest.test_case "json malformed" `Quick test_plan_of_json_malformed;
+        Alcotest.test_case "validate" `Quick test_plan_validate;
+        Alcotest.test_case "node churn" `Quick test_node_churn_constructor;
+      ] );
+    ( "faults.injector",
+      [
+        Alcotest.test_case "crash and recover" `Quick test_injector_node_crash_recover;
+        Alcotest.test_case "permanent crash" `Quick test_injector_permanent_crash;
+        Alcotest.test_case "nic degrade" `Quick test_injector_nic_degrade;
+        Alcotest.test_case "switch outage" `Quick test_injector_switch_outage;
+        Alcotest.test_case "overlapping downs" `Quick
+          test_injector_overlapping_downs_refcount;
+        Alcotest.test_case "recurring deterministic" `Quick
+          test_injector_recurring_deterministic;
+        Alcotest.test_case "empty plan bit-identical" `Quick
+          test_injector_empty_plan_bit_identical;
+        Alcotest.test_case "daemon kill relaunched" `Quick
+          test_injector_daemon_kill_central_relaunches;
+        Alcotest.test_case "daemon kill needs system" `Quick
+          test_injector_daemon_kill_requires_system;
+        Alcotest.test_case "store outage staleness" `Quick
+          test_injector_store_outage_staleness;
+      ] );
+  ]

@@ -427,6 +427,26 @@ let test_central_double_crash_daemons_continue () =
   Sim.run_until sim 600.0;
   Alcotest.(check bool) "no relaunch without central" false (Daemon.is_alive victim)
 
+let test_central_double_crash_stops_relaunches () =
+  (* The relaunch counter itself must freeze once both instances are
+     gone: supervision work, not just the victim's fate. *)
+  let sim, central, victim, _count = central_setup () in
+  Sim.run_until sim 50.0;
+  Daemon.crash victim;
+  Sim.run_until sim 200.0;
+  Alcotest.(check bool) "supervision worked while alive" true
+    (Central.relaunches central >= 1);
+  Central.crash_master central;
+  Central.crash_slave central;
+  Sim.run_until sim 250.0;
+  Alcotest.(check int) "no central left" 0 (Central.instance_count central);
+  let frozen = Central.relaunches central in
+  Daemon.crash victim;
+  Sim.run_until sim 1_000.0;
+  Alcotest.(check int) "relaunch counter frozen" frozen
+    (Central.relaunches central);
+  Alcotest.(check int) "still no central" 0 (Central.instance_count central)
+
 let suites =
   [
     ( "monitor.store",
@@ -480,5 +500,7 @@ let suites =
         Alcotest.test_case "slave crash" `Quick test_central_survives_slave_crash;
         Alcotest.test_case "double crash" `Quick
           test_central_double_crash_daemons_continue;
+        Alcotest.test_case "double crash stops relaunches" `Quick
+          test_central_double_crash_stops_relaunches;
       ] );
   ]

@@ -468,6 +468,152 @@ let test_scheduler_timeline () =
   Alcotest.(check bool) "has running marks" true
     (String.exists (fun c -> c = '#') timeline)
 
+(* --- Failure detection and requeue -------------------------------------- *)
+
+let test_scheduler_requeues_after_node_death () =
+  let config =
+    {
+      Scheduler.default_config with
+      Scheduler.node_check_period_s = Some 5.0;
+      backoff_base_s = 20.0;
+      restart_overhead_s = 10.0;
+    }
+  in
+  let sim, world, sched = sched_setup ~config () in
+  let id =
+    Scheduler.submit sched ~name:"victim" ~at:1000.0
+      ~request:(Request.make ~ppn:4 ~alpha:0.5 ~procs:8 ())
+      ~app_of:(fun ~ranks -> ring_app ~ranks ~iterations:200_000)
+      ()
+  in
+  Sim.run_until sim 1001.0;
+  let victim =
+    match Scheduler.state sched id with
+    | Scheduler.Running { nodes; _ } -> List.hd nodes
+    | _ -> Alcotest.fail "job did not start"
+  in
+  World.set_down world ~node:victim;
+  (* The liveness poll (or the completion check, whichever lands first)
+     must move the job to Failed within one poll period. *)
+  Sim.run_until sim 1010.0;
+  (match Scheduler.state sched id with
+  | Scheduler.Failed { requeues; reason; _ } ->
+    Alcotest.(check int) "first failure" 1 requeues;
+    Alcotest.(check bool) "reason names the node" true (reason <> "")
+  | _ -> Alcotest.fail "node death not detected");
+  Alcotest.(check bool) "listed as failed" true
+    (Scheduler.failed sched = [ id ]);
+  Alcotest.(check bool) "wasted node-seconds recorded" true
+    (Scheduler.wasted_node_seconds sched > 0.0);
+  (* Repair the node; after the backoff the job re-enters the queue and
+     runs to completion — exactly one Failed -> Queued -> Finished. *)
+  World.set_up world ~node:victim;
+  Sim.run_until sim 100_000.0;
+  (match Scheduler.state sched id with
+  | Scheduler.Finished o ->
+    Alcotest.(check int) "survived one requeue" 1 o.Scheduler.requeues;
+    Alcotest.(check bool) "restarted after the failure" true
+      (o.Scheduler.started_at > 1010.0)
+  | _ -> Alcotest.fail "job never finished after requeue");
+  Alcotest.(check int) "one requeue total" 1 (Scheduler.requeue_count sched);
+  (* The requeue is visible in the queue-depth series: depth returns to
+     >= 1 at some tick after the failure. *)
+  let series = Scheduler.queue_depth_series sched in
+  let requeued_visible = ref false in
+  Rm_stats.Timeseries.iter series ~f:(fun ~time ~value ->
+      if time > 1005.0 && value >= 1.0 then requeued_visible := true);
+  Alcotest.(check bool) "requeue visible in queue depth" true !requeued_visible
+
+let test_scheduler_gives_up_after_max_requeues () =
+  let config =
+    {
+      Scheduler.default_config with
+      Scheduler.node_check_period_s = Some 5.0;
+      max_requeues = 1;
+      backoff_base_s = 10.0;
+    }
+  in
+  let sim, world, sched = sched_setup ~config () in
+  let id =
+    Scheduler.submit sched ~name:"doomed" ~at:1000.0
+      ~request:(Request.make ~ppn:4 ~alpha:0.5 ~procs:8 ())
+      ~app_of:(fun ~ranks -> ring_app ~ranks ~iterations:200_000)
+      ()
+  in
+  (* Kill whichever nodes the job lands on, every time it starts. *)
+  let rec sabotage sim =
+    match Scheduler.state sched id with
+    | Scheduler.Rejected _ -> ()
+    | Scheduler.Running { nodes; _ } ->
+      List.iter (fun n -> World.set_down world ~node:n) nodes;
+      ignore (Sim.schedule_after sim ~delay:2.0 sabotage)
+    | _ -> ignore (Sim.schedule_after sim ~delay:2.0 sabotage)
+  in
+  ignore (Sim.schedule_after sim ~delay:1001.0 sabotage);
+  Sim.run_until sim 100_000.0;
+  (match Scheduler.state sched id with
+  | Scheduler.Rejected reason ->
+    Alcotest.(check bool) "reason mentions giving up" true
+      (let needle = "gave up" in
+       let h = String.length reason and n = String.length needle in
+       let rec go i = i + n <= h && (String.sub reason i n = needle || go (i + 1)) in
+       go 0)
+  | _ -> Alcotest.fail "job was not rejected");
+  Alcotest.(check int) "no outcome recorded" 0
+    (List.length (Scheduler.finished sched))
+
+let test_scheduler_detection_off_is_historic () =
+  (* Default config: no liveness poll, so a node death mid-run does not
+     fail the job — the historical (pre-faults) behavior. *)
+  let sim, world, sched = sched_setup () in
+  let id =
+    Scheduler.submit sched ~name:"legacy" ~at:1000.0
+      ~request:(Request.make ~ppn:4 ~alpha:0.5 ~procs:8 ())
+      ~app_of:(fun ~ranks -> ring_app ~ranks ~iterations:2000)
+      ()
+  in
+  Sim.run_until sim 1001.0;
+  (match Scheduler.state sched id with
+  | Scheduler.Running { nodes; _ } ->
+    List.iter (fun n -> World.set_down world ~node:n) nodes
+  | _ -> Alcotest.fail "job did not start");
+  Sim.run_until sim 100_000.0;
+  (match Scheduler.state sched id with
+  | Scheduler.Finished o -> Alcotest.(check int) "no requeues" 0 o.Scheduler.requeues
+  | _ -> Alcotest.fail "job should finish when detection is off");
+  Alcotest.(check int) "no requeues counted" 0 (Scheduler.requeue_count sched)
+
+let test_scheduler_cancel_failed_job () =
+  let config =
+    {
+      Scheduler.default_config with
+      Scheduler.node_check_period_s = Some 5.0;
+      backoff_base_s = 500.0;
+    }
+  in
+  let sim, world, sched = sched_setup ~config () in
+  let id =
+    Scheduler.submit sched ~name:"limbo" ~at:1000.0
+      ~request:(Request.make ~ppn:4 ~alpha:0.5 ~procs:8 ())
+      ~app_of:(fun ~ranks -> ring_app ~ranks ~iterations:200_000)
+      ()
+  in
+  Sim.run_until sim 1001.0;
+  (match Scheduler.state sched id with
+  | Scheduler.Running { nodes; _ } -> World.set_down world ~node:(List.hd nodes)
+  | _ -> Alcotest.fail "job did not start");
+  Sim.run_until sim 1010.0;
+  (match Scheduler.state sched id with
+  | Scheduler.Failed _ -> ()
+  | _ -> Alcotest.fail "not failed");
+  Scheduler.cancel sched id;
+  Alcotest.(check bool) "cancelled" true
+    (Scheduler.state sched id = Scheduler.Rejected "cancelled");
+  (* The pending requeue must not resurrect it. *)
+  Sim.run_until sim 100_000.0;
+  Alcotest.(check bool) "stays cancelled" true
+    (Scheduler.state sched id = Scheduler.Rejected "cancelled")
+
 let test_scheduler_submit_past_rejected () =
   let sim, _world, sched = sched_setup () in
   Sim.run_until sim 1000.0;
@@ -625,6 +771,14 @@ let suites =
           test_scheduler_exclusive_serializes;
         Alcotest.test_case "snapshot restrict" `Quick test_snapshot_restrict;
         Alcotest.test_case "timeline" `Quick test_scheduler_timeline;
+        Alcotest.test_case "requeues after node death" `Quick
+          test_scheduler_requeues_after_node_death;
+        Alcotest.test_case "gives up after max requeues" `Quick
+          test_scheduler_gives_up_after_max_requeues;
+        Alcotest.test_case "detection off is historic" `Quick
+          test_scheduler_detection_off_is_historic;
+        Alcotest.test_case "cancel failed job" `Quick
+          test_scheduler_cancel_failed_job;
         Alcotest.test_case "submit past rejected" `Quick
           test_scheduler_submit_past_rejected;
       ] );

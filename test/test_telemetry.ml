@@ -328,6 +328,7 @@ let test_audit_ring_and_jsonl () =
                 beta = 0.7;
                 staleness_s = 0.0;
                 usable = 0;
+                stale_excluded = [];
                 nodes = [];
                 candidates = [];
                 chosen = None;
@@ -375,7 +376,8 @@ let arbitrary_audit : Audit.t QCheck.arbitrary =
   in
   let record =
     map
-      (fun ((time, policy, procs, ppn), (alpha, beta, staleness_s, usable),
+      (fun ((time, policy, procs, ppn),
+            ((alpha, beta, staleness_s, usable), stale_excluded),
             (nodes, candidates, chosen, decision)) ->
         {
           Audit.time;
@@ -386,6 +388,7 @@ let arbitrary_audit : Audit.t QCheck.arbitrary =
           beta;
           staleness_s;
           usable;
+          stale_excluded;
           nodes;
           candidates;
           chosen;
@@ -396,7 +399,9 @@ let arbitrary_audit : Audit.t QCheck.arbitrary =
             (string_size ~gen:printable (int_bound 12))
             (int_bound 512)
             (opt (int_range 1 16)))
-         (quad fin fin fin (int_bound 64))
+         (pair
+            (quad fin fin fin (int_bound 64))
+            (list_size (int_bound 4) (int_bound 63)))
          (quad
             (list_size (int_bound 5) node_stat)
             (list_size (int_bound 3) candidate)

@@ -213,6 +213,41 @@ let test_scenario_lookup () =
     (fun n -> Alcotest.(check bool) n true (Scenario.by_name n <> None))
     Scenario.all_names
 
+let test_scenario_hotspot_family () =
+  (* "hotspot<N>" parses for any N; the switch only gets range-checked
+     against a concrete topology at World.create time. *)
+  (match Scenario.by_name "hotspot7" with
+  | Some sc -> (
+    Alcotest.(check string) "name carries the index" "hotspot7" sc.Scenario.name;
+    match sc.Scenario.flow_params.Rm_workload.Flow_gen.hotspot with
+    | Some (switch, _) -> Alcotest.(check int) "switch 7" 7 switch
+    | None -> Alcotest.fail "hotspot scenario without a hotspot")
+  | None -> Alcotest.fail "hotspot7 did not parse");
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool) (bad ^ " rejected") true (Scenario.by_name bad = None))
+    [ "hotspot"; "hotspotx"; "hotspot-1"; "hotspot1.5"; "Hotspot1" ]
+
+let test_scenario_hotspot_out_of_range () =
+  (* small_cluster has 2 switches; asking for switch 9 must fail loudly
+     at world construction, not silently generate no traffic. *)
+  (match Scenario.by_name "hotspot9" with
+  | Some sc -> (
+    match World.create ~cluster:(small_cluster ()) ~scenario:sc ~seed:1 with
+    | exception Invalid_argument msg ->
+      Alcotest.(check bool) "message names the switch" true
+        (let needle = "switch 9" in
+         let h = String.length msg and n = String.length needle in
+         let rec go i = i + n <= h && (String.sub msg i n = needle || go (i + 1)) in
+         go 0)
+    | _ -> Alcotest.fail "out-of-range hotspot accepted")
+  | None -> Alcotest.fail "hotspot9 did not parse");
+  (* In-range indices are fine. *)
+  match Scenario.by_name "hotspot1" with
+  | Some sc ->
+    ignore (World.create ~cluster:(small_cluster ()) ~scenario:sc ~seed:1)
+  | None -> Alcotest.fail "hotspot1 did not parse"
+
 (* --- World ---------------------------------------------------------------------- *)
 
 let test_world_determinism () =
@@ -302,6 +337,9 @@ let suites =
     ( "workload.scenario",
       [
         Alcotest.test_case "lookup" `Quick test_scenario_lookup;
+        Alcotest.test_case "hotspot family" `Quick test_scenario_hotspot_family;
+        Alcotest.test_case "hotspot out of range" `Quick
+          test_scenario_hotspot_out_of_range;
         Alcotest.test_case "presets distinct" `Quick test_scenario_presets_distinct;
       ] );
     ( "workload.world",
