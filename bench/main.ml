@@ -6,6 +6,7 @@
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- --quick # trimmed sweeps
      dune exec bench/main.exe -- fig4 table2 micro ...
+     dune exec bench/main.exe -- scale --domains 4 --baseline FILE
 
    Absolute times come from a simulator, not the authors' testbed; the
    point of each section is the *shape* (who wins, by what factor). *)
@@ -75,7 +76,7 @@ let micro () =
   let full_allocation () =
     ignore
       (Rm_core.Policies.allocate ~policy:Rm_core.Policies.Network_load_aware
-         ~snapshot ~weights ~request ~rng)
+         ~snapshot ~weights ~request ~rng ())
   in
   let tests =
     Test.make_grouped ~name:"allocator"
@@ -180,15 +181,21 @@ let micro () =
                   every call (prices the dense kernels alone)
      dense-warm - Policies.allocate against a warm cache (the steady
                   state inside a scheduler tick)
+     dense-parN - dense-warm with the per-start candidate sweep on N
+                  OCaml domains (N from --domains, default 4)
    Results go to stdout and BENCH_allocator.json; --baseline FILE
-   compares the dense-warm/naive speedup per (V, policy) against a
-   committed run and fails on a >2x regression. Speedup ratios, not raw
-   rates, keep the check machine-portable. *)
+   compares the dense-warm/naive and dense-parN/dense-warm speedups per
+   (V, policy) against a committed run and fails on a >2x regression.
+   Speedup ratios, not raw rates, keep the check machine-portable
+   (though the parallel ratio still tracks the host's core count — a
+   single-core baseline simply records ~1x, which a multi-core run can
+   only beat). *)
 
 module Json = Rm_telemetry.Json
 module Matrix = Rm_stats.Matrix
 
 let baseline_file : string option ref = ref None
+let scale_domains = ref 4
 
 (* A monitored view of a busy V-node cluster without simulating one:
    per-node congestion scalars drive both the load views and the
@@ -247,14 +254,18 @@ let synthetic_snapshot ~v =
     lat_us = lat;
   }
 
-type scale_engine = Naive | Dense_cold | Dense_warm
+type scale_engine = Naive | Dense_cold | Dense_warm | Dense_par
 
-let scale_engines = [ Naive; Dense_cold; Dense_warm ]
+let scale_engines = [ Naive; Dense_cold; Dense_warm; Dense_par ]
 
 let engine_name = function
   | Naive -> "naive"
   | Dense_cold -> "dense-cold"
   | Dense_warm -> "dense-warm"
+  | Dense_par -> Printf.sprintf "dense-par%d" !scale_domains
+
+let is_par_engine e =
+  String.length e >= 9 && String.sub e 0 9 = "dense-par"
 
 type scale_row = {
   v : int;
@@ -273,13 +284,19 @@ let measure_cell ~budget_s ~snapshot ~weights ~request ~policy engine =
         Rm_core.Policies.allocate_naive ~policy ~snapshot ~weights ~request ~rng
       | Dense_cold ->
         Rm_core.Model_cache.clear ();
-        Rm_core.Policies.allocate ~policy ~snapshot ~weights ~request ~rng
+        Rm_core.Policies.allocate ~policy ~snapshot ~weights ~request ~rng ()
       | Dense_warm ->
-        Rm_core.Policies.allocate ~policy ~snapshot ~weights ~request ~rng)
+        Rm_core.Policies.allocate ~policy ~snapshot ~weights ~request ~rng ()
+      | Dense_par ->
+        Rm_core.Policies.allocate ~ndomains:!scale_domains ~policy ~snapshot
+          ~weights ~request ~rng ())
   in
-  (* Warm the cache outside the timed loop for the warm engine; the
-     other engines pay their full cost per call by design. *)
-  (match engine with Dense_warm -> run () | Naive | Dense_cold -> ());
+  (* Warm the cache (and, for the parallel engine, the domain pool)
+     outside the timed loop; the other engines pay their full cost per
+     call by design. *)
+  (match engine with
+  | Dense_warm | Dense_par -> run ()
+  | Naive | Dense_cold -> ());
   let t0 = Unix.gettimeofday () in
   let rec loop reps =
     run ();
@@ -291,16 +308,25 @@ let measure_cell ~budget_s ~snapshot ~weights ~request ~policy engine =
   let reps, elapsed = loop 0 in
   (float_of_int reps /. Float.max elapsed 1e-9, reps)
 
-(* dense-warm / naive per (v, policy); the headline number. *)
+(* Keyed (v, policy, kind): "dense-warm/naive" is the fast-path
+   headline, "dense-par/dense-warm" isolates what the domain sweep adds
+   on top of it (par engine names carry the domain count, so they match
+   by prefix). *)
 let scale_speedups rows =
+  let find v policy pred =
+    List.find_opt (fun r -> r.v = v && r.policy = policy && pred r.engine) rows
+  in
   List.filter_map
     (fun r ->
-      if r.engine <> "dense-warm" then None
-      else
-        List.find_opt
-          (fun r' -> r'.v = r.v && r'.policy = r.policy && r'.engine = "naive")
-          rows
-        |> Option.map (fun naive -> ((r.v, r.policy), r.rate /. naive.rate)))
+      if r.engine = "dense-warm" then
+        find r.v r.policy (String.equal "naive")
+        |> Option.map (fun naive ->
+               ((r.v, r.policy, "dense-warm/naive"), r.rate /. naive.rate))
+      else if is_par_engine r.engine then
+        find r.v r.policy (String.equal "dense-warm")
+        |> Option.map (fun warm ->
+               ((r.v, r.policy, "dense-par/dense-warm"), r.rate /. warm.rate))
+      else None)
     rows
 
 let scale_rows_of_json j =
@@ -315,7 +341,7 @@ let scale_rows_of_json j =
          })
 
 let scale () =
-  let sizes = if !quick then [ 60; 240 ] else [ 60; 240; 1024; 4096 ] in
+  let sizes = if !quick then [ 60; 240 ] else [ 60; 240; 1024; 2048; 4096 ] in
   let budget_s = if !quick then 0.2 else 1.0 in
   let weights = Rm_core.Weights.paper_default in
   let request = Rm_core.Request.make ~ppn:4 ~alpha:0.5 ~procs:48 () in
@@ -355,24 +381,33 @@ let scale () =
     |> Option.fold ~none:nan ~some:(fun r -> r.rate)
   in
   let buf = Buffer.create 1024 in
+  let par_engine = engine_name Dense_par in
   Experiments.Render.table
     ~header:
-      [ "V"; "policy"; "naive/s"; "dense-cold/s"; "dense-warm/s"; "speedup" ]
+      [
+        "V"; "policy"; "naive/s"; "dense-cold/s"; "dense-warm/s";
+        par_engine ^ "/s"; "speedup"; "par-speedup";
+      ]
     ~rows:
       (List.concat_map
          (fun v ->
            List.map
              (fun policy ->
                let p = Rm_core.Policies.name policy in
+               let speedup kind =
+                 Printf.sprintf "%.1fx"
+                   (Option.value ~default:nan
+                      (List.assoc_opt (v, p, kind) speedups))
+               in
                [
                  string_of_int v;
                  p;
                  Printf.sprintf "%.1f" (rate_of v p "naive");
                  Printf.sprintf "%.1f" (rate_of v p "dense-cold");
                  Printf.sprintf "%.1f" (rate_of v p "dense-warm");
-                 Printf.sprintf "%.1fx"
-                   (Option.value ~default:nan
-                      (List.assoc_opt (v, p) speedups));
+                 Printf.sprintf "%.1f" (rate_of v p par_engine);
+                 speedup "dense-warm/naive";
+                 speedup "dense-par/dense-warm";
                ])
              Rm_core.Policies.all)
          sizes)
@@ -382,6 +417,7 @@ let scale () =
       [
         ("schema", Json.Str "rm-bench-allocator/v1");
         ("quick", Json.Bool !quick);
+        ("domains", Json.Num (float_of_int !scale_domains));
         ( "request",
           Json.Obj
             [
@@ -436,12 +472,12 @@ let scale () =
            file)
     else begin
       List.iter
-        (fun ((v, p), base, cur) ->
+        (fun ((v, p, kind), base, cur) ->
           Buffer.add_string buf
             (Printf.sprintf
-               "REGRESSION: V=%d %s dense-warm/naive speedup %.1fx < half of \
-                baseline %.1fx\n"
-               v p cur base))
+               "REGRESSION: V=%d %s %s speedup %.1fx < half of baseline \
+                %.1fx\n"
+               v p kind cur base))
         regressions;
       print_string (Buffer.contents buf);
       failwith "bench scale: speedup regression against baseline"
@@ -479,10 +515,13 @@ let sections : (string * (unit -> string)) list =
           (Experiments.Queue_study.run ~job_count:(if !quick then 4 else 10) ()) );
     ( "slo",
       fun () ->
-        Rm_sched.Slo.render
-          (Experiments.Queue_study.run_slo
-             ~job_count:(if !quick then 4 else 10)
-             ()) );
+        match
+          Experiments.Queue_study.run_slo
+            ~job_count:(if !quick then 4 else 10)
+            ()
+        with
+        | [] -> "no dispatch-wait observations (no job ran)\n"
+        | reports -> Rm_sched.Slo.render reports );
     ( "interference",
       fun () ->
         Experiments.Queue_study.render_interference
@@ -572,6 +611,13 @@ let () =
       strip rest
     | "--baseline" :: file :: rest ->
       baseline_file := Some file;
+      strip rest
+    | "--domains" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n >= 1 -> scale_domains := n
+      | _ ->
+        Printf.eprintf "--domains expects a positive integer, got %S\n%!" n;
+        exit 2);
       strip rest
     | "--trace-out" :: file :: rest ->
       trace_out := Some file;

@@ -95,6 +95,30 @@ let size_t =
   Arg.(value & opt int 16
        & info [ "size" ] ~docv:"S" ~doc:"miniMD box edge s, or miniFE nx.")
 
+(* Evaluates to () after setting the process-wide domain default, so
+   commands list it like any other option; the dense candidate sweep
+   (and everything built on it: broker, scheduler) picks it up. *)
+let domains_t =
+  let set = function
+    | None -> ()
+    | Some n ->
+      if n < 1 then begin
+        Format.eprintf "--domains must be >= 1 (got %d)@." n;
+        exit 2
+      end;
+      Rm_core.Domain_pool.set_default_domains n
+  in
+  Term.(
+    const set
+    $ Arg.(
+        value
+        & opt (some int) None
+        & info [ "domains" ] ~docv:"N"
+            ~doc:
+              "OCaml domains for the dense per-start candidate sweep \
+               (default: $(b,RM_ALLOC_DOMAINS) or 1). Allocations are \
+               identical for every value; only the wall time changes."))
+
 (* --- environment ------------------------------------------------------ *)
 
 let make_env ~scenario ~seed ~time =
@@ -172,7 +196,7 @@ let snapshot_cmd =
 (* --- allocate --------------------------------------------------------------- *)
 
 let allocate_cmd =
-  let run scenario seed time procs ppn alpha policy wait =
+  let run () scenario seed time procs ppn alpha policy wait =
     let _cluster, _sim, _world, monitor, rng = make_env ~scenario ~seed ~time in
     let snap = System.snapshot monitor ~time in
     let request = Request.make ?ppn ~alpha ~procs () in
@@ -195,19 +219,19 @@ let allocate_cmd =
              ~doc:"Recommend waiting above this mean load per core.")
   in
   Cmd.v (Cmd.info "allocate" ~doc:"Make one allocation decision.")
-    Term.(const run $ scenario_t $ seed_t $ time_t $ procs_t $ ppn_t $ alpha_t
-          $ policy_t $ wait_t)
+    Term.(const run $ domains_t $ scenario_t $ seed_t $ time_t $ procs_t
+          $ ppn_t $ alpha_t $ policy_t $ wait_t)
 
 (* --- run ------------------------------------------------------------------- *)
 
 let run_cmd =
-  let run scenario seed time procs ppn alpha policy app size use_mapping =
+  let run () scenario seed time procs ppn alpha policy app size use_mapping =
     let _cluster, _sim, world, monitor, rng = make_env ~scenario ~seed ~time in
     let snap = System.snapshot monitor ~time in
     let request = Request.make ?ppn ~alpha ~procs () in
     match
       Policies.allocate ~policy ~snapshot:snap ~weights:Weights.paper_default
-        ~request ~rng
+        ~request ~rng ()
     with
     | Error e -> Format.printf "error: %a@." Allocation.pp_error e
     | Ok allocation ->
@@ -232,13 +256,13 @@ let run_cmd =
          & info [ "map" ] ~doc:"Apply Treematch-style rank mapping before running.")
   in
   Cmd.v (Cmd.info "run" ~doc:"Allocate and execute one MPI job.")
-    Term.(const run $ scenario_t $ seed_t $ time_t $ procs_t $ ppn_t $ alpha_t
-          $ policy_t $ app_t $ size_t $ map_t)
+    Term.(const run $ domains_t $ scenario_t $ seed_t $ time_t $ procs_t
+          $ ppn_t $ alpha_t $ policy_t $ app_t $ size_t $ map_t)
 
 (* --- compare ----------------------------------------------------------------- *)
 
 let compare_cmd =
-  let run scenario seed time procs ppn alpha app size =
+  let run () scenario seed time procs ppn alpha app size =
     let _cluster, sim, world, monitor, rng = make_env ~scenario ~seed ~time in
     Format.printf "%-20s %10s %8s %10s@." "policy" "time (s)" "comm%" "load/core";
     List.iter
@@ -248,7 +272,7 @@ let compare_cmd =
         let request = Request.make ?ppn ~alpha ~procs () in
         match
           Policies.allocate ~policy ~snapshot:snap
-            ~weights:Weights.paper_default ~request ~rng
+            ~weights:Weights.paper_default ~request ~rng ()
         with
         | Error e -> Format.printf "%a@." Allocation.pp_error e
         | Ok allocation ->
@@ -262,8 +286,8 @@ let compare_cmd =
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Run the same job under all four policies in sequence.")
-    Term.(const run $ scenario_t $ seed_t $ time_t $ procs_t $ ppn_t $ alpha_t
-          $ app_t $ size_t)
+    Term.(const run $ domains_t $ scenario_t $ seed_t $ time_t $ procs_t
+          $ ppn_t $ alpha_t $ app_t $ size_t)
 
 (* --- forecast ----------------------------------------------------------------- *)
 
@@ -363,7 +387,7 @@ let replay_cmd =
       let request = Request.make ?ppn ~alpha ~procs () in
       match
         Policies.allocate ~policy ~snapshot:snap ~weights:Weights.paper_default
-          ~request ~rng:(Rm_stats.Rng.create 1)
+          ~request ~rng:(Rm_stats.Rng.create 1) ()
       with
       | Error e -> Format.printf "error: %a@." Allocation.pp_error e
       | Ok a ->
@@ -389,7 +413,7 @@ let read_whole_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let explain_cmd =
-  let run scenario seed time procs ppn alpha beta policy wait json replay =
+  let run () scenario seed time procs ppn alpha beta policy wait json replay =
     let beta = match beta with Some b -> b | None -> 1.0 -. alpha in
     match replay with
     | Some file ->
@@ -452,8 +476,8 @@ let explain_cmd =
           candidate's Eq. 4 score, and the chosen sub-graph's Algorithm 1 \
           growth order. With --replay, re-score a saved decision under new \
           Eq. 4 weights instead.")
-    Term.(const run $ scenario_t $ seed_t $ time_t $ procs_t $ ppn_t $ alpha_t
-          $ beta_t $ policy_t $ wait_t $ json_t $ replay_t)
+    Term.(const run $ domains_t $ scenario_t $ seed_t $ time_t $ procs_t
+          $ ppn_t $ alpha_t $ beta_t $ policy_t $ wait_t $ json_t $ replay_t)
 
 (* --- metrics ----------------------------------------------------------------- *)
 
@@ -464,7 +488,7 @@ let write_file path contents =
     (fun () -> output_string oc contents)
 
 let metrics_cmd =
-  let run scenario seed time procs ppn alpha policy app size trace_out
+  let run () scenario seed time procs ppn alpha policy app size trace_out
       trace_format metrics_out =
     Telemetry.Runtime.enable ();
     let _cluster, _sim, world, monitor, rng = make_env ~scenario ~seed ~time in
@@ -472,7 +496,7 @@ let metrics_cmd =
     let request = Request.make ?ppn ~alpha ~procs () in
     (match
        Policies.allocate ~policy ~snapshot:snap ~weights:Weights.paper_default
-         ~request ~rng
+         ~request ~rng ()
      with
     | Error e -> Format.printf "error: %a@." Allocation.pp_error e
     | Ok allocation ->
@@ -520,9 +544,9 @@ let metrics_cmd =
        ~doc:
          "Run one job end to end with telemetry enabled, then dump the \
           metrics registry and trace-buffer summary.")
-    Term.(const run $ scenario_t $ seed_t $ time_t $ procs_t $ ppn_t $ alpha_t
-          $ policy_t $ app_t $ size_t $ trace_out_t $ trace_format_t
-          $ metrics_out_t)
+    Term.(const run $ domains_t $ scenario_t $ seed_t $ time_t $ procs_t
+          $ ppn_t $ alpha_t $ policy_t $ app_t $ size_t $ trace_out_t
+          $ trace_format_t $ metrics_out_t)
 
 (* --- serve-metrics ------------------------------------------------------------ *)
 
@@ -534,7 +558,7 @@ let serve_metrics_cmd =
     let request = Request.make ?ppn ~alpha ~procs () in
     (match
        Policies.allocate ~policy ~snapshot:snap ~weights:Weights.paper_default
-         ~request ~rng
+         ~request ~rng ()
      with
     | Error e -> Format.printf "error: %a@." Allocation.pp_error e
     | Ok allocation ->
@@ -586,9 +610,12 @@ let serve_metrics_cmd =
 (* --- slo ---------------------------------------------------------------------- *)
 
 let slo_cmd =
-  let run seed jobs =
-    let reports = Rm_experiments.Queue_study.run_slo ~seed ~job_count:jobs () in
-    print_string (Rm_sched.Slo.render reports)
+  let run () seed jobs =
+    match Rm_experiments.Queue_study.run_slo ~seed ~job_count:jobs () with
+    | [] ->
+      print_endline
+        "no dispatch-wait observations (no job ran); nothing to report"
+    | reports -> print_string (Rm_sched.Slo.render reports)
   in
   let jobs_t =
     Arg.(value & opt int 10
@@ -601,7 +628,7 @@ let slo_cmd =
           trace runs once per policy, and dispatch-wait p50/p90/p99 (from \
           the sched.dispatch_wait_s histogram) plus queue-depth statistics \
           are compared side by side.")
-    Term.(const run $ seed_t $ jobs_t)
+    Term.(const run $ domains_t $ seed_t $ jobs_t)
 
 (* --- check-export ------------------------------------------------------------- *)
 
@@ -694,8 +721,8 @@ let check_export_cmd =
 let chaos_cmd =
   let module Chaos = Rm_experiments.Chaos_study in
   let module Scheduler = Rm_sched.Scheduler in
-  let run plan_file intensity policy minutes seed jobs check show_log trace_out
-      metrics_out =
+  let run () plan_file intensity policy minutes seed jobs check show_log
+      trace_out metrics_out =
     if trace_out <> None || metrics_out <> None then Telemetry.Runtime.enable ();
     let cluster = Cluster.iitk_reference () in
     let warm = System.warm_up_s System.default_cadence in
@@ -830,13 +857,14 @@ let chaos_cmd =
           switch outages, NIC degradation, daemon kills — with failure \
           detection, requeue backoff and virtual checkpointing enabled, \
           then report what the faults cost.")
-    Term.(const run $ plan_t $ intensity_t $ policy_t $ minutes_t $ seed_t
+    Term.(const run $ domains_t $ plan_t $ intensity_t $ policy_t $ minutes_t
+          $ seed_t
           $ jobs_t $ check_t $ log_t $ trace_out_t $ metrics_out_t)
 
 (* --- sched ------------------------------------------------------------------- *)
 
 let sched_cmd =
-  let run file scenario seed policy exclusive =
+  let run () file scenario seed policy exclusive =
     let ic = open_in file in
     let len = in_channel_length ic in
     let text = really_input_string ic len in
@@ -943,7 +971,8 @@ let sched_cmd =
   in
   Cmd.v
     (Cmd.info "sched" ~doc:"Run a job file through the batch scheduler.")
-    Term.(const run $ file_t $ scenario_t $ seed_t $ policy_t $ exclusive_t)
+    Term.(const run $ domains_t $ file_t $ scenario_t $ seed_t $ policy_t
+          $ exclusive_t)
 
 let () =
   let info =

@@ -44,7 +44,7 @@ let () =
   let request = Request.make ~ppn:4 ~alpha:0.3 ~procs:32 () in
   (match
      Policies.allocate ~policy:Policies.Network_load_aware ~snapshot ~weights
-       ~request ~rng
+       ~request ~rng ()
    with
   | Error _ -> Format.printf "allocation failed@."
   | Ok allocation ->
@@ -79,7 +79,7 @@ let () =
   let big = Request.make ~ppn:4 ~alpha:0.3 ~procs:96 () in
   match
     Policies.allocate ~policy:Policies.Network_load_aware ~snapshot ~weights
-      ~request:big ~rng
+      ~request:big ~rng ()
   with
   | Error _ -> Format.printf "big allocation failed@."
   | Ok allocation ->

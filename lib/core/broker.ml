@@ -101,7 +101,7 @@ let decide ~config ~snapshot ~request ~rng =
       Result.map
         (fun allocation -> Allocated allocation)
         (Policies.allocate_audited ~stale_excluded:stale ~policy:config.policy
-           ~snapshot ~weights:config.weights ~request ~rng)
+           ~snapshot ~weights:config.weights ~request ~rng ())
     in
     (match result with
     | Ok (Allocated _) -> Telemetry.Metrics.incr m_allocated

@@ -16,20 +16,32 @@
      ever popped, so a start costs O(V + k log V) instead of
      O(V log V);
    - Eq. 4 candidate totals accumulate over dense matrix reads instead
-     of hashtable-indexed pair walks.
+     of hashtable-indexed pair walks;
+   - the V starts are independent greedy expansions over read-only
+     inputs (Algorithm 1 grows one candidate per start), so they are
+     swept in parallel across OCaml domains: contiguous chunks of
+     starts go to a reusable {!Domain_pool}, each worker ranks its
+     starts with private scratch buffers, and results land at
+     per-start slots of one output array — merged in ascending start
+     order, Eq. 4 normalization and the argmin (ties included) see
+     exactly the sequential ordering.
 
    Equivalence is bit-exact, not just semantic: every float expression
    below reproduces the naive code's operation order (same operands,
-   same association), so candidate costs, Eq. 4 totals and therefore
-   the argmin — including ties broken on start id — are byte-identical.
-   test_core.ml holds a qcheck property against the retained naive
-   reference. *)
+   same association), and each start's arithmetic is confined to one
+   worker, so candidate costs, Eq. 4 totals and therefore the argmin —
+   including ties broken on start id — are byte-identical for every
+   domain count. test_core.ml holds qcheck properties against the
+   retained naive reference and across ndomains ∈ {1, 2, 4}. *)
 
 module Matrix = Rm_stats.Matrix
 
 (* Binary min-heap over dense indices ordered by (cost, id). Dense
    order is ascending node id, so comparing indices breaks cost ties
-   exactly like the naive sort's (cost, node id) comparator. *)
+   exactly like the naive sort's (cost, node id) comparator. Float
+   [<]/[=] are only total over finite values — a NaN cost would make
+   both sides false and silently corrupt the heap order — which is why
+   [scored_all] rejects non-finite CL/NL at entry. *)
 let heap_less cost a b = cost.(a) < cost.(b) || (cost.(a) = cost.(b) && a < b)
 
 let sift_down cost heap size i =
@@ -49,7 +61,59 @@ let sift_down cost heap size i =
     end
   done
 
-let scored_all ~loads ~net ~capacity ~request =
+(* Per-worker scratch: the heap-selection buffers are written across
+   the whole [0, v) range by every start, so parallel workers must not
+   share them (the sequential code reused one quadruple for all V
+   starts — safe only because the starts ran one after another). *)
+type scratch = {
+  cost : float array;
+  heap : int array;
+  sel : int array;
+  sel_procs : int array;
+}
+
+let make_scratch v =
+  {
+    cost = Array.make v 0.0;
+    heap = Array.make v 0;
+    sel = Array.make v 0;
+    sel_procs = Array.make v 0;
+  }
+
+(* The O(V²) NL scan must not be paid on every allocation: in the warm
+   steady state the model cache hands back the same physical matrix
+   call after call, so remembering the last matrix that passed makes
+   the scan once-per-model instead of once-per-call (a single slot
+   covers the dominant pattern; an alternating pair of snapshots merely
+   re-scans). The slot only ever holds a matrix that validated clean,
+   so a stale hit can never skip a matrix that would have failed. *)
+let last_valid_nl : Matrix.t option ref = ref None
+
+let validate_finite ~ids ~cl ~nl =
+  let v = Array.length ids in
+  for i = 0 to v - 1 do
+    if not (Float.is_finite cl.(i)) then
+      invalid_arg
+        (Printf.sprintf "Dense_alloc.scored_all: non-finite CL for node %d"
+           ids.(i))
+  done;
+  match !last_valid_nl with
+  | Some m when m == nl -> ()
+  | _ ->
+    (* The NL diagonal is 0 by construction; scanning it too keeps the
+       loop branch-free. *)
+    for i = 0 to v - 1 do
+      for j = 0 to v - 1 do
+        if not (Float.is_finite (Matrix.get nl i j)) then
+          invalid_arg
+            (Printf.sprintf
+               "Dense_alloc.scored_all: non-finite NL for pair (%d, %d)"
+               ids.(i) ids.(j))
+      done
+    done;
+    last_valid_nl := Some nl
+
+let scored_all ?ndomains ~loads ~net ~capacity ~request () =
   let ids = Compute_load.dense_ids loads in
   let v = Array.length ids in
   if v = 0 then invalid_arg "Dense_alloc.scored_all: no usable nodes";
@@ -63,18 +127,24 @@ let scored_all ~loads ~net ~capacity ~request =
       if i >= v || ids.(i) <> n then
         invalid_arg "Dense_alloc.scored_all: loads/net usable sets differ")
     net_usable;
+  let procs = request.Request.procs in
+  if procs <= 0 then
+    invalid_arg "Dense_alloc.scored_all: request.procs must be positive";
+  let alpha = request.Request.alpha and beta = request.Request.beta in
+  if not (Float.is_finite alpha && Float.is_finite beta) then
+    invalid_arg "Dense_alloc.scored_all: non-finite alpha/beta";
+  (* Shared read-only inputs, hoisted out of the start loop (and built
+     before any domain is involved — [capacity] may touch hashtables). *)
   let cl = Compute_load.dense_values loads in
   let nl = Network_load.nl_matrix net in
-  let alpha = request.Request.alpha and beta = request.Request.beta in
+  validate_finite ~ids ~cl ~nl;
   let alpha_cl = Array.map (fun c -> alpha *. c) cl in
   let caps = Array.map (fun node -> max 1 (capacity node)) ids in
-  let procs = request.Request.procs in
-  (* Buffers reused across starts. *)
-  let cost = Array.make v 0.0 in
-  let heap = Array.make v 0 in
-  let sel = Array.make v 0 in
-  let sel_procs = Array.make v 0 in
-  let one_start s =
+  let one_start scratch s =
+    let cost = scratch.cost
+    and heap = scratch.heap
+    and sel = scratch.sel
+    and sel_procs = scratch.sel_procs in
     (* A_s(u) = α·CL(u) + β·NL(s,u); the start itself costs 0. *)
     for i = 0 to v - 1 do
       cost.(i) <- alpha_cl.(i) +. (beta *. Matrix.get nl s i);
@@ -101,7 +171,8 @@ let scored_all ~loads ~net ~capacity ~request =
     done;
     let k = !k in
     (* Whole cluster in, request still unsatisfied: deal the remaining
-       processes round-robin over the selected nodes (Alg. 1 ll. 12-13). *)
+       processes round-robin over the selected nodes (Alg. 1 ll. 12-13).
+       [caps] entries are >= 1, so k >= 1 whenever procs > 0. *)
     if !allocated < procs then begin
       let remaining = ref (procs - !allocated) in
       let i = ref 0 in
@@ -131,19 +202,57 @@ let scored_all ~loads ~net ~capacity ~request =
     in
     (candidate, !compute, !network)
   in
-  let raw = List.init v one_start in
+  let nd =
+    let requested =
+      match ndomains with Some n -> n | None -> Domain_pool.default_domains ()
+    in
+    if requested < 1 then
+      invalid_arg "Dense_alloc.scored_all: ndomains must be >= 1";
+    min requested v
+  in
+  let raw = Array.make v None in
+  if nd = 1 then begin
+    let scratch = make_scratch v in
+    for s = 0 to v - 1 do
+      raw.(s) <- Some (one_start scratch s)
+    done
+  end
+  else begin
+    (* Contiguous chunks keep each worker's NL row reads streaming and
+       make the output slots worker-disjoint. *)
+    let chunk = (v + nd - 1) / nd in
+    Domain_pool.run (Domain_pool.get nd) (fun w ->
+        let lo = w * chunk in
+        let hi = min v (lo + chunk) in
+        if lo < hi then begin
+          let scratch = make_scratch v in
+          for s = lo to hi - 1 do
+            raw.(s) <- Some (one_start scratch s)
+          done
+        end)
+  end;
   (* Algorithm 2's per-candidate-set normalization, verbatim from
-     Select.score so totals stay bit-identical. *)
-  let c_sum = List.fold_left (fun acc (_, c, _) -> acc +. c) 0.0 raw in
-  let n_sum = List.fold_left (fun acc (_, _, n) -> acc +. n) 0.0 raw in
+     Select.score; summing the merged array in ascending start order
+     reproduces the sequential fold bit-for-bit. *)
+  let c_sum = ref 0.0 and n_sum = ref 0.0 in
+  for s = 0 to v - 1 do
+    match raw.(s) with
+    | Some (_, c, n) ->
+      c_sum := !c_sum +. c;
+      n_sum := !n_sum +. n
+    | None -> assert false
+  done;
+  let c_sum = !c_sum and n_sum = !n_sum in
   let norm sum x = if sum > 0.0 then x /. sum else 0.0 in
-  List.map
-    (fun (candidate, compute_cost, network_cost) ->
-      let total =
-        (alpha *. norm c_sum compute_cost) +. (beta *. norm n_sum network_cost)
-      in
-      { Select.candidate; compute_cost; network_cost; total })
-    raw
+  List.init v (fun s ->
+      match raw.(s) with
+      | Some (candidate, compute_cost, network_cost) ->
+        let total =
+          (alpha *. norm c_sum compute_cost)
+          +. (beta *. norm n_sum network_cost)
+        in
+        { Select.candidate; compute_cost; network_cost; total }
+      | None -> assert false)
 
-let best ~loads ~net ~capacity ~request =
-  Select.best_scored (scored_all ~loads ~net ~capacity ~request)
+let best ?ndomains ~loads ~net ~capacity ~request () =
+  Select.best_scored (scored_all ?ndomains ~loads ~net ~capacity ~request ())

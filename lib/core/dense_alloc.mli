@@ -11,24 +11,41 @@
     lookups per pair. O(V·(V + k log V)) instead of O(V² log V), with
     far smaller constants.
 
-    The naive pipeline is retained as the reference implementation; a
-    qcheck property in test_core.ml asserts equivalence across random
-    snapshots, weights and requests. *)
+    The V starts are independent (Algorithm 1 grows one candidate per
+    start over read-only models), so they are additionally swept in
+    parallel across OCaml domains: contiguous chunks of starts run on a
+    reusable {!Domain_pool}, each worker with private scratch buffers,
+    and per-start results merge in ascending start order — output is
+    bit-identical for every domain count.
+
+    The naive pipeline is retained as the reference implementation;
+    qcheck properties in test_core.ml assert equivalence across random
+    snapshots, weights and requests, and across ndomains ∈ {1, 2, 4}. *)
 
 val scored_all :
+  ?ndomains:int ->
   loads:Compute_load.t ->
   net:Network_load.t ->
   capacity:(int -> int) ->
   request:Request.t ->
+  unit ->
   Select.scored list
 (** [loads] and [net] must come from the same snapshot (their usable
-    sets must coincide). Raises [Invalid_argument] when no node is
-    usable or the models disagree. *)
+    sets must coincide). [ndomains] defaults to
+    {!Domain_pool.default_domains} (the [RM_ALLOC_DOMAINS] /
+    [--domains] knob) and is capped at the number of usable nodes.
+    Raises [Invalid_argument] when no node is usable, the models
+    disagree, [ndomains < 1], the request's process count is not
+    positive, or any CL/NL model value is non-finite (a NaN cost would
+    silently corrupt the heap order and diverge from the naive
+    compare-based sort). *)
 
 val best :
+  ?ndomains:int ->
   loads:Compute_load.t ->
   net:Network_load.t ->
   capacity:(int -> int) ->
   request:Request.t ->
+  unit ->
   Select.scored
 (** [Select.best_scored] over {!scored_all}. *)

@@ -114,7 +114,7 @@ let group_score ~gnl ~request selected =
   in
   (alpha *. compute) +. (beta *. network)
 
-let allocate ?(dense = true) ~snapshot ~weights ~request () =
+let allocate ?(dense = true) ?ndomains ~snapshot ~weights ~request () =
   let models = if dense then Some (Model_cache.get snapshot ~weights) else None in
   let loads =
     match models with
@@ -145,7 +145,7 @@ let allocate ?(dense = true) ~snapshot ~weights ~request () =
       let loads = Compute_load.of_snapshot restricted ~weights in
       let net = Network_load.of_snapshot restricted ~weights in
       let best =
-        if dense then Dense_alloc.best ~loads ~net ~capacity ~request
+        if dense then Dense_alloc.best ?ndomains ~loads ~net ~capacity ~request ()
         else
           let candidates =
             Candidate.generate_all ~loads ~net ~capacity ~request

@@ -31,6 +31,7 @@ val group_network_load : Network_load.t -> group -> group -> float
 
 val allocate :
   ?dense:bool ->
+  ?ndomains:int ->
   snapshot:Rm_monitor.Snapshot.t ->
   weights:Weights.t ->
   request:Request.t ->
@@ -43,4 +44,5 @@ val allocate :
     [dense] (default true) routes the top-level models through
     {!Model_cache} and the flat stage through the {!Dense_alloc}
     kernels; [~dense:false] is the retained naive reference. Both paths
-    return identical allocations. *)
+    return identical allocations. [ndomains] is forwarded to the flat
+    {!Dense_alloc} stage. *)

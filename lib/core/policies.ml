@@ -127,8 +127,8 @@ let record_audit ~snapshot ~policy ~request ~loads ~pc ~scored ~chosen ~result
       decision;
     }
 
-let allocate_impl ?(stale_excluded = []) ~dense ~policy ~snapshot ~weights
-    ~request ~rng () =
+let allocate_impl ?(stale_excluded = []) ?ndomains ~dense ~policy ~snapshot
+    ~weights ~request ~rng () =
   let instrumented = Telemetry.Runtime.is_enabled () in
   let wall0 = if instrumented then Sys.time () else 0.0 in
   let models = if dense then Some (Model_cache.get snapshot ~weights) else None in
@@ -187,7 +187,8 @@ let allocate_impl ?(stale_excluded = []) ~dense ~policy ~snapshot ~weights
           | None -> Network_load.of_snapshot snapshot ~weights
         in
         let scored =
-          if dense then Dense_alloc.scored_all ~loads ~net ~capacity ~request
+          if dense then
+            Dense_alloc.scored_all ?ndomains ~loads ~net ~capacity ~request ()
           else
             let candidates =
               Candidate.generate_all ~loads ~net ~capacity ~request
@@ -204,7 +205,9 @@ let allocate_impl ?(stale_excluded = []) ~dense ~policy ~snapshot ~weights
           audit_scored,
           Some best.Select.candidate.Candidate.start )
       | Hierarchical ->
-        (Hierarchical.allocate ~dense ~snapshot ~weights ~request (), [], None)
+        ( Hierarchical.allocate ~dense ?ndomains ~snapshot ~weights ~request (),
+          [],
+          None )
     in
     if instrumented then begin
       Telemetry.Metrics.incr
@@ -222,12 +225,14 @@ let allocate_impl ?(stale_excluded = []) ~dense ~policy ~snapshot ~weights
     result
   end
 
-let allocate_audited ~stale_excluded ~policy ~snapshot ~weights ~request ~rng =
-  allocate_impl ~stale_excluded ~dense:true ~policy ~snapshot ~weights ~request
-    ~rng ()
+let allocate_audited ?ndomains ~stale_excluded ~policy ~snapshot ~weights
+    ~request ~rng () =
+  allocate_impl ~stale_excluded ?ndomains ~dense:true ~policy ~snapshot
+    ~weights ~request ~rng ()
 
-let allocate ~policy ~snapshot ~weights ~request ~rng =
-  allocate_impl ~dense:true ~policy ~snapshot ~weights ~request ~rng ()
+let allocate ?ndomains ~policy ~snapshot ~weights ~request ~rng () =
+  allocate_impl ?ndomains ~dense:true ~policy ~snapshot ~weights ~request ~rng
+    ()
 
 let allocate_naive ~policy ~snapshot ~weights ~request ~rng =
   allocate_impl ~dense:false ~policy ~snapshot ~weights ~request ~rng ()

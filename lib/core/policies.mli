@@ -30,11 +30,13 @@ val all : policy list
 val of_name : string -> policy option
 
 val allocate :
+  ?ndomains:int ->
   policy:policy ->
   snapshot:Rm_monitor.Snapshot.t ->
   weights:Weights.t ->
   request:Request.t ->
   rng:Rm_stats.Rng.t ->
+  unit ->
   (Allocation.t, Allocation.error) result
 (** [Error No_usable_nodes] when the snapshot has no usable node;
     otherwise always succeeds (oversubscribing if needed). Randomized
@@ -43,16 +45,21 @@ val allocate :
 
     Models (Eq. 1/2/3) come from {!Model_cache} — repeated calls
     against the same snapshot and weights share one build — and the
-    network-and-load-aware policy runs on the {!Dense_alloc} kernels.
-    Output is byte-identical to {!allocate_naive}. *)
+    network-and-load-aware policy runs on the {!Dense_alloc} kernels,
+    sweeping its per-start candidate loop across [ndomains] OCaml
+    domains (default {!Domain_pool.default_domains}, the
+    [RM_ALLOC_DOMAINS] / [--domains] knob). Output is byte-identical
+    to {!allocate_naive} for every domain count. *)
 
 val allocate_audited :
+  ?ndomains:int ->
   stale_excluded:int list ->
   policy:policy ->
   snapshot:Rm_monitor.Snapshot.t ->
   weights:Weights.t ->
   request:Request.t ->
   rng:Rm_stats.Rng.t ->
+  unit ->
   (Allocation.t, Allocation.error) result
 (** {!allocate}, with the audit record annotated: when the broker has
     already dropped stale nodes from the snapshot it passes their ids

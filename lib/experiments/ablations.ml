@@ -200,7 +200,7 @@ let hierarchical_sweep ?(seed = 19) ?(cluster_sizes = [ 60; 120; 240; 480 ]) () 
       let flat_alloc, flat_ms =
         wall_ms (fun () ->
             Policies.allocate ~policy:Policies.Network_load_aware ~snapshot
-              ~weights ~request ~rng)
+              ~weights ~request ~rng ())
       in
       let hier_alloc, hier_ms =
         wall_ms (fun () ->
@@ -265,7 +265,7 @@ let monitor_fidelity ?(seed = 71) ?(reps = 4) () =
   let run snapshot =
     match
       Policies.allocate ~policy:Policies.Network_load_aware ~snapshot ~weights
-        ~request ~rng:(Rm_stats.Rng.create seed)
+        ~request ~rng:(Rm_stats.Rng.create seed) ()
     with
     | Error _ -> nan
     | Ok allocation ->
@@ -329,7 +329,7 @@ let predictive ?(seed = 53) ?(reps = 4) () =
   let run snapshot =
     match
       Policies.allocate ~policy:Policies.Network_load_aware ~snapshot ~weights
-        ~request ~rng:(Rm_stats.Rng.create seed)
+        ~request ~rng:(Rm_stats.Rng.create seed) ()
     with
     | Error _ -> nan
     | Ok allocation ->
@@ -560,7 +560,7 @@ let rank_mapping ?(seed = 61) () =
       let snap = Harness.snapshot env in
       match
         Policies.allocate ~policy:Policies.Network_load_aware ~snapshot:snap
-          ~weights:Weights.paper_default ~request ~rng:(Rm_stats.Rng.create seed)
+          ~weights:Weights.paper_default ~request ~rng:(Rm_stats.Rng.create seed) ()
       with
       | Error _ -> failwith "allocation failed"
       | Ok allocation ->

@@ -95,7 +95,7 @@ let group_metrics ~snap ~weights ~allocation =
 let run_app e ~policy ~weights ~request ~app_of =
   sync e;
   let snap = snapshot e in
-  match Policies.allocate ~policy ~snapshot:snap ~weights ~request ~rng:e.rng with
+  match Policies.allocate ~policy ~snapshot:snap ~weights ~request ~rng:e.rng () with
   | Error err -> Fmt.failwith "allocation failed: %a" Allocation.pp_error err
   | Ok allocation ->
     let group_load, group_bw_complement, group_latency_us =

@@ -72,13 +72,18 @@ let run ?(seed = 83) ?(job_count = 10) () =
 
 let run_slo ?(seed = 83) ?(job_count = 10) () =
   Rm_telemetry.Runtime.with_enabled (fun () ->
-      List.map
+      List.filter_map
         (fun policy ->
           (* Fresh metrics per policy so the dispatch-wait histogram only
              holds this policy's observations. *)
           Rm_telemetry.Metrics.reset ();
           let sched = run_policy_sched ~seed ~job_count policy in
-          Rm_sched.Slo.report ~sched ~policy:(Policies.name policy))
+          match Rm_sched.Slo.report ~sched ~policy:(Policies.name policy) with
+          | Ok r -> Some r
+          | Error `No_wait_data ->
+            (* Nothing was ever dispatched (e.g. a zero-job run): there
+               is no service level to report for this policy. *)
+            None)
         Policies.all)
 
 let render rows =
@@ -134,7 +139,7 @@ let interference ?(seed = 89) () =
     let snap = Harness.snapshot env in
     match
       Policies.allocate ~policy ~snapshot:snap ~weights ~request
-        ~rng:(Rng.create (seed + 1))
+        ~rng:(Rng.create (seed + 1)) ()
     with
     | Error _ -> failwith "interference: A's allocation failed"
     | Ok alloc_a ->

@@ -36,7 +36,9 @@ val run_slo :
 (** The same afternoon as {!run}, but with telemetry enabled and metrics
     reset per policy, so each policy gets a full SLO report — dispatch
     wait p50/p90/p99 from the [sched.dispatch_wait_s] histogram plus
-    queue-depth statistics. Render with {!Rm_sched.Slo.render}. *)
+    queue-depth statistics. Policies with no dispatch-wait data at all
+    (e.g. a zero-job run) are omitted, so the list is empty rather than
+    the call crashing. Render with {!Rm_sched.Slo.render}. *)
 
 type interference = {
   alone_s : float;  (** job B's runtime with the cluster to itself *)

@@ -363,6 +363,11 @@ and fail_job t sim j ~reason =
         ~attrs:[ ("job", j.name); ("reason", reason) ]
         "sched.job_failed"
     end;
+    (* Boundary semantics: [max_requeues = N] permits exactly N
+       requeues. [j.requeues] was just incremented for THIS failure, so
+       the strict [>] rejects only on failure N+1 — a job may fail and
+       re-enter the queue N times and still finish on attempt N+1
+       (test: "requeue boundary" in test_sched.ml; docs/RESILIENCE.md). *)
     if j.requeues > t.config.max_requeues then begin
       j.state <-
         Rejected

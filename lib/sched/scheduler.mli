@@ -30,7 +30,9 @@ type config = {
           only {!Rm_workload.World.is_up} — no world advance, no RNG —
           so enabling it does not perturb a fault-free run *)
   max_requeues : int;
-      (** failures tolerated per job before it is [Rejected]; default 3 *)
+      (** requeues permitted per job: [max_requeues = N] lets a job fail
+          and re-enter the queue exactly N times (it may still finish on
+          attempt N+1); failure N+1 turns it [Rejected]. Default 3 *)
   backoff_base_s : float;
       (** requeue delay after the first failure, doubling per subsequent
           failure; default 30 s *)

@@ -17,9 +17,17 @@ let percentile_of_buckets buckets ~p =
       let cumulative' = cumulative + n in
       if float_of_int cumulative' >= rank && n > 0 then
         if Float.is_finite ub then
-          lower
-          +. ((ub -. lower)
-              *. ((rank -. float_of_int cumulative) /. float_of_int n))
+          (* The interpolation factor is algebraically in [0, 1]
+             (cumulative < rank <= cumulative + n holds here), but keep
+             the estimate inside its bucket even if float rounding of
+             rank or the division nudges it out — a percentile must
+             never report a value the bucket bounds exclude. *)
+          let est =
+            lower
+            +. ((ub -. lower)
+                *. ((rank -. float_of_int cumulative) /. float_of_int n))
+          in
+          Float.max lower (Float.min ub est)
         else last_finite  (* overflow bucket: clamp to the last bound *)
       else
         walk
@@ -54,29 +62,29 @@ type report = {
 }
 
 let report ~sched ~policy =
-  let summary = Scheduler.summary sched in
-  let wait =
-    match wait_percentiles () with
-    | Some p -> p
-    | None ->
-      invalid_arg
-        "Slo.report: no sched.dispatch_wait_s observations (telemetry off?)"
-  in
-  let depths = Timeseries.values (Scheduler.queue_depth_series sched) in
-  let max_depth, mean_depth =
-    if Array.length depths = 0 then (0, 0.0)
-    else
-      ( int_of_float (Rm_stats.Descriptive.max depths),
-        Rm_stats.Descriptive.mean depths )
-  in
-  {
-    policy;
-    jobs_finished = summary.Scheduler.jobs_finished;
-    wait;
-    mean_wait_s = summary.Scheduler.mean_wait_s;
-    max_queue_depth = max_depth;
-    mean_queue_depth = mean_depth;
-  }
+  (* Check the histogram before touching [Scheduler.summary]: with no
+     dispatches there is nothing finished either, and summary raises on
+     that — the whole point is to return [Error], not to crash. *)
+  match wait_percentiles () with
+  | None -> Error `No_wait_data
+  | Some wait ->
+    let summary = Scheduler.summary sched in
+    let depths = Timeseries.values (Scheduler.queue_depth_series sched) in
+    let max_depth, mean_depth =
+      if Array.length depths = 0 then (0, 0.0)
+      else
+        ( int_of_float (Rm_stats.Descriptive.max depths),
+          Rm_stats.Descriptive.mean depths )
+    in
+    Ok
+      {
+        policy;
+        jobs_finished = summary.Scheduler.jobs_finished;
+        wait;
+        mean_wait_s = summary.Scheduler.mean_wait_s;
+        max_queue_depth = max_depth;
+        mean_queue_depth = mean_depth;
+      }
 
 let render reports =
   let buf = Buffer.create 512 in

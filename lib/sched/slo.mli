@@ -17,7 +17,9 @@ val percentile_of_buckets : (float * int) list -> p:float -> float
     {!Rm_telemetry.Metrics.bucket_counts} returns them (per-bucket
     counts, overflow last as [(infinity, n)]). The first bucket
     interpolates from 0; a rank landing in the overflow bucket returns
-    the last finite bound (the histogram cannot see past it). Raises
+    the last finite bound (the histogram cannot see past it). The
+    estimate is clamped to the crossing bucket's [lower, upper] bounds,
+    so gaps of empty buckets can never push it outside them. Raises
     [Invalid_argument] when the histogram is empty or [p] is out of
     range. *)
 
@@ -36,12 +38,14 @@ type report = {
   mean_queue_depth : float;
 }
 
-val report : sched:Scheduler.t -> policy:string -> report
+val report :
+  sched:Scheduler.t -> policy:string -> (report, [ `No_wait_data ]) result
 (** Reads the wait histogram (so the caller must have run [sched] with
     telemetry enabled, and reset metrics between policies for
-    per-policy numbers) and the scheduler's queue-depth series. Raises
-    [Invalid_argument] when nothing finished or no waits were
-    observed. *)
+    per-policy numbers) and the scheduler's queue-depth series.
+    [Error `No_wait_data] when the [sched.dispatch_wait_s] histogram is
+    missing or empty — telemetry was off, or no job was ever
+    dispatched — so callers can print a notice instead of crashing. *)
 
 val render : report list -> string
 (** Side-by-side table, one row per policy: p50/p90/p99 wait, mean

@@ -29,10 +29,26 @@ let segment_files dir =
 let segment_path dir index =
   Filename.concat dir (Printf.sprintf "%s%06d%s" segment_prefix index segment_suffix)
 
+(* A failure here must not be swallowed: [open_segment] would fail
+   moments later with only the segment file's name, hiding which spill
+   directory could not be created (read-only parent, a file squatting
+   on the path, ...). Re-raise with the directory in the message.
+   Concurrent creation ([EEXIST] between the existence check and
+   [mkdir]) is the one benign race, so re-check before failing. *)
 let rec mkdir_p dir =
-  if not (Sys.file_exists dir) then begin
+  if Sys.file_exists dir then begin
+    if not (Sys.is_directory dir) then
+      raise
+        (Sys_error
+           (Printf.sprintf "cannot create spill dir %s: not a directory" dir))
+  end
+  else begin
     mkdir_p (Filename.dirname dir);
-    (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
+    try Sys.mkdir dir 0o755
+    with Sys_error e ->
+      if not (Sys.file_exists dir && Sys.is_directory dir) then
+        raise
+          (Sys_error (Printf.sprintf "cannot create spill dir %s: %s" dir e))
   end
 
 let open_segment t =

@@ -24,7 +24,9 @@ val create :
 (** Opens a sink over [dir] (created if missing). Pre-existing
     [trace-*.jsonl] files in [dir] are deleted so a run's segments are
     self-consistent. [events_per_segment] defaults to 65536,
-    [max_segments] to 8; both must be positive. *)
+    [max_segments] to 8; both must be positive. Raises [Sys_error]
+    naming [dir] when it cannot be created (unwritable parent, or a
+    path component is a regular file). *)
 
 val append : t -> Trace.event -> unit
 (** Write one event, rotating and pruning as needed. Raises

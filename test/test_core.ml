@@ -23,6 +23,7 @@ module Brute_force = Rm_core.Brute_force
 module Broker = Rm_core.Broker
 module Dense_alloc = Rm_core.Dense_alloc
 module Model_cache = Rm_core.Model_cache
+module Domain_pool = Rm_core.Domain_pool
 
 let check_float = Alcotest.(check (float 1e-9))
 let flat v : Running_means.view = { instant = v; m1 = v; m5 = v; m15 = v }
@@ -462,7 +463,7 @@ let test_policies_satisfy_request () =
   let rng = Rng.create 1 in
   List.iter
     (fun policy ->
-      match Policies.allocate ~policy ~snapshot:snap ~weights ~request ~rng with
+      match Policies.allocate ~policy ~snapshot:snap ~weights ~request ~rng () with
       | Ok a ->
         Alcotest.(check int)
           (Policies.name policy ^ " total")
@@ -478,7 +479,7 @@ let test_policy_load_aware_picks_quiet () =
   let rng = Rng.create 1 in
   match
     Policies.allocate ~policy:Policies.Load_aware ~snapshot:snap ~weights
-      ~request ~rng
+      ~request ~rng ()
   with
   | Ok a ->
     let nodes = List.sort compare (Allocation.node_ids a) in
@@ -492,7 +493,7 @@ let test_policy_sequential_consecutive () =
   let rng = Rng.create 42 in
   match
     Policies.allocate ~policy:Policies.Sequential ~snapshot:snap ~weights
-      ~request ~rng
+      ~request ~rng ()
   with
   | Ok a ->
     (match Allocation.node_ids a with
@@ -508,7 +509,7 @@ let test_policy_random_uses_rng () =
   let collect seed =
     let rng = Rng.create seed in
     match
-      Policies.allocate ~policy:Policies.Random ~snapshot:snap ~weights ~request ~rng
+      Policies.allocate ~policy:Policies.Random ~snapshot:snap ~weights ~request ~rng ()
     with
     | Ok a -> Allocation.node_ids a
     | Error _ -> []
@@ -524,7 +525,7 @@ let test_policy_network_aware_deterministic () =
   let run seed =
     match
       Policies.allocate ~policy:Policies.Network_load_aware ~snapshot:snap
-        ~weights ~request ~rng:(Rng.create seed)
+        ~weights ~request ~rng:(Rng.create seed) ()
     with
     | Ok a -> Allocation.node_ids a
     | Error _ -> []
@@ -537,7 +538,7 @@ let test_policy_no_usable_nodes () =
   let request = Request.make ~procs:4 () in
   match
     Policies.allocate ~policy:Policies.Random ~snapshot:snap ~weights ~request
-      ~rng:(Rng.create 1)
+      ~rng:(Rng.create 1) ()
   with
   | Error Allocation.No_usable_nodes -> ()
   | Ok _ | Error _ -> Alcotest.fail "expected No_usable_nodes"
@@ -549,7 +550,7 @@ let test_policy_oversubscribes_when_needed () =
     (fun policy ->
       match
         Policies.allocate ~policy ~snapshot:snap ~weights ~request
-          ~rng:(Rng.create 3)
+          ~rng:(Rng.create 3) ()
       with
       | Ok a ->
         Alcotest.(check int) (Policies.name policy) 20 (Allocation.total_procs a)
@@ -561,7 +562,7 @@ let test_policy_hierarchical_via_policies () =
   let request = Request.make ~ppn:4 ~procs:8 () in
   match
     Policies.allocate ~policy:Policies.Hierarchical ~snapshot:snap ~weights
-      ~request ~rng:(Rng.create 1)
+      ~request ~rng:(Rng.create 1) ()
   with
   | Ok a ->
     Alcotest.(check int) "covers" 8 (Allocation.total_procs a);
@@ -771,7 +772,7 @@ let prop_nl_aware_covers_any_loads =
       let request = Request.make ~ppn:4 ~procs:12 () in
       match
         Policies.allocate ~policy:Policies.Network_load_aware ~snapshot:snap
-          ~weights ~request ~rng:(Rng.create 0)
+          ~weights ~request ~rng:(Rng.create 0) ()
       with
       | Ok a -> Allocation.total_procs a = 12
       | Error _ -> false)
@@ -846,7 +847,7 @@ let prop_dense_matches_naive =
           Model_cache.clear ();
           let fast =
             Policies.allocate ~policy ~snapshot:snap ~weights ~request
-              ~rng:(Rng.create (seed + 1))
+              ~rng:(Rng.create (seed + 1)) ()
           in
           let naive =
             Policies.allocate_naive ~policy ~snapshot:snap ~weights ~request
@@ -870,7 +871,7 @@ let prop_dense_scored_table_bit_identical =
       let cl = Compute_load.of_snapshot snap ~weights in
       let nl = Network_load.of_snapshot snap ~weights in
       let capacity = capacity_of snap request in
-      let dense = Dense_alloc.scored_all ~loads:cl ~net:nl ~capacity ~request in
+      let dense = Dense_alloc.scored_all ~loads:cl ~net:nl ~capacity ~request () in
       let naive =
         Select.score
           ~candidates:
@@ -885,6 +886,104 @@ let prop_dense_scored_table_bit_identical =
              && Float.equal d.Select.network_cost s.Select.network_cost
              && Float.equal d.Select.total s.Select.total)
            dense naive)
+
+(* The parallel sweep must not merely agree with the sequential one in
+   which allocation wins — the whole scored table must be bit-identical
+   for every domain count, or a tie could break differently depending
+   on how many cores the host happens to have. *)
+let prop_dense_parallel_bit_identical =
+  QCheck.Test.make
+    ~name:"parallel scored_all is bit-identical for ndomains in {1, 2, 4}"
+    ~count:120
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Rng.create seed in
+      let snap = random_fixture rng in
+      let request = random_request rng in
+      let weights =
+        match Rng.int rng 4 with
+        | 0 -> Weights.paper_default
+        | 1 -> Weights.compute_intensive
+        | 2 -> Weights.network_intensive
+        | _ -> Weights.latency_sensitive
+      in
+      let cl = Compute_load.of_snapshot snap ~weights in
+      let nl = Network_load.of_snapshot snap ~weights in
+      let capacity = capacity_of snap request in
+      let run ndomains =
+        Dense_alloc.scored_all ~ndomains ~loads:cl ~net:nl ~capacity ~request ()
+      in
+      let seq = run 1 in
+      List.for_all
+        (fun ndomains ->
+          let par = run ndomains in
+          List.length par = List.length seq
+          && List.for_all2
+               (fun (a : Select.scored) (b : Select.scored) ->
+                 a.Select.candidate = b.Select.candidate
+                 && Float.equal a.Select.compute_cost b.Select.compute_cost
+                 && Float.equal a.Select.network_cost b.Select.network_cost
+                 && Float.equal a.Select.total b.Select.total)
+               par seq)
+        [ 2; 4 ])
+
+(* Regression: a NaN in the NL matrix used to corrupt the heap's float
+   ordering silently (both [<] and [=] are false on NaN), making the
+   dense path quietly diverge from the naive compare-based sort. Now it
+   is rejected at entry. An infinite latency on one link is how a NaN
+   arrives in practice: lat_sum becomes inf and inf /. inf is NaN. *)
+let test_dense_rejects_nonfinite_nl () =
+  let snap = fixture [ (8, 1.0); (8, 2.0); (8, 0.5) ] in
+  Matrix.set snap.Snapshot.lat_us 0 1 infinity;
+  Matrix.set snap.Snapshot.lat_us 1 0 infinity;
+  let cl = Compute_load.of_snapshot snap ~weights in
+  let nl = Network_load.of_snapshot snap ~weights in
+  let request = Request.make ~ppn:4 ~procs:8 () in
+  let capacity = capacity_of snap request in
+  match
+    Dense_alloc.scored_all ~loads:cl ~net:nl ~capacity ~request ()
+  with
+  | _ -> Alcotest.fail "expected Invalid_argument on non-finite NL"
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool)
+      "message names the model" true
+      (String.length msg >= 13 && String.sub msg 0 13 = "Dense_alloc.s")
+
+(* --- Domain pool ------------------------------------------------------------- *)
+
+let test_domain_pool_runs_every_worker () =
+  let pool = Domain_pool.get 4 in
+  Alcotest.(check int) "size clamped to request" 4 (Domain_pool.size pool);
+  let hits = Array.make 4 0 in
+  Domain_pool.run pool (fun w -> hits.(w) <- hits.(w) + 1);
+  Alcotest.(check (array int)) "each worker ran once" [| 1; 1; 1; 1 |] hits;
+  (* Reuse: same pool object, fresh job. *)
+  Alcotest.(check bool) "pools are memoized per size" true
+    (pool == Domain_pool.get 4);
+  Domain_pool.run pool (fun w -> hits.(w) <- hits.(w) + 10);
+  Alcotest.(check (array int)) "reused for a second job" [| 11; 11; 11; 11 |]
+    hits
+
+let test_domain_pool_propagates_exceptions () =
+  let pool = Domain_pool.get 2 in
+  (match Domain_pool.run pool (fun w -> if w = 1 then failwith "boom") with
+  | () -> Alcotest.fail "expected the worker's exception"
+  | exception Failure msg -> Alcotest.(check string) "message" "boom" msg);
+  (* The failed job must not wedge the pool. *)
+  let total = Atomic.make 0 in
+  Domain_pool.run pool (fun w -> ignore (Atomic.fetch_and_add total (w + 1)));
+  Alcotest.(check int) "pool still works after a failure" 3 (Atomic.get total)
+
+let test_domain_pool_default_knob () =
+  let before = Domain_pool.default_domains () in
+  Fun.protect
+    ~finally:(fun () -> Domain_pool.set_default_domains before)
+    (fun () ->
+      Domain_pool.set_default_domains 3;
+      Alcotest.(check int) "set/get" 3 (Domain_pool.default_domains ());
+      Alcotest.check_raises "rejects < 1"
+        (Invalid_argument "Domain_pool.set_default_domains: need n >= 1")
+        (fun () -> Domain_pool.set_default_domains 0))
 
 (* --- Model cache ------------------------------------------------------------- *)
 
@@ -1028,6 +1127,17 @@ let suites =
       [
         qcheck prop_dense_matches_naive;
         qcheck prop_dense_scored_table_bit_identical;
+        qcheck prop_dense_parallel_bit_identical;
+        Alcotest.test_case "rejects non-finite NL" `Quick
+          test_dense_rejects_nonfinite_nl;
+      ] );
+    ( "core.domain_pool",
+      [
+        Alcotest.test_case "runs every worker" `Quick
+          test_domain_pool_runs_every_worker;
+        Alcotest.test_case "propagates exceptions" `Quick
+          test_domain_pool_propagates_exceptions;
+        Alcotest.test_case "default knob" `Quick test_domain_pool_default_knob;
       ] );
     ( "core.model_cache",
       [

@@ -42,7 +42,7 @@ let test_allocate_without_ppn_uses_pc () =
   let request = Request.make ~procs:12 () in
   match
     Policies.allocate ~policy:Policies.Network_load_aware ~snapshot:snap
-      ~weights:Weights.paper_default ~request ~rng:(Rng.create 1)
+      ~weights:Weights.paper_default ~request ~rng:(Rng.create 1) ()
   with
   | Error _ -> Alcotest.fail "allocation failed"
   | Ok a ->

@@ -334,7 +334,7 @@ let test_pipeline_determinism () =
       Rm_core.Policies.allocate ~policy:Rm_core.Policies.Network_load_aware
         ~snapshot:snap ~weights:Rm_core.Weights.paper_default
         ~request:(Rm_core.Request.make ~ppn:2 ~procs:8 ())
-        ~rng
+        ~rng ()
     with
     | Error _ -> Alcotest.fail "allocation failed"
     | Ok allocation ->

@@ -99,7 +99,7 @@ let test_replay_world_usable_by_allocator () =
     Rm_core.Policies.allocate ~policy:Rm_core.Policies.Network_load_aware
       ~snapshot:snap ~weights:Rm_core.Weights.paper_default
       ~request:(Rm_core.Request.make ~ppn:4 ~procs:8 ())
-      ~rng:(Rm_stats.Rng.create 1)
+      ~rng:(Rm_stats.Rng.create 1) ()
   with
   | Ok a -> Alcotest.(check int) "covers" 8 (Allocation.total_procs a)
   | Error _ -> Alcotest.fail "allocation failed on replay world"

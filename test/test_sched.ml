@@ -225,7 +225,7 @@ let test_federated_allocator_avoids_wan () =
   match
     Rm_core.Policies.allocate ~policy:Rm_core.Policies.Network_load_aware
       ~snapshot:snap ~weights:Weights.paper_default ~request
-      ~rng:(Rm_stats.Rng.create 2)
+      ~rng:(Rm_stats.Rng.create 2) ()
   with
   | Ok a ->
     let topo = Cluster.topology cluster in
@@ -562,6 +562,50 @@ let test_scheduler_gives_up_after_max_requeues () =
   Alcotest.(check int) "no outcome recorded" 0
     (List.length (Scheduler.finished sched))
 
+(* Boundary pin: [max_requeues = N] permits exactly N requeues — a job
+   that fails N times still finishes on attempt N+1 (the strict [>] in
+   the give-up check fires only on failure N+1). A sabotage callback
+   kills the job's nodes on its first two runs, then lets it be. *)
+let test_scheduler_requeue_boundary () =
+  let config =
+    {
+      Scheduler.default_config with
+      Scheduler.node_check_period_s = Some 5.0;
+      max_requeues = 2;
+      backoff_base_s = 10.0;
+    }
+  in
+  let sim, world, sched = sched_setup ~config () in
+  let id =
+    Scheduler.submit sched ~name:"boundary" ~at:1000.0
+      ~request:(Request.make ~ppn:4 ~alpha:0.5 ~procs:8 ())
+      ~app_of:(fun ~ranks -> ring_app ~ranks ~iterations:2000)
+      ()
+  in
+  let kills = ref 0 in
+  let rec sabotage sim =
+    match Scheduler.state sched id with
+    | Scheduler.Running { nodes; _ } when !kills < 2 ->
+      incr kills;
+      List.iter (fun n -> World.set_down world ~node:n) nodes;
+      ignore (Sim.schedule_after sim ~delay:2.0 sabotage)
+    | Scheduler.Finished _ | Scheduler.Rejected _ -> ()
+    | _ when !kills < 2 -> ignore (Sim.schedule_after sim ~delay:2.0 sabotage)
+    | _ -> ()
+  in
+  ignore (Sim.schedule_after sim ~delay:1001.0 sabotage);
+  Sim.run_until sim 200_000.0;
+  (match Scheduler.state sched id with
+  | Scheduler.Finished o ->
+    Alcotest.(check int) "exactly max_requeues requeues" 2
+      o.Scheduler.requeues
+  | Scheduler.Rejected reason ->
+    Alcotest.fail
+      ("max_requeues = 2 must permit 2 requeues, but job was rejected: "
+      ^ reason)
+  | _ -> Alcotest.fail "job neither finished nor rejected");
+  Alcotest.(check int) "two requeues total" 2 (Scheduler.requeue_count sched)
+
 let test_scheduler_detection_off_is_historic () =
   (* Default config: no liveness poll, so a node death mid-run does not
      fail the job — the historical (pre-faults) behavior. *)
@@ -667,6 +711,55 @@ let test_slo_percentile_edges () =
     (Invalid_argument "Slo.percentile_of_buckets: p out of [0, 100]") (fun () ->
       ignore (Slo.percentile_of_buckets [ (1.0, 1) ] ~p:101.0))
 
+(* Regression: interpolating across a gap of empty buckets. The rank
+   crosses in (3, 4] after a (1, 3] stretch with zero counts, so the
+   crossing bucket's lower bound is 3.0 (the last non-empty upper
+   bound), and the estimate must stay inside [3, 4] — exact values
+   pinned, not just containment. *)
+let test_slo_percentile_gap_histogram () =
+  let buckets = [ (1.0, 10); (2.0, 0); (3.0, 0); (4.0, 5); (infinity, 0) ] in
+  (* rank 7.5 inside the first bucket: plain interpolation from 0. *)
+  Alcotest.(check (float 1e-9))
+    "p50 in first bucket" 0.75
+    (Slo.percentile_of_buckets buckets ~p:50.0);
+  (* rank 10.5 lands past the empty gap: 3.0 + 1.0 * 0.5/5. *)
+  Alcotest.(check (float 1e-9))
+    "p70 past the gap" 3.1
+    (Slo.percentile_of_buckets buckets ~p:70.0);
+  (* rank exactly at the first bucket's cumulative count (p50 of a
+     16-sample histogram, rank 8.0 exactly): its upper bound, never a
+     value inside the gap. *)
+  Alcotest.(check (float 1e-9))
+    "rank on the boundary" 1.0
+    (Slo.percentile_of_buckets
+       [ (1.0, 8); (2.0, 0); (3.0, 0); (4.0, 8); (infinity, 0) ]
+       ~p:50.0);
+  Alcotest.(check (float 1e-9))
+    "p100 is the last bound" 4.0
+    (Slo.percentile_of_buckets buckets ~p:100.0);
+  (* Sweep: every estimate must sit inside the crossing bucket. *)
+  for i = 0 to 1000 do
+    let p = 0.1 *. float_of_int i in
+    let est = Slo.percentile_of_buckets buckets ~p in
+    Alcotest.(check bool)
+      (Printf.sprintf "p%.1f=%.4f inside a bucket" p est)
+      true
+      ((est >= 0.0 && est <= 1.0) || (est >= 3.0 && est <= 4.0))
+  done
+
+(* Regression: with telemetry off (or a run where nothing dispatched)
+   [report] used to raise Invalid_argument; callers like [rmctl slo]
+   crashed. Now it is an [Error] the caller can render as a notice. *)
+let test_slo_report_without_wait_data () =
+  Rm_telemetry.Runtime.disable ();
+  Rm_telemetry.Metrics.reset ();
+  let sim, _world, sched = sched_setup () in
+  ignore (submit_ring sched ~name:"a" ~at:1000.0 ~procs:8);
+  Sim.run_until sim 30_000.0;
+  match Slo.report ~sched ~policy:"test" with
+  | Error `No_wait_data -> ()
+  | Ok _ -> Alcotest.fail "expected Error `No_wait_data with telemetry off"
+
 let test_queue_depth_series_sampled () =
   let sim, _world, sched = sched_setup () in
   ignore (submit_ring sched ~name:"a" ~at:1000.0 ~procs:8);
@@ -693,7 +786,11 @@ let test_slo_report () =
       ignore (submit_ring sched ~name:"a" ~at:1000.0 ~procs:8);
       ignore (submit_ring sched ~name:"b" ~at:1000.0 ~procs:8);
       Sim.run_until sim 30_000.0;
-      let r = Slo.report ~sched ~policy:"test" in
+      let r =
+        match Slo.report ~sched ~policy:"test" with
+        | Ok r -> r
+        | Error `No_wait_data -> Alcotest.fail "expected wait data"
+      in
       Alcotest.(check int) "jobs" 2 r.Slo.jobs_finished;
       Alcotest.(check bool) "percentiles ordered" true
         (r.Slo.wait.Slo.p50 <= r.Slo.wait.Slo.p90
@@ -752,6 +849,10 @@ let suites =
         Alcotest.test_case "queue depth series sampled" `Quick
           test_queue_depth_series_sampled;
         Alcotest.test_case "full report from a run" `Quick test_slo_report;
+        Alcotest.test_case "gap-y histogram interpolation" `Quick
+          test_slo_percentile_gap_histogram;
+        Alcotest.test_case "report without wait data" `Quick
+          test_slo_report_without_wait_data;
       ] );
     ( "sched.scheduler",
       [
@@ -775,6 +876,8 @@ let suites =
           test_scheduler_requeues_after_node_death;
         Alcotest.test_case "gives up after max requeues" `Quick
           test_scheduler_gives_up_after_max_requeues;
+        Alcotest.test_case "requeue boundary: N permits exactly N" `Quick
+          test_scheduler_requeue_boundary;
         Alcotest.test_case "detection off is historic" `Quick
           test_scheduler_detection_off_is_historic;
         Alcotest.test_case "cancel failed job" `Quick

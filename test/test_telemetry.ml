@@ -662,6 +662,48 @@ let test_spill_retention () =
       | () -> Alcotest.fail "append after close should raise"
       | exception Invalid_argument _ -> ())
 
+(* Regression: [create] used to swallow the mkdir failure and crash a
+   moment later opening the first segment, with an error that never
+   named the spill directory. A directory path nested under a regular
+   FILE fails with ENOTDIR for any uid (unlike permission bits, which
+   root ignores), so it exercises the same path everywhere. *)
+let test_spill_uncreatable_dir () =
+  with_spill_dir (fun base ->
+      Sys.mkdir base 0o755;
+      let squatter = Filename.concat base "squatter" in
+      let oc = open_out squatter in
+      output_string oc "not a directory";
+      close_out oc;
+      Fun.protect
+        ~finally:(fun () -> Sys.remove squatter)
+        (fun () ->
+          let dir = Filename.concat squatter "spill" in
+          let contains hay needle =
+            let h = String.length hay and n = String.length needle in
+            let rec go i =
+              i + n <= h && (String.sub hay i n = needle || go (i + 1))
+            in
+            go 0
+          in
+          (match Spill.create ~dir () with
+          | _ -> Alcotest.fail "expected Sys_error for uncreatable dir"
+          | exception Sys_error msg ->
+            (* The message pins the path component that is actually in
+               the way (the file posing as a directory). *)
+            Alcotest.(check bool)
+              (Printf.sprintf "error %S names the spill dir" msg)
+              true
+              (contains msg "cannot create spill dir" && contains msg squatter));
+          (* A path component that exists but is a file fails the same
+             way, before any mkdir is attempted. *)
+          match Spill.create ~dir:squatter () with
+          | _ -> Alcotest.fail "expected Sys_error for file-as-dir"
+          | exception Sys_error msg ->
+            Alcotest.(check bool)
+              (Printf.sprintf "error %S says not a directory" msg)
+              true
+              (contains msg "not a directory" && contains msg squatter)))
+
 let arbitrary_trace_event : Trace.event QCheck.arbitrary =
   let open QCheck.Gen in
   let printable_str = string_size ~gen:printable (int_bound 12) in
@@ -764,6 +806,8 @@ let suites =
       [
         Alcotest.test_case "mirrors the ring" `Quick test_spill_mirrors_ring;
         Alcotest.test_case "newest-N retention" `Quick test_spill_retention;
+        Alcotest.test_case "uncreatable dir named in error" `Quick
+          test_spill_uncreatable_dir;
       ]
       @ qsuite [ prop_spill_roundtrip ] );
   ]
