@@ -309,9 +309,11 @@ let measure_cell ~budget_s ~snapshot ~weights ~request ~policy engine =
   (float_of_int reps /. Float.max elapsed 1e-9, reps)
 
 (* Keyed (v, policy, kind): "dense-warm/naive" is the fast-path
-   headline, "dense-par/dense-warm" isolates what the domain sweep adds
-   on top of it (par engine names carry the domain count, so they match
-   by prefix). *)
+   headline, "dense-parN/dense-warm" isolates what the domain sweep
+   adds on top of it. The par kind keeps the engine's domain count so a
+   --domains 8 run is never regression-checked against a baseline
+   recorded with 4 domains — mismatched counts simply find no
+   counterpart and are skipped. *)
 let scale_speedups rows =
   let find v policy pred =
     List.find_opt (fun r -> r.v = v && r.policy = policy && pred r.engine) rows
@@ -325,7 +327,7 @@ let scale_speedups rows =
       else if is_par_engine r.engine then
         find r.v r.policy (String.equal "dense-warm")
         |> Option.map (fun warm ->
-               ((r.v, r.policy, "dense-par/dense-warm"), r.rate /. warm.rate))
+               ((r.v, r.policy, r.engine ^ "/dense-warm"), r.rate /. warm.rate))
       else None)
     rows
 
@@ -407,7 +409,7 @@ let scale () =
                  Printf.sprintf "%.1f" (rate_of v p "dense-warm");
                  Printf.sprintf "%.1f" (rate_of v p par_engine);
                  speedup "dense-warm/naive";
-                 speedup "dense-par/dense-warm";
+                 speedup (par_engine ^ "/dense-warm");
                ])
              Rm_core.Policies.all)
          sizes)
@@ -418,6 +420,11 @@ let scale () =
         ("schema", Json.Str "rm-bench-allocator/v1");
         ("quick", Json.Bool !quick);
         ("domains", Json.Num (float_of_int !scale_domains));
+        (* The par-speedup ratio tracks host parallelism; recording the
+           core count lets a later --baseline run on different hardware
+           skip that comparison instead of failing spuriously. *)
+        ( "cores",
+          Json.Num (float_of_int (Domain.recommended_domain_count ())) );
         ( "request",
           Json.Obj
             [
@@ -455,17 +462,67 @@ let scale () =
       close_in ic;
       s
     in
-    let base_speedups = scale_speedups (scale_rows_of_json (Json.of_string contents)) in
+    let base_json = Json.of_string contents in
+    let base_speedups = scale_speedups (scale_rows_of_json base_json) in
+    (* Par-speedup ratios are sensitive to both the domain count (in
+       the key, so mismatches find no counterpart) and the host's core
+       count (recorded since schema v1 grew "cores"; absent in older
+       baselines). Comparing across either difference produces spurious
+       regressions, so those rows are skipped with a notice instead. *)
+    let cores = Domain.recommended_domain_count () in
+    let base_cores =
+      match Json.member "cores" base_json with
+      | Json.Null -> None
+      | j -> Some (Json.to_int j)
+    in
+    let is_par_kind kind =
+      String.length kind >= 9 && String.sub kind 0 9 = "dense-par"
+    in
+    let skipped_cores = ref 0 and skipped_domains = ref 0 in
     let regressions =
       List.filter_map
-        (fun (key, base) ->
-          match List.assoc_opt key speedups with
-          | Some cur when Float.is_finite base && base > 0.0 && cur < base /. 2.0
-            ->
-            Some (key, base, cur)
-          | _ -> None)
+        (fun (((v, p, kind) as key), base) ->
+          let par = is_par_kind kind in
+          if par && base_cores <> None && base_cores <> Some cores then begin
+            incr skipped_cores;
+            None
+          end
+          else
+            match List.assoc_opt key speedups with
+            | Some cur
+              when Float.is_finite base && base > 0.0 && cur < base /. 2.0 ->
+              Some (key, base, cur)
+            | Some _ -> None
+            | None ->
+              (* Attribute the miss: a par row measured in this run
+                 under a different domain count is a deliberate skip
+                 worth a notice; a (v, policy) this run never measured
+                 (e.g. --quick vs a full baseline) stays silent, as
+                 non-par rows always have. *)
+              if
+                par
+                && List.exists
+                     (fun ((v', p', k'), _) ->
+                       v' = v && p' = p && is_par_kind k')
+                     speedups
+              then incr skipped_domains;
+              None)
         base_speedups
     in
+    if !skipped_cores > 0 then
+      Buffer.add_string buf
+        (Printf.sprintf
+           "baseline %s: %d par-speedup rows not compared (baseline host \
+            had %d cores, this one %d)\n"
+           file !skipped_cores
+           (Option.value ~default:0 base_cores)
+           cores);
+    if !skipped_domains > 0 then
+      Buffer.add_string buf
+        (Printf.sprintf
+           "baseline %s: %d par-speedup rows not compared (baseline domain \
+            count differs from --domains %d)\n"
+           file !skipped_domains !scale_domains);
     if regressions = [] then
       Buffer.add_string buf
         (Printf.sprintf "baseline %s: no policy regressed >2x in speedup\n"
@@ -614,7 +671,15 @@ let () =
       strip rest
     | "--domains" :: n :: rest ->
       (match int_of_string_opt n with
-      | Some n when n >= 1 -> scale_domains := n
+      | Some n when n >= 1 ->
+        (* Clamp here, not just inside the pool: the dense-parN engine
+           name and baseline key must reflect the domains actually in
+           play, and the clamp should be visible, as in rmctl. *)
+        let ceiling = Rm_core.Domain_pool.max_workers in
+        if n > ceiling then
+          Printf.eprintf "bench: --domains %d clamped to %d (pool ceiling)\n%!"
+            n ceiling;
+        scale_domains := min n ceiling
       | _ ->
         Printf.eprintf "--domains expects a positive integer, got %S\n%!" n;
         exit 2);

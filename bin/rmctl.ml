@@ -106,6 +106,12 @@ let domains_t =
         Format.eprintf "--domains must be >= 1 (got %d)@." n;
         exit 2
       end;
+      (* set_default_domains clamps silently; surface it so the user is
+         not left believing more domains are in play than the pool
+         ceiling allows. *)
+      if n > Rm_core.Domain_pool.max_workers then
+        Format.eprintf "rmctl: --domains %d clamped to %d (pool ceiling)@." n
+          Rm_core.Domain_pool.max_workers;
       Rm_core.Domain_pool.set_default_domains n
   in
   Term.(

@@ -86,8 +86,13 @@ let make_scratch v =
    the scan once-per-model instead of once-per-call (a single slot
    covers the dominant pattern; an alternating pair of snapshots merely
    re-scans). The slot only ever holds a matrix that validated clean,
-   so a stale hit can never skip a matrix that would have failed. *)
-let last_valid_nl : Matrix.t option ref = ref None
+   so a stale hit can never skip a matrix that would have failed —
+   this leans on Network_load.nl_matrix's contract that the matrix is
+   never mutated in place after construction. The slot is weak so it
+   extends no lifetime: once Model_cache evicts a model, its O(V²)
+   matrix stays collectable (at V=4096 a pinned snapshot would hold
+   hundreds of MB). *)
+let last_valid_nl : Matrix.t Weak.t = Weak.create 1
 
 let validate_finite ~ids ~cl ~nl =
   let v = Array.length ids in
@@ -97,7 +102,7 @@ let validate_finite ~ids ~cl ~nl =
         (Printf.sprintf "Dense_alloc.scored_all: non-finite CL for node %d"
            ids.(i))
   done;
-  match !last_valid_nl with
+  match Weak.get last_valid_nl 0 with
   | Some m when m == nl -> ()
   | _ ->
     (* The NL diagonal is 0 by construction; scanning it too keeps the
@@ -111,7 +116,7 @@ let validate_finite ~ids ~cl ~nl =
                ids.(i) ids.(j))
       done
     done;
-    last_valid_nl := Some nl
+    Weak.set last_valid_nl 0 (Some nl)
 
 let scored_all ?ndomains ~loads ~net ~capacity ~request () =
   let ids = Compute_load.dense_ids loads in
@@ -219,9 +224,15 @@ let scored_all ?ndomains ~loads ~net ~capacity ~request () =
   end
   else begin
     (* Contiguous chunks keep each worker's NL row reads streaming and
-       make the output slots worker-disjoint. *)
+       make the output slots worker-disjoint. The pool silently clamps
+       oversized requests ([Domain_pool.max_workers]), so the chunk
+       size must come from the pool's actual worker count — chunking
+       over the requested [nd] would leave every start beyond
+       [size * chunk] uncomputed. *)
+    let pool = Domain_pool.get nd in
+    let nd = Domain_pool.size pool in
     let chunk = (v + nd - 1) / nd in
-    Domain_pool.run (Domain_pool.get nd) (fun w ->
+    Domain_pool.run pool (fun w ->
         let lo = w * chunk in
         let hi = min v (lo + chunk) in
         if lo < hi then begin

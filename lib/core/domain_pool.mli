@@ -12,10 +12,17 @@
 
 type t
 
+val max_workers : int
+(** Hard ceiling on pool parallelism; [get], [create] and
+    [set_default_domains] all clamp requests above it. Callers that
+    partition work by a requested domain count must re-read the actual
+    count from {!size} (or compare against this ceiling) — the clamp is
+    silent. *)
+
 val get : int -> t
 (** Memoized pool with the given total parallelism (calling domain
     included, so [get 1] spawns nothing and [run] degenerates to a
-    plain call). Values are clamped to \[1, 16\]. *)
+    plain call). Values are clamped to \[1, {!max_workers}\]. *)
 
 val size : t -> int
 

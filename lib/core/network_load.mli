@@ -38,7 +38,13 @@ val dense_index : t -> node:int -> int
 (** Raises [Invalid_argument] when the node is not usable. *)
 
 val nl_matrix : t -> Rm_stats.Matrix.t
-(** The NL matrix over dense indices (0 on the diagonal). Read-only. *)
+(** The NL matrix over dense indices (0 on the diagonal). Read-only:
+    callers must never mutate it in place, even though [Matrix.set]
+    and friends are public. {!Dense_alloc} memoizes its non-finite
+    validation per physical matrix on the strength of this invariant
+    — an in-place write would silently bypass the NaN check (and the
+    model cache shares one matrix across every caller scoring the same
+    snapshot). *)
 
 (** {2 Raw terms (for Table 4 and diagnostics)} *)
 

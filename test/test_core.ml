@@ -927,6 +927,28 @@ let prop_dense_parallel_bit_identical =
                par seq)
         [ 2; 4 ])
 
+(* Regression: ndomains above the pool ceiling used to chunk the V
+   starts over the *requested* count while Domain_pool.get silently
+   clamped the actual worker count, so every start beyond
+   [max_workers * chunk] was never computed and the merge died with
+   Assert_failure (reachable via `bench scale --domains 20` or any
+   Policies.allocate ~ndomains). Needs V > max_workers: smaller V
+   clamps ndomains to V before the pool is involved. *)
+let test_dense_parallel_oversized_ndomains () =
+  let n = Domain_pool.max_workers + 4 in
+  let snap = fixture (List.init n (fun i -> (8, float_of_int (i mod 5)))) in
+  let cl = Compute_load.of_snapshot snap ~weights in
+  let nl = Network_load.of_snapshot snap ~weights in
+  let request = Request.make ~ppn:4 ~procs:24 () in
+  let capacity = capacity_of snap request in
+  let run ndomains =
+    Dense_alloc.scored_all ~ndomains ~loads:cl ~net:nl ~capacity ~request ()
+  in
+  let seq = run 1 in
+  let par = run (2 * Domain_pool.max_workers) in
+  Alcotest.(check bool)
+    "oversized ndomains is clamped, output bit-identical" true (par = seq)
+
 (* Regression: a NaN in the NL matrix used to corrupt the heap's float
    ordering silently (both [<] and [=] are false on NaN), making the
    dense path quietly diverge from the naive compare-based sort. Now it
@@ -1128,6 +1150,8 @@ let suites =
         qcheck prop_dense_matches_naive;
         qcheck prop_dense_scored_table_bit_identical;
         qcheck prop_dense_parallel_bit_identical;
+        Alcotest.test_case "oversized ndomains clamps to the pool" `Quick
+          test_dense_parallel_oversized_ndomains;
         Alcotest.test_case "rejects non-finite NL" `Quick
           test_dense_rejects_nonfinite_nl;
       ] );
