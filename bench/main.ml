@@ -541,6 +541,398 @@ let scale () =
     end);
   Buffer.contents buf
 
+(* --- serve: closed-loop load against the resident daemon ---------------- *)
+
+(* Drives N concurrent clients against a brokerd instance and reports
+   allocs/sec plus p50/p99 request latency from the daemon's own
+   service.request_latency_s histogram (via Slo's bucket percentiles).
+
+   Default is an in-process comparison: the same workload runs once
+   against a per-request-snapshot daemon (the cost a one-shot CLI pays
+   on every call: fresh monitor capture, cold model cache) and once
+   against the per-tick batching daemon, and the ratio is the headline.
+   --serve-socket PATH instead drives an externally started daemon (one
+   row, no comparison) — the CI smoke path.
+
+   Results go to stdout and BENCH_serve.json; --serve-baseline FILE
+   compares batched allocs/sec and the batched/per-request speedup
+   against a committed run, skipping with a notice when the host core
+   count differs (same convention as the scale gate), and
+   --serve-min-speedup X fails the run if batching does not deliver at
+   least Xx. *)
+
+module Service = Rm_service
+
+let serve_clients = ref 64
+let serve_seconds = ref 3.0
+let serve_socket : string option ref = ref None
+let serve_baseline : string option ref = ref None
+let serve_min_speedup = ref 0.0
+let serve_check = ref false
+let serve_open_rate : float option ref = ref None
+
+let serve_policy = Rm_core.Policies.Network_load_aware
+
+type serve_row = {
+  mode : string;
+  requests : int;
+  retries : int;
+  req_errors : int;
+  allocs_per_sec : float;
+  p50_ms : float;
+  p99_ms : float;
+}
+
+(* Per-mode latency percentiles without resetting the registry (resets
+   would wipe other sections' metrics in --metrics-out runs): snapshot
+   the histogram's bucket counts before and after and take the delta. *)
+let latency_buckets_now () =
+  match
+    Rm_telemetry.Metrics.find
+      ~labels:[ ("policy", Rm_core.Policies.name serve_policy) ]
+      "service.request_latency_s"
+  with
+  | None -> None
+  | Some m -> Some (Rm_telemetry.Metrics.bucket_counts m)
+
+let latency_delta ~before ~after =
+  match (before, after) with
+  | _, None -> None
+  | None, Some after -> Some after
+  | Some before, Some after ->
+    Some (List.map2 (fun (ub, b) (_, a) -> (ub, a - b)) before after)
+
+let serve_percentiles delta =
+  match delta with
+  | Some buckets when List.exists (fun (_, n) -> n > 0) buckets ->
+    Some (Rm_sched.Slo.percentiles_of_buckets buckets)
+  | _ -> None
+
+(* One closed-loop client: allocate as fast as the daemon answers,
+   releasing the oldest allocation every 16th success so the active set
+   stays bounded without release traffic dominating. --serve-open-rate
+   switches to open-ish arrivals with exponential think times. *)
+let drive_clients ~endpoint ~clients ~seconds =
+  let served = Array.make clients 0 in
+  let retried = Array.make clients 0 in
+  let errored = Array.make clients 0 in
+  let t0 = Unix.gettimeofday () in
+  let stop_at = t0 +. seconds in
+  let body i =
+    match Service.Client.connect endpoint with
+    | exception _ -> errored.(i) <- errored.(i) + 1
+    | c ->
+      let rng = Rm_stats.Rng.create (7000 + i) in
+      let active = Queue.create () in
+      (try
+         while Unix.gettimeofday () < stop_at do
+           (match Service.Client.allocate c ~ppn:4 ~alpha:0.5 ~procs:16 with
+           | Service.Wire.Allocated { alloc_id; _ } ->
+             served.(i) <- served.(i) + 1;
+             Queue.add alloc_id active;
+             if Queue.length active >= 16 then
+               ignore
+                 (Service.Client.release c ~alloc_id:(Queue.take active))
+           | Service.Wire.Retry { after_s; _ } ->
+             retried.(i) <- retried.(i) + 1;
+             Thread.delay (Float.min after_s 0.02)
+           | _ -> errored.(i) <- errored.(i) + 1);
+           match !serve_open_rate with
+           | Some r when r > 0.0 ->
+             Thread.delay
+               (-.log (Rm_stats.Rng.uniform rng ~lo:1e-9 ~hi:1.0) /. r)
+           | _ -> ()
+         done;
+         Queue.iter
+           (fun id -> ignore (Service.Client.release c ~alloc_id:id))
+           active
+       with _ -> errored.(i) <- errored.(i) + 1);
+      Service.Client.close c
+  in
+  let threads = List.init clients (fun i -> Thread.create body i) in
+  List.iter Thread.join threads;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let sum a = Array.fold_left ( + ) 0 a in
+  (sum served, sum retried, sum errored, elapsed)
+
+let serve_row_of ~mode ~requests ~retries ~req_errors ~elapsed ~delta =
+  let p50, p99 =
+    match serve_percentiles delta with
+    | Some p -> (p.Rm_sched.Slo.p50, p.Rm_sched.Slo.p99)
+    | None -> (nan, nan)
+  in
+  {
+    mode;
+    requests;
+    retries;
+    req_errors;
+    allocs_per_sec = float_of_int requests /. Float.max elapsed 1e-9;
+    p50_ms = 1000.0 *. p50;
+    p99_ms = 1000.0 *. p99;
+  }
+
+(* One in-process daemon round: start a server on a private unix
+   socket, drive the closed loop, read the latency delta, stop. *)
+let serve_in_process ~batching =
+  let mode = if batching then "batched" else "per-request" in
+  let path =
+    Printf.sprintf "/tmp/rm-bench-serve-%d-%s.sock" (Unix.getpid ()) mode
+  in
+  (* A cold model cache per mode: batched must earn its hits. *)
+  Rm_core.Model_cache.clear ();
+  let config =
+    {
+      (Service.Server.default_config
+         ~endpoint:(Service.Server.Unix_socket path))
+      with
+      batching;
+      broker = { Rm_core.Broker.default_config with policy = serve_policy };
+    }
+  in
+  let server = Service.Server.create config in
+  Service.Server.start server;
+  let before = latency_buckets_now () in
+  let requests, retries, req_errors, elapsed =
+    drive_clients ~endpoint:(`Unix path) ~clients:!serve_clients
+      ~seconds:!serve_seconds
+  in
+  let delta = latency_delta ~before ~after:(latency_buckets_now ()) in
+  Service.Server.stop server;
+  serve_row_of ~mode ~requests ~retries ~req_errors ~elapsed ~delta
+
+(* External daemon: the latency delta comes from scraping /metrics
+   before and after and de-cumulating the Prometheus buckets. *)
+let scrape_latency_buckets endpoint =
+  match Service.Client.http_get endpoint ~path:"/metrics" with
+  | exception _ -> None
+  | 200, body ->
+    let samples = Rm_telemetry.Prometheus.parse body in
+    let policy = Rm_core.Policies.name serve_policy in
+    let cumulative =
+      List.filter_map
+        (fun s ->
+          if
+            s.Rm_telemetry.Prometheus.sample_name
+            = "service_request_latency_s_bucket"
+            && List.assoc_opt "policy" s.sample_labels = Some policy
+          then
+            Option.map
+              (fun le ->
+                ( (match le with
+                  | "+Inf" -> infinity
+                  | le -> float_of_string le),
+                  int_of_float s.sample_value ))
+              (List.assoc_opt "le" s.sample_labels)
+          else None)
+        samples
+      |> List.sort compare
+    in
+    if cumulative = [] then None
+    else
+      (* De-cumulate back to the per-bucket counts Slo expects. *)
+      let _, per_bucket =
+        List.fold_left
+          (fun (prev, acc) (ub, c) -> (c, (ub, c - prev) :: acc))
+          (0, []) cumulative
+      in
+      Some (List.rev per_bucket)
+  | _ -> None
+
+let serve_external path =
+  let endpoint = `Unix path in
+  let before = scrape_latency_buckets endpoint in
+  let requests, retries, req_errors, elapsed =
+    drive_clients ~endpoint ~clients:!serve_clients ~seconds:!serve_seconds
+  in
+  let delta = latency_delta ~before ~after:(scrape_latency_buckets endpoint) in
+  serve_row_of ~mode:"external" ~requests ~retries ~req_errors ~elapsed ~delta
+
+let serve_rows_of_json j =
+  Json.to_list (Json.member "rows" j)
+  |> List.map (fun row ->
+         {
+           mode = Json.to_str (Json.member "mode" row);
+           requests = Json.to_int (Json.member "requests" row);
+           retries = Json.to_int (Json.member "retries" row);
+           req_errors = Json.to_int (Json.member "errors" row);
+           allocs_per_sec = Json.to_float (Json.member "allocs_per_sec" row);
+           p50_ms = Json.to_float (Json.member "p50_ms" row);
+           p99_ms = Json.to_float (Json.member "p99_ms" row);
+         })
+
+let serve () =
+  let was_enabled = Rm_telemetry.Runtime.is_enabled () in
+  Rm_telemetry.Runtime.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      if not was_enabled then Rm_telemetry.Runtime.disable ())
+  @@ fun () ->
+  if !quick && !serve_seconds > 1.0 then serve_seconds := 1.0;
+  let rows =
+    match !serve_socket with
+    | Some path -> [ serve_external path ]
+    | None ->
+      [ serve_in_process ~batching:false; serve_in_process ~batching:true ]
+  in
+  let buf = Buffer.create 1024 in
+  Experiments.Render.table
+    ~header:
+      [
+        "mode"; "requests"; "retries"; "errors"; "allocs/s"; "p50"; "p99";
+      ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             r.mode;
+             string_of_int r.requests;
+             string_of_int r.retries;
+             string_of_int r.req_errors;
+             Printf.sprintf "%.1f" r.allocs_per_sec;
+             Printf.sprintf "%.2fms" r.p50_ms;
+             Printf.sprintf "%.2fms" r.p99_ms;
+           ])
+         rows)
+    buf;
+  let find_mode m = List.find_opt (fun r -> r.mode = m) rows in
+  let speedup =
+    match (find_mode "per-request", find_mode "batched") with
+    | Some ctl, Some bat when ctl.allocs_per_sec > 0.0 ->
+      Some (bat.allocs_per_sec /. ctl.allocs_per_sec)
+    | _ -> None
+  in
+  Option.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "\nbatched/per-request speedup: %.1fx\n" s))
+    speedup;
+  let json =
+    Json.Obj
+      [
+        ("schema", Json.Str "rm-bench-serve/v1");
+        ("quick", Json.Bool !quick);
+        ("clients", Json.Num (float_of_int !serve_clients));
+        ("seconds", Json.Num !serve_seconds);
+        (* Wall-clock rates track host parallelism and per-core speed;
+           a --serve-baseline run on different hardware skips instead
+           of failing spuriously (scale-gate convention). *)
+        ( "cores",
+          Json.Num (float_of_int (Domain.recommended_domain_count ())) );
+        ( "request",
+          Json.Obj
+            [
+              ("procs", Json.Num 16.0);
+              ("ppn", Json.Num 4.0);
+              ("alpha", Json.Num 0.5);
+              ("policy", Json.Str (Rm_core.Policies.name serve_policy));
+            ] );
+        ( "speedup",
+          match speedup with Some s -> Json.Num s | None -> Json.Null );
+        ( "rows",
+          Json.Arr
+            (List.map
+               (fun r ->
+                 Json.Obj
+                   [
+                     ("mode", Json.Str r.mode);
+                     ("requests", Json.Num (float_of_int r.requests));
+                     ("retries", Json.Num (float_of_int r.retries));
+                     ("errors", Json.Num (float_of_int r.req_errors));
+                     ("allocs_per_sec", Json.Num r.allocs_per_sec);
+                     ("p50_ms", Json.Num r.p50_ms);
+                     ("p99_ms", Json.Num r.p99_ms);
+                   ])
+               rows) );
+      ]
+  in
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc (Json.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Buffer.add_string buf "wrote BENCH_serve.json\n";
+  let failures = ref [] in
+  if !serve_check then begin
+    List.iter
+      (fun r ->
+        if r.allocs_per_sec <= 0.0 then
+          failures :=
+            Printf.sprintf "CHECK FAILED: %s allocs/sec is zero" r.mode
+            :: !failures;
+        if not (Float.is_finite r.p99_ms) || r.p99_ms <= 0.0 then
+          failures :=
+            Printf.sprintf "CHECK FAILED: %s p99 not populated" r.mode
+            :: !failures)
+      rows;
+    if !failures = [] then
+      Buffer.add_string buf
+        "check: all modes served requests with populated latency percentiles\n"
+  end;
+  (match (!serve_min_speedup, speedup) with
+  | m, Some s when m > 0.0 && s < m ->
+    failures :=
+      Printf.sprintf "CHECK FAILED: batched speedup %.1fx < required %.1fx" s
+        m
+      :: !failures
+  | m, None when m > 0.0 && !serve_socket = None ->
+    failures := "CHECK FAILED: speedup could not be computed" :: !failures
+  | _ -> ());
+  (match !serve_baseline with
+  | None -> ()
+  | Some file ->
+    let contents =
+      let ic = open_in file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    let base_json = Json.of_string contents in
+    let cores = Domain.recommended_domain_count () in
+    let base_cores =
+      match Json.member "cores" base_json with
+      | Json.Null -> None
+      | j -> Some (Json.to_int j)
+    in
+    if base_cores <> None && base_cores <> Some cores then
+      Buffer.add_string buf
+        (Printf.sprintf
+           "baseline %s: not compared (baseline host had %d cores, this \
+            one %d)\n"
+           file
+           (Option.value ~default:0 base_cores)
+           cores)
+    else begin
+      let base_rows = serve_rows_of_json base_json in
+      let compared = ref 0 in
+      List.iter
+        (fun (base : serve_row) ->
+          match find_mode base.mode with
+          | Some cur
+            when base.allocs_per_sec > 0.0
+                 && cur.allocs_per_sec < base.allocs_per_sec /. 2.0 ->
+            incr compared;
+            failures :=
+              Printf.sprintf
+                "REGRESSION: %s %.1f allocs/s < half of baseline %.1f"
+                base.mode cur.allocs_per_sec base.allocs_per_sec
+              :: !failures
+          | Some _ -> incr compared
+          | None -> ())
+        base_rows;
+      if !compared > 0 && !failures = [] then
+        Buffer.add_string buf
+          (Printf.sprintf
+             "baseline %s: no mode regressed >2x in allocs/sec\n" file)
+    end);
+  List.iter
+    (fun f -> Buffer.add_string buf (f ^ "\n"))
+    (List.rev !failures);
+  if !failures <> [] then begin
+    print_string (Buffer.contents buf);
+    failwith "bench serve: check failed"
+  end;
+  Buffer.contents buf
+
 (* --- Sections ----------------------------------------------------------- *)
 
 let sections : (string * (unit -> string)) list =
@@ -566,6 +958,7 @@ let sections : (string * (unit -> string)) list =
     ("fig7", fun () -> Experiments.Case_study.render_fig7 (Lazy.force case_study));
     ("micro", fun () -> micro ());
     ("scale", fun () -> scale ());
+    ("serve", fun () -> serve ());
     ( "queue",
       fun () ->
         Experiments.Queue_study.render
@@ -682,6 +1075,47 @@ let () =
         scale_domains := min n ceiling
       | _ ->
         Printf.eprintf "--domains expects a positive integer, got %S\n%!" n;
+        exit 2);
+      strip rest
+    | "--serve-clients" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n >= 1 -> serve_clients := n
+      | _ ->
+        Printf.eprintf "--serve-clients expects a positive integer, got %S\n%!"
+          n;
+        exit 2);
+      strip rest
+    | "--serve-seconds" :: s :: rest ->
+      (match float_of_string_opt s with
+      | Some s when s > 0.0 -> serve_seconds := s
+      | _ ->
+        Printf.eprintf "--serve-seconds expects a positive number, got %S\n%!"
+          s;
+        exit 2);
+      strip rest
+    | "--serve-socket" :: path :: rest ->
+      serve_socket := Some path;
+      strip rest
+    | "--serve-baseline" :: file :: rest ->
+      serve_baseline := Some file;
+      strip rest
+    | "--serve-min-speedup" :: x :: rest ->
+      (match float_of_string_opt x with
+      | Some x when x >= 0.0 -> serve_min_speedup := x
+      | _ ->
+        Printf.eprintf
+          "--serve-min-speedup expects a non-negative number, got %S\n%!" x;
+        exit 2);
+      strip rest
+    | "--serve-check" :: rest ->
+      serve_check := true;
+      strip rest
+    | "--serve-open-rate" :: r :: rest ->
+      (match float_of_string_opt r with
+      | Some r when r > 0.0 -> serve_open_rate := Some r
+      | _ ->
+        Printf.eprintf
+          "--serve-open-rate expects a positive rate per client, got %S\n%!" r;
         exit 2);
       strip rest
     | "--trace-out" :: file :: rest ->

@@ -1,0 +1,6 @@
+(* brokerd — the resident allocation daemon, as its own executable.
+   `brokerd` and `rmctl serve` share one command definition
+   (Serve_cmd); this entry point exists so deployments can ship the
+   daemon without the rest of the CLI. *)
+
+let () = exit (Cmdliner.Cmd.eval Serve_cmd.standalone)

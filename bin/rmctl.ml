@@ -13,12 +13,15 @@
      rmctl chaos      [opts]               scheduler vs. a fault plan (node churn, outages)
      rmctl explain    [opts]               audit one allocation decision
      rmctl metrics    [opts]               run a job with telemetry on, dump metrics
+     rmctl serve      [opts]               resident allocation daemon (brokerd)
      rmctl serve-metrics [opts]            write Prometheus expositions on an interval
+                                           (deprecated: scrape the daemon instead)
      rmctl slo        [opts]               per-policy scheduler SLO comparison
      rmctl check-export [opts]             validate exported trace / metrics files
 
    Every command simulates from scratch (deterministic in --seed), so
-   invocations are reproducible and independent. *)
+   invocations are reproducible and independent — except `serve`, which
+   stays resident and keeps advancing its world until stopped. *)
 
 open Cmdliner
 
@@ -606,10 +609,15 @@ let serve_metrics_cmd =
   in
   Cmd.v
     (Cmd.info "serve-metrics"
+       ~deprecated:
+         "use 'rmctl serve' and scrape GET /metrics on its socket; the \
+          interval-file mode remains as a fallback for file-based scrape \
+          targets only."
        ~doc:
          "Run one job with telemetry on, then write the metric registry as \
           a Prometheus text exposition every --interval virtual seconds, \
-          --count times, to a file or stdout.")
+          --count times, to a file or stdout. Deprecated in favour of the \
+          resident daemon's /metrics endpoint (same renderer, no drift).")
     Term.(const run $ scenario_t $ seed_t $ time_t $ procs_t $ ppn_t $ alpha_t
           $ policy_t $ app_t $ size_t $ interval_t $ count_t $ out_t)
 
@@ -990,5 +998,5 @@ let () =
        (Cmd.group info
           [ cluster_cmd; snapshot_cmd; allocate_cmd; run_cmd; compare_cmd;
             forecast_cmd; record_cmd; replay_cmd; sched_cmd; chaos_cmd;
-            explain_cmd; metrics_cmd; serve_metrics_cmd; slo_cmd;
-            check_export_cmd ]))
+            explain_cmd; metrics_cmd; Serve_cmd.cmd; serve_metrics_cmd;
+            slo_cmd; check_export_cmd ]))

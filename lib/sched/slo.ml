@@ -53,6 +53,10 @@ let wait_percentiles () =
     else Some (percentiles_of_buckets (Metrics.bucket_counts m))
 
 type report = {
+  source : string;
+      (* which latency a row measures: "sched" = scheduler dispatch
+         wait, "service" = daemon request latency. Keeps the two from
+         being read as comparable in mixed `rmctl slo` output. *)
   policy : string;
   jobs_finished : int;
   wait : percentiles;
@@ -78,6 +82,7 @@ let report ~sched ~policy =
     in
     Ok
       {
+        source = "sched";
         policy;
         jobs_finished = summary.Scheduler.jobs_finished;
         wait;
@@ -86,18 +91,47 @@ let report ~sched ~policy =
         mean_queue_depth = mean_depth;
       }
 
+let service_latency_metric = "service.request_latency_s"
+
+let service_report ?(max_queue_depth = 0) ?(mean_queue_depth = 0.0) ~policy () =
+  match Metrics.find ~labels:[ ("policy", policy) ] service_latency_metric with
+  | None -> Error `No_wait_data
+  | Some m ->
+    let count = Metrics.count m in
+    if count = 0 then Error `No_wait_data
+    else
+      Ok
+        {
+          source = "service";
+          policy;
+          jobs_finished = count;
+          wait = percentiles_of_buckets (Metrics.bucket_counts m);
+          mean_wait_s = Metrics.value m /. float_of_int count;
+          max_queue_depth;
+          mean_queue_depth;
+        }
+
+(* Scheduler waits are hundreds of seconds, daemon latencies fractions
+   of a millisecond; one fixed precision would render the latter as 0s. *)
+let fmt_secs x =
+  if Float.abs x >= 100.0 then Printf.sprintf "%8.0fs" x
+  else if Float.abs x >= 1.0 then Printf.sprintf "%8.1fs" x
+  else Printf.sprintf "%8.4fs" x
+
 let render reports =
   let buf = Buffer.create 512 in
   Buffer.add_string buf
-    (Printf.sprintf "%-20s %6s %9s %9s %9s %9s %7s %7s\n" "policy" "jobs"
-       "p50 wait" "p90 wait" "p99 wait" "mean" "max qd" "mean qd");
-  Buffer.add_string buf (String.make 82 '-');
+    (Printf.sprintf "%-8s %-20s %6s %9s %9s %9s %9s %7s %7s\n" "source"
+       "policy" "jobs" "p50 wait" "p90 wait" "p99 wait" "mean" "max qd"
+       "mean qd");
+  Buffer.add_string buf (String.make 91 '-');
   Buffer.add_char buf '\n';
   List.iter
     (fun r ->
       Buffer.add_string buf
-        (Printf.sprintf "%-20s %6d %8.0fs %8.0fs %8.0fs %8.0fs %7d %7.2f\n"
-           r.policy r.jobs_finished r.wait.p50 r.wait.p90 r.wait.p99
-           r.mean_wait_s r.max_queue_depth r.mean_queue_depth))
+        (Printf.sprintf "%-8s %-20s %6d %s %s %s %s %7d %7.2f\n" r.source
+           r.policy r.jobs_finished (fmt_secs r.wait.p50) (fmt_secs r.wait.p90)
+           (fmt_secs r.wait.p99) (fmt_secs r.mean_wait_s) r.max_queue_depth
+           r.mean_queue_depth))
     reports;
   Buffer.contents buf

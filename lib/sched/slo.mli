@@ -23,6 +23,10 @@ val percentile_of_buckets : (float * int) list -> p:float -> float
     [Invalid_argument] when the histogram is empty or [p] is out of
     range. *)
 
+val percentiles_of_buckets : (float * int) list -> percentiles
+(** p50/p90/p99 via {!percentile_of_buckets} — same input convention,
+    same [Invalid_argument] on an empty histogram. *)
+
 val wait_percentiles : unit -> percentiles option
 (** p50/p90/p99 of the [sched.dispatch_wait_s] histogram, [None] when
     the metric does not exist or has no observations. *)
@@ -30,9 +34,13 @@ val wait_percentiles : unit -> percentiles option
 (** {2 Per-policy reports} *)
 
 type report = {
+  source : string;
+      (** what the latency column measures: ["sched"] for scheduler
+          dispatch waits, ["service"] for daemon request latency —
+          tagged so mixed tables cannot be misread as one population *)
   policy : string;
   jobs_finished : int;
-  wait : percentiles;  (** seconds, from the dispatch-wait histogram *)
+  wait : percentiles;  (** seconds, from the source's latency histogram *)
   mean_wait_s : float;
   max_queue_depth : int;
   mean_queue_depth : float;
@@ -47,6 +55,23 @@ val report :
     missing or empty — telemetry was off, or no job was ever
     dispatched — so callers can print a notice instead of crashing. *)
 
+val service_report :
+  ?max_queue_depth:int ->
+  ?mean_queue_depth:float ->
+  policy:string ->
+  unit ->
+  (report, [ `No_wait_data ]) result
+(** Daemon-side counterpart of {!report}: reads the per-policy
+    [service.request_latency_s] histogram the brokerd tick thread
+    populates (label [policy]) and tags the row [source = "service"].
+    [jobs_finished] is the number of served requests; queue-depth
+    fields default to zero because the daemon's admission queue is
+    reported by its own gauges — pass the observed values when the
+    caller tracked them. [Error `No_wait_data] when the histogram is
+    missing or empty. *)
+
 val render : report list -> string
-(** Side-by-side table, one row per policy: p50/p90/p99 wait, mean
-    wait, max and mean queue depth. *)
+(** Side-by-side table, one row per source+policy: p50/p90/p99 wait,
+    mean wait, max and mean queue depth. Second precision adapts to
+    magnitude so sub-millisecond service latencies stay visible next to
+    hundred-second scheduler waits. *)

@@ -1,0 +1,125 @@
+(* Admission queue and per-tick batch serving.
+
+   Two halves, deliberately separable:
+
+   - a generic bounded MPSC queue ([t], [submit], [take], [close]) used
+     by the server to hand allocate requests from connection workers to
+     the tick thread, with backpressure surfaced to the caller as
+     [`Queue_full];
+
+   - pure batch-serving functions ([serve_batch]) that turn a list of
+     wire allocate params into broker decisions against ONE snapshot.
+     [serve_batch] is, by construction, a [List.map] over
+     [Broker.decide] in FIFO order threading a single rng — so a batch
+     of N requests is bit-identical to N sequential one-shot decides on
+     the same snapshot with the same rng (qcheck-gated in
+     test_service.ml). The win is not a different algorithm; it is that
+     the whole batch hits one [Model_cache] entry instead of N captures
+     rebuilding N model bundles.
+
+   The queue assumes a single consumer (the tick thread): [take]
+   returning [] is a reliable "closed and drained" signal only when
+   nobody else is also taking. *)
+
+module Broker = Rm_core.Broker
+module Request = Rm_core.Request
+
+(* --- bounded admission queue ------------------------------------------- *)
+
+type 'a t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  items : 'a Queue.t;
+  max_pending : int;
+  mutable closed : bool;
+}
+
+let create ~max_pending =
+  if max_pending <= 0 then invalid_arg "Batcher.create: max_pending";
+  {
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    items = Queue.create ();
+    max_pending;
+    closed = false;
+  }
+
+let depth t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.items in
+  Mutex.unlock t.mutex;
+  n
+
+let submit t item =
+  Mutex.lock t.mutex;
+  let outcome =
+    if t.closed then `Closed
+    else if Queue.length t.items >= t.max_pending then `Queue_full
+    else begin
+      Queue.add item t.items;
+      Condition.signal t.nonempty;
+      `Queued
+    end
+  in
+  Mutex.unlock t.mutex;
+  outcome
+
+(* Blocks until at least one item is available (or the queue is closed),
+   then drains up to [max] items in FIFO order. After [close], keeps
+   returning whatever remains, then [] forever — the consumer's natural
+   drain-then-stop loop is [match take q with [] -> stop | batch -> ...]. *)
+let take t ~max =
+  if max <= 0 then invalid_arg "Batcher.take: max";
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.items && not t.closed do
+    Condition.wait t.nonempty t.mutex
+  done;
+  let batch = ref [] in
+  let n = ref 0 in
+  while !n < max && not (Queue.is_empty t.items) do
+    batch := Queue.take t.items :: !batch;
+    incr n
+  done;
+  Mutex.unlock t.mutex;
+  List.rev !batch
+
+let close t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex
+
+let is_closed t =
+  Mutex.lock t.mutex;
+  let c = t.closed in
+  Mutex.unlock t.mutex;
+  c
+
+(* --- batch serving ------------------------------------------------------ *)
+
+(* Per-request config: the wire request may pick its own policy and pin
+   its own wait threshold; everything else (weights, staleness gate,
+   default threshold) comes from the daemon's base config. *)
+let broker_config ~base (a : Wire.allocate) =
+  {
+    base with
+    Broker.policy = Option.value a.Wire.policy ~default:base.Broker.policy;
+    wait_threshold =
+      (match a.Wire.wait_threshold with
+      | Some _ as w -> w
+      | None -> base.Broker.wait_threshold);
+  }
+
+let request_of (a : Wire.allocate) =
+  Request.make ?ppn:a.Wire.ppn ~alpha:a.Wire.alpha ~procs:a.Wire.procs ()
+
+type outcome = (Broker.decision, Rm_core.Allocation.error) result
+
+let serve_one ~base ~snapshot ~rng (a : Wire.allocate) : outcome =
+  Broker.decide ~config:(broker_config ~base a) ~snapshot
+    ~request:(request_of a) ~rng
+
+(* FIFO over one snapshot, one rng threaded through — the determinism
+   invariant the service's throughput claim rests on. *)
+let serve_batch ~base ~snapshot ~rng params =
+  List.map (serve_one ~base ~snapshot ~rng) params

@@ -1,0 +1,569 @@
+(* Resident allocation daemon: accept loop, connection workers, and the
+   tick thread that owns all broker decisions.
+
+   Thread layout (systhreads — one runtime lock, so these interleave on
+   a single domain, which is exactly what `Model_cache` requires):
+
+   - accept thread: `Unix.select` with a short timeout so it can notice
+     the stop flag, then `accept` and hand the connection to a fresh
+     worker thread;
+   - worker threads: speak the `Wire` line protocol (or answer a
+     one-shot HTTP GET for /metrics scrapes). Allocate requests are
+     *submitted* to the admission queue and the worker blocks on an
+     ivar; release/status/metrics are answered inline under the state
+     mutex. Workers never call `Broker.decide`;
+   - tick thread: sole consumer of the admission queue and sole caller
+     of `Broker.decide`. In batched mode the whole batch is served from
+     one snapshot, refreshed only when it is older than `tick_s` of
+     wall time; in the per-request control mode every request pays a
+     fresh `System.snapshot` capture (and therefore a `Model_cache`
+     miss), which is what a one-shot CLI invocation pays.
+
+   Virtual time: the daemon embeds the same simulated world the CLI
+   commands build (`Sim` + `World` + monitor `System`). Wall time and
+   virtual time advance on different clocks; each snapshot refresh
+   advances virtual time by `virtual_tick_s` so the monitored state
+   keeps evolving under sustained load.
+
+   Shutdown: signal handlers only set an atomic flag; `run` polls it
+   and calls `stop`, which (1) marks the server draining so new
+   allocates get `shutting_down`, (2) stops the accept loop, (3) closes
+   the admission queue and joins the tick thread — which by
+   construction serves every already-admitted request first — then
+   (4) grace-waits for workers, flushes the `Spill` sink and writes a
+   final metrics exposition. *)
+
+module Sim = Rm_engine.Sim
+module Cluster = Rm_cluster.Cluster
+module World = Rm_workload.World
+module Scenario = Rm_workload.Scenario
+module System = Rm_monitor.System
+module Snapshot = Rm_monitor.Snapshot
+module Broker = Rm_core.Broker
+module Model_cache = Rm_core.Model_cache
+module Allocation = Rm_core.Allocation
+module Policies = Rm_core.Policies
+module Telemetry = Rm_telemetry
+module Metrics = Rm_telemetry.Metrics
+
+type endpoint = Unix_socket of string | Tcp of int
+
+type config = {
+  endpoint : endpoint;
+  scenario : Scenario.t;
+  seed : int;
+  start_time : float;  (** virtual seconds; keep past [System.warm_up_s] *)
+  nodes : int option;
+      (** [Some n]: homogeneous n-node cluster instead of the IIT-K
+          reference — smaller for tests, larger for load studies. *)
+  tick_s : float;  (** wall-clock snapshot refresh period *)
+  virtual_tick_s : float;  (** virtual seconds added per refresh *)
+  max_pending : int;  (** admission queue bound (backpressure) *)
+  max_batch : int;  (** most requests served from one queue take *)
+  batching : bool;  (** false = per-request snapshot control mode *)
+  broker : Broker.config;
+  retry_after_s : float;  (** hint attached to retry responses *)
+  metrics_out : string option;  (** final exposition written on stop *)
+  spill_dir : string option;  (** trace spill sink, flushed on stop *)
+  horizon_s : float;  (** monitor daemons scheduled this far ahead *)
+}
+
+let default_config ~endpoint =
+  {
+    endpoint;
+    scenario = Scenario.normal;
+    seed = 42;
+    start_time = 1200.0;
+    nodes = None;
+    tick_s = 0.01;
+    virtual_tick_s = 0.01;
+    max_pending = 1024;
+    max_batch = 256;
+    batching = true;
+    broker = Broker.default_config;
+    retry_after_s = 0.05;
+    metrics_out = None;
+    spill_dir = None;
+    horizon_s = 2_592_000.0;
+  }
+
+(* --- one-shot synchronisation cell -------------------------------------- *)
+
+module Ivar = struct
+  type 'a t = { m : Mutex.t; c : Condition.t; mutable v : 'a option }
+
+  let create () = { m = Mutex.create (); c = Condition.create (); v = None }
+
+  let fill t v =
+    Mutex.lock t.m;
+    t.v <- Some v;
+    Condition.signal t.c;
+    Mutex.unlock t.m
+
+  let read t =
+    Mutex.lock t.m;
+    while t.v = None do
+      Condition.wait t.c t.m
+    done;
+    let v = Option.get t.v in
+    Mutex.unlock t.m;
+    v
+end
+
+type pending = {
+  params : Wire.allocate;
+  enqueued_at : float;  (* wall clock, for the latency histogram *)
+  reply : Batcher.outcome Ivar.t;
+}
+
+type t = {
+  config : config;
+  sim : Sim.t;
+  world : World.t;
+  monitor : System.t;
+  rng : Rm_stats.Rng.t;  (* decision rng; tick thread only *)
+  queue : pending Batcher.t;
+  state_mutex : Mutex.t;
+      (* guards: snapshot, snapshot_taken_at, virtual_time, allocs,
+         next_alloc_id, served, batches, sim/world/monitor advancement *)
+  mutable snapshot : Snapshot.t;
+  mutable snapshot_taken_at : float;  (* wall clock *)
+  mutable virtual_time : float;
+  allocs : (int, Allocation.t) Hashtbl.t;
+  mutable next_alloc_id : int;
+  mutable served : int;
+  mutable batches : int;
+  started_at : float;
+  stop_requested : bool Atomic.t;
+  draining : bool Atomic.t;
+  stopped : bool Atomic.t;
+  workers : int Atomic.t;
+  listen_fd : Unix.file_descr;
+  mutable accept_thread : Thread.t option;
+  mutable tick_thread : Thread.t option;
+  spill : Telemetry.Spill.t option;
+}
+
+(* --- metrics ------------------------------------------------------------ *)
+
+let m_requests = Metrics.counter "core.service.requests"
+let m_batches = Metrics.counter "core.service.batches"
+
+let m_batch_size =
+  Metrics.histogram
+    ~buckets:[| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0; 256.0 |]
+    "core.service.batch_size"
+
+let m_queue_depth = Metrics.gauge "core.service.queue_depth"
+let m_retry = Metrics.counter "core.service.retry_after"
+let m_rejected = Metrics.counter "core.service.rejected"
+let m_active = Metrics.gauge "core.service.active_allocations"
+let m_connections = Metrics.gauge "core.service.connections"
+let m_snapshots = Metrics.counter "core.service.snapshots"
+
+let latency_metric_name = "service.request_latency_s"
+
+(* Decade-spaced default buckets cannot separate a 2 ms p50 from an
+   8 ms p99; use a 1-2.5-5 ladder from 100 µs to 10 s instead. *)
+let latency_buckets =
+  [|
+    1e-4; 2.5e-4; 5e-4; 1e-3; 2.5e-3; 5e-3; 1e-2; 2.5e-2; 5e-2; 0.1; 0.25;
+    0.5; 1.0; 2.5; 5.0; 10.0;
+  |]
+
+let latency_histogram ~policy =
+  Metrics.histogram ~buckets:latency_buckets
+    ~labels:[ ("policy", Policies.name policy) ]
+    latency_metric_name
+
+(* --- environment -------------------------------------------------------- *)
+
+(* Same shape as rmctl's make_env, but the cluster size is overridable
+   and the monitor horizon is the daemon's lifetime, not one day. *)
+let make_cluster = function
+  | None -> Cluster.iitk_reference ()
+  | Some n ->
+    if n <= 0 then invalid_arg "Server: nodes must be positive";
+    let rec switches n = if n <= 10 then [ n ] else 10 :: switches (n - 10) in
+    Cluster.homogeneous ~nodes_per_switch:(switches n) ()
+
+let open_endpoint = function
+  | Unix_socket path ->
+    if String.length path > 100 then
+      invalid_arg "Server: unix socket path too long";
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    fd
+  | Tcp port ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    Unix.listen fd 64;
+    fd
+
+let create config =
+  let cluster = make_cluster config.nodes in
+  let sim = Sim.create () in
+  let world =
+    World.create ~cluster ~scenario:config.scenario ~seed:config.seed
+  in
+  let rng = Rm_stats.Rng.create (config.seed + 1) in
+  let monitor =
+    System.start ~sim ~world ~rng
+      ~until:(config.start_time +. config.horizon_s)
+      ()
+  in
+  Sim.run_until sim config.start_time;
+  World.advance world ~now:config.start_time;
+  let snapshot = System.snapshot monitor ~time:config.start_time in
+  let spill =
+    Option.map
+      (fun dir ->
+        let s = Telemetry.Spill.create ~dir () in
+        Telemetry.Spill.install s;
+        s)
+      config.spill_dir
+  in
+  {
+    config;
+    sim;
+    world;
+    monitor;
+    rng;
+    queue = Batcher.create ~max_pending:config.max_pending;
+    state_mutex = Mutex.create ();
+    snapshot;
+    snapshot_taken_at = Unix.gettimeofday ();
+    virtual_time = config.start_time;
+    allocs = Hashtbl.create 64;
+    next_alloc_id = 1;
+    served = 0;
+    batches = 0;
+    started_at = Unix.gettimeofday ();
+    stop_requested = Atomic.make false;
+    draining = Atomic.make false;
+    stopped = Atomic.make false;
+    workers = Atomic.make 0;
+    listen_fd = open_endpoint config.endpoint;
+    accept_thread = None;
+    tick_thread = None;
+    spill;
+  }
+
+(* --- tick thread -------------------------------------------------------- *)
+
+(* Advance virtual time one tick and recapture. Caller holds state_mutex. *)
+let refresh_snapshot_locked t ~wall =
+  t.virtual_time <- t.virtual_time +. t.config.virtual_tick_s;
+  Sim.run_until t.sim t.virtual_time;
+  World.advance t.world ~now:t.virtual_time;
+  t.snapshot <- System.snapshot t.monitor ~time:t.virtual_time;
+  t.snapshot_taken_at <- wall;
+  Metrics.incr m_snapshots
+
+let serve_batch t batch =
+  let wall = Unix.gettimeofday () in
+  Mutex.lock t.state_mutex;
+  if wall -. t.snapshot_taken_at >= t.config.tick_s then
+    refresh_snapshot_locked t ~wall;
+  let snapshot = t.snapshot in
+  Mutex.unlock t.state_mutex;
+  let n = List.length batch in
+  Metrics.incr m_batches;
+  Metrics.observe m_batch_size (float_of_int n);
+  Metrics.set m_queue_depth (float_of_int (Batcher.depth t.queue));
+  List.iter
+    (fun p ->
+      (* Control mode: a fresh capture per request — new physical
+         snapshot, so the model cache misses and every Eq. 1/2/3 bundle
+         is rebuilt, like a one-shot CLI call. *)
+      let snapshot =
+        if t.config.batching then snapshot
+        else begin
+          Mutex.lock t.state_mutex;
+          let s = System.snapshot t.monitor ~time:t.virtual_time in
+          Mutex.unlock t.state_mutex;
+          s
+        end
+      in
+      let outcome =
+        try
+          Batcher.serve_one ~base:t.config.broker ~snapshot ~rng:t.rng p.params
+        with exn ->
+          Printf.eprintf "brokerd: decision failed: %s\n%!"
+            (Printexc.to_string exn);
+          Error Allocation.No_usable_nodes
+      in
+      Metrics.observe
+        (latency_histogram
+           ~policy:
+             (Option.value p.params.Wire.policy
+                ~default:t.config.broker.Broker.policy))
+        (Unix.gettimeofday () -. p.enqueued_at);
+      Mutex.lock t.state_mutex;
+      t.served <- t.served + 1;
+      if not t.config.batching then t.batches <- t.batches + 1;
+      Mutex.unlock t.state_mutex;
+      Ivar.fill p.reply outcome)
+    batch;
+  if t.config.batching then begin
+    Mutex.lock t.state_mutex;
+    t.batches <- t.batches + 1;
+    Mutex.unlock t.state_mutex
+  end
+
+let tick_loop t =
+  let rec loop () =
+    match Batcher.take t.queue ~max:t.config.max_batch with
+    | [] -> ()  (* queue closed and drained *)
+    | batch ->
+      serve_batch t batch;
+      loop ()
+  in
+  loop ()
+
+(* --- request handling (workers) ----------------------------------------- *)
+
+let status_info t =
+  Mutex.lock t.state_mutex;
+  let info =
+    {
+      Wire.daemon_version = Wire.version;
+      uptime_s = Unix.gettimeofday () -. t.started_at;
+      virtual_time = t.virtual_time;
+      active_allocations = Hashtbl.length t.allocs;
+      queue_depth = Batcher.depth t.queue;
+      served = t.served;
+      batches = t.batches;
+      batching = t.config.batching;
+      draining = Atomic.get t.draining;
+      cache_hits = Model_cache.hits ();
+      cache_misses = Model_cache.misses ();
+    }
+  in
+  Mutex.unlock t.state_mutex;
+  info
+
+let register_allocation t allocation =
+  Mutex.lock t.state_mutex;
+  let id = t.next_alloc_id in
+  t.next_alloc_id <- id + 1;
+  Hashtbl.replace t.allocs id allocation;
+  Metrics.set m_active (float_of_int (Hashtbl.length t.allocs));
+  Mutex.unlock t.state_mutex;
+  id
+
+let release_allocation t ~alloc_id =
+  Mutex.lock t.state_mutex;
+  let found = Hashtbl.mem t.allocs alloc_id in
+  if found then begin
+    Hashtbl.remove t.allocs alloc_id;
+    Metrics.set m_active (float_of_int (Hashtbl.length t.allocs))
+  end;
+  Mutex.unlock t.state_mutex;
+  found
+
+let handle_allocate t params =
+  if Atomic.get t.draining then
+    Wire.Error { code = Wire.Shutting_down; message = "daemon is draining" }
+  else begin
+    let p =
+      { params; enqueued_at = Unix.gettimeofday (); reply = Ivar.create () }
+    in
+    match Batcher.submit t.queue p with
+    | `Queue_full ->
+      Metrics.incr m_rejected;
+      Wire.Retry { after_s = t.config.retry_after_s; reason = Wire.Queue_full }
+    | `Closed ->
+      Wire.Error { code = Wire.Shutting_down; message = "daemon is draining" }
+    | `Queued -> (
+      match Ivar.read p.reply with
+      | Ok (Broker.Allocated allocation) ->
+        let alloc_id = register_allocation t allocation in
+        Wire.Allocated { alloc_id; allocation }
+      | Ok (Broker.Wait { mean_load_per_core; threshold }) ->
+        Metrics.incr m_retry;
+        Wire.Retry
+          {
+            after_s = t.config.retry_after_s;
+            reason = Wire.Overloaded { mean_load_per_core; threshold };
+          }
+      | Error (Allocation.Insufficient_capacity _ as e) ->
+        Wire.Error
+          {
+            code = Wire.Insufficient_capacity;
+            message = Format.asprintf "%a" Allocation.pp_error e;
+          }
+      | Error (Allocation.No_usable_nodes as e) ->
+        Wire.Error
+          {
+            code = Wire.No_usable_nodes;
+            message = Format.asprintf "%a" Allocation.pp_error e;
+          })
+  end
+
+let handle_request t = function
+  | Wire.Allocate params -> handle_allocate t params
+  | Wire.Release { alloc_id } ->
+    if release_allocation t ~alloc_id then Wire.Released { alloc_id }
+    else
+      Wire.Error
+        {
+          code = Wire.Unknown_alloc;
+          message = Printf.sprintf "no active allocation #%d" alloc_id;
+        }
+  | Wire.Status -> Wire.Status_info (status_info t)
+  | Wire.Metrics -> Wire.Metrics_text (Telemetry.Prometheus.render_registry ())
+
+let handle_line t line =
+  Metrics.incr m_requests;
+  match Wire.decode_request line with
+  | Ok { req_id; request } ->
+    Wire.encode_response { resp_id = req_id; response = handle_request t request }
+  | Error { err_id; code; message } ->
+    Wire.encode_response
+      {
+        resp_id = Option.value err_id ~default:0;
+        response = Wire.Error { code; message };
+      }
+
+(* --- HTTP scrape path ---------------------------------------------------- *)
+
+let is_http_line line =
+  List.exists
+    (fun m -> String.length line > String.length m && String.sub line 0 (String.length m) = m)
+    [ "GET "; "HEAD "; "POST "; "PUT " ]
+
+let http_response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+let serve_http t ic oc first_line =
+  (* Drain request headers so the peer's write side is not reset. *)
+  (try
+     while String.trim (input_line ic) <> "" do
+       ()
+     done
+   with End_of_file -> ());
+  let path =
+    match String.split_on_char ' ' first_line with
+    | _ :: path :: _ -> path
+    | _ -> "/"
+  in
+  let response =
+    match path with
+    | "/metrics" ->
+      http_response ~status:"200 OK"
+        ~content_type:Telemetry.Prometheus.content_type
+        (Telemetry.Prometheus.render_registry ())
+    | "/status" ->
+      http_response ~status:"200 OK" ~content_type:"application/json"
+        (Rm_telemetry.Json.to_string (Wire.status_to_json (status_info t)) ^ "\n")
+    | _ ->
+      http_response ~status:"404 Not Found" ~content_type:"text/plain"
+        "not found\n"
+  in
+  output_string oc response;
+  flush oc
+
+(* --- connection workers -------------------------------------------------- *)
+
+let worker t fd =
+  Atomic.incr t.workers;
+  Metrics.set m_connections (float_of_int (Atomic.get t.workers));
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.decr t.workers;
+      Metrics.set m_connections (float_of_int (Atomic.get t.workers));
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      try
+        match input_line ic with
+        | first when is_http_line first -> serve_http t ic oc first
+        | first ->
+          let rec loop line =
+            output_string oc (handle_line t line);
+            output_char oc '\n';
+            flush oc;
+            loop (input_line ic)
+          in
+          loop first
+      with End_of_file | Sys_error _ | Unix.Unix_error _ -> ())
+
+let accept_loop t =
+  let rec loop () =
+    if Atomic.get t.stop_requested then ()
+    else begin
+      (match Unix.select [ t.listen_fd ] [] [] 0.2 with
+      | [], _, _ -> ()
+      | _ -> (
+        match Unix.accept t.listen_fd with
+        | fd, _ -> ignore (Thread.create (worker t) fd)
+        | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+(* --- lifecycle ----------------------------------------------------------- *)
+
+let start t =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  t.tick_thread <- Some (Thread.create tick_loop t);
+  t.accept_thread <- Some (Thread.create accept_loop t)
+
+let request_stop t = Atomic.set t.stop_requested true
+
+let write_final_exposition t =
+  match t.config.metrics_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Telemetry.Prometheus.render_registry ());
+    close_out oc
+
+let stop t =
+  if not (Atomic.exchange t.stopped true) then begin
+    Atomic.set t.draining true;
+    Atomic.set t.stop_requested true;
+    Option.iter Thread.join t.accept_thread;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (match t.config.endpoint with
+    | Unix_socket path -> (
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Tcp _ -> ());
+    (* Closing the queue lets the tick thread drain every admitted
+       request (each worker gets its ivar filled) and then exit. *)
+    Batcher.close t.queue;
+    Option.iter Thread.join t.tick_thread;
+    (* Grace period for workers still writing their last response. *)
+    let deadline = Unix.gettimeofday () +. 2.0 in
+    while Atomic.get t.workers > 0 && Unix.gettimeofday () < deadline do
+      Thread.delay 0.01
+    done;
+    Option.iter
+      (fun s ->
+        Telemetry.Trace.set_sink None;
+        Telemetry.Spill.close s)
+      t.spill;
+    write_final_exposition t
+  end
+
+(* Foreground entry point for `rmctl serve` / `brokerd`: installs signal
+   handlers that only flip an atomic (no allocation, no locking in the
+   handler), then polls until asked to stop and shuts down cleanly. *)
+let run t =
+  let on_signal _ = Atomic.set t.stop_requested true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  start t;
+  while not (Atomic.get t.stop_requested) do
+    Thread.delay 0.1
+  done;
+  stop t

@@ -1,3 +1,7 @@
+(* Exposition format 0.0.4 — the Content-Type every scrape endpoint
+   (daemon /metrics path, interval-file fallback) must advertise. *)
+let content_type = "text/plain; version=0.0.4; charset=utf-8"
+
 type sample = {
   sample_name : string;
   sample_labels : (string * string) list;

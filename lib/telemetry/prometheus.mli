@@ -19,6 +19,10 @@ type sample = {
   sample_value : float;
 }
 
+val content_type : string
+(** ["text/plain; version=0.0.4; charset=utf-8"] — the Content-Type
+    every scrape endpoint serving this exposition must advertise. *)
+
 val metric_name : string -> string
 (** Sanitize to [[a-zA-Z_:][a-zA-Z0-9_:]*]: every other character
     (notably the [.] separating registry components) becomes [_]; a

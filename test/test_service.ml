@@ -1,0 +1,646 @@
+(* Tests for rm_service: wire codec round-trips (qcheck), decode
+   rejection, admission-queue semantics, the batcher determinism
+   invariant (a batch served from one snapshot is bit-identical to
+   sequential one-shot decides, including Wait and staleness-exclusion
+   cases), the daemon end to end over a unix socket, and the Slo
+   service report. *)
+
+module Rng = Rm_stats.Rng
+module Matrix = Rm_stats.Matrix
+module Running_means = Rm_stats.Running_means
+module Node = Rm_cluster.Node
+module Topology = Rm_cluster.Topology
+module Cluster = Rm_cluster.Cluster
+module Snapshot = Rm_monitor.Snapshot
+module Policies = Rm_core.Policies
+module Broker = Rm_core.Broker
+module Allocation = Rm_core.Allocation
+module Model_cache = Rm_core.Model_cache
+module Wire = Rm_service.Wire
+module Batcher = Rm_service.Batcher
+module Server = Rm_service.Server
+module Client = Rm_service.Client
+module Slo = Rm_sched.Slo
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* --- wire codec --------------------------------------------------------- *)
+
+let policy_gen = QCheck.Gen.oneofl Policies.all
+
+let allocate_gen =
+  QCheck.Gen.(
+    let* procs = 1 -- 512 in
+    let* ppn = opt (1 -- 64) in
+    let* alpha = float_bound_inclusive 1.0 in
+    let* policy = opt policy_gen in
+    let* wait_threshold = opt (float_bound_inclusive 100.0) in
+    return { Wire.procs; ppn; alpha; policy; wait_threshold })
+
+let request_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun a -> Wire.Allocate a) allocate_gen;
+        map (fun id -> Wire.Release { alloc_id = id }) (0 -- 100_000);
+        return Wire.Status;
+        return Wire.Metrics;
+      ])
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~name:"wire request encode/decode is the identity"
+    ~count:200
+    (QCheck.make QCheck.Gen.(pair (0 -- 1_000_000) request_gen))
+    (fun (req_id, request) ->
+      let line = Wire.encode_request { Wire.req_id; request } in
+      match Wire.decode_request line with
+      | Ok r -> r = { Wire.req_id; request }
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e.Wire.message)
+
+let entries_gen =
+  QCheck.Gen.(
+    let* n = 1 -- 8 in
+    let* base = 0 -- 1000 in
+    let* procs = list_size (return n) (1 -- 64) in
+    (* Spaced node ids: Allocation.make rejects duplicates. *)
+    return (List.mapi (fun i p -> { Allocation.node = base + (3 * i); procs = p }) procs))
+
+let status_gen =
+  QCheck.Gen.(
+    let* uptime_s = float_bound_inclusive 1e6 in
+    let* virtual_time = float_bound_inclusive 1e7 in
+    let* active_allocations = 0 -- 1000 in
+    let* queue_depth = 0 -- 1000 in
+    let* served = 0 -- 1_000_000 in
+    let* batches = 0 -- 1_000_000 in
+    let* batching = bool in
+    let* draining = bool in
+    let* cache_hits = 0 -- 1_000_000 in
+    let* cache_misses = 0 -- 1_000_000 in
+    return
+      {
+        Wire.daemon_version = Wire.version;
+        uptime_s;
+        virtual_time;
+        active_allocations;
+        queue_depth;
+        served;
+        batches;
+        batching;
+        draining;
+        cache_hits;
+        cache_misses;
+      })
+
+let response_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        (let* alloc_id = 1 -- 100_000 in
+         let* entries = entries_gen in
+         let* policy = map Policies.name policy_gen in
+         return
+           (Wire.Allocated
+              { alloc_id; allocation = Allocation.make ~policy ~entries }));
+        (let* after_s = float_bound_inclusive 10.0 in
+         let* reason =
+           oneof
+             [
+               return Wire.Queue_full;
+               (let* mean_load_per_core = float_bound_inclusive 16.0 in
+                let* threshold = float_bound_inclusive 16.0 in
+                return (Wire.Overloaded { mean_load_per_core; threshold }));
+             ]
+         in
+         return (Wire.Retry { after_s; reason }));
+        map (fun id -> Wire.Released { alloc_id = id }) (1 -- 100_000);
+        map (fun s -> Wire.Status_info s) status_gen;
+        (* Exposition bodies carry newlines, quotes and backslashes —
+           the JSON string escaping must round-trip them. *)
+        map (fun s -> Wire.Metrics_text s) (string_size (0 -- 200));
+        (let* code =
+           oneofl
+             [
+               Wire.Bad_request; Wire.Unsupported_version; Wire.Shutting_down;
+               Wire.Insufficient_capacity; Wire.No_usable_nodes;
+               Wire.Unknown_alloc;
+             ]
+         in
+         let* message = string_size ~gen:printable (0 -- 80) in
+         return (Wire.Error { code; message }));
+      ])
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~name:"wire response encode/decode is the identity"
+    ~count:200
+    (QCheck.make QCheck.Gen.(pair (0 -- 1_000_000) response_gen))
+    (fun (resp_id, response) ->
+      let line = Wire.encode_response { Wire.resp_id; response } in
+      match Wire.decode_response line with
+      | Ok r -> r = { Wire.resp_id; response }
+      | Error m -> QCheck.Test.fail_reportf "decode failed: %s" m)
+
+let decode_err line =
+  match Wire.decode_request line with
+  | Ok _ -> Alcotest.failf "expected decode error for %s" line
+  | Error e -> e
+
+let test_wire_rejects_bad_version () =
+  let e = decode_err {|{"v":2,"id":7,"op":"status"}|} in
+  Alcotest.(check bool) "code" true (e.Wire.code = Wire.Unsupported_version);
+  (* The id is still extracted so the error response can be correlated. *)
+  Alcotest.(check (option int)) "id preserved" (Some 7) e.Wire.err_id
+
+let test_wire_rejects_bad_requests () =
+  let bad line =
+    let e = decode_err line in
+    Alcotest.(check bool) ("bad_request: " ^ line) true
+      (e.Wire.code = Wire.Bad_request)
+  in
+  bad "not json at all";
+  bad {|[1,2,3]|};
+  bad {|{"id":1,"op":"status"}|};  (* missing version *)
+  bad {|{"v":1,"op":"status"}|};  (* missing id *)
+  bad {|{"v":1,"id":1,"op":"frobnicate"}|};
+  bad {|{"v":1,"id":1,"op":"allocate","procs":0,"policy":"random"}|};
+  bad {|{"v":1,"id":1,"op":"allocate","procs":-4,"policy":"random"}|};
+  bad {|{"v":1,"id":1,"op":"allocate","procs":8,"ppn":0,"policy":"random"}|};
+  bad {|{"v":1,"id":1,"op":"allocate","procs":8,"alpha":1.5,"policy":"random"}|};
+  bad {|{"v":1,"id":1,"op":"allocate","procs":8,"alpha":"x","policy":"random"}|};
+  bad {|{"v":1,"id":1,"op":"allocate","procs":8,"policy":"no-such-policy"}|};
+  bad {|{"v":1,"id":1,"op":"allocate","policy":"random"}|};  (* no procs *)
+  bad {|{"v":1,"id":1,"op":"release"}|}  (* no alloc id *)
+
+let test_wire_alpha_defaults () =
+  match
+    Wire.decode_request {|{"v":1,"id":1,"op":"allocate","procs":8}|}
+  with
+  | Ok { request = Wire.Allocate a; _ } ->
+    Alcotest.(check (float 1e-9)) "alpha" 0.5 a.Wire.alpha;
+    Alcotest.(check bool) "ppn" true (a.Wire.ppn = None);
+    Alcotest.(check bool) "policy inherits" true (a.Wire.policy = None);
+    Alcotest.(check bool) "threshold inherits" true (a.Wire.wait_threshold = None)
+  | Ok _ -> Alcotest.fail "expected allocate"
+  | Error e -> Alcotest.failf "decode failed: %s" e.Wire.message
+
+(* --- admission queue ---------------------------------------------------- *)
+
+let test_batcher_fifo_and_bounds () =
+  let q = Batcher.create ~max_pending:3 in
+  Alcotest.(check bool) "accepts 1" true (Batcher.submit q 1 = `Queued);
+  Alcotest.(check bool) "accepts 2" true (Batcher.submit q 2 = `Queued);
+  Alcotest.(check bool) "accepts 3" true (Batcher.submit q 3 = `Queued);
+  Alcotest.(check bool) "backpressure" true (Batcher.submit q 4 = `Queue_full);
+  Alcotest.(check int) "depth" 3 (Batcher.depth q);
+  Alcotest.(check (list int)) "fifo, capped take" [ 1; 2 ] (Batcher.take q ~max:2);
+  Alcotest.(check bool) "freed a slot" true (Batcher.submit q 5 = `Queued);
+  Alcotest.(check (list int)) "drains in order" [ 3; 5 ] (Batcher.take q ~max:10)
+
+let test_batcher_close_semantics () =
+  let q = Batcher.create ~max_pending:8 in
+  ignore (Batcher.submit q "a");
+  ignore (Batcher.submit q "b");
+  Batcher.close q;
+  Alcotest.(check bool) "closed to producers" true
+    (Batcher.submit q "c" = `Closed);
+  Alcotest.(check (list string)) "drains the backlog" [ "a"; "b" ]
+    (Batcher.take q ~max:10);
+  (* Closed and empty: [] immediately, no blocking — the consumer's
+     stop signal. *)
+  Alcotest.(check (list string)) "then empty forever" [] (Batcher.take q ~max:10);
+  Alcotest.(check bool) "reports closed" true (Batcher.is_closed q)
+
+(* --- batcher determinism ------------------------------------------------- *)
+
+let flat v : Running_means.view = { instant = v; m1 = v; m5 = v; m15 = v }
+
+(* Six 8-core nodes on two switches with mixed load and per-node
+   freshness: [written_at] ages make nodes 0 and 3 stale under a 30 s
+   gate when the snapshot is taken at t=100. *)
+let service_fixture () =
+  let n = 6 in
+  let node_switch = [| 0; 0; 0; 1; 1; 1 |] in
+  let topology = Topology.create ~node_switch ~switches:2 () in
+  let nodes =
+    List.init n (fun i ->
+        Node.make ~id:i
+          ~hostname:(Printf.sprintf "n%d" i)
+          ~cores:8 ~freq_ghz:3.0 ~mem_gb:16.0 ~switch:node_switch.(i))
+  in
+  let cluster = Cluster.make ~nodes ~topology in
+  let loads = [| 0.5; 2.0; 1.0; 0.2; 3.0; 0.8 |] in
+  let infos =
+    Array.init n (fun i ->
+        Some
+          {
+            Snapshot.static = Cluster.node cluster i;
+            users = 1;
+            load = flat loads.(i);
+            util_pct = flat 20.0;
+            nic_mb_s = flat 1.0;
+            mem_avail_gb = flat 12.0;
+            written_at = (if i mod 3 = 0 then 0.0 else 95.0);
+          })
+  in
+  let mk init diagonal =
+    let m = Matrix.square n ~init in
+    for i = 0 to n - 1 do
+      Matrix.set m i i diagonal
+    done;
+    m
+  in
+  {
+    Snapshot.time = 100.0;
+    cluster;
+    live = List.init n (fun i -> i);
+    nodes = infos;
+    bw_mb_s = mk 110.0 infinity;
+    peak_bw_mb_s = mk 118.0 infinity;
+    lat_us = mk 70.0 0.0;
+  }
+
+let small_allocate_gen =
+  QCheck.Gen.(
+    let* procs = 1 -- 24 in
+    let* ppn = opt (1 -- 8) in
+    let* alpha = float_bound_inclusive 1.0 in
+    let* policy = opt policy_gen in
+    (* Mix inherit / never-wait / always-wait so both decision branches
+       appear in batches: mean load per core is > 0 on the fixture, so
+       a -1 threshold forces Wait and a 100 threshold never fires. *)
+    let* wait_threshold = oneofl [ None; Some 100.0; Some (-1.0) ] in
+    return { Wire.procs; ppn; alpha; policy; wait_threshold })
+
+let batch_gen =
+  QCheck.Gen.(
+    let* seed = 0 -- 1_000_000 in
+    let* staleness = oneofl [ infinity; 30.0 ] in
+    let* params = list_size (1 -- 16) small_allocate_gen in
+    return (seed, staleness, params))
+
+(* The service's core invariant: serving a batch from one snapshot is
+   bit-identical to N sequential one-shot Broker.decide calls on that
+   snapshot — same decisions, same rng consumption — even though the
+   sequential side rebuilds its models from scratch each call (cleared
+   cache) while the batch reuses one Model_cache entry. Covers Wait
+   (forced thresholds) and max_staleness_s exclusion. *)
+let prop_batch_equals_sequential =
+  QCheck.Test.make
+    ~name:"serve_batch ≡ sequential one-shot decides (incl. Wait, staleness)"
+    ~count:60 (QCheck.make batch_gen)
+    (fun (seed, staleness, params) ->
+      let snapshot = service_fixture () in
+      let base = { Broker.default_config with max_staleness_s = staleness } in
+      Model_cache.clear ();
+      let batched =
+        Batcher.serve_batch ~base ~snapshot ~rng:(Rng.create seed) params
+      in
+      let rng = Rng.create seed in
+      let sequential =
+        List.map
+          (fun a ->
+            Model_cache.clear ();
+            Broker.decide
+              ~config:(Batcher.broker_config ~base a)
+              ~snapshot
+              ~request:(Batcher.request_of a)
+              ~rng)
+          params
+      in
+      Model_cache.clear ();
+      batched = sequential)
+
+let test_batch_covers_both_decisions () =
+  (* Not just "they agree": check the fixture really produces both
+     Allocated and Wait outcomes, so the property above is not
+     vacuously comparing one branch. *)
+  let snapshot = service_fixture () in
+  let base = Broker.default_config in
+  let mk wait_threshold =
+    {
+      Wire.procs = 8;
+      ppn = Some 4;
+      alpha = 0.5;
+      policy = Some Policies.Network_load_aware;
+      wait_threshold;
+    }
+  in
+  let outcomes =
+    Batcher.serve_batch ~base ~snapshot ~rng:(Rng.create 1)
+      [ mk None; mk (Some (-1.0)) ]
+  in
+  (match outcomes with
+  | [ Ok (Broker.Allocated _); Ok (Broker.Wait _) ] -> ()
+  | _ -> Alcotest.fail "expected [Allocated; Wait]");
+  Model_cache.clear ()
+
+let test_staleness_exclusion_in_batch () =
+  let snapshot = service_fixture () in
+  let base = { Broker.default_config with max_staleness_s = 30.0 } in
+  let a =
+    {
+      Wire.procs = 8;
+      ppn = Some 4;
+      alpha = 0.5;
+      policy = Some Policies.Network_load_aware;
+      wait_threshold = None;
+    }
+  in
+  (match Batcher.serve_batch ~base ~snapshot ~rng:(Rng.create 2) [ a ] with
+  | [ Ok (Broker.Allocated alloc) ] ->
+    (* Nodes 0 and 3 are stale (written_at 0.0, snapshot t=100, gate
+       30s) and must never be chosen. *)
+    List.iter
+      (fun node ->
+        Alcotest.(check bool)
+          (Printf.sprintf "node %d not stale" node)
+          true
+          (node <> 0 && node <> 3))
+      (Allocation.node_ids alloc)
+  | _ -> Alcotest.fail "expected one allocation");
+  Model_cache.clear ()
+
+(* --- server end to end --------------------------------------------------- *)
+
+let with_server ?(batching = true) ?(broker = Broker.default_config)
+    ?metrics_out f =
+  let path =
+    Printf.sprintf "/tmp/rm-svc-test-%d-%s.sock" (Unix.getpid ())
+      (if batching then "b" else "c")
+  in
+  let config =
+    {
+      (Server.default_config ~endpoint:(Server.Unix_socket path)) with
+      nodes = Some 12;
+      tick_s = 0.005;
+      batching;
+      broker;
+      metrics_out;
+    }
+  in
+  let was_enabled = Rm_telemetry.Runtime.is_enabled () in
+  Rm_telemetry.Runtime.enable ();
+  let server = Server.create config in
+  Server.start server;
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      Model_cache.clear ();
+      if not was_enabled then Rm_telemetry.Runtime.disable ())
+    (fun () -> f ~path ~server)
+
+let test_server_allocate_release () =
+  with_server @@ fun ~path ~server:_ ->
+  let c = Client.connect (`Unix path) in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let alloc_id =
+    match Client.allocate c ~ppn:4 ~procs:16 with
+    | Wire.Allocated { alloc_id; allocation } ->
+      Alcotest.(check int) "all procs placed" 16
+        (Allocation.total_procs allocation);
+      Alcotest.(check string) "policy" "network-load-aware"
+        allocation.Allocation.policy;
+      alloc_id
+    | r -> Alcotest.failf "expected allocation, got %a" Wire.pp_response r
+  in
+  (match Client.status c with
+  | Wire.Status_info s ->
+    Alcotest.(check int) "one active" 1 s.Wire.active_allocations;
+    Alcotest.(check bool) "served some" true (s.Wire.served >= 1);
+    Alcotest.(check bool) "batching on" true s.Wire.batching;
+    Alcotest.(check bool) "not draining" true (not s.Wire.draining)
+  | r -> Alcotest.failf "expected status, got %a" Wire.pp_response r);
+  (match Client.release c ~alloc_id with
+  | Wire.Released { alloc_id = id } -> Alcotest.(check int) "same id" alloc_id id
+  | r -> Alcotest.failf "expected released, got %a" Wire.pp_response r);
+  match Client.release c ~alloc_id with
+  | Wire.Error { code = Wire.Unknown_alloc; _ } -> ()
+  | r -> Alcotest.failf "expected unknown_alloc, got %a" Wire.pp_response r
+
+let test_server_wait_threshold_retry () =
+  with_server @@ fun ~path ~server:_ ->
+  let c = Client.connect (`Unix path) in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (* A negative threshold is always exceeded: the daemon must answer
+     with a retry hint carrying the load evidence, not an allocation. *)
+  match Client.allocate c ~procs:8 ~wait_threshold:(-1.0) with
+  | Wire.Retry { after_s; reason = Wire.Overloaded { threshold; _ } } ->
+    Alcotest.(check (float 1e-9)) "echoes threshold" (-1.0) threshold;
+    Alcotest.(check bool) "positive hint" true (after_s > 0.0)
+  | r -> Alcotest.failf "expected overloaded retry, got %a" Wire.pp_response r
+
+let test_server_bad_requests () =
+  with_server @@ fun ~path ~server:_ ->
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let roundtrip line =
+    output_string oc (line ^ "\n");
+    flush oc;
+    match Wire.decode_response (input_line ic) with
+    | Ok r -> r
+    | Error m -> Alcotest.failf "bad response: %s" m
+  in
+  (match roundtrip {|{"v":9,"id":3,"op":"status"}|} with
+  | { Wire.resp_id = 3; response = Wire.Error { code = Wire.Unsupported_version; _ } } -> ()
+  | _ -> Alcotest.fail "expected unsupported_version echoing id 3");
+  (match roundtrip {|{"v":1,"id":4,"op":"allocate","procs":0,"policy":"random"}|} with
+  | { Wire.resp_id = 4; response = Wire.Error { code = Wire.Bad_request; _ } } -> ()
+  | _ -> Alcotest.fail "expected bad_request echoing id 4");
+  match roundtrip "garbage" with
+  | { Wire.response = Wire.Error { code = Wire.Bad_request; _ }; _ } -> ()
+  | _ -> Alcotest.fail "expected bad_request for garbage"
+
+let test_server_metrics_and_http () =
+  with_server @@ fun ~path ~server:_ ->
+  let c = Client.connect (`Unix path) in
+  (match Client.allocate c ~procs:8 with
+  | Wire.Allocated _ -> ()
+  | r -> Alcotest.failf "expected allocation, got %a" Wire.pp_response r);
+  (match Client.metrics c with
+  | Wire.Metrics_text text ->
+    let samples = Rm_telemetry.Prometheus.parse text in
+    Alcotest.(check bool) "request counter present" true
+      (List.exists
+         (fun s -> s.Rm_telemetry.Prometheus.sample_name = "core_service_requests")
+         samples)
+  | r -> Alcotest.failf "expected metrics, got %a" Wire.pp_response r);
+  Client.close c;
+  (* HTTP scrape on the same socket. *)
+  let code, body = Client.http_get (`Unix path) ~path:"/metrics" in
+  Alcotest.(check int) "200" 200 code;
+  let samples = Rm_telemetry.Prometheus.parse body in
+  Alcotest.(check bool) "latency histogram scraped" true
+    (List.exists
+       (fun s ->
+         s.Rm_telemetry.Prometheus.sample_name = "service_request_latency_s_count")
+       samples);
+  let code, _ = Client.http_get (`Unix path) ~path:"/nope" in
+  Alcotest.(check int) "404" 404 code;
+  let code, body = Client.http_get (`Unix path) ~path:"/status" in
+  Alcotest.(check int) "status 200" 200 code;
+  Alcotest.(check bool) "status is json" true
+    (match Rm_telemetry.Json.of_string body with
+    | Rm_telemetry.Json.Obj _ -> true
+    | _ -> false
+    | exception Failure _ -> false)
+
+let test_server_control_mode () =
+  with_server ~batching:false @@ fun ~path ~server:_ ->
+  let c = Client.connect (`Unix path) in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (match Client.allocate c ~procs:8 with
+  | Wire.Allocated _ -> ()
+  | r -> Alcotest.failf "expected allocation, got %a" Wire.pp_response r);
+  match Client.status c with
+  | Wire.Status_info s ->
+    Alcotest.(check bool) "control mode reported" true (not s.Wire.batching)
+  | r -> Alcotest.failf "expected status, got %a" Wire.pp_response r
+
+let test_server_graceful_stop () =
+  let metrics_out =
+    Printf.sprintf "/tmp/rm-svc-test-%d-final.prom" (Unix.getpid ())
+  in
+  let path =
+    with_server ~metrics_out @@ fun ~path ~server ->
+    let c = Client.connect (`Unix path) in
+    (match Client.allocate c ~procs:8 with
+    | Wire.Allocated _ -> ()
+    | r -> Alcotest.failf "expected allocation, got %a" Wire.pp_response r);
+    Client.close c;
+    Server.stop server;
+    path
+  in
+  (* The socket is gone, and the final exposition was written and
+     parses. *)
+  Alcotest.(check bool) "socket unlinked" false (Sys.file_exists path);
+  Alcotest.(check bool) "final exposition written" true
+    (Sys.file_exists metrics_out);
+  let ic = open_in metrics_out in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  Sys.remove metrics_out;
+  Alcotest.(check bool) "exposition parses and has served requests" true
+    (List.exists
+       (fun s ->
+         s.Rm_telemetry.Prometheus.sample_name = "core_service_requests"
+         && s.Rm_telemetry.Prometheus.sample_value >= 1.0)
+       (Rm_telemetry.Prometheus.parse text))
+
+let test_server_drains_before_stopping () =
+  (* Submissions admitted before the stop must all be answered: fire a
+     burst from several clients, stop the server concurrently, and
+     check every in-flight rpc got a definite response (allocation or a
+     clean shutting_down error — never a closed socket mid-request). *)
+  with_server @@ fun ~path ~server ->
+  let n = 8 in
+  let oks = Atomic.make 0 and shut = Atomic.make 0 and broken = Atomic.make 0 in
+  let threads =
+    List.init n (fun _ ->
+        Thread.create
+          (fun () ->
+            try
+              let c = Client.connect (`Unix path) in
+              for _ = 1 to 3 do
+                match Client.allocate c ~procs:4 ~ppn:2 with
+                | Wire.Allocated _ | Wire.Retry _ -> Atomic.incr oks
+                | Wire.Error { code = Wire.Shutting_down; _ } ->
+                  Atomic.incr shut
+                | _ -> Atomic.incr oks
+              done;
+              Client.close c
+            with _ -> Atomic.incr broken)
+          ())
+  in
+  Thread.delay 0.02;
+  Server.stop server;
+  List.iter Thread.join threads;
+  Alcotest.(check int) "no torn connections" 0 (Atomic.get broken);
+  Alcotest.(check bool) "every rpc answered" true
+    (Atomic.get oks + Atomic.get shut = 3 * n)
+
+(* --- Slo service report --------------------------------------------------- *)
+
+let test_slo_service_report_empty () =
+  Rm_telemetry.Metrics.reset ();
+  match Slo.service_report ~policy:"no-such-policy" () with
+  | Error `No_wait_data -> ()
+  | Ok _ -> Alcotest.fail "expected Error `No_wait_data"
+
+let test_slo_service_report_populated () =
+  with_server @@ fun ~path ~server:_ ->
+  let c = Client.connect (`Unix path) in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  for _ = 1 to 5 do
+    match Client.allocate c ~procs:4 with
+    | Wire.Allocated { alloc_id; _ } -> ignore (Client.release c ~alloc_id)
+    | r -> Alcotest.failf "expected allocation, got %a" Wire.pp_response r
+  done;
+  match Slo.service_report ~policy:"network-load-aware" () with
+  | Error `No_wait_data -> Alcotest.fail "expected service latency data"
+  | Ok r ->
+    Alcotest.(check string) "tagged as service" "service" r.Slo.source;
+    Alcotest.(check bool) "served at least the loop" true
+      (r.Slo.jobs_finished >= 5);
+    Alcotest.(check bool) "percentiles ordered" true
+      (r.Slo.wait.Slo.p50 <= r.Slo.wait.Slo.p90
+      && r.Slo.wait.Slo.p90 <= r.Slo.wait.Slo.p99);
+    Alcotest.(check bool) "positive latency" true (r.Slo.wait.Slo.p50 > 0.0);
+    let rendered = Slo.render [ r ] in
+    Alcotest.(check bool) "render carries the source tag" true
+      (let hay = rendered and needle = "service" in
+       let h = String.length hay and n = String.length needle in
+       let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+       go 0)
+
+let suites =
+  [
+    ( "service.wire",
+      [
+        qcheck prop_request_roundtrip;
+        qcheck prop_response_roundtrip;
+        Alcotest.test_case "rejects bad version" `Quick
+          test_wire_rejects_bad_version;
+        Alcotest.test_case "rejects malformed requests" `Quick
+          test_wire_rejects_bad_requests;
+        Alcotest.test_case "allocate defaults" `Quick test_wire_alpha_defaults;
+      ] );
+    ( "service.batcher",
+      [
+        Alcotest.test_case "fifo and backpressure" `Quick
+          test_batcher_fifo_and_bounds;
+        Alcotest.test_case "close semantics" `Quick test_batcher_close_semantics;
+        qcheck prop_batch_equals_sequential;
+        Alcotest.test_case "both decision branches" `Quick
+          test_batch_covers_both_decisions;
+        Alcotest.test_case "staleness exclusion" `Quick
+          test_staleness_exclusion_in_batch;
+      ] );
+    ( "service.server",
+      [
+        Alcotest.test_case "allocate/status/release" `Quick
+          test_server_allocate_release;
+        Alcotest.test_case "wait threshold retry" `Quick
+          test_server_wait_threshold_retry;
+        Alcotest.test_case "bad requests answered in-band" `Quick
+          test_server_bad_requests;
+        Alcotest.test_case "metrics op and http scrape" `Quick
+          test_server_metrics_and_http;
+        Alcotest.test_case "per-request control mode" `Quick
+          test_server_control_mode;
+        Alcotest.test_case "graceful stop" `Quick test_server_graceful_stop;
+        Alcotest.test_case "drains in-flight on stop" `Quick
+          test_server_drains_before_stopping;
+      ] );
+    ( "service.slo",
+      [
+        Alcotest.test_case "service report empty" `Quick
+          test_slo_service_report_empty;
+        Alcotest.test_case "service report populated" `Quick
+          test_slo_service_report_populated;
+      ] );
+  ]
