@@ -174,7 +174,9 @@ let micro () =
 (* --- Allocator scaling sweep (ISSUE: dense fast path + model cache) -----
 
    Sweeps synthetic snapshots of V nodes and reports allocations/sec per
-   policy for three engines:
+   policy. The original engines (all four policies, V <= 4096; all
+   pinned to the flat sweep so Auto's hierarchical rerouting cannot
+   shift them under their committed baselines):
      naive      - Policies.allocate_naive (models rebuilt per call,
                   Candidate/Select list kernels): the pre-fast-path code
      dense-cold - Policies.allocate with the model cache cleared before
@@ -183,19 +185,35 @@ let micro () =
                   state inside a scheduler tick)
      dense-parN - dense-warm with the per-start candidate sweep on N
                   OCaml domains (N from --domains, default 4)
+   The V=8192/16384 engines (network-load-aware only — the exhaustive
+   engines above do not complete there in bench time; K from --topk):
+     pruned-warm-kK  - warm cache, Top_k K candidate starts
+     pruned-fresh-kK - model cache cleared per call: full O(V^2) model
+                       rebuild + pruned sweep (the control incr beats)
+     incr-kK         - a monitor-tick loop: each rep re-degrades 4
+                       nodes, derives the next snapshot's model
+                       incrementally (Model_cache.get_derived, O(tV))
+                       and allocates with Top_k K starts
+     hier-warm       - the two-level allocator (engine Grouped), warm
    Results go to stdout and BENCH_allocator.json; --baseline FILE
-   compares the dense-warm/naive and dense-parN/dense-warm speedups per
-   (V, policy) against a committed run and fails on a >2x regression.
-   Speedup ratios, not raw rates, keep the check machine-portable
-   (though the parallel ratio still tracks the host's core count — a
-   single-core baseline simply records ~1x, which a multi-core run can
-   only beat). *)
+   compares the dense-warm/naive, dense-parN/dense-warm,
+   pruned-warm-kK/dense-warm, incr-kK/pruned-fresh-kK and
+   hier-warm/pruned-warm-kK speedups per (V, policy) against a
+   committed run and fails on a >2x regression. Speedup ratios, not raw
+   rates, keep the check machine-portable; engine keys carry the
+   starts-mode (and domain count), so runs with a different --topk or
+   --domains find no counterpart and are skipped rather than
+   mis-compared. --max-rss-mb M fails the run if resident memory
+   exceeds M after any size's cells (cache cleared, majors collected) —
+   the V=16384 cells must not accumulate retained model bundles. *)
 
 module Json = Rm_telemetry.Json
 module Matrix = Rm_stats.Matrix
 
 let baseline_file : string option ref = ref None
 let scale_domains = ref 4
+let scale_topk = ref 32
+let scale_max_rss_mb = ref 65536
 
 (* A monitored view of a busy V-node cluster without simulating one:
    per-node congestion scalars drive both the load views and the
@@ -254,18 +272,39 @@ let synthetic_snapshot ~v =
     lat_us = lat;
   }
 
-type scale_engine = Naive | Dense_cold | Dense_warm | Dense_par
+type scale_engine =
+  | Naive
+  | Dense_cold
+  | Dense_warm
+  | Dense_par
+  | Pruned_warm
+  | Pruned_fresh
+  | Incr
+  | Hier_warm
+
+(* The exhaustive engines stop at this size: naive and dense-cold are
+   O(V^2) per allocation with list/rebuild constants that blow the
+   bench budget well before 8192. *)
+let scale_exhaustive_max_v = 4096
 
 let scale_engines = [ Naive; Dense_cold; Dense_warm; Dense_par ]
+let scale_incr_engines = [ Pruned_warm; Pruned_fresh; Incr; Hier_warm ]
 
 let engine_name = function
   | Naive -> "naive"
   | Dense_cold -> "dense-cold"
   | Dense_warm -> "dense-warm"
   | Dense_par -> Printf.sprintf "dense-par%d" !scale_domains
+  | Pruned_warm -> Printf.sprintf "pruned-warm-k%d" !scale_topk
+  | Pruned_fresh -> Printf.sprintf "pruned-fresh-k%d" !scale_topk
+  | Incr -> Printf.sprintf "incr-k%d" !scale_topk
+  | Hier_warm -> "hier-warm"
 
-let is_par_engine e =
-  String.length e >= 9 && String.sub e 0 9 = "dense-par"
+let has_prefix prefix e =
+  String.length e >= String.length prefix
+  && String.sub e 0 (String.length prefix) = prefix
+
+let is_par_engine e = has_prefix "dense-par" e
 
 type scale_row = {
   v : int;
@@ -276,27 +315,107 @@ type scale_row = {
 }
 
 let measure_cell ~budget_s ~snapshot ~weights ~request ~policy engine =
+  (* Every cell starts from a cold cache: a previous cell's retained
+     bundle (possibly for this very snapshot) must not leak warmth into
+     an engine that is supposed to pay for its own builds. Warm engines
+     re-warm explicitly below. *)
+  Rm_core.Model_cache.clear ();
   let rng = Rm_stats.Rng.create 42 in
-  let run () =
-    ignore
-      (match engine with
-      | Naive ->
-        Rm_core.Policies.allocate_naive ~policy ~snapshot ~weights ~request ~rng
-      | Dense_cold ->
+  let topk = Rm_core.Dense_alloc.Top_k !scale_topk in
+  let flat = Rm_core.Policies.Flat in
+  let run : unit -> unit =
+    match engine with
+    | Naive ->
+      fun () ->
+        ignore
+          (Rm_core.Policies.allocate_naive ~policy ~snapshot ~weights ~request
+             ~rng)
+    | Dense_cold ->
+      fun () ->
         Rm_core.Model_cache.clear ();
-        Rm_core.Policies.allocate ~policy ~snapshot ~weights ~request ~rng ()
-      | Dense_warm ->
-        Rm_core.Policies.allocate ~policy ~snapshot ~weights ~request ~rng ()
-      | Dense_par ->
-        Rm_core.Policies.allocate ~ndomains:!scale_domains ~policy ~snapshot
-          ~weights ~request ~rng ())
+        ignore
+          (Rm_core.Policies.allocate ~engine:flat ~policy ~snapshot ~weights
+             ~request ~rng ())
+    | Dense_warm ->
+      fun () ->
+        ignore
+          (Rm_core.Policies.allocate ~engine:flat ~policy ~snapshot ~weights
+             ~request ~rng ())
+    | Dense_par ->
+      fun () ->
+        ignore
+          (Rm_core.Policies.allocate ~engine:flat ~ndomains:!scale_domains
+             ~policy ~snapshot ~weights ~request ~rng ())
+    | Pruned_warm ->
+      fun () ->
+        ignore
+          (Rm_core.Policies.allocate ~engine:flat ~starts:topk ~policy
+             ~snapshot ~weights ~request ~rng ())
+    | Pruned_fresh ->
+      fun () ->
+        Rm_core.Model_cache.clear ();
+        ignore
+          (Rm_core.Policies.allocate ~engine:flat ~starts:topk ~policy
+             ~snapshot ~weights ~request ~rng ())
+    | Hier_warm ->
+      fun () ->
+        ignore
+          (Rm_core.Policies.allocate ~engine:Rm_core.Policies.Grouped ~policy
+             ~snapshot ~weights ~request ~rng ())
+    | Incr ->
+      (* A monitor-tick loop: each rep re-degrades a rotating window of
+         4 nodes (rows + symmetric columns, O(tV)), stamps a new
+         snapshot record sharing the mutated matrices, patches the
+         cached model forward (get_derived) and allocates pruned. The
+         matrices are copied once up front so the mutation never leaks
+         into the other engines' shared snapshot. *)
+      let v = List.length snapshot.Rm_monitor.Snapshot.live in
+      let peak = 125.0 in
+      let cur =
+        ref
+          {
+            snapshot with
+            Rm_monitor.Snapshot.time = snapshot.Rm_monitor.Snapshot.time +. 1.0;
+            bw_mb_s = Matrix.copy snapshot.Rm_monitor.Snapshot.bw_mb_s;
+            lat_us = Matrix.copy snapshot.Rm_monitor.Snapshot.lat_us;
+          }
+      in
+      let tick = ref 0 in
+      fun () ->
+        let prev = !cur in
+        incr tick;
+        let touched = List.init 4 (fun d -> ((!tick * 4) + d) mod v) in
+        let bw = prev.Rm_monitor.Snapshot.bw_mb_s in
+        let lat = prev.Rm_monitor.Snapshot.lat_us in
+        List.iter
+          (fun i ->
+            let c = Rm_stats.Rng.uniform rng ~lo:0.0 ~hi:0.8 in
+            let b = peak *. (1.0 -. c) in
+            let l = 50.0 +. (200.0 *. c) in
+            for j = 0 to v - 1 do
+              if j <> i then begin
+                Matrix.set bw i j b;
+                Matrix.set bw j i b;
+                Matrix.set lat i j l;
+                Matrix.set lat j i l
+              end
+            done)
+          touched;
+        let next =
+          { prev with Rm_monitor.Snapshot.time = prev.Rm_monitor.Snapshot.time +. 0.01 }
+        in
+        ignore (Rm_core.Model_cache.get_derived next ~prev ~touched ~weights);
+        ignore
+          (Rm_core.Policies.allocate ~engine:flat ~starts:topk ~policy
+             ~snapshot:next ~weights ~request ~rng ());
+        cur := next
   in
-  (* Warm the cache (and, for the parallel engine, the domain pool)
-     outside the timed loop; the other engines pay their full cost per
-     call by design. *)
+  (* Warm the cache (and, for the parallel engine, the domain pool; for
+     incr, the initial full model build) outside the timed loop; the
+     other engines pay their full cost per call by design. *)
   (match engine with
-  | Dense_warm | Dense_par -> run ()
-  | Naive | Dense_cold -> ());
+  | Dense_warm | Dense_par | Pruned_warm | Hier_warm | Incr -> run ()
+  | Naive | Dense_cold | Pruned_fresh -> ());
   let t0 = Unix.gettimeofday () in
   let rec loop reps =
     run ();
@@ -310,24 +429,44 @@ let measure_cell ~budget_s ~snapshot ~weights ~request ~policy engine =
 
 (* Keyed (v, policy, kind): "dense-warm/naive" is the fast-path
    headline, "dense-parN/dense-warm" isolates what the domain sweep
-   adds on top of it. The par kind keeps the engine's domain count so a
-   --domains 8 run is never regression-checked against a baseline
-   recorded with 4 domains — mismatched counts simply find no
-   counterpart and are skipped. *)
+   adds on top of it, "pruned-warm-kK/dense-warm" what start pruning
+   adds, "incr-kK/pruned-fresh-kK" what incremental NL maintenance adds
+   over a per-call rebuild, and "hier-warm/pruned-warm-kK" where the
+   two-level allocator sits relative to the pruned flat sweep. Kinds
+   keep the engine's domain count / starts-mode in the key, so a
+   --domains 8 or --topk 64 run is never regression-checked against a
+   baseline recorded with different knobs — mismatched keys simply find
+   no counterpart and are skipped. *)
 let scale_speedups rows =
   let find v policy pred =
     List.find_opt (fun r -> r.v = v && r.policy = policy && pred r.engine) rows
   in
+  let ratio (r : scale_row) denom_pred kind =
+    find r.v r.policy denom_pred
+    |> Option.map (fun (d : scale_row) ->
+           ((r.v, r.policy, kind), r.rate /. d.rate))
+  in
   List.filter_map
     (fun r ->
       if r.engine = "dense-warm" then
-        find r.v r.policy (String.equal "naive")
-        |> Option.map (fun naive ->
-               ((r.v, r.policy, "dense-warm/naive"), r.rate /. naive.rate))
+        ratio r (String.equal "naive") "dense-warm/naive"
       else if is_par_engine r.engine then
-        find r.v r.policy (String.equal "dense-warm")
-        |> Option.map (fun warm ->
-               ((r.v, r.policy, r.engine ^ "/dense-warm"), r.rate /. warm.rate))
+        ratio r (String.equal "dense-warm") (r.engine ^ "/dense-warm")
+      else if has_prefix "pruned-warm-k" r.engine then
+        ratio r (String.equal "dense-warm") (r.engine ^ "/dense-warm")
+      else if has_prefix "incr-k" r.engine then begin
+        (* The control with the same starts-mode: incr-kK vs
+           pruned-fresh-kK isolates the model-maintenance strategy. *)
+        let suffix =
+          String.sub r.engine 6 (String.length r.engine - 6)
+        in
+        let control = "pruned-fresh-k" ^ suffix in
+        ratio r (String.equal control) (r.engine ^ "/" ^ control)
+      end
+      else if r.engine = "hier-warm" then
+        find r.v r.policy (has_prefix "pruned-warm-k")
+        |> Option.map (fun (d : scale_row) ->
+               ((r.v, r.policy, "hier-warm/" ^ d.engine), r.rate /. d.rate))
       else None)
     rows
 
@@ -342,37 +481,77 @@ let scale_rows_of_json j =
            reps = Json.to_int (Json.member "reps" row);
          })
 
+(* Resident set size in MB from /proc/self/status — the bench's memory
+   guard at V=16384, where one leaked model bundle is ~4 GB. *)
+let rss_mb () =
+  match open_in "/proc/self/status" with
+  | exception _ -> 0
+  | ic ->
+    let rec go () =
+      match input_line ic with
+      | line ->
+        if String.length line > 6 && String.sub line 0 6 = "VmRSS:" then
+          Scanf.sscanf
+            (String.sub line 6 (String.length line - 6))
+            " %d kB"
+            (fun kb -> kb / 1024)
+        else go ()
+      | exception End_of_file -> 0
+    in
+    let mb = go () in
+    close_in ic;
+    mb
+
 let scale () =
-  let sizes = if !quick then [ 60; 240 ] else [ 60; 240; 1024; 2048; 4096 ] in
+  let sizes =
+    if !quick then [ 60; 240 ]
+    else [ 60; 240; 1024; 2048; 4096; 8192; 16384 ]
+  in
   let budget_s = if !quick then 0.2 else 1.0 in
   let weights = Rm_core.Weights.paper_default in
   let request = Rm_core.Request.make ~ppn:4 ~alpha:0.5 ~procs:48 () in
+  let nl_policy = Rm_core.Policies.Network_load_aware in
   let rows = ref [] in
+  let rss_by_size = ref [] in
   List.iter
     (fun v ->
       let snapshot = synthetic_snapshot ~v in
-      List.iter
-        (fun policy ->
-          List.iter
-            (fun engine ->
-              let rate, reps =
-                measure_cell ~budget_s ~snapshot ~weights ~request ~policy
-                  engine
-              in
-              rows :=
-                {
-                  v;
-                  policy = Rm_core.Policies.name policy;
-                  engine = engine_name engine;
-                  rate;
-                  reps;
-                }
-                :: !rows)
-            scale_engines)
-        Rm_core.Policies.all;
+      let cell policy engine =
+        let rate, reps =
+          measure_cell ~budget_s ~snapshot ~weights ~request ~policy engine
+        in
+        rows :=
+          {
+            v;
+            policy = Rm_core.Policies.name policy;
+            engine = engine_name engine;
+            rate;
+            reps;
+          }
+          :: !rows
+      in
+      if v <= scale_exhaustive_max_v then
+        List.iter
+          (fun policy -> List.iter (cell policy) scale_engines)
+          Rm_core.Policies.all;
+      (* The pruned/incremental engines are network-load-aware only:
+         the other policies never touch the NL model, so pruning and
+         incremental maintenance change nothing for them. *)
+      List.iter (cell nl_policy) scale_incr_engines;
       (* Drop the snapshot's cached models before the next (larger)
-         size; at V=4096 each retained model is hundreds of MB. *)
-      Rm_core.Model_cache.clear ())
+         size; at V=4096 each retained model is hundreds of MB, at
+         V=16384 several GB — then assert the process actually gave the
+         memory back. *)
+      Rm_core.Model_cache.clear ();
+      Gc.full_major ();
+      let rss = rss_mb () in
+      rss_by_size := (v, rss) :: !rss_by_size;
+      if rss > !scale_max_rss_mb then
+        failwith
+          (Printf.sprintf
+             "bench scale: RSS %d MB after V=%d exceeds --max-rss-mb %d \
+              (model bundles retained?)"
+             rss v !scale_max_rss_mb))
     sizes;
   let rows = List.rev !rows in
   let speedups = scale_speedups rows in
@@ -384,6 +563,13 @@ let scale () =
   in
   let buf = Buffer.create 1024 in
   let par_engine = engine_name Dense_par in
+  let speedup_str v p kind =
+    (* Sizes past scale_exhaustive_max_v have no dense-warm partner for
+       the pruned/warm ratio — render a dash, not "nanx". *)
+    match List.assoc_opt (v, p, kind) speedups with
+    | Some r -> Printf.sprintf "%.1fx" r
+    | None -> "-"
+  in
   Experiments.Render.table
     ~header:
       [
@@ -396,11 +582,6 @@ let scale () =
            List.map
              (fun policy ->
                let p = Rm_core.Policies.name policy in
-               let speedup kind =
-                 Printf.sprintf "%.1fx"
-                   (Option.value ~default:nan
-                      (List.assoc_opt (v, p, kind) speedups))
-               in
                [
                  string_of_int v;
                  p;
@@ -408,18 +589,51 @@ let scale () =
                  Printf.sprintf "%.1f" (rate_of v p "dense-cold");
                  Printf.sprintf "%.1f" (rate_of v p "dense-warm");
                  Printf.sprintf "%.1f" (rate_of v p par_engine);
-                 speedup "dense-warm/naive";
-                 speedup (par_engine ^ "/dense-warm");
+                 speedup_str v p "dense-warm/naive";
+                 speedup_str v p (par_engine ^ "/dense-warm");
                ])
              Rm_core.Policies.all)
+         (List.filter (fun v -> v <= scale_exhaustive_max_v) sizes))
+    buf;
+  Buffer.add_string buf "\n";
+  let pruned_warm = engine_name Pruned_warm in
+  let pruned_fresh = engine_name Pruned_fresh in
+  let incr_e = engine_name Incr in
+  let nl_name = Rm_core.Policies.name nl_policy in
+  Experiments.Render.table
+    ~header:
+      [
+        "V"; pruned_warm ^ "/s"; pruned_fresh ^ "/s"; incr_e ^ "/s";
+        "hier-warm/s"; "pruned/warm"; "incr/fresh"; "hier/pruned";
+      ]
+    ~rows:
+      (List.map
+         (fun v ->
+           [
+             string_of_int v;
+             Printf.sprintf "%.1f" (rate_of v nl_name pruned_warm);
+             Printf.sprintf "%.1f" (rate_of v nl_name pruned_fresh);
+             Printf.sprintf "%.1f" (rate_of v nl_name incr_e);
+             Printf.sprintf "%.1f" (rate_of v nl_name "hier-warm");
+             speedup_str v nl_name (pruned_warm ^ "/dense-warm");
+             speedup_str v nl_name (incr_e ^ "/" ^ pruned_fresh);
+             speedup_str v nl_name ("hier-warm/" ^ pruned_warm);
+           ])
          sizes)
     buf;
+  List.iter
+    (fun (v, rss) ->
+      Buffer.add_string buf
+        (Printf.sprintf "rss after V=%d: %d MB (limit %d)\n" v rss
+           !scale_max_rss_mb))
+    (List.rev !rss_by_size);
   let json =
     Json.Obj
       [
         ("schema", Json.Str "rm-bench-allocator/v1");
         ("quick", Json.Bool !quick);
         ("domains", Json.Num (float_of_int !scale_domains));
+        ("topk", Json.Num (float_of_int !scale_topk));
         (* The par-speedup ratio tracks host parallelism; recording the
            core count lets a later --baseline run on different hardware
            skip that comparison instead of failing spuriously. *)
@@ -1075,6 +1289,20 @@ let () =
         scale_domains := min n ceiling
       | _ ->
         Printf.eprintf "--domains expects a positive integer, got %S\n%!" n;
+        exit 2);
+      strip rest
+    | "--topk" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n >= 1 -> scale_topk := n
+      | _ ->
+        Printf.eprintf "--topk expects a positive integer, got %S\n%!" n;
+        exit 2);
+      strip rest
+    | "--max-rss-mb" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n >= 1 -> scale_max_rss_mb := n
+      | _ ->
+        Printf.eprintf "--max-rss-mb expects a positive integer, got %S\n%!" n;
         exit 2);
       strip rest
     | "--serve-clients" :: n :: rest ->

@@ -128,6 +128,35 @@ let domains_t =
                (default: $(b,RM_ALLOC_DOMAINS) or 1). Allocations are \
                identical for every value; only the wall time changes."))
 
+(* Same shape for the start-pruning default: evaluates to () after
+   setting the process-wide Dense_alloc starts mode. *)
+let starts_t =
+  let set = function
+    | None -> ()
+    | Some s ->
+      (match Rm_core.Dense_alloc.parse_starts s with
+      | Ok st -> Rm_core.Dense_alloc.set_default_starts st
+      | Error msg ->
+        Format.eprintf "--starts: %s (got %S)@." msg s;
+        exit 2)
+  in
+  Term.(
+    const set
+    $ Arg.(
+        value
+        & opt (some string) None
+        & info [ "starts" ] ~docv:"K"
+            ~doc:
+              "Candidate start nodes for the network-load-aware sweep: \
+               $(b,all) (exhaustive, the default; also \
+               $(b,RM_ALLOC_STARTS)) or a positive count K to expand \
+               only the top-K starts by the O(V) CL+degree proxy score. \
+               Pruning trades a bounded score regret for an up-to-V/K \
+               speedup."))
+
+(* The two allocator knobs ride together on every command. *)
+let knobs_t = Term.(const (fun () () -> ()) $ domains_t $ starts_t)
+
 (* --- environment ------------------------------------------------------ *)
 
 let make_env ~scenario ~seed ~time =
@@ -228,7 +257,7 @@ let allocate_cmd =
              ~doc:"Recommend waiting above this mean load per core.")
   in
   Cmd.v (Cmd.info "allocate" ~doc:"Make one allocation decision.")
-    Term.(const run $ domains_t $ scenario_t $ seed_t $ time_t $ procs_t
+    Term.(const run $ knobs_t $ scenario_t $ seed_t $ time_t $ procs_t
           $ ppn_t $ alpha_t $ policy_t $ wait_t)
 
 (* --- run ------------------------------------------------------------------- *)
@@ -265,7 +294,7 @@ let run_cmd =
          & info [ "map" ] ~doc:"Apply Treematch-style rank mapping before running.")
   in
   Cmd.v (Cmd.info "run" ~doc:"Allocate and execute one MPI job.")
-    Term.(const run $ domains_t $ scenario_t $ seed_t $ time_t $ procs_t
+    Term.(const run $ knobs_t $ scenario_t $ seed_t $ time_t $ procs_t
           $ ppn_t $ alpha_t $ policy_t $ app_t $ size_t $ map_t)
 
 (* --- compare ----------------------------------------------------------------- *)
@@ -295,7 +324,7 @@ let compare_cmd =
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Run the same job under all four policies in sequence.")
-    Term.(const run $ domains_t $ scenario_t $ seed_t $ time_t $ procs_t
+    Term.(const run $ knobs_t $ scenario_t $ seed_t $ time_t $ procs_t
           $ ppn_t $ alpha_t $ app_t $ size_t)
 
 (* --- forecast ----------------------------------------------------------------- *)
@@ -485,7 +514,7 @@ let explain_cmd =
           candidate's Eq. 4 score, and the chosen sub-graph's Algorithm 1 \
           growth order. With --replay, re-score a saved decision under new \
           Eq. 4 weights instead.")
-    Term.(const run $ domains_t $ scenario_t $ seed_t $ time_t $ procs_t
+    Term.(const run $ knobs_t $ scenario_t $ seed_t $ time_t $ procs_t
           $ ppn_t $ alpha_t $ beta_t $ policy_t $ wait_t $ json_t $ replay_t)
 
 (* --- metrics ----------------------------------------------------------------- *)
@@ -553,7 +582,7 @@ let metrics_cmd =
        ~doc:
          "Run one job end to end with telemetry enabled, then dump the \
           metrics registry and trace-buffer summary.")
-    Term.(const run $ domains_t $ scenario_t $ seed_t $ time_t $ procs_t
+    Term.(const run $ knobs_t $ scenario_t $ seed_t $ time_t $ procs_t
           $ ppn_t $ alpha_t $ policy_t $ app_t $ size_t $ trace_out_t
           $ trace_format_t $ metrics_out_t)
 
@@ -642,7 +671,7 @@ let slo_cmd =
           trace runs once per policy, and dispatch-wait p50/p90/p99 (from \
           the sched.dispatch_wait_s histogram) plus queue-depth statistics \
           are compared side by side.")
-    Term.(const run $ domains_t $ seed_t $ jobs_t)
+    Term.(const run $ knobs_t $ seed_t $ jobs_t)
 
 (* --- check-export ------------------------------------------------------------- *)
 
@@ -871,7 +900,7 @@ let chaos_cmd =
           switch outages, NIC degradation, daemon kills — with failure \
           detection, requeue backoff and virtual checkpointing enabled, \
           then report what the faults cost.")
-    Term.(const run $ domains_t $ plan_t $ intensity_t $ policy_t $ minutes_t
+    Term.(const run $ knobs_t $ plan_t $ intensity_t $ policy_t $ minutes_t
           $ seed_t
           $ jobs_t $ check_t $ log_t $ trace_out_t $ metrics_out_t)
 
@@ -985,7 +1014,7 @@ let sched_cmd =
   in
   Cmd.v
     (Cmd.info "sched" ~doc:"Run a job file through the batch scheduler.")
-    Term.(const run $ domains_t $ file_t $ scenario_t $ seed_t $ policy_t
+    Term.(const run $ knobs_t $ file_t $ scenario_t $ seed_t $ policy_t
           $ exclusive_t)
 
 let () =

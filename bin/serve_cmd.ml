@@ -93,6 +93,25 @@ let policy_t =
        & info [ "policy" ] ~docv:"NAME"
            ~doc:"Default policy for requests that do not pick their own.")
 
+let starts_arg =
+  let parse s =
+    match Rm_core.Dense_alloc.parse_starts s with
+    | Ok st -> Ok st
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf st =
+    Format.fprintf ppf "%s" (Rm_core.Dense_alloc.starts_label st)
+  in
+  Arg.conv (parse, print)
+
+let starts_t =
+  Arg.(value & opt (some starts_arg) None
+       & info [ "starts" ] ~docv:"K"
+           ~doc:"Candidate start nodes for the network-load-aware sweep: \
+                 $(b,all) (exhaustive; also $(b,RM_ALLOC_STARTS)) or a \
+                 positive count K to expand only the top-K starts by the \
+                 O(V) CL+degree proxy score.")
+
 let wait_threshold_t =
   Arg.(value & opt (some float) None
        & info [ "wait-threshold" ] ~docv:"LOAD"
@@ -121,7 +140,7 @@ let spill_dir_t =
                  shutdown.")
 
 let serve socket port scenario seed time nodes tick_ms virtual_tick max_pending
-    max_batch no_batch policy wait_threshold max_staleness retry_after
+    max_batch no_batch policy starts wait_threshold max_staleness retry_after
     metrics_out spill_dir =
   Telemetry.Runtime.enable ();
   let endpoint =
@@ -133,6 +152,7 @@ let serve socket port scenario seed time nodes tick_ms virtual_tick max_pending
     {
       Broker.default_config with
       policy;
+      starts;
       wait_threshold;
       max_staleness_s = Option.value max_staleness ~default:infinity;
     }
@@ -175,8 +195,8 @@ let serve socket port scenario seed time nodes tick_ms virtual_tick max_pending
 let term =
   Term.(const serve $ socket_t $ port_t $ scenario_t $ seed_t $ time_t
         $ nodes_t $ tick_ms_t $ virtual_tick_t $ max_pending_t $ max_batch_t
-        $ no_batch_t $ policy_t $ wait_threshold_t $ max_staleness_t
-        $ retry_after_t $ metrics_out_t $ spill_dir_t)
+        $ no_batch_t $ policy_t $ starts_t $ wait_threshold_t
+        $ max_staleness_t $ retry_after_t $ metrics_out_t $ spill_dir_t)
 
 let doc =
   "Resident allocation daemon: accepts allocate/release/status/metrics \

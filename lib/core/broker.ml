@@ -6,6 +6,7 @@ type config = {
   policy : Policies.policy;
   wait_threshold : float option;
   max_staleness_s : float;
+  starts : Dense_alloc.starts option;
 }
 
 let default_config =
@@ -14,6 +15,7 @@ let default_config =
     policy = Policies.Network_load_aware;
     wait_threshold = None;
     max_staleness_s = infinity;
+    starts = None;
   }
 
 type decision =
@@ -100,8 +102,9 @@ let decide ~config ~snapshot ~request ~rng =
     let result =
       Result.map
         (fun allocation -> Allocated allocation)
-        (Policies.allocate_audited ~stale_excluded:stale ~policy:config.policy
-           ~snapshot ~weights:config.weights ~request ~rng ())
+        (Policies.allocate_audited ?starts:config.starts ~stale_excluded:stale
+           ~policy:config.policy ~snapshot ~weights:config.weights ~request
+           ~rng ())
     in
     (match result with
     | Ok (Allocated _) -> Telemetry.Metrics.incr m_allocated

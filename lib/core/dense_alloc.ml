@@ -24,17 +24,78 @@
      starts with private scratch buffers, and results land at
      per-start slots of one output array — merged in ascending start
      order, Eq. 4 normalization and the argmin (ties included) see
-     exactly the sequential ordering.
+     exactly the sequential ordering. Below {!par_v_threshold} usable
+     nodes the sweep is always sequential: at small V the pool
+     hand-off costs more than the whole sweep.
 
-   Equivalence is bit-exact, not just semantic: every float expression
-   below reproduces the naive code's operation order (same operands,
-   same association), and each start's arithmetic is confined to one
-   worker, so candidate costs, Eq. 4 totals and therefore the argmin —
-   including ties broken on start id — are byte-identical for every
-   domain count. test_core.ml holds qcheck properties against the
-   retained naive reference and across ndomains ∈ {1, 2, 4}. *)
+   Pruned starts ([~starts:(Top_k k)]) cut the other V factor: start
+   nodes are ranked by a cheap O(V) α·CL + β·mean-NL-degree score and
+   only the best k expand. The expansion arithmetic per start is the
+   shared [one_start] code, so each surviving candidate's raw Eq. 4
+   costs are bit-identical to its exhaustive counterpart; only the
+   per-candidate-set normalization (and therefore possibly the argmin)
+   sees fewer candidates. NL reads go through the factored
+   {!Network_load.raw} form unless a materialized matrix already
+   exists, so pruned allocation never forces the O(V²) matrix.
+
+   Equivalence of the exhaustive path is bit-exact, not just semantic:
+   every float expression below reproduces the naive code's operation
+   order (same operands, same association), and each start's
+   arithmetic is confined to one worker, so candidate costs, Eq. 4
+   totals and therefore the argmin — including ties broken on start id
+   — are byte-identical for every domain count. test_core.ml holds
+   qcheck properties against the retained naive reference, across
+   ndomains ∈ {1, 2, 4}, and for the pruned path's subset/regret
+   contracts. *)
 
 module Matrix = Rm_stats.Matrix
+module Telemetry = Rm_telemetry
+
+let m_pruned_starts = Telemetry.Metrics.counter "core.alloc.pruned_starts"
+
+type starts = All | Top_k of int
+
+let starts_label = function All -> "all" | Top_k k -> string_of_int k
+
+let parse_starts s =
+  match String.lowercase_ascii (String.trim s) with
+  | "all" -> Ok All
+  | t ->
+    (match int_of_string_opt t with
+    | Some k when k >= 1 -> Ok (Top_k k)
+    | Some _ | None ->
+      Error "starts must be \"all\" or a positive candidate count")
+
+let validate_starts = function
+  | All -> ()
+  | Top_k k ->
+    if k < 1 then invalid_arg "Dense_alloc: Top_k starts must be >= 1"
+
+(* Process-wide default for the start-pruning mode, mirroring
+   Domain_pool's RM_ALLOC_DOMAINS knob. An unparseable env value falls
+   back to exhaustive (never silently prunes). *)
+let default_starts_ref =
+  ref
+    (match Sys.getenv_opt "RM_ALLOC_STARTS" with
+    | Some s -> (match parse_starts s with Ok st -> st | Error _ -> All)
+    | None -> All)
+
+let default_starts () = !default_starts_ref
+
+let set_default_starts st =
+  validate_starts st;
+  default_starts_ref := st
+
+(* Below this many usable nodes the parallel sweep loses to the
+   sequential one (pool hand-off + per-worker scratch dominate the
+   V=60 sweep: dense-par4 measured ~0.73x dense-warm), so [ndomains]
+   is ignored and the sweep runs sequentially. *)
+let par_v_threshold = 128
+
+let domains_for ~v ~requested =
+  if requested < 1 then
+    invalid_arg "Dense_alloc.scored_all: ndomains must be >= 1";
+  if v < par_v_threshold then 1 else min requested v
 
 (* Binary min-heap over dense indices ordered by (cost, id). Dense
    order is ascending node id, so comparing indices breaks cost ties
@@ -88,20 +149,25 @@ let make_scratch v =
    re-scans). The slot only ever holds a matrix that validated clean,
    so a stale hit can never skip a matrix that would have failed —
    this leans on Network_load.nl_matrix's contract that the matrix is
-   never mutated in place after construction. The slot is weak so it
-   extends no lifetime: once Model_cache evicts a model, its O(V²)
-   matrix stays collectable (at V=4096 a pinned snapshot would hold
-   hundreds of MB). *)
+   never mutated in place after construction (Network_load.apply_delta
+   replaces the materialized matrix rather than patching it, so a
+   patched model presents a fresh physical matrix here). The slot is
+   weak so it extends no lifetime: once Model_cache evicts a model,
+   its O(V²) matrix stays collectable (at V=4096 a pinned snapshot
+   would hold hundreds of MB). *)
 let last_valid_nl : Matrix.t Weak.t = Weak.create 1
 
-let validate_finite ~ids ~cl ~nl =
+let validate_cl ~ids ~cl =
   let v = Array.length ids in
   for i = 0 to v - 1 do
     if not (Float.is_finite cl.(i)) then
       invalid_arg
         (Printf.sprintf "Dense_alloc.scored_all: non-finite CL for node %d"
            ids.(i))
-  done;
+  done
+
+let validate_nl ~ids ~nl =
+  let v = Array.length ids in
   match Weak.get last_valid_nl 0 with
   | Some m when m == nl -> ()
   | _ ->
@@ -118,7 +184,7 @@ let validate_finite ~ids ~cl ~nl =
     done;
     Weak.set last_valid_nl 0 (Some nl)
 
-let scored_all ?ndomains ~loads ~net ~capacity ~request () =
+let scored_all ?ndomains ?starts ~loads ~net ~capacity ~request () =
   let ids = Compute_load.dense_ids loads in
   let v = Array.length ids in
   if v = 0 then invalid_arg "Dense_alloc.scored_all: no usable nodes";
@@ -138,21 +204,27 @@ let scored_all ?ndomains ~loads ~net ~capacity ~request () =
   let alpha = request.Request.alpha and beta = request.Request.beta in
   if not (Float.is_finite alpha && Float.is_finite beta) then
     invalid_arg "Dense_alloc.scored_all: non-finite alpha/beta";
+  let starts = match starts with Some s -> s | None -> default_starts () in
+  validate_starts starts;
   (* Shared read-only inputs, hoisted out of the start loop (and built
      before any domain is involved — [capacity] may touch hashtables). *)
   let cl = Compute_load.dense_values loads in
-  let nl = Network_load.nl_matrix net in
-  validate_finite ~ids ~cl ~nl;
   let alpha_cl = Array.map (fun c -> alpha *. c) cl in
   let caps = Array.map (fun node -> max 1 (capacity node)) ids in
-  let one_start scratch s =
+  (* One greedy expansion (Algorithm 1) for start [s]. [fill_costs] is
+     called once per start and must write every [cost.(i)]; [pair_nl]
+     reads NL over dense indices for the Eq. 4 candidate total. Both
+     paths below funnel through this function, which is what makes a
+     pruned candidate's raw costs bit-identical to its exhaustive
+     counterpart. *)
+  let one_start ~fill_costs ~pair_nl scratch s =
     let cost = scratch.cost
     and heap = scratch.heap
     and sel = scratch.sel
     and sel_procs = scratch.sel_procs in
     (* A_s(u) = α·CL(u) + β·NL(s,u); the start itself costs 0. *)
+    fill_costs cost s;
     for i = 0 to v - 1 do
-      cost.(i) <- alpha_cl.(i) +. (beta *. Matrix.get nl s i);
       heap.(i) <- i
     done;
     cost.(s) <- 0.0;
@@ -196,74 +268,136 @@ let scored_all ?ndomains ~loads ~net ~capacity ~request () =
     let network = ref 0.0 in
     for a = 0 to k - 1 do
       for b = a + 1 to k - 1 do
-        network := !network +. Matrix.get nl sel.(a) sel.(b)
+        network := !network +. pair_nl sel.(a) sel.(b)
       done
     done;
-    let assignment =
-      List.init k (fun a -> (ids.(sel.(a)), sel_procs.(a)))
-    in
+    let assignment = List.init k (fun a -> (ids.(sel.(a)), sel_procs.(a))) in
     let candidate =
       { Candidate.start = ids.(s); nodes = List.map fst assignment; assignment }
     in
     (candidate, !compute, !network)
   in
-  let nd =
-    let requested =
-      match ndomains with Some n -> n | None -> Domain_pool.default_domains ()
-    in
-    if requested < 1 then
-      invalid_arg "Dense_alloc.scored_all: ndomains must be >= 1";
-    min requested v
-  in
-  let raw = Array.make v None in
-  if nd = 1 then begin
-    let scratch = make_scratch v in
-    for s = 0 to v - 1 do
-      raw.(s) <- Some (one_start scratch s)
-    done
-  end
-  else begin
-    (* Contiguous chunks keep each worker's NL row reads streaming and
-       make the output slots worker-disjoint. The pool silently clamps
-       oversized requests ([Domain_pool.max_workers]), so the chunk
-       size must come from the pool's actual worker count — chunking
-       over the requested [nd] would leave every start beyond
-       [size * chunk] uncomputed. *)
-    let pool = Domain_pool.get nd in
-    let nd = Domain_pool.size pool in
-    let chunk = (v + nd - 1) / nd in
-    Domain_pool.run pool (fun w ->
-        let lo = w * chunk in
-        let hi = min v (lo + chunk) in
-        if lo < hi then begin
-          let scratch = make_scratch v in
-          for s = lo to hi - 1 do
-            raw.(s) <- Some (one_start scratch s)
-          done
-        end)
-  end;
   (* Algorithm 2's per-candidate-set normalization, verbatim from
-     Select.score; summing the merged array in ascending start order
-     reproduces the sequential fold bit-for-bit. *)
-  let c_sum = ref 0.0 and n_sum = ref 0.0 in
-  for s = 0 to v - 1 do
-    match raw.(s) with
-    | Some (_, c, n) ->
-      c_sum := !c_sum +. c;
-      n_sum := !n_sum +. n
-    | None -> assert false
-  done;
-  let c_sum = !c_sum and n_sum = !n_sum in
-  let norm sum x = if sum > 0.0 then x /. sum else 0.0 in
-  List.init v (fun s ->
-      match raw.(s) with
-      | Some (candidate, compute_cost, network_cost) ->
+     Select.score; summing the merged array in its (ascending start)
+     order reproduces the sequential fold bit-for-bit. *)
+  let finalize results =
+    let c_sum = ref 0.0 and n_sum = ref 0.0 in
+    Array.iter
+      (fun (_, c, n) ->
+        c_sum := !c_sum +. c;
+        n_sum := !n_sum +. n)
+      results;
+    let c_sum = !c_sum and n_sum = !n_sum in
+    let norm sum x = if sum > 0.0 then x /. sum else 0.0 in
+    List.init (Array.length results) (fun i ->
+        let candidate, compute_cost, network_cost = results.(i) in
         let total =
-          (alpha *. norm c_sum compute_cost)
-          +. (beta *. norm n_sum network_cost)
+          (alpha *. norm c_sum compute_cost) +. (beta *. norm n_sum network_cost)
         in
-        { Select.candidate; compute_cost; network_cost; total }
-      | None -> assert false)
+        { Select.candidate; compute_cost; network_cost; total })
+  in
+  match starts with
+  | Top_k k when k < v ->
+    (* Pruned path: rank starts by the O(V) proxy score and expand the
+       best k sequentially (k is small; the parallel sweep's hand-off
+       would dominate). NL reads stay in factored form unless a
+       materialized matrix already exists — never force O(V²) here. *)
+    validate_cl ~ids ~cl;
+    let pair_nl =
+      let read =
+        match Network_load.nl_cached net with
+        | Some m -> fun a b -> Matrix.get m a b
+        | None ->
+          let r = Network_load.raw net in
+          fun a b -> Network_load.raw_get r a b
+      in
+      fun a b ->
+        let x = read a b in
+        if not (Float.is_finite x) then
+          invalid_arg
+            (Printf.sprintf
+               "Dense_alloc.scored_all: non-finite NL for pair (%d, %d)"
+               ids.(a) ids.(b));
+        x
+    in
+    let deg = Network_load.dense_degrees net in
+    Array.iteri
+      (fun i d ->
+        if not (Float.is_finite d) then
+          invalid_arg
+            (Printf.sprintf
+               "Dense_alloc.scored_all: non-finite NL degree for node %d"
+               ids.(i)))
+      deg;
+    let score = Array.init v (fun i -> alpha_cl.(i) +. (beta *. deg.(i))) in
+    let order = Array.init v (fun i -> i) in
+    Array.sort
+      (fun a b ->
+        let c = Float.compare score.(a) score.(b) in
+        if c <> 0 then c else compare a b)
+      order;
+    let picked = Array.sub order 0 k in
+    Array.sort compare picked;
+    let fill_costs cost s =
+      for i = 0 to v - 1 do
+        cost.(i) <- alpha_cl.(i) +. (beta *. pair_nl s i)
+      done
+    in
+    let scratch = make_scratch v in
+    let results =
+      Array.map (fun s -> one_start ~fill_costs ~pair_nl scratch s) picked
+    in
+    Telemetry.Metrics.incr m_pruned_starts;
+    finalize results
+  | All | Top_k _ ->
+    (* Exhaustive sweep (Top_k k >= v degenerates to it). *)
+    let nl = Network_load.nl_matrix net in
+    validate_cl ~ids ~cl;
+    validate_nl ~ids ~nl;
+    let fill_costs cost s =
+      for i = 0 to v - 1 do
+        cost.(i) <- alpha_cl.(i) +. (beta *. Matrix.get nl s i)
+      done
+    in
+    let pair_nl a b = Matrix.get nl a b in
+    let nd =
+      let requested =
+        match ndomains with
+        | Some n -> n
+        | None -> Domain_pool.default_domains ()
+      in
+      domains_for ~v ~requested
+    in
+    let raw = Array.make v None in
+    if nd = 1 then begin
+      let scratch = make_scratch v in
+      for s = 0 to v - 1 do
+        raw.(s) <- Some (one_start ~fill_costs ~pair_nl scratch s)
+      done
+    end
+    else begin
+      (* Contiguous chunks keep each worker's NL row reads streaming and
+         make the output slots worker-disjoint. The pool silently clamps
+         oversized requests ([Domain_pool.max_workers]), so the chunk
+         size must come from the pool's actual worker count — chunking
+         over the requested [nd] would leave every start beyond
+         [size * chunk] uncomputed. *)
+      let pool = Domain_pool.get nd in
+      let nd = Domain_pool.size pool in
+      let chunk = (v + nd - 1) / nd in
+      Domain_pool.run pool (fun w ->
+          let lo = w * chunk in
+          let hi = min v (lo + chunk) in
+          if lo < hi then begin
+            let scratch = make_scratch v in
+            for s = lo to hi - 1 do
+              raw.(s) <- Some (one_start ~fill_costs ~pair_nl scratch s)
+            done
+          end)
+    end;
+    finalize
+      (Array.init v (fun s ->
+           match raw.(s) with Some r -> r | None -> assert false))
 
-let best ?ndomains ~loads ~net ~capacity ~request () =
-  Select.best_scored (scored_all ?ndomains ~loads ~net ~capacity ~request ())
+let best ?ndomains ?starts ~loads ~net ~capacity ~request () =
+  Select.best_scored (scored_all ?ndomains ?starts ~loads ~net ~capacity ~request ())

@@ -16,14 +16,60 @@
     parallel across OCaml domains: contiguous chunks of starts run on a
     reusable {!Domain_pool}, each worker with private scratch buffers,
     and per-start results merge in ascending start order — output is
-    bit-identical for every domain count.
+    bit-identical for every domain count. Below {!par_v_threshold}
+    usable nodes the sweep always runs sequentially (the pool hand-off
+    costs more than the sweep itself at small V).
+
+    [~starts:(Top_k k)] additionally prunes the start sweep: candidate
+    starts are ranked by a cheap O(V) α·CL + β·mean-NL-degree proxy and
+    only the best [k] expand (sequentially — k is small). Each
+    surviving candidate's raw Eq. 4 costs are bit-identical to its
+    exhaustive counterpart; only the per-candidate-set normalization
+    sees fewer candidates, so the chosen start can differ — the qcheck
+    regret property in test_core.ml bounds how much. The pruned path
+    reads NL in factored form and never materializes the O(V²) matrix.
 
     The naive pipeline is retained as the reference implementation;
     qcheck properties in test_core.ml assert equivalence across random
     snapshots, weights and requests, and across ndomains ∈ {1, 2, 4}. *)
 
+type starts =
+  | All  (** exhaustive sweep: every usable node starts a candidate *)
+  | Top_k of int
+      (** expand only the [k] best starts by the O(V) proxy score;
+          [k >= V] degenerates to [All] *)
+
+val parse_starts : string -> (starts, string) result
+(** ["all"] (case-insensitive) or a positive integer. *)
+
+val starts_label : starts -> string
+(** ["all"] or the candidate count — stable, parseable by
+    {!parse_starts}; used in bench baseline keys and CLI printers. *)
+
+val default_starts : unit -> starts
+(** Process-wide default start mode, initialized from the
+    [RM_ALLOC_STARTS] environment variable ([All] when unset or
+    unparseable) and overridable via {!set_default_starts} (the
+    [--starts] CLI knob). *)
+
+val set_default_starts : starts -> unit
+(** Raises [Invalid_argument] for [Top_k k] with [k < 1]. *)
+
+val par_v_threshold : int
+(** Usable-node count below which the start sweep ignores [ndomains]
+    and runs sequentially — at small V the domain-pool hand-off costs
+    more than the whole sweep (dense-par4 measured slower than
+    dense-warm at V=60). *)
+
+val domains_for : v:int -> requested:int -> int
+(** The worker count the exhaustive sweep will actually use for [v]
+    usable nodes: 1 below {!par_v_threshold}, else [min requested v]
+    (the pool may clamp further). Raises [Invalid_argument] when
+    [requested < 1]. Exposed so tests can pin the fallback. *)
+
 val scored_all :
   ?ndomains:int ->
+  ?starts:starts ->
   loads:Compute_load.t ->
   net:Network_load.t ->
   capacity:(int -> int) ->
@@ -33,15 +79,19 @@ val scored_all :
 (** [loads] and [net] must come from the same snapshot (their usable
     sets must coincide). [ndomains] defaults to
     {!Domain_pool.default_domains} (the [RM_ALLOC_DOMAINS] /
-    [--domains] knob) and is capped at the number of usable nodes.
-    Raises [Invalid_argument] when no node is usable, the models
-    disagree, [ndomains < 1], the request's process count is not
-    positive, or any CL/NL model value is non-finite (a NaN cost would
-    silently corrupt the heap order and diverge from the naive
-    compare-based sort). *)
+    [--domains] knob) and is capped at the number of usable nodes;
+    it only applies to the exhaustive path ({!domains_for}).
+    [starts] defaults to {!default_starts}; with [Top_k k < V] the
+    result lists only the [k] expanded candidates (still in ascending
+    start-id order). Raises [Invalid_argument] when no node is usable,
+    the models disagree, [ndomains < 1], [Top_k k < 1], the request's
+    process count is not positive, or any CL/NL model value consulted
+    is non-finite (a NaN cost would silently corrupt the heap order
+    and diverge from the naive compare-based sort). *)
 
 val best :
   ?ndomains:int ->
+  ?starts:starts ->
   loads:Compute_load.t ->
   net:Network_load.t ->
   capacity:(int -> int) ->

@@ -54,24 +54,37 @@ let group_network_load net a b =
   end
   else mean_cross_pairs net a.members b.members
 
-(* Memoized group-pair network loads: the V^2-sized averaging happens
-   once, after which the group-level algorithm touches only G^2 values. *)
+(* Memoized group-pair network loads: the V²-sized averaging happens
+   once, after which the group-level algorithm touches only G² values.
+   The averaging itself is one factored O(V²) pass
+   (Network_load.block_mean_table) rather than G² hashtable-indexed
+   pair walks — at V=16384 the walk through Network_load.get was the
+   dominant cost of a hierarchical allocation, and the factored pass
+   also never materializes the NL matrix. *)
 let group_nl_table net all_groups =
   let arr = Array.of_list all_groups in
   let g = Array.length arr in
-  let table = Hashtbl.create (g * g) in
-  Array.iter
-    (fun a ->
-      Array.iter
-        (fun b ->
-          if a.switch <= b.switch then
-            Hashtbl.replace table (a.switch, b.switch)
-              (group_network_load net a b))
-        arr)
+  let block_of_switch = Hashtbl.create g in
+  Array.iteri (fun i grp -> Hashtbl.replace block_of_switch grp.switch i) arr;
+  let block_of_node = Hashtbl.create 64 in
+  Array.iteri
+    (fun i grp ->
+      List.iter (fun n -> Hashtbl.replace block_of_node n i) grp.members)
     arr;
+  let block_of_dense =
+    Array.of_list
+      (List.map
+         (fun n -> Option.value (Hashtbl.find_opt block_of_node n) ~default:(-1))
+         (Network_load.usable net))
+  in
+  let means = Network_load.block_mean_table net ~block_of_dense ~nblocks:g in
   fun a b ->
-    let key = (min a.switch b.switch, max a.switch b.switch) in
-    Option.value (Hashtbl.find_opt table key) ~default:0.0
+    match
+      ( Hashtbl.find_opt block_of_switch a.switch,
+        Hashtbl.find_opt block_of_switch b.switch )
+    with
+    | Some ba, Some bb -> means.((min ba bb * g) + max ba bb)
+    | _ -> 0.0
 
 (* Group-level Algorithm 1: greedy accretion of groups from a starting
    group, ranked by alpha * mean CL + beta * inter-group NL. *)
@@ -114,7 +127,8 @@ let group_score ~gnl ~request selected =
   in
   (alpha *. compute) +. (beta *. network)
 
-let allocate ?(dense = true) ?ndomains ~snapshot ~weights ~request () =
+let allocate ?(dense = true) ?ndomains ?starts ?(policy_label = "hierarchical")
+    ~snapshot ~weights ~request () =
   let models = if dense then Some (Model_cache.get snapshot ~weights) else None in
   let loads =
     match models with
@@ -145,7 +159,8 @@ let allocate ?(dense = true) ?ndomains ~snapshot ~weights ~request () =
       let loads = Compute_load.of_snapshot restricted ~weights in
       let net = Network_load.of_snapshot restricted ~weights in
       let best =
-        if dense then Dense_alloc.best ?ndomains ~loads ~net ~capacity ~request ()
+        if dense then
+          Dense_alloc.best ?ndomains ?starts ~loads ~net ~capacity ~request ()
         else
           let candidates =
             Candidate.generate_all ~loads ~net ~capacity ~request
@@ -153,7 +168,7 @@ let allocate ?(dense = true) ?ndomains ~snapshot ~weights ~request () =
           Select.best ~candidates ~loads ~net ~request
       in
       Ok
-        (Allocation.make ~policy:"hierarchical"
+        (Allocation.make ~policy:policy_label
            ~entries:
              (List.map
                 (fun (node, procs) -> { Allocation.node; procs })

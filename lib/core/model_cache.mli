@@ -17,12 +17,40 @@ val get : Rm_monitor.Snapshot.t -> weights:Weights.t -> t
     pairs are retained). The models are pure in (snapshot, weights), so
     a hit is observably identical to rebuilding. *)
 
+val get_derived :
+  Rm_monitor.Snapshot.t ->
+  prev:Rm_monitor.Snapshot.t ->
+  touched:int list ->
+  weights:Weights.t ->
+  t
+(** Like [get], but on a miss tries to patch the cached bundle for
+    [prev] (same weights, forced network model) via {!Nl_delta.derive}
+    with the given touched node ids — O(touched·V) instead of the
+    O(V²) rebuild — before falling back to a full build. On a
+    successful patch the predecessor's slot is evicted (its network
+    model was consumed in place) and the new bundle carries the
+    patched model plus compute-load/procs for [snapshot] — the
+    predecessor's own models when [snapshot] shares its [nodes] and
+    [live] arrays physically (they are pure functions of those plus
+    weights, so the reuse is exact), fresh lazies otherwise.
+    Counted as a miss either way; a hit behaves exactly like [get]. *)
+
+val prime_derived :
+  Rm_monitor.Snapshot.t -> prev:Rm_monitor.Snapshot.t -> weights:Weights.t -> unit
+(** Opportunistic warm-up for a monitor tick: when [snapshot] is not
+    yet cached but [prev]'s bundle is (with its network model already
+    forced), diff the readings ({!Nl_delta.touched_of}) and patch
+    forward. A no-op when [snapshot == prev], the usable set changed,
+    or there is nothing to patch from — never slower than the rebuild
+    the next [get] would do anyway. *)
+
 val loads : t -> Compute_load.t
 val net : t -> Network_load.t
 val pc : t -> Effective_procs.t
 
 val hits : unit -> int
-(** Process-wide hit counter (monotone; compare deltas in tests). *)
+(** Process-wide hit counter (monotone; compare deltas in tests).
+    Atomic: safe to read/bump across domains. *)
 
 val misses : unit -> int
 

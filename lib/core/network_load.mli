@@ -9,7 +9,16 @@
     normalization an NL entry is ~V× smaller than a CL entry (V² pairs
     vs V nodes), which would make Algorithm 1's addition cost
     effectively network-blind; NL is therefore rescaled by the usable
-    node count so α/β weight commensurate quantities. *)
+    node count so α/β weight commensurate quantities.
+
+    The model is stored in factored form — raw latency / bandwidth-
+    complement matrices plus per-row sums and normalization totals — so
+    reads never require the O(V²) NL matrix to exist. [nl_matrix]
+    materializes it on demand (and caches it); [raw]/[raw_get] read the
+    same values without materializing, bit-equal to materialized
+    entries. [apply_delta] patches the factored form in place when only
+    a few monitor rows changed ({!Nl_delta} is the validating
+    front-end). *)
 
 type t
 
@@ -17,7 +26,8 @@ val of_snapshot : Rm_monitor.Snapshot.t -> weights:Weights.t -> t
 
 val get : t -> u:int -> v:int -> float
 (** Symmetric; 0 when [u = v]. Raises [Invalid_argument] when either
-    node is not usable. *)
+    node is not usable. Reads the factored form — never materializes
+    the NL matrix. *)
 
 val total_edges : t -> nodes:int list -> float
 (** Σ NL over all unordered pairs inside the node set — the N_{G_v}
@@ -30,6 +40,9 @@ val mean_edges : t -> nodes:int list -> float
 
 val usable : t -> int list
 
+val weights : t -> Weights.t
+(** The structural weights this model was built with. *)
+
 (** {2 Dense views} — for the allocator fast path ({!Dense_alloc}).
     Dense index [i] is the [i]-th usable node in ascending-id order,
     matching [Compute_load.dense_ids] for the same snapshot. *)
@@ -38,13 +51,84 @@ val dense_index : t -> node:int -> int
 (** Raises [Invalid_argument] when the node is not usable. *)
 
 val nl_matrix : t -> Rm_stats.Matrix.t
-(** The NL matrix over dense indices (0 on the diagonal). Read-only:
+(** The NL matrix over dense indices (0 on the diagonal), materialized
+    on first call and cached until the next [apply_delta]. Read-only:
     callers must never mutate it in place, even though [Matrix.set]
     and friends are public. {!Dense_alloc} memoizes its non-finite
     validation per physical matrix on the strength of this invariant
     — an in-place write would silently bypass the NaN check (and the
     model cache shares one matrix across every caller scoring the same
     snapshot). *)
+
+val nl_cached : t -> Rm_stats.Matrix.t option
+(** The materialized NL matrix if a caller already paid for it,
+    without forcing materialization. *)
+
+type raw = private {
+  r_lat : Rm_stats.Matrix.t;
+  r_bw_comp : Rm_stats.Matrix.t;
+  r_lat_sum : float;
+  r_bw_sum : float;
+  r_scale : float;
+  r_w_lt : float;
+  r_w_bw : float;
+}
+(** Factored-form read handle: the normalization state captured at
+    [raw] time. Valid until the next [apply_delta] on the source model
+    (the matrices are shared, not copied). *)
+
+val raw : t -> raw
+
+val raw_get : raw -> int -> int -> float
+(** [raw_get r i j] over dense indices — bit-equal to
+    [Matrix.get (nl_matrix t) i j] for the same model state. *)
+
+val dense_degrees : t -> float array
+(** Per-dense-index mean NL to every other usable node, computed from
+    the factored row sums in O(V). Used to rank candidate start nodes
+    cheaply ({!Dense_alloc} pruned starts). *)
+
+val block_mean_table :
+  t -> block_of_dense:int array -> nblocks:int -> float array
+(** [block_mean_table t ~block_of_dense ~nblocks] groups dense indices
+    into blocks ([block_of_dense.(i) = -1] excludes index [i]) and
+    returns a [nblocks × nblocks] row-major table whose cell
+    [(min a b) * nblocks + max a b] is the mean NL over unordered
+    dense pairs spanning blocks [a] and [b] (diagonal cells: pairs
+    within a block; cells with no pairs are 0). One O(V²) factored
+    pass, cached per model instance until the block map, [nblocks], or
+    the underlying model changes. Cells with [a > b] are unspecified. *)
+
+(** {2 Incremental maintenance} — used via {!Nl_delta}. *)
+
+val apply_delta :
+  t ->
+  next:Rm_monitor.Snapshot.t ->
+  touched_dense:int list ->
+  renorm_threshold:float ->
+  bool
+(** Patch the model in place so it describes [next], assuming the
+    usable-node set is unchanged and only the given dense rows (and
+    their symmetric columns) differ — {!Nl_delta.derive} validates
+    both. Touched rows are rewritten and their sums recomputed
+    exactly; untouched row sums are adjusted incrementally (± the
+    entry deltas). When the rows touched since the last exact pass
+    exceed [renorm_threshold × V], every row sum is recomputed exactly
+    — at that point the model is bit-identical to
+    [of_snapshot next ~weights]; between renormalizations the
+    incremental adjustments can drift by a few ulps (≲1e-9 relative).
+    [renorm_threshold = 0.0] renormalizes on every call. Invalidates
+    any materialized NL matrix, outstanding [raw] handles, and the
+    block-mean cache. Returns whether a renormalization ran. *)
+
+val changed_rows : t -> next:Rm_monitor.Snapshot.t -> int list
+(** A small set of dense row indices (ascending) covering every raw
+    latency / bandwidth-complement entry that differs between the model
+    and [next], assuming the same usable set — i.e. the nodes whose
+    readings changed, not every row brushed by their symmetric columns
+    (greedy vertex cover of the diff graph; exact for the
+    union-of-stars structure real monitor deltas have). O(V²) plus
+    O(V) per covered row. *)
 
 (** {2 Raw terms (for Table 4 and diagnostics)} *)
 

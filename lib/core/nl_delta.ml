@@ -1,0 +1,73 @@
+(* Incremental NL maintenance — the validating front-end over
+   Network_load.apply_delta.
+
+   A monitor tick usually changes a handful of node readings, but the
+   NL model is O(V²) to rebuild. When a new snapshot derives from a
+   model we already hold and the usable set is unchanged, patching the
+   touched rows (and their symmetric columns) in place is O(t·V)
+   instead. This module owns the safety checks: weights must match,
+   node up/down transitions must invalidate rather than patch, and a
+   patch that would touch more than half the rows falls back to a full
+   rebuild (the rebuild is cheaper and drift-free).
+
+   derive CONSUMES its [prev] model: on success the returned model is
+   the same mutated record, so the caller must drop every other
+   reference to it (Model_cache.get_derived evicts the source slot for
+   exactly this reason). *)
+
+module Snapshot = Rm_monitor.Snapshot
+module Telemetry = Rm_telemetry
+
+let m_applied = Telemetry.Metrics.counter "core.nl.delta_applied"
+let m_invalidated = Telemetry.Metrics.counter "core.nl.delta_invalidated"
+let m_renormalized = Telemetry.Metrics.counter "core.nl.delta_renormalized"
+let m_rows = Telemetry.Metrics.counter "core.nl.delta_rows"
+
+let default_renorm_threshold = 0.25
+
+let touched_of ~prev ~next =
+  if Network_load.usable prev <> Snapshot.usable next then None
+  else begin
+    let ids = Array.of_list (Network_load.usable prev) in
+    Some (List.map (fun i -> ids.(i)) (Network_load.changed_rows prev ~next))
+  end
+
+let derive ?(renorm_threshold = default_renorm_threshold) ~next ~weights
+    ~touched prev =
+  if
+    Network_load.weights prev <> weights
+    || Network_load.usable prev <> Snapshot.usable next
+  then begin
+    Telemetry.Metrics.incr m_invalidated;
+    None
+  end
+  else begin
+    let k = List.length (Network_load.usable prev) in
+    let touched_dense =
+      List.filter_map
+        (fun node ->
+          match Network_load.dense_index prev ~node with
+          | i -> Some i
+          | exception Invalid_argument _ -> None)
+        touched
+      |> List.sort_uniq compare
+    in
+    let nt = List.length touched_dense in
+    if nt = 0 then Some prev
+    else if 2 * nt > k then begin
+      (* Patching rewrites touched rows and scans every untouched row
+         once per touched column; past half the rows a full rebuild
+         does strictly less work and resets drift. *)
+      Telemetry.Metrics.incr m_invalidated;
+      None
+    end
+    else begin
+      let renormed =
+        Network_load.apply_delta prev ~next ~touched_dense ~renorm_threshold
+      in
+      Telemetry.Metrics.incr m_applied;
+      Telemetry.Metrics.add m_rows (float_of_int nt);
+      if renormed then Telemetry.Metrics.incr m_renormalized;
+      Some prev
+    end
+  end

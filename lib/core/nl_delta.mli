@@ -1,0 +1,45 @@
+(** Incremental NL-model maintenance.
+
+    When a snapshot derives from a cached predecessor with the same
+    usable-node set, [derive] patches the predecessor's
+    {!Network_load.t} in place — O(touched·V) instead of the O(V²)
+    rebuild — and validates everything that must force a rebuild
+    instead: weight changes, node up/down transitions (membership
+    change), and deltas so wide a rebuild is cheaper.
+
+    Counters (see docs/OBSERVABILITY.md): [core.nl.delta_applied],
+    [core.nl.delta_invalidated], [core.nl.delta_renormalized],
+    [core.nl.delta_rows]. *)
+
+val default_renorm_threshold : float
+(** 0.25 — fraction of rows patched since the last exact pass above
+    which {!Network_load.apply_delta} renormalizes every row sum
+    exactly (restoring bit-identity with a from-scratch build). *)
+
+val derive :
+  ?renorm_threshold:float ->
+  next:Rm_monitor.Snapshot.t ->
+  weights:Weights.t ->
+  touched:int list ->
+  Network_load.t ->
+  Network_load.t option
+(** [derive ~next ~weights ~touched prev] patches [prev] so it
+    describes [next], given that only the nodes in [touched] (node
+    ids; non-usable ids are ignored, duplicates deduped) changed their
+    latency/bandwidth readings. Returns [None] — rebuild from scratch
+    — when [weights] differ from [prev]'s, the usable sets differ
+    (node up/down must invalidate, never patch), or more than half the
+    rows are touched. An empty effective delta returns [prev]
+    untouched.
+
+    On success the result IS [prev], mutated in place: the caller must
+    treat [prev] as consumed and drop any other handle to it
+    (materialized NL matrices and {!Network_load.raw} handles from
+    before the call are stale). *)
+
+val touched_of :
+  prev:Network_load.t -> next:Rm_monitor.Snapshot.t -> int list option
+(** Node ids whose readings differ between the model and [next]
+    ({!Network_load.changed_rows} — a cover of the differing entries,
+    not every row their symmetric columns brush), or [None] when the
+    usable sets differ (membership change). O(V²). *)

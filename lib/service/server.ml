@@ -256,11 +256,19 @@ let create config =
 
 (* Advance virtual time one tick and recapture. Caller holds state_mutex. *)
 let refresh_snapshot_locked t ~wall =
+  let prev = t.snapshot in
   t.virtual_time <- t.virtual_time +. t.config.virtual_tick_s;
   Sim.run_until t.sim t.virtual_time;
   World.advance t.world ~now:t.virtual_time;
   t.snapshot <- System.snapshot t.monitor ~time:t.virtual_time;
   t.snapshot_taken_at <- wall;
+  (* If the previous tick's network model is cached and the usable set
+     held, patch it forward to the new snapshot (O(touched·V)) instead
+     of letting the next decision rebuild O(V²) from scratch. The
+     no-batch control mode takes per-request snapshots on purpose and
+     never primes. *)
+  Rm_core.Model_cache.prime_derived t.snapshot ~prev
+    ~weights:t.config.broker.Broker.weights;
   Metrics.incr m_snapshots
 
 let serve_batch t batch =

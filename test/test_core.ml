@@ -24,6 +24,7 @@ module Broker = Rm_core.Broker
 module Dense_alloc = Rm_core.Dense_alloc
 module Model_cache = Rm_core.Model_cache
 module Domain_pool = Rm_core.Domain_pool
+module Nl_delta = Rm_core.Nl_delta
 
 let check_float = Alcotest.(check (float 1e-9))
 let flat v : Running_means.view = { instant = v; m1 = v; m5 = v; m15 = v }
@@ -887,6 +888,33 @@ let prop_dense_scored_table_bit_identical =
              && Float.equal d.Select.total s.Select.total)
            dense naive)
 
+(* Like [random_fixture] but at a caller-chosen node count: the
+   parallel-sweep properties need V >= Dense_alloc.par_v_threshold or
+   the sequential fallback silently stops exercising the domain pool.
+   Degradations are sparser (the pair count is quadratic in n). *)
+let sized_random_fixture rng n =
+  let nswitches = 1 + Rng.int rng 4 in
+  let switches = Array.init n (fun i -> i mod nswitches) in
+  let specs =
+    List.init n (fun _ ->
+        ( (if Rng.bool rng then 8 else 12),
+          Rng.uniform rng ~lo:0.0 ~hi:8.0 ))
+  in
+  let snap = fixture ~switches specs in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Rng.bernoulli rng ~p:0.05 then begin
+        let bw = Rng.uniform rng ~lo:5.0 ~hi:118.0 in
+        let lat = Rng.uniform rng ~lo:70.0 ~hi:500.0 in
+        Matrix.set snap.Snapshot.bw_mb_s i j bw;
+        Matrix.set snap.Snapshot.bw_mb_s j i bw;
+        Matrix.set snap.Snapshot.lat_us i j lat;
+        Matrix.set snap.Snapshot.lat_us j i lat
+      end
+    done
+  done;
+  snap
+
 (* The parallel sweep must not merely agree with the sequential one in
    which allocation wins — the whole scored table must be bit-identical
    for every domain count, or a tie could break differently depending
@@ -894,11 +922,14 @@ let prop_dense_scored_table_bit_identical =
 let prop_dense_parallel_bit_identical =
   QCheck.Test.make
     ~name:"parallel scored_all is bit-identical for ndomains in {1, 2, 4}"
-    ~count:120
+    ~count:25
     (QCheck.make QCheck.Gen.(int_bound 1_000_000))
     (fun seed ->
       let rng = Rng.create seed in
-      let snap = random_fixture rng in
+      let snap =
+        sized_random_fixture rng
+          (Dense_alloc.par_v_threshold + Rng.int rng 16)
+      in
       let request = random_request rng in
       let weights =
         match Rng.int rng 4 with
@@ -933,9 +964,10 @@ let prop_dense_parallel_bit_identical =
    [max_workers * chunk] was never computed and the merge died with
    Assert_failure (reachable via `bench scale --domains 20` or any
    Policies.allocate ~ndomains). Needs V > max_workers: smaller V
-   clamps ndomains to V before the pool is involved. *)
+   clamps ndomains to V before the pool is involved — and now also
+   V >= par_v_threshold, or the sequential fallback skips the pool. *)
 let test_dense_parallel_oversized_ndomains () =
-  let n = Domain_pool.max_workers + 4 in
+  let n = max Dense_alloc.par_v_threshold Domain_pool.max_workers + 4 in
   let snap = fixture (List.init n (fun i -> (8, float_of_int (i mod 5)))) in
   let cl = Compute_load.of_snapshot snap ~weights in
   let nl = Network_load.of_snapshot snap ~weights in
@@ -1054,6 +1086,549 @@ let test_model_cache_models_match_direct_build () =
        (Effective_procs.of_snapshot snap ~loads:direct_cl))
     (Effective_procs.to_list (Model_cache.pc b))
 
+(* --- Network_load factored form ---------------------------------------------- *)
+
+let test_nl_raw_matches_matrix () =
+  let rng = Rng.create 11 in
+  let snap = random_fixture rng in
+  let net = Network_load.of_snapshot snap ~weights in
+  let r = Network_load.raw net in
+  let m = Network_load.nl_matrix net in
+  let v = List.length (Network_load.usable net) in
+  for i = 0 to v - 1 do
+    for j = 0 to v - 1 do
+      if not (Float.equal (Network_load.raw_get r i j) (Matrix.get m i j))
+      then
+        Alcotest.failf "raw_get (%d,%d) not bit-equal to the NL matrix" i j
+    done
+  done
+
+let test_nl_dense_degrees_match_brute_force () =
+  let rng = Rng.create 23 in
+  let snap = random_fixture rng in
+  let net = Network_load.of_snapshot snap ~weights in
+  let ids = Array.of_list (Network_load.usable net) in
+  let v = Array.length ids in
+  let deg = Network_load.dense_degrees net in
+  Alcotest.(check int) "one degree per usable node" v (Array.length deg);
+  for i = 0 to v - 1 do
+    let sum = ref 0.0 in
+    for j = 0 to v - 1 do
+      if j <> i then
+        sum := !sum +. Network_load.get net ~u:ids.(i) ~v:ids.(j)
+    done;
+    let expect = if v <= 1 then 0.0 else !sum /. float_of_int (v - 1) in
+    check_float (Printf.sprintf "degree of dense %d" i) expect deg.(i)
+  done
+
+let test_nl_block_mean_table_matches_brute_force () =
+  let rng = Rng.create 37 in
+  let snap = random_fixture rng in
+  let net = Network_load.of_snapshot snap ~weights in
+  let ids = Array.of_list (Network_load.usable net) in
+  let v = Array.length ids in
+  let nblocks = 3 in
+  (* Every fourth node is excluded (-1) to exercise the skip path. *)
+  let block_of_dense =
+    Array.init v (fun i -> if i mod 4 = 3 then -1 else i mod nblocks)
+  in
+  let table = Network_load.block_mean_table net ~block_of_dense ~nblocks in
+  for a = 0 to nblocks - 1 do
+    for b = a to nblocks - 1 do
+      let sum = ref 0.0 and count = ref 0 in
+      for i = 0 to v - 1 do
+        for j = i + 1 to v - 1 do
+          let ba = block_of_dense.(i) and bb = block_of_dense.(j) in
+          if ba >= 0 && bb >= 0 && min ba bb = a && max ba bb = b then begin
+            sum := !sum +. Network_load.get net ~u:ids.(i) ~v:ids.(j);
+            incr count
+          end
+        done
+      done;
+      let expect =
+        if !count = 0 then 0.0 else !sum /. float_of_int !count
+      in
+      check_float
+        (Printf.sprintf "block pair (%d,%d)" a b)
+        expect
+        table.((a * nblocks) + b)
+    done
+  done
+
+(* --- Incremental NL maintenance (Nl_delta) ------------------------------------ *)
+
+(* A successor snapshot: copy the link matrices, redraw the rows and
+   symmetric columns of [touched] (node ids; all-live fixtures make
+   node id = dense index), bump the time so the record is new. *)
+let perturbed_snapshot rng (snap : Snapshot.t) touched =
+  let bw = Matrix.copy snap.Snapshot.bw_mb_s in
+  let lat = Matrix.copy snap.Snapshot.lat_us in
+  let n = List.length snap.Snapshot.live in
+  List.iter
+    (fun i ->
+      for j = 0 to n - 1 do
+        if j <> i then begin
+          let b = Rng.uniform rng ~lo:5.0 ~hi:118.0 in
+          let l = Rng.uniform rng ~lo:70.0 ~hi:500.0 in
+          Matrix.set bw i j b;
+          Matrix.set bw j i b;
+          Matrix.set lat i j l;
+          Matrix.set lat j i l
+        end
+      done)
+    touched;
+  {
+    snap with
+    Snapshot.time = snap.Snapshot.time +. 0.01;
+    bw_mb_s = bw;
+    lat_us = lat;
+  }
+
+let random_touched rng n =
+  let nt = 1 + Rng.int rng (max 1 (n / 3)) in
+  List.sort_uniq compare (List.init nt (fun _ -> Rng.int rng n))
+
+(* Chained derives with renorm_threshold 0 must stay bit-identical to
+   a from-scratch build after every step — the acceptance bar for the
+   incremental path. *)
+let prop_nl_delta_exact_renorm_bit_identical =
+  QCheck.Test.make
+    ~name:"derive with renorm_threshold 0 is bit-identical to rebuild"
+    ~count:60
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Rng.create seed in
+      let snap0 = random_fixture rng in
+      let n = List.length snap0.Snapshot.live in
+      let net = ref (Network_load.of_snapshot snap0 ~weights) in
+      let snap = ref snap0 in
+      let ok = ref true in
+      for _ = 1 to 1 + Rng.int rng 4 do
+        let touched = random_touched rng n in
+        let next = perturbed_snapshot rng !snap touched in
+        (match
+           Nl_delta.derive ~renorm_threshold:0.0 ~next ~weights ~touched !net
+         with
+        | None ->
+          (* Wide delta (2·|touched| > V): rebuild and keep chaining. *)
+          net := Network_load.of_snapshot next ~weights
+        | Some patched ->
+          net := patched;
+          let rebuilt = Network_load.of_snapshot next ~weights in
+          let m1 = Network_load.nl_matrix patched in
+          let m2 = Network_load.nl_matrix rebuilt in
+          for i = 0 to n - 1 do
+            for j = 0 to n - 1 do
+              if not (Float.equal (Matrix.get m1 i j) (Matrix.get m2 i j))
+              then ok := false
+            done
+          done);
+        snap := next
+      done;
+      !ok)
+
+(* At the default threshold the incremental row-sum adjustments may
+   drift between exact passes — but only by ulps (≲1e-9 relative). *)
+let prop_nl_delta_default_threshold_drift_bounded =
+  QCheck.Test.make
+    ~name:"derive at the default threshold drifts at most 1e-9 relative"
+    ~count:60
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Rng.create seed in
+      let snap0 = random_fixture rng in
+      let n = List.length snap0.Snapshot.live in
+      let net = ref (Network_load.of_snapshot snap0 ~weights) in
+      let snap = ref snap0 in
+      let ok = ref true in
+      for _ = 1 to 2 + Rng.int rng 6 do
+        let touched = random_touched rng n in
+        let next = perturbed_snapshot rng !snap touched in
+        (match Nl_delta.derive ~next ~weights ~touched !net with
+        | None -> net := Network_load.of_snapshot next ~weights
+        | Some patched ->
+          net := patched;
+          let rebuilt = Network_load.of_snapshot next ~weights in
+          let m1 = Network_load.nl_matrix patched in
+          let m2 = Network_load.nl_matrix rebuilt in
+          for i = 0 to n - 1 do
+            for j = 0 to n - 1 do
+              let a = Matrix.get m1 i j and b = Matrix.get m2 i j in
+              if
+                Float.abs (a -. b)
+                > 1e-9 *. Float.max 1.0 (Float.abs b)
+              then ok := false
+            done
+          done);
+        snap := next
+      done;
+      !ok)
+
+let test_nl_delta_touched_of_recovers_changed_nodes () =
+  let rng = Rng.create 3 in
+  let snap =
+    fixture [ (8, 1.0); (8, 2.0); (8, 0.5); (12, 3.0); (8, 4.0); (8, 0.0) ]
+  in
+  let net = Network_load.of_snapshot snap ~weights in
+  let next = perturbed_snapshot rng snap [ 1; 4 ] in
+  match Nl_delta.touched_of ~prev:net ~next with
+  | Some l ->
+    (* The changed nodes themselves — not every row their symmetric
+       columns brush (that would be all of them). *)
+    Alcotest.(check (list int)) "changed nodes recovered" [ 1; 4 ] l
+  | None -> Alcotest.fail "usable sets match, expected Some"
+
+let test_nl_delta_membership_change_invalidates () =
+  let rng = Rng.create 5 in
+  let snap = fixture [ (8, 1.0); (8, 2.0); (8, 0.5); (12, 3.0) ] in
+  let net = Network_load.of_snapshot snap ~weights in
+  let next = Snapshot.restrict snap ~exclude:[ 2 ] in
+  (match Nl_delta.touched_of ~prev:net ~next with
+  | None -> ()
+  | Some _ -> Alcotest.fail "node-down must invalidate touched_of");
+  (match Nl_delta.derive ~next ~weights ~touched:[ 0 ] net with
+  | None -> ()
+  | Some _ -> Alcotest.fail "node-down must invalidate derive");
+  (* Same membership but different weights: never patch. *)
+  let next_w = perturbed_snapshot rng snap [ 0 ] in
+  match
+    Nl_delta.derive ~next:next_w ~weights:Weights.network_intensive
+      ~touched:[ 0 ] net
+  with
+  | None -> ()
+  | Some _ -> Alcotest.fail "weight change must invalidate derive"
+
+let test_nl_delta_wide_delta_invalidates () =
+  let rng = Rng.create 7 in
+  let snap = fixture [ (8, 1.0); (8, 2.0); (8, 0.5); (12, 3.0) ] in
+  let net = Network_load.of_snapshot snap ~weights in
+  let next = perturbed_snapshot rng snap [ 0; 1; 2; 3 ] in
+  match Nl_delta.derive ~next ~weights ~touched:[ 0; 1; 2; 3 ] net with
+  | None -> ()
+  | Some _ ->
+    Alcotest.fail "touching more than half the rows must force a rebuild"
+
+(* --- Model cache: derived bundles and Domain-safe counters -------------------- *)
+
+let test_model_cache_get_derived_patches_forward () =
+  let rng = Rng.create 17 in
+  let snap =
+    fixture [ (8, 1.0); (8, 2.0); (8, 0.5); (12, 3.0); (8, 4.0); (8, 0.0) ]
+  in
+  Model_cache.clear ();
+  let b0 = Model_cache.get snap ~weights in
+  let net0 = Model_cache.net b0 in
+  let touched = [ 1; 3 ] in
+  let next = perturbed_snapshot rng snap touched in
+  let m0 = Model_cache.misses () in
+  let b1 = Model_cache.get_derived next ~prev:snap ~touched ~weights in
+  Alcotest.(check int) "derived counts as a miss" (m0 + 1)
+    (Model_cache.misses ());
+  Alcotest.(check bool) "network model patched in place" true
+    (Model_cache.net b1 == net0);
+  (* The perturbed snapshot shares [nodes]/[live] physically, so the
+     compute-load and procs models (pure functions of those) are
+     carried forward rather than rebuilt. *)
+  Alcotest.(check bool) "compute-load model carried forward" true
+    (Model_cache.loads b1 == Model_cache.loads b0);
+  Alcotest.(check bool) "effective-procs model carried forward" true
+    (Model_cache.pc b1 == Model_cache.pc b0);
+  (* 2 of 6 rows exceeds the default renorm threshold, so this patch
+     renormalized: bit-identical to a rebuild. *)
+  let rebuilt = Network_load.of_snapshot next ~weights in
+  let m1 = Network_load.nl_matrix (Model_cache.net b1) in
+  let m2 = Network_load.nl_matrix rebuilt in
+  let n = List.length snap.Snapshot.live in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if not (Float.equal (Matrix.get m1 i j) (Matrix.get m2 i j)) then
+        Alcotest.failf "patched NL (%d,%d) differs from rebuild" i j
+    done
+  done;
+  (* The predecessor's slot was evicted (its model was consumed). *)
+  let m_before = Model_cache.misses () in
+  ignore (Model_cache.get snap ~weights);
+  Alcotest.(check int) "prev slot evicted" (m_before + 1)
+    (Model_cache.misses ());
+  (* The derived bundle itself is resident. *)
+  let h_before = Model_cache.hits () in
+  ignore (Model_cache.get next ~weights);
+  Alcotest.(check int) "derived bundle cached" (h_before + 1)
+    (Model_cache.hits ())
+
+let test_model_cache_prime_derived () =
+  let rng = Rng.create 19 in
+  let snap =
+    fixture [ (8, 1.0); (8, 2.0); (8, 0.5); (12, 3.0); (8, 4.0); (8, 0.0) ]
+  in
+  Model_cache.clear ();
+  let b0 = Model_cache.get snap ~weights in
+  let net0 = Model_cache.net b0 in
+  let next = perturbed_snapshot rng snap [ 2 ] in
+  (* prime diffs the readings itself — no touched list from the caller. *)
+  Model_cache.prime_derived next ~prev:snap ~weights;
+  let h0 = Model_cache.hits () in
+  let b1 = Model_cache.get next ~weights in
+  Alcotest.(check int) "primed bundle hits" (h0 + 1) (Model_cache.hits ());
+  Alcotest.(check bool) "primed via the incremental patch, not a rebuild"
+    true
+    (Model_cache.net b1 == net0)
+
+let test_model_cache_counters_domain_safe () =
+  Model_cache.clear ();
+  let snap = fixture [ (8, 1.0); (8, 2.0) ] in
+  ignore (Model_cache.get snap ~weights);
+  let h0 = Model_cache.hits () in
+  let pool = Domain_pool.get 4 in
+  Domain_pool.run pool (fun _w ->
+      for _ = 1 to 500 do
+        ignore (Model_cache.get snap ~weights)
+      done);
+  Alcotest.(check int) "no hit increments lost across domains" (h0 + 2000)
+    (Model_cache.hits ())
+
+(* --- Pruned candidate starts --------------------------------------------------- *)
+
+let test_dense_sequential_fallback_pins () =
+  Alcotest.(check int) "par_v_threshold value" 128 Dense_alloc.par_v_threshold;
+  Alcotest.(check int) "below the threshold: sequential" 1
+    (Dense_alloc.domains_for ~v:(Dense_alloc.par_v_threshold - 1) ~requested:8);
+  Alcotest.(check int) "at the threshold: parallel" 8
+    (Dense_alloc.domains_for ~v:Dense_alloc.par_v_threshold ~requested:8);
+  Alcotest.(check int) "clamped to v" 200
+    (Dense_alloc.domains_for ~v:200 ~requested:500);
+  Alcotest.check_raises "rejects requested < 1"
+    (Invalid_argument "Dense_alloc.scored_all: ndomains must be >= 1")
+    (fun () -> ignore (Dense_alloc.domains_for ~v:200 ~requested:0))
+
+(* Pruning only skips starts: each surviving candidate and its raw
+   Eq. 4 costs must be bit-identical to its exhaustive counterpart
+   (only the per-candidate-set normalization sees fewer rivals). *)
+let prop_pruned_subset_costs_exact =
+  QCheck.Test.make
+    ~name:"Top_k candidates are a subset with bit-identical raw costs"
+    ~count:100
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Rng.create seed in
+      let snap = random_fixture rng in
+      let request = random_request rng in
+      let cl = Compute_load.of_snapshot snap ~weights in
+      let nl = Network_load.of_snapshot snap ~weights in
+      let capacity = capacity_of snap request in
+      let v = List.length (Network_load.usable nl) in
+      let k = 1 + Rng.int rng (max 1 (v - 1)) in
+      let pruned =
+        Dense_alloc.scored_all
+          ~starts:(Dense_alloc.Top_k k)
+          ~loads:cl ~net:nl ~capacity ~request ()
+      in
+      let all =
+        Dense_alloc.scored_all ~starts:Dense_alloc.All ~loads:cl ~net:nl
+          ~capacity ~request ()
+      in
+      List.length pruned = min k v
+      && (* ascending start order, like the exhaustive table *)
+      (let starts =
+         List.map (fun (s : Select.scored) -> s.Select.candidate.Candidate.start)
+           pruned
+       in
+       starts = List.sort compare starts)
+      && List.for_all
+           (fun (p : Select.scored) ->
+             match
+               List.find_opt
+                 (fun (a : Select.scored) ->
+                   a.Select.candidate.Candidate.start
+                   = p.Select.candidate.Candidate.start)
+                 all
+             with
+             | None -> false
+             | Some a ->
+               a.Select.candidate = p.Select.candidate
+               && Float.equal a.Select.compute_cost p.Select.compute_cost
+               && Float.equal a.Select.network_cost p.Select.network_cost)
+           pruned)
+
+let prop_pruned_topk_ge_v_is_exhaustive =
+  QCheck.Test.make ~name:"Top_k with k >= V degenerates to All, bit-identical"
+    ~count:60
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Rng.create seed in
+      let snap = random_fixture rng in
+      let request = random_request rng in
+      let cl = Compute_load.of_snapshot snap ~weights in
+      let nl = Network_load.of_snapshot snap ~weights in
+      let capacity = capacity_of snap request in
+      let v = List.length (Network_load.usable nl) in
+      let pruned =
+        Dense_alloc.scored_all
+          ~starts:(Dense_alloc.Top_k (v + Rng.int rng 3))
+          ~loads:cl ~net:nl ~capacity ~request ()
+      in
+      let all =
+        Dense_alloc.scored_all ~starts:Dense_alloc.All ~loads:cl ~net:nl
+          ~capacity ~request ()
+      in
+      List.length pruned = List.length all
+      && List.for_all2
+           (fun (a : Select.scored) (b : Select.scored) ->
+             a.Select.candidate = b.Select.candidate
+             && Float.equal a.Select.total b.Select.total)
+           pruned all)
+
+(* The pruned winner may legitimately differ from the exhaustive one
+   (Algorithm 2's normalization is per candidate set), but judged under
+   the EXHAUSTIVE normalization it must stay close to the true optimum.
+   Measured at the property's own distribution (V in 40..80, k in
+   {4,8,16,32}): worst regret 0.025 over 6000 samples — the bound
+   carries ~6× headroom. (On 3-8 node toy fixtures regret is
+   intrinsically coarse — pruning there isn't the operating regime.) *)
+let pruned_regret_bound = 0.15
+
+let prop_pruned_regret_bounded =
+  QCheck.Test.make
+    ~name:"Top_k winner's exhaustively-normalized regret is bounded"
+    ~count:60
+    (QCheck.make QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let rng = Rng.create seed in
+      let snap = sized_random_fixture rng (40 + Rng.int rng 41) in
+      let request = random_request rng in
+      let cl = Compute_load.of_snapshot snap ~weights in
+      let nl = Network_load.of_snapshot snap ~weights in
+      let capacity = capacity_of snap request in
+      let v = List.length (Network_load.usable nl) in
+      let k = [| 4; 8; 16; 32 |].(Rng.int rng 4) in
+      let k = min k (v - 1) in
+      let pw =
+        Dense_alloc.best
+          ~starts:(Dense_alloc.Top_k k)
+          ~loads:cl ~net:nl ~capacity ~request ()
+      in
+      let all =
+        Dense_alloc.scored_all ~starts:Dense_alloc.All ~loads:cl ~net:nl
+          ~capacity ~request ()
+      in
+      match
+        List.find_opt
+          (fun (a : Select.scored) ->
+            a.Select.candidate.Candidate.start
+            = pw.Select.candidate.Candidate.start)
+          all
+      with
+      | None -> false
+      | Some exh ->
+        let best_total =
+          List.fold_left
+            (fun acc (s : Select.scored) -> Float.min acc s.Select.total)
+            infinity all
+        in
+        exh.Select.total -. best_total <= pruned_regret_bound)
+
+let test_pruned_never_materializes_nl () =
+  let rng = Rng.create 29 in
+  let snap = random_fixture rng in
+  let cl = Compute_load.of_snapshot snap ~weights in
+  let nl = Network_load.of_snapshot snap ~weights in
+  let request = Request.make ~ppn:4 ~procs:8 () in
+  let capacity = capacity_of snap request in
+  ignore
+    (Dense_alloc.scored_all
+       ~starts:(Dense_alloc.Top_k 2)
+       ~loads:cl ~net:nl ~capacity ~request ());
+  Alcotest.(check bool) "factored reads only: no O(V²) NL matrix" true
+    (match Network_load.nl_cached nl with None -> true | Some _ -> false)
+
+let test_pruned_rejects_nonfinite_nl () =
+  let snap = fixture [ (8, 1.0); (8, 2.0); (8, 0.5) ] in
+  Matrix.set snap.Snapshot.lat_us 0 1 infinity;
+  Matrix.set snap.Snapshot.lat_us 1 0 infinity;
+  let cl = Compute_load.of_snapshot snap ~weights in
+  let nl = Network_load.of_snapshot snap ~weights in
+  let request = Request.make ~ppn:4 ~procs:8 () in
+  let capacity = capacity_of snap request in
+  match
+    Dense_alloc.scored_all
+      ~starts:(Dense_alloc.Top_k 2)
+      ~loads:cl ~net:nl ~capacity ~request ()
+  with
+  | _ -> Alcotest.fail "expected Invalid_argument on non-finite NL"
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool)
+      "message names the model" true
+      (String.length msg >= 13 && String.sub msg 0 13 = "Dense_alloc.s")
+
+let test_starts_parse_and_default_knob () =
+  (match Dense_alloc.parse_starts "All" with
+  | Ok Dense_alloc.All -> ()
+  | _ -> Alcotest.fail {|"All" should parse (case-insensitive)|});
+  (match Dense_alloc.parse_starts " 8 " with
+  | Ok (Dense_alloc.Top_k 8) -> ()
+  | _ -> Alcotest.fail {|" 8 " should parse as Top_k 8|});
+  (match Dense_alloc.parse_starts "0" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "0 starts must be rejected");
+  (match Dense_alloc.parse_starts "bogus" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage must be rejected");
+  Alcotest.(check string) "label all" "all"
+    (Dense_alloc.starts_label Dense_alloc.All);
+  Alcotest.(check string) "label k" "8"
+    (Dense_alloc.starts_label (Dense_alloc.Top_k 8));
+  let before = Dense_alloc.default_starts () in
+  Fun.protect
+    ~finally:(fun () -> Dense_alloc.set_default_starts before)
+    (fun () ->
+      Dense_alloc.set_default_starts (Dense_alloc.Top_k 2);
+      let snap = fixture [ (8, 1.0); (8, 2.0); (8, 0.5); (12, 3.0) ] in
+      let cl = Compute_load.of_snapshot snap ~weights in
+      let nl = Network_load.of_snapshot snap ~weights in
+      let request = Request.make ~ppn:4 ~procs:8 () in
+      let capacity = capacity_of snap request in
+      let scored =
+        Dense_alloc.scored_all ~loads:cl ~net:nl ~capacity ~request ()
+      in
+      Alcotest.(check int) "global default applies" 2 (List.length scored);
+      Alcotest.check_raises "rejects Top_k 0"
+        (Invalid_argument "Dense_alloc: Top_k starts must be >= 1")
+        (fun () -> Dense_alloc.set_default_starts (Dense_alloc.Top_k 0)))
+
+(* --- Engine routing (Policies.Auto → Hierarchical) ----------------------------- *)
+
+let test_policies_auto_routes_to_hierarchical () =
+  let rng = Rng.create 99 in
+  let snap = random_fixture rng in
+  let request = Request.make ~ppn:4 ~procs:10 () in
+  let before = Policies.auto_hierarchical_threshold () in
+  Fun.protect
+    ~finally:(fun () -> Policies.set_auto_hierarchical_threshold before)
+    (fun () ->
+      Policies.set_auto_hierarchical_threshold 1;
+      Model_cache.clear ();
+      let run engine =
+        Policies.allocate ~engine ~policy:Policies.Network_load_aware
+          ~snapshot:snap ~weights ~request ~rng:(Rng.create 1) ()
+      in
+      let auto = run Policies.Auto in
+      let grouped = run Policies.Grouped in
+      let flat = run Policies.Flat in
+      Alcotest.(check bool) "above the threshold Auto is Grouped" true
+        (auto = grouped);
+      (match auto with
+      | Ok a ->
+        Alcotest.(check string) "keeps the requesting policy's label"
+          "network-load-aware" a.Allocation.policy
+      | Error _ -> Alcotest.fail "auto allocation failed");
+      (match flat with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "flat allocation failed");
+      Alcotest.check_raises "threshold knob rejects < 1"
+        (Invalid_argument
+           "Policies.set_auto_hierarchical_threshold: must be >= 1")
+        (fun () -> Policies.set_auto_hierarchical_threshold 0))
+
 let prop_compute_load_nonnegative =
   QCheck.Test.make ~name:"compute load is non-negative" ~count:100
     (QCheck.make loads_gen)
@@ -1102,6 +1677,23 @@ let suites =
         Alcotest.test_case "prefers good links" `Quick test_network_load_prefers_good_links;
         Alcotest.test_case "symmetry" `Quick test_network_load_symmetry;
         Alcotest.test_case "edge totals" `Quick test_network_load_edges_totals;
+        Alcotest.test_case "raw reads match the matrix" `Quick
+          test_nl_raw_matches_matrix;
+        Alcotest.test_case "dense degrees match brute force" `Quick
+          test_nl_dense_degrees_match_brute_force;
+        Alcotest.test_case "block mean table matches brute force" `Quick
+          test_nl_block_mean_table_matches_brute_force;
+      ] );
+    ( "core.nl_delta",
+      [
+        qcheck prop_nl_delta_exact_renorm_bit_identical;
+        qcheck prop_nl_delta_default_threshold_drift_bounded;
+        Alcotest.test_case "touched_of recovers changed nodes" `Quick
+          test_nl_delta_touched_of_recovers_changed_nodes;
+        Alcotest.test_case "membership/weight change invalidates" `Quick
+          test_nl_delta_membership_change_invalidates;
+        Alcotest.test_case "wide delta invalidates" `Quick
+          test_nl_delta_wide_delta_invalidates;
       ] );
     ( "core.effective_procs",
       [
@@ -1143,6 +1735,8 @@ let suites =
         Alcotest.test_case "hierarchical via policies" `Quick
           test_policy_hierarchical_via_policies;
         Alcotest.test_case "names roundtrip" `Quick test_policy_names_roundtrip;
+        Alcotest.test_case "auto engine routes to hierarchical" `Quick
+          test_policies_auto_routes_to_hierarchical;
         qcheck prop_nl_aware_covers_any_loads;
       ] );
     ( "core.dense_alloc",
@@ -1154,6 +1748,17 @@ let suites =
           test_dense_parallel_oversized_ndomains;
         Alcotest.test_case "rejects non-finite NL" `Quick
           test_dense_rejects_nonfinite_nl;
+        Alcotest.test_case "sequential fallback below par_v_threshold" `Quick
+          test_dense_sequential_fallback_pins;
+        qcheck prop_pruned_subset_costs_exact;
+        qcheck prop_pruned_topk_ge_v_is_exhaustive;
+        qcheck prop_pruned_regret_bounded;
+        Alcotest.test_case "pruned path never materializes NL" `Quick
+          test_pruned_never_materializes_nl;
+        Alcotest.test_case "pruned path rejects non-finite NL" `Quick
+          test_pruned_rejects_nonfinite_nl;
+        Alcotest.test_case "starts parse + default knob" `Quick
+          test_starts_parse_and_default_knob;
       ] );
     ( "core.domain_pool",
       [
@@ -1169,6 +1774,12 @@ let suites =
           test_model_cache_hit_and_invalidation;
         Alcotest.test_case "models match direct build" `Quick
           test_model_cache_models_match_direct_build;
+        Alcotest.test_case "get_derived patches forward" `Quick
+          test_model_cache_get_derived_patches_forward;
+        Alcotest.test_case "prime_derived warms the next tick" `Quick
+          test_model_cache_prime_derived;
+        Alcotest.test_case "counters are domain-safe" `Quick
+          test_model_cache_counters_domain_safe;
       ] );
     ( "core.brute_force",
       [
