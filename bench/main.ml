@@ -1149,6 +1149,92 @@ let serve () =
 
 (* --- Sections ----------------------------------------------------------- *)
 
+(* --- matrix: the scenario × policy × engine experiment matrix ----------- *)
+
+(* One merged artifact (rm-matrix/v1) plus the rendered dashboard; the
+   committed BENCH_matrix.json baseline gates deterministic queue-level
+   fields everywhere and allocs/sec ratios when the host core count
+   matches (docs/OBSERVABILITY.md §6). *)
+
+let matrix_out = ref "BENCH_matrix.json"
+let matrix_html = ref "dashboard.html"
+let matrix_md = ref "dashboard.md"
+let matrix_ratio = ref 2.0
+let matrix_prior : string list ref = ref []
+
+let read_file file =
+  let ic = open_in file in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let matrix () =
+  let module M = Experiments.Matrix in
+  let module D = Experiments.Dashboard in
+  let buf = Buffer.create 4096 in
+  let spec = if !quick then M.quick_spec else M.full_spec in
+  let artifact = M.run spec in
+  write_file !matrix_out (M.to_string artifact ^ "\n");
+  Buffer.add_string buf
+    (Printf.sprintf "wrote %s (%s, %d cells)\n" !matrix_out M.schema_version
+       (List.length artifact.M.cells));
+  let baseline =
+    match !baseline_file with
+    | None -> None
+    | Some file -> (
+      match M.of_string (read_file file) with
+      | Ok b -> Some b
+      | Error m ->
+        Buffer.add_string buf
+          (Printf.sprintf "baseline %s not comparable (%s); gate skipped\n"
+             file m);
+        None)
+  in
+  let history =
+    List.filter_map
+      (fun file ->
+        match M.of_string (read_file file) with
+        | Ok a -> Some (Filename.basename file, a)
+        | Error m ->
+          Buffer.add_string buf
+            (Printf.sprintf "prior artifact %s ignored (%s)\n" file m);
+          None)
+      (List.rev !matrix_prior)
+  in
+  let side_json path =
+    if Sys.file_exists path then
+      match Json.of_string (read_file path) with
+      | j -> Some j
+      | exception Failure _ -> None
+    else None
+  in
+  let input =
+    D.make ~history ?baseline ~ratio:!matrix_ratio
+      ?bench_allocator:(side_json "BENCH_allocator.json")
+      ?bench_serve:(side_json "BENCH_serve.json")
+      ~current:artifact ()
+  in
+  write_file !matrix_html (D.html input);
+  write_file !matrix_md (D.markdown input);
+  Buffer.add_string buf
+    (Printf.sprintf "wrote %s, %s\n" !matrix_html !matrix_md);
+  Buffer.add_string buf (D.markdown input);
+  (match baseline with
+  | None -> ()
+  | Some _ ->
+    let gated = D.verdicts input in
+    if not (M.gate_ok gated) then begin
+      print_string (Buffer.contents buf);
+      failwith "bench matrix: cell regression against baseline"
+    end);
+  Buffer.contents buf
+
 let sections : (string * (unit -> string)) list =
   [
     ( "fig1",
@@ -1173,6 +1259,7 @@ let sections : (string * (unit -> string)) list =
     ("micro", fun () -> micro ());
     ("scale", fun () -> scale ());
     ("serve", fun () -> serve ());
+    ("matrix", fun () -> matrix ());
     ( "queue",
       fun () ->
         Experiments.Queue_study.render
@@ -1346,6 +1433,25 @@ let () =
           "--serve-open-rate expects a positive rate per client, got %S\n%!" r;
         exit 2);
       strip rest
+    | "--matrix-out" :: file :: rest ->
+      matrix_out := file;
+      strip rest
+    | "--matrix-html" :: file :: rest ->
+      matrix_html := file;
+      strip rest
+    | "--matrix-md" :: file :: rest ->
+      matrix_md := file;
+      strip rest
+    | "--matrix-ratio" :: x :: rest ->
+      (match float_of_string_opt x with
+      | Some x when x >= 1.0 -> matrix_ratio := x
+      | _ ->
+        Printf.eprintf "--matrix-ratio expects a number >= 1, got %S\n%!" x;
+        exit 2);
+      strip rest
+    | "--matrix-prior" :: file :: rest ->
+      matrix_prior := file :: !matrix_prior;
+      strip rest
     | "--trace-out" :: file :: rest ->
       trace_out := Some file;
       strip rest
@@ -1385,7 +1491,7 @@ let () =
   match !csv_dir with
   | None -> ()
   | Some dir ->
-    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    Rm_telemetry.Spill.mkdir_p dir;
     List.iter
       (fun (file, contents) ->
         let path = Filename.concat dir file in

@@ -18,6 +18,8 @@
                                            (deprecated: scrape the daemon instead)
      rmctl slo        [opts]               per-policy scheduler SLO comparison
      rmctl check-export [opts]             validate exported trace / metrics files
+     rmctl matrix     [opts]               run the scenario x policy x engine matrix
+     rmctl dashboard  MATRIX.json [opts]   render an existing matrix artifact
 
    Every command simulates from scratch (deterministic in --seed), so
    invocations are reproducible and independent — except `serve`, which
@@ -1017,6 +1019,206 @@ let sched_cmd =
     Term.(const run $ knobs_t $ file_t $ scenario_t $ seed_t $ policy_t
           $ exclusive_t)
 
+(* --- matrix / dashboard: the experiment matrix and its rendering --------- *)
+
+let matrix_load_artifact path =
+  match Rm_experiments.Matrix.of_string (read_whole_file path) with
+  | Ok a -> Ok a
+  | Error m -> Error (Printf.sprintf "%s: %s" path m)
+
+let matrix_side_json path =
+  if Sys.file_exists path then
+    match Telemetry.Json.of_string (read_whole_file path) with
+    | j -> Some j
+    | exception Failure _ -> None
+  else None
+
+let matrix_dashboard_input ~current ~priors ~baseline ~ratio ~bench_allocator
+    ~bench_serve =
+  let history =
+    List.filter_map
+      (fun file ->
+        match matrix_load_artifact file with
+        | Ok a -> Some (Filename.basename file, a)
+        | Error m ->
+          Printf.eprintf "matrix: prior artifact ignored (%s)\n%!" m;
+          None)
+      priors
+  in
+  Rm_experiments.Dashboard.make ~history ?baseline ~ratio
+    ?bench_allocator:(matrix_side_json bench_allocator)
+    ?bench_serve:(matrix_side_json bench_serve)
+    ~current ()
+
+let matrix_render_and_gate ~input ~html ~md =
+  let module D = Rm_experiments.Dashboard in
+  let write path contents =
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path
+  in
+  Option.iter (fun path -> write path (D.html input)) html;
+  (match md with
+  | Some path -> write path (D.markdown input)
+  | None -> print_string (D.markdown input));
+  match input.D.baseline with
+  | None -> ()
+  | Some _ ->
+    let gated = D.verdicts input in
+    print_string (Rm_experiments.Matrix.render_gate gated);
+    if not (Rm_experiments.Matrix.gate_ok gated) then exit 1
+
+let matrix_prior_t =
+  Arg.(value & opt_all file []
+       & info [ "prior" ] ~docv:"FILE"
+           ~doc:"Prior rm-matrix artifact for trend sparklines (repeatable, \
+                 oldest first).")
+
+let matrix_ratio_t =
+  Arg.(value & opt float 2.0
+       & info [ "ratio" ]
+           ~doc:"Throughput gate: fail a cell when its allocs/sec drops \
+                 below baseline divided by this.")
+
+let matrix_baseline_t =
+  Arg.(value & opt (some file) None
+       & info [ "baseline" ] ~docv:"FILE"
+           ~doc:"Baseline rm-matrix artifact to gate against (exit 1 on any \
+                 cell regression).")
+
+let matrix_html_t =
+  Arg.(value & opt (some string) None
+       & info [ "html" ] ~docv:"FILE" ~doc:"Write the HTML dashboard here.")
+
+let matrix_md_t =
+  Arg.(value & opt (some string) None
+       & info [ "md" ] ~docv:"FILE"
+           ~doc:"Write the markdown summary here (default: stdout).")
+
+let matrix_bench_allocator_t =
+  Arg.(value & opt file "BENCH_allocator.json"
+       & info [ "bench-allocator" ] ~docv:"FILE"
+           ~doc:"Allocator scaling baseline to ingest for trend rows \
+                 (ignored when absent).")
+
+let matrix_bench_serve_t =
+  Arg.(value & opt file "BENCH_serve.json"
+       & info [ "bench-serve" ] ~docv:"FILE"
+           ~doc:"Serve-daemon baseline to ingest for trend rows (ignored \
+                 when absent).")
+
+let matrix_cmd =
+  let module M = Rm_experiments.Matrix in
+  let run spec_file full out html md baseline ratio priors bench_allocator
+      bench_serve =
+    let spec =
+      match spec_file with
+      | Some file -> (
+        match M.spec_of_json (Telemetry.Json.of_string (read_whole_file file))
+        with
+        | spec -> spec
+        | exception Failure m ->
+          Printf.eprintf "matrix: bad spec %s: %s\n%!" file m;
+          exit 2)
+      | None -> if full then M.full_spec else M.quick_spec
+    in
+    (match M.validate_spec spec with
+    | Ok () -> ()
+    | Error m ->
+      Printf.eprintf "matrix: invalid spec: %s\n%!" m;
+      exit 2);
+    let artifact = M.run spec in
+    (let oc = open_out out in
+     output_string oc (M.to_string artifact);
+     output_string oc "\n";
+     close_out oc);
+    Printf.printf "wrote %s (%s, %d cells)\n%!" out M.schema_version
+      (List.length artifact.M.cells);
+    let baseline =
+      Option.map
+        (fun file ->
+          match matrix_load_artifact file with
+          | Ok b -> b
+          | Error m ->
+            Printf.eprintf "matrix: bad baseline %s\n%!" m;
+            exit 2)
+        baseline
+    in
+    let input =
+      matrix_dashboard_input ~current:artifact ~priors ~baseline ~ratio
+        ~bench_allocator ~bench_serve
+    in
+    matrix_render_and_gate ~input ~html ~md
+  in
+  let spec_t =
+    Arg.(value & opt (some file) None
+         & info [ "spec" ] ~docv:"FILE"
+             ~doc:"JSON matrix spec (the \"spec\" object of an artifact); \
+                   default is the built-in quick spec.")
+  in
+  let full_t =
+    Arg.(value & flag
+         & info [ "full" ]
+             ~doc:"Use the built-in full spec (5 scenarios x 3 policies x 5 \
+                   engines) instead of the quick one.")
+  in
+  let out_t =
+    Arg.(value & opt string "BENCH_matrix.json"
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Where to write the merged artifact.")
+  in
+  Cmd.v
+    (Cmd.info "matrix"
+       ~doc:
+         "Run the scenario x policy x engine experiment matrix and write \
+          one merged rm-matrix/v1 artifact plus the rendered dashboard. \
+          With --baseline, exits 1 when any cell regresses \
+          (docs/OBSERVABILITY.md section 6).")
+    Term.(const run $ spec_t $ full_t $ out_t $ matrix_html_t $ matrix_md_t
+          $ matrix_baseline_t $ matrix_ratio_t $ matrix_prior_t
+          $ matrix_bench_allocator_t $ matrix_bench_serve_t)
+
+let dashboard_cmd =
+  let run artifact html md baseline ratio priors bench_allocator bench_serve =
+    let current =
+      match matrix_load_artifact artifact with
+      | Ok a -> a
+      | Error m ->
+        Printf.eprintf "dashboard: %s\n%!" m;
+        exit 2
+    in
+    let baseline =
+      Option.map
+        (fun file ->
+          match matrix_load_artifact file with
+          | Ok b -> b
+          | Error m ->
+            Printf.eprintf "dashboard: bad baseline %s\n%!" m;
+            exit 2)
+        baseline
+    in
+    let input =
+      matrix_dashboard_input ~current ~priors ~baseline ~ratio
+        ~bench_allocator ~bench_serve
+    in
+    matrix_render_and_gate ~input ~html ~md
+  in
+  let artifact_t =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"MATRIX.json"
+             ~doc:"The rm-matrix artifact to render.")
+  in
+  Cmd.v
+    (Cmd.info "dashboard"
+       ~doc:
+         "Render an existing rm-matrix artifact into the HTML/markdown \
+          dashboard without re-running anything; with --baseline, also \
+          gates (exit 1 on regression).")
+    Term.(const run $ artifact_t $ matrix_html_t $ matrix_md_t
+          $ matrix_baseline_t $ matrix_ratio_t $ matrix_prior_t
+          $ matrix_bench_allocator_t $ matrix_bench_serve_t)
+
 let () =
   let info =
     Cmd.info "rmctl" ~version:"1.0.0"
@@ -1028,4 +1230,4 @@ let () =
           [ cluster_cmd; snapshot_cmd; allocate_cmd; run_cmd; compare_cmd;
             forecast_cmd; record_cmd; replay_cmd; sched_cmd; chaos_cmd;
             explain_cmd; metrics_cmd; Serve_cmd.cmd; serve_metrics_cmd;
-            slo_cmd; check_export_cmd ]))
+            slo_cmd; check_export_cmd; matrix_cmd; dashboard_cmd ]))

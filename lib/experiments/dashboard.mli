@@ -1,0 +1,44 @@
+(** Render a {!Matrix.artifact} (plus prior artifacts and the standalone
+    bench baselines) into a markdown summary and a self-contained HTML
+    page — the single pane of glass for perf evidence.
+
+    Both renderers show the same content: the per-cell result table
+    with baseline verdicts, per-policy allocs/sec heatmaps over the
+    scenario × engine grid, trend sparklines across prior artifacts,
+    trend rows ingested from [BENCH_allocator.json]
+    (network-load-aware rows per engine across cluster sizes) and
+    [BENCH_serve.json] (per-mode daemon throughput and latency), and a
+    CSV appendix. The markdown goes to CI logs and commit comments; the
+    HTML is a no-dependency artifact viewable straight from an uploads
+    tab. *)
+
+type input = {
+  current : Matrix.artifact;
+  history : (string * Matrix.artifact) list;
+      (** prior runs as (label, artifact), oldest first — sparklines
+          append [current] as the last point *)
+  baseline : Matrix.artifact option;  (** gate target, if any *)
+  ratio : float;  (** throughput gate ratio, see {!Matrix.gate} *)
+  bench_allocator : Rm_telemetry.Json.t option;
+      (** parsed [BENCH_allocator.json] ([rm-bench-allocator/v1]) *)
+  bench_serve : Rm_telemetry.Json.t option;
+      (** parsed [BENCH_serve.json] ([rm-bench-serve/v1]) *)
+}
+
+val make :
+  ?history:(string * Matrix.artifact) list ->
+  ?baseline:Matrix.artifact ->
+  ?ratio:float ->
+  ?bench_allocator:Rm_telemetry.Json.t ->
+  ?bench_serve:Rm_telemetry.Json.t ->
+  current:Matrix.artifact ->
+  unit ->
+  input
+(** [ratio] defaults to 2.0; everything else to absent. *)
+
+val verdicts : input -> Matrix.gated list
+(** The gate result the renderers annotate cells with — empty when
+    [baseline] is [None]. *)
+
+val markdown : input -> string
+val html : input -> string

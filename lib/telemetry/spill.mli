@@ -19,6 +19,15 @@
 
 type t
 
+val mkdir_p : string -> unit
+(** [mkdir -p]: create [dir] and any missing parents (mode 0o755).
+    Raises [Sys_error] naming the full directory path when creation
+    fails — unwritable parent, or a regular file squatting on a path
+    component — unlike a bare [Sys.mkdir] whose error names only the
+    leaf. Safe under concurrent creation ([EEXIST] races re-check).
+    Exposed because it is the named-path recursive mkdir every disk
+    sink wants ([--csv] output directories, spill dirs, ...). *)
+
 val create :
   ?events_per_segment:int -> ?max_segments:int -> dir:string -> unit -> t
 (** Opens a sink over [dir] (created if missing). Pre-existing

@@ -326,6 +326,450 @@ let test_bandwidth_map_structure () =
   Alcotest.(check bool) "render nonempty" true
     (String.length (Bandwidth_map.render r) > 100)
 
+(* --- Matrix: the scenario × policy × engine experiment matrix ----------- *)
+
+module Emat = Rm_experiments.Matrix
+module Dash = Rm_experiments.Dashboard
+
+let contains hay needle =
+  let h = String.length hay and n = String.length needle in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* Budget 0 disables the wall-clock throughput loop, so the whole run
+   is virtual-time-deterministic. *)
+let tiny_spec =
+  {
+    Emat.spec_name = "tiny";
+    seed = 7;
+    scenarios = [ "uniform"; "chaos-heavy" ];
+    policies = [ "random"; "network-load-aware" ];
+    engines = [ "naive"; "dense" ];
+    budget = { Emat.alloc_budget_s = 0.0; job_count = 2 };
+    rules =
+      [
+        {
+          Emat.on_scenario = Some "chaos-heavy";
+          on_policy = Some "random";
+          on_engine = None;
+          action = Emat.Skip "test-skip";
+        };
+      ];
+  }
+
+let tiny_artifact = lazy (Emat.run tiny_spec)
+
+let test_matrix_tiny_run () =
+  let a = Lazy.force tiny_artifact in
+  Alcotest.(check string) "schema" Emat.schema_version a.Emat.schema;
+  Alcotest.(check int) "2x2x2 cells" 8 (List.length a.Emat.cells);
+  let skipped, ran =
+    List.partition
+      (fun (c : Emat.cell) -> c.Emat.status <> Emat.Ran)
+      a.Emat.cells
+  in
+  Alcotest.(check int) "skip rule hits both engines" 2 (List.length skipped);
+  List.iter
+    (fun (c : Emat.cell) ->
+      Alcotest.(check string) "skips are chaos-heavy" "chaos-heavy"
+        c.Emat.scenario;
+      Alcotest.(check string) "skips are random" "random" c.Emat.policy;
+      Alcotest.(check bool) "skipped cells carry no sched result" true
+        (c.Emat.sched = None))
+    skipped;
+  List.iter
+    (fun (c : Emat.cell) ->
+      Alcotest.(check bool) "budget 0 means no rate" true
+        (c.Emat.allocs_per_sec = None && c.Emat.reps = 0);
+      match c.Emat.sched with
+      | None -> Alcotest.fail "ran cell without sched result"
+      | Some s ->
+        Alcotest.(check bool) "jobs finished" true (s.Emat.jobs_finished > 0);
+        Alcotest.(check bool) "slo present" true (s.Emat.slo <> None);
+        Alcotest.(check bool) "makespan positive" true (s.Emat.makespan_s > 0.0);
+        Alcotest.(check bool) "goodput in (0,1]" true
+          (s.Emat.goodput > 0.0 && s.Emat.goodput <= 1.0);
+        let allocs =
+          match List.assoc_opt "core.allocations" s.Emat.counters with
+          | Some v -> v
+          | None -> -1.0
+        in
+        Alcotest.(check bool) "core.allocations counted" true (allocs > 0.0);
+        if c.Emat.scenario = "chaos-heavy" then
+          Alcotest.(check bool) "chaos cells saw faults" true
+            (s.Emat.faults_injected > 0))
+    ran;
+  (* the engine axis shares one scheduler run per (scenario, policy) *)
+  let naive =
+    List.find
+      (fun (c : Emat.cell) ->
+        c.Emat.scenario = "uniform" && c.Emat.policy = "random"
+        && c.Emat.engine = "naive")
+      a.Emat.cells
+  in
+  let dense =
+    List.find
+      (fun (c : Emat.cell) ->
+        c.Emat.scenario = "uniform" && c.Emat.policy = "random"
+        && c.Emat.engine = "dense")
+      a.Emat.cells
+  in
+  Alcotest.(check bool) "sched results engine-invariant" true
+    (naive.Emat.sched = dense.Emat.sched)
+
+(* Satellite: chaos plans must seed from cell coordinates, never wall
+   clock — two runs of the same zero-budget spec are bit-identical. *)
+let test_matrix_deterministic_rerun () =
+  let a = Lazy.force tiny_artifact in
+  let b = Emat.run tiny_spec in
+  Alcotest.(check string) "re-run is bit-identical" (Emat.to_string a)
+    (Emat.to_string b)
+
+let test_matrix_cell_seed_pinned () =
+  Alcotest.(check int) "chaos-heavy/random/naive @ seed 83" 185284584
+    (Emat.cell_seed ~seed:83 ~scenario:"chaos-heavy" ~policy:"random"
+       ~engine:"naive");
+  Alcotest.(check int) "uniform/network-load-aware/dense @ seed 83" 824096403
+    (Emat.cell_seed ~seed:83 ~scenario:"uniform"
+       ~policy:"network-load-aware" ~engine:"dense");
+  Alcotest.(check bool) "coordinates change the seed" true
+    (Emat.cell_seed ~seed:1 ~scenario:"a" ~policy:"b" ~engine:"c"
+    <> Emat.cell_seed ~seed:1 ~scenario:"a" ~policy:"b" ~engine:"d")
+
+let test_matrix_spec_validation () =
+  let bad l = match Emat.validate_spec l with Ok () -> false | Error _ -> true in
+  Alcotest.(check bool) "quick spec valid" true
+    (Emat.validate_spec Emat.quick_spec = Ok ());
+  Alcotest.(check bool) "full spec valid" true
+    (Emat.validate_spec Emat.full_spec = Ok ());
+  Alcotest.(check bool) "unknown scenario rejected" true
+    (bad { tiny_spec with Emat.scenarios = [ "marsupial" ] });
+  Alcotest.(check bool) "unknown policy rejected" true
+    (bad { tiny_spec with Emat.policies = [ "psychic" ] });
+  Alcotest.(check bool) "unknown engine rejected" true
+    (bad { tiny_spec with Emat.engines = [ "dense-par0" ] });
+  Alcotest.(check bool) "empty axis rejected" true
+    (bad { tiny_spec with Emat.engines = [] });
+  Alcotest.(check bool) "zero jobs rejected" true
+    (bad
+       {
+         tiny_spec with
+         Emat.budget = { Emat.alloc_budget_s = 0.0; job_count = 0 };
+       });
+  Alcotest.(check bool) "dense-parN parses" true
+    (Emat.engine_of_name "dense-par4" = Some (Emat.Dense_par 4))
+
+(* --- gate semantics, on hand-built artifacts --------------------------- *)
+
+let mk_cell ?(status = Emat.Ran) ?rate ?(finished = 3) ?(goodput = 1.0)
+    ~scenario ~policy ~engine () =
+  {
+    Emat.scenario;
+    policy;
+    engine;
+    status;
+    allocs_per_sec = rate;
+    reps = (match rate with Some _ -> 100 | None -> 0);
+    sched =
+      (match status with
+      | Emat.Skipped _ -> None
+      | Emat.Ran ->
+        Some
+          {
+            Emat.jobs_finished = finished;
+            rejected = 0;
+            requeues = 1;
+            faults_injected = 2;
+            makespan_s = 1200.0;
+            goodput;
+            mean_turnaround_s = 300.5;
+            slo =
+              Some
+                {
+                  Emat.wait_p50 = 1.0;
+                  wait_p90 = 2.0;
+                  wait_p99 = 3.0;
+                  mean_wait_s = 1.5;
+                  max_queue_depth = 4;
+                  mean_queue_depth = 1.25;
+                };
+            counters = [ ("core.allocations", 42.0) ];
+          });
+  }
+
+let mk_artifact ?(cores = 8) cells =
+  {
+    Emat.schema = Emat.schema_version;
+    spec = { tiny_spec with Emat.rules = [] };
+    cores;
+    cells;
+  }
+
+let test_matrix_gate () =
+  let base =
+    mk_artifact
+      [
+        mk_cell ~rate:100.0 ~scenario:"uniform" ~policy:"random"
+          ~engine:"naive" ();
+        mk_cell ~rate:100.0 ~scenario:"uniform" ~policy:"random"
+          ~engine:"dense" ();
+      ]
+  in
+  let same = mk_artifact [ mk_cell ~rate:90.0 ~scenario:"uniform"
+                             ~policy:"random" ~engine:"naive" () ] in
+  (* identical → pass; missing dense cell → skip *)
+  let gated = Emat.gate ~baseline:base ~current:same () in
+  Alcotest.(check int) "one entry per baseline cell" 2 (List.length gated);
+  Alcotest.(check bool) "gate ok" true (Emat.gate_ok gated);
+  Alcotest.(check bool) "missing cell skipped" true
+    (List.exists
+       (fun (g : Emat.gated) ->
+         g.Emat.g_engine = "dense"
+         && match g.Emat.verdict with Emat.Skip_gate _ -> true | _ -> false)
+       gated);
+  (* rate collapse past the ratio → fail *)
+  let slow = mk_artifact [ mk_cell ~rate:10.0 ~scenario:"uniform"
+                             ~policy:"random" ~engine:"naive" () ] in
+  Alcotest.(check bool) "2x ratio catches a 10x collapse" false
+    (Emat.gate_ok (Emat.gate ~baseline:base ~current:slow ()));
+  Alcotest.(check bool) "wider ratio tolerates it" true
+    (Emat.gate_ok (Emat.gate ~ratio:20.0 ~baseline:base ~current:slow ()));
+  (* differing core counts: rates not compared ... *)
+  let slow_elsewhere =
+    mk_artifact ~cores:4
+      [ mk_cell ~rate:10.0 ~scenario:"uniform" ~policy:"random"
+          ~engine:"naive" () ]
+  in
+  Alcotest.(check bool) "cores mismatch skips the rate gate" true
+    (Emat.gate_ok (Emat.gate ~baseline:base ~current:slow_elsewhere ()));
+  (* ... but deterministic fields still gate *)
+  let dropped_jobs =
+    mk_artifact ~cores:4
+      [ mk_cell ~rate:100.0 ~finished:1 ~scenario:"uniform" ~policy:"random"
+          ~engine:"naive" () ]
+  in
+  Alcotest.(check bool) "fewer finished jobs fails across cores" false
+    (Emat.gate_ok (Emat.gate ~baseline:base ~current:dropped_jobs ()));
+  let leaky =
+    mk_artifact
+      [ mk_cell ~rate:100.0 ~goodput:0.5 ~scenario:"uniform" ~policy:"random"
+          ~engine:"naive" () ]
+  in
+  Alcotest.(check bool) "goodput drop past 0.1 fails" false
+    (Emat.gate_ok (Emat.gate ~baseline:base ~current:leaky ()))
+
+(* --- artifact codec: qcheck encode → decode → encode fixpoint ---------- *)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let name_gen = QCheck.Gen.oneofl [ "uniform"; "hotspot"; "chaos-heavy"; "x" ]
+let pos_float_gen = QCheck.Gen.float_bound_inclusive 1.0e6
+
+let budget_gen =
+  QCheck.Gen.(
+    let* alloc_budget_s = pos_float_gen in
+    let* job_count = 1 -- 50 in
+    return { Emat.alloc_budget_s; job_count })
+
+let rule_gen =
+  QCheck.Gen.(
+    let* on_scenario = opt name_gen in
+    let* on_policy = opt name_gen in
+    let* on_engine = opt name_gen in
+    let* action =
+      oneof
+        [
+          map (fun s -> Emat.Skip s) name_gen;
+          map (fun b -> Emat.Budget b) budget_gen;
+        ]
+    in
+    return { Emat.on_scenario; on_policy; on_engine; action })
+
+let spec_gen =
+  QCheck.Gen.(
+    let* spec_name = name_gen in
+    let* seed = 0 -- 10_000 in
+    let* scenarios = list_size (1 -- 3) name_gen in
+    let* policies = list_size (1 -- 3) name_gen in
+    let* engines = list_size (1 -- 3) name_gen in
+    let* budget = budget_gen in
+    let* rules = list_size (0 -- 3) rule_gen in
+    return { Emat.spec_name; seed; scenarios; policies; engines; budget; rules })
+
+let slo_gen =
+  QCheck.Gen.(
+    let* wait_p50 = pos_float_gen in
+    let* wait_p90 = pos_float_gen in
+    let* wait_p99 = pos_float_gen in
+    let* mean_wait_s = pos_float_gen in
+    let* max_queue_depth = 0 -- 100 in
+    let* mean_queue_depth = pos_float_gen in
+    return
+      {
+        Emat.wait_p50; wait_p90; wait_p99; mean_wait_s; max_queue_depth;
+        mean_queue_depth;
+      })
+
+let sched_gen =
+  QCheck.Gen.(
+    let* jobs_finished = 0 -- 50 in
+    let* rejected = 0 -- 10 in
+    let* requeues = 0 -- 10 in
+    let* faults_injected = 0 -- 10 in
+    let* makespan_s = pos_float_gen in
+    let* goodput = float_bound_inclusive 1.0 in
+    let* mean_turnaround_s = pos_float_gen in
+    let* slo = opt slo_gen in
+    let* counters = list_size (0 -- 4) (pair name_gen pos_float_gen) in
+    return
+      {
+        Emat.jobs_finished; rejected; requeues; faults_injected; makespan_s;
+        goodput; mean_turnaround_s; slo; counters;
+      })
+
+let cell_gen =
+  QCheck.Gen.(
+    let* scenario = name_gen in
+    let* policy = name_gen in
+    let* engine = name_gen in
+    let* skipped = opt name_gen in
+    match skipped with
+    | Some reason ->
+      return
+        {
+          Emat.scenario; policy; engine;
+          status = Emat.Skipped reason;
+          allocs_per_sec = None;
+          reps = 0;
+          sched = None;
+        }
+    | None ->
+      let* allocs_per_sec = opt pos_float_gen in
+      let* reps = 0 -- 10_000 in
+      let* sched = opt sched_gen in
+      return
+        { Emat.scenario; policy; engine; status = Emat.Ran; allocs_per_sec;
+          reps; sched })
+
+let artifact_gen =
+  QCheck.Gen.(
+    let* spec = spec_gen in
+    let* cores = 1 -- 256 in
+    let* cells = list_size (0 -- 8) cell_gen in
+    return { Emat.schema = Emat.schema_version; spec; cores; cells })
+
+(* Counters decode through an assoc list, so duplicate keys would be
+   ambiguous; the runner never emits them and neither does the
+   generator (dedup below). Floats are finite by construction — the
+   emitter turns non-finite into null. *)
+let dedup_counters (a : Emat.artifact) =
+  let dedup l =
+    List.fold_left
+      (fun acc (k, v) -> if List.mem_assoc k acc then acc else acc @ [ (k, v) ])
+      [] l
+  in
+  {
+    a with
+    Emat.cells =
+      List.map
+        (fun (c : Emat.cell) ->
+          {
+            c with
+            Emat.sched =
+              Option.map
+                (fun s -> { s with Emat.counters = dedup s.Emat.counters })
+                c.Emat.sched;
+          })
+        a.Emat.cells;
+  }
+
+let prop_matrix_artifact_roundtrip =
+  QCheck.Test.make ~name:"matrix artifact encode/decode/encode is a fixpoint"
+    ~count:200
+    (QCheck.make artifact_gen)
+    (fun a ->
+      let a = dedup_counters a in
+      let s = Emat.to_string a in
+      match Emat.of_string s with
+      | Error m -> QCheck.Test.fail_reportf "decode failed: %s" m
+      | Ok b ->
+        if Emat.to_string b <> s then
+          QCheck.Test.fail_reportf "re-encode differs:\n%s\nvs\n%s" s
+            (Emat.to_string b)
+        else true)
+
+let test_matrix_decode_errors () =
+  let err = function Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "garbage" true (err (Emat.of_string "nonsense"));
+  Alcotest.(check bool) "wrong schema" true
+    (err (Emat.of_string "{\"schema\":\"rm-matrix/v0\"}"));
+  Alcotest.(check bool) "missing fields" true
+    (err (Emat.of_string "{\"schema\":\"rm-matrix/v1\"}"))
+
+(* --- dashboard --------------------------------------------------------- *)
+
+let test_dashboard_renders () =
+  let current =
+    mk_artifact
+      [
+        mk_cell ~rate:100.0 ~scenario:"uniform" ~policy:"random"
+          ~engine:"naive" ();
+        mk_cell ~rate:400.0 ~scenario:"uniform" ~policy:"random"
+          ~engine:"dense" ();
+        mk_cell
+          ~status:(Emat.Skipped "why not")
+          ~scenario:"chaos-heavy" ~policy:"random" ~engine:"naive" ();
+      ]
+  in
+  let baseline = mk_artifact [ mk_cell ~rate:1_000_000.0 ~scenario:"uniform"
+                                 ~policy:"random" ~engine:"naive" () ] in
+  let bench_allocator =
+    Rm_telemetry.Json.of_string
+      {|{"schema":"rm-bench-allocator/v1","rows":[
+         {"v":60,"policy":"network-load-aware","engine":"dense-warm","allocs_per_sec":1000.0,"reps":10},
+         {"v":1024,"policy":"network-load-aware","engine":"dense-warm","allocs_per_sec":50.0,"reps":10}]}|}
+  in
+  let bench_serve =
+    Rm_telemetry.Json.of_string
+      {|{"schema":"rm-bench-serve/v1","speedup":3.5,"rows":[
+         {"mode":"batched","allocs_per_sec":1700.0,"p50_ms":18.0,"p99_ms":50.0}]}|}
+  in
+  let input =
+    Dash.make
+      ~history:[ ("old", baseline) ]
+      ~baseline ~ratio:2.0 ~bench_allocator ~bench_serve ~current ()
+  in
+  let md = Dash.markdown input in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "markdown has %S" needle) true
+        (contains md needle))
+    [
+      "RM perf dashboard"; "## Cells"; "Heatmaps"; "Baseline gate";
+      "FAIL uniform/random/naive"; "Trends across runs";
+      "Allocator scaling (BENCH_allocator.json"; "dense-warm";
+      "Serve daemon (BENCH_serve.json"; "batched speedup: 3.50x";
+      "skipped: why not"; "Cells CSV";
+    ];
+  let html = Dash.html input in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "html has %S" needle) true
+        (contains html needle))
+    [
+      "<!DOCTYPE html>"; "badge fail"; "Heatmaps"; "dense-warm";
+      "batched speedup: 3.50x"; "</html>";
+    ];
+  (* the failing gate the renderers annotate is the one gate computes *)
+  Alcotest.(check bool) "verdicts expose the regression" false
+    (Emat.gate_ok (Dash.verdicts input));
+  (* no baseline → no gating, renders clean *)
+  let ungated = Dash.make ~current () in
+  Alcotest.(check int) "no baseline, no verdicts" 0
+    (List.length (Dash.verdicts ungated));
+  Alcotest.(check bool) "ungated markdown renders" true
+    (contains (Dash.markdown ungated) "nothing gated")
+
 let suites =
   [
     ( "experiments.render",
@@ -375,4 +819,20 @@ let suites =
         Alcotest.test_case "fig1 traces" `Quick test_traces_structure;
         Alcotest.test_case "fig2 bandwidth map" `Quick test_bandwidth_map_structure;
       ] );
+    ( "experiments.matrix",
+      [
+        Alcotest.test_case "tiny run covers the grid" `Slow test_matrix_tiny_run;
+        Alcotest.test_case "zero-budget rerun is bit-identical" `Slow
+          test_matrix_deterministic_rerun;
+        Alcotest.test_case "cell seeds pinned" `Quick
+          test_matrix_cell_seed_pinned;
+        Alcotest.test_case "spec validation" `Quick test_matrix_spec_validation;
+        Alcotest.test_case "baseline gate semantics" `Quick test_matrix_gate;
+        Alcotest.test_case "decode errors are Errors" `Quick
+          test_matrix_decode_errors;
+      ]
+      @ [ qcheck prop_matrix_artifact_roundtrip ] );
+    ( "experiments.dashboard",
+      [ Alcotest.test_case "markdown and html render" `Quick
+          test_dashboard_renders ] );
   ]

@@ -704,6 +704,90 @@ let test_spill_uncreatable_dir () =
               true
               (contains msg "not a directory" && contains msg squatter)))
 
+let contains hay needle =
+  let h = String.length hay and n = String.length needle in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* Satellite: [Spill.mkdir_p] is the named-path recursive mkdir other
+   sinks reuse (bench --csv nests output under DIR). *)
+let test_spill_mkdir_p_nested () =
+  let base = fresh_spill_dir () in
+  let nested = Filename.concat (Filename.concat base "a") "b" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun d -> if Sys.file_exists d then Sys.rmdir d)
+        [ nested; Filename.concat base "a"; base ])
+    (fun () ->
+      Spill.mkdir_p nested;
+      Alcotest.(check bool) "nested path created" true
+        (Sys.is_directory nested);
+      (* idempotent on an existing tree *)
+      Spill.mkdir_p nested;
+      Alcotest.(check bool) "still a directory" true (Sys.is_directory nested));
+  (* a regular file on the path raises a Sys_error naming it *)
+  let squat_base = fresh_spill_dir () in
+  Sys.mkdir squat_base 0o755;
+  let squatter = Filename.concat squat_base "file" in
+  let oc = open_out squatter in
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove squatter;
+      Sys.rmdir squat_base)
+    (fun () ->
+      match Spill.mkdir_p (Filename.concat squatter "deeper") with
+      | () -> Alcotest.fail "expected Sys_error through a squatting file"
+      | exception Sys_error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error %S names the blocked path" msg)
+          true (contains msg squatter))
+
+(* Doc-drift lint (ISSUE 8): every dotted metric name registered by the
+   libraries must appear in docs/OBSERVABILITY.md, so dashboard
+   counters cannot silently go undocumented. Test-local metrics use the
+   "t." prefix and bench-binary ones "bench."; both are exempt. The
+   registry only holds names whose registration sites have executed,
+   so the lint's coverage grows with the suite — which is the point:
+   anything a test exercises must be documented. *)
+let test_metric_names_documented () =
+  let doc =
+    let rec find dir depth =
+      let candidate =
+        Filename.concat dir (Filename.concat "docs" "OBSERVABILITY.md")
+      in
+      if Sys.file_exists candidate then Some candidate
+      else if depth = 0 then None
+      else find (Filename.concat dir Filename.parent_dir_name) (depth - 1)
+    in
+    match find Filename.current_dir_name 4 with
+    | Some path ->
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    | None -> Alcotest.fail "docs/OBSERVABILITY.md not found from test cwd"
+  in
+  let exempt name =
+    match String.index_opt name '.' with
+    | None -> true
+    | Some i -> List.mem (String.sub name 0 i) [ "t"; "test"; "bench"; "syn" ]
+  in
+  let names =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (v : Metrics.view) ->
+           if exempt v.Metrics.name then None else Some v.Metrics.name)
+         (Metrics.snapshot ()))
+  in
+  let undocumented = List.filter (fun n -> not (contains doc n)) names in
+  Alcotest.(check (list string))
+    (Printf.sprintf "all %d registered metric names documented in \
+                     docs/OBSERVABILITY.md" (List.length names))
+    [] undocumented
+
 let arbitrary_trace_event : Trace.event QCheck.arbitrary =
   let open QCheck.Gen in
   let printable_str = string_size ~gen:printable (int_bound 12) in
@@ -808,6 +892,13 @@ let suites =
         Alcotest.test_case "newest-N retention" `Quick test_spill_retention;
         Alcotest.test_case "uncreatable dir named in error" `Quick
           test_spill_uncreatable_dir;
+        Alcotest.test_case "mkdir_p nests and errors by name" `Quick
+          test_spill_mkdir_p_nested;
       ]
       @ qsuite [ prop_spill_roundtrip ] );
+    ( "telemetry.doclint",
+      [
+        Alcotest.test_case "registered metric names documented" `Quick
+          test_metric_names_documented;
+      ] );
   ]
