@@ -1235,6 +1235,44 @@ let matrix () =
     end);
   Buffer.contents buf
 
+(* --- malleable: rigid vs grow/shrink, requeue vs shrink recovery ------- *)
+
+(* One rm-malleable/v1 artifact; the committed BENCH_malleable.json
+   baseline gates the deterministic queue- and chaos-level fields, and
+   the study's own improvement claims are re-checked on every run. *)
+
+let malleable_out = ref "BENCH_malleable.json"
+
+let malleable () =
+  let module MS = Experiments.Malleable_study in
+  let buf = Buffer.create 1024 in
+  let artifact = MS.run ~job_count:(if !quick then 6 else 10) () in
+  write_file !malleable_out (MS.to_string artifact ^ "\n");
+  Buffer.add_string buf
+    (Printf.sprintf "wrote %s (%s)\n" !malleable_out MS.schema_version);
+  Buffer.add_string buf (MS.render artifact);
+  (match MS.improvement_failures artifact with
+  | [] -> ()
+  | fails ->
+    print_string (Buffer.contents buf);
+    failwith ("bench malleable: " ^ String.concat "; " fails));
+  (match !baseline_file with
+  | None -> ()
+  | Some file -> (
+    match MS.of_string (read_file file) with
+    | Error m ->
+      Buffer.add_string buf
+        (Printf.sprintf "baseline %s not comparable (%s); gate skipped\n" file
+           m)
+    | Ok baseline -> (
+      match MS.gate ~baseline ~current:artifact with
+      | [] -> Buffer.add_string buf "malleable gate: pass\n"
+      | fails ->
+        print_string (Buffer.contents buf);
+        List.iter (fun m -> Printf.printf "FAIL %s\n" m) fails;
+        failwith "bench malleable: regression against baseline")));
+  Buffer.contents buf
+
 let sections : (string * (unit -> string)) list =
   [
     ( "fig1",
@@ -1260,6 +1298,7 @@ let sections : (string * (unit -> string)) list =
     ("scale", fun () -> scale ());
     ("serve", fun () -> serve ());
     ("matrix", fun () -> matrix ());
+    ("malleable", fun () -> malleable ());
     ( "queue",
       fun () ->
         Experiments.Queue_study.render
@@ -1435,6 +1474,9 @@ let () =
       strip rest
     | "--matrix-out" :: file :: rest ->
       matrix_out := file;
+      strip rest
+    | "--malleable-out" :: file :: rest ->
+      malleable_out := file;
       strip rest
     | "--matrix-html" :: file :: rest ->
       matrix_html := file;

@@ -11,6 +11,7 @@
      rmctl replay     [opts]               allocate against a recorded trace
      rmctl sched      JOBS.csv [opts]      run a job file through the scheduler
      rmctl chaos      [opts]               scheduler vs. a fault plan (node churn, outages)
+     rmctl malleable  [opts]               rigid vs. grow/shrink malleability study
      rmctl explain    [opts]               audit one allocation decision
      rmctl metrics    [opts]               run a job with telemetry on, dump metrics
      rmctl serve      [opts]               resident allocation daemon (brokerd)
@@ -906,6 +907,52 @@ let chaos_cmd =
           $ seed_t
           $ jobs_t $ check_t $ log_t $ trace_out_t $ metrics_out_t)
 
+(* --- malleable --------------------------------------------------------------- *)
+
+let malleable_cmd =
+  let module MS = Rm_experiments.Malleable_study in
+  let run () seed jobs policy out check =
+    let artifact = MS.run ~seed ?job_count:jobs ~policy () in
+    print_string (MS.render artifact);
+    (match out with
+    | None -> ()
+    | Some path ->
+      write_file path (MS.to_string artifact);
+      Format.printf "wrote %s@." path);
+    if check then begin
+      match MS.improvement_failures artifact with
+      | [] -> Format.printf "malleable: every claim holds@."
+      | failures ->
+        List.iter (fun m -> prerr_endline ("malleable: " ^ m)) failures;
+        exit 1
+    end
+  in
+  let jobs_t =
+    Arg.(value & opt (some int) None
+         & info [ "jobs" ] ~docv:"N"
+             ~doc:"Jobs per scheduler pass (default: the study's 10).")
+  in
+  let out_t =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the study artifact JSON (the BENCH_malleable.json \
+                   schema).")
+  in
+  let check_t =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Exit non-zero unless every study claim holds (malleable \
+                   beats rigid; shrink-recovery beats requeue-recovery).")
+  in
+  Cmd.v
+    (Cmd.info "malleable"
+       ~doc:
+         "Run the malleability study: the hour-scale job mix through the \
+          scheduler rigid vs. with grow/shrink bands, then under light node \
+          churn with requeue-recovery vs. shrink-recovery, reporting \
+          makespan, wait, goodput and the accepted/rejected directives.")
+    Term.(const run $ knobs_t $ seed_t $ jobs_t $ policy_t $ out_t $ check_t)
+
 (* --- sched ------------------------------------------------------------------- *)
 
 let sched_cmd =
@@ -1229,5 +1276,6 @@ let () =
        (Cmd.group info
           [ cluster_cmd; snapshot_cmd; allocate_cmd; run_cmd; compare_cmd;
             forecast_cmd; record_cmd; replay_cmd; sched_cmd; chaos_cmd;
+            malleable_cmd;
             explain_cmd; metrics_cmd; Serve_cmd.cmd; serve_metrics_cmd;
             slo_cmd; check_export_cmd; matrix_cmd; dashboard_cmd ]))

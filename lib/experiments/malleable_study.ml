@@ -1,0 +1,473 @@
+module Sim = Rm_engine.Sim
+module Rng = Rm_stats.Rng
+module Cluster = Rm_cluster.Cluster
+module World = Rm_workload.World
+module Scenario = Rm_workload.Scenario
+module System = Rm_monitor.System
+module Policies = Rm_core.Policies
+module Broker = Rm_core.Broker
+module Request = Rm_core.Request
+module Scheduler = Rm_sched.Scheduler
+module Malleable = Rm_malleable.Malleable
+module Injector = Rm_faults.Injector
+module Json = Rm_telemetry.Json
+
+type queue_row = {
+  finished : int;
+  makespan_s : float;
+  mean_wait_s : float;
+  mean_turnaround_s : float;
+  grows : int;
+  shrinks : int;
+  rejected_directives : int;
+}
+
+type chaos_row = {
+  c_finished : int;
+  requeues : int;
+  shrink_recoveries : int;
+  wasted_node_s : float;
+  goodput : float;
+  c_mean_turnaround_s : float;
+}
+
+type artifact = {
+  schema : string;
+  seed : int;
+  job_count : int;
+  cores : int;
+  policy : string;
+  rigid : queue_row;
+  malleable : queue_row;
+  requeue_recovery : chaos_row;
+  shrink_recovery : chaos_row;
+}
+
+let schema_version = "rm-malleable/v1"
+
+(* Every job gets a half-to-double band around its preferred count;
+   small jobs keep a floor of 4 so a shrink cannot leave a token rank. *)
+let band_of procs =
+  Malleable.spec ~min_procs:(max 4 (procs / 2)) ~max_procs:(procs * 2) ()
+
+(* Strong-scaling BSP job: fixed total work split across however many
+   ranks the job currently has, so more ranks finish sooner — the
+   regime where growing pays. Sized to run for roughly an hour at the
+   preferred count: the second-scale miniMD/miniFE runs of Queue_study
+   never outlive a negotiation period, so no reconfiguration point can
+   land inside them. *)
+let synthetic_app ~total_tflops ~name ~ranks =
+  let iterations = 40 in
+  let flops_per_rank =
+    total_tflops *. 1e12 /. float_of_int ranks /. float_of_int iterations
+  in
+  let bytes = 2e6 in
+  let messages =
+    if ranks <= 1 then []
+    else List.init ranks (fun i -> (i, (i + 1) mod ranks, bytes))
+  in
+  Rm_mpisim.App.make ~name ~ranks ~iterations
+    ~phase:(fun ~iter:_ ->
+      {
+        Rm_mpisim.App.flops_per_rank = (fun _ -> flops_per_rank);
+        messages;
+        allreduce_bytes = 64.0;
+      })
+    ()
+
+(* The Queue_study afternoon's shape — same arrival cadence and procs
+   cycle — with hour-scale strong-scaling jobs instead. *)
+let job_mix ~job_count ~warm =
+  List.init job_count (fun i ->
+      let procs = [| 16; 32; 24; 48 |].(i mod 4) in
+      let tflops = [| 120.0; 360.0; 200.0; 480.0 |].(i mod 4) in
+      let at = warm +. (float_of_int i *. 600.0) in
+      (Printf.sprintf "mjob%02d" i, tflops, procs, at))
+
+(* Recovery-only knobs for the chaos comparison: with grow and
+   shrink-to-admit off, the two passes differ solely in what happens
+   when a running job loses a node. *)
+let recovery_only =
+  { Malleable.default_config with grow_when_idle = false; shrink_to_admit = false }
+
+let drain ~sim ~sched ~ids ~horizon =
+  let terminal id =
+    match Scheduler.state sched id with
+    | exception Invalid_argument _ -> false
+    | Scheduler.Finished _ | Scheduler.Rejected _ -> true
+    | Scheduler.Queued | Scheduler.Running _ | Scheduler.Failed _ -> false
+  in
+  let rec loop () =
+    if (not (List.for_all terminal ids)) && Sim.now sim < horizon then begin
+      Sim.run_until sim (Sim.now sim +. 600.0);
+      loop ()
+    end
+  in
+  loop ()
+
+let directive_counts sched =
+  List.fold_left
+    (fun (g, s, r) (d : Malleable.record) ->
+      match (d.Malleable.verdict, d.Malleable.kind) with
+      | Malleable.Accepted, Malleable.Grow -> (g + 1, s, r)
+      | Malleable.Accepted, (Malleable.Shrink_admit | Malleable.Shrink_failure)
+        -> (g, s + 1, r)
+      | Malleable.Rejected _, _ -> (g, s, r + 1))
+    (0, 0, 0) (Scheduler.malleable_log sched)
+
+let makespan_of ~warm outcomes =
+  if outcomes = [] then 0.0
+  else
+    List.fold_left
+      (fun acc (o : Scheduler.outcome) -> Float.max acc o.Scheduler.finished_at)
+      0.0 outcomes
+    -. warm
+
+let mean_turnaround outcomes =
+  if outcomes = [] then 0.0
+  else
+    List.fold_left
+      (fun acc (o : Scheduler.outcome) ->
+        acc +. (o.Scheduler.finished_at -. o.Scheduler.submitted_at))
+      0.0 outcomes
+    /. float_of_int (List.length outcomes)
+
+(* One queue pass: the hour-scale mix on the normal-scenario world,
+   with or without the malleability phase. Same substrate (cluster,
+   scenario, seeds, cadence) as Queue_study.run_policy_sched. *)
+let run_queue ~seed ~job_count ~policy ~malleable () =
+  let sim = Sim.create () in
+  let world =
+    World.create ~cluster:(Cluster.iitk_reference ()) ~scenario:Scenario.normal
+      ~seed
+  in
+  let rng = Rng.create (seed + 5) in
+  let horizon = 100_000.0 in
+  let monitor = System.start ~sim ~world ~rng ~until:horizon () in
+  let config =
+    {
+      Scheduler.default_config with
+      Scheduler.broker = { Broker.default_config with Broker.policy };
+      malleable = (if malleable then Some Malleable.default_config else None);
+    }
+  in
+  let sched = Scheduler.create ~sim ~world ~monitor ~config ~rng ~horizon () in
+  let warm = System.warm_up_s System.default_cadence in
+  let ids =
+    List.map
+      (fun (name, tflops, procs, at) ->
+        Scheduler.submit sched ~name ~at
+          ?malleable:(if malleable then Some (band_of procs) else None)
+          ~request:(Request.make ~ppn:4 ~alpha:0.35 ~procs ())
+          ~app_of:(synthetic_app ~total_tflops:tflops ~name) ())
+      (job_mix ~job_count ~warm)
+  in
+  drain ~sim ~sched ~ids ~horizon;
+  let outcomes = Scheduler.finished sched in
+  let grows, shrinks, rejected_directives = directive_counts sched in
+  let mean_wait_s =
+    if outcomes = [] then 0.0
+    else (Scheduler.summary sched).Scheduler.mean_wait_s
+  in
+  {
+    finished = List.length outcomes;
+    makespan_s = makespan_of ~warm outcomes;
+    mean_wait_s;
+    mean_turnaround_s = mean_turnaround outcomes;
+    grows;
+    shrinks;
+    rejected_directives;
+  }
+
+(* One chaos pass: the heavy fault plan over the resilient config, with
+   recovery by requeue (malleability off) or by shrinking off the dead
+   nodes. *)
+let run_chaos ~seed ~job_count ~policy ~shrink () =
+  let cluster = Cluster.iitk_reference () in
+  let sim = Sim.create () in
+  let world = World.create ~cluster ~scenario:Scenario.normal ~seed in
+  let rng = Rng.create (seed + 5) in
+  let horizon = 100_000.0 in
+  let monitor = System.start ~sim ~world ~rng ~until:horizon () in
+  let config =
+    {
+      (Chaos_study.resilient_config policy) with
+      Scheduler.malleable = (if shrink then Some recovery_only else None);
+    }
+  in
+  let sched = Scheduler.create ~sim ~world ~monitor ~config ~rng ~horizon () in
+  let warm = System.warm_up_s System.default_cadence in
+  (* Light node churn, not Heavy: the hour-scale jobs already give the
+     churn plenty of surface (Heavy's aligned switch storms kill every
+     job 4+ times and nothing finishes under either recovery mode). *)
+  let plan =
+    Chaos_study.plan_of_intensity ~cluster ~first_after_s:warm
+      ~seed:(seed + 17) Chaos_study.Light
+  in
+  ignore
+    (Option.map
+       (fun plan ->
+         Injector.inject ~sim ~world ~system:monitor ~until:horizon plan)
+       plan);
+  let ids =
+    List.map
+      (fun (name, tflops, procs, at) ->
+        Scheduler.submit sched ~name ~at
+          ?malleable:(if shrink then Some (band_of procs) else None)
+          ~request:(Request.make ~ppn:4 ~alpha:0.35 ~procs ())
+          ~app_of:(synthetic_app ~total_tflops:tflops ~name) ())
+      (job_mix ~job_count ~warm)
+  in
+  drain ~sim ~sched ~ids ~horizon;
+  let outcomes = Scheduler.finished sched in
+  let useful_node_s =
+    List.fold_left
+      (fun acc (o : Scheduler.outcome) ->
+        acc
+        +. (o.Scheduler.finished_at -. o.Scheduler.started_at)
+           *. float_of_int (List.length o.Scheduler.nodes))
+      0.0 outcomes
+  in
+  let wasted = Scheduler.wasted_node_seconds sched in
+  let shrink_recoveries =
+    List.length
+      (List.filter
+         (fun (d : Malleable.record) ->
+           d.Malleable.kind = Malleable.Shrink_failure
+           && d.Malleable.verdict = Malleable.Accepted)
+         (Scheduler.malleable_log sched))
+  in
+  {
+    c_finished = List.length outcomes;
+    requeues = Scheduler.requeue_count sched;
+    shrink_recoveries;
+    wasted_node_s = wasted;
+    goodput =
+      (if useful_node_s +. wasted <= 0.0 then 1.0
+       else useful_node_s /. (useful_node_s +. wasted));
+    c_mean_turnaround_s = mean_turnaround outcomes;
+  }
+
+let run ?(seed = 83) ?(job_count = 10) ?(policy = Policies.Network_load_aware)
+    () =
+  {
+    schema = schema_version;
+    seed;
+    job_count;
+    cores = Domain.recommended_domain_count ();
+    policy = Policies.name policy;
+    rigid = run_queue ~seed ~job_count ~policy ~malleable:false ();
+    malleable = run_queue ~seed ~job_count ~policy ~malleable:true ();
+    requeue_recovery = run_chaos ~seed ~job_count ~policy ~shrink:false ();
+    shrink_recovery = run_chaos ~seed ~job_count ~policy ~shrink:true ();
+  }
+
+(* --- claims ------------------------------------------------------------ *)
+
+let improvement_failures a =
+  let fails = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> fails := m :: !fails) fmt in
+  if a.malleable.finished < a.rigid.finished then
+    fail "malleable finished %d < rigid %d" a.malleable.finished
+      a.rigid.finished;
+  if a.malleable.makespan_s >= a.rigid.makespan_s then
+    fail "malleable makespan %.1f s not better than rigid %.1f s"
+      a.malleable.makespan_s a.rigid.makespan_s;
+  if a.malleable.mean_wait_s > a.rigid.mean_wait_s +. 1e-6 then
+    fail "malleable mean wait %.1f s worse than rigid %.1f s"
+      a.malleable.mean_wait_s a.rigid.mean_wait_s;
+  if a.malleable.grows + a.malleable.shrinks < 1 then
+    fail "no directive was ever accepted";
+  if a.shrink_recovery.goodput < a.requeue_recovery.goodput then
+    fail "shrink-recovery goodput %.3f < requeue-recovery %.3f"
+      a.shrink_recovery.goodput a.requeue_recovery.goodput;
+  if a.shrink_recovery.shrink_recoveries < 1 then
+    fail "no shrink recovery ever fired under the fault plan";
+  List.rev !fails
+
+let gate ~baseline ~current =
+  let fails = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> fails := m :: !fails) fmt in
+  if
+    baseline.seed <> current.seed
+    || baseline.job_count <> current.job_count
+    || baseline.policy <> current.policy
+  then
+    fail "coordinates differ: baseline (%d, %d, %s) vs current (%d, %d, %s)"
+      baseline.seed baseline.job_count baseline.policy current.seed
+      current.job_count current.policy
+  else begin
+    let finished name b c = if c < b then fail "%s finished %d < baseline %d" name c b in
+    finished "rigid" baseline.rigid.finished current.rigid.finished;
+    finished "malleable" baseline.malleable.finished current.malleable.finished;
+    finished "requeue-recovery" baseline.requeue_recovery.c_finished
+      current.requeue_recovery.c_finished;
+    finished "shrink-recovery" baseline.shrink_recovery.c_finished
+      current.shrink_recovery.c_finished;
+    if current.malleable.makespan_s > baseline.malleable.makespan_s *. 1.05 then
+      fail "malleable makespan %.1f s > baseline %.1f s + 5%%"
+        current.malleable.makespan_s baseline.malleable.makespan_s;
+    if
+      current.malleable.mean_wait_s
+      > (baseline.malleable.mean_wait_s *. 1.05) +. 1.0
+    then
+      fail "malleable mean wait %.1f s > baseline %.1f s + 5%%"
+        current.malleable.mean_wait_s baseline.malleable.mean_wait_s;
+    if current.shrink_recovery.goodput < baseline.shrink_recovery.goodput -. 0.05
+    then
+      fail "shrink-recovery goodput %.3f < baseline %.3f - 0.05"
+        current.shrink_recovery.goodput baseline.shrink_recovery.goodput;
+    List.iter (fun m -> fails := m :: !fails) (improvement_failures current)
+  end;
+  List.rev !fails
+
+(* --- codec ------------------------------------------------------------- *)
+
+let num_i n = Json.Num (float_of_int n)
+
+let queue_row_to_json r =
+  Json.Obj
+    [
+      ("finished", num_i r.finished);
+      ("makespan_s", Json.Num r.makespan_s);
+      ("mean_wait_s", Json.Num r.mean_wait_s);
+      ("mean_turnaround_s", Json.Num r.mean_turnaround_s);
+      ("grows", num_i r.grows);
+      ("shrinks", num_i r.shrinks);
+      ("rejected_directives", num_i r.rejected_directives);
+    ]
+
+let queue_row_of_json j =
+  {
+    finished = Json.to_int (Json.member "finished" j);
+    makespan_s = Json.to_float (Json.member "makespan_s" j);
+    mean_wait_s = Json.to_float (Json.member "mean_wait_s" j);
+    mean_turnaround_s = Json.to_float (Json.member "mean_turnaround_s" j);
+    grows = Json.to_int (Json.member "grows" j);
+    shrinks = Json.to_int (Json.member "shrinks" j);
+    rejected_directives = Json.to_int (Json.member "rejected_directives" j);
+  }
+
+let chaos_row_to_json r =
+  Json.Obj
+    [
+      ("finished", num_i r.c_finished);
+      ("requeues", num_i r.requeues);
+      ("shrink_recoveries", num_i r.shrink_recoveries);
+      ("wasted_node_s", Json.Num r.wasted_node_s);
+      ("goodput", Json.Num r.goodput);
+      ("mean_turnaround_s", Json.Num r.c_mean_turnaround_s);
+    ]
+
+let chaos_row_of_json j =
+  {
+    c_finished = Json.to_int (Json.member "finished" j);
+    requeues = Json.to_int (Json.member "requeues" j);
+    shrink_recoveries = Json.to_int (Json.member "shrink_recoveries" j);
+    wasted_node_s = Json.to_float (Json.member "wasted_node_s" j);
+    goodput = Json.to_float (Json.member "goodput" j);
+    c_mean_turnaround_s = Json.to_float (Json.member "mean_turnaround_s" j);
+  }
+
+let to_json a =
+  Json.Obj
+    [
+      ("schema", Json.Str a.schema);
+      ("seed", num_i a.seed);
+      ("job_count", num_i a.job_count);
+      ("cores", num_i a.cores);
+      ("policy", Json.Str a.policy);
+      ("rigid", queue_row_to_json a.rigid);
+      ("malleable", queue_row_to_json a.malleable);
+      ("requeue_recovery", chaos_row_to_json a.requeue_recovery);
+      ("shrink_recovery", chaos_row_to_json a.shrink_recovery);
+    ]
+
+let to_string a = Json.to_string (to_json a)
+
+let of_json j =
+  match
+    let schema = Json.to_str (Json.member "schema" j) in
+    if schema <> schema_version then
+      failwith
+        (Printf.sprintf "Malleable_study: schema %S, want %S" schema
+           schema_version);
+    {
+      schema;
+      seed = Json.to_int (Json.member "seed" j);
+      job_count = Json.to_int (Json.member "job_count" j);
+      cores = Json.to_int (Json.member "cores" j);
+      policy = Json.to_str (Json.member "policy" j);
+      rigid = queue_row_of_json (Json.member "rigid" j);
+      malleable = queue_row_of_json (Json.member "malleable" j);
+      requeue_recovery = chaos_row_of_json (Json.member "requeue_recovery" j);
+      shrink_recovery = chaos_row_of_json (Json.member "shrink_recovery" j);
+    }
+  with
+  | a -> Ok a
+  | exception Failure m -> Error m
+
+let of_string s =
+  match Json.of_string s with
+  | exception Failure m -> Error m
+  | j -> of_json j
+
+(* --- render ------------------------------------------------------------ *)
+
+let render a =
+  let queue_row name (r : queue_row) =
+    [
+      name;
+      string_of_int r.finished;
+      Printf.sprintf "%.0f" r.makespan_s;
+      Printf.sprintf "%.0f" r.mean_wait_s;
+      Printf.sprintf "%.1f" r.mean_turnaround_s;
+      string_of_int r.grows;
+      string_of_int r.shrinks;
+      string_of_int r.rejected_directives;
+    ]
+  in
+  let chaos_row name (r : chaos_row) =
+    [
+      name;
+      string_of_int r.c_finished;
+      string_of_int r.requeues;
+      string_of_int r.shrink_recoveries;
+      Printf.sprintf "%.0f" r.wasted_node_s;
+      Printf.sprintf "%.3f" r.goodput;
+      Printf.sprintf "%.1f" r.c_mean_turnaround_s;
+    ]
+  in
+  let verdict =
+    match improvement_failures a with
+    | [] -> "verdict: malleability pays for itself on both comparisons\n"
+    | fails ->
+      "verdict: CLAIMS VIOLATED\n  "
+      ^ String.concat "\n  " fails
+      ^ "\n"
+  in
+  Printf.sprintf
+    "Malleable study — an hour-scale afternoon under policy %s, rigid vs\n\
+     grow/shrink at reconfiguration points; then light node churn with\n\
+     requeue-recovery vs shrink-recovery\n\n%s\n%s\n%s"
+    a.policy
+    (Render.table_str
+       ~header:
+         [
+           "schedule"; "finished"; "makespan (s)"; "mean wait (s)";
+           "turnaround (s)"; "grows"; "shrinks"; "rejected";
+         ]
+       ~rows:
+         [ queue_row "rigid" a.rigid; queue_row "malleable" a.malleable ])
+    (Render.table_str
+       ~header:
+         [
+           "recovery"; "finished"; "requeues"; "shrink-recoveries";
+           "wasted node-s"; "goodput"; "turnaround (s)";
+         ]
+       ~rows:
+         [
+           chaos_row "requeue" a.requeue_recovery;
+           chaos_row "shrink" a.shrink_recovery;
+         ])
+    verdict

@@ -1,0 +1,93 @@
+(** The malleability study behind [bench malleable]: does letting jobs
+    grow/shrink at reconfiguration points beat the rigid scheduler on
+    the same workload, and does shrink-recovery beat requeue-recovery
+    under faults?
+
+    Two paired comparisons, both fully deterministic (virtual time,
+    seeded RNG, no wall clock anywhere):
+
+    - {b queue}: the {!Queue_study} afternoon's shape (same arrival
+      cadence and procs cycle) with hour-scale strong-scaling BSP jobs,
+      through the batch scheduler twice — once rigid (malleability off)
+      and once with every job declaring a [procs/2 .. procs*2] band
+      under {!Rm_malleable.Malleable.default_config}. Compared on
+      makespan, mean wait and turnaround, with the accepted/rejected
+      directive counts from {!Rm_sched.Scheduler.malleable_log};
+    - {b chaos}: the same mix under the {!Chaos_study} light node-churn
+      plan with the resilient scheduler config, once recovering failed
+      jobs by requeue and once by shrinking off the dead nodes
+      (grow/shrink-to-admit disabled so the recovery path is the only
+      difference). Compared on goodput and wasted node-seconds.
+
+    The artifact serializes under {!schema_version} and is committed as
+    BENCH_malleable.json; {!gate} compares a run against that baseline
+    in CI. Every gated field is virtual-time deterministic, so the gate
+    applies regardless of host speed — [cores] is recorded only so a
+    future wall-clock field can be gated host-awarely like the other
+    bench baselines (docs/OBSERVABILITY.md §6). *)
+
+type queue_row = {
+  finished : int;
+  makespan_s : float;  (** last finish minus monitor warm-up *)
+  mean_wait_s : float;
+  mean_turnaround_s : float;
+  grows : int;  (** accepted grow directives *)
+  shrinks : int;  (** accepted shrink-to-admit directives *)
+  rejected_directives : int;
+}
+
+type chaos_row = {
+  c_finished : int;
+  requeues : int;
+  shrink_recoveries : int;  (** accepted shrink-on-failure directives *)
+  wasted_node_s : float;
+  goodput : float;  (** useful node-s / (useful + wasted) *)
+  c_mean_turnaround_s : float;
+}
+
+type artifact = {
+  schema : string;  (** always {!schema_version} *)
+  seed : int;
+  job_count : int;
+  cores : int;  (** producing host, for future host-aware fields *)
+  policy : string;  (** broker policy both comparisons ran under *)
+  rigid : queue_row;
+  malleable : queue_row;
+  requeue_recovery : chaos_row;
+  shrink_recovery : chaos_row;
+}
+
+val schema_version : string
+(** ["rm-malleable/v1"]. *)
+
+val run :
+  ?seed:int -> ?job_count:int -> ?policy:Rm_core.Policies.policy -> unit ->
+  artifact
+(** Runs all four scheduler passes (seed 83, 10 jobs,
+    network-load-aware by default). *)
+
+val improvement_failures : artifact -> string list
+(** The study's own claims, checked at generation time: the malleable
+    pass must finish at least as many jobs with a strictly smaller
+    makespan and no worse mean wait than the rigid pass, with at least
+    one accepted directive; shrink-recovery goodput must be at least
+    requeue-recovery goodput with at least one shrink recovery. Empty
+    when every claim holds. *)
+
+val gate : baseline:artifact -> current:artifact -> string list
+(** CI regression gate against the committed artifact: same
+    [(seed, job_count, policy)] coordinates, no fewer jobs finished in
+    any pass, malleable makespan and mean wait within 5% of baseline,
+    shrink-recovery goodput within 0.05 of baseline, and
+    {!improvement_failures} still empty. Returns failure messages;
+    empty means pass. *)
+
+val to_json : artifact -> Rm_telemetry.Json.t
+val to_string : artifact -> string
+
+val of_json : Rm_telemetry.Json.t -> (artifact, string) result
+val of_string : string -> (artifact, string) result
+(** [Error] on parse failure or schema mismatch — never raises. *)
+
+val render : artifact -> string
+(** The two comparison tables plus a one-line verdict. *)

@@ -11,6 +11,7 @@ module Request = Rm_core.Request
 module Weights = Rm_core.Weights
 module Scheduler = Rm_sched.Scheduler
 module Slo = Rm_sched.Slo
+module Malleable = Rm_malleable.Malleable
 module Injector = Rm_faults.Injector
 module Json = Rm_telemetry.Json
 module Metrics = Rm_telemetry.Metrics
@@ -21,11 +22,12 @@ type family =
   | Background of Scenario.t
   | Replay of { hours : float; period_s : float }
   | Chaos of Chaos_study.intensity
+  | Malleable_family of Scenario.t
 
 let family_names =
   [
     "uniform"; "hotspot"; "diurnal"; "trace-replay"; "chaos-off";
-    "chaos-light"; "chaos-heavy";
+    "chaos-light"; "chaos-heavy"; "malleable";
   ]
 
 let family_of_name = function
@@ -36,6 +38,7 @@ let family_of_name = function
   | "chaos-off" -> Some (Chaos Chaos_study.Off)
   | "chaos-light" -> Some (Chaos Chaos_study.Light)
   | "chaos-heavy" -> Some (Chaos Chaos_study.Heavy)
+  | "malleable" -> Some (Malleable_family Scenario.normal)
   | other -> Option.map (fun sc -> Background sc) (Scenario.by_name other)
 
 type engine = Naive | Dense | Dense_par of int | Hier | Auto
@@ -89,7 +92,7 @@ let quick_spec =
   {
     spec_name = "quick";
     seed = 83;
-    scenarios = [ "uniform"; "hotspot"; "chaos-heavy" ];
+    scenarios = [ "uniform"; "hotspot"; "chaos-heavy"; "malleable" ];
     policies = [ "random"; "load-aware"; "network-load-aware" ];
     engines = [ "naive"; "dense"; "hierarchical" ];
     budget = { alloc_budget_s = 0.05; job_count = 3 };
@@ -101,7 +104,10 @@ let full_spec =
     spec_name = "full";
     seed = 83;
     scenarios =
-      [ "uniform"; "hotspot"; "diurnal"; "trace-replay"; "chaos-heavy" ];
+      [
+        "uniform"; "hotspot"; "diurnal"; "trace-replay"; "chaos-heavy";
+        "malleable";
+      ];
     policies = [ "random"; "load-aware"; "network-load-aware" ];
     engines = [ "naive"; "dense"; "dense-par4"; "hierarchical"; "auto" ];
     budget = { alloc_budget_s = 0.5; job_count = 10 };
@@ -223,8 +229,10 @@ let selected_counters =
   [
     "core.allocations"; "core.broker.allocated"; "core.broker.wait";
     "core.broker.stale_excluded"; "sched.jobs_dispatched"; "sched.requeues";
-    "sched.backfill_hits"; "faults.injected"; "faults.recovered";
-    "core.model_cache.hits"; "core.model_cache.misses";
+    "sched.backfill_hits"; "sched.malleable.grows"; "sched.malleable.shrinks";
+    "sched.malleable.rejected"; "sched.malleable.shrink_recoveries";
+    "faults.injected"; "faults.recovered"; "core.model_cache.hits";
+    "core.model_cache.misses";
   ]
 
 (* --- rule application ------------------------------------------------- *)
@@ -268,7 +276,7 @@ let warm_s () = System.warm_up_s System.default_cadence
 
 let world_of_family ~family ~cluster ~seed =
   match family with
-  | Background sc -> World.create ~cluster ~scenario:sc ~seed
+  | Background sc | Malleable_family sc -> World.create ~cluster ~scenario:sc ~seed
   | Chaos _ -> World.create ~cluster ~scenario:Scenario.normal ~seed
   | Replay { hours; period_s } ->
     let source = World.create ~cluster ~scenario:Scenario.normal ~seed in
@@ -305,6 +313,12 @@ let run_sched_cell ~family ~policy ~seed ~job_count =
         Scheduler.default_config with
         Scheduler.broker = { Broker.default_config with Broker.policy };
       }
+    | Malleable_family _ ->
+      {
+        Scheduler.default_config with
+        Scheduler.broker = { Broker.default_config with Broker.policy };
+        malleable = Some Malleable.default_config;
+      }
   in
   let sched = Scheduler.create ~sim ~world ~monitor ~config ~rng ~horizon () in
   let injector =
@@ -315,12 +329,22 @@ let run_sched_cell ~family ~policy ~seed ~job_count =
           Injector.inject ~sim ~world ~system:monitor ~until:horizon plan)
         (Chaos_study.plan_of_intensity ~cluster ~first_after_s:warm ~seed
            intensity)
-    | Background _ | Replay _ -> None
+    | Background _ | Replay _ | Malleable_family _ -> None
+  in
+  let malleable_spec procs =
+    match family with
+    | Malleable_family _ ->
+      Some
+        (Malleable.spec
+           ~min_procs:(max 4 (procs / 2))
+           ~max_procs:(procs * 2) ())
+    | Background _ | Replay _ | Chaos _ -> None
   in
   let ids =
     List.map
       (fun (name, kind, procs, at) ->
         Scheduler.submit sched ~name ~at
+          ?malleable:(malleable_spec procs)
           ~request:(Request.make ~ppn:4 ~alpha:0.35 ~procs ())
           ~app_of:(Queue_study.app_of_kind kind) ())
       (Queue_study.job_mix ~job_count ~warm)

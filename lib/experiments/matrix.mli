@@ -35,11 +35,16 @@ type family =
   | Chaos of Chaos_study.intensity
       (** normal background plus a seeded fault plan and the resilient
           scheduler config *)
+  | Malleable_family of Rm_workload.Scenario.t
+      (** background load with the malleability negotiation phase
+          enabled ({!Rm_malleable.Malleable.default_config}) and every
+          job submitted with a [procs/2 .. procs*2] band *)
 
 val family_of_name : string -> family option
 (** Resolves the documented scenario-family names: [uniform] (normal
     background), [hotspot], [diurnal] (the nightly scenario),
-    [trace-replay], [chaos-light]/[chaos-heavy]/[chaos-off], plus any
+    [trace-replay], [chaos-light]/[chaos-heavy]/[chaos-off],
+    [malleable] (normal background, malleable scheduler), plus any
     name {!Rm_workload.Scenario.by_name} accepts. *)
 
 val family_names : string list
@@ -90,12 +95,12 @@ type spec = {
 }
 
 val quick_spec : spec
-(** The CI matrix: 3 scenarios (uniform, hotspot, chaos-heavy) × 3
-    policies (random, load-aware, network-load-aware) × 3 engines
-    (naive, dense, hierarchical), small budgets. *)
+(** The CI matrix: 4 scenarios (uniform, hotspot, chaos-heavy,
+    malleable) × 3 policies (random, load-aware, network-load-aware) ×
+    3 engines (naive, dense, hierarchical), small budgets. *)
 
 val full_spec : spec
-(** The full sweep: 5 scenario families (adds diurnal and
+(** The full sweep: 6 scenario families (adds diurnal and
     trace-replay) × 3 policies × 5 engines (adds dense-par4 and auto),
     with skip rules for redundant engine × policy combinations. *)
 

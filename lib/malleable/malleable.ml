@@ -1,0 +1,195 @@
+(* Pure malleability machinery shared by the scheduler and the service
+   daemon: spec/config types, allocation merge/shrink surgery, the
+   data-redistribution cost model, and the per-directive audit record.
+   Nothing here touches a world, a sim, or randomness — every function
+   is a total (or clearly-raising) function of its arguments, which is
+   what makes the reconfiguration-point invariants qcheck-able in
+   isolation (test_malleable.ml). *)
+
+module Allocation = Rm_core.Allocation
+module Json = Rm_telemetry.Json
+
+type spec = { min_procs : int; max_procs : int; data_mb_per_proc : float }
+
+let spec ?(data_mb_per_proc = 64.0) ~min_procs ~max_procs () =
+  if min_procs < 1 then invalid_arg "Malleable.spec: min_procs < 1";
+  if max_procs < min_procs then
+    invalid_arg "Malleable.spec: max_procs < min_procs";
+  if not (Float.is_finite data_mb_per_proc) || data_mb_per_proc < 0.0 then
+    invalid_arg "Malleable.spec: data_mb_per_proc must be finite and >= 0";
+  { min_procs; max_procs; data_mb_per_proc }
+
+let rigid ~procs =
+  if procs < 1 then invalid_arg "Malleable.rigid: procs < 1";
+  { min_procs = procs; max_procs = procs; data_mb_per_proc = 0.0 }
+
+let is_rigid ~pref s = s.min_procs = pref && s.max_procs = pref
+
+type config = {
+  negotiation_period_s : float;
+  min_gain_s : float;
+  reconfig_overhead_s : float;
+  grow_when_idle : bool;
+  shrink_to_admit : bool;
+  shrink_on_failure : bool;
+  max_grow_step : int;
+}
+
+let default_config =
+  {
+    negotiation_period_s = 600.0;
+    min_gain_s = 60.0;
+    reconfig_overhead_s = 30.0;
+    grow_when_idle = true;
+    shrink_to_admit = true;
+    shrink_on_failure = true;
+    max_grow_step = 32;
+  }
+
+(* --- allocation surgery ------------------------------------------------- *)
+
+let merge ~(base : Allocation.t) ~(extra : Allocation.t) =
+  let totals = Hashtbl.create 8 in
+  let order = ref [] in
+  let feed (e : Allocation.entry) =
+    (match Hashtbl.find_opt totals e.Allocation.node with
+    | None ->
+      order := e.Allocation.node :: !order;
+      Hashtbl.replace totals e.Allocation.node e.Allocation.procs
+    | Some p -> Hashtbl.replace totals e.Allocation.node (p + e.Allocation.procs))
+  in
+  List.iter feed base.Allocation.entries;
+  List.iter feed extra.Allocation.entries;
+  let entries =
+    List.rev_map
+      (fun node -> { Allocation.node; procs = Hashtbl.find totals node })
+      !order
+  in
+  Allocation.make ~policy:base.Allocation.policy ~entries
+
+let shrink_to (a : Allocation.t) ~target_procs =
+  let total = Allocation.total_procs a in
+  if target_procs < 1 || target_procs >= total then None
+  else begin
+    (* Drop from the tail: the last entries are the allocator's least
+       preferred picks, so a shrink retreats in reverse preference
+       order. The last surviving entry may shrink partially. *)
+    let rec keep budget = function
+      | [] -> []
+      | (e : Allocation.entry) :: rest ->
+        if budget <= 0 then []
+        else if e.Allocation.procs <= budget then
+          e :: keep (budget - e.Allocation.procs) rest
+        else [ { e with Allocation.procs = budget } ]
+    in
+    let entries = keep target_procs a.Allocation.entries in
+    Some (Allocation.make ~policy:a.Allocation.policy ~entries)
+  end
+
+let drop_nodes (a : Allocation.t) ~dead =
+  let survivors =
+    List.filter
+      (fun (e : Allocation.entry) -> not (List.mem e.Allocation.node dead))
+      a.Allocation.entries
+  in
+  if survivors = [] || List.length survivors = List.length a.Allocation.entries
+  then None
+  else Some (Allocation.make ~policy:a.Allocation.policy ~entries:survivors)
+
+(* --- cost model ---------------------------------------------------------- *)
+
+let moved_procs ~(from_ : Allocation.t) ~(to_ : Allocation.t) =
+  let per_node = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Allocation.entry) ->
+      Hashtbl.replace per_node e.Allocation.node
+        (Option.value (Hashtbl.find_opt per_node e.Allocation.node) ~default:0
+        - e.Allocation.procs))
+    from_.Allocation.entries;
+  List.iter
+    (fun (e : Allocation.entry) ->
+      Hashtbl.replace per_node e.Allocation.node
+        (Option.value (Hashtbl.find_opt per_node e.Allocation.node) ~default:0
+        + e.Allocation.procs))
+    to_.Allocation.entries;
+  let gained, lost =
+    Hashtbl.fold
+      (fun _ d (g, l) -> if d > 0 then (g + d, l) else (g, l - d))
+      per_node (0, 0)
+  in
+  max gained lost
+
+let redistribution_mb spec ~moved_procs =
+  spec.data_mb_per_proc *. float_of_int moved_procs
+
+let transfer_delay_s ~moved_mb ~bandwidth_mb_s ~overhead_s =
+  if bandwidth_mb_s <= 0.0 then
+    invalid_arg "Malleable.transfer_delay_s: bandwidth must be positive";
+  overhead_s +. (moved_mb /. bandwidth_mb_s)
+
+let net_gain_s ~remaining_old_s ~remaining_new_s ~delay_s =
+  remaining_old_s -. (remaining_new_s +. delay_s)
+
+(* --- directive audit ----------------------------------------------------- *)
+
+type kind = Grow | Shrink_admit | Shrink_failure
+
+let kind_name = function
+  | Grow -> "grow"
+  | Shrink_admit -> "shrink_admit"
+  | Shrink_failure -> "shrink_failure"
+
+type verdict = Accepted | Rejected of string
+
+type record = {
+  time : float;
+  job : string;
+  kind : kind;
+  from_procs : int;
+  to_procs : int;
+  moved_mb : float;
+  delay_s : float;
+  gain_s : float;
+  verdict : verdict;
+}
+
+let record_to_json r =
+  Json.Obj
+    [
+      ("time", Json.Num r.time);
+      ("job", Json.Str r.job);
+      ("kind", Json.Str (kind_name r.kind));
+      ("from_procs", Json.Num (float_of_int r.from_procs));
+      ("to_procs", Json.Num (float_of_int r.to_procs));
+      ("moved_mb", Json.Num r.moved_mb);
+      ("delay_s", Json.Num r.delay_s);
+      ("gain_s", Json.Num r.gain_s);
+      ( "verdict",
+        Json.Str
+          (match r.verdict with Accepted -> "accepted" | Rejected _ -> "rejected")
+      );
+      ( "reason",
+        match r.verdict with
+        | Accepted -> Json.Null
+        | Rejected why -> Json.Str why );
+    ]
+
+let pp_record ppf r =
+  Format.fprintf ppf "t=%.0fs %s %s %d->%d procs (%.0f MB, %.1fs delay, %+.1fs gain): %s"
+    r.time r.job (kind_name r.kind) r.from_procs r.to_procs r.moved_mb
+    r.delay_s r.gain_s
+    (match r.verdict with
+    | Accepted -> "accepted"
+    | Rejected why -> "rejected: " ^ why)
+
+(* --- telemetry ------------------------------------------------------------ *)
+
+let m_grows = Rm_telemetry.Metrics.counter "sched.malleable.grows"
+let m_shrinks = Rm_telemetry.Metrics.counter "sched.malleable.shrinks"
+let m_rejected = Rm_telemetry.Metrics.counter "sched.malleable.rejected"
+
+let m_shrink_recoveries =
+  Rm_telemetry.Metrics.counter "sched.malleable.shrink_recoveries"
+
+let m_redistributed_mb =
+  Rm_telemetry.Metrics.counter "sched.malleable.redistributed_mb"

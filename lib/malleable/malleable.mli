@@ -1,0 +1,135 @@
+(** Malleability: grow/shrink running allocations.
+
+    A malleable job declares a [min_procs .. max_procs] band around its
+    preferred (submitted) process count. At reconfiguration points the
+    scheduler (or the service daemon) evaluates expand/shrink directives
+    against an explicit data-redistribution cost model and accepts a
+    directive only when the projected benefit exceeds its cost. This
+    module holds everything that is pure and shared between the
+    scheduler integration ([lib/sched]) and the service protocol
+    ([lib/service]): spec validation, allocation surgery (merge /
+    shrink), the redistribution cost model, and the audit record for
+    each accepted or rejected directive. The world-aware redistribution
+    delay (per-node NIC rates under degradation) lives in
+    {!Rm_mpisim.Executor.redistribution_delay_s}; the helpers here only
+    need static link capacity. See docs/MALLEABILITY.md. *)
+
+module Allocation = Rm_core.Allocation
+
+(** {1 Job spec} *)
+
+type spec = {
+  min_procs : int;  (** never shrink below this *)
+  max_procs : int;  (** never grow beyond this *)
+  data_mb_per_proc : float;
+      (** redistribution payload owned by each moved rank *)
+}
+
+val spec : ?data_mb_per_proc:float -> min_procs:int -> max_procs:int -> unit -> spec
+(** Validated constructor: requires [1 <= min_procs <= max_procs] and a
+    non-negative finite payload (default 64 MB). Raises
+    [Invalid_argument] otherwise. *)
+
+val rigid : procs:int -> spec
+(** [min = max = procs], zero payload: a spec that can never move. *)
+
+val is_rigid : pref:int -> spec -> bool
+(** True when the band pins the job to its preferred size —
+    [min_procs = max_procs = pref] — so no directive can ever apply. *)
+
+(** {1 Engine knobs} *)
+
+type config = {
+  negotiation_period_s : float;
+      (** cadence of the scheduler's periodic reconfiguration point *)
+  min_gain_s : float;
+      (** a directive must beat its cost by at least this margin *)
+  reconfig_overhead_s : float;
+      (** fixed per-directive cost (barrier, respawn, rewiring) added on
+          top of the data-transfer time *)
+  grow_when_idle : bool;  (** expand running jobs when the queue is empty *)
+  shrink_to_admit : bool;
+      (** shrink a running job to free capacity for the queue head *)
+  shrink_on_failure : bool;
+      (** on node death, drop the dead node's ranks instead of requeueing
+          when the survivors still satisfy [min_procs] and the cost model
+          favors it *)
+  max_grow_step : int;  (** most procs added by a single grow directive *)
+}
+
+val default_config : config
+(** 600 s period, 60 s margin, 30 s overhead, all directives enabled,
+    grow step 32. *)
+
+(** {1 Allocation surgery} *)
+
+val merge : base:Allocation.t -> extra:Allocation.t -> Allocation.t
+(** Per-node sum of the two allocations (policy kept from [base]). *)
+
+val shrink_to : Allocation.t -> target_procs:int -> Allocation.t option
+(** Drop procs from the tail entries until exactly [target_procs]
+    remain (the last surviving entry may shrink partially). [None] when
+    [target_procs] is not in [1 .. total_procs - 1] — shrinking to the
+    current size or below zero is not a directive. *)
+
+val drop_nodes : Allocation.t -> dead:int list -> Allocation.t option
+(** Remove every entry on a node in [dead]. [None] when nothing
+    survives (or nothing was dropped — not a shrink). *)
+
+(** {1 Redistribution cost model} *)
+
+val moved_procs : from_:Allocation.t -> to_:Allocation.t -> int
+(** Ranks whose home node changes, computed from per-node deltas: the
+    max of procs gained and procs lost across nodes (ranks are not
+    tracked individually; a grow moves the new ranks' data in, a shrink
+    moves the dropped ranks' data out). *)
+
+val redistribution_mb : spec -> moved_procs:int -> float
+(** [data_mb_per_proc * moved_procs]. *)
+
+val transfer_delay_s :
+  moved_mb:float -> bandwidth_mb_s:float -> overhead_s:float -> float
+(** [overhead + moved_mb / bandwidth]: the flat-capacity estimate used
+    on the service path where no world model is available. Raises
+    [Invalid_argument] on non-positive bandwidth. *)
+
+val net_gain_s :
+  remaining_old_s:float -> remaining_new_s:float -> delay_s:float -> float
+(** The directive's projected benefit:
+    [remaining_old - (remaining_new + delay)]. Positive means the
+    reconfigured job finishes earlier despite paying the
+    redistribution. *)
+
+(** {1 Directive audit} *)
+
+type kind = Grow | Shrink_admit | Shrink_failure
+
+val kind_name : kind -> string
+
+type verdict = Accepted | Rejected of string
+
+type record = {
+  time : float;  (** virtual time of the reconfiguration point *)
+  job : string;
+  kind : kind;
+  from_procs : int;
+  to_procs : int;
+  moved_mb : float;
+  delay_s : float;  (** redistribution delay charged (0 when rejected) *)
+  gain_s : float;  (** projected net gain that drove the verdict *)
+  verdict : verdict;
+}
+
+val record_to_json : record -> Rm_telemetry.Json.t
+val pp_record : Format.formatter -> record -> unit
+
+(** {1 Telemetry}
+
+    Counters under [sched.malleable.*] (documented in
+    docs/OBSERVABILITY.md §7), bumped by whoever applies a directive. *)
+
+val m_grows : Rm_telemetry.Metrics.t
+val m_shrinks : Rm_telemetry.Metrics.t
+val m_rejected : Rm_telemetry.Metrics.t
+val m_shrink_recoveries : Rm_telemetry.Metrics.t
+val m_redistributed_mb : Rm_telemetry.Metrics.t

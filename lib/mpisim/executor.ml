@@ -238,6 +238,36 @@ let mean_pair_rates_mb_s ~allocation ~app ~duration_s =
     totals []
   |> List.sort compare
 
+let redistribution_delay_s ~world ~from_alloc ~to_alloc ~data_mb_per_proc
+    ?(overhead_s = 0.0) () =
+  if not (Float.is_finite data_mb_per_proc) || data_mb_per_proc < 0.0 then
+    invalid_arg "Executor.redistribution_delay_s: bad data_mb_per_proc";
+  let topology = Cluster.topology (World.cluster world) in
+  let per_node = Hashtbl.create 8 in
+  let feed sign (a : Allocation.t) =
+    List.iter
+      (fun (e : Allocation.entry) ->
+        Hashtbl.replace per_node e.Allocation.node
+          (Option.value (Hashtbl.find_opt per_node e.Allocation.node) ~default:0
+          + (sign * e.Allocation.procs)))
+      a.Allocation.entries
+  in
+  feed (-1) from_alloc;
+  feed 1 to_alloc;
+  let slowest =
+    Hashtbl.fold
+      (fun node delta acc ->
+        if delta = 0 then acc
+        else begin
+          let mb = float_of_int (abs delta) *. data_mb_per_proc in
+          let link = Rm_cluster.Topology.access_link topology ~node in
+          let scale = Float.max 0.01 (World.nic_scale world ~node) in
+          Float.max acc (mb /. (link.Rm_cluster.Topology.capacity_mb_s *. scale))
+        end)
+      per_node 0.0
+  in
+  overhead_s +. slowest
+
 let pp_stats ppf s =
   Format.fprintf ppf
     "%s/%s: %.3fs (compute %.3fs, comm %.3fs, comm%% %.0f, %.1f MB inter-node)"

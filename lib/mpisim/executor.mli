@@ -60,3 +60,21 @@ val mean_pair_rates_mb_s :
 (** Average inter-node traffic per node pair over the whole run, as
     steady MB/s — the flow demands a running job contributes to the
     network while it executes. Requires [duration_s > 0]. *)
+
+val redistribution_delay_s :
+  world:Rm_workload.World.t ->
+  from_alloc:Rm_core.Allocation.t ->
+  to_alloc:Rm_core.Allocation.t ->
+  data_mb_per_proc:float ->
+  ?overhead_s:float ->
+  unit ->
+  float
+(** Virtual seconds a malleable reconfiguration spends redistributing
+    data between the two allocations. Every node whose rank count
+    changes pushes or pulls [|Δprocs| * data_mb_per_proc] MB through its
+    access link; transfers overlap across nodes, so the delay is the
+    slowest node's time (capacity scaled by the world's current NIC
+    degradation, floored at 1% so a dead NIC yields a huge-but-finite
+    delay) plus the fixed [overhead_s] (default 0 — callers add their
+    own reconfiguration overhead). Pure: reads world state, never
+    advances it. Zero node deltas cost only the overhead. *)

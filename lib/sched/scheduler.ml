@@ -5,8 +5,10 @@ module System = Rm_monitor.System
 module Broker = Rm_core.Broker
 module Request = Rm_core.Request
 module Allocation = Rm_core.Allocation
+module Policies = Rm_core.Policies
 module Executor = Rm_mpisim.Executor
 module Flow = Rm_netsim.Flow
+module Malleable = Rm_malleable.Malleable
 module Telemetry = Rm_telemetry
 
 let m_submitted = Telemetry.Metrics.counter "sched.jobs_submitted"
@@ -37,6 +39,7 @@ type config = {
   backoff_cap_s : float;
   checkpoint_interval_s : float option;
   restart_overhead_s : float;
+  malleable : Malleable.config option;
 }
 
 let default_config =
@@ -52,6 +55,7 @@ let default_config =
     backoff_cap_s = 1800.0;
     checkpoint_interval_s = None;
     restart_overhead_s = 0.0;
+    malleable = None;
   }
 
 type job_id = int
@@ -81,7 +85,9 @@ type job = {
   request : Request.t;
   app_of : ranks:int -> Rm_mpisim.App.t;
   submitted_at : float;
+  malleable : Malleable.spec option;
   mutable state : state;
+  mutable alloc : Allocation.t option;  (** current allocation while running *)
   mutable overlay : World.job_handle option;
       (** set while running, for cancellation *)
   mutable completion : Rm_engine.Event_queue.handle option;
@@ -91,6 +97,17 @@ type job = {
   mutable requeues : int;
   mutable preserved_s : float;
       (** virtual work saved at checkpoints, deducted from the next run *)
+  (* Segment bookkeeping: each (re)configuration starts a new segment.
+     The segment IS the job's remaining work at its current width —
+     [seg_duration_s] virtual seconds starting at [seg_started_at], of
+     which the first [seg_delay_s] are data redistribution (no useful
+     progress). Reconfiguration math scales the unfinished tail of the
+     current segment to the new width; rigid jobs live in one segment
+     per dispatch, bit-identical to the pre-malleability scheduler. *)
+  mutable seg_started_at : float;
+  mutable seg_duration_s : float;
+  mutable seg_delay_s : float;
+  mutable reconfigs : int;
 }
 
 type t = {
@@ -113,6 +130,10 @@ type t = {
   mutable last_snapshot : Rm_monitor.Snapshot.t option;
       (** previous dispatch tick's shared snapshot — the incremental-NL
           priming base for the next tick *)
+  mutable last_negotiation : float;
+      (** virtual time of the last evaluated malleability directive —
+          throttles reconfiguration points to one per negotiation period *)
+  mutable malleable_log : Malleable.record list;  (** reverse order *)
   depth_series : Rm_stats.Timeseries.t;
       (** queue depth sampled at every dispatch tick (virtual time) *)
 }
@@ -150,6 +171,8 @@ let rejected t =
 
 let requeue_count t = t.requeues_total
 let wasted_node_seconds t = t.wasted_node_s
+let malleable_log t = List.rev t.malleable_log
+let reconfig_count t id = (job t id).reconfigs
 
 let sync_queue_gauge t =
   if Telemetry.Runtime.is_enabled () then
@@ -163,6 +186,48 @@ let sample_queue_depth t ~now =
     ~value:(float_of_int (List.length (queued t)))
 
 let queue_depth_series t = t.depth_series
+
+(* --- malleability helpers ------------------------------------------------ *)
+
+(* Fraction of the current segment's useful work still ahead at [now].
+   The redistribution prefix makes no progress, so it is subtracted
+   from both the numerator and the denominator. *)
+let seg_frac_left j ~now =
+  let seg_work = Float.max 1e-9 (j.seg_duration_s -. j.seg_delay_s) in
+  let done_s =
+    Float.max 0.0
+      (Float.min seg_work (now -. j.seg_started_at -. j.seg_delay_s))
+  in
+  1.0 -. (done_s /. seg_work)
+
+let seg_remaining_s j ~now =
+  Float.max 0.0 (j.seg_started_at +. j.seg_duration_s -. now)
+
+let log_directive t ~now (r : Malleable.record) =
+  t.malleable_log <- r :: t.malleable_log;
+  (match r.Malleable.verdict with
+  | Malleable.Accepted -> (
+    Telemetry.Metrics.add Malleable.m_redistributed_mb r.Malleable.moved_mb;
+    match r.Malleable.kind with
+    | Malleable.Grow -> Telemetry.Metrics.incr Malleable.m_grows
+    | Malleable.Shrink_admit -> Telemetry.Metrics.incr Malleable.m_shrinks
+    | Malleable.Shrink_failure ->
+      Telemetry.Metrics.incr Malleable.m_shrinks;
+      Telemetry.Metrics.incr Malleable.m_shrink_recoveries)
+  | Malleable.Rejected _ -> Telemetry.Metrics.incr Malleable.m_rejected);
+  if Telemetry.Runtime.is_enabled () then
+    Telemetry.Trace.instant ~time:now
+      ~attrs:
+        [
+          ("job", r.Malleable.job);
+          ("kind", Malleable.kind_name r.Malleable.kind);
+          ( "verdict",
+            match r.Malleable.verdict with
+            | Malleable.Accepted -> "accepted"
+            | Malleable.Rejected why -> "rejected: " ^ why );
+          ("procs", Printf.sprintf "%d->%d" r.Malleable.from_procs r.Malleable.to_procs);
+        ]
+      "sched.malleable.directive"
 
 (* Forward declaration dance: dispatch and completion reference each
    other through the event queue. *)
@@ -222,7 +287,11 @@ let rec try_dispatch t sim =
     if started then t.last_dispatch <- now;
     sync_queue_gauge t;
     sample_queue_depth t ~now;
-    if queued t <> [] then schedule_retry t ~delay:t.config.retry_s
+    if queued t <> [] then schedule_retry t ~delay:t.config.retry_s;
+    (* Malleability negotiation phase: after the dispatch attempts, so a
+       shrink directive reacts to the head that just failed to place and
+       a grow only fires on a genuinely empty queue. *)
+    negotiate t sim ~queue_blocked:((not started) && queued t <> [])
   end
 
 and schedule_retry t ~delay =
@@ -268,20 +337,13 @@ and start_job t sim j allocation =
       -. j.preserved_s
       +. (if j.requeues > 0 then t.config.restart_overhead_s else 0.0))
   in
-  let load =
-    List.map
-      (fun (e : Allocation.entry) -> (e.Allocation.node, float_of_int e.Allocation.procs))
-      allocation.Allocation.entries
-  in
-  let flows =
-    List.map
-      (fun ((src, dst), mb_s) -> (src, Flow.Node dst, Float.max 0.01 mb_s))
-      (Executor.mean_pair_rates_mb_s ~allocation ~app ~duration_s:duration)
-  in
-  let handle = World.register_job t.world ~load ~flows in
+  install_overlay t j ~allocation ~app ~duration;
   let nodes = Allocation.node_ids allocation in
   j.state <- Running { started_at = now; nodes };
-  j.overlay <- Some handle;
+  j.alloc <- Some allocation;
+  j.seg_started_at <- now;
+  j.seg_duration_s <- duration;
+  j.seg_delay_s <- 0.0;
   if Telemetry.Runtime.is_enabled () then begin
     Telemetry.Metrics.incr m_dispatched;
     Telemetry.Metrics.observe m_wait_s (now -. j.submitted_at);
@@ -296,10 +358,31 @@ and start_job t sim j allocation =
              ]
            "sched.job")
   end;
+  arm_completion t sim j ~delay:duration
+
+and install_overlay t j ~allocation ~app ~duration =
+  let load =
+    List.map
+      (fun (e : Allocation.entry) -> (e.Allocation.node, float_of_int e.Allocation.procs))
+      allocation.Allocation.entries
+  in
+  let flows =
+    List.map
+      (fun ((src, dst), mb_s) -> (src, Flow.Node dst, Float.max 0.01 mb_s))
+      (Executor.mean_pair_rates_mb_s ~allocation ~app ~duration_s:duration)
+  in
+  j.overlay <- Some (World.register_job t.world ~load ~flows)
+
+and arm_completion t sim j ~delay =
   j.completion <-
     Some
-      (Sim.schedule_after sim ~delay:duration (fun sim ->
+      (Sim.schedule_after sim ~delay (fun sim ->
            j.completion <- None;
+           let started_at, nodes =
+             match j.state with
+             | Running { started_at; nodes } -> (started_at, nodes)
+             | _ -> (j.submitted_at, [])
+           in
            (* With failure detection on, a completion on a node that is
               currently down is a death the poll has not seen yet. *)
            let dead =
@@ -311,18 +394,26 @@ and start_job t sim j allocation =
            | Some node ->
              fail_job t sim j ~reason:(Printf.sprintf "node %d died" node)
            | None ->
-             World.release_job t.world handle;
-             j.overlay <- None;
+             (match j.overlay with
+             | Some handle ->
+               World.release_job t.world handle;
+               j.overlay <- None
+             | None -> ());
              let finished_at = Sim.now sim in
+             let procs =
+               match j.alloc with
+               | Some a -> Allocation.total_procs a
+               | None -> 0
+             in
              let outcome =
                {
                  job = j.id;
                  name = j.name;
                  submitted_at = j.submitted_at;
-                 started_at = now;
+                 started_at;
                  finished_at;
                  nodes;
-                 procs = Allocation.total_procs allocation;
+                 procs;
                  requeues = j.requeues;
                }
              in
@@ -336,80 +427,415 @@ and start_job t sim j allocation =
              | None -> ());
              try_dispatch t sim))
 
-(* A running job lost a node. Account the work lost since the last
-   virtual checkpoint, then either requeue with capped exponential
-   backoff or give up after [max_requeues] attempts. *)
+(* Replace a running job's allocation in place: release the old overlay
+   and completion event, install the new allocation with a fresh
+   segment whose first [delay] seconds are redistribution, and re-arm
+   completion. The job keeps its original [started_at] and its span. *)
+and apply_reconfig t sim j ~to_alloc ~delay ~useful_s =
+  let now = Sim.now sim in
+  (match j.overlay with
+  | Some handle ->
+    World.release_job t.world handle;
+    j.overlay <- None
+  | None -> ());
+  (match j.completion with
+  | Some handle ->
+    Sim.cancel t.sim handle;
+    j.completion <- None
+  | None -> ());
+  let app = j.app_of ~ranks:(Allocation.total_procs to_alloc) in
+  let duration = delay +. Float.max 1e-3 useful_s in
+  install_overlay t j ~allocation:to_alloc ~app ~duration;
+  (match j.state with
+  | Running { started_at; _ } ->
+    j.state <- Running { started_at; nodes = Allocation.node_ids to_alloc }
+  | _ -> ());
+  j.alloc <- Some to_alloc;
+  j.seg_started_at <- now;
+  j.seg_duration_s <- duration;
+  j.seg_delay_s <- delay;
+  j.reconfigs <- j.reconfigs + 1;
+  arm_completion t sim j ~delay:duration
+
+(* One reconfiguration point: evaluate at most one directive. Shrinking
+   to admit a blocked queue head takes priority over growing into idle
+   capacity. The fast exits draw no randomness and take no snapshot, so
+   a schedule whose jobs are all rigid (min = pref = max) is
+   bit-identical to one scheduled with [malleable = None]. *)
+and negotiate t sim ~queue_blocked =
+  match t.config.malleable with
+  | None -> ()
+  | Some mc ->
+    let now = Sim.now sim in
+    if now >= t.last_negotiation +. mc.Malleable.negotiation_period_s then begin
+      let running_malleable =
+        List.filter_map
+          (fun id ->
+            let j = job t id in
+            match (j.state, j.alloc, j.malleable) with
+            | Running _, Some alloc, Some spec -> Some (j, alloc, spec)
+            | _ -> None)
+          t.queue
+      in
+      if queue_blocked && mc.Malleable.shrink_to_admit then
+        negotiate_shrink_admit t ~now mc running_malleable
+      else if (not queue_blocked) && queued t = [] && mc.Malleable.grow_when_idle
+      then negotiate_grow t sim ~now mc running_malleable
+    end
+
+(* Expand the first growable job onto nodes it does not already occupy,
+   if the width gain beats the redistribution delay by the margin. *)
+and negotiate_grow t sim ~now mc running_malleable =
+  match
+    List.find_opt
+      (fun (_, alloc, spec) ->
+        Allocation.total_procs alloc < spec.Malleable.max_procs)
+      running_malleable
+  with
+  | None -> ()
+  | Some (j, cur, spec) ->
+    t.last_negotiation <- now;
+    let cur_procs = Allocation.total_procs cur in
+    let delta =
+      min (spec.Malleable.max_procs - cur_procs) mc.Malleable.max_grow_step
+    in
+    let request =
+      Request.make ?ppn:j.request.Request.ppn ~alpha:j.request.Request.alpha
+        ~procs:delta ()
+    in
+    let snapshot =
+      let s = System.snapshot t.monitor ~time:now in
+      let exclude =
+        Allocation.node_ids cur
+        @ (if t.config.exclusive then busy_nodes t else [])
+      in
+      Rm_monitor.Snapshot.restrict s ~exclude
+    in
+    let reject why =
+      log_directive t ~now
+        {
+          Malleable.time = now;
+          job = j.name;
+          kind = Malleable.Grow;
+          from_procs = cur_procs;
+          to_procs = cur_procs + delta;
+          moved_mb = 0.0;
+          delay_s = 0.0;
+          gain_s = 0.0;
+          verdict = Malleable.Rejected why;
+        }
+    in
+    (match
+       Policies.allocate ?starts:t.config.broker.Broker.starts
+         ~policy:t.config.broker.Broker.policy ~snapshot
+         ~weights:t.config.broker.Broker.weights ~request ~rng:t.rng ()
+     with
+    | Error e -> reject (Format.asprintf "%a" Allocation.pp_error e)
+    | Ok extra ->
+      let merged = Malleable.merge ~base:cur ~extra in
+      let moved = Malleable.moved_procs ~from_:cur ~to_:merged in
+      let moved_mb = Malleable.redistribution_mb spec ~moved_procs:moved in
+      let delay =
+        Executor.redistribution_delay_s ~world:t.world ~from_alloc:cur
+          ~to_alloc:merged ~data_mb_per_proc:spec.Malleable.data_mb_per_proc
+          ~overhead_s:mc.Malleable.reconfig_overhead_s ()
+      in
+      let old_app = j.app_of ~ranks:cur_procs in
+      let new_app = j.app_of ~ranks:(Allocation.total_procs merged) in
+      let e_old =
+        Float.max 1e-9
+          (Executor.estimate_duration_s ~world:t.world ~allocation:cur
+             ~app:old_app ())
+      in
+      let e_new =
+        Executor.estimate_duration_s ~world:t.world ~allocation:merged
+          ~app:new_app ()
+      in
+      let frac_left = seg_frac_left j ~now in
+      let seg_work = j.seg_duration_s -. j.seg_delay_s in
+      let useful_s = frac_left *. seg_work *. (e_new /. e_old) in
+      let gain =
+        Malleable.net_gain_s
+          ~remaining_old_s:(seg_remaining_s j ~now)
+          ~remaining_new_s:useful_s ~delay_s:delay
+      in
+      let record verdict delay_s =
+        {
+          Malleable.time = now;
+          job = j.name;
+          kind = Malleable.Grow;
+          from_procs = cur_procs;
+          to_procs = Allocation.total_procs merged;
+          moved_mb;
+          delay_s;
+          gain_s = gain;
+          verdict;
+        }
+      in
+      if gain > mc.Malleable.min_gain_s then begin
+        log_directive t ~now (record Malleable.Accepted delay);
+        apply_reconfig t sim j ~to_alloc:merged ~delay ~useful_s
+      end
+      else
+        log_directive t ~now
+          (record
+             (Malleable.Rejected
+                (Printf.sprintf "gain %.1fs below margin %.1fs" gain
+                   mc.Malleable.min_gain_s))
+             0.0))
+
+(* Shrink the first shrinkable running job toward its floor to free
+   capacity for the blocked queue head. The victim's slowdown (its new
+   remaining time plus the redistribution delay, minus what it had
+   left) is weighed against how long the head has already waited. *)
+and negotiate_shrink_admit t ~now mc running_malleable =
+  match queued t with
+  | [] -> ()
+  | head_id :: _ -> (
+    let head = job t head_id in
+    match
+      List.find_opt
+        (fun (_, alloc, spec) ->
+          Allocation.total_procs alloc > spec.Malleable.min_procs)
+        running_malleable
+    with
+    | None -> ()
+    | Some (j, cur, spec) ->
+      t.last_negotiation <- now;
+      let cur_procs = Allocation.total_procs cur in
+      let target =
+        max spec.Malleable.min_procs (cur_procs - head.request.Request.procs)
+      in
+      (match Malleable.shrink_to cur ~target_procs:target with
+      | None -> ()
+      | Some small ->
+        let moved = Malleable.moved_procs ~from_:cur ~to_:small in
+        let moved_mb = Malleable.redistribution_mb spec ~moved_procs:moved in
+        let delay =
+          Executor.redistribution_delay_s ~world:t.world ~from_alloc:cur
+            ~to_alloc:small ~data_mb_per_proc:spec.Malleable.data_mb_per_proc
+            ~overhead_s:mc.Malleable.reconfig_overhead_s ()
+        in
+        let old_app = j.app_of ~ranks:cur_procs in
+        let new_app = j.app_of ~ranks:target in
+        let e_old =
+          Float.max 1e-9
+            (Executor.estimate_duration_s ~world:t.world ~allocation:cur
+               ~app:old_app ())
+        in
+        let e_new =
+          Executor.estimate_duration_s ~world:t.world ~allocation:small
+            ~app:new_app ()
+        in
+        let frac_left = seg_frac_left j ~now in
+        let seg_work = j.seg_duration_s -. j.seg_delay_s in
+        let useful_s = frac_left *. seg_work *. (e_new /. e_old) in
+        let victim_cost =
+          delay +. useful_s -. seg_remaining_s j ~now
+        in
+        let head_wait = now -. head.submitted_at in
+        let gain = head_wait -. victim_cost in
+        let record verdict delay_s =
+          {
+            Malleable.time = now;
+            job = j.name;
+            kind = Malleable.Shrink_admit;
+            from_procs = cur_procs;
+            to_procs = target;
+            moved_mb;
+            delay_s;
+            gain_s = gain;
+            verdict;
+          }
+        in
+        if gain > mc.Malleable.min_gain_s then begin
+          log_directive t ~now (record Malleable.Accepted delay);
+          apply_reconfig t t.sim j ~to_alloc:small ~delay ~useful_s;
+          (* Freed capacity may admit the head. *)
+          schedule_retry t ~delay:0.0
+        end
+        else
+          log_directive t ~now
+            (record
+               (Malleable.Rejected
+                  (Printf.sprintf
+                     "victim cost %.1fs not justified by head wait %.1fs"
+                     victim_cost head_wait))
+               0.0)))
+
+(* A running job lost a node. Try a shrink-recovery first (drop the
+   dead node's ranks and keep going on the survivors) when malleability
+   allows it and the cost model favors it over the requeue path; else
+   account the work lost since the last virtual checkpoint and either
+   requeue with capped exponential backoff or give up after
+   [max_requeues] attempts. *)
 and fail_job t sim j ~reason =
   match j.state with
   | Queued | Failed _ | Finished _ | Rejected _ -> ()
   | Running { started_at; nodes } ->
     let now = Sim.now sim in
-    (match j.overlay with
-    | Some handle ->
-      World.release_job t.world handle;
-      j.overlay <- None
-    | None -> ());
-    (match j.completion with
-    | Some handle ->
-      Sim.cancel t.sim handle;
-      j.completion <- None
-    | None -> ());
-    (match j.span with
-    | Some span ->
-      Telemetry.Trace.span_end ~time:now span;
-      j.span <- None
-    | None -> ());
     let elapsed = Float.max 0.0 (now -. started_at) in
     let preserved_delta =
       match t.config.checkpoint_interval_s with
       | Some c when c > 0.0 -> Float.of_int (int_of_float (elapsed /. c)) *. c
       | _ -> 0.0
     in
-    let lost_node_s =
-      (elapsed -. preserved_delta) *. float_of_int (List.length nodes)
-    in
-    j.preserved_s <- j.preserved_s +. preserved_delta;
-    t.wasted_node_s <- t.wasted_node_s +. lost_node_s;
-    j.requeues <- j.requeues + 1;
-    Telemetry.Metrics.incr m_failed;
-    if Telemetry.Runtime.is_enabled () then begin
-      Telemetry.Metrics.add m_wasted lost_node_s;
-      Telemetry.Trace.instant ~time:now
-        ~attrs:[ ("job", j.name); ("reason", reason) ]
-        "sched.job_failed"
-    end;
-    (* Boundary semantics: [max_requeues = N] permits exactly N
-       requeues. [j.requeues] was just incremented for THIS failure, so
-       the strict [>] rejects only on failure N+1 — a job may fail and
-       re-enter the queue N times and still finish on attempt N+1
-       (test: "requeue boundary" in test_sched.ml; docs/RESILIENCE.md). *)
-    if j.requeues > t.config.max_requeues then begin
-      j.state <-
-        Rejected
-          (Printf.sprintf "%s; gave up after %d requeues" reason
-             t.config.max_requeues);
-      sync_queue_gauge t
-    end
+    if shrink_recover t sim j ~now ~preserved_delta then ()
     else begin
-      j.state <- Failed { at = now; reason; requeues = j.requeues };
-      let backoff =
-        Float.min t.config.backoff_cap_s
-          (t.config.backoff_base_s *. (2.0 ** float_of_int (j.requeues - 1)))
+      (match j.overlay with
+      | Some handle ->
+        World.release_job t.world handle;
+        j.overlay <- None
+      | None -> ());
+      (match j.completion with
+      | Some handle ->
+        Sim.cancel t.sim handle;
+        j.completion <- None
+      | None -> ());
+      (match j.span with
+      | Some span ->
+        Telemetry.Trace.span_end ~time:now span;
+        j.span <- None
+      | None -> ());
+      let lost_node_s =
+        (elapsed -. preserved_delta) *. float_of_int (List.length nodes)
       in
-      j.requeue_event <-
-        Some
-          (Sim.schedule_after t.sim ~delay:backoff (fun sim ->
-               j.requeue_event <- None;
-               j.state <- Queued;
-               t.requeues_total <- t.requeues_total + 1;
-               Telemetry.Metrics.incr m_requeues;
-               sync_queue_gauge t;
-               (* Record the re-entry before the dispatch attempt, so the
-                  requeue shows in the depth series even when the job is
-                  re-placed within the same tick. *)
-               sample_queue_depth t ~now:(Sim.now sim);
-               try_dispatch t sim))
+      j.preserved_s <- j.preserved_s +. preserved_delta;
+      t.wasted_node_s <- t.wasted_node_s +. lost_node_s;
+      j.requeues <- j.requeues + 1;
+      j.alloc <- None;
+      Telemetry.Metrics.incr m_failed;
+      if Telemetry.Runtime.is_enabled () then begin
+        Telemetry.Metrics.add m_wasted lost_node_s;
+        Telemetry.Trace.instant ~time:now
+          ~attrs:[ ("job", j.name); ("reason", reason) ]
+          "sched.job_failed"
+      end;
+      (* Boundary semantics: [max_requeues = N] permits exactly N
+         requeues. [j.requeues] was just incremented for THIS failure, so
+         the strict [>] rejects only on failure N+1 — a job may fail and
+         re-enter the queue N times and still finish on attempt N+1
+         (test: "requeue boundary" in test_sched.ml; docs/RESILIENCE.md). *)
+      if j.requeues > t.config.max_requeues then begin
+        j.state <-
+          Rejected
+            (Printf.sprintf "%s; gave up after %d requeues" reason
+               t.config.max_requeues);
+        sync_queue_gauge t
+      end
+      else begin
+        j.state <- Failed { at = now; reason; requeues = j.requeues };
+        let backoff =
+          Float.min t.config.backoff_cap_s
+            (t.config.backoff_base_s *. (2.0 ** float_of_int (j.requeues - 1)))
+        in
+        j.requeue_event <-
+          Some
+            (Sim.schedule_after t.sim ~delay:backoff (fun sim ->
+                 j.requeue_event <- None;
+                 j.state <- Queued;
+                 t.requeues_total <- t.requeues_total + 1;
+                 Telemetry.Metrics.incr m_requeues;
+                 sync_queue_gauge t;
+                 (* Record the re-entry before the dispatch attempt, so the
+                    requeue shows in the depth series even when the job is
+                    re-placed within the same tick. *)
+                 sample_queue_depth t ~now:(Sim.now sim);
+                 try_dispatch t sim))
+      end
     end
+
+(* Shrink-recovery at a failure: when the surviving entries still
+   satisfy the job's floor, compare finishing on the survivors (pay the
+   redistribution, run the remaining work proportionally slower) with
+   the requeue path (backoff + restart overhead + redo the
+   un-checkpointed work + the remaining work). Scaling is by proc
+   count, not a fresh estimate: the dead node's world state is exactly
+   what an estimate must not depend on. Only the dead node's elapsed
+   work is wasted — the survivors keep theirs — which is where the
+   goodput advantage over requeue comes from. *)
+and shrink_recover t sim j ~now ~preserved_delta =
+  match (t.config.malleable, j.malleable, j.alloc, j.state) with
+  | Some mc, Some spec, Some cur, Running { started_at; nodes }
+    when mc.Malleable.shrink_on_failure -> (
+    let dead = List.filter (fun n -> not (World.is_up t.world ~node:n)) nodes in
+    if dead = [] then false
+    else
+      match Malleable.drop_nodes cur ~dead with
+      | None -> false
+      | Some surv when Allocation.total_procs surv < spec.Malleable.min_procs
+        ->
+        log_directive t ~now
+          {
+            Malleable.time = now;
+            job = j.name;
+            kind = Malleable.Shrink_failure;
+            from_procs = Allocation.total_procs cur;
+            to_procs = Allocation.total_procs surv;
+            moved_mb = 0.0;
+            delay_s = 0.0;
+            gain_s = 0.0;
+            verdict = Malleable.Rejected "survivors below min_procs";
+          };
+        false
+      | Some surv ->
+        let cur_procs = Allocation.total_procs cur in
+        let surv_procs = Allocation.total_procs surv in
+        let moved = Malleable.moved_procs ~from_:cur ~to_:surv in
+        let moved_mb = Malleable.redistribution_mb spec ~moved_procs:moved in
+        let delay =
+          Executor.redistribution_delay_s ~world:t.world ~from_alloc:cur
+            ~to_alloc:surv ~data_mb_per_proc:spec.Malleable.data_mb_per_proc
+            ~overhead_s:mc.Malleable.reconfig_overhead_s ()
+        in
+        let remaining = seg_remaining_s j ~now in
+        let useful_s =
+          remaining *. float_of_int cur_procs /. float_of_int surv_procs
+        in
+        let elapsed = Float.max 0.0 (now -. started_at) in
+        let backoff_next =
+          Float.min t.config.backoff_cap_s
+            (t.config.backoff_base_s *. (2.0 ** float_of_int j.requeues))
+        in
+        let requeue_total =
+          backoff_next +. t.config.restart_overhead_s
+          +. (elapsed -. preserved_delta)
+          +. remaining
+        in
+        let shrink_total = delay +. useful_s in
+        let gain = requeue_total -. shrink_total in
+        let record verdict delay_s =
+          {
+            Malleable.time = now;
+            job = j.name;
+            kind = Malleable.Shrink_failure;
+            from_procs = cur_procs;
+            to_procs = surv_procs;
+            moved_mb;
+            delay_s;
+            gain_s = gain;
+            verdict;
+          }
+        in
+        if gain > 0.0 then begin
+          (* Only the dead nodes' un-checkpointed work is lost; the
+             survivors carry theirs across the reconfiguration. *)
+          let lost_node_s =
+            (elapsed -. preserved_delta) *. float_of_int (List.length dead)
+          in
+          t.wasted_node_s <- t.wasted_node_s +. lost_node_s;
+          if Telemetry.Runtime.is_enabled () then
+            Telemetry.Metrics.add m_wasted lost_node_s;
+          log_directive t ~now (record Malleable.Accepted delay);
+          apply_reconfig t sim j ~to_alloc:surv ~delay ~useful_s;
+          true
+        end
+        else begin
+          log_directive t ~now
+            (record (Malleable.Rejected "requeue path is cheaper") 0.0);
+          false
+        end)
+  | _ -> false
 
 (* Poll allocated-node liveness for every running job — reads only
    [World.is_up], never advances the world or draws randomness, so a
@@ -447,6 +873,8 @@ let create ~sim ~world ~monitor ?(config = default_config) ~rng ~horizon () =
       wasted_node_s = 0.0;
       requeues_total = 0;
       last_snapshot = None;
+      last_negotiation = neg_infinity;
+      malleable_log = [];
       depth_series = Rm_stats.Timeseries.create ~name:"sched.queue_depth" ();
     }
   in
@@ -454,19 +882,38 @@ let create ~sim ~world ~monitor ?(config = default_config) ~rng ~horizon () =
   | Some period ->
     Sim.every sim ~period ~until:horizon (fun sim -> check_failures t sim)
   | None -> ());
+  (* Periodic reconfiguration points, so grow directives fire even when
+     the queue is empty and no dispatch tick is pending. The callback
+     never advances the world and fast-exits without touching the rng
+     when no running job can move, so it cannot perturb a rigid run. *)
+  (match config.malleable with
+  | Some mc ->
+    Sim.every sim ~period:mc.Malleable.negotiation_period_s ~until:horizon
+      (fun sim -> negotiate t sim ~queue_blocked:(queued t <> []))
+  | None -> ());
   t
 
-let submit t ~name ~at ?(priority = 0) ~request ~app_of () =
+let submit t ~name ~at ?(priority = 0) ?malleable ~request ~app_of () =
   if at < Sim.now t.sim then invalid_arg "Scheduler.submit: time in the past";
+  (match malleable with
+  | Some (s : Malleable.spec) ->
+    if
+      s.Malleable.min_procs > request.Request.procs
+      || s.Malleable.max_procs < request.Request.procs
+    then
+      invalid_arg
+        "Scheduler.submit: preferred procs outside the malleable band"
+  | None -> ());
   let id = t.next_id in
   t.next_id <- t.next_id + 1;
   ignore
     (Sim.schedule_at t.sim ~time:at (fun sim ->
          let j =
            { id; name; priority; request; app_of; submitted_at = at;
-             state = Queued; overlay = None; completion = None;
-             requeue_event = None; span = None; requeues = 0;
-             preserved_s = 0.0 }
+             malleable; state = Queued; alloc = None; overlay = None;
+             completion = None; requeue_event = None; span = None;
+             requeues = 0; preserved_s = 0.0; seg_started_at = 0.0;
+             seg_duration_s = 0.0; seg_delay_s = 0.0; reconfigs = 0 }
          in
          Hashtbl.replace t.jobs id j;
          t.queue <- t.queue @ [ id ];
@@ -507,6 +954,7 @@ let cancel t id =
       j.span <- None
     | None -> ());
     j.state <- Rejected "cancelled";
+    j.alloc <- None;
     Telemetry.Metrics.incr m_cancelled;
     (* Freed nodes may unblock the queue. *)
     schedule_retry t ~delay:0.0

@@ -44,6 +44,15 @@ type config = {
   restart_overhead_s : float;
       (** extra run time added to every post-failure restart (checkpoint
           load, launch); default 0 *)
+  malleable : Rm_malleable.Malleable.config option;
+      (** enable the malleability negotiation phase: grow running jobs
+          into idle capacity, shrink them to admit a blocked queue head,
+          and recover from node failures by dropping the dead node's
+          ranks instead of requeueing — all subject to the
+          data-redistribution cost model in {!Rm_malleable.Malleable}.
+          [None] (default) disables every reconfiguration point; a
+          schedule whose jobs are all rigid behaves bit-identically
+          either way (see docs/MALLEABILITY.md) *)
 }
 
 val default_config : config
@@ -86,13 +95,18 @@ val submit :
   name:string ->
   at:float ->
   ?priority:int ->
+  ?malleable:Rm_malleable.Malleable.spec ->
   request:Rm_core.Request.t ->
   app_of:(ranks:int -> Rm_mpisim.App.t) ->
   unit ->
   job_id
 (** Schedules the submission on the sim; raises [Invalid_argument] when
     [at] is in the past. Higher [priority] (default 0) jobs are examined
-    first; ties go to the earlier submission (FCFS). *)
+    first; ties go to the earlier submission (FCFS). [malleable]
+    declares the job's [min .. max] procs band around the request's
+    preferred count (which must lie inside the band, or
+    [Invalid_argument] is raised); directives only fire when the
+    scheduler config also sets [malleable]. *)
 
 val cancel : t -> job_id -> unit
 (** Remove a queued job, or kill a running one (its world overlay is
@@ -118,6 +132,15 @@ val requeue_count : t -> int
 val wasted_node_seconds : t -> float
 (** Node-seconds of work lost to node failures (work since the last
     virtual checkpoint × nodes, summed over failures). *)
+
+val malleable_log : t -> Rm_malleable.Malleable.record list
+(** Every malleability directive evaluated so far, in chronological
+    order — the audit trail explaining each accepted/rejected
+    grow/shrink with its cost-model numbers. Empty unless the config
+    enables malleability. *)
+
+val reconfig_count : t -> job_id -> int
+(** Reconfigurations (accepted directives) applied to this job so far. *)
 
 val queue_depth_series : t -> Rm_stats.Timeseries.t
 (** Queue depth over virtual time, one sample per dispatch tick

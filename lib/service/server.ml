@@ -43,6 +43,9 @@ module Broker = Rm_core.Broker
 module Model_cache = Rm_core.Model_cache
 module Allocation = Rm_core.Allocation
 module Policies = Rm_core.Policies
+module Request = Rm_core.Request
+module Malleable = Rm_malleable.Malleable
+module Executor = Rm_mpisim.Executor
 module Telemetry = Rm_telemetry
 module Metrics = Rm_telemetry.Metrics
 
@@ -66,6 +69,12 @@ type config = {
   metrics_out : string option;  (** final exposition written on stop *)
   spill_dir : string option;  (** trace spill sink, flushed on stop *)
   horizon_s : float;  (** monitor daemons scheduled this far ahead *)
+  reconfig_data_mb_per_proc : float;
+      (** redistribution payload assumed per moved rank when answering
+          v2 grow/shrink/renegotiate — the daemon has no per-job data
+          model, so the delay it reports uses this flat figure *)
+  reconfig_overhead_s : float;
+      (** fixed cost added to every reported reconfiguration delay *)
 }
 
 let default_config ~endpoint =
@@ -85,6 +94,8 @@ let default_config ~endpoint =
     metrics_out = None;
     spill_dir = None;
     horizon_s = 2_592_000.0;
+    reconfig_data_mb_per_proc = 64.0;
+    reconfig_overhead_s = 30.0;
   }
 
 (* --- one-shot synchronisation cell -------------------------------------- *)
@@ -110,10 +121,22 @@ module Ivar = struct
     v
 end
 
+(* Admission-queue payload. Reconfiguration directives ride the same
+   queue as allocates so the tick thread stays the sole caller of
+   `Broker.decide` / `Policies.allocate` (and therefore the sole
+   `Model_cache` user) — workers never touch the allocator. The reply
+   is the finished wire response: building it (including the alloc
+   table update) happens on the tick thread too. *)
+type work =
+  | Alloc_work of Wire.allocate
+  | Grow_work of Wire.grow
+  | Shrink_work of { alloc_id : int; delta_procs : int }
+  | Renegotiate_work of Wire.renegotiate
+
 type pending = {
-  params : Wire.allocate;
+  work : work;
   enqueued_at : float;  (* wall clock, for the latency histogram *)
-  reply : Batcher.outcome Ivar.t;
+  reply : Wire.response Ivar.t;
 }
 
 type t = {
@@ -160,6 +183,7 @@ let m_rejected = Metrics.counter "core.service.rejected"
 let m_active = Metrics.gauge "core.service.active_allocations"
 let m_connections = Metrics.gauge "core.service.connections"
 let m_snapshots = Metrics.counter "core.service.snapshots"
+let m_reconfigs = Metrics.counter "core.service.reconfigs"
 
 let latency_metric_name = "service.request_latency_s"
 
@@ -252,6 +276,41 @@ let create config =
     spill;
   }
 
+(* --- allocation table ---------------------------------------------------- *)
+
+let register_allocation t allocation =
+  Mutex.lock t.state_mutex;
+  let id = t.next_alloc_id in
+  t.next_alloc_id <- id + 1;
+  Hashtbl.replace t.allocs id allocation;
+  Metrics.set m_active (float_of_int (Hashtbl.length t.allocs));
+  Mutex.unlock t.state_mutex;
+  id
+
+let release_allocation t ~alloc_id =
+  Mutex.lock t.state_mutex;
+  let found = Hashtbl.mem t.allocs alloc_id in
+  if found then begin
+    Hashtbl.remove t.allocs alloc_id;
+    Metrics.set m_active (float_of_int (Hashtbl.length t.allocs))
+  end;
+  Mutex.unlock t.state_mutex;
+  found
+
+let lookup_allocation t ~alloc_id =
+  Mutex.lock t.state_mutex;
+  let a = Hashtbl.find_opt t.allocs alloc_id in
+  Mutex.unlock t.state_mutex;
+  a
+
+(* Only replace a registered id — a concurrent release wins over a
+   reconfiguration still in flight for the same allocation. *)
+let replace_allocation t ~alloc_id allocation =
+  Mutex.lock t.state_mutex;
+  if Hashtbl.mem t.allocs alloc_id then
+    Hashtbl.replace t.allocs alloc_id allocation;
+  Mutex.unlock t.state_mutex
+
 (* --- tick thread -------------------------------------------------------- *)
 
 (* Advance virtual time one tick and recapture. Caller holds state_mutex. *)
@@ -270,6 +329,139 @@ let refresh_snapshot_locked t ~wall =
   Rm_core.Model_cache.prime_derived t.snapshot ~prev
     ~weights:t.config.broker.Broker.weights;
   Metrics.incr m_snapshots
+
+(* --- tick-thread response construction -----------------------------------
+
+   Everything below runs on the tick thread: allocator calls, table
+   updates and wire-response assembly. A worker only submits the work
+   item and blocks on its ivar for the finished response. *)
+
+let alloc_error_response e =
+  let code =
+    match e with
+    | Allocation.Insufficient_capacity _ -> Wire.Insufficient_capacity
+    | Allocation.No_usable_nodes -> Wire.No_usable_nodes
+  in
+  Wire.Error { code; message = Format.asprintf "%a" Allocation.pp_error e }
+
+let unknown_alloc alloc_id =
+  Wire.Error
+    {
+      code = Wire.Unknown_alloc;
+      message = Printf.sprintf "no active allocation #%d" alloc_id;
+    }
+
+let reconfig_rejected message =
+  Wire.Error { code = Wire.Reconfig_rejected; message }
+
+let serve_alloc t ~snapshot (params : Wire.allocate) =
+  let outcome =
+    try Batcher.serve_one ~base:t.config.broker ~snapshot ~rng:t.rng params
+    with exn ->
+      Printf.eprintf "brokerd: decision failed: %s\n%!" (Printexc.to_string exn);
+      Error Allocation.No_usable_nodes
+  in
+  match outcome with
+  | Ok (Broker.Allocated allocation) ->
+    let alloc_id = register_allocation t allocation in
+    Wire.Allocated { alloc_id; allocation }
+  | Ok (Broker.Wait { mean_load_per_core; threshold }) ->
+    Metrics.incr m_retry;
+    Wire.Retry
+      {
+        after_s = t.config.retry_after_s;
+        reason = Wire.Overloaded { mean_load_per_core; threshold };
+      }
+  | Error e -> alloc_error_response e
+
+(* Price a transition with the live world model (per-node NIC rates
+   under degradation), charging the daemon's flat per-rank payload —
+   the service has no per-job data model. *)
+let reconfig_delay_s t ~from_alloc ~to_alloc =
+  Executor.redistribution_delay_s ~world:t.world ~from_alloc ~to_alloc
+    ~data_mb_per_proc:t.config.reconfig_data_mb_per_proc
+    ~overhead_s:t.config.reconfig_overhead_s ()
+
+let finish_reconfig t ~alloc_id ~cur merged =
+  let moved_procs = Malleable.moved_procs ~from_:cur ~to_:merged in
+  let delay_s = reconfig_delay_s t ~from_alloc:cur ~to_alloc:merged in
+  replace_allocation t ~alloc_id merged;
+  Metrics.incr m_reconfigs;
+  Wire.Reconfigured { alloc_id; allocation = merged; moved_procs; delay_s }
+
+(* Grow [cur] by [delta] ranks: place the extra ranks with the job's
+   current nodes hidden (the delta must land elsewhere — growing in
+   place is not a redistribution), then merge and price the move. *)
+let grow_allocation t ~snapshot ~alloc_id ~cur ~delta ~ppn ~alpha ~policy =
+  let request = Request.make ?ppn ~alpha ~procs:delta () in
+  let snapshot = Snapshot.restrict snapshot ~exclude:(Allocation.node_ids cur) in
+  match
+    Policies.allocate ?starts:t.config.broker.Broker.starts ~policy ~snapshot
+      ~weights:t.config.broker.Broker.weights ~request ~rng:t.rng ()
+  with
+  | Error e -> alloc_error_response e
+  | Ok extra -> finish_reconfig t ~alloc_id ~cur (Malleable.merge ~base:cur ~extra)
+
+let shrink_allocation t ~alloc_id ~cur ~target =
+  match Malleable.shrink_to cur ~target_procs:target with
+  | None ->
+    reconfig_rejected
+      (Printf.sprintf
+         "cannot shrink allocation #%d from %d to %d procs (at least one must \
+          remain)"
+         alloc_id (Allocation.total_procs cur) target)
+  | Some small -> finish_reconfig t ~alloc_id ~cur small
+
+let serve_work t ~snapshot = function
+  | Alloc_work params -> serve_alloc t ~snapshot params
+  | Grow_work (g : Wire.grow) -> (
+    match lookup_allocation t ~alloc_id:g.Wire.alloc_id with
+    | None -> unknown_alloc g.Wire.alloc_id
+    | Some cur ->
+      let policy =
+        Option.value g.Wire.grow_policy ~default:t.config.broker.Broker.policy
+      in
+      grow_allocation t ~snapshot ~alloc_id:g.Wire.alloc_id ~cur
+        ~delta:g.Wire.delta_procs ~ppn:g.Wire.grow_ppn ~alpha:g.Wire.grow_alpha
+        ~policy)
+  | Shrink_work { alloc_id; delta_procs } -> (
+    match lookup_allocation t ~alloc_id with
+    | None -> unknown_alloc alloc_id
+    | Some cur ->
+      shrink_allocation t ~alloc_id ~cur
+        ~target:(Allocation.total_procs cur - delta_procs))
+  | Renegotiate_work (r : Wire.renegotiate) -> (
+    match lookup_allocation t ~alloc_id:r.Wire.ren_alloc_id with
+    | None -> unknown_alloc r.Wire.ren_alloc_id
+    | Some cur ->
+      (* The decoder guarantees min <= pref <= max; resize to pref. *)
+      let total = Allocation.total_procs cur in
+      let target = r.Wire.pref_procs in
+      if target = total then
+        Wire.Reconfigured
+          {
+            alloc_id = r.Wire.ren_alloc_id;
+            allocation = cur;
+            moved_procs = 0;
+            delay_s = 0.0;
+          }
+      else if target > total then
+        let policy =
+          Option.value r.Wire.ren_policy ~default:t.config.broker.Broker.policy
+        in
+        grow_allocation t ~snapshot ~alloc_id:r.Wire.ren_alloc_id ~cur
+          ~delta:(target - total) ~ppn:r.Wire.ren_ppn ~alpha:r.Wire.ren_alpha
+          ~policy
+      else shrink_allocation t ~alloc_id:r.Wire.ren_alloc_id ~cur ~target)
+
+let work_policy t = function
+  | Alloc_work (params : Wire.allocate) ->
+    Option.value params.Wire.policy ~default:t.config.broker.Broker.policy
+  | Grow_work g ->
+    Option.value g.Wire.grow_policy ~default:t.config.broker.Broker.policy
+  | Renegotiate_work r ->
+    Option.value r.Wire.ren_policy ~default:t.config.broker.Broker.policy
+  | Shrink_work _ -> t.config.broker.Broker.policy
 
 let serve_batch t batch =
   let wall = Unix.gettimeofday () in
@@ -296,25 +488,25 @@ let serve_batch t batch =
           s
         end
       in
-      let outcome =
-        try
-          Batcher.serve_one ~base:t.config.broker ~snapshot ~rng:t.rng p.params
+      let response =
+        try serve_work t ~snapshot p.work
         with exn ->
-          Printf.eprintf "brokerd: decision failed: %s\n%!"
+          Printf.eprintf "brokerd: request failed: %s\n%!"
             (Printexc.to_string exn);
-          Error Allocation.No_usable_nodes
+          Wire.Error
+            {
+              code = Wire.Bad_request;
+              message = "internal error: " ^ Printexc.to_string exn;
+            }
       in
       Metrics.observe
-        (latency_histogram
-           ~policy:
-             (Option.value p.params.Wire.policy
-                ~default:t.config.broker.Broker.policy))
+        (latency_histogram ~policy:(work_policy t p.work))
         (Unix.gettimeofday () -. p.enqueued_at);
       Mutex.lock t.state_mutex;
       t.served <- t.served + 1;
       if not t.config.batching then t.batches <- t.batches + 1;
       Mutex.unlock t.state_mutex;
-      Ivar.fill p.reply outcome)
+      Ivar.fill p.reply response)
     batch;
   if t.config.batching then begin
     Mutex.lock t.state_mutex;
@@ -354,31 +546,14 @@ let status_info t =
   Mutex.unlock t.state_mutex;
   info
 
-let register_allocation t allocation =
-  Mutex.lock t.state_mutex;
-  let id = t.next_alloc_id in
-  t.next_alloc_id <- id + 1;
-  Hashtbl.replace t.allocs id allocation;
-  Metrics.set m_active (float_of_int (Hashtbl.length t.allocs));
-  Mutex.unlock t.state_mutex;
-  id
-
-let release_allocation t ~alloc_id =
-  Mutex.lock t.state_mutex;
-  let found = Hashtbl.mem t.allocs alloc_id in
-  if found then begin
-    Hashtbl.remove t.allocs alloc_id;
-    Metrics.set m_active (float_of_int (Hashtbl.length t.allocs))
-  end;
-  Mutex.unlock t.state_mutex;
-  found
-
-let handle_allocate t params =
+(* Submit a work item to the admission queue and block on the finished
+   response. Used for every op the tick thread must serve. *)
+let submit_work t work =
   if Atomic.get t.draining then
     Wire.Error { code = Wire.Shutting_down; message = "daemon is draining" }
   else begin
     let p =
-      { params; enqueued_at = Unix.gettimeofday (); reply = Ivar.create () }
+      { work; enqueued_at = Unix.gettimeofday (); reply = Ivar.create () }
     in
     match Batcher.submit t.queue p with
     | `Queue_full ->
@@ -386,34 +561,15 @@ let handle_allocate t params =
       Wire.Retry { after_s = t.config.retry_after_s; reason = Wire.Queue_full }
     | `Closed ->
       Wire.Error { code = Wire.Shutting_down; message = "daemon is draining" }
-    | `Queued -> (
-      match Ivar.read p.reply with
-      | Ok (Broker.Allocated allocation) ->
-        let alloc_id = register_allocation t allocation in
-        Wire.Allocated { alloc_id; allocation }
-      | Ok (Broker.Wait { mean_load_per_core; threshold }) ->
-        Metrics.incr m_retry;
-        Wire.Retry
-          {
-            after_s = t.config.retry_after_s;
-            reason = Wire.Overloaded { mean_load_per_core; threshold };
-          }
-      | Error (Allocation.Insufficient_capacity _ as e) ->
-        Wire.Error
-          {
-            code = Wire.Insufficient_capacity;
-            message = Format.asprintf "%a" Allocation.pp_error e;
-          }
-      | Error (Allocation.No_usable_nodes as e) ->
-        Wire.Error
-          {
-            code = Wire.No_usable_nodes;
-            message = Format.asprintf "%a" Allocation.pp_error e;
-          })
+    | `Queued -> Ivar.read p.reply
   end
 
 let handle_request t = function
-  | Wire.Allocate params -> handle_allocate t params
+  | Wire.Allocate params -> submit_work t (Alloc_work params)
+  | Wire.Grow g -> submit_work t (Grow_work g)
+  | Wire.Shrink { alloc_id; delta_procs } ->
+    submit_work t (Shrink_work { alloc_id; delta_procs })
+  | Wire.Renegotiate r -> submit_work t (Renegotiate_work r)
   | Wire.Release { alloc_id } ->
     if release_allocation t ~alloc_id then Wire.Released { alloc_id }
     else

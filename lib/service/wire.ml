@@ -25,7 +25,14 @@ module Json = Rm_telemetry.Json
 module Policies = Rm_core.Policies
 module Allocation = Rm_core.Allocation
 
-let version = 1
+(* v1: allocate/release/status/metrics. v2 adds the malleability ops —
+   grow/shrink/renegotiate — and the `reconfigured` response. The codec
+   still accepts v1 envelopes (decoding a v2-only op under a v1
+   envelope is an [Unsupported_version] error, so an old client can
+   never trip into semantics it does not know), and always emits the
+   current version. *)
+let version = 2
+let min_version = 1
 
 (* --- requests ---------------------------------------------------------- *)
 
@@ -39,9 +46,33 @@ type allocate = {
       (** [None] inherits the daemon's default broker threshold. *)
 }
 
+type grow = {
+  alloc_id : int;
+  delta_procs : int;  (* >= 1 *)
+  grow_ppn : int option;
+  grow_alpha : float;
+  grow_policy : Policies.policy option;
+      (** policy for placing the added procs; [None] inherits *)
+}
+
+type renegotiate = {
+  ren_alloc_id : int;
+  min_procs : int;
+  pref_procs : int;  (* decode guarantees min <= pref <= max *)
+  max_procs : int;
+  ren_ppn : int option;
+  ren_alpha : float;
+  ren_policy : Policies.policy option;
+}
+
 type request =
   | Allocate of allocate
   | Release of { alloc_id : int }
+  | Grow of grow  (** v2: add [delta_procs] to a live allocation *)
+  | Shrink of { alloc_id : int; delta_procs : int }
+      (** v2: retreat [delta_procs] from the allocation's tail entries *)
+  | Renegotiate of renegotiate
+      (** v2: resize a live allocation to its preferred count *)
   | Status
   | Metrics
 
@@ -60,6 +91,7 @@ type error_code =
   | Insufficient_capacity
   | No_usable_nodes
   | Unknown_alloc
+  | Reconfig_rejected
 
 let error_code_name = function
   | Bad_request -> "bad_request"
@@ -68,6 +100,7 @@ let error_code_name = function
   | Insufficient_capacity -> "insufficient_capacity"
   | No_usable_nodes -> "no_usable_nodes"
   | Unknown_alloc -> "unknown_alloc"
+  | Reconfig_rejected -> "reconfig_rejected"
 
 let error_code_of_name = function
   | "bad_request" -> Some Bad_request
@@ -76,6 +109,7 @@ let error_code_of_name = function
   | "insufficient_capacity" -> Some Insufficient_capacity
   | "no_usable_nodes" -> Some No_usable_nodes
   | "unknown_alloc" -> Some Unknown_alloc
+  | "reconfig_rejected" -> Some Reconfig_rejected
   | _ -> None
 
 type status_info = {
@@ -94,6 +128,12 @@ type status_info = {
 
 type response =
   | Allocated of { alloc_id : int; allocation : Allocation.t }
+  | Reconfigured of {
+      alloc_id : int;
+      allocation : Allocation.t;  (** the new shape, post-directive *)
+      moved_procs : int;  (** ranks whose home node changed *)
+      delay_s : float;  (** modeled data-redistribution delay *)
+    }  (** v2: a grow/shrink/renegotiate directive was applied *)
   | Retry of { after_s : float; reason : retry_reason }
   | Released of { alloc_id : int }
   | Status_info of status_info
@@ -129,6 +169,38 @@ let encode_request { req_id; request } =
       | None -> [])
     | Release { alloc_id } ->
       [ ("op", Json.Str "release"); ("alloc", Json.Num (float_of_int alloc_id)) ]
+    | Grow g ->
+      [ ("op", Json.Str "grow");
+        ("alloc", Json.Num (float_of_int g.alloc_id));
+        ("delta", Json.Num (float_of_int g.delta_procs)) ]
+      @ (match g.grow_ppn with
+        | Some p -> [ ("ppn", Json.Num (float_of_int p)) ]
+        | None -> [])
+      @ [ ("alpha", Json.Num g.grow_alpha) ]
+      @
+      (match g.grow_policy with
+      | Some p -> [ ("policy", Json.Str (Policies.name p)) ]
+      | None -> [])
+    | Shrink { alloc_id; delta_procs } ->
+      [
+        ("op", Json.Str "shrink");
+        ("alloc", Json.Num (float_of_int alloc_id));
+        ("delta", Json.Num (float_of_int delta_procs));
+      ]
+    | Renegotiate r ->
+      [ ("op", Json.Str "renegotiate");
+        ("alloc", Json.Num (float_of_int r.ren_alloc_id));
+        ("min", Json.Num (float_of_int r.min_procs));
+        ("pref", Json.Num (float_of_int r.pref_procs));
+        ("max", Json.Num (float_of_int r.max_procs)) ]
+      @ (match r.ren_ppn with
+        | Some p -> [ ("ppn", Json.Num (float_of_int p)) ]
+        | None -> [])
+      @ [ ("alpha", Json.Num r.ren_alpha) ]
+      @
+      (match r.ren_policy with
+      | Some p -> [ ("policy", Json.Str (Policies.name p)) ]
+      | None -> [])
     | Status -> [ ("op", Json.Str "status") ]
     | Metrics -> [ ("op", Json.Str "metrics") ]
   in
@@ -170,6 +242,15 @@ let encode_response { resp_id; response } =
         ("alloc", Json.Num (float_of_int alloc_id));
         ("policy", Json.Str allocation.Allocation.policy);
         ("entries", entries_to_json allocation.Allocation.entries);
+      ]
+    | Reconfigured { alloc_id; allocation; moved_procs; delay_s } ->
+      [
+        ("ok", Json.Str "reconfigured");
+        ("alloc", Json.Num (float_of_int alloc_id));
+        ("policy", Json.Str allocation.Allocation.policy);
+        ("entries", entries_to_json allocation.Allocation.entries);
+        ("moved", Json.Num (float_of_int moved_procs));
+        ("delay_s", Json.Num delay_s);
       ]
     | Retry { after_s; reason } ->
       [ ("ok", Json.Str "retry"); ("after_s", Json.Num after_s) ]
@@ -255,9 +336,60 @@ let decode_allocate j =
   in
   Allocate { procs; ppn; alpha; policy; wait_threshold }
 
+let decode_ppn_alpha_policy j =
+  let ppn =
+    match Json.member "ppn" j with
+    | Json.Null -> None
+    | v ->
+      let p = as_int ~what:"ppn" v in
+      if p <= 0 then reject Bad_request "ppn must be positive";
+      Some p
+  in
+  let alpha =
+    match Json.member "alpha" j with
+    | Json.Null -> 0.5
+    | v -> as_finite ~what:"alpha" v
+  in
+  if alpha < 0.0 || alpha > 1.0 then
+    reject Bad_request "alpha must be in [0, 1]";
+  let policy =
+    match Json.member "policy" j with
+    | Json.Null -> None
+    | v -> (
+      let name = as_string ~what:"policy" v in
+      match Policies.of_name name with
+      | Some p -> Some p
+      | None -> reject Bad_request "unknown policy %S" name)
+  in
+  (ppn, alpha, policy)
+
+let decode_delta j =
+  let delta = as_int ~what:"delta" (Json.member "delta" j) in
+  if delta <= 0 then reject Bad_request "delta must be positive";
+  delta
+
+let decode_grow j =
+  let alloc_id = as_int ~what:"alloc" (Json.member "alloc" j) in
+  let delta_procs = decode_delta j in
+  let grow_ppn, grow_alpha, grow_policy = decode_ppn_alpha_policy j in
+  Grow { alloc_id; delta_procs; grow_ppn; grow_alpha; grow_policy }
+
+let decode_renegotiate j =
+  let ren_alloc_id = as_int ~what:"alloc" (Json.member "alloc" j) in
+  let min_procs = as_int ~what:"min" (Json.member "min" j) in
+  let pref_procs = as_int ~what:"pref" (Json.member "pref" j) in
+  let max_procs = as_int ~what:"max" (Json.member "max" j) in
+  if min_procs < 1 || pref_procs < min_procs || max_procs < pref_procs then
+    reject Bad_request "renegotiate requires 1 <= min <= pref <= max";
+  let ren_ppn, ren_alpha, ren_policy = decode_ppn_alpha_policy j in
+  Renegotiate
+    { ren_alloc_id; min_procs; pref_procs; max_procs; ren_ppn; ren_alpha;
+      ren_policy }
+
 (* Shared by request and response decoding: parse the line, check the
    version, pull the id.  The id is extracted before the version check
-   so even an unsupported-version error can be correlated. *)
+   so even an unsupported-version error can be correlated. Returns the
+   envelope's version so v2-only ops can be gated. *)
 let decode_envelope ?(seen_id = ref None) line =
   match Json.of_string line with
   | exception Failure m -> raise (Reject (Bad_request, m))
@@ -269,25 +401,48 @@ let decode_envelope ?(seen_id = ref None) line =
       | _ -> None
     in
     seen_id := id;
-    (match Json.member "v" j with
-    | Json.Num n when int_of_float n = version && Float.is_integer n -> ()
-    | Json.Null -> reject Bad_request "missing protocol version"
-    | Json.Num n -> reject Unsupported_version "unsupported version %.0f" n
-    | _ -> reject Bad_request "version must be a number");
+    let v =
+      match Json.member "v" j with
+      | Json.Num n
+        when Float.is_integer n
+             && int_of_float n >= min_version
+             && int_of_float n <= version ->
+        int_of_float n
+      | Json.Null -> reject Bad_request "missing protocol version"
+      | Json.Num n -> reject Unsupported_version "unsupported version %.0f" n
+      | _ -> reject Bad_request "version must be a number"
+    in
     (match id with
-    | Some id -> (id, j)
+    | Some id -> (id, v, j)
     | None -> reject Bad_request "missing request id")
   | _ -> raise (Reject (Bad_request, "top level is not a JSON object"))
 
 let decode_request line : (req, decode_error) result =
   let id = ref None in
   try
-    let req_id, j = decode_envelope ~seen_id:id line in
+    let req_id, v, j = decode_envelope ~seen_id:id line in
+    let v2_only op =
+      if v < 2 then
+        reject Unsupported_version "op %S requires protocol v2 (got v%d)" op v
+    in
     let request =
       match as_string ~what:"op" (Json.member "op" j) with
       | "allocate" -> decode_allocate j
       | "release" ->
         Release { alloc_id = as_int ~what:"alloc" (Json.member "alloc" j) }
+      | "grow" ->
+        v2_only "grow";
+        decode_grow j
+      | "shrink" ->
+        v2_only "shrink";
+        Shrink
+          {
+            alloc_id = as_int ~what:"alloc" (Json.member "alloc" j);
+            delta_procs = decode_delta j;
+          }
+      | "renegotiate" ->
+        v2_only "renegotiate";
+        decode_renegotiate j
       | "status" -> Status
       | "metrics" -> Metrics
       | op -> reject Bad_request "unknown op %S" op
@@ -325,7 +480,7 @@ let decode_status j =
 
 let decode_response line : (resp, string) result =
   try
-    let resp_id, j = decode_envelope line in
+    let resp_id, _v, j = decode_envelope line in
     let response =
       match Json.member "error" j with
       | Json.Str name ->
@@ -347,6 +502,23 @@ let decode_response line : (resp, string) result =
           in
           Allocated
             { alloc_id = as_int ~what:"alloc" (Json.member "alloc" j); allocation }
+        | "reconfigured" ->
+          let policy = as_string ~what:"policy" (Json.member "policy" j) in
+          let entries = decode_entries (Json.member "entries" j) in
+          let allocation =
+            try Allocation.make ~policy ~entries
+            with Invalid_argument m -> reject Bad_request "%s" m
+          in
+          let moved_procs = as_int ~what:"moved" (Json.member "moved" j) in
+          if moved_procs < 0 then reject Bad_request "moved must be >= 0";
+          let delay_s = as_finite ~what:"delay_s" (Json.member "delay_s" j) in
+          Reconfigured
+            {
+              alloc_id = as_int ~what:"alloc" (Json.member "alloc" j);
+              allocation;
+              moved_procs;
+              delay_s;
+            }
         | "retry" ->
           let after_s = as_finite ~what:"after_s" (Json.member "after_s" j) in
           let reason =
@@ -380,6 +552,9 @@ let decode_response line : (resp, string) result =
 let pp_response ppf = function
   | Allocated { alloc_id; allocation } ->
     Format.fprintf ppf "allocated #%d %a" alloc_id Allocation.pp allocation
+  | Reconfigured { alloc_id; allocation; moved_procs; delay_s } ->
+    Format.fprintf ppf "reconfigured #%d %a (%d procs moved, %.1fs delay)"
+      alloc_id Allocation.pp allocation moved_procs delay_s
   | Retry { after_s; reason } ->
     Format.fprintf ppf "retry in %.3fs (%s)" after_s
       (match reason with

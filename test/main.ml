@@ -5,4 +5,4 @@ let () =
     (Test_stats.suites @ Test_engine.suites @ Test_cluster.suites
    @ Test_netsim.suites @ Test_workload.suites @ Test_monitor.suites
    @ Test_core.suites @ Test_mpisim.suites @ Test_apps.suites
-   @ Test_madm.suites @ Test_replay.suites @ Test_synthetic.suites @ Test_edge.suites @ Test_coverage.suites @ Test_forecast.suites @ Test_sched.suites @ Test_faults.suites @ Test_experiments.suites @ Test_telemetry.suites @ Test_service.suites)
+   @ Test_madm.suites @ Test_replay.suites @ Test_synthetic.suites @ Test_edge.suites @ Test_coverage.suites @ Test_forecast.suites @ Test_sched.suites @ Test_malleable.suites @ Test_faults.suites @ Test_experiments.suites @ Test_telemetry.suites @ Test_service.suites)

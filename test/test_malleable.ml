@@ -1,0 +1,447 @@
+(* Tests for rm_malleable and the scheduler's reconfiguration points:
+   spec validation, allocation surgery (merge / shrink_to / drop_nodes),
+   the redistribution cost model (pure and world-aware), the band
+   invariants (never below min, never above max) over the scheduler's
+   directive log, cost-gate rejection, shrink-recovery vs requeue on
+   node death, and the rigid bit-identity guarantee. *)
+
+module Sim = Rm_engine.Sim
+module Rng = Rm_stats.Rng
+module Cluster = Rm_cluster.Cluster
+module World = Rm_workload.World
+module Scenario = Rm_workload.Scenario
+module System = Rm_monitor.System
+module Allocation = Rm_core.Allocation
+module Request = Rm_core.Request
+module Executor = Rm_mpisim.Executor
+module App = Rm_mpisim.App
+module Scheduler = Rm_sched.Scheduler
+module Malleable = Rm_malleable.Malleable
+
+let cluster () = Cluster.homogeneous ~cores:8 ~freq_ghz:3.0 ~nodes_per_switch:[ 4; 4 ] ()
+
+let alloc entries =
+  Allocation.make ~policy:"test"
+    ~entries:(List.map (fun (node, procs) -> { Allocation.node; procs }) entries)
+
+(* --- spec --------------------------------------------------------------- *)
+
+let test_spec_validation () =
+  let s = Malleable.spec ~min_procs:4 ~max_procs:16 () in
+  Alcotest.(check int) "min" 4 s.Malleable.min_procs;
+  Alcotest.(check int) "max" 16 s.Malleable.max_procs;
+  Alcotest.(check (float 1e-9)) "default payload" 64.0 s.Malleable.data_mb_per_proc;
+  let invalid f = Alcotest.check_raises "rejected" (Invalid_argument "Malleable.spec") f in
+  (try ignore (Malleable.spec ~min_procs:0 ~max_procs:4 ()); Alcotest.fail "min 0"
+   with Invalid_argument _ -> ());
+  (try ignore (Malleable.spec ~min_procs:8 ~max_procs:4 ()); Alcotest.fail "min > max"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Malleable.spec ~data_mb_per_proc:(-1.0) ~min_procs:2 ~max_procs:4 ());
+     Alcotest.fail "negative payload"
+   with Invalid_argument _ -> ());
+  ignore invalid
+
+let test_rigid_spec () =
+  let s = Malleable.rigid ~procs:8 in
+  Alcotest.(check int) "min pinned" 8 s.Malleable.min_procs;
+  Alcotest.(check int) "max pinned" 8 s.Malleable.max_procs;
+  Alcotest.(check (float 1e-9)) "no payload" 0.0 s.Malleable.data_mb_per_proc;
+  Alcotest.(check bool) "rigid" true (Malleable.is_rigid ~pref:8 s);
+  Alcotest.(check bool) "band is not rigid" false
+    (Malleable.is_rigid ~pref:8 (Malleable.spec ~min_procs:4 ~max_procs:16 ()));
+  (* A pinned band around a different preference still moves. *)
+  Alcotest.(check bool) "pin off preference is not rigid" false
+    (Malleable.is_rigid ~pref:4 s)
+
+(* --- allocation surgery -------------------------------------------------- *)
+
+let test_merge () =
+  let base = alloc [ (0, 4); (1, 4) ] in
+  let extra = alloc [ (1, 2); (2, 4) ] in
+  let m = Malleable.merge ~base ~extra in
+  Alcotest.(check int) "total" 14 (Allocation.total_procs m);
+  Alcotest.(check int) "node 0" 4 (Allocation.procs_on m ~node:0);
+  Alcotest.(check int) "node 1 summed" 6 (Allocation.procs_on m ~node:1);
+  Alcotest.(check int) "node 2" 4 (Allocation.procs_on m ~node:2);
+  Alcotest.(check string) "policy from base" "test" m.Allocation.policy
+
+let test_shrink_to () =
+  let a = alloc [ (0, 4); (1, 4); (2, 4) ] in
+  (match Malleable.shrink_to a ~target_procs:6 with
+  | Some s ->
+    Alcotest.(check int) "total" 6 (Allocation.total_procs s);
+    (* Tail entries go first: node 2 dropped entirely, node 1 partially. *)
+    Alcotest.(check int) "head kept" 4 (Allocation.procs_on s ~node:0);
+    Alcotest.(check int) "middle partial" 2 (Allocation.procs_on s ~node:1);
+    Alcotest.(check int) "tail dropped" 0 (Allocation.procs_on s ~node:2)
+  | None -> Alcotest.fail "expected a shrink");
+  Alcotest.(check bool) "same size is not a shrink" true
+    (Malleable.shrink_to a ~target_procs:12 = None);
+  Alcotest.(check bool) "zero is not a shrink" true
+    (Malleable.shrink_to a ~target_procs:0 = None);
+  Alcotest.(check bool) "growth is not a shrink" true
+    (Malleable.shrink_to a ~target_procs:16 = None)
+
+let test_drop_nodes () =
+  let a = alloc [ (0, 4); (1, 4); (2, 4) ] in
+  (match Malleable.drop_nodes a ~dead:[ 1 ] with
+  | Some s ->
+    Alcotest.(check int) "total" 8 (Allocation.total_procs s);
+    Alcotest.(check bool) "dead gone" false (List.mem 1 (Allocation.node_ids s))
+  | None -> Alcotest.fail "expected survivors");
+  Alcotest.(check bool) "nothing survives" true
+    (Malleable.drop_nodes a ~dead:[ 0; 1; 2 ] = None);
+  Alcotest.(check bool) "nothing dropped is not a shrink" true
+    (Malleable.drop_nodes a ~dead:[ 9 ] = None)
+
+(* --- cost model ---------------------------------------------------------- *)
+
+let test_moved_procs_and_mb () =
+  let from_ = alloc [ (0, 4); (1, 4) ] in
+  (* Pure grow: the new ranks' data moves in. *)
+  Alcotest.(check int) "grow moves delta" 4
+    (Malleable.moved_procs ~from_ ~to_:(alloc [ (0, 4); (1, 4); (2, 4) ]));
+  (* Pure shrink: the dropped ranks' data moves out. *)
+  Alcotest.(check int) "shrink moves delta" 3
+    (Malleable.moved_procs ~from_ ~to_:(alloc [ (0, 4); (1, 1) ]));
+  (* Rebalance at constant size: max of gained and lost. *)
+  Alcotest.(check int) "rebalance" 4
+    (Malleable.moved_procs ~from_ ~to_:(alloc [ (0, 8) ]));
+  Alcotest.(check int) "no-op moves nothing" 0
+    (Malleable.moved_procs ~from_ ~to_:from_);
+  let spec = Malleable.spec ~data_mb_per_proc:32.0 ~min_procs:1 ~max_procs:64 () in
+  Alcotest.(check (float 1e-9)) "payload scales" 128.0
+    (Malleable.redistribution_mb spec ~moved_procs:4)
+
+let test_transfer_delay () =
+  Alcotest.(check (float 1e-9)) "overhead + transfer" 14.0
+    (Malleable.transfer_delay_s ~moved_mb:1200.0 ~bandwidth_mb_s:100.0
+       ~overhead_s:2.0);
+  try
+    ignore (Malleable.transfer_delay_s ~moved_mb:1.0 ~bandwidth_mb_s:0.0 ~overhead_s:0.0);
+    Alcotest.fail "zero bandwidth accepted"
+  with Invalid_argument _ -> ()
+
+let test_net_gain () =
+  Alcotest.(check (float 1e-9)) "positive when worth it" 70.0
+    (Malleable.net_gain_s ~remaining_old_s:200.0 ~remaining_new_s:100.0
+       ~delay_s:30.0);
+  Alcotest.(check bool) "negative when the delay swamps it" true
+    (Malleable.net_gain_s ~remaining_old_s:100.0 ~remaining_new_s:90.0
+       ~delay_s:60.0
+    < 0.0)
+
+let test_executor_redistribution_delay () =
+  let world = World.create ~cluster:(cluster ()) ~scenario:Scenario.quiet ~seed:7 in
+  let from_alloc = alloc [ (0, 4); (1, 4) ] in
+  let to_alloc = alloc [ (0, 4); (1, 4); (2, 4); (3, 4) ] in
+  let delay mb =
+    Executor.redistribution_delay_s ~world ~from_alloc ~to_alloc
+      ~data_mb_per_proc:mb ~overhead_s:5.0 ()
+  in
+  Alcotest.(check bool) "at least the overhead" true (delay 64.0 >= 5.0);
+  Alcotest.(check bool) "monotone in payload" true (delay 640.0 > delay 64.0);
+  (* Nothing changes shape: only the fixed overhead is charged. *)
+  Alcotest.(check (float 1e-6)) "no-op is overhead only" 5.0
+    (Executor.redistribution_delay_s ~world ~from_alloc ~to_alloc:from_alloc
+       ~data_mb_per_proc:64.0 ~overhead_s:5.0 ())
+
+(* --- scheduler reconfiguration points ------------------------------------ *)
+
+(* Strong scaling: fixed total work split across the ranks, so growing
+   a job genuinely shortens its remaining time and the cost gate has a
+   real benefit to weigh. ~500 s at 8 ranks on the 8x8-core cluster. *)
+let strong_app ?(total_gflops = 12_000.0) ~ranks () =
+  let iterations = 40 in
+  let flops_per_rank =
+    total_gflops *. 1e9 /. float_of_int ranks /. float_of_int iterations
+  in
+  App.make ~name:"strong" ~ranks ~iterations
+    ~phase:(fun ~iter:_ ->
+      {
+        App.flops_per_rank = (fun _ -> flops_per_rank);
+        messages =
+          (if ranks <= 1 then []
+           else List.init ranks (fun r -> (r, (r + 1) mod ranks, 1e4)));
+        allreduce_bytes = 8.0;
+      })
+    ()
+
+(* Fast negotiation so directives fire within a short test run. *)
+let eager_malleable =
+  {
+    Malleable.default_config with
+    Malleable.negotiation_period_s = 60.0;
+    min_gain_s = 1.0;
+    reconfig_overhead_s = 1.0;
+  }
+
+let sched_setup ?(config = Scheduler.default_config) ?(seed = 3) () =
+  let sim = Sim.create () in
+  let world = World.create ~cluster:(cluster ()) ~scenario:Scenario.quiet ~seed in
+  let rng = Rng.create (seed + 10) in
+  let horizon = 100_000.0 in
+  let monitor = System.start ~sim ~world ~rng ~until:horizon () in
+  let sched = Scheduler.create ~sim ~world ~monitor ~config ~rng ~horizon () in
+  (sim, world, sched)
+
+let accepted_of kind log =
+  List.filter
+    (fun (r : Malleable.record) ->
+      r.Malleable.kind = kind && r.Malleable.verdict = Malleable.Accepted)
+    log
+
+let test_grow_stays_within_band () =
+  let config =
+    { Scheduler.default_config with Scheduler.malleable = Some eager_malleable }
+  in
+  let sim, _world, sched = sched_setup ~config () in
+  let spec = Malleable.spec ~min_procs:4 ~max_procs:16 () in
+  let id =
+    Scheduler.submit sched ~name:"growable" ~at:1000.0 ~malleable:spec
+      ~request:(Request.make ~ppn:4 ~alpha:0.5 ~procs:8 ())
+      ~app_of:(fun ~ranks -> strong_app ~ranks ())
+      ()
+  in
+  Sim.run_until sim 20_000.0;
+  (match Scheduler.state sched id with
+  | Scheduler.Finished _ -> ()
+  | _ -> Alcotest.fail "job did not finish");
+  let log = Scheduler.malleable_log sched in
+  let grows = accepted_of Malleable.Grow log in
+  Alcotest.(check bool) "an idle-capacity grow fired" true (grows <> []);
+  List.iter
+    (fun (r : Malleable.record) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "accepted %s at t=%.0f within [4..16]"
+           (Malleable.kind_name r.Malleable.kind) r.Malleable.time)
+        true
+        (r.Malleable.to_procs <= 16 && r.Malleable.to_procs >= 4))
+    (List.filter (fun (r : Malleable.record) -> r.Malleable.verdict = Malleable.Accepted) log);
+  List.iter
+    (fun (r : Malleable.record) ->
+      Alcotest.(check bool) "accepted grow paid a delay" true
+        (r.Malleable.delay_s > 0.0 && r.Malleable.moved_mb > 0.0))
+    grows
+
+let test_shrink_admits_blocked_head () =
+  (* Exclusive mode so a full cluster genuinely blocks the queue head;
+     the wide malleable job must shrink to let the rigid newcomer in. *)
+  let config =
+    {
+      Scheduler.default_config with
+      Scheduler.exclusive = true;
+      malleable = Some eager_malleable;
+    }
+  in
+  let sim, _world, sched = sched_setup ~config () in
+  let wide_spec = Malleable.spec ~min_procs:40 ~max_procs:64 () in
+  let wide =
+    Scheduler.submit sched ~name:"wide" ~at:1000.0 ~malleable:wide_spec
+      ~request:(Request.make ~ppn:8 ~alpha:0.5 ~procs:64 ())
+      ~app_of:(fun ~ranks -> strong_app ~total_gflops:40_000.0 ~ranks ())
+      ()
+  in
+  let late =
+    Scheduler.submit sched ~name:"late" ~at:1100.0
+      ~request:(Request.make ~ppn:8 ~alpha:0.5 ~procs:8 ())
+      ~app_of:(fun ~ranks -> strong_app ~total_gflops:1_000.0 ~ranks ())
+      ()
+  in
+  Sim.run_until sim 50_000.0;
+  let log = Scheduler.malleable_log sched in
+  let shrinks = accepted_of Malleable.Shrink_admit log in
+  Alcotest.(check bool) "a shrink-to-admit fired" true (shrinks <> []);
+  List.iter
+    (fun (r : Malleable.record) ->
+      Alcotest.(check bool) "never below min" true (r.Malleable.to_procs >= 40);
+      Alcotest.(check bool) "strictly smaller" true
+        (r.Malleable.to_procs < r.Malleable.from_procs))
+    shrinks;
+  (match Scheduler.state sched late with
+  | Scheduler.Finished _ -> ()
+  | _ -> Alcotest.fail "blocked head was never admitted");
+  match Scheduler.state sched wide with
+  | Scheduler.Finished _ -> ()
+  | _ -> Alcotest.fail "shrunk victim did not finish"
+
+let test_cost_gate_rejects () =
+  (* An unmeetable margin: every directive is evaluated and rejected,
+     and the schedule is left alone. *)
+  let config =
+    {
+      Scheduler.default_config with
+      Scheduler.malleable =
+        Some { eager_malleable with Malleable.min_gain_s = 1e9 };
+    }
+  in
+  let sim, _world, sched = sched_setup ~config () in
+  let id =
+    Scheduler.submit sched ~name:"tempting" ~at:1000.0
+      ~malleable:(Malleable.spec ~min_procs:4 ~max_procs:16 ())
+      ~request:(Request.make ~ppn:4 ~alpha:0.5 ~procs:8 ())
+      ~app_of:(fun ~ranks -> strong_app ~ranks ())
+      ()
+  in
+  Sim.run_until sim 20_000.0;
+  let log = Scheduler.malleable_log sched in
+  Alcotest.(check bool) "directives were evaluated" true (log <> []);
+  List.iter
+    (fun (r : Malleable.record) ->
+      match r.Malleable.verdict with
+      | Malleable.Rejected _ ->
+        Alcotest.(check (float 1e-9)) "no delay charged" 0.0 r.Malleable.delay_s
+      | Malleable.Accepted -> Alcotest.fail "directive beat an 1e9 s margin")
+    log;
+  match Scheduler.state sched id with
+  | Scheduler.Finished o -> Alcotest.(check int) "ran at its preference" 8 o.Scheduler.procs
+  | _ -> Alcotest.fail "job did not finish"
+
+let failure_config ~malleable =
+  {
+    Scheduler.default_config with
+    Scheduler.node_check_period_s = Some 5.0;
+    malleable;
+  }
+
+let run_until_running sim sched id =
+  (* Step until the job has nodes; it starts shortly after submission. *)
+  let rec go t =
+    if t > 5000.0 then Alcotest.fail "job never started";
+    Sim.run_until sim t;
+    match Scheduler.state sched id with
+    | Scheduler.Running { nodes; _ } -> nodes
+    | _ -> go (t +. 50.0)
+  in
+  go 1050.0
+
+let test_shrink_recovery_on_node_death () =
+  let config = failure_config ~malleable:(Some eager_malleable) in
+  let sim, world, sched = sched_setup ~config () in
+  let id =
+    Scheduler.submit sched ~name:"survivor" ~at:1000.0
+      ~malleable:(Malleable.spec ~min_procs:4 ~max_procs:16 ())
+      ~request:(Request.make ~ppn:4 ~alpha:0.5 ~procs:16 ())
+      ~app_of:(fun ~ranks -> strong_app ~total_gflops:48_000.0 ~ranks ())
+      ()
+  in
+  let nodes = run_until_running sim sched id in
+  let victim = List.hd nodes in
+  (* Kill late in the ~1000 s run: by then the elapsed work a requeue
+     would redo outweighs the survivors' slowdown, so the cost model
+     must pick the shrink. *)
+  Sim.run_until sim 1800.0;
+  World.set_down world ~node:victim;
+  Sim.run_until sim 30_000.0;
+  let recoveries = accepted_of Malleable.Shrink_failure (Scheduler.malleable_log sched) in
+  Alcotest.(check int) "one shrink recovery" 1 (List.length recoveries);
+  let r = List.hd recoveries in
+  Alcotest.(check int) "dropped the dead node's ranks" 12 r.Malleable.to_procs;
+  Alcotest.(check bool) "only the dead node's work wasted" true
+    (Scheduler.wasted_node_seconds sched > 0.0);
+  match Scheduler.state sched id with
+  | Scheduler.Finished o ->
+    Alcotest.(check int) "no requeue" 0 o.Scheduler.requeues;
+    Alcotest.(check bool) "dead node gone from the placement" false
+      (List.mem victim o.Scheduler.nodes)
+  | _ -> Alcotest.fail "job did not finish after shrink recovery"
+
+let test_shrink_recovery_respects_min () =
+  (* min_procs equal to the full width: the survivors can never
+     satisfy the floor, so the failure takes the requeue path and the
+     directive log shows the rejection. *)
+  let config = failure_config ~malleable:(Some eager_malleable) in
+  let sim, world, sched = sched_setup ~config () in
+  let id =
+    Scheduler.submit sched ~name:"floored" ~at:1000.0
+      ~malleable:(Malleable.spec ~min_procs:16 ~max_procs:16 ())
+      ~request:(Request.make ~ppn:4 ~alpha:0.5 ~procs:16 ())
+      ~app_of:(fun ~ranks -> strong_app ~total_gflops:48_000.0 ~ranks ())
+      ()
+  in
+  let nodes = run_until_running sim sched id in
+  let victim = List.hd nodes in
+  Sim.run_until sim 1300.0;
+  World.set_down world ~node:victim;
+  Sim.run_until sim 1400.0;
+  World.set_up world ~node:victim;
+  Sim.run_until sim 60_000.0;
+  let log = Scheduler.malleable_log sched in
+  Alcotest.(check bool) "no accepted shrink recovery" true
+    (accepted_of Malleable.Shrink_failure log = []);
+  Alcotest.(check bool) "the floor rejection is logged" true
+    (List.exists
+       (fun (r : Malleable.record) ->
+         r.Malleable.kind = Malleable.Shrink_failure
+         && r.Malleable.verdict <> Malleable.Accepted)
+       log);
+  match Scheduler.state sched id with
+  | Scheduler.Finished o ->
+    Alcotest.(check bool) "requeued instead" true (o.Scheduler.requeues >= 1)
+  | _ -> Alcotest.fail "job did not finish after requeue"
+
+(* --- rigid bit-identity --------------------------------------------------- *)
+
+let rigid_run ~malleable () =
+  let config = { Scheduler.default_config with Scheduler.malleable } in
+  let sim, _world, sched = sched_setup ~config ~seed:11 () in
+  let submit ~name ~at ~procs =
+    ignore
+      (Scheduler.submit sched ~name ~at
+         ?malleable:
+           (match malleable with
+           | None -> None
+           | Some _ -> Some (Malleable.rigid ~procs))
+         ~request:(Request.make ~ppn:4 ~alpha:0.5 ~procs ())
+         ~app_of:(fun ~ranks -> strong_app ~total_gflops:2000.0 ~ranks ())
+         ())
+  in
+  submit ~name:"a" ~at:1000.0 ~procs:8;
+  submit ~name:"b" ~at:1030.0 ~procs:12;
+  submit ~name:"c" ~at:1060.0 ~procs:8;
+  Sim.run_until sim 50_000.0;
+  (Scheduler.finished sched, Scheduler.malleable_log sched)
+
+let test_rigid_bit_identity () =
+  (* Malleability on, but every job pinned: the schedule must be
+     bit-identical to malleability off — same outcomes, same floats —
+     and the negotiation phase must never log a directive. *)
+  let off, log_off = rigid_run ~malleable:None () in
+  let on, log_on = rigid_run ~malleable:(Some Malleable.default_config) () in
+  Alcotest.(check int) "all finished (off)" 3 (List.length off);
+  Alcotest.(check bool) "outcome lists bit-identical" true (off = on);
+  Alcotest.(check bool) "no directives off" true (log_off = []);
+  Alcotest.(check bool) "no directives on rigid jobs" true (log_on = [])
+
+let suites =
+  [
+    ( "malleable.model",
+      [
+        Alcotest.test_case "spec validation" `Quick test_spec_validation;
+        Alcotest.test_case "rigid spec" `Quick test_rigid_spec;
+        Alcotest.test_case "merge" `Quick test_merge;
+        Alcotest.test_case "shrink_to" `Quick test_shrink_to;
+        Alcotest.test_case "drop_nodes" `Quick test_drop_nodes;
+        Alcotest.test_case "moved procs and payload" `Quick
+          test_moved_procs_and_mb;
+        Alcotest.test_case "transfer delay" `Quick test_transfer_delay;
+        Alcotest.test_case "net gain" `Quick test_net_gain;
+        Alcotest.test_case "world-aware redistribution delay" `Quick
+          test_executor_redistribution_delay;
+      ] );
+    ( "malleable.sched",
+      [
+        Alcotest.test_case "grow stays within band" `Quick
+          test_grow_stays_within_band;
+        Alcotest.test_case "shrink admits a blocked head" `Quick
+          test_shrink_admits_blocked_head;
+        Alcotest.test_case "cost gate rejects" `Quick test_cost_gate_rejects;
+        Alcotest.test_case "shrink recovery on node death" `Quick
+          test_shrink_recovery_on_node_death;
+        Alcotest.test_case "shrink recovery respects the floor" `Quick
+          test_shrink_recovery_respects_min;
+        Alcotest.test_case "rigid jobs are bit-identical" `Quick
+          test_rigid_bit_identity;
+      ] );
+  ]

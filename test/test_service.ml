@@ -37,12 +37,48 @@ let allocate_gen =
     let* wait_threshold = opt (float_bound_inclusive 100.0) in
     return { Wire.procs; ppn; alpha; policy; wait_threshold })
 
+let grow_gen =
+  QCheck.Gen.(
+    let* alloc_id = 0 -- 100_000 in
+    let* delta_procs = 1 -- 256 in
+    let* grow_ppn = opt (1 -- 64) in
+    let* grow_alpha = float_bound_inclusive 1.0 in
+    let* grow_policy = opt policy_gen in
+    return { Wire.alloc_id; delta_procs; grow_ppn; grow_alpha; grow_policy })
+
+let renegotiate_gen =
+  QCheck.Gen.(
+    let* ren_alloc_id = 0 -- 100_000 in
+    (* Generated as min + slack so the decode invariant
+       1 <= min <= pref <= max holds by construction. *)
+    let* min_procs = 1 -- 128 in
+    let* pref_slack = 0 -- 128 in
+    let* max_slack = 0 -- 128 in
+    let* ren_ppn = opt (1 -- 64) in
+    let* ren_alpha = float_bound_inclusive 1.0 in
+    let* ren_policy = opt policy_gen in
+    return
+      {
+        Wire.ren_alloc_id;
+        min_procs;
+        pref_procs = min_procs + pref_slack;
+        max_procs = min_procs + pref_slack + max_slack;
+        ren_ppn;
+        ren_alpha;
+        ren_policy;
+      })
+
 let request_gen =
   QCheck.Gen.(
     oneof
       [
         map (fun a -> Wire.Allocate a) allocate_gen;
         map (fun id -> Wire.Release { alloc_id = id }) (0 -- 100_000);
+        map (fun g -> Wire.Grow g) grow_gen;
+        (let* alloc_id = 0 -- 100_000 in
+         let* delta_procs = 1 -- 256 in
+         return (Wire.Shrink { alloc_id; delta_procs }));
+        map (fun r -> Wire.Renegotiate r) renegotiate_gen;
         return Wire.Status;
         return Wire.Metrics;
       ])
@@ -102,6 +138,19 @@ let response_gen =
          return
            (Wire.Allocated
               { alloc_id; allocation = Allocation.make ~policy ~entries }));
+        (let* alloc_id = 1 -- 100_000 in
+         let* entries = entries_gen in
+         let* policy = map Policies.name policy_gen in
+         let* moved_procs = 0 -- 512 in
+         let* delay_s = float_bound_inclusive 600.0 in
+         return
+           (Wire.Reconfigured
+              {
+                alloc_id;
+                allocation = Allocation.make ~policy ~entries;
+                moved_procs;
+                delay_s;
+              }));
         (let* after_s = float_bound_inclusive 10.0 in
          let* reason =
            oneof
@@ -123,7 +172,7 @@ let response_gen =
              [
                Wire.Bad_request; Wire.Unsupported_version; Wire.Shutting_down;
                Wire.Insufficient_capacity; Wire.No_usable_nodes;
-               Wire.Unknown_alloc;
+               Wire.Unknown_alloc; Wire.Reconfig_rejected;
              ]
          in
          let* message = string_size ~gen:printable (0 -- 80) in
@@ -146,10 +195,45 @@ let decode_err line =
   | Error e -> e
 
 let test_wire_rejects_bad_version () =
-  let e = decode_err {|{"v":2,"id":7,"op":"status"}|} in
+  let e = decode_err {|{"v":9,"id":7,"op":"status"}|} in
   Alcotest.(check bool) "code" true (e.Wire.code = Wire.Unsupported_version);
   (* The id is still extracted so the error response can be correlated. *)
   Alcotest.(check (option int)) "id preserved" (Some 7) e.Wire.err_id
+
+let test_wire_v1_gates_v2_ops () =
+  (* A v1 envelope still decodes the v1 ops... *)
+  (match Wire.decode_request {|{"v":1,"id":1,"op":"allocate","procs":8}|} with
+  | Ok { request = Wire.Allocate _; _ } -> ()
+  | Ok _ -> Alcotest.fail "expected allocate"
+  | Error e -> Alcotest.failf "v1 allocate rejected: %s" e.Wire.message);
+  (* ...but the malleability ops require v2, and say so. *)
+  List.iter
+    (fun line ->
+      let e = decode_err line in
+      Alcotest.(check bool)
+        ("v2-only under v1: " ^ line)
+        true
+        (e.Wire.code = Wire.Unsupported_version))
+    [
+      {|{"v":1,"id":2,"op":"grow","alloc":3,"delta":4}|};
+      {|{"v":1,"id":3,"op":"shrink","alloc":3,"delta":4}|};
+      {|{"v":1,"id":4,"op":"renegotiate","alloc":3,"min":2,"pref":4,"max":8}|};
+    ];
+  (* Under a v2 envelope the same ops decode. *)
+  (match Wire.decode_request {|{"v":2,"id":5,"op":"grow","alloc":3,"delta":4}|} with
+  | Ok { request = Wire.Grow { alloc_id = 3; delta_procs = 4; _ }; _ } -> ()
+  | Ok _ -> Alcotest.fail "expected grow"
+  | Error e -> Alcotest.failf "v2 grow rejected: %s" e.Wire.message);
+  match
+    Wire.decode_request
+      {|{"v":2,"id":6,"op":"renegotiate","alloc":3,"min":2,"pref":4,"max":8}|}
+  with
+  | Ok { request = Wire.Renegotiate r; _ } ->
+    Alcotest.(check int) "min" 2 r.Wire.min_procs;
+    Alcotest.(check int) "pref" 4 r.Wire.pref_procs;
+    Alcotest.(check int) "max" 8 r.Wire.max_procs
+  | Ok _ -> Alcotest.fail "expected renegotiate"
+  | Error e -> Alcotest.failf "v2 renegotiate rejected: %s" e.Wire.message
 
 let test_wire_rejects_bad_requests () =
   let bad line =
@@ -169,7 +253,14 @@ let test_wire_rejects_bad_requests () =
   bad {|{"v":1,"id":1,"op":"allocate","procs":8,"alpha":"x","policy":"random"}|};
   bad {|{"v":1,"id":1,"op":"allocate","procs":8,"policy":"no-such-policy"}|};
   bad {|{"v":1,"id":1,"op":"allocate","policy":"random"}|};  (* no procs *)
-  bad {|{"v":1,"id":1,"op":"release"}|}  (* no alloc id *)
+  bad {|{"v":1,"id":1,"op":"release"}|};  (* no alloc id *)
+  bad {|{"v":2,"id":1,"op":"grow","alloc":3}|};  (* no delta *)
+  bad {|{"v":2,"id":1,"op":"grow","alloc":3,"delta":0}|};
+  bad {|{"v":2,"id":1,"op":"shrink","alloc":3,"delta":-1}|};
+  (* renegotiate must satisfy 1 <= min <= pref <= max *)
+  bad {|{"v":2,"id":1,"op":"renegotiate","alloc":3,"min":0,"pref":4,"max":8}|};
+  bad {|{"v":2,"id":1,"op":"renegotiate","alloc":3,"min":4,"pref":2,"max":8}|};
+  bad {|{"v":2,"id":1,"op":"renegotiate","alloc":3,"min":2,"pref":8,"max":4}|}
 
 let test_wire_alpha_defaults () =
   match
@@ -417,6 +508,58 @@ let test_server_allocate_release () =
   | Wire.Error { code = Wire.Unknown_alloc; _ } -> ()
   | r -> Alcotest.failf "expected unknown_alloc, got %a" Wire.pp_response r
 
+let test_server_grow_shrink_renegotiate () =
+  with_server @@ fun ~path ~server:_ ->
+  let c = Client.connect (`Unix path) in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let alloc_id, nodes0 =
+    match Client.allocate c ~ppn:4 ~procs:16 with
+    | Wire.Allocated { alloc_id; allocation } ->
+      (alloc_id, Allocation.node_ids allocation)
+    | r -> Alcotest.failf "expected allocation, got %a" Wire.pp_response r
+  in
+  (* Grow adds procs on fresh nodes: the original placement is kept,
+     and the delta ranks must receive redistributed data, which costs a
+     modeled delay. *)
+  (match Client.grow c ~ppn:4 ~alloc_id ~delta_procs:8 with
+  | Wire.Reconfigured { alloc_id = id; allocation; moved_procs; delay_s } ->
+    Alcotest.(check int) "same id" alloc_id id;
+    Alcotest.(check int) "grown total" 24 (Allocation.total_procs allocation);
+    Alcotest.(check int) "delta ranks receive data" 8 moved_procs;
+    Alcotest.(check bool) "original nodes kept" true
+      (List.for_all
+         (fun n -> List.mem n (Allocation.node_ids allocation))
+         nodes0);
+    Alcotest.(check bool) "positive delay" true (delay_s > 0.0)
+  | r -> Alcotest.failf "expected reconfigured, got %a" Wire.pp_response r);
+  (* Shrink retreats from the tail back to the original size. *)
+  (match Client.shrink c ~alloc_id ~delta_procs:8 with
+  | Wire.Reconfigured { allocation; _ } ->
+    Alcotest.(check int) "shrunk total" 16 (Allocation.total_procs allocation)
+  | r -> Alcotest.failf "expected reconfigured, got %a" Wire.pp_response r);
+  (* A renegotiate whose preference matches the current shape is a
+     no-op: no moves, no delay. *)
+  (match
+     Client.renegotiate c ~alloc_id ~min_procs:8 ~pref_procs:16 ~max_procs:32
+   with
+  | Wire.Reconfigured { allocation; moved_procs; delay_s; _ } ->
+    Alcotest.(check int) "unchanged total" 16 (Allocation.total_procs allocation);
+    Alcotest.(check int) "no moves" 0 moved_procs;
+    Alcotest.(check (float 1e-9)) "no delay" 0.0 delay_s
+  | r -> Alcotest.failf "expected reconfigured, got %a" Wire.pp_response r);
+  (* Shrinking to (or below) zero procs is rejected, not applied. *)
+  (match Client.shrink c ~alloc_id ~delta_procs:16 with
+  | Wire.Error { code = Wire.Reconfig_rejected; _ } -> ()
+  | r -> Alcotest.failf "expected reconfig_rejected, got %a" Wire.pp_response r);
+  (* Reconfiguring a dead handle is unknown_alloc, like release. *)
+  (match Client.grow c ~alloc_id:9999 ~delta_procs:4 with
+  | Wire.Error { code = Wire.Unknown_alloc; _ } -> ()
+  | r -> Alcotest.failf "expected unknown_alloc, got %a" Wire.pp_response r);
+  (* The handle survives all of the above and releases cleanly. *)
+  match Client.release c ~alloc_id with
+  | Wire.Released { alloc_id = id } -> Alcotest.(check int) "released" alloc_id id
+  | r -> Alcotest.failf "expected released, got %a" Wire.pp_response r
+
 let test_server_wait_threshold_retry () =
   with_server @@ fun ~path ~server:_ ->
   let c = Client.connect (`Unix path) in
@@ -605,6 +748,8 @@ let suites =
         qcheck prop_response_roundtrip;
         Alcotest.test_case "rejects bad version" `Quick
           test_wire_rejects_bad_version;
+        Alcotest.test_case "v1 gates the v2 ops" `Quick
+          test_wire_v1_gates_v2_ops;
         Alcotest.test_case "rejects malformed requests" `Quick
           test_wire_rejects_bad_requests;
         Alcotest.test_case "allocate defaults" `Quick test_wire_alpha_defaults;
@@ -624,6 +769,8 @@ let suites =
       [
         Alcotest.test_case "allocate/status/release" `Quick
           test_server_allocate_release;
+        Alcotest.test_case "grow/shrink/renegotiate" `Quick
+          test_server_grow_shrink_renegotiate;
         Alcotest.test_case "wait threshold retry" `Quick
           test_server_wait_threshold_retry;
         Alcotest.test_case "bad requests answered in-band" `Quick
