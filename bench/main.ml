@@ -792,6 +792,8 @@ type serve_row = {
   requests : int;
   retries : int;
   req_errors : int;
+  rejected : int;
+  overlaps : int;
   allocs_per_sec : float;
   p50_ms : float;
   p99_ms : float;
@@ -825,11 +827,42 @@ let serve_percentiles delta =
 (* One closed-loop client: allocate as fast as the daemon answers,
    releasing the oldest allocation every 16th success so the active set
    stays bounded without release traffic dominating. --serve-open-rate
-   switches to open-ish arrivals with exponential think times. *)
+   switches to open-ish arrivals with exponential think times.
+
+   Every grant's node set is checked against every other live grant
+   across all clients: an intersection means the daemon double-booked a
+   node — the contended overlay-on vs bookkeeping-only headline. When
+   the daemon rejects for capacity (overlay mode holds granted nodes
+   out of the pool, so 64 clients saturate the cluster by design), the
+   client frees its oldest grant and keeps churning. *)
 let drive_clients ~endpoint ~clients ~seconds =
   let served = Array.make clients 0 in
   let retried = Array.make clients 0 in
   let errored = Array.make clients 0 in
+  let rejected = Array.make clients 0 in
+  let overlaps = Array.make clients 0 in
+  (* alloc_id -> node ids of grants believed live by their client. An
+     entry leaves the table before the release RPC is sent, so a
+     re-grant of freed nodes racing the release response is never
+     miscounted as a simultaneous overlap. *)
+  let live : (int, int list) Hashtbl.t = Hashtbl.create 256 in
+  let live_mu = Mutex.create () in
+  let note_grant alloc_id nodes =
+    Mutex.lock live_mu;
+    let overlap =
+      Hashtbl.fold
+        (fun _ held acc -> acc || List.exists (fun n -> List.mem n held) nodes)
+        live false
+    in
+    Hashtbl.replace live alloc_id nodes;
+    Mutex.unlock live_mu;
+    overlap
+  in
+  let forget_grant alloc_id =
+    Mutex.lock live_mu;
+    Hashtbl.remove live alloc_id;
+    Mutex.unlock live_mu
+  in
   let t0 = Unix.gettimeofday () in
   let stop_at = t0 +. seconds in
   let body i =
@@ -838,18 +871,33 @@ let drive_clients ~endpoint ~clients ~seconds =
     | c ->
       let rng = Rm_stats.Rng.create (7000 + i) in
       let active = Queue.create () in
+      let release_oldest () =
+        let id = Queue.take active in
+        forget_grant id;
+        ignore (Service.Client.release c ~alloc_id:id)
+      in
       (try
          while Unix.gettimeofday () < stop_at do
            (match Service.Client.allocate c ~ppn:4 ~alpha:0.5 ~procs:16 with
-           | Service.Wire.Allocated { alloc_id; _ } ->
+           | Service.Wire.Allocated { alloc_id; allocation; _ } ->
              served.(i) <- served.(i) + 1;
+             if note_grant alloc_id (Rm_core.Allocation.node_ids allocation)
+             then overlaps.(i) <- overlaps.(i) + 1;
              Queue.add alloc_id active;
-             if Queue.length active >= 16 then
-               ignore
-                 (Service.Client.release c ~alloc_id:(Queue.take active))
+             if Queue.length active >= 16 then release_oldest ()
            | Service.Wire.Retry { after_s; _ } ->
              retried.(i) <- retried.(i) + 1;
              Thread.delay (Float.min after_s 0.02)
+           | Service.Wire.Error
+               {
+                 code =
+                   Service.Wire.Insufficient_capacity
+                 | Service.Wire.No_usable_nodes;
+                 _;
+               } ->
+             rejected.(i) <- rejected.(i) + 1;
+             if Queue.is_empty active then Thread.delay 0.002
+             else release_oldest ()
            | _ -> errored.(i) <- errored.(i) + 1);
            match !serve_open_rate with
            | Some r when r > 0.0 ->
@@ -857,9 +905,9 @@ let drive_clients ~endpoint ~clients ~seconds =
                (-.log (Rm_stats.Rng.uniform rng ~lo:1e-9 ~hi:1.0) /. r)
            | _ -> ()
          done;
-         Queue.iter
-           (fun id -> ignore (Service.Client.release c ~alloc_id:id))
-           active
+         while not (Queue.is_empty active) do
+           release_oldest ()
+         done
        with _ -> errored.(i) <- errored.(i) + 1);
       Service.Client.close c
   in
@@ -867,9 +915,10 @@ let drive_clients ~endpoint ~clients ~seconds =
   List.iter Thread.join threads;
   let elapsed = Unix.gettimeofday () -. t0 in
   let sum a = Array.fold_left ( + ) 0 a in
-  (sum served, sum retried, sum errored, elapsed)
+  (sum served, sum retried, sum errored, sum rejected, sum overlaps, elapsed)
 
-let serve_row_of ~mode ~requests ~retries ~req_errors ~elapsed ~delta =
+let serve_row_of ~mode ~requests ~retries ~req_errors ~rejected ~overlaps
+    ~elapsed ~delta =
   let p50, p99 =
     match serve_percentiles delta with
     | Some p -> (p.Rm_sched.Slo.p50, p.Rm_sched.Slo.p99)
@@ -880,15 +929,26 @@ let serve_row_of ~mode ~requests ~retries ~req_errors ~elapsed ~delta =
     requests;
     retries;
     req_errors;
+    rejected;
+    overlaps;
     allocs_per_sec = float_of_int requests /. Float.max elapsed 1e-9;
     p50_ms = 1000.0 *. p50;
     p99_ms = 1000.0 *. p99;
   }
 
 (* One in-process daemon round: start a server on a private unix
-   socket, drive the closed loop, read the latency delta, stop. *)
-let serve_in_process ~batching =
-  let mode = if batching then "batched" else "per-request" in
+   socket, drive the closed loop, read the latency delta, stop.
+   per-request and batched run bookkeeping-only (the historical
+   comparison whose speedup ratio is the headline and baseline gate);
+   batched-overlay holds granted nodes out of the pool and must grant
+   disjoint node sets under full contention. *)
+let serve_in_process ~batching ~overlay =
+  let mode =
+    match (batching, overlay) with
+    | false, _ -> "per-request"
+    | true, false -> "batched"
+    | true, true -> "batched-overlay"
+  in
   let path =
     Printf.sprintf "/tmp/rm-bench-serve-%d-%s.sock" (Unix.getpid ()) mode
   in
@@ -900,19 +960,21 @@ let serve_in_process ~batching =
          ~endpoint:(Service.Server.Unix_socket path))
       with
       batching;
+      overlay;
       broker = { Rm_core.Broker.default_config with policy = serve_policy };
     }
   in
   let server = Service.Server.create config in
   Service.Server.start server;
   let before = latency_buckets_now () in
-  let requests, retries, req_errors, elapsed =
+  let requests, retries, req_errors, rejected, overlaps, elapsed =
     drive_clients ~endpoint:(`Unix path) ~clients:!serve_clients
       ~seconds:!serve_seconds
   in
   let delta = latency_delta ~before ~after:(latency_buckets_now ()) in
   Service.Server.stop server;
-  serve_row_of ~mode ~requests ~retries ~req_errors ~elapsed ~delta
+  serve_row_of ~mode ~requests ~retries ~req_errors ~rejected ~overlaps
+    ~elapsed ~delta
 
 (* External daemon: the latency delta comes from scraping /metrics
    before and after and de-cumulating the Prometheus buckets. *)
@@ -955,13 +1017,18 @@ let scrape_latency_buckets endpoint =
 let serve_external path =
   let endpoint = `Unix path in
   let before = scrape_latency_buckets endpoint in
-  let requests, retries, req_errors, elapsed =
+  let requests, retries, req_errors, rejected, overlaps, elapsed =
     drive_clients ~endpoint ~clients:!serve_clients ~seconds:!serve_seconds
   in
   let delta = latency_delta ~before ~after:(scrape_latency_buckets endpoint) in
-  serve_row_of ~mode:"external" ~requests ~retries ~req_errors ~elapsed ~delta
+  serve_row_of ~mode:"external" ~requests ~retries ~req_errors ~rejected
+    ~overlaps ~elapsed ~delta
 
 let serve_rows_of_json j =
+  (* rejected/overlaps default to 0 for pre-overlay baselines. *)
+  let int_or_zero row key =
+    match Json.member key row with Json.Null -> 0 | j -> Json.to_int j
+  in
   Json.to_list (Json.member "rows" j)
   |> List.map (fun row ->
          {
@@ -969,6 +1036,8 @@ let serve_rows_of_json j =
            requests = Json.to_int (Json.member "requests" row);
            retries = Json.to_int (Json.member "retries" row);
            req_errors = Json.to_int (Json.member "errors" row);
+           rejected = int_or_zero row "rejected";
+           overlaps = int_or_zero row "overlaps";
            allocs_per_sec = Json.to_float (Json.member "allocs_per_sec" row);
            p50_ms = Json.to_float (Json.member "p50_ms" row);
            p99_ms = Json.to_float (Json.member "p99_ms" row);
@@ -986,13 +1055,18 @@ let serve () =
     match !serve_socket with
     | Some path -> [ serve_external path ]
     | None ->
-      [ serve_in_process ~batching:false; serve_in_process ~batching:true ]
+      [
+        serve_in_process ~batching:false ~overlay:false;
+        serve_in_process ~batching:true ~overlay:false;
+        serve_in_process ~batching:true ~overlay:true;
+      ]
   in
   let buf = Buffer.create 1024 in
   Experiments.Render.table
     ~header:
       [
-        "mode"; "requests"; "retries"; "errors"; "allocs/s"; "p50"; "p99";
+        "mode"; "requests"; "retries"; "errors"; "rejected"; "overlaps";
+        "allocs/s"; "p50"; "p99";
       ]
     ~rows:
       (List.map
@@ -1002,6 +1076,8 @@ let serve () =
              string_of_int r.requests;
              string_of_int r.retries;
              string_of_int r.req_errors;
+             string_of_int r.rejected;
+             string_of_int r.overlaps;
              Printf.sprintf "%.1f" r.allocs_per_sec;
              Printf.sprintf "%.2fms" r.p50_ms;
              Printf.sprintf "%.2fms" r.p99_ms;
@@ -1052,6 +1128,8 @@ let serve () =
                      ("requests", Json.Num (float_of_int r.requests));
                      ("retries", Json.Num (float_of_int r.retries));
                      ("errors", Json.Num (float_of_int r.req_errors));
+                     ("rejected", Json.Num (float_of_int r.rejected));
+                     ("overlaps", Json.Num (float_of_int r.overlaps));
                      ("allocs_per_sec", Json.Num r.allocs_per_sec);
                      ("p50_ms", Json.Num r.p50_ms);
                      ("p99_ms", Json.Num r.p99_ms);
@@ -1077,6 +1155,23 @@ let serve () =
             Printf.sprintf "CHECK FAILED: %s p99 not populated" r.mode
             :: !failures)
       rows;
+    (* The tentpole guarantee: with grants overlaid, simultaneously
+       active allocations never share a node even at full contention. *)
+    (match find_mode "batched-overlay" with
+    | Some r when r.overlaps > 0 ->
+      failures :=
+        Printf.sprintf
+          "CHECK FAILED: overlay mode double-booked nodes (%d overlapping \
+           grants)"
+          r.overlaps
+        :: !failures
+    | Some r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "check: overlay mode granted %d allocations with zero \
+            overlapping node sets (%d capacity rejections absorbed)\n"
+           r.requests r.rejected)
+    | None -> ());
     if !failures = [] then
       Buffer.add_string buf
         "check: all modes served requests with populated latency percentiles\n"
@@ -1218,6 +1313,7 @@ let matrix () =
     D.make ~history ?baseline ~ratio:!matrix_ratio
       ?bench_allocator:(side_json "BENCH_allocator.json")
       ?bench_serve:(side_json "BENCH_serve.json")
+      ?bench_malleable:(side_json "BENCH_malleable.json")
       ~current:artifact ()
   in
   write_file !matrix_html (D.html input);

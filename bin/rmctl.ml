@@ -1081,7 +1081,7 @@ let matrix_side_json path =
   else None
 
 let matrix_dashboard_input ~current ~priors ~baseline ~ratio ~bench_allocator
-    ~bench_serve =
+    ~bench_serve ~bench_malleable =
   let history =
     List.filter_map
       (fun file ->
@@ -1095,6 +1095,7 @@ let matrix_dashboard_input ~current ~priors ~baseline ~ratio ~bench_allocator
   Rm_experiments.Dashboard.make ~history ?baseline ~ratio
     ?bench_allocator:(matrix_side_json bench_allocator)
     ?bench_serve:(matrix_side_json bench_serve)
+    ?bench_malleable:(matrix_side_json bench_malleable)
     ~current ()
 
 let matrix_render_and_gate ~input ~html ~md =
@@ -1155,10 +1156,16 @@ let matrix_bench_serve_t =
            ~doc:"Serve-daemon baseline to ingest for trend rows (ignored \
                  when absent).")
 
+let matrix_bench_malleable_t =
+  Arg.(value & opt file "BENCH_malleable.json"
+       & info [ "bench-malleable" ] ~docv:"FILE"
+           ~doc:"Malleability-study baseline to ingest for trend rows \
+                 (ignored when absent).")
+
 let matrix_cmd =
   let module M = Rm_experiments.Matrix in
   let run spec_file full out html md baseline ratio priors bench_allocator
-      bench_serve =
+      bench_serve bench_malleable =
     let spec =
       match spec_file with
       | Some file -> (
@@ -1194,7 +1201,7 @@ let matrix_cmd =
     in
     let input =
       matrix_dashboard_input ~current:artifact ~priors ~baseline ~ratio
-        ~bench_allocator ~bench_serve
+        ~bench_allocator ~bench_serve ~bench_malleable
     in
     matrix_render_and_gate ~input ~html ~md
   in
@@ -1224,10 +1231,12 @@ let matrix_cmd =
           (docs/OBSERVABILITY.md section 6).")
     Term.(const run $ spec_t $ full_t $ out_t $ matrix_html_t $ matrix_md_t
           $ matrix_baseline_t $ matrix_ratio_t $ matrix_prior_t
-          $ matrix_bench_allocator_t $ matrix_bench_serve_t)
+          $ matrix_bench_allocator_t $ matrix_bench_serve_t
+          $ matrix_bench_malleable_t)
 
 let dashboard_cmd =
-  let run artifact html md baseline ratio priors bench_allocator bench_serve =
+  let run artifact html md baseline ratio priors bench_allocator bench_serve
+      bench_malleable =
     let current =
       match matrix_load_artifact artifact with
       | Ok a -> a
@@ -1247,7 +1256,7 @@ let dashboard_cmd =
     in
     let input =
       matrix_dashboard_input ~current ~priors ~baseline ~ratio
-        ~bench_allocator ~bench_serve
+        ~bench_allocator ~bench_serve ~bench_malleable
     in
     matrix_render_and_gate ~input ~html ~md
   in
@@ -1264,7 +1273,8 @@ let dashboard_cmd =
           gates (exit 1 on regression).")
     Term.(const run $ artifact_t $ matrix_html_t $ matrix_md_t
           $ matrix_baseline_t $ matrix_ratio_t $ matrix_prior_t
-          $ matrix_bench_allocator_t $ matrix_bench_serve_t)
+          $ matrix_bench_allocator_t $ matrix_bench_serve_t
+          $ matrix_bench_malleable_t)
 
 let () =
   let info =

@@ -139,9 +139,38 @@ let spill_dir_t =
            ~doc:"Spill trace events to segment files in DIR; flushed on \
                  shutdown.")
 
+let no_overlay_t =
+  Arg.(value & flag
+       & info [ "no-overlay" ]
+           ~doc:"Bookkeeping-only grants: active allocations neither \
+                 overlay load/traffic onto the decision snapshot nor hold \
+                 their nodes out of the grantable pool (the pre-overlay \
+                 daemon behavior; concurrent grants may overlap).")
+
+let lease_t =
+  Arg.(value & opt (some float) None
+       & info [ "lease" ] ~docv:"SECONDS"
+           ~doc:"Default lease for grants that do not request their own \
+                 lease_s: expired allocations are swept and their overlay \
+                 removed, so a crashed client cannot pin capacity. \
+                 Unset means grants never expire.")
+
+let overlay_load_t =
+  Arg.(value & opt float 1.0
+       & info [ "overlay-load-per-proc" ] ~docv:"LOAD"
+           ~doc:"Default compute load each granted rank overlays on its \
+                 node (overridden per request by load_per_proc).")
+
+let overlay_traffic_t =
+  Arg.(value & opt float 8.0
+       & info [ "overlay-traffic" ] ~docv:"MB_S"
+           ~doc:"Default MB/s each granted rank pushes to its ring \
+                 neighbour (overridden per request by \
+                 traffic_mb_s_per_proc).")
+
 let serve socket port scenario seed time nodes tick_ms virtual_tick max_pending
     max_batch no_batch policy starts wait_threshold max_staleness retry_after
-    metrics_out spill_dir =
+    metrics_out spill_dir no_overlay lease overlay_load overlay_traffic =
   Telemetry.Runtime.enable ();
   let endpoint =
     match port with
@@ -173,6 +202,10 @@ let serve socket port scenario seed time nodes tick_ms virtual_tick max_pending
       retry_after_s = retry_after;
       metrics_out;
       spill_dir;
+      overlay = not no_overlay;
+      default_lease_s = lease;
+      overlay_load_per_proc = overlay_load;
+      overlay_traffic_mb_s_per_proc = overlay_traffic;
     }
   in
   let t = Server.create config in
@@ -184,11 +217,16 @@ let serve socket port scenario seed time nodes tick_ms virtual_tick max_pending
     Format.printf "brokerd: listening on 127.0.0.1:%d (scenario %s, seed %d)@."
       p scenario.Scenario.name seed);
   Format.printf
-    "brokerd: policy %s, %s, tick %.0fms; scrape GET /metrics on the same \
-     socket; stop with SIGINT/SIGTERM@."
+    "brokerd: policy %s, %s, tick %.0fms, %s; scrape GET /metrics on the \
+     same socket; stop with SIGINT/SIGTERM@."
     (Policies.name policy)
     (if no_batch then "per-request snapshots" else "per-tick batching")
-    tick_ms;
+    tick_ms
+    (if no_overlay then "grants bookkeeping-only"
+     else
+       match lease with
+       | Some l -> Printf.sprintf "grant overlay on (lease %.0fs)" l
+       | None -> "grant overlay on");
   Server.run t;
   Format.printf "brokerd: drained and stopped@."
 
@@ -196,7 +234,8 @@ let term =
   Term.(const serve $ socket_t $ port_t $ scenario_t $ seed_t $ time_t
         $ nodes_t $ tick_ms_t $ virtual_tick_t $ max_pending_t $ max_batch_t
         $ no_batch_t $ policy_t $ starts_t $ wait_threshold_t
-        $ max_staleness_t $ retry_after_t $ metrics_out_t $ spill_dir_t)
+        $ max_staleness_t $ retry_after_t $ metrics_out_t $ spill_dir_t
+        $ no_overlay_t $ lease_t $ overlay_load_t $ overlay_traffic_t)
 
 let doc =
   "Resident allocation daemon: accepts allocate/release/status/metrics \

@@ -8,11 +8,20 @@ type input = {
   ratio : float;
   bench_allocator : Json.t option;
   bench_serve : Json.t option;
+  bench_malleable : Json.t option;
 }
 
 let make ?(history = []) ?baseline ?(ratio = 2.0) ?bench_allocator ?bench_serve
-    ~current () =
-  { current; history; baseline; ratio; bench_allocator; bench_serve }
+    ?bench_malleable ~current () =
+  {
+    current;
+    history;
+    baseline;
+    ratio;
+    bench_allocator;
+    bench_serve;
+    bench_malleable;
+  }
 
 let verdicts input =
   match input.baseline with
@@ -166,7 +175,9 @@ let allocator_trends j =
   | trends -> trends
   | exception Failure _ -> []
 
-(* rm-bench-serve/v1: per-mode daemon rows plus the batched speedup. *)
+(* rm-bench-serve/v1: per-mode daemon rows plus the batched speedup.
+   overlaps (double-booked grants) defaults to 0 for pre-overlay
+   artifacts. *)
 let serve_rows j =
   match
     ( Json.to_list (Json.member "rows" j)
@@ -175,7 +186,10 @@ let serve_rows j =
                ( Json.to_str (Json.member "mode" r),
                  Json.to_float (Json.member "allocs_per_sec" r),
                  Json.to_float (Json.member "p50_ms" r),
-                 Json.to_float (Json.member "p99_ms" r) )
+                 Json.to_float (Json.member "p99_ms" r),
+                 match Json.member "overlaps" r with
+                 | Json.Null -> 0
+                 | o -> Json.to_int o )
              with
              | row -> Some row
              | exception Failure _ -> None),
@@ -185,6 +199,52 @@ let serve_rows j =
   with
   | rows -> rows
   | exception Failure _ -> ([], None)
+
+(* rm-malleable/v1: one trend row per study arm — rigid/malleable
+   makespans, then the two recovery arms' goodput. *)
+let malleable_rows j =
+  let num section field =
+    match Json.member field (Json.member section j) with
+    | Json.Num n -> Some n
+    | _ -> None
+  in
+  let arm section fields =
+    let vs = List.map (fun f -> num section f) fields in
+    if List.for_all Option.is_some vs then
+      Some (section, List.map Option.get vs)
+    else None
+  in
+  match
+    List.filter_map Fun.id
+      [
+        arm "rigid" [ "finished"; "makespan_s"; "mean_turnaround_s" ];
+        arm "malleable" [ "finished"; "makespan_s"; "mean_turnaround_s" ];
+        arm "requeue_recovery" [ "finished"; "goodput"; "wasted_node_s" ];
+        arm "shrink_recovery" [ "finished"; "goodput"; "wasted_node_s" ];
+      ]
+  with
+  | rows -> rows
+  | exception Failure _ -> []
+
+(* Render one malleable arm as table cells; the field mix differs
+   between the study arms and the recovery arms, so label per arm. *)
+let malleable_cells (section, vs) =
+  match (section, vs) with
+  | ("rigid" | "malleable"), [ finished; makespan; turnaround ] ->
+    [
+      section;
+      Printf.sprintf "%.0f" finished;
+      Printf.sprintf "makespan %.0fs" makespan;
+      Printf.sprintf "turnaround %.0fs" turnaround;
+    ]
+  | _, [ finished; goodput; wasted ] ->
+    [
+      section;
+      Printf.sprintf "%.0f" finished;
+      Printf.sprintf "goodput %.2f" goodput;
+      Printf.sprintf "wasted %.0f node-s" wasted;
+    ]
+  | _, _ -> [ section; "-"; "-"; "-" ]
 
 (* --- markdown ---------------------------------------------------------- *)
 
@@ -306,20 +366,32 @@ let markdown input =
     | rows, speedup ->
       add "## Serve daemon (BENCH_serve.json)\n\n```\n%s```\n\n"
         (Render.table_str
-           ~header:[ "mode"; "allocs/s"; "p50 (ms)"; "p99 (ms)" ]
+           ~header:
+             [ "mode"; "allocs/s"; "p50 (ms)"; "p99 (ms)"; "overlaps" ]
            ~rows:
              (List.map
-                (fun (mode, rate, p50, p99) ->
+                (fun (mode, rate, p50, p99, overlaps) ->
                   [
                     mode;
                     Printf.sprintf "%.0f" rate;
                     Printf.sprintf "%.1f" p50;
                     Printf.sprintf "%.1f" p99;
+                    string_of_int overlaps;
                   ])
                 rows));
       match speedup with
       | Some s -> add "batched speedup: %.2fx\n\n" s
       | None -> ()));
+  (match input.bench_malleable with
+  | None -> ()
+  | Some j -> (
+    match malleable_rows j with
+    | [] -> ()
+    | rows ->
+      add "## Malleability study (BENCH_malleable.json)\n\n```\n%s```\n\n"
+        (Render.table_str
+           ~header:[ "arm"; "finished"; "headline"; "detail" ]
+           ~rows:(List.map malleable_cells rows))));
   add "## Cells CSV\n\n```\n%s```\n"
     (Render.csv ~header:cell_table_header
        ~rows:(List.map (cell_table_row gated) a.Matrix.cells));
@@ -583,21 +655,35 @@ let html input =
       add "<h2>Serve daemon (BENCH_serve.json)</h2>\n";
       Buffer.add_string buf
         (html_table
-           ~header:[ "mode"; "allocs/s"; "p50 (ms)"; "p99 (ms)" ]
+           ~header:
+             [ "mode"; "allocs/s"; "p50 (ms)"; "p99 (ms)"; "overlaps" ]
            ~rows:
              (List.map
-                (fun (mode, rate, p50, p99) ->
+                (fun (mode, rate, p50, p99, overlaps) ->
                   [
                     escape mode;
                     Printf.sprintf "%.0f" rate;
                     Printf.sprintf "%.1f" p50;
                     Printf.sprintf "%.1f" p99;
+                    string_of_int overlaps;
                   ])
                 rows)
            ());
       match speedup with
       | Some s -> add "<p>batched speedup: %.2fx</p>\n" s
       | None -> ()));
+  (match input.bench_malleable with
+  | None -> ()
+  | Some j -> (
+    match malleable_rows j with
+    | [] -> ()
+    | rows ->
+      add "<h2>Malleability study (BENCH_malleable.json)</h2>\n";
+      Buffer.add_string buf
+        (html_table
+           ~header:[ "arm"; "finished"; "headline"; "detail" ]
+           ~rows:(List.map (fun r -> List.map escape (malleable_cells r)) rows)
+           ())));
   add "<h2>Cells CSV</h2>\n<pre>%s</pre>\n"
     (escape
        (Render.csv ~header:cell_table_header

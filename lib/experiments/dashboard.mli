@@ -6,9 +6,10 @@
     with baseline verdicts, per-policy allocs/sec heatmaps over the
     scenario × engine grid, trend sparklines across prior artifacts,
     trend rows ingested from [BENCH_allocator.json]
-    (network-load-aware rows per engine across cluster sizes) and
-    [BENCH_serve.json] (per-mode daemon throughput and latency), and a
-    CSV appendix. The markdown goes to CI logs and commit comments; the
+    (network-load-aware rows per engine across cluster sizes),
+    [BENCH_serve.json] (per-mode daemon throughput, latency and
+    double-booked grants) and [BENCH_malleable.json] (rigid vs
+    malleable and requeue vs shrink recovery), and a CSV appendix. The markdown goes to CI logs and commit comments; the
     HTML is a no-dependency artifact viewable straight from an uploads
     tab. *)
 
@@ -23,6 +24,8 @@ type input = {
       (** parsed [BENCH_allocator.json] ([rm-bench-allocator/v1]) *)
   bench_serve : Rm_telemetry.Json.t option;
       (** parsed [BENCH_serve.json] ([rm-bench-serve/v1]) *)
+  bench_malleable : Rm_telemetry.Json.t option;
+      (** parsed [BENCH_malleable.json] ([rm-malleable/v1]) *)
 }
 
 val make :
@@ -31,6 +34,7 @@ val make :
   ?ratio:float ->
   ?bench_allocator:Rm_telemetry.Json.t ->
   ?bench_serve:Rm_telemetry.Json.t ->
+  ?bench_malleable:Rm_telemetry.Json.t ->
   current:Matrix.artifact ->
   unit ->
   input

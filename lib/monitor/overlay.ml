@@ -1,0 +1,190 @@
+module Matrix = Rm_stats.Matrix
+module Running_means = Rm_stats.Running_means
+module Metrics = Rm_telemetry.Metrics
+
+type entry = {
+  load : (int * float) list;
+  traffic : ((int * int) * float) list;
+}
+
+type handle = int
+
+type t = {
+  node_count : int;
+  entries : (handle, entry) Hashtbl.t;
+  mutable next : handle;
+}
+
+let m_registered = Metrics.counter "service.overlay.registered"
+let m_released = Metrics.counter "service.overlay.released"
+let m_active = Metrics.gauge "service.overlay.active"
+let m_load = Metrics.gauge "service.overlay.load"
+let m_traffic = Metrics.gauge "service.overlay.traffic_mb_s"
+
+let create ~node_count =
+  if node_count <= 0 then invalid_arg "Overlay.create: node_count must be > 0";
+  { node_count; entries = Hashtbl.create 16; next = 1 }
+
+let is_empty t = Hashtbl.length t.entries = 0
+let active t = Hashtbl.length t.entries
+
+let entry_load e = List.fold_left (fun acc (_, l) -> acc +. l) 0.0 e.load
+
+let entry_traffic e =
+  List.fold_left (fun acc (_, d) -> acc +. d) 0.0 e.traffic
+
+let total_load t =
+  Hashtbl.fold (fun _ e acc -> acc +. entry_load e) t.entries 0.0
+
+let total_traffic_mb_s t =
+  Hashtbl.fold (fun _ e acc -> acc +. entry_traffic e) t.entries 0.0
+
+let load_on t ~node =
+  Hashtbl.fold
+    (fun _ e acc ->
+      List.fold_left
+        (fun acc (n, l) -> if n = node then acc +. l else acc)
+        acc e.load)
+    t.entries 0.0
+
+let incident_traffic_mb_s t ~node =
+  Hashtbl.fold
+    (fun _ e acc ->
+      List.fold_left
+        (fun acc ((a, b), d) -> if a = node || b = node then acc +. d else acc)
+        acc e.traffic)
+    t.entries 0.0
+
+let nodes t =
+  let seen = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ e ->
+      List.iter (fun (n, _) -> Hashtbl.replace seen n ()) e.load;
+      List.iter
+        (fun ((a, b), _) ->
+          Hashtbl.replace seen a ();
+          Hashtbl.replace seen b ())
+        e.traffic)
+    t.entries;
+  List.sort compare (Hashtbl.fold (fun n () acc -> n :: acc) seen [])
+
+let refresh_gauges t =
+  Metrics.set m_active (float_of_int (active t));
+  Metrics.set m_load (total_load t);
+  Metrics.set m_traffic (total_traffic_mb_s t)
+
+let validate t ~load ~traffic =
+  let check_node what n =
+    if n < 0 || n >= t.node_count then
+      invalid_arg (Printf.sprintf "Overlay: %s node %d out of range" what n)
+  in
+  let check_amount what v =
+    if not (Float.is_finite v) || v < 0.0 then
+      invalid_arg (Printf.sprintf "Overlay: %s must be finite and >= 0" what)
+  in
+  List.iter
+    (fun (n, l) ->
+      check_node "load" n;
+      check_amount "load" l)
+    load;
+  List.iter
+    (fun ((a, b), d) ->
+      check_node "traffic" a;
+      check_node "traffic" b;
+      if a = b then invalid_arg "Overlay: traffic edge must join two nodes";
+      check_amount "traffic demand" d)
+    traffic
+
+let register t ~load ~traffic =
+  validate t ~load ~traffic;
+  let h = t.next in
+  t.next <- h + 1;
+  Hashtbl.replace t.entries h { load; traffic };
+  Metrics.incr m_registered;
+  refresh_gauges t;
+  h
+
+let set t h ~load ~traffic =
+  if not (Hashtbl.mem t.entries h) then
+    invalid_arg (Printf.sprintf "Overlay.set: handle %d is not live" h);
+  validate t ~load ~traffic;
+  Hashtbl.replace t.entries h { load; traffic };
+  refresh_gauges t
+
+let remove t h =
+  if Hashtbl.mem t.entries h then begin
+    Hashtbl.remove t.entries h;
+    Metrics.incr m_released;
+    refresh_gauges t
+  end
+
+let bump (v : Running_means.view) extra =
+  if extra = 0.0 then v
+  else
+    {
+      Running_means.instant = v.Running_means.instant +. extra;
+      m1 = v.Running_means.m1 +. extra;
+      m5 = v.Running_means.m5 +. extra;
+      m15 = v.Running_means.m15 +. extra;
+    }
+
+let apply t (snapshot : Snapshot.t) =
+  if is_empty t then snapshot
+  else begin
+    let n = Array.length snapshot.Snapshot.nodes in
+    let load_add = Array.make n 0.0 in
+    let inc = Array.make n 0.0 in
+    Hashtbl.iter
+      (fun _ e ->
+        List.iter
+          (fun (v, l) -> if v < n then load_add.(v) <- load_add.(v) +. l)
+          e.load;
+        List.iter
+          (fun ((a, b), d) ->
+            if a < n then inc.(a) <- inc.(a) +. d;
+            if b < n then inc.(b) <- inc.(b) +. d)
+          e.traffic)
+      t.entries;
+    let any_load = Array.exists (fun l -> l > 0.0) load_add in
+    let any_traffic = Array.exists (fun d -> d > 0.0) inc in
+    (* Share the nodes array physically when no entry adds load — the
+       model cache then carries the CL model forward unchanged. *)
+    let nodes =
+      if not any_load then snapshot.Snapshot.nodes
+      else
+        Array.mapi
+          (fun i info ->
+            match info with
+            | None -> None
+            | Some (info : Snapshot.node_info) ->
+              if load_add.(i) = 0.0 then Some info
+              else
+                Some
+                  { info with Snapshot.load = bump info.Snapshot.load load_add.(i) })
+          snapshot.Snapshot.nodes
+    in
+    (* Each touched row is rewritten from the base matrix's values, so
+       re-applying over a fresh copy is idempotent and the (i, j) pair
+       with both endpoints overlaid is not double-discounted per row. *)
+    let bw =
+      if not any_traffic then snapshot.Snapshot.bw_mb_s
+      else begin
+        let bw = Matrix.copy snapshot.Snapshot.bw_mb_s in
+        let base = snapshot.Snapshot.bw_mb_s in
+        for i = 0 to n - 1 do
+          if inc.(i) > 0.0 then
+            for j = 0 to n - 1 do
+              if j <> i then begin
+                let reduced =
+                  Float.max 0.0 (Matrix.get base i j -. inc.(i) -. inc.(j))
+                in
+                Matrix.set bw i j reduced;
+                Matrix.set bw j i reduced
+              end
+            done
+        done;
+        bw
+      end
+    in
+    { snapshot with Snapshot.nodes; bw_mb_s = bw }
+  end

@@ -50,8 +50,20 @@ let rpc t request =
            req_id);
     response
 
-let allocate ?ppn ?(alpha = 0.5) ?policy ?wait_threshold t ~procs =
-  rpc t (Wire.Allocate { procs; ppn; alpha; policy; wait_threshold })
+let allocate ?ppn ?(alpha = 0.5) ?policy ?wait_threshold ?lease_s ?load_per_proc
+    ?traffic_mb_s_per_proc t ~procs =
+  rpc t
+    (Wire.Allocate
+       {
+         procs;
+         ppn;
+         alpha;
+         policy;
+         wait_threshold;
+         lease_s;
+         load_per_proc;
+         traffic_mb_s_per_proc;
+       })
 
 let grow ?ppn ?(alpha = 0.5) ?policy t ~alloc_id ~delta_procs =
   rpc t

@@ -39,6 +39,7 @@ module World = Rm_workload.World
 module Scenario = Rm_workload.Scenario
 module System = Rm_monitor.System
 module Snapshot = Rm_monitor.Snapshot
+module Overlay = Rm_monitor.Overlay
 module Broker = Rm_core.Broker
 module Model_cache = Rm_core.Model_cache
 module Allocation = Rm_core.Allocation
@@ -75,6 +76,20 @@ type config = {
           model, so the delay it reports uses this flat figure *)
   reconfig_overhead_s : float;
       (** fixed cost added to every reported reconfiguration delay *)
+  overlay : bool;
+      (** grants are first-class load sources: each active allocation
+          overlays compute load and traffic onto the decision snapshot
+          and holds its nodes out of the grantable pool until released
+          (or its lease expires). [false] restores the pre-overlay
+          bookkeeping-only daemon, bit-identical to its decisions. *)
+  default_lease_s : float option;
+      (** lease applied when an allocate carries no [lease_s]; [None]
+          grants without expiry (a crashed client then pins overlayed
+          capacity until an operator releases it). *)
+  overlay_load_per_proc : float;
+      (** default compute load each granted rank overlays on its node *)
+  overlay_traffic_mb_s_per_proc : float;
+      (** default MB/s each rank pushes to its ring neighbour *)
 }
 
 let default_config ~endpoint =
@@ -96,6 +111,10 @@ let default_config ~endpoint =
     horizon_s = 2_592_000.0;
     reconfig_data_mb_per_proc = 64.0;
     reconfig_overhead_s = 30.0;
+    overlay = true;
+    default_lease_s = None;
+    overlay_load_per_proc = 1.0;
+    overlay_traffic_mb_s_per_proc = 8.0;
   }
 
 (* --- one-shot synchronisation cell -------------------------------------- *)
@@ -132,11 +151,27 @@ type work =
   | Grow_work of Wire.grow
   | Shrink_work of { alloc_id : int; delta_procs : int }
   | Renegotiate_work of Wire.renegotiate
+  | Release_work of { alloc_id : int }
+      (** overlay mode only: the release recomposes the world, which
+          must happen on the tick thread (sole [Model_cache] user) *)
 
 type pending = {
   work : work;
   enqueued_at : float;  (* wall clock, for the latency histogram *)
   reply : Wire.response Ivar.t;
+}
+
+(* Everything the daemon knows about one live grant. The overlay
+   handle ties the allocation to its load/traffic footprint in the
+   registry; the lease (wall clock) bounds how long a silent client
+   can hold it. *)
+type alloc_state = {
+  allocation : Allocation.t;
+  handle : Overlay.handle option;  (* None when overlays are off *)
+  expires_at : float option;  (* wall clock; None = no lease *)
+  lease_s : float option;  (* duration granted, echoed on the wire *)
+  load_per_proc : float;
+  traffic_mb_s_per_proc : float;
 }
 
 type t = {
@@ -147,12 +182,26 @@ type t = {
   rng : Rm_stats.Rng.t;  (* decision rng; tick thread only *)
   queue : pending Batcher.t;
   state_mutex : Mutex.t;
-      (* guards: snapshot, snapshot_taken_at, virtual_time, allocs,
-         next_alloc_id, served, batches, sim/world/monitor advancement *)
-  mutable snapshot : Snapshot.t;
+      (* guards: snapshot, composed, decide, snapshot_taken_at,
+         virtual_time, allocs, tombstones, overlays, next_alloc_id,
+         served, batches, sim/world/monitor advancement *)
+  mutable snapshot : Snapshot.t;  (* raw monitor capture *)
+  mutable composed : Snapshot.t;
+      (* snapshot with grant overlays applied; == snapshot when
+         overlays are off or no grant is live *)
+  mutable decide : Snapshot.t;
+      (* what the broker sees: [composed], additionally restricted by
+         the held-node set when overlays are on. Physically == snapshot
+         when overlays are off (the bookkeeping-only decision path). *)
+  overlays : Overlay.t;
   mutable snapshot_taken_at : float;  (* wall clock *)
   mutable virtual_time : float;
-  allocs : (int, Allocation.t) Hashtbl.t;
+  allocs : (int, alloc_state) Hashtbl.t;
+  tombstones : (int, [ `Released | `Expired ]) Hashtbl.t;
+      (* every id that was ever live and is no more — distinguishes a
+         double release from a never-granted id. Ids are never reused,
+         so this grows with the grant count; at daemon request rates
+         that is cheap bookkeeping. *)
   mutable next_alloc_id : int;
   mutable served : int;
   mutable batches : int;
@@ -184,6 +233,9 @@ let m_active = Metrics.gauge "core.service.active_allocations"
 let m_connections = Metrics.gauge "core.service.connections"
 let m_snapshots = Metrics.counter "core.service.snapshots"
 let m_reconfigs = Metrics.counter "core.service.reconfigs"
+let m_lease_granted = Metrics.counter "service.lease.granted"
+let m_lease_expired = Metrics.counter "service.lease.expired"
+let m_lease_active = Metrics.gauge "service.lease.active"
 
 let latency_metric_name = "service.request_latency_s"
 
@@ -259,9 +311,13 @@ let create config =
     queue = Batcher.create ~max_pending:config.max_pending;
     state_mutex = Mutex.create ();
     snapshot;
+    composed = snapshot;
+    decide = snapshot;
+    overlays = Overlay.create ~node_count:(Cluster.node_count cluster);
     snapshot_taken_at = Unix.gettimeofday ();
     virtual_time = config.start_time;
     allocs = Hashtbl.create 64;
+    tombstones = Hashtbl.create 64;
     next_alloc_id = 1;
     served = 0;
     batches = 0;
@@ -276,26 +332,142 @@ let create config =
     spill;
   }
 
-(* --- allocation table ---------------------------------------------------- *)
+(* --- allocation table & overlay composition ------------------------------ *)
 
-let register_allocation t allocation =
+(* The assumed footprint of one grant: every granted rank contributes
+   [load_per_proc] runnable load on its node, and pushes
+   [traffic_mb_s_per_proc] to its ring neighbour — a halo-exchange-
+   shaped demand over the allocation's nodes in placement order
+   (single-node allocations push nothing onto the network). *)
+let footprint (st : alloc_state) =
+  let entries = st.allocation.Allocation.entries in
+  let load =
+    if st.load_per_proc <= 0.0 then []
+    else
+      List.map
+        (fun (e : Allocation.entry) ->
+          ( e.Allocation.node,
+            float_of_int e.Allocation.procs *. st.load_per_proc ))
+        entries
+  in
+  let ring = Array.of_list entries in
+  let k = Array.length ring in
+  let traffic =
+    if k < 2 || st.traffic_mb_s_per_proc <= 0.0 then []
+    else
+      List.init
+        (if k = 2 then 1 else k)
+        (fun i ->
+          let src = ring.(i) and dst = ring.((i + 1) mod k) in
+          ( (src.Allocation.node, dst.Allocation.node),
+            float_of_int src.Allocation.procs *. st.traffic_mb_s_per_proc ))
+  in
+  (load, traffic)
+
+let held_nodes_locked t =
+  Hashtbl.fold
+    (fun _ st acc -> Allocation.node_ids st.allocation @ acc)
+    t.allocs []
+
+(* Rebuild [composed]/[decide] after a registry or table change.
+   [touched] lists the nodes whose load/traffic footprint moved, so
+   the new composed snapshot's network model rides the O(touched·V)
+   incremental patch (PR 7) from the previous composed snapshot
+   instead of a full O(V²) re-derivation. Caller holds state_mutex;
+   overlay mode only; tick thread only (Model_cache discipline). *)
+let recompose_locked t ~touched =
+  let prev = t.composed in
+  let composed = Overlay.apply t.overlays t.snapshot in
+  t.composed <- composed;
+  if composed != prev then
+    ignore
+      (Model_cache.get_derived composed ~prev ~touched
+         ~weights:t.config.broker.Broker.weights
+        : Model_cache.t);
+  let held = held_nodes_locked t in
+  t.decide <-
+    (if held = [] then composed else Snapshot.restrict composed ~exclude:held)
+
+let leased_count_locked t =
+  Hashtbl.fold
+    (fun _ st n -> if st.expires_at <> None then n + 1 else n)
+    t.allocs 0
+
+let refresh_alloc_gauges_locked t =
+  Metrics.set m_active (float_of_int (Hashtbl.length t.allocs));
+  Metrics.set m_lease_active (float_of_int (leased_count_locked t))
+
+(* Runs on the tick thread (decisions and their table updates live
+   there). Returns the fresh id plus the lease actually granted. *)
+let register_allocation t allocation ~(params : Wire.allocate) =
+  let wall = Unix.gettimeofday () in
   Mutex.lock t.state_mutex;
   let id = t.next_alloc_id in
   t.next_alloc_id <- id + 1;
-  Hashtbl.replace t.allocs id allocation;
-  Metrics.set m_active (float_of_int (Hashtbl.length t.allocs));
+  let lease_s =
+    match params.Wire.lease_s with
+    | Some _ as l -> l
+    | None -> t.config.default_lease_s
+  in
+  let st =
+    {
+      allocation;
+      handle = None;
+      expires_at = Option.map (fun l -> wall +. l) lease_s;
+      lease_s;
+      load_per_proc =
+        Option.value params.Wire.load_per_proc
+          ~default:t.config.overlay_load_per_proc;
+      traffic_mb_s_per_proc =
+        Option.value params.Wire.traffic_mb_s_per_proc
+          ~default:t.config.overlay_traffic_mb_s_per_proc;
+    }
+  in
+  let st =
+    if not t.config.overlay then st
+    else begin
+      let load, traffic = footprint st in
+      { st with handle = Some (Overlay.register t.overlays ~load ~traffic) }
+    end
+  in
+  Hashtbl.replace t.allocs id st;
+  if t.config.overlay then
+    recompose_locked t ~touched:(Allocation.node_ids allocation);
+  if st.expires_at <> None then Metrics.incr m_lease_granted;
+  refresh_alloc_gauges_locked t;
   Mutex.unlock t.state_mutex;
-  id
+  (id, lease_s)
 
+(* Caller holds state_mutex. Removes the grant and its overlay entry
+   but does not recompose — callers batch removals and recompose once. *)
+let drop_allocation_locked t ~alloc_id ~reason =
+  match Hashtbl.find_opt t.allocs alloc_id with
+  | None -> None
+  | Some st ->
+    Hashtbl.remove t.allocs alloc_id;
+    Hashtbl.replace t.tombstones alloc_id reason;
+    Option.iter (Overlay.remove t.overlays) st.handle;
+    refresh_alloc_gauges_locked t;
+    Some st
+
+(* Overlay mode routes releases through the tick thread (the overlay
+   recomposition touches `Model_cache`); bookkeeping-only mode answers
+   inline on the worker like it always did. *)
 let release_allocation t ~alloc_id =
   Mutex.lock t.state_mutex;
-  let found = Hashtbl.mem t.allocs alloc_id in
-  if found then begin
-    Hashtbl.remove t.allocs alloc_id;
-    Metrics.set m_active (float_of_int (Hashtbl.length t.allocs))
-  end;
+  let outcome =
+    match drop_allocation_locked t ~alloc_id ~reason:`Released with
+    | Some st ->
+      if t.config.overlay then
+        recompose_locked t ~touched:(Allocation.node_ids st.allocation);
+      `Released
+    | None -> (
+      match Hashtbl.find_opt t.tombstones alloc_id with
+      | Some reason -> `Already_released reason
+      | None -> `Unknown)
+  in
   Mutex.unlock t.state_mutex;
-  found
+  outcome
 
 let lookup_allocation t ~alloc_id =
   Mutex.lock t.state_mutex;
@@ -304,11 +476,52 @@ let lookup_allocation t ~alloc_id =
   a
 
 (* Only replace a registered id — a concurrent release wins over a
-   reconfiguration still in flight for the same allocation. *)
+   reconfiguration still in flight for the same allocation. The
+   overlay footprint is re-shaped to the new allocation, so a shrink
+   that empties a node returns it to the grantable pool immediately. *)
 let replace_allocation t ~alloc_id allocation =
   Mutex.lock t.state_mutex;
-  if Hashtbl.mem t.allocs alloc_id then
-    Hashtbl.replace t.allocs alloc_id allocation;
+  (match Hashtbl.find_opt t.allocs alloc_id with
+  | None -> ()
+  | Some st ->
+    let old_nodes = Allocation.node_ids st.allocation in
+    let st = { st with allocation } in
+    Hashtbl.replace t.allocs alloc_id st;
+    (match st.handle with
+    | Some h ->
+      let load, traffic = footprint st in
+      Overlay.set t.overlays h ~load ~traffic
+    | None -> ());
+    if t.config.overlay then
+      recompose_locked t
+        ~touched:
+          (List.sort_uniq compare (old_nodes @ Allocation.node_ids allocation)));
+  Mutex.unlock t.state_mutex
+
+(* Lease sweep — tick thread, before each batch. Expired grants are
+   dropped in one pass and the world recomposed once, so a crashed
+   client cannot pin overlayed capacity past its lease. *)
+let sweep_leases t ~wall =
+  Mutex.lock t.state_mutex;
+  let expired =
+    Hashtbl.fold
+      (fun id st acc ->
+        match st.expires_at with
+        | Some at when at <= wall -> (id, st) :: acc
+        | _ -> acc)
+      t.allocs []
+  in
+  if expired <> [] then begin
+    let touched = ref [] in
+    List.iter
+      (fun (id, st) ->
+        ignore (drop_allocation_locked t ~alloc_id:id ~reason:`Expired);
+        Metrics.incr m_lease_expired;
+        touched := Allocation.node_ids st.allocation @ !touched)
+      expired;
+    if t.config.overlay then
+      recompose_locked t ~touched:(List.sort_uniq compare !touched)
+  end;
   Mutex.unlock t.state_mutex
 
 (* --- tick thread -------------------------------------------------------- *)
@@ -316,6 +529,7 @@ let replace_allocation t ~alloc_id allocation =
 (* Advance virtual time one tick and recapture. Caller holds state_mutex. *)
 let refresh_snapshot_locked t ~wall =
   let prev = t.snapshot in
+  let prev_composed = t.composed in
   t.virtual_time <- t.virtual_time +. t.config.virtual_tick_s;
   Sim.run_until t.sim t.virtual_time;
   World.advance t.world ~now:t.virtual_time;
@@ -325,9 +539,23 @@ let refresh_snapshot_locked t ~wall =
      held, patch it forward to the new snapshot (O(touched·V)) instead
      of letting the next decision rebuild O(V²) from scratch. The
      no-batch control mode takes per-request snapshots on purpose and
-     never primes. *)
-  Rm_core.Model_cache.prime_derived t.snapshot ~prev
-    ~weights:t.config.broker.Broker.weights;
+     never primes. In overlay mode the decision path reads the
+     *composed* snapshot, so that is the chain the priming follows. *)
+  if t.config.overlay then begin
+    let composed = Overlay.apply t.overlays t.snapshot in
+    t.composed <- composed;
+    Rm_core.Model_cache.prime_derived composed ~prev:prev_composed
+      ~weights:t.config.broker.Broker.weights;
+    let held = held_nodes_locked t in
+    t.decide <-
+      (if held = [] then composed else Snapshot.restrict composed ~exclude:held)
+  end
+  else begin
+    t.composed <- t.snapshot;
+    t.decide <- t.snapshot;
+    Rm_core.Model_cache.prime_derived t.snapshot ~prev
+      ~weights:t.config.broker.Broker.weights
+  end;
   Metrics.incr m_snapshots
 
 (* --- tick-thread response construction -----------------------------------
@@ -351,6 +579,33 @@ let unknown_alloc alloc_id =
       message = Printf.sprintf "no active allocation #%d" alloc_id;
     }
 
+let already_released alloc_id reason =
+  Wire.Error
+    {
+      code = Wire.Already_released;
+      message =
+        Printf.sprintf "allocation #%d was already %s" alloc_id
+          (match reason with
+          | `Released -> "released"
+          | `Expired -> "dropped (lease expired)");
+    }
+
+(* An id that is not in the live table: tombstoned ids get the typed
+   already-released error, never-granted ids stay unknown_alloc. *)
+let missing_alloc t ~alloc_id =
+  Mutex.lock t.state_mutex;
+  let tomb = Hashtbl.find_opt t.tombstones alloc_id in
+  Mutex.unlock t.state_mutex;
+  match tomb with
+  | Some reason -> already_released alloc_id reason
+  | None -> unknown_alloc alloc_id
+
+let release_response t ~alloc_id =
+  match release_allocation t ~alloc_id with
+  | `Released -> Wire.Released { alloc_id }
+  | `Already_released reason -> already_released alloc_id reason
+  | `Unknown -> unknown_alloc alloc_id
+
 let reconfig_rejected message =
   Wire.Error { code = Wire.Reconfig_rejected; message }
 
@@ -363,8 +618,8 @@ let serve_alloc t ~snapshot (params : Wire.allocate) =
   in
   match outcome with
   | Ok (Broker.Allocated allocation) ->
-    let alloc_id = register_allocation t allocation in
-    Wire.Allocated { alloc_id; allocation }
+    let alloc_id, lease_s = register_allocation t allocation ~params in
+    Wire.Allocated { alloc_id; allocation; expires_s = lease_s }
   | Ok (Broker.Wait { mean_load_per_core; threshold }) ->
     Metrics.incr m_retry;
     Wire.Retry
@@ -414,10 +669,12 @@ let shrink_allocation t ~alloc_id ~cur ~target =
 
 let serve_work t ~snapshot = function
   | Alloc_work params -> serve_alloc t ~snapshot params
+  | Release_work { alloc_id } -> release_response t ~alloc_id
   | Grow_work (g : Wire.grow) -> (
     match lookup_allocation t ~alloc_id:g.Wire.alloc_id with
-    | None -> unknown_alloc g.Wire.alloc_id
-    | Some cur ->
+    | None -> missing_alloc t ~alloc_id:g.Wire.alloc_id
+    | Some st ->
+      let cur = st.allocation in
       let policy =
         Option.value g.Wire.grow_policy ~default:t.config.broker.Broker.policy
       in
@@ -426,14 +683,16 @@ let serve_work t ~snapshot = function
         ~policy)
   | Shrink_work { alloc_id; delta_procs } -> (
     match lookup_allocation t ~alloc_id with
-    | None -> unknown_alloc alloc_id
-    | Some cur ->
+    | None -> missing_alloc t ~alloc_id
+    | Some st ->
+      let cur = st.allocation in
       shrink_allocation t ~alloc_id ~cur
         ~target:(Allocation.total_procs cur - delta_procs))
   | Renegotiate_work (r : Wire.renegotiate) -> (
     match lookup_allocation t ~alloc_id:r.Wire.ren_alloc_id with
-    | None -> unknown_alloc r.Wire.ren_alloc_id
-    | Some cur ->
+    | None -> missing_alloc t ~alloc_id:r.Wire.ren_alloc_id
+    | Some st ->
+      let cur = st.allocation in
       (* The decoder guarantees min <= pref <= max; resize to pref. *)
       let total = Allocation.total_procs cur in
       let target = r.Wire.pref_procs in
@@ -461,14 +720,15 @@ let work_policy t = function
     Option.value g.Wire.grow_policy ~default:t.config.broker.Broker.policy
   | Renegotiate_work r ->
     Option.value r.Wire.ren_policy ~default:t.config.broker.Broker.policy
-  | Shrink_work _ -> t.config.broker.Broker.policy
+  | Shrink_work _ | Release_work _ -> t.config.broker.Broker.policy
 
 let serve_batch t batch =
   let wall = Unix.gettimeofday () in
+  sweep_leases t ~wall;
   Mutex.lock t.state_mutex;
   if wall -. t.snapshot_taken_at >= t.config.tick_s then
     refresh_snapshot_locked t ~wall;
-  let snapshot = t.snapshot in
+  let snapshot = t.decide in
   Mutex.unlock t.state_mutex;
   let n = List.length batch in
   Metrics.incr m_batches;
@@ -480,13 +740,34 @@ let serve_batch t batch =
          snapshot, so the model cache misses and every Eq. 1/2/3 bundle
          is rebuilt, like a one-shot CLI call. *)
       let snapshot =
-        if t.config.batching then snapshot
-        else begin
+        if not t.config.batching then begin
           Mutex.lock t.state_mutex;
           let s = System.snapshot t.monitor ~time:t.virtual_time in
+          let s =
+            if not t.config.overlay then s
+            else begin
+              (* Control mode composes and restricts the fresh capture
+                 too — same semantics, full-rebuild cost by design. *)
+              let s = Overlay.apply t.overlays s in
+              match held_nodes_locked t with
+              | [] -> s
+              | held -> Snapshot.restrict s ~exclude:held
+            end
+          in
           Mutex.unlock t.state_mutex;
           s
         end
+        else if t.config.overlay then begin
+          (* A grant earlier in this batch re-shaped the world; read
+             the recomposed decision snapshot. With no grants in
+             between this is the same physical record, so the model
+             cache still hits. *)
+          Mutex.lock t.state_mutex;
+          let s = t.decide in
+          Mutex.unlock t.state_mutex;
+          s
+        end
+        else snapshot
       in
       let response =
         try serve_work t ~snapshot p.work
@@ -541,6 +822,8 @@ let status_info t =
       draining = Atomic.get t.draining;
       cache_hits = Model_cache.hits ();
       cache_misses = Model_cache.misses ();
+      overlay = t.config.overlay;
+      active_leases = leased_count_locked t;
     }
   in
   Mutex.unlock t.state_mutex;
@@ -571,13 +854,11 @@ let handle_request t = function
     submit_work t (Shrink_work { alloc_id; delta_procs })
   | Wire.Renegotiate r -> submit_work t (Renegotiate_work r)
   | Wire.Release { alloc_id } ->
-    if release_allocation t ~alloc_id then Wire.Released { alloc_id }
-    else
-      Wire.Error
-        {
-          code = Wire.Unknown_alloc;
-          message = Printf.sprintf "no active allocation #%d" alloc_id;
-        }
+    (* Overlay mode: the release re-shapes the decision snapshot, so it
+       rides the admission queue to the tick thread like every other
+       world-changing op. Bookkeeping-only mode answers inline. *)
+    if t.config.overlay then submit_work t (Release_work { alloc_id })
+    else release_response t ~alloc_id
   | Wire.Status -> Wire.Status_info (status_info t)
   | Wire.Metrics -> Wire.Metrics_text (Telemetry.Prometheus.render_registry ())
 

@@ -26,12 +26,17 @@ module Policies = Rm_core.Policies
 module Allocation = Rm_core.Allocation
 
 (* v1: allocate/release/status/metrics. v2 adds the malleability ops —
-   grow/shrink/renegotiate — and the `reconfigured` response. The codec
-   still accepts v1 envelopes (decoding a v2-only op under a v1
-   envelope is an [Unsupported_version] error, so an old client can
-   never trip into semantics it does not know), and always emits the
-   current version. *)
-let version = 2
+   grow/shrink/renegotiate — and the `reconfigured` response. v3 adds
+   the overlay/lease hints: optional `lease_s` / `load_per_proc` /
+   `traffic_mb_s_per_proc` on allocate, `expires_s` on the allocated
+   response, the `already_released` error code, and the overlay/lease
+   fields in status. The codec still accepts v1 envelopes (decoding a
+   v2-only op under a v1 envelope is an [Unsupported_version] error,
+   so an old client can never trip into semantics it does not know),
+   and always emits the current version. The v3 allocate hints are
+   plain additive fields — older daemons ignored unknown keys, so they
+   are accepted under any envelope version rather than gated. *)
+let version = 3
 let min_version = 1
 
 (* --- requests ---------------------------------------------------------- *)
@@ -44,6 +49,15 @@ type allocate = {
       (** [None] inherits the daemon's default policy. *)
   wait_threshold : float option;
       (** [None] inherits the daemon's default broker threshold. *)
+  lease_s : float option;
+      (** v3: requested lease duration. [None] inherits the daemon's
+          default lease (which may be unlimited). *)
+  load_per_proc : float option;
+      (** v3: overlay compute load each granted rank contributes.
+          [None] inherits the daemon's profile default. *)
+  traffic_mb_s_per_proc : float option;
+      (** v3: overlay traffic each rank pushes to its ring neighbour.
+          [None] inherits the daemon's profile default. *)
 }
 
 type grow = {
@@ -91,6 +105,7 @@ type error_code =
   | Insufficient_capacity
   | No_usable_nodes
   | Unknown_alloc
+  | Already_released
   | Reconfig_rejected
 
 let error_code_name = function
@@ -100,6 +115,7 @@ let error_code_name = function
   | Insufficient_capacity -> "insufficient_capacity"
   | No_usable_nodes -> "no_usable_nodes"
   | Unknown_alloc -> "unknown_alloc"
+  | Already_released -> "already_released"
   | Reconfig_rejected -> "reconfig_rejected"
 
 let error_code_of_name = function
@@ -109,6 +125,7 @@ let error_code_of_name = function
   | "insufficient_capacity" -> Some Insufficient_capacity
   | "no_usable_nodes" -> Some No_usable_nodes
   | "unknown_alloc" -> Some Unknown_alloc
+  | "already_released" -> Some Already_released
   | "reconfig_rejected" -> Some Reconfig_rejected
   | _ -> None
 
@@ -124,10 +141,17 @@ type status_info = {
   draining : bool;
   cache_hits : int;
   cache_misses : int;
+  overlay : bool;  (** v3: grants overlay load/traffic and hold nodes *)
+  active_leases : int;  (** v3: live allocations with an expiry *)
 }
 
 type response =
-  | Allocated of { alloc_id : int; allocation : Allocation.t }
+  | Allocated of {
+      alloc_id : int;
+      allocation : Allocation.t;
+      expires_s : float option;
+          (** v3: lease duration granted, [None] = no expiry *)
+    }
   | Reconfigured of {
       alloc_id : int;
       allocation : Allocation.t;  (** the new shape, post-directive *)
@@ -163,9 +187,18 @@ let encode_request { req_id; request } =
       @ (match a.policy with
         | Some p -> [ ("policy", Json.Str (Policies.name p)) ]
         | None -> [])
+      @ (match a.wait_threshold with
+        | Some w -> [ ("wait_threshold", Json.Num w) ]
+        | None -> [])
+      @ (match a.lease_s with
+        | Some l -> [ ("lease_s", Json.Num l) ]
+        | None -> [])
+      @ (match a.load_per_proc with
+        | Some l -> [ ("load_per_proc", Json.Num l) ]
+        | None -> [])
       @
-      (match a.wait_threshold with
-      | Some w -> [ ("wait_threshold", Json.Num w) ]
+      (match a.traffic_mb_s_per_proc with
+      | Some tr -> [ ("traffic_mb_s_per_proc", Json.Num tr) ]
       | None -> [])
     | Release { alloc_id } ->
       [ ("op", Json.Str "release"); ("alloc", Json.Num (float_of_int alloc_id)) ]
@@ -231,18 +264,24 @@ let status_to_json (s : status_info) =
       ("draining", Json.Bool s.draining);
       ("cache_hits", Json.Num (float_of_int s.cache_hits));
       ("cache_misses", Json.Num (float_of_int s.cache_misses));
+      ("overlay", Json.Bool s.overlay);
+      ("active_leases", Json.Num (float_of_int s.active_leases));
     ]
 
 let encode_response { resp_id; response } =
   let fields =
     match response with
-    | Allocated { alloc_id; allocation } ->
+    | Allocated { alloc_id; allocation; expires_s } ->
       [
         ("ok", Json.Str "allocated");
         ("alloc", Json.Num (float_of_int alloc_id));
         ("policy", Json.Str allocation.Allocation.policy);
         ("entries", entries_to_json allocation.Allocation.entries);
       ]
+      @
+      (match expires_s with
+      | Some e -> [ ("expires_s", Json.Num e) ]
+      | None -> [])
     | Reconfigured { alloc_id; allocation; moved_procs; delay_s } ->
       [
         ("ok", Json.Str "reconfigured");
@@ -334,7 +373,35 @@ let decode_allocate j =
     | Json.Null -> None
     | v -> Some (as_finite ~what:"wait_threshold" v)
   in
-  Allocate { procs; ppn; alpha; policy; wait_threshold }
+  let lease_s =
+    match Json.member "lease_s" j with
+    | Json.Null -> None
+    | v ->
+      let l = as_finite ~what:"lease_s" v in
+      if l <= 0.0 then reject Bad_request "lease_s must be positive";
+      Some l
+  in
+  let nonneg what =
+    match Json.member what j with
+    | Json.Null -> None
+    | v ->
+      let x = as_finite ~what v in
+      if x < 0.0 then reject Bad_request "%s must be >= 0" what;
+      Some x
+  in
+  let load_per_proc = nonneg "load_per_proc" in
+  let traffic_mb_s_per_proc = nonneg "traffic_mb_s_per_proc" in
+  Allocate
+    {
+      procs;
+      ppn;
+      alpha;
+      policy;
+      wait_threshold;
+      lease_s;
+      load_per_proc;
+      traffic_mb_s_per_proc;
+    }
 
 let decode_ppn_alpha_policy j =
   let ppn =
@@ -476,6 +543,8 @@ let decode_status j =
     draining = as_bool ~what:"draining" (Json.member "draining" j);
     cache_hits = as_int ~what:"cache_hits" (Json.member "cache_hits" j);
     cache_misses = as_int ~what:"cache_misses" (Json.member "cache_misses" j);
+    overlay = as_bool ~what:"overlay" (Json.member "overlay" j);
+    active_leases = as_int ~what:"active_leases" (Json.member "active_leases" j);
   }
 
 let decode_response line : (resp, string) result =
@@ -500,8 +569,20 @@ let decode_response line : (resp, string) result =
             try Allocation.make ~policy ~entries
             with Invalid_argument m -> reject Bad_request "%s" m
           in
+          let expires_s =
+            match Json.member "expires_s" j with
+            | Json.Null -> None
+            | v ->
+              let e = as_finite ~what:"expires_s" v in
+              if e <= 0.0 then reject Bad_request "expires_s must be positive";
+              Some e
+          in
           Allocated
-            { alloc_id = as_int ~what:"alloc" (Json.member "alloc" j); allocation }
+            {
+              alloc_id = as_int ~what:"alloc" (Json.member "alloc" j);
+              allocation;
+              expires_s;
+            }
         | "reconfigured" ->
           let policy = as_string ~what:"policy" (Json.member "policy" j) in
           let entries = decode_entries (Json.member "entries" j) in
@@ -550,8 +631,12 @@ let decode_response line : (resp, string) result =
 (* --- pretty-printing ---------------------------------------------------- *)
 
 let pp_response ppf = function
-  | Allocated { alloc_id; allocation } ->
-    Format.fprintf ppf "allocated #%d %a" alloc_id Allocation.pp allocation
+  | Allocated { alloc_id; allocation; expires_s } ->
+    Format.fprintf ppf "allocated #%d %a%t" alloc_id Allocation.pp allocation
+      (fun ppf ->
+        match expires_s with
+        | Some e -> Format.fprintf ppf " (lease %.0fs)" e
+        | None -> ())
   | Reconfigured { alloc_id; allocation; moved_procs; delay_s } ->
     Format.fprintf ppf "reconfigured #%d %a (%d procs moved, %.1fs delay)"
       alloc_id Allocation.pp allocation moved_procs delay_s
@@ -565,9 +650,11 @@ let pp_response ppf = function
   | Released { alloc_id } -> Format.fprintf ppf "released #%d" alloc_id
   | Status_info s ->
     Format.fprintf ppf
-      "status: up %.1fs vt=%.0fs active=%d depth=%d served=%d batches=%d%s%s"
-      s.uptime_s s.virtual_time s.active_allocations s.queue_depth s.served
-      s.batches
+      "status: up %.1fs vt=%.0fs active=%d leased=%d depth=%d served=%d \
+       batches=%d%s%s%s"
+      s.uptime_s s.virtual_time s.active_allocations s.active_leases
+      s.queue_depth s.served s.batches
+      (if s.overlay then "" else " (bookkeeping only)")
       (if s.batching then "" else " (per-request snapshots)")
       (if s.draining then " draining" else "")
   | Metrics_text text ->

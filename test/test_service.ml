@@ -35,7 +35,21 @@ let allocate_gen =
     let* alpha = float_bound_inclusive 1.0 in
     let* policy = opt policy_gen in
     let* wait_threshold = opt (float_bound_inclusive 100.0) in
-    return { Wire.procs; ppn; alpha; policy; wait_threshold })
+    (* v3 hints: lease must be strictly positive, profiles >= 0. *)
+    let* lease_s = opt (map (fun l -> l +. 0.5) (float_bound_inclusive 3600.0)) in
+    let* load_per_proc = opt (float_bound_inclusive 8.0) in
+    let* traffic_mb_s_per_proc = opt (float_bound_inclusive 64.0) in
+    return
+      {
+        Wire.procs;
+        ppn;
+        alpha;
+        policy;
+        wait_threshold;
+        lease_s;
+        load_per_proc;
+        traffic_mb_s_per_proc;
+      })
 
 let grow_gen =
   QCheck.Gen.(
@@ -113,6 +127,8 @@ let status_gen =
     let* draining = bool in
     let* cache_hits = 0 -- 1_000_000 in
     let* cache_misses = 0 -- 1_000_000 in
+    let* overlay = bool in
+    let* active_leases = 0 -- 1000 in
     return
       {
         Wire.daemon_version = Wire.version;
@@ -126,6 +142,8 @@ let status_gen =
         draining;
         cache_hits;
         cache_misses;
+        overlay;
+        active_leases;
       })
 
 let response_gen =
@@ -135,9 +153,16 @@ let response_gen =
         (let* alloc_id = 1 -- 100_000 in
          let* entries = entries_gen in
          let* policy = map Policies.name policy_gen in
+         let* expires_s =
+           opt (map (fun l -> l +. 0.5) (float_bound_inclusive 3600.0))
+         in
          return
            (Wire.Allocated
-              { alloc_id; allocation = Allocation.make ~policy ~entries }));
+              {
+                alloc_id;
+                allocation = Allocation.make ~policy ~entries;
+                expires_s;
+              }));
         (let* alloc_id = 1 -- 100_000 in
          let* entries = entries_gen in
          let* policy = map Policies.name policy_gen in
@@ -172,7 +197,8 @@ let response_gen =
              [
                Wire.Bad_request; Wire.Unsupported_version; Wire.Shutting_down;
                Wire.Insufficient_capacity; Wire.No_usable_nodes;
-               Wire.Unknown_alloc; Wire.Reconfig_rejected;
+               Wire.Unknown_alloc; Wire.Already_released;
+               Wire.Reconfig_rejected;
              ]
          in
          let* message = string_size ~gen:printable (0 -- 80) in
@@ -360,7 +386,17 @@ let small_allocate_gen =
        appear in batches: mean load per core is > 0 on the fixture, so
        a -1 threshold forces Wait and a 100 threshold never fires. *)
     let* wait_threshold = oneofl [ None; Some 100.0; Some (-1.0) ] in
-    return { Wire.procs; ppn; alpha; policy; wait_threshold })
+    return
+      {
+        Wire.procs;
+        ppn;
+        alpha;
+        policy;
+        wait_threshold;
+        lease_s = None;
+        load_per_proc = None;
+        traffic_mb_s_per_proc = None;
+      })
 
 let batch_gen =
   QCheck.Gen.(
@@ -414,6 +450,9 @@ let test_batch_covers_both_decisions () =
       alpha = 0.5;
       policy = Some Policies.Network_load_aware;
       wait_threshold;
+      lease_s = None;
+      load_per_proc = None;
+      traffic_mb_s_per_proc = None;
     }
   in
   let outcomes =
@@ -435,6 +474,9 @@ let test_staleness_exclusion_in_batch () =
       alpha = 0.5;
       policy = Some Policies.Network_load_aware;
       wait_threshold = None;
+      lease_s = None;
+      load_per_proc = None;
+      traffic_mb_s_per_proc = None;
     }
   in
   (match Batcher.serve_batch ~base ~snapshot ~rng:(Rng.create 2) [ a ] with
@@ -454,7 +496,7 @@ let test_staleness_exclusion_in_batch () =
 (* --- server end to end --------------------------------------------------- *)
 
 let with_server ?(batching = true) ?(broker = Broker.default_config)
-    ?metrics_out f =
+    ?metrics_out ?(overlay = true) ?lease f =
   let path =
     Printf.sprintf "/tmp/rm-svc-test-%d-%s.sock" (Unix.getpid ())
       (if batching then "b" else "c")
@@ -467,6 +509,8 @@ let with_server ?(batching = true) ?(broker = Broker.default_config)
       batching;
       broker;
       metrics_out;
+      overlay;
+      default_lease_s = lease;
     }
   in
   let was_enabled = Rm_telemetry.Runtime.is_enabled () in
@@ -486,7 +530,7 @@ let test_server_allocate_release () =
   Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
   let alloc_id =
     match Client.allocate c ~ppn:4 ~procs:16 with
-    | Wire.Allocated { alloc_id; allocation } ->
+    | Wire.Allocated { alloc_id; allocation; _ } ->
       Alcotest.(check int) "all procs placed" 16
         (Allocation.total_procs allocation);
       Alcotest.(check string) "policy" "network-load-aware"
@@ -504,7 +548,12 @@ let test_server_allocate_release () =
   (match Client.release c ~alloc_id with
   | Wire.Released { alloc_id = id } -> Alcotest.(check int) "same id" alloc_id id
   | r -> Alcotest.failf "expected released, got %a" Wire.pp_response r);
-  match Client.release c ~alloc_id with
+  (* Releasing the same id again is typed distinctly from releasing an
+     id that was never granted. *)
+  (match Client.release c ~alloc_id with
+  | Wire.Error { code = Wire.Already_released; _ } -> ()
+  | r -> Alcotest.failf "expected already_released, got %a" Wire.pp_response r);
+  match Client.release c ~alloc_id:424242 with
   | Wire.Error { code = Wire.Unknown_alloc; _ } -> ()
   | r -> Alcotest.failf "expected unknown_alloc, got %a" Wire.pp_response r
 
@@ -514,7 +563,7 @@ let test_server_grow_shrink_renegotiate () =
   Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
   let alloc_id, nodes0 =
     match Client.allocate c ~ppn:4 ~procs:16 with
-    | Wire.Allocated { alloc_id; allocation } ->
+    | Wire.Allocated { alloc_id; allocation; _ } ->
       (alloc_id, Allocation.node_ids allocation)
     | r -> Alcotest.failf "expected allocation, got %a" Wire.pp_response r
   in
@@ -706,6 +755,283 @@ let test_server_drains_before_stopping () =
   Alcotest.(check bool) "every rpc answered" true
     (Atomic.get oks + Atomic.get shut = 3 * n)
 
+(* --- grant overlay -------------------------------------------------------- *)
+
+module Overlay = Rm_monitor.Overlay
+
+let overlay_entry_gen =
+  QCheck.Gen.(
+    let load_gen = small_list (pair (0 -- 5) (float_bound_inclusive 4.0)) in
+    let edge_gen =
+      let* a = 0 -- 5 in
+      let* d = 1 -- 5 in
+      let* mb = float_bound_inclusive 32.0 in
+      return ((a, (a + d) mod 6), mb)
+    in
+    pair load_gen (small_list edge_gen))
+
+let overlay_op_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun e -> `Register e) overlay_entry_gen;
+        map2 (fun k e -> `Set (k, e)) (0 -- 7) overlay_entry_gen;
+        map (fun k -> `Remove k) (0 -- 7);
+      ])
+
+(* Satellite 4: for any interleaving of grant / reshape / release, the
+   registry's totals equal the sum over live registrations — nothing
+   leaks, nothing goes negative — and draining every grant restores
+   the physical-identity overlay. *)
+let prop_overlay_conservation =
+  QCheck.Test.make ~count:300
+    ~name:"overlay totals equal the sum of live grants"
+    (QCheck.make QCheck.Gen.(small_list overlay_op_gen))
+    (fun ops ->
+      let t = Overlay.create ~node_count:6 in
+      let live = ref [] in
+      let pick k =
+        match !live with
+        | [] -> None
+        | l -> Some (List.nth l (k mod List.length l))
+      in
+      List.iter
+        (fun op ->
+          match op with
+          | `Register (load, traffic) ->
+            let h = Overlay.register t ~load ~traffic in
+            live := (h, load, traffic) :: !live
+          | `Set (k, (load, traffic)) -> (
+            match pick k with
+            | None -> ()
+            | Some (h, _, _) ->
+              Overlay.set t h ~load ~traffic;
+              live :=
+                List.map
+                  (fun (h', l, tr) ->
+                    if h' = h then (h', load, traffic) else (h', l, tr))
+                  !live)
+          | `Remove k -> (
+            match pick k with
+            | None -> ()
+            | Some (h, _, _) ->
+              Overlay.remove t h;
+              (* removal is idempotent *)
+              Overlay.remove t h;
+              live := List.filter (fun (h', _, _) -> h' <> h) !live))
+        ops;
+      let sum_amounts l = List.fold_left (fun a (_, x) -> a +. x) 0.0 l in
+      let sum_by f =
+        List.fold_left
+          (fun acc (_, load, traffic) -> acc +. f load traffic)
+          0.0 !live
+      in
+      let close a b = Float.abs (a -. b) <= 1e-6 +. (1e-9 *. Float.abs b) in
+      let ok_totals =
+        close (Overlay.total_load t) (sum_by (fun l _ -> sum_amounts l))
+        && close
+             (Overlay.total_traffic_mb_s t)
+             (sum_by (fun _ tr -> sum_amounts tr))
+        && Overlay.active t = List.length !live
+      in
+      let ok_nodes =
+        List.for_all
+          (fun node ->
+            Overlay.load_on t ~node >= 0.0
+            && close
+                 (Overlay.load_on t ~node)
+                 (sum_by (fun l _ ->
+                      sum_amounts (List.filter (fun (n, _) -> n = node) l))))
+          [ 0; 1; 2; 3; 4; 5 ]
+      in
+      List.iter (fun (h, _, _) -> Overlay.remove t h) !live;
+      let snap = service_fixture () in
+      ok_totals && ok_nodes && Overlay.is_empty t
+      && Overlay.total_load t = 0.0
+      && Overlay.apply t snap == snap)
+
+(* Pointwise composition: node loads gain the granted compute load on
+   every running-means view, measured bandwidth loses each endpoint's
+   incident traffic (clamped), and untouched cells stay untouched. An
+   empty registry is the physical identity — the overlay-off server
+   path composes nothing, bit-identical to the pre-overlay daemon. *)
+let test_overlay_compose () =
+  let snap = service_fixture () in
+  let t = Overlay.create ~node_count:6 in
+  Alcotest.(check bool) "empty registry is physical identity" true
+    (Overlay.apply t snap == snap);
+  let h =
+    Overlay.register t ~load:[ (1, 2.0); (2, 1.0) ] ~traffic:[ ((1, 2), 40.0) ]
+  in
+  let composed = Overlay.apply t snap in
+  let view n (s : Snapshot.t) =
+    match s.Snapshot.nodes.(n) with
+    | Some i -> i.Snapshot.load
+    | None -> Alcotest.fail "fixture node missing"
+  in
+  Alcotest.(check (float 1e-9)) "node 1 gains instant load" 4.0
+    (view 1 composed).Running_means.instant;
+  Alcotest.(check (float 1e-9)) "node 1 gains m15 load" 4.0
+    (view 1 composed).Running_means.m15;
+  Alcotest.(check (float 1e-9)) "node 2 gains its share" 2.0
+    (view 2 composed).Running_means.instant;
+  Alcotest.(check (float 1e-9)) "node 0 untouched" 0.5
+    (view 0 composed).Running_means.instant;
+  Alcotest.(check (float 1e-9)) "overlaid edge loses both endpoints" 30.0
+    (Matrix.get composed.Snapshot.bw_mb_s 1 2);
+  Alcotest.(check (float 1e-9)) "edge to clean node loses one endpoint" 70.0
+    (Matrix.get composed.Snapshot.bw_mb_s 1 0);
+  Alcotest.(check (float 1e-9)) "clean edge untouched" 110.0
+    (Matrix.get composed.Snapshot.bw_mb_s 0 3);
+  Alcotest.(check bool) "peak matrix shared" true
+    (composed.Snapshot.peak_bw_mb_s == snap.Snapshot.peak_bw_mb_s);
+  Overlay.remove t h;
+  Alcotest.(check bool) "drained registry is identity again" true
+    (Overlay.apply t snap == snap)
+
+(* Tentpole e2e: with overlays on, concurrently-live grants never share
+   a node — the daemon holds granted nodes out of the pool until they
+   are released, and a full cluster answers with a typed capacity
+   error instead of double-booking. *)
+let test_server_overlay_disjoint_grants () =
+  with_server @@ fun ~path ~server:_ ->
+  let c = Client.connect (`Unix path) in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let rec fill acc =
+    match Client.allocate c ~ppn:4 ~procs:16 with
+    | Wire.Allocated { alloc_id; allocation; _ } ->
+      fill ((alloc_id, Allocation.node_ids allocation) :: acc)
+    | Wire.Error
+        { code = Wire.Insufficient_capacity | Wire.No_usable_nodes; _ } ->
+      acc
+    | r -> Alcotest.failf "expected grant or capacity error, got %a"
+             Wire.pp_response r
+  in
+  let grants = fill [] in
+  Alcotest.(check int) "12-node cluster fits three 4-node grants" 3
+    (List.length grants);
+  let rec pairwise_disjoint = function
+    | [] -> true
+    | (_, nodes) :: rest ->
+      List.for_all
+        (fun (_, other) -> not (List.exists (fun n -> List.mem n other) nodes))
+        rest
+      && pairwise_disjoint rest
+  in
+  Alcotest.(check bool) "live grants are pairwise node-disjoint" true
+    (pairwise_disjoint grants);
+  (match Client.status c with
+  | Wire.Status_info s ->
+    Alcotest.(check bool) "overlay reported on" true s.Wire.overlay
+  | r -> Alcotest.failf "expected status, got %a" Wire.pp_response r);
+  (* Releasing one grant frees exactly its nodes for the next client. *)
+  let released_id, released_nodes = List.hd grants in
+  (match Client.release c ~alloc_id:released_id with
+  | Wire.Released _ -> ()
+  | r -> Alcotest.failf "expected released, got %a" Wire.pp_response r);
+  match Client.allocate c ~ppn:4 ~procs:16 with
+  | Wire.Allocated { allocation; _ } ->
+    Alcotest.(check bool) "regrant reuses only the freed nodes" true
+      (List.for_all
+         (fun n -> List.mem n released_nodes)
+         (Allocation.node_ids allocation))
+  | r -> Alcotest.failf "expected regrant, got %a" Wire.pp_response r
+
+(* Satellite 4 (flip side): overlay-off is the pre-overlay daemon —
+   grants are bookkeeping only, so back-to-back allocations double-book
+   the same best-scoring nodes. Pins the behavior the tentpole fixes
+   (and that --no-overlay deliberately preserves). *)
+let test_server_overlay_off_double_books () =
+  with_server ~overlay:false @@ fun ~path ~server:_ ->
+  let c = Client.connect (`Unix path) in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let grab () =
+    match Client.allocate c ~ppn:4 ~procs:16 with
+    | Wire.Allocated { allocation; _ } -> Allocation.node_ids allocation
+    | r -> Alcotest.failf "expected allocation, got %a" Wire.pp_response r
+  in
+  let a = grab () in
+  let b = grab () in
+  Alcotest.(check bool) "second live grant overlaps the first" true
+    (List.exists (fun n -> List.mem n b) a);
+  match Client.status c with
+  | Wire.Status_info s ->
+    Alcotest.(check bool) "overlay reported off" true (not s.Wire.overlay);
+    Alcotest.(check int) "both grants live" 2 s.Wire.active_allocations
+  | r -> Alcotest.failf "expected status, got %a" Wire.pp_response r
+
+(* Satellite 3: a v2 shrink that drops every rank on a node is a
+   partial release — the emptied node returns to the grantable pool
+   immediately, observable as the only node the next grant can get on
+   an otherwise-full cluster. *)
+let test_server_shrink_frees_node () =
+  with_server @@ fun ~path ~server:_ ->
+  let c = Client.connect (`Unix path) in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let rec fill acc =
+    match Client.allocate c ~ppn:4 ~procs:16 with
+    | Wire.Allocated { alloc_id; allocation; _ } ->
+      fill ((alloc_id, Allocation.node_ids allocation) :: acc)
+    | Wire.Error
+        { code = Wire.Insufficient_capacity | Wire.No_usable_nodes; _ } ->
+      acc
+    | r -> Alcotest.failf "expected grant or capacity error, got %a"
+             Wire.pp_response r
+  in
+  let grants = fill [] in
+  Alcotest.(check int) "cluster saturated" 3 (List.length grants);
+  let victim_id, victim_nodes = List.hd grants in
+  (* Drop one node's worth of ranks from the tail of the victim. *)
+  let survivors =
+    match Client.shrink c ~alloc_id:victim_id ~delta_procs:4 with
+    | Wire.Reconfigured { allocation; _ } -> Allocation.node_ids allocation
+    | r -> Alcotest.failf "expected reconfigured, got %a" Wire.pp_response r
+  in
+  let freed = List.filter (fun n -> not (List.mem n survivors)) victim_nodes in
+  Alcotest.(check int) "shrink emptied exactly one node" 1 (List.length freed);
+  match Client.allocate c ~ppn:4 ~procs:4 with
+  | Wire.Allocated { allocation; _ } ->
+    Alcotest.(check (list int)) "regrant lands on the freed node" freed
+      (Allocation.node_ids allocation)
+  | r -> Alcotest.failf "expected regrant on freed node, got %a"
+           Wire.pp_response r
+
+(* Leases: a grant with a TTL is swept once it expires — its overlay
+   and node hold disappear, and a late release is answered with the
+   same typed already_released error as a double release. *)
+let test_server_lease_expiry () =
+  with_server ~lease:0.05 @@ fun ~path ~server:_ ->
+  let c = Client.connect (`Unix path) in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let alloc_id =
+    match Client.allocate c ~ppn:4 ~procs:16 with
+    | Wire.Allocated { alloc_id; expires_s; _ } ->
+      (match expires_s with
+      | Some s -> Alcotest.(check (float 1e-9)) "config lease echoed" 0.05 s
+      | None -> Alcotest.fail "expected a lease on the grant");
+      alloc_id
+    | r -> Alcotest.failf "expected allocation, got %a" Wire.pp_response r
+  in
+  (* A per-request lease overrides the config default. *)
+  (match Client.allocate c ~ppn:4 ~procs:4 ~lease_s:3600.0 with
+  | Wire.Allocated { expires_s = Some s; _ } ->
+    Alcotest.(check (float 1e-9)) "request lease wins" 3600.0 s
+  | r -> Alcotest.failf "expected leased allocation, got %a" Wire.pp_response r);
+  (match Client.status c with
+  | Wire.Status_info s -> Alcotest.(check int) "leases counted" 2 s.Wire.active_leases
+  | r -> Alcotest.failf "expected status, got %a" Wire.pp_response r);
+  Thread.delay 0.2;
+  (* The sweep runs at the top of the next served batch, before this
+     very release is looked up: the short lease is already a tombstone. *)
+  (match Client.release c ~alloc_id with
+  | Wire.Error { code = Wire.Already_released; _ } -> ()
+  | r -> Alcotest.failf "expected already_released, got %a" Wire.pp_response r);
+  match Client.status c with
+  | Wire.Status_info s ->
+    Alcotest.(check int) "only the long lease survives" 1
+      s.Wire.active_allocations
+  | r -> Alcotest.failf "expected status, got %a" Wire.pp_response r
+
 (* --- Slo service report --------------------------------------------------- *)
 
 let test_slo_service_report_empty () =
@@ -782,6 +1108,19 @@ let suites =
         Alcotest.test_case "graceful stop" `Quick test_server_graceful_stop;
         Alcotest.test_case "drains in-flight on stop" `Quick
           test_server_drains_before_stopping;
+      ] );
+    ( "service.overlay",
+      [
+        qcheck prop_overlay_conservation;
+        Alcotest.test_case "snapshot composition" `Quick test_overlay_compose;
+        Alcotest.test_case "live grants stay node-disjoint" `Quick
+          test_server_overlay_disjoint_grants;
+        Alcotest.test_case "overlay-off double-books (pinned)" `Quick
+          test_server_overlay_off_double_books;
+        Alcotest.test_case "shrink to zero on a node frees it" `Quick
+          test_server_shrink_frees_node;
+        Alcotest.test_case "lease expiry sweeps the grant" `Quick
+          test_server_lease_expiry;
       ] );
     ( "service.slo",
       [
